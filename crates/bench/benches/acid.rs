@@ -1,0 +1,15 @@
+//! **§4.2 ACID vs no-ACID** — "The ACID version achieves 534 TPS while the
+//! No-ACID one scores 1155, an approximately 2x performance boost."
+
+use harness::experiments::acid_comparison;
+
+fn main() {
+    let trials = 3;
+    let (acid, no_acid) = acid_comparison(trials);
+    println!("ACID (rollback journal + flush):   {acid} TPS   (paper: 534)");
+    println!("No-ACID (no journal, no flushing): {no_acid} TPS   (paper: 1155)");
+    println!(
+        "speedup without ACID: {:.2}x   (paper: ~2.16x)",
+        no_acid.mean / acid.mean
+    );
+}

@@ -1,0 +1,17 @@
+//! **Figure 4** — the configuration sweep at request/reply sizes 256, 1024,
+//! 2048 and 4096 bytes. The paper reports "the results for varying request
+//! and response sizes are similar" and plots 1024 as representative; this
+//! bench verifies the similarity claim across all sizes.
+
+use harness::experiments::{fig4, render_table};
+
+fn main() {
+    let sizes = [256usize, 1024, 2048, 4096];
+    for (size, rows) in fig4(&sizes, 1) {
+        println!(
+            "{}",
+            render_table(&format!("Figure 4 — null ops, {size} B request/reply"), &rows, None)
+        );
+    }
+    println!("expectation: the configuration ordering is the same at every size");
+}

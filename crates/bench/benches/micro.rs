@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the substrates: real (wall-clock) costs of
+//! the cryptographic primitives, the Merkle state subsystem, the wire codec
+//! and minisql — the building blocks whose *virtual* costs the experiment
+//! harness models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 1024];
+    g.bench_function("sha256_1kib", |b| {
+        b.iter(|| pbft_crypto::sha256(black_box(&data)))
+    });
+    let key = pbft_crypto::auth::MacKey::new([7u8; 32]);
+    g.bench_function("fastmac_1kib", |b| b.iter(|| key.mac(black_box(&data), 0)));
+    let kp = pbft_crypto::KeyPair::generate(1);
+    g.bench_function("rsa_sign", |b| b.iter(|| kp.sign(black_box(&data))));
+    let sig = kp.sign(&data);
+    g.bench_function("rsa_verify", |b| {
+        b.iter(|| kp.public().verify(black_box(&data), &sig))
+    });
+    g.finish();
+}
+
+fn state_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state");
+    g.bench_function("refresh_digest_16_dirty_pages", |b| {
+        let mut st = pbft_state::PagedState::new(64);
+        b.iter(|| {
+            st.modify(0, 16 * pbft_state::PAGE_SIZE).expect("modify");
+            st.write(0, black_box(&[1u8; 64])).expect("write");
+            st.refresh_digest()
+        })
+    });
+    g.bench_function("snapshot_64_pages", |b| {
+        let mut st = pbft_state::PagedState::new(64);
+        st.refresh_digest();
+        b.iter(|| st.snapshot(black_box(1)))
+    });
+    g.finish();
+}
+
+fn codec_benches(c: &mut Criterion) {
+    use pbft_core::messages::{AuthTag, Envelope, Message, Operation, RequestMsg, Sender};
+    use pbft_core::types::ClientId;
+    let mut g = c.benchmark_group("codec");
+    let req = RequestMsg {
+        client: ClientId(7),
+        timestamp: 42,
+        read_only: false,
+        reply_addr: 9,
+        op: Operation::App(vec![0u8; 1024]),
+    };
+    let msg = Message::Request(req);
+    g.bench_function("encode_request_1kib", |b| {
+        b.iter(|| Envelope::encode_prefix(Sender::Client(ClientId(7)), black_box(&msg)))
+    });
+    let prefix = Envelope::encode_prefix(Sender::Client(ClientId(7)), &msg);
+    let packet = Envelope::seal(prefix, &AuthTag::None);
+    g.bench_function("decode_request_1kib", |b| {
+        b.iter(|| Envelope::decode(black_box(&packet)).expect("decode"))
+    });
+    g.finish();
+}
+
+fn sql_benches(c: &mut Criterion) {
+    use minisql::{Database, DbOptions, JournalMode, MemVfs};
+    let mut g = c.benchmark_group("minisql");
+    g.bench_function("insert_row_no_acid", |b| {
+        let mut db = Database::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            DbOptions { journal_mode: JournalMode::Off, ..Default::default() },
+        )
+        .expect("open");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v TEXT)").expect("create");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.execute(&format!("INSERT INTO t (k, v) VALUES ('key{i}', 'val{i}')"))
+                .expect("insert")
+        })
+    });
+    g.bench_function("point_select", |b| {
+        let mut db = Database::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            DbOptions { journal_mode: JournalMode::Off, ..Default::default() },
+        )
+        .expect("open");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").expect("create");
+        for i in 0..1000 {
+            db.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, 'v{i}')")).expect("insert");
+        }
+        b.iter(|| db.query(black_box("SELECT v FROM t WHERE id = 500")).expect("select"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, crypto_benches, state_benches, codec_benches, sql_benches);
+criterion_main!(benches);

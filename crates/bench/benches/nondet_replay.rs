@@ -1,0 +1,19 @@
+//! **§2.5 non-determinism validation during replay** — replayed pre-prepares
+//! carry old timestamps; strict time-delta validation rejects them and
+//! impedes recovery, the skip-on-replay fix proceeds.
+
+use harness::experiments::nondet_replay;
+
+fn main() {
+    let strict = nondet_replay(false, 11);
+    let fixed = nondet_replay(true, 11);
+    println!(
+        "strict validation on replay: validation failures {:>4}, requests completed after replay {:>6}",
+        strict.validation_failures, strict.completed_after
+    );
+    println!(
+        "skip validation on replay:   validation failures {:>4}, requests completed after replay {:>6}",
+        fixed.validation_failures, fixed.completed_after
+    );
+    println!("expectation: strict validation rejects replays (failures > 0, little progress); the fix proceeds");
+}

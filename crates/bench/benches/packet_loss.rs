@@ -1,0 +1,28 @@
+//! **§2.4 UDP packet loss and big requests** — a dropped client-to-replica
+//! body wedges that replica "until the next checkpoint arrives and the
+//! recovery process kicks in". Also demonstrates the body-fetch fix.
+
+use harness::experiments::packet_loss_bigreq;
+
+fn main() {
+    for loss in [0.01, 0.05, 0.20] {
+        let default_behaviour = packet_loss_bigreq(loss, false, 42);
+        let with_fix = packet_loss_bigreq(loss, true, 42);
+        println!("loss probability {loss}:");
+        println!(
+            "  library default: stuck events {:>4}, checkpoint state transfers {:>2}, completed {:>6}, converged {}",
+            default_behaviour.stuck_events,
+            default_behaviour.transfers_completed,
+            default_behaviour.completed,
+            default_behaviour.converged,
+        );
+        println!(
+            "  body-fetch fix:  stuck events {:>4}, checkpoint state transfers {:>2}, completed {:>6}, converged {}",
+            with_fix.stuck_events,
+            with_fix.transfers_completed,
+            with_fix.completed,
+            with_fix.converged,
+        );
+    }
+    println!("expectation: default wedges replica 3 until checkpoint transfer; the fix avoids transfers");
+}

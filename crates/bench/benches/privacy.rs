@@ -1,0 +1,47 @@
+//! **Privacy-firewall ablation (§3.3.1)** — Yin et al. interpose an
+//! (h+1)×(h+1) privacy-firewall grid between execution and clients; the
+//! paper notes "This obviously increases both deployment complexity and
+//! request execution latency." This ablation measures that cost: null-op
+//! throughput and mean latency as reply-path firewall rows are added
+//! (row count = h+1; h is the firewall faults tolerated).
+
+use harness::cluster::{AppKind, ClusterSpec};
+use harness::firewall::build_firewalled_cluster;
+use harness::workload::null_ops;
+use simnet::SimDuration;
+
+fn run(rows: usize) -> (f64, f64, u64) {
+    let spec = ClusterSpec {
+        app: AppKind::Null { reply_size: 1024 },
+        num_clients: 12,
+        seed: 4242,
+        ..Default::default()
+    };
+    let mut fc = build_firewalled_cluster(spec, rows);
+    fc.cluster.start_workload(|i| null_ops(1024 + i));
+    let tps = fc
+        .cluster
+        .measure_throughput(SimDuration::from_secs(1), SimDuration::from_secs(2));
+    let latency = fc.cluster.mean_latency_ms();
+    let suppressed = fc.row_stats().first().map_or(0, |s| s.suppressed);
+    (tps, latency, suppressed)
+}
+
+fn main() {
+    println!("privacy-firewall ablation (12 clients, 1 KiB null ops, default config)");
+    println!("{:>5} {:>10} {:>14} {:>22}", "rows", "TPS", "latency (ms)", "suppressed @ row 0");
+    let (base_tps, base_lat, _) = run(0);
+    println!("{:>5} {:>10.0} {:>14.3} {:>22}", 0, base_tps, base_lat, "-");
+    for rows in 1..=3 {
+        let (tps, lat, suppressed) = run(rows);
+        println!(
+            "{:>5} {:>10.0} {:>14.3} {:>22}   (+{:.0}% latency)",
+            rows,
+            tps,
+            lat,
+            suppressed,
+            (lat / base_lat - 1.0) * 100.0
+        );
+    }
+    println!("expectation: each row adds latency; the outermost row suppresses surplus replies");
+}

@@ -1,0 +1,25 @@
+//! **Table 1** — "PBFT library configurations we test. TPS is transactions
+//! per second, where a transaction is simply a null request. Null request
+//! and null response sizes are 1024 bytes."
+
+use harness::experiments::{render_table, table1};
+
+fn main() {
+    let trials = 3;
+    let rows = table1(1024, trials);
+    println!(
+        "{}",
+        render_table(
+            &format!("Table 1 — null ops, 1 KiB request/reply, 12 clients / 4 replicas ({trials} trials)"),
+            &rows,
+            None,
+        )
+    );
+    let paper = [
+        17014.0, 1051.0, 3030.0, 1109.0, 1291.0, 1199.0, 992.0, 1186.0, 988.0, 1205.0,
+    ];
+    println!("paper-vs-measured:");
+    for (r, p) in rows.iter().zip(paper) {
+        println!("  {:<32} paper {:>7.0}   measured {:>7.0}", r.name, p, r.tps.mean);
+    }
+}

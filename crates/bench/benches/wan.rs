@@ -1,0 +1,12 @@
+//! **§3.3.3 WAN ablation** — throughput and latency vs one-way link delay
+//! (the experiment the paper could not run because BFTsim would not scale).
+
+use harness::experiments::wan_sweep;
+
+fn main() {
+    println!("{:>14} {:>12} {:>14}", "one-way (ms)", "TPS", "latency (ms)");
+    for (ms, tps, lat) in wan_sweep(&[1, 5, 15, 40, 80], 1) {
+        println!("{:>14} {:>12.0} {:>14.2}", ms, tps.mean, lat);
+    }
+    println!("expectation: WAN PBFT is latency-bound; throughput ~ clients / round latency");
+}

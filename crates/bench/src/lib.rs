@@ -1,0 +1,6 @@
+//! Benchmark crate: the targets live in `benches/` — one per table/figure
+//! of the paper's evaluation (see EXPERIMENTS.md for the index), plus
+//! Criterion micro-benchmarks of the substrates in `benches/micro.rs`.
+//!
+//! Run everything with `cargo bench`, or a single experiment with e.g.
+//! `cargo bench --bench table1`.

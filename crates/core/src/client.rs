@@ -1,0 +1,619 @@
+//! The PBFT client engine (sans-io).
+//!
+//! Implements the client side of §2.1: requests are sent to the primary
+//! (or multicast to all replicas when big), replies are collected until a
+//! quorum of matching results arrives — f+1 stable replies, or 2f+1
+//! tentative/read-only replies — and unanswered requests are retransmitted
+//! to the whole group. The client also runs the blind NewKey retransmission
+//! timer of §2.3 and, in dynamic deployments, the two-phase Join of §3.1.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use pbft_crypto::challenge::{make_response, Challenge};
+use pbft_crypto::Digest;
+
+use crate::config::{AuthMode, PbftConfig};
+use crate::keys::ClientKeys;
+use crate::messages::{
+    AuthTag, Envelope, Message, NewKeyMsg, Operation, ReplyMsg, RequestMsg, Sender,
+};
+use crate::output::{HandleResult, NetTarget, Output, TimerKind};
+use crate::types::{ClientId, NetAddr, ReplicaId, View};
+
+/// Events surfaced to the application driving the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The dynamic Join completed; the service assigned this id.
+    Joined(ClientId),
+    /// The dynamic Join was denied.
+    JoinDenied(String),
+    /// A request completed with a quorum-certified result.
+    ReplyDelivered {
+        /// The request's client timestamp.
+        timestamp: u64,
+        /// The certified result bytes.
+        result: Vec<u8>,
+        /// Nanoseconds between first send and quorum.
+        latency_ns: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JoinState {
+    /// Static membership or join already complete.
+    Member,
+    /// Phase-one Join sent; waiting for f+1 matching challenges.
+    AwaitingChallenge,
+    /// Phase-two sent; waiting for the admission verdict.
+    AwaitingAdmission,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    req: RequestMsg,
+    sent_ns: u64,
+    big: bool,
+    /// Per-replica replies: result digest + tentative flag.
+    replies: HashMap<ReplicaId, (Digest, bool)>,
+    /// First full result seen per digest (to hand to the application).
+    results: HashMap<Digest, Vec<u8>>,
+}
+
+/// Client metrics for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientMetrics {
+    /// Requests completed with a quorum.
+    pub completed: u64,
+    /// Total latency (ns) across completed requests.
+    pub total_latency_ns: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+}
+
+/// The PBFT client state machine.
+pub struct Client {
+    cfg: PbftConfig,
+    keys: ClientKeys,
+    group_seed: u64,
+    addr: NetAddr,
+    id: ClientId,
+    join: JoinState,
+    idbuf: Vec<u8>,
+    join_nonce: u64,
+    timestamp: u64,
+    view_guess: View,
+    outstanding: Option<Outstanding>,
+    queue: VecDeque<(Vec<u8>, bool)>,
+    events: Vec<ClientEvent>,
+    /// Metrics for throughput harnesses.
+    pub metrics: ClientMetrics,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.id)
+            .field("join", &self.join)
+            .field("completed", &self.metrics.completed)
+            .finish()
+    }
+}
+
+impl Client {
+    /// A statically configured client (known to all replicas a priori).
+    pub fn new_static(cfg: PbftConfig, group_seed: u64, id: ClientId, addr: NetAddr) -> Client {
+        let keys = ClientKeys::new(group_seed, id, cfg.n());
+        Client {
+            cfg,
+            keys,
+            group_seed,
+            addr,
+            id,
+            join: JoinState::Member,
+            idbuf: Vec::new(),
+            join_nonce: 0,
+            timestamp: 0,
+            view_guess: 0,
+            outstanding: None,
+            queue: VecDeque::new(),
+            events: Vec::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// A dynamic client that must Join before submitting requests (§3.1).
+    /// `identity_seed` individualizes its key pair; `idbuf` is the
+    /// application identification buffer (e.g. credentials).
+    pub fn new_dynamic(
+        cfg: PbftConfig,
+        group_seed: u64,
+        identity_seed: u64,
+        addr: NetAddr,
+        idbuf: Vec<u8>,
+    ) -> Client {
+        // Until an id is assigned, the client's own key pair hangs off its
+        // identity seed; replica public keys come from the group config.
+        let provisional = ClientId(identity_seed | 0x8000_0000_0000_0000);
+        let keys = ClientKeys::new_dynamic(group_seed, identity_seed, provisional, cfg.n());
+        Client {
+            cfg,
+            keys,
+            group_seed,
+            addr,
+            id: provisional,
+            join: JoinState::AwaitingChallenge,
+            idbuf,
+            join_nonce: identity_seed,
+            timestamp: 0,
+            view_guess: 0,
+            outstanding: None,
+            queue: VecDeque::new(),
+            events: Vec::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// The client's current id (provisional until a dynamic join completes).
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether the client is a full member (can submit requests).
+    pub fn is_member(&self) -> bool {
+        self.join == JoinState::Member
+    }
+
+    /// Drain surfaced events.
+    pub fn take_events(&mut self) -> Vec<ClientEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Queue depth (submitted but not yet sent operations).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a request is in flight.
+    pub fn has_outstanding(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// Called once at startup: distribute session keys (static members) or
+    /// begin the Join (dynamic), and arm the blind NewKey timer.
+    pub fn on_start(&mut self, now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        match self.join {
+            JoinState::Member => self.send_new_key(&mut res),
+            JoinState::AwaitingChallenge | JoinState::AwaitingAdmission => {
+                self.join = JoinState::AwaitingChallenge;
+                self.send_join_phase1(now_ns, &mut res);
+            }
+        }
+        res.outputs.push(Output::SetTimer {
+            kind: TimerKind::NewKey,
+            delay_ns: self.cfg.newkey_interval_ns,
+        });
+        res
+    }
+
+    /// Submit an application operation. Sends immediately if idle, else
+    /// queues (PBFT allows one outstanding request per client).
+    pub fn submit(&mut self, op: Vec<u8>, read_only: bool, now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        self.queue.push_back((op, read_only));
+        self.pump(now_ns, &mut res);
+        res
+    }
+
+    /// Ask the service to terminate this session (§3.1 Leave).
+    pub fn leave(&mut self, now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        if self.join == JoinState::Member {
+            let req = self.build_request(Operation::Leave, false);
+            self.dispatch_request(req, now_ns, &mut res);
+        }
+        res
+    }
+
+    fn pump(&mut self, now_ns: u64, res: &mut HandleResult) {
+        if self.outstanding.is_some() || self.join != JoinState::Member {
+            return;
+        }
+        let Some((op, read_only)) = self.queue.pop_front() else { return };
+        let req = self.build_request(Operation::App(op), read_only);
+        self.dispatch_request(req, now_ns, res);
+    }
+
+    fn build_request(&mut self, op: Operation, read_only: bool) -> RequestMsg {
+        self.timestamp += 1;
+        RequestMsg {
+            client: self.id,
+            timestamp: self.timestamp,
+            read_only,
+            reply_addr: self.addr,
+            op,
+        }
+    }
+
+    fn dispatch_request(&mut self, req: RequestMsg, now_ns: u64, res: &mut HandleResult) {
+        let big = self.cfg.is_big(req.encoded_len());
+        self.outstanding = Some(Outstanding {
+            req: req.clone(),
+            sent_ns: now_ns,
+            big,
+            replies: HashMap::new(),
+            results: HashMap::new(),
+        });
+        self.send_request(&req, big, false, res);
+        res.outputs.push(Output::SetTimer {
+            kind: TimerKind::Retransmit,
+            delay_ns: self.cfg.client_retransmit_ns,
+        });
+    }
+
+    /// Send a request: big requests are multicast to all replicas; others go
+    /// to the primary only. On retransmission everything goes to everyone
+    /// ("the client is expected to keep retransmitting its request").
+    fn send_request(&mut self, req: &RequestMsg, big: bool, retransmit: bool, res: &mut HandleResult) {
+        let is_join = matches!(req.op, Operation::JoinPhase1 { .. } | Operation::JoinPhase2 { .. });
+        let msg = Message::Request(req.clone());
+        let prefix = Envelope::encode_prefix(self.sender(), &msg);
+        res.counts.digest_bytes += prefix.len() as u64;
+        let auth = if is_join {
+            // Joins are always signed: the service has no session key yet.
+            res.counts.sign += 1;
+            AuthTag::Sig(self.keys.keypair().sign(&prefix))
+        } else {
+            self.keys.seal_request(self.cfg.auth, &prefix, &mut res.counts)
+        };
+        let packet = Envelope::seal(prefix, &auth);
+        let env = Envelope { sender: self.sender(), msg, auth };
+        if big || retransmit || is_join {
+            for i in 0..self.cfg.n() as u32 {
+                res.outputs.push(Output::Send {
+                    to: NetTarget::Replica(ReplicaId(i)),
+                    packet: packet.clone(),
+                    envelope: env.clone(),
+                });
+            }
+        } else {
+            let primary = self.cfg.primary_of(self.view_guess);
+            res.outputs.push(Output::Send { to: NetTarget::Replica(primary), packet, envelope: env });
+        }
+    }
+
+    fn sender(&self) -> Sender {
+        match self.join {
+            JoinState::Member => Sender::Client(self.id),
+            _ => Sender::Anonymous,
+        }
+    }
+
+    fn send_new_key(&mut self, res: &mut HandleResult) {
+        let msg = Message::NewKey(NewKeyMsg {
+            client: self.id,
+            reply_addr: self.addr,
+            keys: self.keys.session_key_bytes(),
+        });
+        let prefix = Envelope::encode_prefix(Sender::Client(self.id), &msg);
+        res.counts.sign += 1;
+        let auth = AuthTag::Sig(self.keys.keypair().sign(&prefix));
+        let packet = Envelope::seal(prefix, &auth);
+        let env = Envelope { sender: Sender::Client(self.id), msg, auth };
+        for i in 0..self.cfg.n() as u32 {
+            res.outputs.push(Output::Send {
+                to: NetTarget::Replica(ReplicaId(i)),
+                packet: packet.clone(),
+                envelope: env.clone(),
+            });
+        }
+    }
+
+    fn send_join_phase1(&mut self, now_ns: u64, res: &mut HandleResult) {
+        let op = Operation::JoinPhase1 {
+            pubkey: self.keys.keypair().public(),
+            nonce: self.join_nonce,
+            reply_addr: self.addr,
+            idbuf: self.idbuf.clone(),
+        };
+        // Provisional reply-matching id: the fingerprint prefix.
+        let fp = self.keys.keypair().public().fingerprint();
+        self.id = ClientId(fp.prefix_u64());
+        let req = self.build_request(op, false);
+        self.dispatch_request(req, now_ns, res);
+    }
+
+    fn send_join_phase2(&mut self, challenge: Challenge, now_ns: u64, res: &mut HandleResult) {
+        let fp = self.keys.keypair().public().fingerprint();
+        let response = make_response(&challenge, &fp);
+        let op = Operation::JoinPhase2 { fingerprint: fp, response };
+        self.join = JoinState::AwaitingAdmission;
+        let req = self.build_request(op, false);
+        self.dispatch_request(req, now_ns, res);
+    }
+
+    /// Handle an incoming packet (replies only; clients ignore the rest).
+    pub fn handle_packet(&mut self, packet: &[u8], now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        let Ok((env, prefix_len)) = Envelope::decode(packet) else {
+            return res;
+        };
+        let Message::Reply(reply) = env.msg else { return res };
+        let Sender::Replica(from) = env.sender else { return res };
+        if from != reply.replica || from.0 as usize >= self.cfg.n() {
+            return res;
+        }
+        if !self
+            .keys
+            .verify_reply(from, &packet[..prefix_len], &env.auth, &mut res.counts)
+        {
+            return res;
+        }
+        self.on_reply(reply, now_ns, &mut res);
+        res
+    }
+
+    fn on_reply(&mut self, reply: ReplyMsg, now_ns: u64, res: &mut HandleResult) {
+        let Some(out) = &mut self.outstanding else { return };
+        if reply.client != self.id || reply.timestamp != out.req.timestamp {
+            return;
+        }
+        let digest = reply.result_digest();
+        res.counts.digest_bytes += reply.result.len() as u64;
+        out.results.entry(digest).or_insert_with(|| reply.result.clone());
+        out.replies.insert(reply.replica, (digest, reply.tentative));
+        // Quorum rules (§2.1): f+1 matching stable replies, or 2f+1 matching
+        // when any of them are tentative (incl. the read-only path).
+        let stable_matching = out
+            .replies
+            .values()
+            .filter(|(d, tent)| *d == digest && !tent)
+            .count();
+        let any_matching = out.replies.values().filter(|(d, _)| *d == digest).count();
+        let done = stable_matching >= self.cfg.weak_quorum() || any_matching >= self.cfg.quorum();
+        if !done {
+            return;
+        }
+        let result = out.results.get(&digest).cloned().unwrap_or_default();
+        let latency_ns = now_ns.saturating_sub(out.sent_ns);
+        self.view_guess = self.view_guess.max(reply.view);
+        self.outstanding = None;
+        res.outputs.push(Output::CancelTimer { kind: TimerKind::Retransmit });
+        match self.join {
+            JoinState::Member => {
+                self.metrics.completed += 1;
+                self.metrics.total_latency_ns += latency_ns;
+                self.events.push(ClientEvent::ReplyDelivered {
+                    timestamp: reply.timestamp,
+                    result,
+                    latency_ns,
+                });
+                self.pump(now_ns, res);
+            }
+            JoinState::AwaitingChallenge => {
+                if result.len() == 32 {
+                    let mut d = [0u8; 32];
+                    d.copy_from_slice(&result);
+                    self.send_join_phase2(Challenge(Digest(d)), now_ns, res);
+                } else {
+                    self.join = JoinState::AwaitingChallenge;
+                    self.events.push(ClientEvent::JoinDenied("malformed challenge".into()));
+                }
+            }
+            JoinState::AwaitingAdmission => {
+                if result.starts_with(b"joined:") && result.len() == 15 {
+                    let id = u64::from_be_bytes(result[7..15].try_into().expect("8 bytes"));
+                    self.id = ClientId(id);
+                    // Derive the real session keys for the assigned id and
+                    // distribute them.
+                    self.keys.rekey(self.group_seed, self.id);
+                    self.join = JoinState::Member;
+                    self.timestamp = 0;
+                    self.send_new_key(res);
+                    self.events.push(ClientEvent::Joined(self.id));
+                    self.pump(now_ns, res);
+                } else {
+                    let reason = String::from_utf8_lossy(&result).into_owned();
+                    self.events.push(ClientEvent::JoinDenied(reason));
+                }
+            }
+        }
+    }
+
+    /// Handle a timer firing.
+    pub fn on_timer(&mut self, kind: TimerKind, _now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        match kind {
+            TimerKind::Retransmit => {
+                if let Some(out) = &self.outstanding {
+                    let req = out.req.clone();
+                    let big = out.big;
+                    self.metrics.retransmissions += 1;
+                    self.send_request(&req, big, true, &mut res);
+                    res.outputs.push(Output::SetTimer {
+                        kind: TimerKind::Retransmit,
+                        delay_ns: self.cfg.client_retransmit_ns,
+                    });
+                }
+            }
+            TimerKind::NewKey => {
+                // Blind periodic authenticator retransmission (§2.3).
+                if self.join == JoinState::Member && self.cfg.auth == AuthMode::Macs {
+                    self.send_new_key(&mut res);
+                }
+                res.outputs.push(Output::SetTimer {
+                    kind: TimerKind::NewKey,
+                    delay_ns: self.cfg.newkey_interval_ns,
+                });
+            }
+            _ => {}
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyStore;
+    use crate::types::ReplicaId;
+
+    const SEED: u64 = 0x7e57;
+
+    fn cfg() -> PbftConfig {
+        PbftConfig::default()
+    }
+
+    fn client() -> Client {
+        Client::new_static(cfg(), SEED, ClientId(1), 100)
+    }
+
+    /// Seal a reply as replica `r` would (keys preinstalled for client 1).
+    fn sealed_reply(r: u32, timestamp: u64, result: &[u8], tentative: bool) -> Vec<u8> {
+        let store = KeyStore::new_replica(SEED, ReplicaId(r), 4, &[ClientId(1)]);
+        let msg = Message::Reply(ReplyMsg {
+            view: 0,
+            client: ClientId(1),
+            timestamp,
+            replica: ReplicaId(r),
+            tentative,
+            result: result.to_vec(),
+        });
+        let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(r)), &msg);
+        let mut counts = crate::output::OpCounts::default();
+        let auth = store.seal_to_client(AuthMode::Macs, ClientId(1), &prefix, &mut counts);
+        Envelope::seal(prefix, &auth)
+    }
+
+    #[test]
+    fn submit_sends_to_all_when_big() {
+        let mut c = client();
+        let res = c.submit(vec![0u8; 64], false, 0);
+        // allbig default: multicast to all 4 replicas.
+        assert_eq!(res.sends().count(), 4);
+        assert!(c.has_outstanding());
+    }
+
+    #[test]
+    fn second_submit_queues() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        let res = c.submit(vec![2], false, 0);
+        assert_eq!(res.sends().count(), 0, "one outstanding request per client");
+        assert_eq!(c.queued(), 1);
+    }
+
+    #[test]
+    fn tentative_replies_need_quorum_of_three() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        for r in 0..2u32 {
+            let res = c.handle_packet(&sealed_reply(r, 1, b"ok", true), 1000);
+            drop(res);
+            assert!(c.has_outstanding(), "2 tentative replies are not enough");
+        }
+        let _ = c.handle_packet(&sealed_reply(2, 1, b"ok", true), 2000);
+        assert!(!c.has_outstanding(), "2f+1 matching tentative replies complete");
+        let evs = c.take_events();
+        assert!(matches!(
+            &evs[0],
+            ClientEvent::ReplyDelivered { result, timestamp: 1, .. } if result == b"ok"
+        ));
+        assert_eq!(c.metrics.completed, 1);
+    }
+
+    #[test]
+    fn stable_replies_need_only_f_plus_one() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        let _ = c.handle_packet(&sealed_reply(0, 1, b"ok", false), 1000);
+        assert!(c.has_outstanding());
+        let _ = c.handle_packet(&sealed_reply(1, 1, b"ok", false), 1000);
+        assert!(!c.has_outstanding(), "f+1 stable replies complete");
+    }
+
+    #[test]
+    fn mismatched_results_do_not_complete() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        let _ = c.handle_packet(&sealed_reply(0, 1, b"yes", false), 1000);
+        let _ = c.handle_packet(&sealed_reply(1, 1, b"no", false), 1000);
+        assert!(c.has_outstanding(), "divergent results must not certify");
+        // A second vote for "yes" completes it.
+        let _ = c.handle_packet(&sealed_reply(2, 1, b"yes", false), 1000);
+        assert!(!c.has_outstanding());
+        let evs = c.take_events();
+        assert!(matches!(&evs[0], ClientEvent::ReplyDelivered { result, .. } if result == b"yes"));
+    }
+
+    #[test]
+    fn stale_timestamp_replies_ignored() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        for r in 0..3u32 {
+            let _ = c.handle_packet(&sealed_reply(r, 99, b"ok", true), 1000);
+        }
+        assert!(c.has_outstanding(), "replies for another timestamp ignored");
+    }
+
+    #[test]
+    fn retransmit_goes_to_everyone() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        let res = c.on_timer(TimerKind::Retransmit, 1_000_000);
+        assert_eq!(res.sends().count(), 4);
+        assert_eq!(c.metrics.retransmissions, 1);
+        // Completion cancels the timer and issues the next queued op.
+        let _ = c.submit(vec![2], false, 0);
+        for r in 0..3u32 {
+            let _ = c.handle_packet(&sealed_reply(r, 1, b"ok", true), 2000);
+        }
+        assert!(c.has_outstanding(), "queued op dispatched after completion");
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn newkey_timer_rebroadcasts_keys() {
+        let mut c = client();
+        let res = c.on_timer(TimerKind::NewKey, 0);
+        assert_eq!(res.sends().count(), 4, "blind NewKey to every replica (§2.3)");
+        assert!(res
+            .sends()
+            .all(|(_, env)| matches!(env.msg, Message::NewKey(_))));
+    }
+
+    #[test]
+    fn bad_reply_auth_ignored() {
+        let mut c = client();
+        let _ = c.submit(vec![1], false, 0);
+        // A reply sealed with the wrong deployment seed fails verification.
+        let store = KeyStore::new_replica(SEED ^ 1, ReplicaId(0), 4, &[ClientId(1)]);
+        let msg = Message::Reply(ReplyMsg {
+            view: 0,
+            client: ClientId(1),
+            timestamp: 1,
+            replica: ReplicaId(0),
+            tentative: false,
+            result: b"forged".to_vec(),
+        });
+        let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(0)), &msg);
+        let mut counts = crate::output::OpCounts::default();
+        let auth = store.seal_to_client(AuthMode::Macs, ClientId(1), &prefix, &mut counts);
+        let packet = Envelope::seal(prefix, &auth);
+        let _ = c.handle_packet(&packet, 1000);
+        let _ = c.handle_packet(&sealed_reply(1, 1, b"forged", false), 1000);
+        assert!(c.has_outstanding(), "one bad + one good reply must not certify");
+    }
+
+    #[test]
+    fn dynamic_client_starts_with_join() {
+        let mut c = Client::new_dynamic(cfg(), SEED, 9, 200, b"user:pw".to_vec());
+        assert!(!c.is_member());
+        let res = c.on_start(0);
+        assert!(res
+            .sends()
+            .any(|(_, env)| matches!(&env.msg, Message::Request(r)
+                if matches!(r.op, Operation::JoinPhase1 { .. }))));
+    }
+}

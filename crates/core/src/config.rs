@@ -1,0 +1,253 @@
+//! Protocol configuration — the knobs the paper's Table 1 sweeps.
+
+use crate::types::{ReplicaId, View};
+
+/// How messages are authenticated (the `mac` / `nomac` axis of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthMode {
+    /// MAC authenticators: one fast MAC per receiver ("Using MACs = Yes").
+    Macs,
+    /// Public-key signatures on every protocol message ("Using MACs = No").
+    /// Slow but robust: signatures survive replica restarts and make view
+    /// changes verifiable by third parties.
+    Signatures,
+}
+
+/// Policy for validating the primary's non-deterministic data (paper §2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonDetPolicy {
+    /// Maximum accepted skew between the primary's timestamp and the local
+    /// clock, in nanoseconds.
+    pub validate_window_ns: u64,
+    /// If true, skip timestamp validation while replaying requests during
+    /// recovery — the fix the paper proposes for the replay hazard ("when a
+    /// request is replayed from the log during recovery, the time drift can
+    /// be quite large and validating using a time delta will fail and impede
+    /// the recovery process").
+    pub skip_validation_on_replay: bool,
+}
+
+impl Default for NonDetPolicy {
+    fn default() -> Self {
+        NonDetPolicy {
+            validate_window_ns: 500_000_000, // 500 ms
+            skip_validation_on_replay: true,
+        }
+    }
+}
+
+/// Full protocol configuration.
+///
+/// [`PbftConfig::default`] gives Castro's preferred configuration
+/// (`sta_mac_allbig_batch` in the paper's Table 1): MACs, all requests
+/// treated as big, batching enabled, static membership.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Number of tolerated Byzantine faults.
+    pub f: usize,
+    /// Authentication mode (Table 1 `mac` axis).
+    pub auth: AuthMode,
+    /// Treat every request as big — multicast bodies from clients, digests
+    /// in pre-prepares (Table 1 `allbig` axis; the library default sets the
+    /// big threshold to 0, "resulting in all requests treated as big").
+    pub all_requests_big: bool,
+    /// Size threshold for big-request handling when `all_requests_big` is
+    /// off.
+    pub big_request_threshold: usize,
+    /// Request batching (Table 1 `batch` axis). When off, every request gets
+    /// its own agreement and the congestion window is forced to 1.
+    pub batching: bool,
+    /// Maximum requests folded into one pre-prepare.
+    pub max_batch: usize,
+    /// Congestion window: maximum *agreements* (pre-prepared batches) not
+    /// yet executed before the primary postpones further pre-prepares,
+    /// "giving itself time to catch up on request execution" and then
+    /// including "as many outstanding request messages as possible" in one
+    /// pre-prepare (§2.1). Small values force aggregation under load.
+    pub congestion_window: u64,
+    /// Take a checkpoint every this many sequence numbers.
+    pub checkpoint_interval: u64,
+    /// Log capacity: high watermark = low watermark + `log_size`.
+    pub log_size: u64,
+    /// Dynamic client membership (the paper's extension; Table 1 `sta` /
+    /// `nosta` axis — `nosta` means dynamic enabled).
+    pub dynamic_membership: bool,
+    /// Capacity of the client/session table.
+    pub max_clients: usize,
+    /// Sessions idle longer than this are eligible for cleanup when the
+    /// table is full (paper §3.1).
+    pub session_stale_ns: u64,
+    /// Primary issuance quantum when batching is off, in nanoseconds
+    /// (0 = none). Without batching the original library issues pre-prepares
+    /// from its event-loop tick rather than inline with request arrival;
+    /// this quantum is what clusters all four of Table 1's no-batching rows
+    /// near 1,000 TPS regardless of the crypto mode. Modeled explicitly so
+    /// the ablation benches can turn it off.
+    pub nobatch_issue_tick_ns: u64,
+    /// Execute requests tentatively after prepare, before commit (§2.1).
+    pub tentative_execution: bool,
+    /// Execute read-only requests immediately on arrival (§2.1).
+    pub read_only_optimization: bool,
+    /// Backup timer before suspecting the primary and starting a view
+    /// change, in nanoseconds.
+    pub view_change_timeout_ns: u64,
+    /// Client retransmission timeout, in nanoseconds.
+    pub client_retransmit_ns: u64,
+    /// Interval of the client's blind NewKey (authenticator) retransmission
+    /// — the only mechanism that lets a restarted replica re-learn client
+    /// MAC keys (paper §2.3).
+    pub newkey_interval_ns: u64,
+    /// Interval of the replica status broadcast that drives protocol-message
+    /// retransmission to lagging peers (PBFT's recovery from lost
+    /// replica-to-replica datagrams).
+    pub status_interval_ns: u64,
+    /// Non-determinism validation policy (paper §2.5).
+    pub nondet: NonDetPolicy,
+    /// Optional fix for the §2.4 big-request hazard: fetch missing request
+    /// bodies from peer replicas instead of stalling until the next
+    /// checkpoint. Off by default (the library's behaviour the paper
+    /// documents).
+    pub fetch_missing_bodies: bool,
+}
+
+impl Default for PbftConfig {
+    fn default() -> Self {
+        PbftConfig {
+            f: 1,
+            auth: AuthMode::Macs,
+            all_requests_big: true,
+            big_request_threshold: 8192,
+            batching: true,
+            max_batch: 64,
+            nobatch_issue_tick_ns: 1_000_000,
+            congestion_window: 2,
+            checkpoint_interval: 128,
+            log_size: 256,
+            dynamic_membership: false,
+            max_clients: 64,
+            session_stale_ns: 60_000_000_000, // 60 s
+            tentative_execution: true,
+            read_only_optimization: true,
+            view_change_timeout_ns: 500_000_000, // 500 ms
+            client_retransmit_ns: 150_000_000,   // 150 ms
+            newkey_interval_ns: 2_000_000_000,   // 2 s
+            status_interval_ns: 150_000_000,     // 150 ms
+            nondet: NonDetPolicy::default(),
+            fetch_missing_bodies: false,
+        }
+    }
+}
+
+impl PbftConfig {
+    /// Group size `n = 3f + 1`.
+    pub fn n(&self) -> usize {
+        3 * self.f + 1
+    }
+
+    /// Quorum size `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Weak certificate size `f + 1`.
+    pub fn weak_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// The primary of `view`.
+    pub fn primary_of(&self, view: View) -> ReplicaId {
+        ReplicaId((view % self.n() as u64) as u32)
+    }
+
+    /// Effective batching limit (1 when batching is disabled).
+    pub fn effective_max_batch(&self) -> usize {
+        if self.batching {
+            self.max_batch.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Effective congestion window (1 when batching is disabled — without
+    /// batching the library serializes agreements).
+    pub fn effective_window(&self) -> u64 {
+        if self.batching {
+            self.congestion_window.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Is a request of `size` bytes handled as "big"?
+    pub fn is_big(&self, size: usize) -> bool {
+        self.all_requests_big || size > self.big_request_threshold
+    }
+
+    /// Named Table 1 configuration, e.g. `sta_mac_allbig_batch`.
+    pub fn table1_name(&self) -> String {
+        format!(
+            "{}_{}_{}_{}",
+            if self.dynamic_membership { "nosta" } else { "sta" },
+            if self.auth == AuthMode::Macs { "mac" } else { "nomac" },
+            if self.all_requests_big { "allbig" } else { "noallbig" },
+            if self.batching { "batch" } else { "nobatch" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_arithmetic() {
+        let cfg = PbftConfig { f: 1, ..Default::default() };
+        assert_eq!(cfg.n(), 4);
+        assert_eq!(cfg.quorum(), 3);
+        assert_eq!(cfg.weak_quorum(), 2);
+        let cfg2 = PbftConfig { f: 2, ..Default::default() };
+        assert_eq!(cfg2.n(), 7);
+        assert_eq!(cfg2.quorum(), 5);
+    }
+
+    #[test]
+    fn primary_rotates() {
+        let cfg = PbftConfig { f: 1, ..Default::default() };
+        assert_eq!(cfg.primary_of(0), ReplicaId(0));
+        assert_eq!(cfg.primary_of(1), ReplicaId(1));
+        assert_eq!(cfg.primary_of(4), ReplicaId(0));
+        assert_eq!(cfg.primary_of(7), ReplicaId(3));
+    }
+
+    #[test]
+    fn batching_off_forces_window_one() {
+        let cfg = PbftConfig { batching: false, ..Default::default() };
+        assert_eq!(cfg.effective_window(), 1);
+        assert_eq!(cfg.effective_max_batch(), 1);
+        let on = PbftConfig::default();
+        assert_eq!(on.effective_window(), 2);
+        assert_eq!(on.effective_max_batch(), 64);
+    }
+
+    #[test]
+    fn big_request_rules() {
+        let all = PbftConfig::default();
+        assert!(all.is_big(1));
+        let sel = PbftConfig { all_requests_big: false, ..Default::default() };
+        assert!(!sel.is_big(1024));
+        assert!(sel.is_big(10_000));
+    }
+
+    #[test]
+    fn table1_names() {
+        assert_eq!(PbftConfig::default().table1_name(), "sta_mac_allbig_batch");
+        let robust = PbftConfig {
+            dynamic_membership: true,
+            auth: AuthMode::Signatures,
+            all_requests_big: false,
+            batching: false,
+            ..Default::default()
+        };
+        assert_eq!(robust.table1_name(), "nosta_nomac_noallbig_nobatch");
+    }
+}

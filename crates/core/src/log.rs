@@ -1,0 +1,226 @@
+//! The replica message log: per-sequence agreement state between watermarks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pbft_crypto::Digest;
+
+use crate::messages::PrePrepareMsg;
+use crate::types::{ReplicaId, SeqNum, View};
+
+/// Agreement state for one sequence number.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// The view this entry's pre-prepare belongs to.
+    pub view: View,
+    /// The agreed batch digest.
+    pub digest: Digest,
+    /// The pre-prepare (with inline bodies for non-big requests).
+    pub preprepare: Option<PrePrepareMsg>,
+    /// Replicas whose prepare we hold.
+    pub prepares: BTreeSet<ReplicaId>,
+    /// Replicas whose commit we hold.
+    pub commits: BTreeSet<ReplicaId>,
+    /// 2f prepares + pre-prepare reached.
+    pub prepared: bool,
+    /// 2f+1 commits reached.
+    pub committed: bool,
+    /// Batch has been executed (stable).
+    pub executed: bool,
+    /// Batch was executed tentatively (after prepare, before commit).
+    pub tentative: bool,
+}
+
+impl LogEntry {
+    fn new(view: View, digest: Digest) -> Self {
+        LogEntry {
+            view,
+            digest,
+            preprepare: None,
+            prepares: BTreeSet::new(),
+            commits: BTreeSet::new(),
+            prepared: false,
+            committed: false,
+            executed: false,
+            tentative: false,
+        }
+    }
+}
+
+/// The sequence-indexed log with low/high watermarks.
+#[derive(Debug, Default)]
+pub struct MessageLog {
+    entries: BTreeMap<SeqNum, LogEntry>,
+    /// Low watermark: the last stable checkpoint sequence.
+    pub low: SeqNum,
+    /// Log capacity above the low watermark.
+    pub span: SeqNum,
+}
+
+impl MessageLog {
+    /// Create a log with capacity `span` above the low watermark.
+    pub fn new(span: SeqNum) -> Self {
+        MessageLog { entries: BTreeMap::new(), low: 0, span }
+    }
+
+    /// High watermark.
+    pub fn high(&self) -> SeqNum {
+        self.low + self.span
+    }
+
+    /// Is `seq` inside `(low, high]`?
+    pub fn in_watermarks(&self, seq: SeqNum) -> bool {
+        seq > self.low && seq <= self.high()
+    }
+
+    /// Get or create the entry for `(view, seq, digest)`.
+    ///
+    /// Returns `None` on a *conflicting* digest for an existing `(view,
+    /// seq)` — the Byzantine-primary signal callers must treat as a protocol
+    /// violation.
+    pub fn entry_for(&mut self, seq: SeqNum, view: View, digest: Digest) -> Option<&mut LogEntry> {
+        let e = self
+            .entries
+            .entry(seq)
+            .or_insert_with(|| LogEntry::new(view, digest));
+        if e.view == view && e.digest != digest {
+            return None;
+        }
+        if view > e.view {
+            // Higher view supersedes (view change re-issued this seq).
+            *e = LogEntry::new(view, digest);
+        } else if view < e.view {
+            return None;
+        }
+        Some(e)
+    }
+
+    /// Existing entry for `seq`.
+    pub fn get(&self, seq: SeqNum) -> Option<&LogEntry> {
+        self.entries.get(&seq)
+    }
+
+    /// Existing entry, mutable.
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut LogEntry> {
+        self.entries.get_mut(&seq)
+    }
+
+    /// Iterate entries in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SeqNum, &LogEntry)> {
+        self.entries.iter()
+    }
+
+    /// Iterate entries mutably in sequence order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&SeqNum, &mut LogEntry)> {
+        self.entries.iter_mut()
+    }
+
+    /// Discard entries at or below `stable_seq` and advance the low
+    /// watermark (checkpoint garbage collection).
+    pub fn collect_garbage(&mut self, stable_seq: SeqNum) {
+        self.low = self.low.max(stable_seq);
+        self.entries.retain(|&s, _| s > stable_seq);
+    }
+
+    /// Prepared certificates above `stable_seq` (for view-change messages).
+    pub fn prepared_proofs_above(&self, stable_seq: SeqNum) -> Vec<PrePrepareMsg> {
+        self.entries
+            .iter()
+            .filter(|(&s, e)| s > stable_seq && e.prepared && e.preprepare.is_some())
+            .map(|(_, e)| e.preprepare.clone().expect("filtered on presence"))
+            .collect()
+    }
+
+    /// Drop all entries (used when a view change rebuilds the log from a
+    /// new-view message).
+    pub fn clear_above(&mut self, seq: SeqNum) {
+        self.entries.retain(|&s, _| s <= seq);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(b: u8) -> Digest {
+        Digest::of(&[b])
+    }
+
+    #[test]
+    fn watermarks() {
+        let mut log = MessageLog::new(256);
+        assert!(!log.in_watermarks(0));
+        assert!(log.in_watermarks(1));
+        assert!(log.in_watermarks(256));
+        assert!(!log.in_watermarks(257));
+        log.collect_garbage(128);
+        assert!(!log.in_watermarks(128));
+        assert!(log.in_watermarks(129));
+        assert!(log.in_watermarks(384));
+    }
+
+    #[test]
+    fn conflicting_digest_rejected() {
+        let mut log = MessageLog::new(256);
+        assert!(log.entry_for(5, 0, digest(1)).is_some());
+        assert!(log.entry_for(5, 0, digest(2)).is_none(), "same view, different digest");
+        assert!(log.entry_for(5, 0, digest(1)).is_some(), "same digest fine");
+    }
+
+    #[test]
+    fn higher_view_supersedes() {
+        let mut log = MessageLog::new(256);
+        {
+            let e = log.entry_for(5, 0, digest(1)).expect("create");
+            e.prepares.insert(ReplicaId(1));
+            e.prepared = true;
+        }
+        let e = log.entry_for(5, 1, digest(2)).expect("supersede");
+        assert_eq!(e.view, 1);
+        assert!(!e.prepared, "state reset for the new view");
+        assert!(log.entry_for(5, 0, digest(1)).is_none(), "stale view rejected");
+    }
+
+    #[test]
+    fn garbage_collection_drops_entries() {
+        let mut log = MessageLog::new(256);
+        for s in 1..=10 {
+            log.entry_for(s, 0, digest(s as u8)).expect("create");
+        }
+        assert_eq!(log.len(), 10);
+        log.collect_garbage(7);
+        assert_eq!(log.len(), 3);
+        assert!(log.get(7).is_none());
+        assert!(log.get(8).is_some());
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn prepared_proofs_filtered() {
+        let mut log = MessageLog::new(256);
+        for s in 1..=4u64 {
+            let e = log.entry_for(s, 0, digest(s as u8)).expect("create");
+            if s % 2 == 0 {
+                e.prepared = true;
+                e.preprepare = Some(PrePrepareMsg {
+                    view: 0,
+                    seq: s,
+                    nondet: crate::app::NonDet::default(),
+                    entries: vec![],
+                });
+            }
+        }
+        let proofs = log.prepared_proofs_above(2);
+        assert_eq!(proofs.len(), 1);
+        assert_eq!(proofs[0].seq, 4);
+    }
+}

@@ -1,0 +1,544 @@
+//! Dynamic client membership (paper §3.1).
+//!
+//! The replicated membership tables: the *redirection table* that maps
+//! arbitrary client identifiers to node-table slots, the session table with
+//! per-session last-activity timestamps, and the pending two-phase Join
+//! attempts. All mutations happen during the execution of totally-ordered
+//! Join/Leave system requests with agreed timestamps, so every correct
+//! replica holds identical tables; the tables are serialized into the
+//! library partition of the replicated state region so that checkpoints
+//! cover them and state transfer carries them to recovering replicas.
+
+use std::collections::BTreeMap;
+
+use pbft_crypto::challenge::{make_challenge, verify_response, Challenge, ChallengeResponse};
+use pbft_crypto::{Digest, PublicKey};
+use pbft_state::{PagedState, Section, StateError};
+
+use crate::types::{ClientId, NetAddr, SeqNum};
+use crate::wire::{Dec, Enc, WireError};
+
+/// An active client session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The assigned client identifier.
+    pub client: ClientId,
+    /// Application-level identity bound at authorization time (e.g. user id).
+    pub app_id: Vec<u8>,
+    /// The client's transport address.
+    pub addr: NetAddr,
+    /// The client's public key.
+    pub pubkey: PublicKey,
+    /// Timestamp (primary clock) of the session's last executed request —
+    /// the basis for stale-session cleanup.
+    pub last_active_ns: u64,
+}
+
+/// A phase-one Join awaiting its challenge response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingJoin {
+    /// The deterministic challenge all replicas derived.
+    pub challenge: Challenge,
+    /// The claimed public key.
+    pub pubkey: PublicKey,
+    /// The claimed address (proven by receiving the challenge there).
+    pub addr: NetAddr,
+    /// Client nonce.
+    pub nonce: u64,
+    /// Application identification buffer, checked at phase two.
+    pub idbuf: Vec<u8>,
+}
+
+/// Outcome of a phase-two Join execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// Admitted with this identifier (and possibly a prior session of the
+    /// same application identity was terminated).
+    Joined {
+        /// The newly assigned client id.
+        client: ClientId,
+        /// A previous session of the same identity that was terminated.
+        terminated: Option<ClientId>,
+    },
+    /// Rejected: unknown/expired attempt, bad response, authorization
+    /// failure, or table full with no stale sessions.
+    Denied(&'static str),
+}
+
+/// The membership tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    capacity: usize,
+    next_id: u64,
+    /// Redirection table: client id → slot index. Checked *before*
+    /// authenticator verification ("the system first checks to see if the
+    /// identifier exists in the redirection table before going into the more
+    /// lengthy process of verifying its signature or authenticator").
+    redirection: BTreeMap<ClientId, u32>,
+    slots: Vec<Option<Session>>,
+    pending: BTreeMap<Digest, PendingJoin>,
+}
+
+impl Membership {
+    /// Empty tables with `capacity` session slots.
+    pub fn new(capacity: usize) -> Membership {
+        Membership {
+            capacity,
+            next_id: 1_000, // distinct from the static-configuration id range
+            redirection: BTreeMap::new(),
+            slots: vec![None; capacity],
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Cheap pre-authentication membership check via the redirection table.
+    pub fn contains(&self, client: ClientId) -> bool {
+        self.redirection.contains_key(&client)
+    }
+
+    /// Look up a session.
+    pub fn session(&self, client: ClientId) -> Option<&Session> {
+        let slot = *self.redirection.get(&client)?;
+        self.slots.get(slot as usize)?.as_ref()
+    }
+
+    /// Number of active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Pending join attempts.
+    pub fn pending_joins(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Record a request execution for activity tracking.
+    pub fn touch(&mut self, client: ClientId, now_ns: u64) {
+        if let Some(slot) = self.redirection.get(&client).copied() {
+            if let Some(Some(s)) = self.slots.get_mut(slot as usize) {
+                s.last_active_ns = s.last_active_ns.max(now_ns);
+            }
+        }
+    }
+
+    /// Execute a phase-one Join (totally ordered at `seq`): derive and
+    /// record the challenge. Identical on every correct replica.
+    pub fn phase1(
+        &mut self,
+        pubkey: PublicKey,
+        nonce: u64,
+        addr: NetAddr,
+        idbuf: Vec<u8>,
+        seq: SeqNum,
+    ) -> Challenge {
+        let fp = pubkey.fingerprint();
+        let challenge = make_challenge(&fp, nonce, seq);
+        self.pending.insert(fp, PendingJoin { challenge, pubkey, addr, nonce, idbuf });
+        challenge
+    }
+
+    /// Pending join attempt for a fingerprint (used by replicas to verify
+    /// phase-two signatures).
+    pub fn pending(&self, fingerprint: &Digest) -> Option<&PendingJoin> {
+        self.pending.get(fingerprint)
+    }
+
+    /// Execute a phase-two Join. `authorize` is the application upcall for
+    /// the identification buffer; `now_ns` is the agreed (primary) time used
+    /// for stale cleanup; `stale_ns` is the configured staleness threshold.
+    pub fn phase2(
+        &mut self,
+        fingerprint: &Digest,
+        response: &ChallengeResponse,
+        now_ns: u64,
+        stale_ns: u64,
+        authorize: &mut dyn FnMut(&[u8]) -> Option<Vec<u8>>,
+    ) -> JoinOutcome {
+        let Some(pending) = self.pending.get(fingerprint).cloned() else {
+            return JoinOutcome::Denied("no pending join for fingerprint");
+        };
+        let fp = pending.pubkey.fingerprint();
+        if !verify_response(&pending.challenge, &fp, response) {
+            return JoinOutcome::Denied("bad challenge response");
+        }
+        let Some(app_id) = authorize(&pending.idbuf) else {
+            return JoinOutcome::Denied("authorization rejected");
+        };
+        // Single session per application identity: terminate any prior one.
+        let mut terminated = None;
+        let prior: Vec<ClientId> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.app_id == app_id)
+            .map(|s| s.client)
+            .collect();
+        for c in prior {
+            self.remove(c);
+            terminated = Some(c);
+        }
+        let Some(slot) = self.alloc_slot(now_ns, stale_ns) else {
+            return JoinOutcome::Denied("session table full");
+        };
+        self.pending.remove(fingerprint);
+        let client = ClientId(self.next_id);
+        self.next_id += 1;
+        self.slots[slot as usize] = Some(Session {
+            client,
+            app_id,
+            addr: pending.addr,
+            pubkey: pending.pubkey,
+            last_active_ns: now_ns,
+        });
+        self.redirection.insert(client, slot);
+        JoinOutcome::Joined { client, terminated }
+    }
+
+    /// Execute a Leave: "all further communication with the service is
+    /// prohibited for this client".
+    pub fn leave(&mut self, client: ClientId) -> bool {
+        self.remove(client)
+    }
+
+    fn remove(&mut self, client: ClientId) -> bool {
+        if let Some(slot) = self.redirection.remove(&client) {
+            self.slots[slot as usize] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Find a free slot; when full, run the stale-session cleanup of §3.1
+    /// ("locate all clients with a last executed request older than the
+    /// current join request minus a configurable threshold").
+    fn alloc_slot(&mut self, now_ns: u64, stale_ns: u64) -> Option<u32> {
+        if let Some(i) = self.slots.iter().position(|s| s.is_none()) {
+            return Some(i as u32);
+        }
+        let cutoff = now_ns.saturating_sub(stale_ns);
+        let stale: Vec<ClientId> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.last_active_ns < cutoff)
+            .map(|s| s.client)
+            .collect();
+        if stale.is_empty() {
+            return None; // "If no such stale sessions are found, the new Join request is denied."
+        }
+        for c in stale {
+            self.remove(c);
+        }
+        self.slots.iter().position(|s| s.is_none()).map(|i| i as u32)
+    }
+
+    /// Serialize into the library partition of the state region (with the
+    /// modify-notification the PBFT contract demands).
+    ///
+    /// # Errors
+    /// Propagates [`StateError`] if the section is too small.
+    pub fn persist(&self, section: &Section, state: &mut PagedState) -> Result<(), StateError> {
+        let mut e = Enc::new();
+        e.u32(self.capacity as u32).u64(self.next_id);
+        e.u32(self.slots.len() as u32);
+        for slot in &self.slots {
+            match slot {
+                Some(s) => {
+                    e.u8(1)
+                        .u64(s.client.0)
+                        .bytes(&s.app_id)
+                        .u32(s.addr)
+                        .raw(&s.pubkey.to_bytes())
+                        .u64(s.last_active_ns);
+                }
+                None => {
+                    e.u8(0);
+                }
+            }
+        }
+        e.u32(self.pending.len() as u32);
+        for (fp, p) in &self.pending {
+            e.digest(fp)
+                .digest(&p.challenge.0)
+                .raw(&p.pubkey.to_bytes())
+                .u32(p.addr)
+                .u64(p.nonce)
+                .bytes(&p.idbuf);
+        }
+        let bytes = e.into_bytes();
+        let mut framed = Enc::new();
+        framed.bytes(&bytes);
+        let framed = framed.into_bytes();
+        section.modify(state, 0, framed.len())?;
+        section.write(state, 0, &framed)
+    }
+
+    /// Reload from the library partition (after state transfer). Returns the
+    /// empty table set if the partition has never been persisted.
+    ///
+    /// # Errors
+    /// Propagates [`StateError`] on a section that cannot be read;
+    /// deserialization failures yield [`WireError`].
+    pub fn load(
+        section: &Section,
+        state: &PagedState,
+        capacity: usize,
+    ) -> Result<Membership, WireError> {
+        let mut header = [0u8; 4];
+        if section.read(state, 0, &mut header).is_err() {
+            return Ok(Membership::new(capacity));
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        if len == 0 {
+            return Ok(Membership::new(capacity));
+        }
+        let mut buf = vec![0u8; len];
+        section
+            .read(state, 4, &mut buf)
+            .map_err(|_| WireError::Truncated)?;
+        let mut d = Dec::new(&buf);
+        let cap = d.u32()? as usize;
+        let next_id = d.u64()?;
+        let n_slots = d.u32()? as usize;
+        if n_slots > 1_000_000 {
+            return Err(WireError::BadLength(n_slots as u64));
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        let mut redirection = BTreeMap::new();
+        for i in 0..n_slots {
+            match d.u8()? {
+                0 => slots.push(None),
+                1 => {
+                    let client = ClientId(d.u64()?);
+                    let app_id = d.bytes()?;
+                    let addr = d.u32()?;
+                    let pk: [u8; 16] = d.raw(16)?.try_into().expect("16 bytes");
+                    let last_active_ns = d.u64()?;
+                    redirection.insert(client, i as u32);
+                    slots.push(Some(Session {
+                        client,
+                        app_id,
+                        addr,
+                        pubkey: PublicKey::from_bytes(&pk),
+                        last_active_ns,
+                    }));
+                }
+                t => return Err(WireError::BadTag(t)),
+            }
+        }
+        let n_pending = d.u32()? as usize;
+        if n_pending > 1_000_000 {
+            return Err(WireError::BadLength(n_pending as u64));
+        }
+        let mut pending = BTreeMap::new();
+        for _ in 0..n_pending {
+            let fp = d.digest()?;
+            let challenge = Challenge(d.digest()?);
+            let pk: [u8; 16] = d.raw(16)?.try_into().expect("16 bytes");
+            let addr = d.u32()?;
+            let nonce = d.u64()?;
+            let idbuf = d.bytes()?;
+            pending.insert(
+                fp,
+                PendingJoin { challenge, pubkey: PublicKey::from_bytes(&pk), addr, nonce, idbuf },
+            );
+        }
+        d.finish()?;
+        Ok(Membership { capacity: cap, next_id, redirection, slots, pending })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbft_crypto::challenge::make_response;
+    use pbft_crypto::KeyPair;
+
+    fn pk(seed: u64) -> PublicKey {
+        KeyPair::generate(seed).public()
+    }
+
+    fn join(m: &mut Membership, seed: u64, now: u64) -> JoinOutcome {
+        let pubkey = pk(seed);
+        let fp = pubkey.fingerprint();
+        let ch = m.phase1(pubkey, seed, seed as NetAddr, format!("user{seed}").into_bytes(), 10);
+        let resp = make_response(&ch, &fp);
+        m.phase2(&fp, &resp, now, 1_000, &mut |idbuf| Some(idbuf.to_vec()))
+    }
+
+    #[test]
+    fn two_phase_join_admits() {
+        let mut m = Membership::new(4);
+        match join(&mut m, 1, 100) {
+            JoinOutcome::Joined { client, terminated } => {
+                assert_eq!(client, ClientId(1000));
+                assert_eq!(terminated, None);
+                assert!(m.contains(client));
+                assert_eq!(m.session(client).expect("session").addr, 1);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert_eq!(m.active_sessions(), 1);
+        assert_eq!(m.pending_joins(), 0);
+    }
+
+    #[test]
+    fn wrong_response_denied() {
+        let mut m = Membership::new(4);
+        let pubkey = pk(2);
+        let fp = pubkey.fingerprint();
+        let _ch = m.phase1(pubkey, 7, 3, b"id".to_vec(), 5);
+        let bad = ChallengeResponse(Digest::of(b"forged"));
+        assert_eq!(
+            m.phase2(&fp, &bad, 0, 0, &mut |_| Some(vec![])),
+            JoinOutcome::Denied("bad challenge response")
+        );
+    }
+
+    #[test]
+    fn unknown_fingerprint_denied() {
+        let mut m = Membership::new(4);
+        let resp = ChallengeResponse(Digest::of(b"x"));
+        assert!(matches!(
+            m.phase2(&Digest::of(b"nope"), &resp, 0, 0, &mut |_| Some(vec![])),
+            JoinOutcome::Denied(_)
+        ));
+    }
+
+    #[test]
+    fn authorization_can_reject() {
+        let mut m = Membership::new(4);
+        let pubkey = pk(3);
+        let fp = pubkey.fingerprint();
+        let ch = m.phase1(pubkey, 1, 1, b"bad-credentials".to_vec(), 5);
+        let resp = make_response(&ch, &fp);
+        assert_eq!(
+            m.phase2(&fp, &resp, 0, 0, &mut |_| None),
+            JoinOutcome::Denied("authorization rejected")
+        );
+    }
+
+    #[test]
+    fn same_identity_terminates_previous_session() {
+        let mut m = Membership::new(4);
+        let pubkey = pk(4);
+        let fp = pubkey.fingerprint();
+        let ch = m.phase1(pubkey, 1, 1, b"alice".to_vec(), 5);
+        let resp = make_response(&ch, &fp);
+        let first = match m.phase2(&fp, &resp, 10, 1000, &mut |i| Some(i.to_vec())) {
+            JoinOutcome::Joined { client, .. } => client,
+            o => panic!("{o:?}"),
+        };
+        // Second join with a different key but the same app identity.
+        let pubkey2 = pk(5);
+        let fp2 = pubkey2.fingerprint();
+        let ch2 = m.phase1(pubkey2, 2, 2, b"alice".to_vec(), 6);
+        let resp2 = make_response(&ch2, &fp2);
+        match m.phase2(&fp2, &resp2, 20, 1000, &mut |i| Some(i.to_vec())) {
+            JoinOutcome::Joined { client, terminated } => {
+                assert_eq!(terminated, Some(first));
+                assert!(!m.contains(first), "old session terminated");
+                assert!(m.contains(client));
+            }
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(m.active_sessions(), 1);
+    }
+
+    #[test]
+    fn full_table_cleans_stale_sessions() {
+        let mut m = Membership::new(2);
+        assert!(matches!(join(&mut m, 1, 100), JoinOutcome::Joined { .. }));
+        assert!(matches!(join(&mut m, 2, 200), JoinOutcome::Joined { .. }));
+        assert_eq!(m.active_sessions(), 2);
+        // Table full; both sessions are recent relative to stale_ns=1000 at
+        // now=500 → denied.
+        let pubkey = pk(3);
+        let fp = pubkey.fingerprint();
+        let ch = m.phase1(pubkey, 3, 3, b"user3".to_vec(), 7);
+        let resp = make_response(&ch, &fp);
+        assert_eq!(
+            m.phase2(&fp, &resp, 500, 1_000, &mut |i| Some(i.to_vec())),
+            JoinOutcome::Denied("session table full")
+        );
+        // Much later, both are stale → cleaned, join admitted.
+        let ch = m.phase1(pk(3), 3, 3, b"user3".to_vec(), 8);
+        let resp = make_response(&ch, &pk(3).fingerprint());
+        assert!(matches!(
+            m.phase2(&pk(3).fingerprint(), &resp, 5_000, 1_000, &mut |i| Some(i.to_vec())),
+            JoinOutcome::Joined { .. }
+        ));
+        assert_eq!(m.active_sessions(), 1, "both stale sessions were cleared");
+        let _ = ch;
+    }
+
+    #[test]
+    fn leave_removes_session() {
+        let mut m = Membership::new(4);
+        let client = match join(&mut m, 1, 100) {
+            JoinOutcome::Joined { client, .. } => client,
+            o => panic!("{o:?}"),
+        };
+        assert!(m.leave(client));
+        assert!(!m.contains(client));
+        assert!(!m.leave(client), "second leave is a no-op");
+    }
+
+    #[test]
+    fn touch_updates_last_active() {
+        let mut m = Membership::new(4);
+        let client = match join(&mut m, 1, 100) {
+            JoinOutcome::Joined { client, .. } => client,
+            o => panic!("{o:?}"),
+        };
+        m.touch(client, 900);
+        assert_eq!(m.session(client).expect("session").last_active_ns, 900);
+        m.touch(client, 500); // never goes backwards
+        assert_eq!(m.session(client).expect("session").last_active_ns, 900);
+        m.touch(ClientId(99), 1); // unknown client ignored
+    }
+
+    #[test]
+    fn persist_load_roundtrip() {
+        let mut m = Membership::new(4);
+        let _ = join(&mut m, 1, 100);
+        let _ = join(&mut m, 2, 200);
+        // Leave one pending join in flight.
+        m.phase1(pk(9), 9, 9, b"pending".to_vec(), 33);
+
+        let mut state = PagedState::new(4);
+        let section = Section { base: 0, len: 2 * 4096 };
+        m.persist(&section, &mut state).expect("persist");
+        let loaded = Membership::load(&section, &state, 4).expect("load");
+        assert_eq!(loaded, m);
+    }
+
+    #[test]
+    fn load_from_fresh_state_is_empty() {
+        let state = PagedState::new(2);
+        let section = Section { base: 0, len: 4096 };
+        let m = Membership::load(&section, &state, 8).expect("load");
+        assert_eq!(m.active_sessions(), 0);
+        assert_eq!(m.pending_joins(), 0);
+    }
+
+    #[test]
+    fn identical_operations_identical_tables() {
+        // The determinism property every replica relies on.
+        let mut a = Membership::new(4);
+        let mut b = Membership::new(4);
+        for m in [&mut a, &mut b] {
+            let _ = join(m, 1, 100);
+            let _ = join(m, 2, 200);
+            m.touch(ClientId(1000), 300);
+        }
+        assert_eq!(a, b);
+        let mut sa = PagedState::new(2);
+        let mut sb = PagedState::new(2);
+        let sec = Section { base: 0, len: 4096 };
+        a.persist(&sec, &mut sa).expect("persist");
+        b.persist(&sec, &mut sb).expect("persist");
+        assert_eq!(sa.refresh_digest(), sb.refresh_digest());
+    }
+}

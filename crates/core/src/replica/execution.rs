@@ -1,0 +1,679 @@
+//! Normal-case ordering and execution: batching, the 3-phase agreement,
+//! tentative execution, checkpoints, and the big-request hazard of §2.4.
+
+use pbft_crypto::{Digest, Sha256};
+
+use crate::app::NonDet;
+use crate::membership::JoinOutcome;
+use crate::messages::{
+    BatchEntry, BodyFetchMsg, CheckpointMsg, CommitMsg, Message, Operation, PrePrepareMsg,
+    PrepareMsg, ReplyMsg, RequestMsg,
+};
+use crate::output::{HandleResult, NetTarget, Output, TimerKind};
+use crate::types::{ClientId, ReplicaId, SeqNum};
+
+use super::Replica;
+
+impl Replica {
+    /// Agreements assigned but not yet executed (the congestion-window
+    /// gauge).
+    pub(crate) fn requests_in_flight(&self) -> u64 {
+        self.log
+            .iter()
+            .filter(|(&s, e)| s > self.last_executed && !e.executed && e.preprepare.is_some())
+            .count() as u64
+    }
+
+    /// Primary: issue pre-prepares while the congestion window allows.
+    pub(crate) fn try_issue(&mut self, now_ns: u64, res: &mut HandleResult) {
+        if !self.is_primary() {
+            return;
+        }
+        let window = self.cfg.effective_window();
+        let max_batch = self.cfg.effective_max_batch();
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            let in_flight = self.requests_in_flight();
+            if in_flight >= window {
+                // Postpone: give ourselves time to catch up on execution
+                // (§2.1); re-examine shortly even if no event intervenes.
+                res.outputs.push(Output::SetTimer {
+                    kind: TimerKind::BatchKick,
+                    delay_ns: 1_000_000,
+                });
+                return;
+            }
+            let seq = self.seq_assign + 1;
+            if !self.log.in_watermarks(seq) {
+                // Wait for a checkpoint to advance the window. Nothing else
+                // is guaranteed to call back into `try_issue` once the low
+                // watermark moves (the clients are all blocked on us), so
+                // poll — otherwise the primary wedges at the high watermark
+                // until a backup's view-change timer "recovers" it.
+                res.outputs.push(Output::SetTimer {
+                    kind: TimerKind::BatchKick,
+                    delay_ns: 1_000_000,
+                });
+                return;
+            }
+            if !self.cfg.batching && self.cfg.nobatch_issue_tick_ns > 0 {
+                // Without batching the original library issues agreements
+                // from its event-loop tick; pace accordingly.
+                let since = now_ns.saturating_sub(self.last_issue_ns);
+                if since < self.cfg.nobatch_issue_tick_ns {
+                    res.outputs.push(Output::SetTimer {
+                        kind: TimerKind::BatchKick,
+                        delay_ns: self.cfg.nobatch_issue_tick_ns - since,
+                    });
+                    return;
+                }
+            }
+            let take = self.pending.len().min(max_batch);
+            let mut entries = Vec::with_capacity(take);
+            for _ in 0..take {
+                let req = self.pending.pop_front().expect("non-empty");
+                let digest = req.digest();
+                self.pending_digests.remove(&digest);
+                let big = self.cfg.is_big(req.encoded_len());
+                if big {
+                    self.bodies.insert(digest, req.clone());
+                }
+                entries.push(BatchEntry {
+                    digest,
+                    client: req.client,
+                    timestamp: req.timestamp,
+                    full: if big { None } else { Some(req) },
+                });
+            }
+            // Non-determinism upcall: the primary attaches its clock and a
+            // random value (deterministically derived here so simulations
+            // reproduce).
+            let random = Digest::of_parts(&[b"nondet", &seq.to_be_bytes()]).prefix_u64();
+            let nondet = self.app.make_nondet(now_ns, random);
+            self.last_issue_ns = now_ns;
+            let pp = PrePrepareMsg { view: self.view, seq, nondet, entries };
+            let digest = pp.batch_digest();
+            res.counts.digest_bytes += 64 + 48 * pp.entries.len() as u64;
+            self.seq_assign = seq;
+            if let Some(e) = self.log.entry_for(seq, self.view, digest) {
+                e.preprepare = Some(pp.clone());
+            }
+            self.stash_inline_bodies(&pp);
+            self.multicast(Message::PrePrepare(pp), res);
+            // The primary's pre-prepare counts as its prepare; check whether
+            // f = 0 degenerate groups can progress immediately.
+            self.update_prepared(seq, now_ns, res);
+        }
+    }
+
+    pub(crate) fn stash_inline_bodies(&mut self, pp: &PrePrepareMsg) {
+        for e in &pp.entries {
+            if let Some(req) = &e.full {
+                self.bodies.insert(e.digest, req.clone());
+            }
+        }
+    }
+
+    /// Accept a pre-prepare from the primary. `replaying` marks re-issued
+    /// pre-prepares (view changes, recovery) whose timestamp validation
+    /// follows the §2.5 replay policy.
+    pub(crate) fn on_preprepare(
+        &mut self,
+        pp: PrePrepareMsg,
+        now_ns: u64,
+        replaying: bool,
+        res: &mut HandleResult,
+    ) {
+        if self.in_view_change || pp.view != self.view {
+            return;
+        }
+        if !self.log.in_watermarks(pp.seq) {
+            return;
+        }
+        // Non-determinism validation (§2.5). Replayed pre-prepares carry old
+        // timestamps; whether to skip validation then is the configurable
+        // fix the paper discusses. Retransmissions of already-seen sequence
+        // numbers are replays by definition.
+        let replay_like = replaying || self.recovering || pp.seq <= self.max_pp_seen;
+        self.max_pp_seen = self.max_pp_seen.max(pp.seq);
+        let skip = replay_like && self.cfg.nondet.skip_validation_on_replay;
+        if !skip
+            && !self
+                .app
+                .validate_nondet(&pp.nondet, now_ns, self.cfg.nondet.validate_window_ns)
+        {
+            self.metrics.nondet_validation_failures += 1;
+            return;
+        }
+        let digest = pp.batch_digest();
+        res.counts.digest_bytes += 64 + 48 * pp.entries.len() as u64;
+        let me_primary = self.is_primary();
+        match self.log.entry_for(pp.seq, pp.view, digest) {
+            Some(e) => {
+                if e.preprepare.is_some() {
+                    return; // duplicate
+                }
+                e.preprepare = Some(pp.clone());
+            }
+            None => {
+                // Conflicting assignment for (view, seq): Byzantine primary.
+                self.start_view_change(self.view + 1, now_ns, res);
+                return;
+            }
+        }
+        self.stash_inline_bodies(&pp);
+        self.arm_vc_timer(res);
+        if !me_primary {
+            let me = self.id();
+            let prepare = PrepareMsg { view: pp.view, seq: pp.seq, digest, replica: me };
+            if let Some(e) = self.log.get_mut(pp.seq) {
+                e.prepares.insert(me);
+            }
+            self.multicast(Message::Prepare(prepare), res);
+        }
+        self.update_prepared(pp.seq, now_ns, res);
+    }
+
+    pub(crate) fn on_prepare(&mut self, p: PrepareMsg, now_ns: u64, res: &mut HandleResult) {
+        if self.in_view_change || p.view != self.view || !self.log.in_watermarks(p.seq) {
+            return;
+        }
+        if p.replica == self.cfg.primary_of(p.view) {
+            return; // the primary never sends prepares
+        }
+        let Some(e) = self.log.entry_for(p.seq, p.view, p.digest) else {
+            return; // digest conflict: ignore the minority vote
+        };
+        e.prepares.insert(p.replica);
+        self.update_prepared(p.seq, now_ns, res);
+    }
+
+    /// prepared(m, v, n, i): pre-prepare logged + 2f prepares from distinct
+    /// backups (the pre-prepare stands in for the primary's prepare).
+    pub(crate) fn update_prepared(&mut self, seq: SeqNum, now_ns: u64, res: &mut HandleResult) {
+        let needed = 2 * self.cfg.f;
+        let Some(e) = self.log.get_mut(seq) else { return };
+        if e.prepared || e.preprepare.is_none() {
+            return;
+        }
+        // 2f prepares from distinct backups; the pre-prepare stands in for
+        // the primary's prepare (so the primary also waits for 2f backups,
+        // while a backup's own prepare is already in the set).
+        let primary = self.cfg.primary_of(e.view);
+        let backup_prepares = e.prepares.iter().filter(|&&r| r != primary).count();
+        if backup_prepares < needed {
+            return;
+        }
+        e.prepared = true;
+        let digest = e.digest;
+        let view = e.view;
+        let me = self.id();
+        let commit = CommitMsg { view, seq, digest, replica: me };
+        if let Some(e) = self.log.get_mut(seq) {
+            e.commits.insert(me);
+        }
+        self.multicast(Message::Commit(commit), res);
+        if self.cfg.tentative_execution {
+            self.try_execute(now_ns, res);
+        }
+        self.update_committed(seq, now_ns, res);
+    }
+
+    pub(crate) fn on_commit(&mut self, c: CommitMsg, now_ns: u64, res: &mut HandleResult) {
+        if self.in_view_change || c.view != self.view || !self.log.in_watermarks(c.seq) {
+            return;
+        }
+        let Some(e) = self.log.entry_for(c.seq, c.view, c.digest) else {
+            return;
+        };
+        e.commits.insert(c.replica);
+        self.update_committed(c.seq, now_ns, res);
+    }
+
+    /// committed-local: prepared + 2f+1 commits.
+    pub(crate) fn update_committed(&mut self, seq: SeqNum, now_ns: u64, res: &mut HandleResult) {
+        let quorum = self.cfg.quorum();
+        let Some(e) = self.log.get_mut(seq) else { return };
+        if e.committed || !e.prepared || e.commits.len() < quorum {
+            return;
+        }
+        e.committed = true;
+        let was_tentative = e.executed && e.tentative;
+        if was_tentative {
+            // Tentative execution confirmed; upgrade the cached replies so a
+            // client retransmission collects *stable* replies (f+1 suffice).
+            e.tentative = false;
+            let entries: Vec<(ClientId, u64)> = e
+                .preprepare
+                .iter()
+                .flat_map(|pp| pp.entries.iter().map(|en| (en.client, en.timestamp)))
+                .collect();
+            for (client, ts) in entries {
+                if let Some(reply) = self.last_reply.get_mut(&client) {
+                    if reply.timestamp == ts {
+                        reply.tentative = false;
+                    }
+                }
+            }
+        }
+        self.try_execute(now_ns, res);
+        // A commit may clear the tentative hole that deferred an interval
+        // boundary's checkpoint; retry every pending boundary.
+        self.try_pending_checkpoints(res);
+    }
+
+    /// Take any interval-boundary checkpoints that became eligible (all
+    /// batches up to the boundary committed and executed).
+    pub(crate) fn try_pending_checkpoints(&mut self, res: &mut HandleResult) {
+        let interval = self.cfg.checkpoint_interval;
+        let mut b = (self.stable.0 / interval + 1) * interval;
+        while b <= self.last_executed {
+            self.maybe_checkpoint(b, res);
+            b += interval;
+        }
+    }
+
+    /// Execute every ready batch in sequence order. A batch is ready when it
+    /// is committed (or prepared, under tentative execution) *and* every
+    /// request body is available — the §2.4 hazard is exactly a body that
+    /// never arrives, wedging this loop until checkpoint-based recovery.
+    pub(crate) fn try_execute(&mut self, now_ns: u64, res: &mut HandleResult) {
+        if self.fetch.is_some() {
+            // A checkpoint transfer is rewriting the state region. Executing
+            // on top of pages the tree walk is still comparing would both
+            // corrupt the walk (stale local digests) and leave the region at
+            // neither the checkpoint nor any executed prefix. Defer; the
+            // transfer completion re-enters this loop.
+            return;
+        }
+        loop {
+            let seq = self.last_executed + 1;
+            let Some(e) = self.log.get(seq) else { break };
+            let Some(pp) = e.preprepare.clone() else { break };
+            if e.executed {
+                break;
+            }
+            let committed = e.committed;
+            let tentative_ok = self.cfg.tentative_execution && e.prepared;
+            if !committed && !tentative_ok {
+                break;
+            }
+            // Check body availability.
+            let missing: Vec<Digest> = pp
+                .entries
+                .iter()
+                .filter(|en| !matches!(en.full, Some(_)) && !self.bodies.contains_key(&en.digest))
+                .map(|en| en.digest)
+                .collect();
+            if !missing.is_empty() {
+                self.metrics.stuck_missing_body += 1;
+                if self.cfg.fetch_missing_bodies {
+                    for d in missing {
+                        let msg = Message::BodyFetch(BodyFetchMsg { digest: d, replica: self.id() });
+                        self.multicast(msg, res);
+                    }
+                    res.outputs.push(Output::SetTimer {
+                        kind: TimerKind::FetchRetry,
+                        delay_ns: 50_000_000,
+                    });
+                }
+                break;
+            }
+            self.execute_batch(&pp, committed, now_ns, res);
+            let e = self.log.get_mut(seq).expect("entry exists");
+            e.executed = true;
+            e.tentative = !committed;
+            if !committed {
+                self.metrics.tentative_executions += 1;
+            }
+            self.last_executed = seq;
+            self.metrics.batches_executed += 1;
+            self.maybe_checkpoint(seq, res);
+        }
+        // Execution may have freed congestion-window room.
+        if self.is_primary() && !self.pending.is_empty() {
+            self.try_issue(now_ns, res);
+        }
+    }
+
+    pub(crate) fn execute_batch(
+        &mut self,
+        pp: &PrePrepareMsg,
+        committed: bool,
+        _now_ns: u64,
+        res: &mut HandleResult,
+    ) {
+        let mut membership_dirty = false;
+        for entry in &pp.entries {
+            let req = match &entry.full {
+                Some(r) => r.clone(),
+                None => self.bodies.get(&entry.digest).expect("checked above").clone(),
+            };
+            self.observed.remove(&entry.digest);
+            let reply_body = self.execute_one(&req, &pp.nondet, &mut membership_dirty, res);
+            self.last_req_ts.insert(req.client, req.timestamp);
+            if let Some(result) = reply_body {
+                let reply = ReplyMsg {
+                    view: self.view,
+                    client: req.client,
+                    timestamp: req.timestamp,
+                    replica: self.id(),
+                    tentative: !committed,
+                    result,
+                };
+                let addr = self.client_addr.get(&req.client).copied().unwrap_or(req.reply_addr);
+                self.send_reply(reply, addr, res);
+            }
+            res.counts.requests_executed += 1;
+            self.metrics.executed_requests += 1;
+        }
+        if membership_dirty {
+            self.persist_membership();
+        }
+        // Extend the execution-order commitment.
+        let mut h = Sha256::new();
+        h.update(self.exec_chain.as_bytes());
+        h.update(&pp.seq.to_be_bytes());
+        h.update(pp.batch_digest().as_bytes());
+        self.exec_chain = h.finish();
+    }
+
+    fn execute_one(
+        &mut self,
+        req: &RequestMsg,
+        nondet: &NonDet,
+        membership_dirty: &mut bool,
+        res: &mut HandleResult,
+    ) -> Option<Vec<u8>> {
+        match &req.op {
+            Operation::Noop => None,
+            Operation::App(op) => {
+                if let Some(m) = self.membership.as_mut() {
+                    m.touch(req.client, nondet.timestamp_ns);
+                    *membership_dirty = true;
+                }
+                let mut ctx =
+                    crate::session::SessionCtx::new(&mut self.sessions, req.client, false);
+                let (result, exec) =
+                    self.app.execute_with_session(req.client, op, nondet, false, &mut ctx);
+                if ctx.is_dirty() {
+                    self.persist_sessions();
+                }
+                res.counts.exec_cpu_us += exec.cpu_us;
+                res.counts.disk_flushes += exec.disk_flushes;
+                res.counts.disk_write_bytes += exec.disk_write_bytes;
+                Some(result)
+            }
+            Operation::JoinPhase1 { pubkey, nonce, reply_addr, idbuf } => {
+                let m = self.membership.as_mut()?;
+                let challenge = m.phase1(*pubkey, *nonce, *reply_addr, idbuf.clone(), req.timestamp);
+                *membership_dirty = true;
+                self.client_addr.insert(req.client, *reply_addr);
+                Some(challenge.0.as_bytes().to_vec())
+            }
+            Operation::JoinPhase2 { fingerprint, response } => {
+                let stale = self.cfg.session_stale_ns;
+                let app = &mut self.app;
+                let m = self.membership.as_mut()?;
+                let outcome = m.phase2(fingerprint, response, nondet.timestamp_ns, stale, &mut |idbuf| {
+                    app.authorize_join(idbuf)
+                });
+                *membership_dirty = true;
+                match outcome {
+                    JoinOutcome::Joined { client, terminated } => {
+                        if let Some(t) = terminated {
+                            self.keys.remove_client(t);
+                            // The terminated session's library-managed state
+                            // dies with it (§3.3.2).
+                            if self.sessions.remove(t) {
+                                self.persist_sessions();
+                            }
+                        }
+                        if let Some(s) = self.membership.as_ref().and_then(|m| m.session(client)) {
+                            let (pk, addr) = (s.pubkey, s.addr);
+                            self.keys.install_client_pubkey(client, pk);
+                            self.client_addr.insert(client, addr);
+                        }
+                        let mut out = b"joined:".to_vec();
+                        out.extend_from_slice(&client.0.to_be_bytes());
+                        Some(out)
+                    }
+                    JoinOutcome::Denied(reason) => {
+                        let mut out = b"denied:".to_vec();
+                        out.extend_from_slice(reason.as_bytes());
+                        Some(out)
+                    }
+                }
+            }
+            Operation::Leave => {
+                if let Some(m) = self.membership.as_mut() {
+                    m.leave(req.client);
+                    *membership_dirty = true;
+                }
+                self.keys.remove_client(req.client);
+                if self.sessions.remove(req.client) {
+                    self.persist_sessions();
+                }
+                Some(b"left".to_vec())
+            }
+        }
+    }
+
+    pub(crate) fn persist_sessions(&mut self) {
+        let mut st = self.state.borrow_mut();
+        // The session section is sized for MAX_SESSION_BYTES x the client
+        // table capacity; persistence failure would be a configuration bug.
+        self.sessions
+            .persist(&self.session_section, &mut st)
+            .expect("session section large enough for the session table");
+    }
+
+    pub(crate) fn persist_membership(&mut self) {
+        if let Some(m) = &self.membership {
+            let mut st = self.state.borrow_mut();
+            // The library partition is sized for the configured table
+            // capacity; persistence failure would be a configuration bug.
+            m.persist(&self.lib_section, &mut st)
+                .expect("library partition large enough for membership tables");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints (§2.1)
+    // ------------------------------------------------------------------
+
+    /// Take a checkpoint when `seq` is an interval boundary and its batch is
+    /// committed and executed.
+    pub(crate) fn maybe_checkpoint(&mut self, seq: SeqNum, res: &mut HandleResult) {
+        if seq % self.cfg.checkpoint_interval != 0 {
+            return;
+        }
+        if self.checkpoints.contains_key(&seq) {
+            return;
+        }
+        let ready = self
+            .log
+            .get(seq)
+            .map(|e| e.executed && e.committed)
+            .unwrap_or(false);
+        if !ready || self.last_executed < seq {
+            return;
+        }
+        // All batches up to seq must be committed-executed (no tentative
+        // holes below the checkpoint).
+        let tentative_below = self
+            .log
+            .iter()
+            .any(|(&s, e)| s <= seq && e.executed && e.tentative);
+        if tentative_below {
+            return;
+        }
+        let root = {
+            let mut st = self.state.borrow_mut();
+            let root = st.refresh_digest();
+            res.counts.pages_hashed += st.last_refresh_hashed();
+            root
+        };
+        let snap = self.state.borrow().snapshot(seq);
+        self.checkpoints.insert(seq, snap);
+        self.checkpoint_chain.insert(seq, self.exec_chain);
+        self.checkpoint_chain.retain(|s, _| self.checkpoints.contains_key(s));
+        self.metrics.checkpoints_taken += 1;
+        let me = self.id();
+        let msg = CheckpointMsg { seq, root, replica: me };
+        self.ckpt_votes.entry((seq, root)).or_default().insert(me);
+        self.multicast(Message::Checkpoint(msg), res);
+        self.maybe_stabilize(seq, root, res);
+    }
+
+    pub(crate) fn on_checkpoint(
+        &mut self,
+        c: CheckpointMsg,
+        _now_ns: u64,
+        res: &mut HandleResult,
+    ) {
+        if c.seq <= self.stable.0 {
+            return;
+        }
+        self.ckpt_votes.entry((c.seq, c.root)).or_default().insert(c.replica);
+        self.maybe_stabilize(c.seq, c.root, res);
+    }
+
+    pub(crate) fn maybe_stabilize(&mut self, seq: SeqNum, root: Digest, res: &mut HandleResult) {
+        let votes = self.ckpt_votes.get(&(seq, root)).map_or(0, |v| v.len());
+        if votes < self.cfg.quorum() || seq <= self.stable.0 {
+            return;
+        }
+        self.stable = (seq, root);
+        self.log.collect_garbage(seq);
+        self.ckpt_votes.retain(|&(s, _), _| s > seq);
+        self.checkpoints.retain(|&s, _| s >= seq);
+        self.prune_bodies();
+        // Divergence / lag detection: if we have not executed up to `seq`
+        // (wedged on a missing body §2.4, restarted §2.3, or plain lagging),
+        // or if we took a checkpoint at `seq` whose digest differs from the
+        // certificate, start a state transfer — "the recovery process
+        // commence[s] on the next checkpoint". A replica that executed past
+        // `seq` tentatively simply adopts the certificate: its own commits
+        // will confirm the tentative prefix.
+        let mine = self.checkpoints.get(&seq).map(|s| s.root);
+        let behind = self.last_executed < seq && mine != Some(root);
+        let diverged = mine.is_some() && mine != Some(root);
+        if behind || diverged {
+            self.start_state_transfer(seq, root, res);
+        }
+    }
+
+    /// Drop stored bodies that no live log entry references. Executed
+    /// entries above the stable checkpoint still count: a view-change
+    /// rollback may need to re-execute them.
+    fn prune_bodies(&mut self) {
+        let referenced: std::collections::HashSet<Digest> = self
+            .log
+            .iter()
+            .flat_map(|(_, e)| e.preprepare.iter().flat_map(|pp| pp.entries.iter().map(|en| en.digest)))
+            .collect();
+        // Keep bodies that a live log entry references *or* that belong to a
+        // request not yet executed for its client (pending in the batching
+        // queue or observed but not yet pre-prepared) — dropping those would
+        // wedge execution exactly like a §2.4 packet loss.
+        let last_ts = &self.last_req_ts;
+        self.bodies.retain(|d, req| {
+            referenced.contains(d)
+                || req.timestamp > last_ts.get(&req.client).copied().unwrap_or(0)
+        });
+        self.pending_digests
+            .retain(|d| referenced.contains(d) || self.pending.iter().any(|r| r.digest() == *d));
+        // Observed requests already executed under a different digest path
+        // are dropped via the per-client timestamp.
+        let last_ts = &self.last_req_ts;
+        self.observed
+            .retain(|_, r| r.timestamp > last_ts.get(&r.client).copied().unwrap_or(0));
+    }
+
+    // ------------------------------------------------------------------
+    // Missing-body fetch (the §2.4 fix, off by default)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_body_fetch(&mut self, bf: BodyFetchMsg, res: &mut HandleResult) {
+        if let Some(req) = self.bodies.get(&bf.digest) {
+            self.send_plain(
+                NetTarget::Replica(bf.replica),
+                Message::BodyResp(req.clone()),
+                res,
+            );
+        }
+    }
+
+    pub(crate) fn on_body_resp(&mut self, req: RequestMsg, now_ns: u64, res: &mut HandleResult) {
+        let digest = req.digest();
+        res.counts.digest_bytes += req.encoded_len() as u64;
+        // Only accept bodies an unexecuted log entry actually references
+        // (digest-validated, so no authentication needed).
+        let wanted = self.log.iter().any(|(_, e)| {
+            !e.executed
+                && e.preprepare
+                    .as_ref()
+                    .is_some_and(|pp| pp.entries.iter().any(|en| en.digest == digest))
+        });
+        if wanted {
+            self.bodies.insert(digest, req);
+            self.try_execute(now_ns, res);
+        }
+    }
+
+    pub(crate) fn on_fetch_retry(&mut self, res: &mut HandleResult) {
+        self.retry_fetch(res);
+    }
+
+    /// Used by the recovery module as well.
+    pub(crate) fn retry_fetch(&mut self, res: &mut HandleResult) {
+        let Some(f) = &mut self.fetch else { return };
+        f.attempt += 1;
+        let peer = f.peers[f.attempt % f.peers.len()];
+        let target_seq = f.target_seq;
+        let reqs = f.outstanding.clone();
+        for req in reqs {
+            let msg = Message::Fetch(crate::messages::FetchMsg {
+                target_seq,
+                req,
+                replica: self.id(),
+            });
+            self.send_plain(NetTarget::Replica(peer), msg, res);
+        }
+        res.outputs.push(Output::SetTimer {
+            kind: TimerKind::FetchRetry,
+            delay_ns: 100_000_000,
+        });
+    }
+
+    /// Replicas the harness can ask about (tests).
+    pub fn body_store_len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Last reply cached for a client (tests).
+    pub fn cached_reply(&self, client: ClientId) -> Option<&ReplyMsg> {
+        self.last_reply.get(&client)
+    }
+
+    /// Number of checkpoints currently retained.
+    pub fn retained_checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Peers that voted for the current stable checkpoint (transfer sources).
+    pub(crate) fn checkpoint_peers(&self, seq: SeqNum, root: Digest) -> Vec<ReplicaId> {
+        self.ckpt_votes
+            .get(&(seq, root))
+            .map(|v| v.iter().copied().filter(|&r| r != self.id()).collect())
+            .unwrap_or_else(|| {
+                (0..self.cfg.n() as u32)
+                    .map(ReplicaId)
+                    .filter(|&r| r != self.id())
+                    .collect()
+            })
+    }
+}

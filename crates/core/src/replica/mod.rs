@@ -1,0 +1,804 @@
+//! The PBFT replica engine (sans-io).
+//!
+//! One [`Replica`] value is the complete protocol state machine for one
+//! group member: feed it packets and timer firings, collect sends and timer
+//! arms. Submodules: [`execution`] (ordering → execution → checkpoints),
+//! [`viewchange`] (primary failover) and [`recovery`] (status exchange and
+//! state transfer).
+
+mod execution;
+mod recovery;
+mod viewchange;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use pbft_crypto::Digest;
+use pbft_state::{Fetcher, FetchRequest, Section, Snapshot};
+
+use crate::app::{App, NonDet, StateHandle};
+use crate::config::PbftConfig;
+use crate::keys::KeyStore;
+use crate::log::MessageLog;
+use crate::membership::Membership;
+use crate::messages::{
+    AuthTag, Envelope, Message, NewKeyMsg, ReplyMsg, RequestMsg, Sender, StatusMsg,
+    ViewChangeMsg,
+};
+use crate::output::{HandleResult, NetTarget, Output, TimerKind};
+use crate::types::{ClientId, NetAddr, ReplicaId, SeqNum, View};
+
+/// Pages holding the membership tables at the front of the state region.
+pub const MEMBERSHIP_PAGES: u64 = 4;
+
+/// Pages holding the per-session state table (the §3.3.2 subsystem), after
+/// the membership pages.
+pub const SESSION_PAGES: u64 = 4;
+
+/// Pages reserved at the front of the state region for the library partition
+/// (membership tables + session state). The application partition starts
+/// after them.
+pub const LIB_REGION_PAGES: u64 = MEMBERSHIP_PAGES + SESSION_PAGES;
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaMetrics {
+    /// Requests whose execution completed (including tentative).
+    pub executed_requests: u64,
+    /// Batches executed.
+    pub batches_executed: u64,
+    /// Batches executed tentatively (before commit).
+    pub tentative_executions: u64,
+    /// Times execution stalled on a missing big-request body (§2.4).
+    pub stuck_missing_body: u64,
+    /// State transfers started.
+    pub state_transfers_started: u64,
+    /// State transfers completed.
+    pub state_transfers_completed: u64,
+    /// View changes this replica voted for.
+    pub view_changes_started: u64,
+    /// New views entered.
+    pub new_views_entered: u64,
+    /// Messages dropped for failed authentication (includes the restarted-
+    /// replica authenticator losses of §2.3).
+    pub auth_failures: u64,
+    /// Pre-prepares rejected by non-determinism validation (§2.5).
+    pub nondet_validation_failures: u64,
+    /// Checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Read-only requests served via the fast path.
+    pub read_only_served: u64,
+    /// Malformed packets dropped.
+    pub decode_failures: u64,
+    /// Requests re-replied from the last-reply cache.
+    pub duplicate_requests: u64,
+}
+
+/// An in-progress state transfer.
+pub(crate) struct FetchState {
+    pub target_seq: SeqNum,
+    pub target_root: Digest,
+    pub fetcher: Fetcher,
+    pub peers: Vec<ReplicaId>,
+    pub attempt: usize,
+    pub outstanding: Vec<FetchRequest>,
+}
+
+/// View-change vote collection.
+#[derive(Default)]
+pub(crate) struct ViewChangeState {
+    /// Votes per proposed view.
+    pub votes: BTreeMap<View, BTreeMap<ReplicaId, ViewChangeMsg>>,
+    /// The view this replica is currently trying to install (when in a view
+    /// change).
+    pub target: Option<View>,
+}
+
+/// The PBFT replica state machine. See the crate docs for the driving
+/// contract.
+pub struct Replica {
+    pub(crate) cfg: PbftConfig,
+    pub(crate) keys: KeyStore,
+    pub(crate) state: StateHandle,
+    pub(crate) app: Box<dyn App>,
+    pub(crate) lib_section: Section,
+
+    pub(crate) view: View,
+    pub(crate) in_view_change: bool,
+    pub(crate) seq_assign: SeqNum,
+    pub(crate) log: MessageLog,
+    pub(crate) last_executed: SeqNum,
+    /// Highest pre-prepare sequence seen; anything at or below is a
+    /// retransmission/replay for non-determinism validation purposes (§2.5).
+    pub(crate) max_pp_seen: SeqNum,
+
+    /// Primary-side batching queue and assignment dedupe.
+    pub(crate) pending: VecDeque<RequestMsg>,
+    pub(crate) pending_digests: HashSet<Digest>,
+    pub(crate) assigned_ts: HashMap<ClientId, u64>,
+
+    /// Big-request body store, keyed by request digest (§2.1/§2.4).
+    pub(crate) bodies: HashMap<Digest, RequestMsg>,
+
+    /// Requests observed (as a backup) but not yet executed — the basis for
+    /// primary suspicion, and re-queued if this replica becomes primary.
+    pub(crate) observed: BTreeMap<Digest, RequestMsg>,
+
+    /// Per-client last executed timestamp and cached reply.
+    pub(crate) last_req_ts: HashMap<ClientId, u64>,
+    pub(crate) last_reply: HashMap<ClientId, ReplyMsg>,
+    pub(crate) client_addr: HashMap<ClientId, NetAddr>,
+
+    /// Own checkpoints (serving state transfer) and votes.
+    pub(crate) checkpoints: BTreeMap<SeqNum, Snapshot>,
+    /// Execution-chain value at each retained checkpoint (for rollback).
+    pub(crate) checkpoint_chain: BTreeMap<SeqNum, Digest>,
+    pub(crate) ckpt_votes: BTreeMap<(SeqNum, Digest), std::collections::BTreeSet<ReplicaId>>,
+    pub(crate) stable: (SeqNum, Digest),
+
+    pub(crate) fetch: Option<FetchState>,
+    pub(crate) vc: ViewChangeState,
+    pub(crate) membership: Option<Membership>,
+    /// Per-session application state (§3.3.2), mirrored in its region
+    /// section.
+    pub(crate) sessions: crate::session::SessionStore,
+    pub(crate) session_section: Section,
+
+    /// Recovery state (§2.3): set after a restart until the first state
+    /// transfer completes.
+    pub(crate) recovering: bool,
+    pub(crate) peer_status: BTreeMap<ReplicaId, StatusMsg>,
+    /// Last time (ns) we sent status+retransmissions to help a lagging peer
+    /// (rate limiter: replying to every status would ping-pong into a storm
+    /// of signed retransmissions under healthy pipeline skew).
+    pub(crate) last_peer_help: BTreeMap<ReplicaId, u64>,
+
+    /// Execution-order commitment: running digest of executed batches, used
+    /// by tests to prove all replicas executed the same sequence.
+    pub(crate) exec_chain: Digest,
+
+    /// Last pre-prepare issuance time (the no-batching pacing quantum).
+    pub(crate) last_issue_ns: u64,
+    /// Progress marker for the view-change timer heuristic.
+    pub(crate) vc_timer_baseline: SeqNum,
+    pub(crate) vc_timer_armed: bool,
+
+    pub(crate) metrics: ReplicaMetrics,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.keys.me())
+            .field("view", &self.view)
+            .field("last_executed", &self.last_executed)
+            .field("stable", &self.stable.0)
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Create a replica.
+    ///
+    /// `preinstalled_clients` models the completed startup key exchange of a
+    /// static deployment; pass `&[]` for a freshly restarted replica (which
+    /// has lost all client session keys — the §2.3 scenario).
+    pub fn new(
+        cfg: PbftConfig,
+        group_seed: u64,
+        me: ReplicaId,
+        state: StateHandle,
+        app: Box<dyn App>,
+        preinstalled_clients: &[ClientId],
+    ) -> Replica {
+        let n = cfg.n();
+        let keys = KeyStore::new_replica(group_seed, me, n, preinstalled_clients);
+        let page = pbft_state::PAGE_SIZE as u64;
+        let lib_section = Section { base: 0, len: MEMBERSHIP_PAGES * page };
+        let session_section = Section { base: MEMBERSHIP_PAGES * page, len: SESSION_PAGES * page };
+        let sessions = crate::session::SessionStore::load(&session_section, &state.borrow())
+            .unwrap_or_default();
+        let membership = if cfg.dynamic_membership {
+            let m = Membership::load(&lib_section, &state.borrow(), cfg.max_clients)
+                .unwrap_or_else(|_| Membership::new(cfg.max_clients));
+            Some(m)
+        } else {
+            None
+        };
+        let log = MessageLog::new(cfg.log_size);
+        let mut r = Replica {
+            cfg,
+            keys,
+            state,
+            app,
+            lib_section,
+            view: 0,
+            in_view_change: false,
+            seq_assign: 0,
+            log,
+            last_executed: 0,
+            max_pp_seen: 0,
+            pending: VecDeque::new(),
+            pending_digests: HashSet::new(),
+            assigned_ts: HashMap::new(),
+            bodies: HashMap::new(),
+            observed: BTreeMap::new(),
+            last_req_ts: HashMap::new(),
+            last_reply: HashMap::new(),
+            client_addr: HashMap::new(),
+            checkpoints: BTreeMap::new(),
+            checkpoint_chain: BTreeMap::new(),
+            ckpt_votes: BTreeMap::new(),
+            stable: (0, Digest::ZERO),
+            sessions,
+            session_section,
+            fetch: None,
+            vc: ViewChangeState::default(),
+            membership,
+            recovering: false,
+            peer_status: BTreeMap::new(),
+            last_peer_help: BTreeMap::new(),
+            exec_chain: Digest::ZERO,
+            last_issue_ns: 0,
+            vc_timer_baseline: 0,
+            vc_timer_armed: false,
+            metrics: ReplicaMetrics::default(),
+        };
+        // Record the genesis checkpoint (seq 0) so state transfer toward it
+        // and rollback of early tentative executions are possible.
+        let root = r.state.borrow_mut().refresh_digest();
+        let snap = r.state.borrow().snapshot(0);
+        r.stable = (0, root);
+        r.checkpoints.insert(0, snap);
+        r.checkpoint_chain.insert(0, Digest::ZERO);
+        r
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.keys.me()
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Whether this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.cfg.primary_of(self.view) == self.id() && !self.in_view_change
+    }
+
+    /// Highest executed sequence number.
+    pub fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    /// Last stable checkpoint `(seq, root)`.
+    pub fn stable_checkpoint(&self) -> (SeqNum, Digest) {
+        self.stable
+    }
+
+    /// Execution-order commitment digest (equal across correct replicas that
+    /// executed the same sequence).
+    pub fn exec_chain(&self) -> Digest {
+        self.exec_chain
+    }
+
+    /// Metrics counters.
+    pub fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    /// The replica's state handle (for harness inspection).
+    pub fn state_handle(&self) -> StateHandle {
+        self.state.clone()
+    }
+
+    /// Mutable access to the application (test injection).
+    pub fn app_mut(&mut self) -> &mut dyn App {
+        self.app.as_mut()
+    }
+
+    /// Membership tables (dynamic mode only).
+    pub fn membership(&self) -> Option<&Membership> {
+        self.membership.as_ref()
+    }
+
+    /// Whether this replica is still recovering from a restart.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Diagnostic snapshot of agreement state (wedge debugging in the
+    /// harness; not part of the protocol).
+    pub fn debug_wedge_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "view={:?} exec={} stable={} assign={} pending={} in_vc={} fetch={}",
+            self.view,
+            self.last_executed,
+            self.stable.0,
+            self.seq_assign,
+            self.pending.len(),
+            self.in_view_change,
+            self.fetch.is_some(),
+        );
+        for (&s, e) in self.log.iter() {
+            if e.executed && !e.tentative && s % 64 != 0 {
+                continue; // only interesting entries
+            }
+            let _ = write!(
+                out,
+                "\n  seq={s} v={:?} pp={} prep={}({}) comm={}({}) exec={} tent={}",
+                e.view,
+                e.preprepare.is_some(),
+                e.prepared,
+                e.prepares.len(),
+                e.committed,
+                e.commits.len(),
+                e.executed,
+                e.tentative,
+            );
+        }
+        let _ = write!(out, "\n  ckpts={:?}", self.checkpoints.keys().collect::<Vec<_>>());
+        for (r, st) in &self.peer_status {
+            let _ = write!(
+                out,
+                "\n  peer {:?}: view={:?} exec={} stable={} root={:?}",
+                r, st.view, st.last_executed, st.last_stable_seq, st.stable_root
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  votes={:?}",
+            self.ckpt_votes.iter().map(|((s, _), v)| (*s, v.len())).collect::<Vec<_>>()
+        );
+        out
+    }
+
+    /// Called once when the replica (re)starts. `restarted` replays the
+    /// paper's §2.3 scenario: announce status and recover from peers.
+    pub fn on_start(&mut self, now_ns: u64, restarted: bool) -> HandleResult {
+        let mut res = HandleResult::default();
+        if restarted {
+            self.recovering = true;
+            let status = self.my_status();
+            self.multicast(Message::Status(status), &mut res);
+        }
+        self.arm_vc_timer(&mut res);
+        res.outputs.push(Output::SetTimer {
+            kind: TimerKind::StatusTick,
+            delay_ns: self.cfg.status_interval_ns,
+        });
+        let _ = now_ns;
+        res
+    }
+
+    pub(crate) fn my_status(&self) -> StatusMsg {
+        StatusMsg {
+            replica: self.id(),
+            view: self.view,
+            last_stable_seq: self.stable.0,
+            stable_root: self.stable.1,
+            last_executed: self.last_executed,
+        }
+    }
+
+    /// Handle an incoming packet.
+    pub fn handle_packet(&mut self, packet: &[u8], now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        let (env, prefix_len) = match Envelope::decode(packet) {
+            Ok(v) => v,
+            Err(_) => {
+                self.metrics.decode_failures += 1;
+                return res;
+            }
+        };
+        let prefix = &packet[..prefix_len];
+        self.dispatch(env, prefix, now_ns, &mut res);
+        res
+    }
+
+    /// Handle a decoded envelope (test convenience; `prefix` must be the
+    /// authenticated prefix bytes).
+    fn dispatch(&mut self, env: Envelope, prefix: &[u8], now_ns: u64, res: &mut HandleResult) {
+        match env.msg {
+            Message::Request(req) => self.on_request(env.sender, req, &env.auth, prefix, now_ns, res),
+            Message::PrePrepare(pp) => {
+                if self.verify_replica(env.sender, prefix, &env.auth, res) {
+                    self.on_preprepare(pp, now_ns, false, res);
+                }
+            }
+            Message::Prepare(p) => {
+                if env.sender == Sender::Replica(p.replica)
+                    && self.verify_replica(env.sender, prefix, &env.auth, res)
+                {
+                    self.on_prepare(p, now_ns, res);
+                }
+            }
+            Message::Commit(c) => {
+                if env.sender == Sender::Replica(c.replica)
+                    && self.verify_replica(env.sender, prefix, &env.auth, res)
+                {
+                    self.on_commit(c, now_ns, res);
+                }
+            }
+            Message::Checkpoint(c) => {
+                if env.sender == Sender::Replica(c.replica)
+                    && self.verify_replica(env.sender, prefix, &env.auth, res)
+                {
+                    self.on_checkpoint(c, now_ns, res);
+                }
+            }
+            Message::ViewChange(vc) => {
+                if env.sender == Sender::Replica(vc.replica)
+                    && self.verify_replica(env.sender, prefix, &env.auth, res)
+                {
+                    self.on_view_change(vc, now_ns, res);
+                }
+            }
+            Message::NewView(nv) => {
+                let from_primary =
+                    env.sender == Sender::Replica(self.cfg.primary_of(nv.view));
+                if from_primary && self.verify_replica(env.sender, prefix, &env.auth, res) {
+                    self.on_new_view(nv, now_ns, res);
+                }
+            }
+            Message::NewKey(nk) => self.on_new_key(nk, prefix, &env.auth, res),
+            Message::Status(s) => {
+                if env.sender == Sender::Replica(s.replica) {
+                    self.on_status(s, now_ns, res);
+                }
+            }
+            Message::Fetch(f) => self.on_fetch(f, res),
+            Message::FetchResp(fr) => self.on_fetch_resp(fr, now_ns, res),
+            Message::BodyFetch(bf) => self.on_body_fetch(bf, res),
+            Message::BodyResp(req) => self.on_body_resp(req, now_ns, res),
+            Message::Reply(_) => { /* replicas do not consume replies */ }
+        }
+    }
+
+    /// Handle a timer firing.
+    pub fn on_timer(&mut self, kind: TimerKind, now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        match kind {
+            TimerKind::ViewChange => self.on_vc_timer(now_ns, &mut res),
+            TimerKind::NewViewTimeout => self.on_new_view_timeout(now_ns, &mut res),
+            TimerKind::FetchRetry => self.on_fetch_retry(&mut res),
+            TimerKind::BatchKick => {
+                self.try_issue(now_ns, &mut res);
+            }
+            TimerKind::StatusTick => {
+                // Periodic status broadcast: peers respond by retransmitting
+                // what we are missing (recovery from lost datagrams).
+                let status = self.my_status();
+                self.multicast(Message::Status(status), &mut res);
+                res.outputs.push(Output::SetTimer {
+                    kind: TimerKind::StatusTick,
+                    delay_ns: self.cfg.status_interval_ns,
+                });
+            }
+            TimerKind::Retransmit | TimerKind::NewKey => { /* client-side timers */ }
+        }
+        res
+    }
+
+    // ------------------------------------------------------------------
+    // Request intake (normal case §2.1 + dynamic membership §3.1)
+    // ------------------------------------------------------------------
+
+    fn on_request(
+        &mut self,
+        sender: Sender,
+        req: RequestMsg,
+        auth: &AuthTag,
+        prefix: &[u8],
+        now_ns: u64,
+        res: &mut HandleResult,
+    ) {
+        use crate::messages::Operation;
+        res.counts.digest_bytes += prefix.len() as u64;
+
+        let is_join = matches!(req.op, Operation::JoinPhase1 { .. } | Operation::JoinPhase2 { .. });
+        // The claimed sender must match the request body (joins are
+        // anonymous until admitted).
+        let sender_ok = match sender {
+            Sender::Client(c) => c == req.client && !is_join,
+            Sender::Anonymous => is_join,
+            // Relayed requests are re-sent verbatim with the client's own
+            // envelope, so a replica sender here is a protocol violation.
+            Sender::Replica(_) => false,
+        };
+        if !sender_ok {
+            self.metrics.auth_failures += 1;
+            return;
+        }
+        if is_join {
+            if !self.cfg.dynamic_membership {
+                return;
+            }
+            if !self.verify_join_auth(&req, auth, prefix, res) {
+                self.metrics.auth_failures += 1;
+                return;
+            }
+        } else {
+            // "the system first checks to see if the identifier exists in the
+            // redirection table before going into the more lengthy process of
+            // verifying its signature or authenticator."
+            if let Some(m) = &self.membership {
+                if !m.contains(req.client) && !self.keys.has_client_key(req.client) {
+                    self.metrics.auth_failures += 1;
+                    return;
+                }
+            }
+            if !self.keys.verify_from_client(req.client, prefix, auth, &mut res.counts) {
+                self.metrics.auth_failures += 1;
+                return;
+            }
+        }
+
+        self.client_addr.insert(req.client, req.reply_addr);
+
+        // Duplicate suppression / reply retransmission.
+        if let Some(&ts) = self.last_req_ts.get(&req.client) {
+            if req.timestamp < ts {
+                return;
+            }
+            if req.timestamp == ts {
+                self.metrics.duplicate_requests += 1;
+                if let Some(reply) = self.last_reply.get(&req.client).cloned() {
+                    self.send_reply(reply, req.reply_addr, res);
+                }
+                return;
+            }
+        }
+
+        // Read-only fast path (§2.1).
+        if req.read_only && self.cfg.read_only_optimization && matches!(req.op, Operation::App(_)) {
+            self.serve_read_only(&req, now_ns, res);
+            return;
+        }
+
+        let digest = req.digest();
+        res.counts.digest_bytes += req.encoded_len() as u64;
+        let big = self.cfg.is_big(req.encoded_len());
+        if big {
+            // Body delivered by client multicast; remember it for execution.
+            self.bodies.insert(digest, req.clone());
+        }
+
+        if self.is_primary() {
+            let assigned = self.assigned_ts.get(&req.client).copied().unwrap_or(0);
+            if req.timestamp <= assigned || self.pending_digests.contains(&digest) {
+                // Already queued or assigned — but a retransmission is a
+                // sign the client is waiting, so make sure the batching
+                // engine is awake before dropping the duplicate.
+                self.try_issue(now_ns, res);
+                return;
+            }
+            self.pending_digests.insert(digest);
+            self.assigned_ts.insert(req.client, req.timestamp);
+            self.pending.push_back(req);
+            self.try_issue(now_ns, res);
+        } else {
+            self.observed.insert(digest, req.clone());
+            // Backups relay non-big requests to the primary verbatim — the
+            // client's own envelope, so its authenticator stays valid — and
+            // arm the suspicion timer.
+            if !big {
+                let primary = self.cfg.primary_of(self.view);
+                let msg = Message::Request(req.clone());
+                let relay_prefix = Envelope::encode_prefix(sender, &msg);
+                let packet = Envelope::seal(relay_prefix, auth);
+                let env = Envelope { sender, msg, auth: auth.clone() };
+                res.outputs.push(Output::Send {
+                    to: NetTarget::Replica(primary),
+                    packet,
+                    envelope: env,
+                });
+            }
+            self.arm_vc_timer(res);
+        }
+    }
+
+    fn verify_join_auth(
+        &self,
+        req: &RequestMsg,
+        auth: &AuthTag,
+        prefix: &[u8],
+        res: &mut HandleResult,
+    ) -> bool {
+        use crate::messages::Operation;
+        let AuthTag::Sig(sig) = auth else { return false };
+        let pubkey = match &req.op {
+            Operation::JoinPhase1 { pubkey, .. } => *pubkey,
+            Operation::JoinPhase2 { fingerprint, .. } => {
+                match self.membership.as_ref().and_then(|m| m.pending(fingerprint)) {
+                    Some(p) => p.pubkey,
+                    None => return false,
+                }
+            }
+            _ => return false,
+        };
+        res.counts.sig_verify += 1;
+        pubkey.verify(prefix, sig).is_ok()
+    }
+
+    fn serve_read_only(&mut self, req: &RequestMsg, now_ns: u64, res: &mut HandleResult) {
+        use crate::messages::Operation;
+        let Operation::App(op) = &req.op else { return };
+        let nondet = NonDet { timestamp_ns: now_ns, random: 0 };
+        let mut ctx = crate::session::SessionCtx::new(&mut self.sessions, req.client, true);
+        let (result, exec) = self.app.execute_with_session(req.client, op, &nondet, true, &mut ctx);
+        debug_assert!(!ctx.is_dirty(), "read-only path cannot mutate sessions");
+        res.counts.exec_cpu_us += exec.cpu_us;
+        self.metrics.read_only_served += 1;
+        let reply = ReplyMsg {
+            view: self.view,
+            client: req.client,
+            timestamp: req.timestamp,
+            replica: self.id(),
+            tentative: true, // read-only replies need a 2f+1 quorum
+            result,
+        };
+        self.send_reply(reply, req.reply_addr, res);
+    }
+
+    // ------------------------------------------------------------------
+    // NewKey (§2.3): install client session keys
+    // ------------------------------------------------------------------
+
+    fn on_new_key(&mut self, nk: NewKeyMsg, prefix: &[u8], auth: &AuthTag, res: &mut HandleResult) {
+        let AuthTag::Sig(sig) = auth else {
+            self.metrics.auth_failures += 1;
+            return;
+        };
+        // Resolve the client's public key: static configuration or the
+        // membership session established at Join time.
+        let pubkey = self
+            .keys
+            .client_pubkey(nk.client)
+            .or_else(|| self.membership.as_ref().and_then(|m| m.session(nk.client)).map(|s| s.pubkey));
+        let Some(pubkey) = pubkey else {
+            self.metrics.auth_failures += 1;
+            return;
+        };
+        res.counts.sig_verify += 1;
+        if pubkey.verify(prefix, sig).is_err() {
+            self.metrics.auth_failures += 1;
+            return;
+        }
+        let my_index = self.id().0 as usize;
+        if let Some(key) = nk.keys.get(my_index) {
+            self.keys.install_client_key(nk.client, *key);
+            self.client_addr.insert(nk.client, nk.reply_addr);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sealing / sending helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn multicast(&self, msg: Message, res: &mut HandleResult) {
+        let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        let auth = self.keys.seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
+        let packet = Envelope::seal(prefix, &auth);
+        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth };
+        for i in 0..self.cfg.n() as u32 {
+            if i == self.id().0 {
+                continue;
+            }
+            res.outputs.push(Output::Send {
+                to: NetTarget::Replica(ReplicaId(i)),
+                packet: packet.clone(),
+                envelope: env.clone(),
+            });
+        }
+    }
+
+    /// Send an authenticated message to a single replica (retransmissions).
+    /// Uses the multicast authenticator, of which the receiver verifies its
+    /// own entry.
+    pub(crate) fn send_authenticated(&self, to: NetTarget, msg: Message, res: &mut HandleResult) {
+        let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        let auth = self.keys.seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
+        let packet = Envelope::seal(prefix, &auth);
+        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth };
+        res.outputs.push(Output::Send { to, packet, envelope: env });
+    }
+
+    /// Send an unauthenticated (digest-validated) message to one target.
+    pub(crate) fn send_plain(&self, to: NetTarget, msg: Message, res: &mut HandleResult) {
+        let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        let packet = Envelope::seal(prefix, &AuthTag::None);
+        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth: AuthTag::None };
+        res.outputs.push(Output::Send { to, packet, envelope: env });
+    }
+
+    pub(crate) fn send_reply(&mut self, reply: ReplyMsg, addr: NetAddr, res: &mut HandleResult) {
+        let client = reply.client;
+        self.last_reply.insert(client, reply.clone());
+        let msg = Message::Reply(reply);
+        let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        let auth = self.keys.seal_to_client(self.cfg.auth, client, &prefix, &mut res.counts);
+        let packet = Envelope::seal(prefix, &auth);
+        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth };
+        res.outputs.push(Output::Send { to: NetTarget::Client(addr), packet, envelope: env });
+    }
+
+    pub(crate) fn verify_replica(
+        &mut self,
+        sender: Sender,
+        prefix: &[u8],
+        auth: &AuthTag,
+        res: &mut HandleResult,
+    ) -> bool {
+        let Sender::Replica(from) = sender else {
+            self.metrics.auth_failures += 1;
+            return false;
+        };
+        res.counts.digest_bytes += prefix.len() as u64;
+        if self.keys.verify_from_replica(from, prefix, auth, &mut res.counts) {
+            true
+        } else {
+            self.metrics.auth_failures += 1;
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View-change timer heuristic
+    // ------------------------------------------------------------------
+
+    pub(crate) fn arm_vc_timer(&mut self, res: &mut HandleResult) {
+        if !self.vc_timer_armed {
+            self.vc_timer_armed = true;
+            self.vc_timer_baseline = self.last_executed;
+            res.outputs.push(Output::SetTimer {
+                kind: TimerKind::ViewChange,
+                delay_ns: self.cfg.view_change_timeout_ns,
+            });
+        }
+    }
+
+    fn on_vc_timer(&mut self, now_ns: u64, res: &mut HandleResult) {
+        self.vc_timer_armed = false;
+        if self.in_view_change {
+            return; // NewViewTimeout drives further rounds
+        }
+        let has_outstanding = !self.pending.is_empty()
+            || !self.observed.is_empty()
+            || self
+                .log
+                .iter()
+                .any(|(&s, e)| s > self.last_executed && e.preprepare.is_some() && !e.executed);
+        // If the head of the execution queue is agreed but waiting on a
+        // missing request body, the primary is not at fault — the §2.4
+        // recovery paths (body fetch or checkpoint transfer) will unwedge
+        // us; a view change would not.
+        let head_blocked_on_body = self
+            .log
+            .get(self.last_executed + 1)
+            .and_then(|e| e.preprepare.as_ref().map(|pp| (e, pp)))
+            .is_some_and(|(e, pp)| {
+                (e.prepared || e.committed)
+                    && pp.entries.iter().any(|en| {
+                        en.full.is_none() && !self.bodies.contains_key(&en.digest)
+                    })
+            });
+        if self.last_executed == self.vc_timer_baseline
+            && has_outstanding
+            && !head_blocked_on_body
+        {
+            // No progress on known work: suspect the primary.
+            self.start_view_change(self.view + 1, now_ns, res);
+        } else {
+            self.arm_vc_timer(res);
+        }
+    }
+}

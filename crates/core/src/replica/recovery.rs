@@ -1,0 +1,301 @@
+//! Crash-restart recovery and checkpoint-based state transfer.
+//!
+//! A restarted replica has lost its transient state: the message log, the
+//! client session keys (→ the §2.3 authenticator stall) and its protocol
+//! position. It announces a `Status`; once f+1 peers agree on a stable
+//! checkpoint ahead of it, it tree-walk-fetches the divergent pages and
+//! resumes. A replica wedged by a lost big-request body (§2.4) recovers
+//! through exactly the same path when the next checkpoint stabilizes.
+
+use pbft_crypto::Digest;
+use pbft_state::{serve_fetch, Fetcher, FetchRequest, FetchResponse};
+
+use crate::membership::Membership;
+use crate::messages::{FetchMsg, FetchRespMsg, Message, StatusMsg};
+use crate::output::{HandleResult, NetTarget, Output, TimerKind};
+use crate::types::SeqNum;
+
+use super::{FetchState, Replica};
+
+impl Replica {
+    pub(crate) fn on_status(&mut self, s: StatusMsg, now_ns: u64, res: &mut HandleResult) {
+        if s.replica == self.id() {
+            return;
+        }
+        let mine = self.my_status();
+        // A peer a batch or two behind is normal pipeline skew under load;
+        // only treat real gaps as "behind" — and rate-limit the help.
+        // Without both guards, two loaded replicas reply-status to each
+        // other forever, each reply carrying signed retransmissions, and the
+        // storm eats the CPU that should be agreeing on new batches.
+        const LAG_SLACK: u64 = 2;
+        let they_are_behind = s.last_stable_seq < mine.last_stable_seq
+            || s.last_executed + LAG_SLACK < mine.last_executed
+            || s.view < mine.view;
+        self.peer_status.insert(s.replica, s);
+        let help_due = match self.last_peer_help.get(&s.replica) {
+            Some(&t) => now_ns.saturating_sub(t) >= self.cfg.status_interval_ns / 2,
+            None => true, // never helped this peer yet
+        };
+        if they_are_behind && help_due {
+            self.last_peer_help.insert(s.replica, now_ns);
+            self.send_plain(NetTarget::Replica(s.replica), Message::Status(mine), res);
+            self.retransmit_for_lagging_peer(&s, res);
+        }
+        // f+1 matching stable-checkpoint reports ahead of us are a valid
+        // proof (one of them is correct, and correct replicas only report
+        // certified checkpoints). A restarted replica uses this to find its
+        // footing; a wedged one — conflicting pre-prepares from an
+        // equivocating primary, or the §2.4 missing-body stall with the
+        // checkpoint certificate's direct votes lost — uses it to recover
+        // even when fewer than 2f+1 checkpoint votes ever reach it.
+        self.try_recover_from_statuses(self.recovering, res);
+    }
+
+    /// Re-send agreement messages a lagging peer is missing: our own
+    /// prepare/commit votes (safe for any replica to retransmit) and, when
+    /// we are the issuing primary, the pre-prepare itself. This is PBFT's
+    /// recovery from lost replica-to-replica datagrams — without it a single
+    /// dropped commit wedges a replica until the next checkpoint.
+    fn retransmit_for_lagging_peer(&mut self, s: &StatusMsg, res: &mut HandleResult) {
+        const MAX_RETRANSMIT: u64 = 8;
+        if s.view != self.view || s.last_executed >= self.last_executed {
+            return;
+        }
+        let me = self.id();
+        let to = NetTarget::Replica(s.replica);
+        let hi = self.last_executed.min(s.last_executed + MAX_RETRANSMIT);
+        let mut msgs: Vec<Message> = Vec::new();
+        for seq in s.last_executed + 1..=hi {
+            let Some(e) = self.log.get(seq) else { continue };
+            let Some(pp) = &e.preprepare else { continue };
+            if self.cfg.primary_of(e.view) == me {
+                msgs.push(Message::PrePrepare(pp.clone()));
+            } else if e.prepares.contains(&me) {
+                msgs.push(Message::Prepare(crate::messages::PrepareMsg {
+                    view: e.view,
+                    seq,
+                    digest: e.digest,
+                    replica: me,
+                }));
+            }
+            if e.commits.contains(&me) {
+                msgs.push(Message::Commit(crate::messages::CommitMsg {
+                    view: e.view,
+                    seq,
+                    digest: e.digest,
+                    replica: me,
+                }));
+            }
+        }
+        for msg in msgs {
+            self.send_authenticated(to, msg, res);
+        }
+    }
+
+    /// f+1 matching `(stable_seq, stable_root)` reports ahead of us trigger
+    /// a transfer. `adopt_view` (recovery after restart) additionally takes
+    /// the view from the same report set.
+    fn try_recover_from_statuses(&mut self, adopt_view: bool, res: &mut HandleResult) {
+        let weak = self.cfg.weak_quorum();
+        let mut groups: std::collections::BTreeMap<(SeqNum, Digest), Vec<&StatusMsg>> =
+            Default::default();
+        for s in self.peer_status.values() {
+            groups.entry((s.last_stable_seq, s.stable_root)).or_default().push(s);
+        }
+        let best = groups
+            .iter()
+            .filter(|((seq, _), members)| *seq > self.last_executed && members.len() >= weak)
+            .max_by_key(|((seq, _), _)| *seq);
+        if let Some((&(seq, root), members)) = best {
+            if adopt_view {
+                let new_view = members.iter().map(|s| s.view).max().unwrap_or(self.view);
+                if new_view > self.view {
+                    self.view = new_view;
+                    self.in_view_change = false;
+                }
+            }
+            self.start_state_transfer(seq, root, res);
+        }
+    }
+
+    /// Begin (or upgrade) a state transfer toward checkpoint `(seq, root)`.
+    pub(crate) fn start_state_transfer(
+        &mut self,
+        seq: SeqNum,
+        root: Digest,
+        res: &mut HandleResult,
+    ) {
+        if let Some(f) = &self.fetch {
+            if f.target_seq >= seq {
+                return; // already fetching something at least as new
+            }
+        }
+        self.metrics.state_transfers_started += 1;
+        let (fetcher, reqs) = {
+            let mut st = self.state.borrow_mut();
+            let _ = st.refresh_digest();
+            res.counts.pages_hashed += st.last_refresh_hashed();
+            Fetcher::new(st.tree(), root)
+        };
+        if reqs.is_empty() && fetcher.is_complete() {
+            // Content already matches the target: adopt the checkpoint.
+            self.fetch = Some(FetchState {
+                target_seq: seq,
+                target_root: root,
+                fetcher,
+                peers: vec![self.id()],
+                attempt: 0,
+                outstanding: Vec::new(),
+            });
+            self.finish_transfer(res);
+            return;
+        }
+        let peers = self.checkpoint_peers(seq, root);
+        let peer = peers[0];
+        self.fetch = Some(FetchState {
+            target_seq: seq,
+            target_root: root,
+            fetcher,
+            peers,
+            attempt: 0,
+            outstanding: reqs.clone(),
+        });
+        for req in reqs {
+            let msg = Message::Fetch(FetchMsg { target_seq: seq, req, replica: self.id() });
+            self.send_plain(NetTarget::Replica(peer), msg, res);
+        }
+        res.outputs.push(Output::SetTimer {
+            kind: TimerKind::FetchRetry,
+            delay_ns: 100_000_000,
+        });
+    }
+
+    pub(crate) fn on_fetch(&mut self, f: FetchMsg, res: &mut HandleResult) {
+        let resp = match self.checkpoints.get(&f.target_seq) {
+            Some(snap) => serve_fetch(snap, &f.req),
+            None => FetchResponse::Unavailable,
+        };
+        let msg = Message::FetchResp(FetchRespMsg {
+            target_seq: f.target_seq,
+            resp,
+            replica: self.id(),
+        });
+        self.send_plain(NetTarget::Replica(f.replica), msg, res);
+    }
+
+    pub(crate) fn on_fetch_resp(
+        &mut self,
+        fr: FetchRespMsg,
+        now_ns: u64,
+        res: &mut HandleResult,
+    ) {
+        let Some(fs) = &mut self.fetch else { return };
+        if fr.target_seq != fs.target_seq {
+            return;
+        }
+        remove_outstanding(&mut fs.outstanding, &fr.resp);
+        let outcome = {
+            let st = self.state.borrow();
+            fs.fetcher.on_response(st.tree(), fr.resp)
+        };
+        let next = match outcome {
+            Ok(next) => next,
+            Err(_) => {
+                // Byzantine or corrupt peer: restart the walk from another.
+                let (seq, root) = (fs.target_seq, fs.target_root);
+                let attempt = fs.attempt + 1;
+                self.fetch = None;
+                self.start_state_transfer(seq, root, res);
+                if let Some(f2) = &mut self.fetch {
+                    f2.attempt = attempt;
+                }
+                return;
+            }
+        };
+        let peer = fs.peers[fs.attempt % fs.peers.len()];
+        fs.outstanding.extend(next.iter().cloned());
+        let target_seq = fs.target_seq;
+        // Install validated pages.
+        let ready = fs.fetcher.take_ready();
+        if !ready.is_empty() {
+            let mut st = self.state.borrow_mut();
+            for (idx, data) in ready {
+                res.counts.pages_hashed += 1;
+                st.install_page(idx, data).expect("fetcher validated the page index");
+            }
+        }
+        for req in next {
+            let msg = Message::Fetch(FetchMsg { target_seq, req, replica: self.id() });
+            self.send_plain(NetTarget::Replica(peer), msg, res);
+        }
+        let done = self.fetch.as_ref().map(|f| f.fetcher.is_complete()).unwrap_or(false);
+        if done {
+            self.finish_transfer(res);
+            self.try_execute(now_ns, res);
+        }
+    }
+
+    pub(crate) fn finish_transfer(&mut self, res: &mut HandleResult) {
+        let Some(fs) = self.fetch.take() else { return };
+        let (seq, root) = (fs.target_seq, fs.target_root);
+        debug_assert_eq!(self.state.borrow().tree().root(), root, "transfer converged");
+        self.app.on_state_installed();
+        self.reload_membership();
+        self.reload_sessions();
+        self.stable = (seq, root);
+        // Batches executed above the installed checkpoint (necessarily
+        // tentative or on divergent state) ran against the *pre-transfer*
+        // region; installing the checkpoint just overwrote their effects.
+        // Clear their executed marks so the execution loop re-runs them on
+        // top of the checkpoint image — otherwise the replica silently
+        // loses those updates and re-diverges at the very next checkpoint.
+        for (&s, e) in self.log.iter_mut() {
+            if s > seq && e.executed {
+                e.executed = false;
+                e.tentative = false;
+            }
+        }
+        self.last_executed = seq;
+        self.log.collect_garbage(seq);
+        self.ckpt_votes.retain(|&(s, _), _| s > seq);
+        let snap = self.state.borrow().snapshot(seq);
+        self.checkpoints.retain(|&s, _| s >= seq);
+        self.checkpoints.insert(seq, snap);
+        // The execution chain is only meaningful for locally executed
+        // history; mark the discontinuity with the checkpoint root.
+        self.exec_chain = root;
+        self.checkpoint_chain.insert(seq, root);
+        self.metrics.state_transfers_completed += 1;
+        self.recovering = false;
+        res.outputs.push(Output::CancelTimer { kind: TimerKind::FetchRetry });
+    }
+
+    pub(crate) fn reload_sessions(&mut self) {
+        self.sessions =
+            crate::session::SessionStore::load(&self.session_section, &self.state.borrow())
+                .unwrap_or_default();
+    }
+
+    pub(crate) fn reload_membership(&mut self) {
+        if self.cfg.dynamic_membership {
+            let m = Membership::load(&self.lib_section, &self.state.borrow(), self.cfg.max_clients)
+                .unwrap_or_else(|_| Membership::new(self.cfg.max_clients));
+            self.membership = Some(m);
+        }
+    }
+}
+
+/// Drop the outstanding request a response answers.
+fn remove_outstanding(outstanding: &mut Vec<FetchRequest>, resp: &FetchResponse) {
+    let idx = outstanding.iter().position(|req| match (req, resp) {
+        (FetchRequest::Meta { level: l1, index: i1 }, FetchResponse::Meta { level: l2, index: i2, .. }) => {
+            l1 == l2 && i1 == i2
+        }
+        (FetchRequest::Page { index: i1 }, FetchResponse::Page { index: i2, .. }) => i1 == i2,
+        _ => false,
+    });
+    if let Some(i) = idx {
+        outstanding.swap_remove(i);
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-session state — the library-level subsystem the paper sketches in
+//! §3.3.2.
+//!
+//! "The current implementation of the PBFT protocol purposely ignores the
+//! notion of client-specific state. ... With our addition of application
+//! level sign-on messages to the protocol, resulting in identification of
+//! specific sessions, a library-level subsystem can be developed that will
+//! map parts of the state to a specific session. This would enable easier
+//! porting of stateful applications to the BFT world."
+//!
+//! This module is that subsystem. Each client session owns a small byte
+//! blob inside a dedicated section of the **replicated state region**, so
+//! session state is ordered with the requests that mutate it, covered by
+//! checkpoints, moved by state transfer, and identical on every replica.
+//! The replica hands the executing application a [`SessionCtx`] scoped to
+//! the requesting client; the engine persists mutations back into the
+//! region before the next request executes, and clears a session's state
+//! when dynamic membership terminates the session (Leave, or takeover by a
+//! new sign-on with the same identity — §3.1).
+
+use std::collections::BTreeMap;
+
+use pbft_state::{PagedState, Section, StateError};
+
+use crate::types::ClientId;
+use crate::wire::{Dec, Enc, WireError};
+
+/// Upper bound for one session's blob, so a single session cannot exhaust
+/// the shared section.
+pub const MAX_SESSION_BYTES: usize = 1024;
+
+/// The session-state table, mirrored between memory and its region section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStore {
+    entries: BTreeMap<ClientId, Vec<u8>>,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> SessionStore {
+        SessionStore::default()
+    }
+
+    /// This client's session blob, if any.
+    pub fn get(&self, client: ClientId) -> Option<&[u8]> {
+        self.entries.get(&client).map(|v| v.as_slice())
+    }
+
+    /// Replace this client's session blob.
+    ///
+    /// # Panics
+    /// If `data` exceeds [`MAX_SESSION_BYTES`] (the [`SessionCtx`] API
+    /// returns an error instead; this is the trusted engine-side entry).
+    pub fn set(&mut self, client: ClientId, data: Vec<u8>) {
+        assert!(data.len() <= MAX_SESSION_BYTES, "session blob too large");
+        if data.is_empty() {
+            self.entries.remove(&client);
+        } else {
+            self.entries.insert(client, data);
+        }
+    }
+
+    /// Drop this client's session state (Leave / session takeover).
+    /// Returns true when state existed.
+    pub fn remove(&mut self, client: ClientId) -> bool {
+        self.entries.remove(&client).is_some()
+    }
+
+    /// Number of sessions holding state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no session holds state.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize into the session section of the state region (with the
+    /// modify-notification the PBFT contract demands).
+    ///
+    /// # Errors
+    /// [`StateError`] when the section cannot hold the table.
+    pub fn persist(&self, section: &Section, state: &mut PagedState) -> Result<(), StateError> {
+        let mut e = Enc::new();
+        e.u32(self.entries.len() as u32);
+        for (client, data) in &self.entries {
+            e.u64(client.0).bytes(data);
+        }
+        let bytes = e.into_bytes();
+        let mut framed = Enc::new();
+        framed.bytes(&bytes);
+        let framed = framed.into_bytes();
+        section.modify(state, 0, framed.len())?;
+        section.write(state, 0, &framed)
+    }
+
+    /// Reload from the session section (restart, state transfer). A
+    /// never-persisted section yields the empty store.
+    ///
+    /// # Errors
+    /// [`WireError`] when the section holds a corrupt table.
+    pub fn load(section: &Section, state: &PagedState) -> Result<SessionStore, WireError> {
+        let mut header = [0u8; 4];
+        if section.read(state, 0, &mut header).is_err() {
+            return Ok(SessionStore::new());
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        if len == 0 {
+            return Ok(SessionStore::new());
+        }
+        let mut buf = vec![0u8; len];
+        section.read(state, 4, &mut buf).map_err(|_| WireError::Truncated)?;
+        let mut d = Dec::new(&buf);
+        let count = d.u32()? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let client = ClientId(d.u64()?);
+            let data = d.bytes()?;
+            if data.len() > MAX_SESSION_BYTES {
+                return Err(WireError::Truncated);
+            }
+            entries.insert(client, data);
+        }
+        Ok(SessionStore { entries })
+    }
+}
+
+/// The view of the session store handed to one execution upcall: scoped to
+/// the requesting client, with mutation tracking so the engine persists only
+/// when something changed.
+#[derive(Debug)]
+pub struct SessionCtx<'a> {
+    store: &'a mut SessionStore,
+    client: ClientId,
+    read_only: bool,
+    dirty: bool,
+}
+
+impl<'a> SessionCtx<'a> {
+    /// Scope `store` to `client`. `read_only` contexts reject writes (the
+    /// §2.1 read-only fast path must not modify state).
+    pub fn new(store: &'a mut SessionStore, client: ClientId, read_only: bool) -> SessionCtx<'a> {
+        SessionCtx { store, client, read_only, dirty: false }
+    }
+
+    /// The requesting client.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// This session's blob (empty slice when none).
+    pub fn get(&self) -> &[u8] {
+        self.store.get(self.client).unwrap_or(&[])
+    }
+
+    /// Replace this session's blob.
+    ///
+    /// # Errors
+    /// When the blob exceeds [`MAX_SESSION_BYTES`] or this is a read-only
+    /// execution.
+    pub fn put(&mut self, data: &[u8]) -> Result<(), SessionError> {
+        if self.read_only {
+            return Err(SessionError::ReadOnly);
+        }
+        if data.len() > MAX_SESSION_BYTES {
+            return Err(SessionError::TooLarge(data.len()));
+        }
+        self.store.set(self.client, data.to_vec());
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Clear this session's blob.
+    ///
+    /// # Errors
+    /// [`SessionError::ReadOnly`] on the read-only path.
+    pub fn clear(&mut self) -> Result<(), SessionError> {
+        if self.read_only {
+            return Err(SessionError::ReadOnly);
+        }
+        if self.store.remove(self.client) {
+            self.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Whether this upcall mutated session state (engine-side: persist?).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+/// Session-state errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// Write attempted on the read-only execution path.
+    ReadOnly,
+    /// Blob exceeds [`MAX_SESSION_BYTES`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ReadOnly => write!(f, "session write on the read-only path"),
+            SessionError::TooLarge(n) => {
+                write!(f, "session blob of {n} bytes exceeds the {MAX_SESSION_BYTES}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup() -> (Rc<RefCell<PagedState>>, Section) {
+        let state = Rc::new(RefCell::new(PagedState::new(8)));
+        let section = Section { base: 0, len: 4 * pbft_state::PAGE_SIZE as u64 };
+        (state, section)
+    }
+
+    #[test]
+    fn store_roundtrips_through_region() {
+        let (state, section) = setup();
+        let mut store = SessionStore::new();
+        store.set(ClientId(1), b"cart: 3 items".to_vec());
+        store.set(ClientId(9), b"page 4".to_vec());
+        store.persist(&section, &mut state.borrow_mut()).expect("persist");
+        let back = SessionStore::load(&section, &state.borrow()).expect("load");
+        assert_eq!(back, store);
+        assert_eq!(back.get(ClientId(9)), Some(b"page 4".as_slice()));
+    }
+
+    #[test]
+    fn fresh_region_loads_empty() {
+        let (state, section) = setup();
+        let store = SessionStore::load(&section, &state.borrow()).expect("load");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn remove_and_empty_set_drop_entries() {
+        let mut store = SessionStore::new();
+        store.set(ClientId(1), b"x".to_vec());
+        assert!(store.remove(ClientId(1)));
+        assert!(!store.remove(ClientId(1)));
+        store.set(ClientId(2), b"y".to_vec());
+        store.set(ClientId(2), Vec::new()); // empty = clear
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn ctx_tracks_dirtiness() {
+        let mut store = SessionStore::new();
+        let mut ctx = SessionCtx::new(&mut store, ClientId(3), false);
+        assert_eq!(ctx.get(), b"");
+        assert!(!ctx.is_dirty());
+        ctx.put(b"hello").expect("put");
+        assert!(ctx.is_dirty());
+        assert_eq!(ctx.get(), b"hello");
+        assert_eq!(store.get(ClientId(3)), Some(b"hello".as_slice()));
+    }
+
+    #[test]
+    fn ctx_clear_only_dirties_when_state_existed() {
+        let mut store = SessionStore::new();
+        let mut ctx = SessionCtx::new(&mut store, ClientId(3), false);
+        ctx.clear().expect("clear nothing");
+        assert!(!ctx.is_dirty());
+        ctx.put(b"x").expect("put");
+        let mut ctx = SessionCtx::new(&mut store, ClientId(3), false);
+        ctx.clear().expect("clear");
+        assert!(ctx.is_dirty());
+    }
+
+    #[test]
+    fn read_only_ctx_rejects_writes() {
+        let mut store = SessionStore::new();
+        let mut ctx = SessionCtx::new(&mut store, ClientId(3), true);
+        assert_eq!(ctx.put(b"x"), Err(SessionError::ReadOnly));
+        assert_eq!(ctx.clear(), Err(SessionError::ReadOnly));
+        assert!(!ctx.is_dirty());
+    }
+
+    #[test]
+    fn oversized_blob_rejected() {
+        let mut store = SessionStore::new();
+        let mut ctx = SessionCtx::new(&mut store, ClientId(3), false);
+        let big = vec![0u8; MAX_SESSION_BYTES + 1];
+        assert!(matches!(ctx.put(&big), Err(SessionError::TooLarge(_))));
+        let ok = vec![0u8; MAX_SESSION_BYTES];
+        assert!(ctx.put(&ok).is_ok());
+    }
+
+    #[test]
+    fn sessions_isolated_per_client() {
+        let mut store = SessionStore::new();
+        SessionCtx::new(&mut store, ClientId(1), false).put(b"a").expect("put");
+        SessionCtx::new(&mut store, ClientId(2), false).put(b"b").expect("put");
+        assert_eq!(SessionCtx::new(&mut store, ClientId(1), false).get(), b"a");
+        assert_eq!(SessionCtx::new(&mut store, ClientId(2), false).get(), b"b");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SessionError::ReadOnly.to_string().contains("read-only"));
+        assert!(SessionError::TooLarge(9999).to_string().contains("9999"));
+    }
+}

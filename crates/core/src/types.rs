@@ -1,0 +1,58 @@
+//! Core identifier types.
+
+use std::fmt;
+
+/// A replica's protocol index, `0..n`. The primary of view `v` is replica
+/// `v mod n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplicaId(pub u32);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A client identifier.
+///
+/// With static membership these are assigned at configuration time. With
+/// dynamic membership (paper §3.1) they are arbitrary identifiers allocated
+/// at Join time and routed through the *redirection table* — "instead of
+/// using a single address range of [0..max_clients], an arbitrary identifier
+/// is assigned to each new client and a table maps this number to the index
+/// in the array of client and server node entries".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A view number. The epoch during which one primary is stable.
+pub type View = u64;
+
+/// A sequence number assigned by the primary; defines the total order.
+pub type SeqNum = u64;
+
+/// A transport address (the driving harness maps these to real endpoints;
+/// under simnet they are `NodeId` values).
+pub type NetAddr = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ReplicaId(2).to_string(), "r2");
+        assert_eq!(ClientId(17).to_string(), "c17");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ReplicaId(1) < ReplicaId(2));
+        assert!(ClientId(1) < ClientId(2));
+    }
+}

@@ -1,0 +1,296 @@
+//! Hand-rolled deterministic wire codec.
+//!
+//! Message digests and MACs are computed over canonical encoded bytes, so
+//! the codec must be deterministic and total — which is why it is hand-rolled
+//! rather than derived. All integers are big-endian; variable-length fields
+//! are `u32`-length-prefixed.
+
+use std::fmt;
+
+use pbft_crypto::Digest;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes.
+    Truncated,
+    /// A tag byte had no meaning in context.
+    BadTag(u8),
+    /// A length prefix exceeded sane bounds.
+    BadLength(u64),
+    /// Trailing garbage after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::BadLength(l) => write!(f, "implausible length {l}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum accepted variable-length field, as a denial-of-service guard.
+const MAX_FIELD: usize = 64 << 20;
+
+/// Byte writer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Enc { buf: Vec::with_capacity(256) }
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a raw byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a bool as one byte.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.buf.push(v as u8);
+        self
+    }
+
+    /// Append length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append raw bytes without a length prefix (fixed-size fields).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a digest (32 raw bytes).
+    pub fn digest(&mut self, d: &Digest) -> &mut Self {
+        self.raw(d.as_bytes())
+    }
+
+    /// Current contents (e.g. to MAC a prefix).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Byte reader.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Start decoding `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Fail unless fully consumed.
+    ///
+    /// # Errors
+    /// [`WireError::TrailingBytes`] when bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`].
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian u32.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`].
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a big-endian u64.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a bool byte (0 or 1).
+    ///
+    /// # Errors
+    /// [`WireError::BadTag`] for other values.
+    pub fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Read length-prefixed bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] or [`WireError::BadLength`].
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD {
+            return Err(WireError::BadLength(len as u64));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`].
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Read a digest (32 raw bytes).
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`].
+    pub fn digest(&mut self) -> Result<Digest, WireError> {
+        let b = self.take(32)?;
+        let mut d = [0u8; 32];
+        d.copy_from_slice(b);
+        Ok(Digest(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7).u32(0xdead_beef).u64(0x1122_3344_5566_7788).boolean(true).boolean(false);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), 0x1122_3344_5566_7788);
+        assert!(d.boolean().unwrap());
+        assert!(!d.boolean().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut e = Enc::new();
+        e.bytes(b"hello").bytes(b"").raw(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.bytes().unwrap(), b"hello");
+        assert_eq!(d.bytes().unwrap(), b"");
+        assert_eq!(d.raw(3).unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn digest_roundtrip() {
+        let dig = Digest::of(b"x");
+        let mut e = Enc::new();
+        e.digest(&dig);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.digest().unwrap(), dig);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut d = Dec::new(&[0, 0]);
+        assert_eq!(d.u32(), Err(WireError::Truncated));
+        let mut d = Dec::new(&[0, 0, 0, 9, 1]);
+        assert_eq!(d.bytes(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_detected() {
+        let mut d = Dec::new(&[2]);
+        assert_eq!(d.boolean(), Err(WireError::BadTag(2)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let d = Dec::new(&[1]);
+        assert_eq!(d.finish(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.bytes(), Err(WireError::BadLength(u32::MAX as u64)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Challenge–response helpers for the dynamic-membership Join protocol.
+//!
+//! Paper §3.1: a malicious client could flood the replicated service with
+//! Join requests carrying phony addresses, exhausting the bounded node table.
+//! The fix is a two-phase Join: the service responds to phase one with a
+//! *challenge*; only a client that actually receives traffic at the claimed
+//! address can compute the response and complete phase two.
+//!
+//! Every replica must derive the **same** challenge for a given join attempt
+//! (the request is totally ordered, so all replicas see identical inputs),
+//! which is why the challenge is a deterministic digest of the join data and
+//! the assigned sequence number rather than a per-replica random value.
+
+use crate::sha256::Digest;
+
+/// A join challenge token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Challenge(pub Digest);
+
+/// A join challenge response token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChallengeResponse(pub Digest);
+
+/// Derive the deterministic challenge for a join attempt.
+///
+/// `pubkey_fingerprint` commits to the client's key, `nonce` is the client's
+/// freshness value, and `seq` is the PBFT sequence number that ordered the
+/// phase-one Join — identical on every correct replica.
+pub fn make_challenge(pubkey_fingerprint: &Digest, nonce: u64, seq: u64) -> Challenge {
+    Challenge(Digest::of_parts(&[
+        b"pbft-join-challenge",
+        pubkey_fingerprint.as_bytes(),
+        &nonce.to_be_bytes(),
+        &seq.to_be_bytes(),
+    ]))
+}
+
+/// Compute the response the client must return in phase two.
+pub fn make_response(challenge: &Challenge, pubkey_fingerprint: &Digest) -> ChallengeResponse {
+    ChallengeResponse(Digest::of_parts(&[
+        b"pbft-join-response",
+        challenge.0.as_bytes(),
+        pubkey_fingerprint.as_bytes(),
+    ]))
+}
+
+/// Replica-side check of a phase-two response.
+pub fn verify_response(
+    challenge: &Challenge,
+    pubkey_fingerprint: &Digest,
+    response: &ChallengeResponse,
+) -> bool {
+    make_response(challenge, pubkey_fingerprint) == *response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_derive_identical_challenges() {
+        let fp = Digest::of(b"client-key");
+        let a = make_challenge(&fp, 42, 1000);
+        let b = make_challenge(&fp, 42, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_attempts_get_different_challenges() {
+        let fp = Digest::of(b"client-key");
+        assert_ne!(make_challenge(&fp, 42, 1000), make_challenge(&fp, 43, 1000));
+        assert_ne!(make_challenge(&fp, 42, 1000), make_challenge(&fp, 42, 1001));
+        assert_ne!(
+            make_challenge(&fp, 42, 1000),
+            make_challenge(&Digest::of(b"other"), 42, 1000)
+        );
+    }
+
+    #[test]
+    fn response_verifies() {
+        let fp = Digest::of(b"client-key");
+        let ch = make_challenge(&fp, 7, 55);
+        let resp = make_response(&ch, &fp);
+        assert!(verify_response(&ch, &fp, &resp));
+    }
+
+    #[test]
+    fn response_bound_to_challenge_and_key() {
+        let fp = Digest::of(b"client-key");
+        let other_fp = Digest::of(b"other-key");
+        let ch = make_challenge(&fp, 7, 55);
+        let other_ch = make_challenge(&fp, 8, 55);
+        let resp = make_response(&ch, &fp);
+        assert!(!verify_response(&other_ch, &fp, &resp));
+        assert!(!verify_response(&ch, &other_fp, &resp));
+    }
+}

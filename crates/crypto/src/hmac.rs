@@ -1,0 +1,100 @@
+//! HMAC-SHA256 (RFC 2104), used for key derivation and "strong" MACs.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA256 of `msg` under `key`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha256::sha256(key);
+        k[..32].copy_from_slice(d.as_bytes());
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finish();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finish()
+}
+
+/// Derive a subkey from `key` for the given `label`/`context` (HKDF-like,
+/// single expansion step). Used to turn one session key into per-purpose keys
+/// (e.g. request MAC vs reply MAC directions).
+pub fn derive_key(key: &[u8], label: &str, context: &[u8]) -> [u8; 32] {
+    let mut msg = Vec::with_capacity(label.len() + context.len() + 1);
+    msg.extend_from_slice(label.as_bytes());
+    msg.push(0);
+    msg.extend_from_slice(context);
+    hmac_sha256(key, &msg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            out.to_string(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            out.to_string(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let out = hmac_sha256(&key, &msg);
+        assert_eq!(
+            out.to_string(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let key = [0xaau8; 131];
+        let out = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            out.to_string(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn derive_key_separates_labels() {
+        let k = b"session key";
+        let a = derive_key(k, "in", b"ctx");
+        let b = derive_key(k, "out", b"ctx");
+        let c = derive_key(k, "in", b"ctx2");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_key(k, "in", b"ctx"));
+    }
+}

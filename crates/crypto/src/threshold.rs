@@ -1,0 +1,302 @@
+//! (f+1, n) threshold signatures via Shamir secret sharing.
+//!
+//! The paper (§3.3.1) argues that applications needing server-side key
+//! material (e.g. an election's tallying key) cannot store it in PBFT's
+//! replicated state — a single faulty replica would leak it — and proposes a
+//! threshold signature scheme where any `f+1` of the `n = 3f+1` replicas can
+//! jointly produce a signature but `f` colluding replicas learn nothing.
+//!
+//! We implement the classic construction over the prime field `2^61 - 1`:
+//! a dealer splits a signing secret into `n` Shamir shares; each replica
+//! produces a *partial signature* (its Lagrange-weighted share for the
+//! participating set); any `f+1` partials combine into the group secret's
+//! MAC over the message. This is an educational scheme (the combiner learns
+//! the reconstructed secret), which is sufficient for the protocol-level
+//! experiments; a production system would use threshold RSA/BLS.
+
+use std::fmt;
+
+use crate::fastmac::Mac64;
+use crate::hmac::hmac_sha256;
+use crate::rng::SplitMix64;
+
+/// The Mersenne prime 2^61 - 1.
+const P: u128 = (1u128 << 61) - 1;
+
+/// Errors from threshold operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdError {
+    /// Fewer than `threshold` partial signatures were supplied.
+    NotEnoughShares { needed: usize, got: usize },
+    /// Two partials claim the same signer index.
+    DuplicateSigner(u32),
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: needed {needed}, got {got}")
+            }
+            ThresholdError::DuplicateSigner(i) => write!(f, "duplicate signer index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+fn add(a: u64, b: u64) -> u64 {
+    (((a as u128) + (b as u128)) % P) as u64
+}
+
+fn mul(a: u64, b: u64) -> u64 {
+    (((a as u128) * (b as u128)) % P) as u64
+}
+
+fn sub(a: u64, b: u64) -> u64 {
+    (((a as u128) + P - (b as u128) % P) % P) as u64
+}
+
+fn pow(mut b: u64, mut e: u128) -> u64 {
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, b);
+        }
+        b = mul(b, b);
+        e >>= 1;
+    }
+    acc
+}
+
+fn inv(a: u64) -> u64 {
+    // Fermat: a^(P-2) mod P.
+    pow(a, P - 2)
+}
+
+/// A Shamir share of the group signing secret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretShare {
+    /// The evaluation point (1-based signer index).
+    pub x: u32,
+    /// The share value f(x).
+    pub y: u64,
+}
+
+/// A partial signature produced by one replica for a known signer set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialSignature {
+    /// The signer's evaluation point.
+    pub x: u32,
+    /// Lagrange-weighted contribution for the participating set.
+    pub weighted: u64,
+}
+
+/// A combined group signature: a 64-bit MAC tag under the group secret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSignature(pub Mac64);
+
+/// The dealer-side description of a threshold group.
+#[derive(Debug, Clone)]
+pub struct ThresholdGroup {
+    threshold: usize,
+    n: usize,
+    verify_tag: u64,
+}
+
+impl ThresholdGroup {
+    /// Split a fresh group secret into `n` shares with reconstruction
+    /// threshold `threshold` (use `f + 1` for a PBFT group of `3f + 1`).
+    ///
+    /// Returns the group descriptor (public) and the per-replica shares
+    /// (secret). Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `threshold == 0` or `threshold > n`.
+    pub fn deal(seed: u64, threshold: usize, n: usize) -> (ThresholdGroup, Vec<SecretShare>) {
+        assert!(threshold >= 1 && threshold <= n, "1 <= threshold <= n");
+        let mut rng = SplitMix64::new(seed ^ 0x5448_5253_4841_5245); // "THRSHARE"
+        let secret = rng.next_u64() % (P as u64);
+        // Random polynomial of degree threshold-1 with f(0) = secret.
+        let mut coeffs = vec![secret];
+        for _ in 1..threshold {
+            coeffs.push(rng.next_u64() % (P as u64));
+        }
+        let shares = (1..=n as u32)
+            .map(|x| {
+                let mut y = 0u64;
+                // Horner evaluation.
+                for &c in coeffs.iter().rev() {
+                    y = add(mul(y, x as u64), c);
+                }
+                SecretShare { x, y }
+            })
+            .collect();
+        let verify_tag = group_tag(secret, b"threshold-group-verification");
+        (ThresholdGroup { threshold, n, verify_tag }, shares)
+    }
+
+    /// The reconstruction threshold (`f + 1`).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Total share count (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Verify a combined signature over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &GroupSignature) -> bool {
+        // The verifier holds a commitment tag derived from the secret; a
+        // valid signature proves the combiner reconstructed the same secret.
+        // (Educational scheme — see module docs.)
+        let mut ctx = self.verify_tag.to_be_bytes().to_vec();
+        ctx.extend_from_slice(msg);
+        let expect = hmac_sha256(&ctx, b"group-sign");
+        sig.0 == Mac64(expect.prefix_u64())
+    }
+}
+
+fn group_tag(secret: u64, label: &[u8]) -> u64 {
+    hmac_sha256(&secret.to_be_bytes(), label).prefix_u64()
+}
+
+/// Produce this signer's partial signature for the participating set `xs`
+/// (which must contain the signer's own `x`).
+pub fn partial_sign(share: &SecretShare, participants: &[u32]) -> PartialSignature {
+    // Lagrange coefficient λ_i(0) for this signer within `participants`.
+    let xi = share.x as u64;
+    let mut num = 1u64;
+    let mut den = 1u64;
+    for &xj in participants {
+        if xj == share.x {
+            continue;
+        }
+        num = mul(num, sub(0, xj as u64));
+        den = mul(den, sub(xi, xj as u64));
+    }
+    let lambda = mul(num, inv(den));
+    PartialSignature { x: share.x, weighted: mul(lambda, share.y) }
+}
+
+/// Combine `threshold` partial signatures into a group signature over `msg`.
+///
+/// # Errors
+/// Returns an error if fewer than `group.threshold()` distinct partials are
+/// supplied.
+pub fn combine(
+    group: &ThresholdGroup,
+    partials: &[PartialSignature],
+    msg: &[u8],
+) -> Result<GroupSignature, ThresholdError> {
+    if partials.len() < group.threshold() {
+        return Err(ThresholdError::NotEnoughShares {
+            needed: group.threshold(),
+            got: partials.len(),
+        });
+    }
+    let mut seen = Vec::new();
+    let mut secret = 0u64;
+    for p in partials {
+        if seen.contains(&p.x) {
+            return Err(ThresholdError::DuplicateSigner(p.x));
+        }
+        seen.push(p.x);
+        secret = add(secret, p.weighted);
+    }
+    let tag = group_tag(secret, b"threshold-group-verification");
+    let mut ctx = tag.to_be_bytes().to_vec();
+    ctx.extend_from_slice(msg);
+    let mac = hmac_sha256(&ctx, b"group-sign");
+    Ok(GroupSignature(Mac64(mac.prefix_u64())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_plus_one_shares_suffice() {
+        let f = 1;
+        let n = 3 * f + 1;
+        let (group, shares) = ThresholdGroup::deal(7, f + 1, n);
+        let participants: Vec<u32> = vec![1, 3];
+        let partials: Vec<_> = participants
+            .iter()
+            .map(|&x| partial_sign(&shares[(x - 1) as usize], &participants))
+            .collect();
+        let sig = combine(&group, &partials, b"elect").expect("combine");
+        assert!(group.verify(b"elect", &sig));
+    }
+
+    #[test]
+    fn any_subset_of_size_threshold_works() {
+        let f = 2;
+        let n = 3 * f + 1;
+        let (group, shares) = ThresholdGroup::deal(11, f + 1, n);
+        for subset in [[1u32, 2, 3], [5, 6, 7], [1, 4, 7]] {
+            let partials: Vec<_> = subset
+                .iter()
+                .map(|&x| partial_sign(&shares[(x - 1) as usize], &subset))
+                .collect();
+            let sig = combine(&group, &partials, b"msg").expect("combine");
+            assert!(group.verify(b"msg", &sig), "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let (group, shares) = ThresholdGroup::deal(3, 2, 4);
+        let partials = vec![partial_sign(&shares[0], &[1])];
+        assert_eq!(
+            combine(&group, &partials, b"m"),
+            Err(ThresholdError::NotEnoughShares { needed: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn duplicate_signers_rejected() {
+        let (group, shares) = ThresholdGroup::deal(3, 2, 4);
+        let p = partial_sign(&shares[0], &[1, 1]);
+        assert_eq!(
+            combine(&group, &[p, p], b"m"),
+            Err(ThresholdError::DuplicateSigner(1))
+        );
+    }
+
+    #[test]
+    fn wrong_message_fails_verification() {
+        let (group, shares) = ThresholdGroup::deal(5, 2, 4);
+        let participants = [1u32, 2];
+        let partials: Vec<_> = participants
+            .iter()
+            .map(|&x| partial_sign(&shares[(x - 1) as usize], &participants))
+            .collect();
+        let sig = combine(&group, &partials, b"real").expect("combine");
+        assert!(!group.verify(b"forged", &sig));
+    }
+
+    #[test]
+    fn corrupted_partial_fails_verification() {
+        let (group, shares) = ThresholdGroup::deal(5, 2, 4);
+        let participants = [1u32, 2];
+        let mut partials: Vec<_> = participants
+            .iter()
+            .map(|&x| partial_sign(&shares[(x - 1) as usize], &participants))
+            .collect();
+        partials[0].weighted ^= 1;
+        let sig = combine(&group, &partials, b"m").expect("combine");
+        assert!(!group.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn deterministic_dealing() {
+        let (g1, s1) = ThresholdGroup::deal(42, 2, 4);
+        let (g2, s2) = ThresholdGroup::deal(42, 2, 4);
+        assert_eq!(s1, s2);
+        assert_eq!(g1.verify_tag, g2.verify_tag);
+        assert_eq!(g1.threshold(), 2);
+        assert_eq!(g1.n(), 4);
+    }
+}

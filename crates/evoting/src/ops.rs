@@ -1,0 +1,177 @@
+//! Client-visible operations and their wire encoding.
+
+use minisql::Value;
+use pbft_sql::{decode_outcome, WireOutcome};
+
+/// An e-voting operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoteOp {
+    /// Create a new election (administrative).
+    CreateElection {
+        /// Human-readable election title.
+        title: String,
+    },
+    /// Cast (or replace) this session's vote in an election.
+    CastVote {
+        /// Election id.
+        election: i64,
+        /// The chosen option.
+        choice: String,
+    },
+    /// Tally the votes of an election (read-only).
+    Tally {
+        /// Election id.
+        election: i64,
+    },
+    /// List elections (read-only).
+    ListElections,
+    /// What did this session vote? (read-only)
+    MyVote {
+        /// Election id.
+        election: i64,
+    },
+    /// Request this replica's partial threshold signature over the tally
+    /// (read-only; the §3.3.1 certificate flow — see [`crate::certificate`]).
+    Certify {
+        /// Election id.
+        election: i64,
+        /// The weak-quorum signer set (1-based evaluation points) the
+        /// requester intends to combine.
+        participants: Vec<u32>,
+    },
+}
+
+impl VoteOp {
+    /// Is this operation safe for the PBFT read-only fast path?
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            VoteOp::Tally { .. }
+                | VoteOp::ListElections
+                | VoteOp::MyVote { .. }
+                | VoteOp::Certify { .. }
+        )
+    }
+
+    /// Encode for transport inside a PBFT request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            VoteOp::CreateElection { title } => {
+                out.push(1);
+                out.extend_from_slice(title.as_bytes());
+            }
+            VoteOp::CastVote { election, choice } => {
+                out.push(2);
+                out.extend_from_slice(&election.to_be_bytes());
+                out.extend_from_slice(choice.as_bytes());
+            }
+            VoteOp::Tally { election } => {
+                out.push(3);
+                out.extend_from_slice(&election.to_be_bytes());
+            }
+            VoteOp::ListElections => out.push(4),
+            VoteOp::MyVote { election } => {
+                out.push(5);
+                out.extend_from_slice(&election.to_be_bytes());
+            }
+            VoteOp::Certify { election, participants } => {
+                out.push(6);
+                out.extend_from_slice(&election.to_be_bytes());
+                out.push(participants.len() as u8);
+                for p in participants {
+                    out.extend_from_slice(&p.to_be_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from request bytes.
+    pub fn decode(bytes: &[u8]) -> Option<VoteOp> {
+        let (&tag, rest) = bytes.split_first()?;
+        Some(match tag {
+            1 => VoteOp::CreateElection { title: String::from_utf8(rest.to_vec()).ok()? },
+            2 => {
+                let election = i64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                let choice = String::from_utf8(rest.get(8..)?.to_vec()).ok()?;
+                VoteOp::CastVote { election, choice }
+            }
+            3 => VoteOp::Tally { election: i64::from_be_bytes(rest.get(..8)?.try_into().ok()?) },
+            4 => VoteOp::ListElections,
+            5 => VoteOp::MyVote { election: i64::from_be_bytes(rest.get(..8)?.try_into().ok()?) },
+            6 => {
+                let election = i64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                let count = *rest.get(8)? as usize;
+                let mut participants = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = 9 + i * 4;
+                    participants.push(u32::from_be_bytes(rest.get(off..off + 4)?.try_into().ok()?));
+                }
+                VoteOp::Certify { election, participants }
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// Build the application identification buffer for the Join (§3.1): the
+/// credentials the replicated voter registry checks.
+pub fn idbuf(user: &str, secret: &str) -> Vec<u8> {
+    format!("{user}:{secret}").into_bytes()
+}
+
+/// Decode a tally reply into `(choice, count)` pairs.
+pub fn decode_tally(reply: &[u8]) -> Option<Vec<(String, i64)>> {
+    match decode_outcome(reply)? {
+        WireOutcome::Rows(rows) => rows
+            .rows
+            .into_iter()
+            .map(|r| match (r.first(), r.get(1)) {
+                (Some(Value::Text(c)), Some(Value::Integer(n))) => Some((c.clone(), *n)),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip() {
+        for op in [
+            VoteOp::CreateElection { title: "Board 2026".into() },
+            VoteOp::CastVote { election: 3, choice: "alice".into() },
+            VoteOp::Tally { election: 3 },
+            VoteOp::ListElections,
+            VoteOp::MyVote { election: 1 },
+            VoteOp::Certify { election: 2, participants: vec![1, 3] },
+        ] {
+            assert_eq!(VoteOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(!VoteOp::CreateElection { title: "x".into() }.is_read_only());
+        assert!(!VoteOp::CastVote { election: 1, choice: "y".into() }.is_read_only());
+        assert!(VoteOp::Tally { election: 1 }.is_read_only());
+        assert!(VoteOp::ListElections.is_read_only());
+        assert!(VoteOp::MyVote { election: 1 }.is_read_only());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(VoteOp::decode(&[]), None);
+        assert_eq!(VoteOp::decode(&[99]), None);
+        assert_eq!(VoteOp::decode(&[2, 1]), None);
+    }
+
+    #[test]
+    fn idbuf_format() {
+        assert_eq!(idbuf("alice", "s3cret"), b"alice:s3cret".to_vec());
+    }
+}

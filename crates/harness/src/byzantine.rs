@@ -1,0 +1,228 @@
+//! Byzantine fault injection.
+//!
+//! PBFT's whole reason for existing is tolerating *arbitrary* faults, so the
+//! reproduction needs adversarial replicas, not just crashes and packet
+//! loss. Faults are injected at the host layer, wrapping honest engines:
+//!
+//! * [`Fault::Mute`] — the replica processes everything but sends nothing
+//!   (a fail-silent primary must be voted out by the view change).
+//! * [`Fault::TamperReplies`] — replies to clients are corrupted in flight
+//!   (authentication on the client side must reject them; with f+1 matching
+//!   replies required, a single liar can never make a client accept a wrong
+//!   result).
+//! * [`Fault::TamperAgreement`] — prepare/commit messages are corrupted
+//!   (peers' authentication drops them, costing the liar its vote).
+//! * [`Fault::SplitBrain`] — the classic equivocating primary: two honest
+//!   engines share one identity but speak to disjoint halves of the group,
+//!   so conflicting, *correctly authenticated* pre-prepares are sent for
+//!   the same sequence numbers. Safety must hold: no two correct replicas
+//!   execute different batches at the same sequence.
+//!
+//! The split-brain construction is the strongest: it cannot be detected by
+//! authentication (every message is genuinely signed by the primary) and
+//! exercises the prepare-quorum intersection argument directly.
+
+use pbft_core::replica::Replica;
+use pbft_core::{NetTarget, Output};
+use simnet::{Node, NodeCtx, NodeId, TimerId};
+
+use crate::cluster::{make_engine, Cluster, ClusterSpec};
+use crate::cost::CostModel;
+
+/// Which Byzantine behaviour to mount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop every outgoing message (fail-silent, but still receiving).
+    Mute,
+    /// Flip bytes in replies to clients.
+    TamperReplies,
+    /// Flip bytes in prepare/commit messages to peers.
+    TamperAgreement,
+    /// Run two engines with the same identity, each talking to a disjoint
+    /// half of the backups (equivocation with valid authentication).
+    SplitBrain,
+}
+
+/// Message discriminants (first payload byte) this module inspects.
+const TAG_PREPARE: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_REPLY: u8 = 5;
+
+/// A replica host that misbehaves.
+pub struct FaultyReplicaHost {
+    /// Engine(s): one, or two for [`Fault::SplitBrain`].
+    pub engines: Vec<Replica>,
+    fault: Fault,
+    model: CostModel,
+    /// Group size (to map `NetTarget` to node ids).
+    n: usize,
+}
+
+impl FaultyReplicaHost {
+    /// Wrap `replica` with `fault`. For [`Fault::SplitBrain`] pass the twin
+    /// engine created with [`make_engine`] for the same id.
+    pub fn new(replica: Replica, twin: Option<Replica>, fault: Fault, model: CostModel, n: usize) -> Self {
+        let mut engines = vec![replica];
+        if let Some(t) = twin {
+            assert_eq!(fault, Fault::SplitBrain, "twin engines are for split-brain only");
+            engines.push(t);
+        }
+        FaultyReplicaHost { engines, fault, model, n }
+    }
+
+    /// Does `engine_idx` get to talk to `dst` under the current fault?
+    ///
+    /// Split-brain: engine 0 owns the first backup and all clients; engine 1
+    /// owns the remaining backups. (For n = 4 and faulty replica 0 that is
+    /// {1} vs {2, 3} — neither audience alone can assemble a prepare quorum
+    /// for a conflicting batch... unless the protocol is broken.)
+    fn audience_allows(&self, engine_idx: usize, dst: NodeId) -> bool {
+        if self.fault != Fault::SplitBrain {
+            return true;
+        }
+        let is_replica = (dst.0 as usize) < self.n;
+        if !is_replica {
+            return engine_idx == 0; // clients hear engine 0 only
+        }
+        let me = self.engines[0].id().0;
+        // Peers other than ourselves, in id order, are split: first peer to
+        // engine 0, the rest to engine 1.
+        let mut peers: Vec<u32> = (0..self.n as u32).filter(|&r| r != me).collect();
+        let first = peers.remove(0);
+        if engine_idx == 0 {
+            dst.0 == first
+        } else {
+            peers.contains(&dst.0)
+        }
+    }
+
+    fn transform(&self, packet: Vec<u8>, to_client: bool) -> Option<Vec<u8>> {
+        let tag = packet.first().copied().unwrap_or(0);
+        match self.fault {
+            Fault::Mute => None,
+            Fault::TamperReplies if to_client && tag == TAG_REPLY => Some(corrupt(packet)),
+            Fault::TamperAgreement if !to_client && (tag == TAG_PREPARE || tag == TAG_COMMIT) => {
+                Some(corrupt(packet))
+            }
+            _ => Some(packet),
+        }
+    }
+
+    fn route(&mut self, engine_idx: usize, outputs: Vec<Output>, ctx: &mut NodeCtx<'_>) {
+        for out in outputs {
+            match out {
+                Output::Send { to, packet, .. } => {
+                    let (dst, to_client) = match to {
+                        NetTarget::Replica(r) => (NodeId(r.0), false),
+                        NetTarget::Client(addr) => (NodeId(addr), true),
+                    };
+                    if !self.audience_allows(engine_idx, dst) {
+                        continue;
+                    }
+                    let Some(packet) = self.transform(packet, to_client) else { continue };
+                    ctx.charge(self.model.packet_cost(packet.len()));
+                    ctx.send(dst, packet);
+                }
+                Output::SetTimer { kind, delay_ns } => {
+                    // Timers collapse across engines (same kinds); close
+                    // enough for fault scenarios.
+                    ctx.set_timer(TimerId(kind.index()), simnet::SimDuration::from_nanos(delay_ns));
+                }
+                Output::CancelTimer { kind } => ctx.cancel_timer(TimerId(kind.index())),
+            }
+        }
+    }
+}
+
+impl Node for FaultyReplicaHost {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for i in 0..self.engines.len() {
+            let res = self.engines[i].on_start(ctx.now().as_nanos() + i as u64, false);
+            ctx.charge(self.model.charge_counts(&res.counts));
+            self.route(i, res.outputs, ctx);
+        }
+    }
+
+    fn on_packet(&mut self, _src: NodeId, payload: &[u8], ctx: &mut NodeCtx<'_>) {
+        ctx.charge(self.model.packet_cost(payload.len()));
+        for i in 0..self.engines.len() {
+            // The twin's clock is skewed by its index (nanoseconds): the
+            // brains are otherwise deterministic twins and would issue
+            // *identical* pre-prepares — the skew lands in the batch's
+            // non-determinism data, so their batches genuinely conflict
+            // while every message stays correctly authenticated.
+            let res = self.engines[i].handle_packet(payload, ctx.now().as_nanos() + i as u64);
+            ctx.charge(self.model.charge_counts(&res.counts));
+            self.route(i, res.outputs, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
+        let Some(kind) = pbft_core::TimerKind::from_index(timer.0) else { return };
+        for i in 0..self.engines.len() {
+            let res = self.engines[i].on_timer(kind, ctx.now().as_nanos() + i as u64);
+            ctx.charge(self.model.charge_counts(&res.counts));
+            self.route(i, res.outputs, ctx);
+        }
+    }
+}
+
+/// Flip a byte somewhere past the header (keeps the message decodable-ish;
+/// authentication is what must catch it).
+fn corrupt(mut packet: Vec<u8>) -> Vec<u8> {
+    let idx = packet.len() / 2;
+    if let Some(b) = packet.get_mut(idx) {
+        *b ^= 0xff;
+    }
+    packet
+}
+
+/// Build a cluster where `faulty` misbehaves per `fault`; all other replicas
+/// and all clients are honest.
+pub fn build_faulty_cluster(spec: ClusterSpec, faulty: u32, fault: Fault) -> Cluster {
+    let n = spec.cfg.n();
+    let cost = spec.cost;
+    let spec_for_twin = spec.clone();
+    Cluster::build_with(spec, move |i, replica| {
+        if i == faulty {
+            let twin = (fault == Fault::SplitBrain).then(|| make_engine(&spec_for_twin, i));
+            Box::new(FaultyReplicaHost::new(replica, twin, fault, cost, n))
+        } else {
+            Box::new(crate::cluster::ReplicaHost::new(replica, cost))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let p = vec![5u8; 9];
+        let c = corrupt(p.clone());
+        assert_ne!(p, c);
+        assert_eq!(c.iter().filter(|&&b| b != 5).count(), 1);
+    }
+
+    #[test]
+    fn split_brain_audiences_are_disjoint_and_cover() {
+        let spec = ClusterSpec::default();
+        let n = spec.cfg.n();
+        let host = FaultyReplicaHost::new(
+            make_engine(&spec, 0),
+            Some(make_engine(&spec, 0)),
+            Fault::SplitBrain,
+            CostModel::default(),
+            n,
+        );
+        for peer in 1..n as u32 {
+            let a = host.audience_allows(0, NodeId(peer));
+            let b = host.audience_allows(1, NodeId(peer));
+            assert!(a ^ b, "peer {peer} must hear exactly one brain");
+        }
+        // Clients (ids ≥ n) hear engine 0 only.
+        assert!(host.audience_allows(0, NodeId(n as u32 + 3)));
+        assert!(!host.audience_allows(1, NodeId(n as u32 + 3)));
+    }
+}

@@ -1,0 +1,564 @@
+//! Cluster assembly: mounting the sans-io engines on the simulator.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use minisql::JournalMode;
+use pbft_core::app::{App, NullApp, StateHandle};
+use pbft_core::client::{Client, ClientEvent, ClientMetrics};
+use pbft_core::replica::{Replica, ReplicaMetrics, LIB_REGION_PAGES};
+use pbft_core::{ClientId, HandleResult, NetTarget, Output, PbftConfig, ReplicaId, TimerKind};
+use pbft_sql::{CostProfile, SqlApp};
+use pbft_state::PagedState;
+use simnet::{LinkParams, Node, NodeCtx, NodeId, SimConfig, SimDuration, Simulator, TimerId};
+
+use crate::cost::CostModel;
+use crate::workload::{OpGen, SQL_BENCH_SCHEMA};
+
+/// The deployment's key-material seed (identical across trials so that only
+/// network randomness varies between seeds).
+pub const GROUP_SEED: u64 = 0xC1A55;
+
+/// Which application backs the replicas.
+#[derive(Debug, Clone)]
+pub enum AppKind {
+    /// The null application of §4.1.
+    Null {
+        /// Reply size in bytes.
+        reply_size: usize,
+    },
+    /// The SQL state abstraction of §4.2 (with the `bench` table installed).
+    Sql {
+        /// ACID (rollback journal) or the no-ACID comparison mode.
+        journal: JournalMode,
+    },
+    /// The full e-voting service.
+    Evoting {
+        /// Journal mode.
+        journal: JournalMode,
+        /// Registered voters (user, secret).
+        voters: Vec<(String, String)>,
+    },
+}
+
+impl AppKind {
+    fn state_pages(&self) -> usize {
+        match self {
+            AppKind::Null { .. } => LIB_REGION_PAGES as usize + 12,
+            _ => LIB_REGION_PAGES as usize + 1020, // ~4 MiB app partition
+        }
+    }
+
+    fn make(&self, state: StateHandle) -> Box<dyn App> {
+        match self {
+            AppKind::Null { reply_size } => Box::new(NullApp::new(*reply_size)),
+            AppKind::Sql { journal } => Box::new(
+                SqlApp::open(state, *journal, CostProfile::default(), Some(SQL_BENCH_SCHEMA))
+                    .expect("state region fits the bench schema"),
+            ),
+            AppKind::Evoting { journal, voters } => {
+                let refs: Vec<(&str, &str)> =
+                    voters.iter().map(|(u, s)| (u.as_str(), s.as_str())).collect();
+                Box::new(evoting::EvotingApp::open(state, *journal, &refs))
+            }
+        }
+    }
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Protocol configuration (the Table 1 axes).
+    pub cfg: PbftConfig,
+    /// Application.
+    pub app: AppKind,
+    /// Number of clients (the paper uses 12).
+    pub num_clients: usize,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Default link parameters.
+    pub link: LinkParams,
+    /// Simulation seed (varies per trial).
+    pub seed: u64,
+    /// Record a message trace.
+    pub trace: bool,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            cfg: PbftConfig::default(),
+            app: AppKind::Null { reply_size: 1024 },
+            num_clients: 12,
+            cost: CostModel::default(),
+            link: LinkParams {
+                latency: SimDuration::from_micros(40),
+                jitter: SimDuration::from_micros(5),
+                ..Default::default()
+            },
+            seed: 1,
+            trace: false,
+        }
+    }
+}
+
+/// A replica mounted as a simulator node.
+pub struct ReplicaHost {
+    /// The protocol engine.
+    pub replica: Replica,
+    /// Cumulative work record (cost-model inputs), for experiment reports.
+    pub cum_counts: pbft_core::OpCounts,
+    model: CostModel,
+    restarted: bool,
+}
+
+fn apply_outputs(res: HandleResult, model: &CostModel, ctx: &mut NodeCtx<'_>) {
+    ctx.charge(model.charge_counts(&res.counts));
+    for out in res.outputs {
+        match out {
+            Output::Send { to, packet, .. } => {
+                ctx.charge(model.packet_cost(packet.len()));
+                let dst = match to {
+                    NetTarget::Replica(r) => NodeId(r.0),
+                    NetTarget::Client(addr) => NodeId(addr),
+                };
+                ctx.send(dst, packet);
+            }
+            Output::SetTimer { kind, delay_ns } => {
+                ctx.set_timer(TimerId(kind.index()), SimDuration::from_nanos(delay_ns));
+            }
+            Output::CancelTimer { kind } => ctx.cancel_timer(TimerId(kind.index())),
+        }
+    }
+}
+
+impl ReplicaHost {
+    /// Mount a replica engine with the standard honest behaviour.
+    pub fn new(replica: Replica, model: CostModel) -> ReplicaHost {
+        ReplicaHost { replica, cum_counts: Default::default(), model, restarted: false }
+    }
+}
+
+impl ClientHost {
+    /// Mount a client engine with no workload installed.
+    pub fn new(client: Client, model: CostModel) -> ClientHost {
+        ClientHost { client, model, gen: None, issued: 0, events: Vec::new() }
+    }
+}
+
+impl Node for ReplicaHost {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let res = self.replica.on_start(ctx.now().as_nanos(), self.restarted);
+        self.cum_counts.add(&res.counts);
+        apply_outputs(res, &self.model.clone(), ctx);
+    }
+
+    fn on_packet(&mut self, _src: NodeId, payload: &[u8], ctx: &mut NodeCtx<'_>) {
+        ctx.charge(self.model.packet_cost(payload.len()));
+        let res = self.replica.handle_packet(payload, ctx.now().as_nanos());
+        self.cum_counts.add(&res.counts);
+        apply_outputs(res, &self.model.clone(), ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
+        let Some(kind) = TimerKind::from_index(timer.0) else { return };
+        let res = self.replica.on_timer(kind, ctx.now().as_nanos());
+        self.cum_counts.add(&res.counts);
+        apply_outputs(res, &self.model.clone(), ctx);
+    }
+}
+
+/// A client mounted as a simulator node, optionally running a closed-loop
+/// workload.
+pub struct ClientHost {
+    /// The client engine.
+    pub client: Client,
+    model: CostModel,
+    gen: Option<OpGen>,
+    issued: u64,
+    /// Join/reply events observed (drained by experiments).
+    pub events: Vec<ClientEvent>,
+}
+
+impl ClientHost {
+    fn pump_workload(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.client.is_member() && !self.client.has_outstanding() {
+            if let Some(gen) = &mut self.gen {
+                let (op, read_only) = gen(self.issued);
+                self.issued += 1;
+                let res = self.client.submit(op, read_only, ctx.now().as_nanos());
+                apply_outputs(res, &self.model.clone(), ctx);
+            }
+        }
+    }
+}
+
+impl Node for ClientHost {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let res = self.client.on_start(ctx.now().as_nanos());
+        apply_outputs(res, &self.model.clone(), ctx);
+    }
+
+    fn on_packet(&mut self, _src: NodeId, payload: &[u8], ctx: &mut NodeCtx<'_>) {
+        ctx.charge(self.model.packet_cost(payload.len()));
+        let res = self.client.handle_packet(payload, ctx.now().as_nanos());
+        apply_outputs(res, &self.model.clone(), ctx);
+        self.events.extend(self.client.take_events());
+        self.pump_workload(ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
+        let Some(kind) = TimerKind::from_index(timer.0) else { return };
+        let res = self.client.on_timer(kind, ctx.now().as_nanos());
+        apply_outputs(res, &self.model.clone(), ctx);
+        self.pump_workload(ctx);
+    }
+}
+
+/// A running simulated cluster.
+pub struct Cluster {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Node ids of the replicas (index = replica id).
+    pub replicas: Vec<NodeId>,
+    /// Node ids of the clients.
+    pub clients: Vec<NodeId>,
+    spec: ClusterSpec,
+}
+
+/// Build one replica engine per the spec (used by [`Cluster::build`] and by
+/// fault-injection harnesses that need extra engines, e.g. a split-brain
+/// equivocating primary).
+pub fn make_engine(spec: &ClusterSpec, i: u32) -> Replica {
+    let static_clients: Vec<ClientId> = if spec.cfg.dynamic_membership {
+        Vec::new()
+    } else {
+        (1..=spec.num_clients as u64).map(ClientId).collect()
+    };
+    let state: StateHandle = Rc::new(RefCell::new(PagedState::new(spec.app.state_pages())));
+    let app = spec.app.make(state.clone());
+    Replica::new(spec.cfg.clone(), GROUP_SEED, ReplicaId(i), state, app, &static_clients)
+}
+
+impl Cluster {
+    /// Build the cluster: replicas first (node id == replica id), then
+    /// clients. Dynamic deployments complete their joins before this
+    /// returns.
+    pub fn build(spec: ClusterSpec) -> Cluster {
+        let cost = spec.cost;
+        Self::build_with(spec, |_, replica| {
+            Box::new(ReplicaHost {
+                replica,
+                cum_counts: Default::default(),
+                model: cost,
+                restarted: false,
+            })
+        })
+    }
+
+    /// Fully custom node assembly: the closure adds every node to the
+    /// simulator and returns `(replica_node_ids, client_node_ids)`. Used by
+    /// topologies that interpose extra nodes (e.g. privacy-firewall rows).
+    pub fn build_custom(
+        spec: ClusterSpec,
+        assemble: impl FnOnce(&mut Simulator, &ClusterSpec) -> (Vec<NodeId>, Vec<NodeId>),
+    ) -> Cluster {
+        let mut sim = Simulator::new(SimConfig {
+            seed: spec.seed,
+            default_link: spec.link,
+            trace: spec.trace,
+            ..Default::default()
+        });
+        let (replicas, clients) = assemble(&mut sim, &spec);
+        let mut cluster = Cluster { sim, replicas, clients, spec };
+        cluster.settle();
+        cluster
+    }
+
+    /// [`Cluster::build`] with custom replica hosts — the hook for mounting
+    /// Byzantine behaviours on selected replicas.
+    pub fn build_with(
+        spec: ClusterSpec,
+        mut make_host: impl FnMut(u32, Replica) -> Box<dyn Node>,
+    ) -> Cluster {
+        let mut sim = Simulator::new(SimConfig {
+            seed: spec.seed,
+            default_link: spec.link,
+            trace: spec.trace,
+            ..Default::default()
+        });
+        let n = spec.cfg.n();
+        let mut replicas = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            let replica = make_engine(&spec, i);
+            let id = sim.add_node(make_host(i, replica));
+            replicas.push(id);
+        }
+        let mut clients = Vec::with_capacity(spec.num_clients);
+        for c in 0..spec.num_clients {
+            // The client's transport address is its (future) simnet node id.
+            let addr = (n + c) as u32;
+            let client = if spec.cfg.dynamic_membership {
+                let idbuf = match &spec.app {
+                    AppKind::Evoting { voters, .. } => {
+                        let (u, s) = &voters[c % voters.len()];
+                        evoting::idbuf(u, s)
+                    }
+                    _ => format!("user-{c}").into_bytes(),
+                };
+                Client::new_dynamic(spec.cfg.clone(), GROUP_SEED, c as u64 + 1, addr, idbuf)
+            } else {
+                Client::new_static(spec.cfg.clone(), GROUP_SEED, ClientId(c as u64 + 1), addr)
+            };
+            let id = sim.add_node(Box::new(ClientHost {
+                client,
+                model: spec.cost,
+                gen: None,
+                issued: 0,
+                events: Vec::new(),
+            }));
+            clients.push(id);
+        }
+        let mut cluster = Cluster { sim, replicas, clients, spec };
+        cluster.settle();
+        cluster
+    }
+
+    /// Wait for joins / key distribution to complete.
+    fn settle(&mut self) {
+        for _ in 0..100 {
+            self.sim.run_for(SimDuration::from_millis(20));
+            let all_member = self
+                .clients
+                .iter()
+                .all(|&id| self.sim.node_ref::<ClientHost>(id).is_some_and(|c| c.client.is_member()));
+            if all_member {
+                break;
+            }
+        }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Install a workload generator on every client and issue the first op.
+    pub fn start_workload(&mut self, mut make_gen: impl FnMut(usize) -> OpGen) {
+        for (i, &id) in self.clients.clone().iter().enumerate() {
+            let gen = make_gen(i);
+            self.sim.with_node_ctx::<ClientHost, _>(id, |host, ctx| {
+                host.gen = Some(gen);
+                host.pump_workload(ctx);
+            });
+        }
+    }
+
+    /// Advance virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Stop issuing new operations and drain in-flight work, so that state
+    /// comparisons across replicas see a quiescent system.
+    pub fn quiesce(&mut self, drain: SimDuration) {
+        for &id in &self.clients.clone() {
+            if let Some(host) = self.sim.node_mut::<ClientHost>(id) {
+                host.gen = None;
+            }
+        }
+        self.sim.run_for(drain);
+    }
+
+    /// Total completed requests across clients.
+    pub fn completed(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter_map(|&id| self.sim.node_ref::<ClientHost>(id))
+            .map(|c| c.client.metrics.completed)
+            .sum()
+    }
+
+    /// Run `warmup` then measure throughput (requests/second of virtual
+    /// time) over `window`.
+    pub fn measure_throughput(&mut self, warmup: SimDuration, window: SimDuration) -> f64 {
+        self.run_for(warmup);
+        let base = self.completed();
+        self.run_for(window);
+        let done = self.completed() - base;
+        done as f64 / window.as_secs_f64()
+    }
+
+    /// A replica's metrics.
+    pub fn replica_metrics(&self, i: usize) -> ReplicaMetrics {
+        self.sim
+            .node_ref::<ReplicaHost>(self.replicas[i])
+            .map(|h| h.replica.metrics().clone())
+            .unwrap_or_default()
+    }
+
+    /// Access a replica engine.
+    pub fn replica(&self, i: usize) -> Option<&Replica> {
+        self.sim.node_ref::<ReplicaHost>(self.replicas[i]).map(|h| &h.replica)
+    }
+
+    /// A replica's cumulative work record (cost-model inputs).
+    pub fn replica_counts(&self, i: usize) -> pbft_core::OpCounts {
+        self.sim
+            .node_ref::<ReplicaHost>(self.replicas[i])
+            .map(|h| h.cum_counts.clone())
+            .unwrap_or_default()
+    }
+
+    /// A client's metrics.
+    pub fn client_metrics(&self, i: usize) -> ClientMetrics {
+        self.sim
+            .node_ref::<ClientHost>(self.clients[i])
+            .map(|c| c.client.metrics)
+            .unwrap_or_default()
+    }
+
+    /// Mean request latency (ms) across clients.
+    pub fn mean_latency_ms(&self) -> f64 {
+        let (mut total, mut n) = (0u64, 0u64);
+        for i in 0..self.clients.len() {
+            let m = self.client_metrics(i);
+            total += m.total_latency_ns;
+            n += m.completed;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64 / 1e6
+        }
+    }
+
+    /// Crash a replica (transient state will be lost on restart).
+    pub fn crash_replica(&mut self, i: usize) {
+        self.sim.crash(self.replicas[i]);
+    }
+
+    /// Restart a crashed replica. `preserve_disk` keeps the state region
+    /// (the durable "disk"); otherwise it restarts blank. Client session
+    /// keys are always lost — the §2.3 scenario.
+    pub fn restart_replica(&mut self, i: usize, preserve_disk: bool) {
+        let node_id = self.replicas[i];
+        let old = self.sim.take_node(node_id);
+        let state: StateHandle = match (preserve_disk, old) {
+            (true, Some(node)) => {
+                let host = (node as Box<dyn std::any::Any>)
+                    .downcast::<ReplicaHost>()
+                    .expect("replica host");
+                host.replica.state_handle()
+            }
+            _ => Rc::new(RefCell::new(PagedState::new(self.spec.app.state_pages()))),
+        };
+        let app = self.spec.app.make(state.clone());
+        let replica = Replica::new(
+            self.spec.cfg.clone(),
+            GROUP_SEED,
+            ReplicaId(i as u32),
+            state,
+            app,
+            &[], // session keys are transient: all lost
+        );
+        self.sim.restart(
+            node_id,
+            Box::new(ReplicaHost {
+                replica,
+                cum_counts: Default::default(),
+                model: self.spec.cost,
+                restarted: true,
+            }),
+        );
+    }
+
+    /// Set packet loss on the directed link `from → to` (indices into the
+    /// combined replica+client node space: use the `replicas`/`clients`
+    /// arrays).
+    pub fn set_loss(&mut self, from: NodeId, to: NodeId, loss: f64) {
+        let mut params = self.spec.link;
+        params.loss = loss;
+        self.sim.set_link(from, to, params);
+    }
+
+    /// Are all live replicas' state digests identical? (Safety check.)
+    pub fn states_converged(&mut self, among: &[usize]) -> bool {
+        let mut roots = Vec::new();
+        for &i in among {
+            let Some(host) = self.sim.node_ref::<ReplicaHost>(self.replicas[i]) else {
+                continue;
+            };
+            let handle = host.replica.state_handle();
+            roots.push(handle.borrow_mut().refresh_digest());
+        }
+        roots.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::null_ops;
+
+    #[test]
+    fn static_null_cluster_reaches_throughput() {
+        let spec = ClusterSpec { num_clients: 4, ..Default::default() };
+        let mut cluster = Cluster::build(spec);
+        cluster.start_workload(|_| null_ops(256));
+        let tps = cluster.measure_throughput(
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(500),
+        );
+        assert!(tps > 1000.0, "default config should be fast, got {tps}");
+        cluster.quiesce(SimDuration::from_millis(500));
+        assert!(cluster.states_converged(&[0, 1, 2, 3]));
+        assert!(cluster.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn dynamic_cluster_joins_and_works() {
+        let cfg = PbftConfig { dynamic_membership: true, ..Default::default() };
+        let spec = ClusterSpec { cfg, num_clients: 3, ..Default::default() };
+        let mut cluster = Cluster::build(spec);
+        for &id in &cluster.clients {
+            let host = cluster.sim.node_ref::<ClientHost>(id).expect("client");
+            assert!(host.client.is_member(), "join completed during build");
+        }
+        cluster.start_workload(|_| null_ops(128));
+        cluster.run_for(SimDuration::from_millis(500));
+        assert!(cluster.completed() > 100);
+    }
+
+    #[test]
+    fn sql_cluster_executes_inserts() {
+        let spec = ClusterSpec {
+            app: AppKind::Sql { journal: JournalMode::Rollback },
+            num_clients: 4,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::build(spec);
+        cluster.start_workload(|i| crate::workload::sql_insert_ops(i as u64));
+        cluster.run_for(SimDuration::from_secs(1));
+        assert!(cluster.completed() > 50, "got {}", cluster.completed());
+        cluster.quiesce(SimDuration::from_secs(1));
+        assert!(cluster.states_converged(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn crash_and_restart_recovers() {
+        let cfg = PbftConfig { checkpoint_interval: 32, ..Default::default() };
+        let spec = ClusterSpec { cfg, num_clients: 4, ..Default::default() };
+        let mut cluster = Cluster::build(spec);
+        cluster.start_workload(|_| null_ops(64));
+        cluster.run_for(SimDuration::from_millis(300));
+        cluster.crash_replica(2);
+        cluster.run_for(SimDuration::from_millis(300));
+        cluster.restart_replica(2, false);
+        cluster.run_for(SimDuration::from_secs(6));
+        let m = cluster.replica_metrics(2);
+        assert!(m.state_transfers_completed >= 1, "{m:?}");
+        cluster.quiesce(SimDuration::from_secs(1));
+        assert!(cluster.states_converged(&[0, 1, 3]));
+    }
+}

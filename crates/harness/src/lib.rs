@@ -1,0 +1,32 @@
+//! The experiment harness: the reproduction of the paper's §4 testbed.
+//!
+//! The paper coordinates 8 machines with "a test framework using Python and
+//! netcat, where the latter runs on each host and allows a single controller
+//! to submit scripts (i.e., experiments) and collect the results". This
+//! crate is that controller for the simulated cluster:
+//!
+//! * [`cost`] — the calibrated cost model turning engine work-counts
+//!   ([`pbft_core::OpCounts`]) and packet sizes into virtual CPU time,
+//! * [`cluster`] — replica/client adapters mounting the sans-io engines on
+//!   `simnet`, a cluster builder, and fault injection,
+//! * [`byzantine`] — adversarial replica hosts (mute, tampering and
+//!   split-brain equivocating primaries) for safety/liveness experiments,
+//! * [`firewall`] — the Yin et al. privacy-firewall topology of §3.3.1,
+//!   for the deployment-cost ablation,
+//! * [`workload`] — closed-loop client workload generators (null ops of the
+//!   paper's sizes, the §4.2 SQL row insert, e-voting sessions),
+//! * [`stats`] — mean/standard deviation over trials (the paper's TPS ±
+//!   StDev columns),
+//! * [`experiments`] — one entry point per table/figure.
+
+pub mod byzantine;
+pub mod cluster;
+pub mod firewall;
+pub mod cost;
+pub mod experiments;
+pub mod stats;
+pub mod workload;
+
+pub use cluster::{AppKind, Cluster, ClusterSpec};
+pub use cost::CostModel;
+pub use stats::Stats;

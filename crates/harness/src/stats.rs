@@ -1,0 +1,68 @@
+//! Mean / standard deviation over experiment trials.
+
+/// Summary statistics of a set of trial measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single trial).
+    pub std_dev: f64,
+    /// Number of trials.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Compute from raw trial values.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "stats need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std_dev = if n > 1 {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Stats { mean, std_dev, n }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0} ± {:.0}", self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_samples(&[10.0]);
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_panics() {
+        Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Stats::from_samples(&[1000.0]).to_string(), "1000 ± 0");
+    }
+}

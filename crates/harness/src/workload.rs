@@ -1,0 +1,78 @@
+//! Closed-loop client workloads.
+
+/// A generator producing the next operation for a closed-loop client:
+/// `(op bytes, read_only)`.
+pub type OpGen = Box<dyn FnMut(u64) -> (Vec<u8>, bool)>;
+
+/// Null operations of a fixed size — the workload behind Table 1 / Figure 4
+/// ("The client and server programs built to measure throughput transmit
+/// null requests and responses of varying sizes").
+pub fn null_ops(size: usize) -> OpGen {
+    Box::new(move |seq| {
+        let mut op = vec![0u8; size];
+        // Stamp the sequence so requests are distinct (distinct digests).
+        op[..8.min(size)].copy_from_slice(&seq.to_be_bytes()[..8.min(size)]);
+        (op, false)
+    })
+}
+
+/// The §4.2 workload: "the insertion of a single row into a database table
+/// ... a simple key and value text (representing voter identity and
+/// accompanying vote), in addition to a timestamp and a random value".
+pub fn sql_insert_ops(client_tag: u64) -> OpGen {
+    Box::new(move |seq| {
+        let sql = format!(
+            "INSERT INTO bench (k, v, ts, rnd) VALUES ('voter-{client_tag}-{seq}', 'vote-{seq}', now(), random())"
+        );
+        (sql.into_bytes(), false)
+    })
+}
+
+/// The schema the SQL workloads expect.
+pub const SQL_BENCH_SCHEMA: &str =
+    "CREATE TABLE bench (id INTEGER PRIMARY KEY, k TEXT, v TEXT, ts INTEGER, rnd INTEGER)";
+
+/// E-voting sessions: every operation casts a vote in election 1.
+pub fn evoting_ops(choices: &'static [&'static str]) -> OpGen {
+    Box::new(move |seq| {
+        let choice = choices[(seq as usize) % choices.len()];
+        let op = evoting::VoteOp::CastVote { election: 1, choice: choice.to_string() };
+        (op.encode(), false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ops_are_distinct_and_sized() {
+        let mut gen = null_ops(256);
+        let (a, ro) = gen(1);
+        let (b, _) = gen(2);
+        assert_eq!(a.len(), 256);
+        assert!(!ro);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sql_ops_insert_rows() {
+        let mut gen = sql_insert_ops(3);
+        let (op, ro) = gen(9);
+        let sql = String::from_utf8(op).expect("utf8");
+        assert!(sql.contains("INSERT INTO bench"));
+        assert!(sql.contains("voter-3-9"));
+        assert!(sql.contains("now()"));
+        assert!(sql.contains("random()"));
+        assert!(!ro);
+    }
+
+    #[test]
+    fn evoting_ops_rotate_choices() {
+        let mut gen = evoting_ops(&["a", "b"]);
+        let (op1, _) = gen(0);
+        let (op2, _) = gen(1);
+        assert_ne!(op1, op2);
+        assert!(evoting::VoteOp::decode(&op1).is_some());
+    }
+}

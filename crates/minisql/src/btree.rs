@@ -1,0 +1,559 @@
+//! B+tree keyed by 64-bit rowids — the storage structure behind every table
+//! (and the catalog). Interior nodes route by max-key; leaves form a chain
+//! for in-order scans. Pages are rewritten wholesale on modification (4 KiB
+//! memcpy), which keeps the code simple and the layout deterministic.
+
+use crate::error::SqlError;
+use crate::pager::{Pager, PAGE_SIZE};
+
+const LEAF: u8 = 1;
+const INTERIOR: u8 = 2;
+const HDR: usize = 7; // type u8, nkeys u16, aux u32
+
+/// Maximum payload stored in one leaf cell (one row). Rows larger than this
+/// are rejected with [`SqlError::RowTooLarge`] — minisql does not implement
+/// overflow pages (a documented simplification vs. SQLite).
+pub const MAX_PAYLOAD: usize = PAGE_SIZE - HDR - 16;
+
+/// A fresh, empty leaf page (used for new roots).
+pub fn empty_leaf_page() -> Vec<u8> {
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[0] = LEAF;
+    page
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf { next: u32, cells: Vec<(i64, Vec<u8>)> },
+    Interior { rightmost: u32, cells: Vec<(i64, u32)> },
+}
+
+impl Node {
+    fn parse(page: &[u8]) -> Result<Node, SqlError> {
+        let corrupt = |m: &str| SqlError::Corrupt(format!("btree: {m}"));
+        let ty = page[0];
+        let n = u16::from_be_bytes([page[1], page[2]]) as usize;
+        let aux = u32::from_be_bytes(page[3..7].try_into().expect("4 bytes"));
+        let mut pos = HDR;
+        match ty {
+            LEAF => {
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if pos + 10 > PAGE_SIZE {
+                        return Err(corrupt("leaf cell header past page end"));
+                    }
+                    let key =
+                        i64::from_be_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
+                    let len =
+                        u16::from_be_bytes([page[pos + 8], page[pos + 9]]) as usize;
+                    pos += 10;
+                    if pos + len > PAGE_SIZE {
+                        return Err(corrupt("leaf payload past page end"));
+                    }
+                    cells.push((key, page[pos..pos + len].to_vec()));
+                    pos += len;
+                }
+                Ok(Node::Leaf { next: aux, cells })
+            }
+            INTERIOR => {
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if pos + 12 > PAGE_SIZE {
+                        return Err(corrupt("interior cell past page end"));
+                    }
+                    let key =
+                        i64::from_be_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
+                    let child =
+                        u32::from_be_bytes(page[pos + 8..pos + 12].try_into().expect("4 bytes"));
+                    cells.push((key, child));
+                    pos += 12;
+                }
+                Ok(Node::Interior { rightmost: aux, cells })
+            }
+            other => Err(corrupt(&format!("unknown node type {other}"))),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            Node::Leaf { cells, .. } => {
+                HDR + cells.iter().map(|(_, p)| 10 + p.len()).sum::<usize>()
+            }
+            Node::Interior { cells, .. } => HDR + cells.len() * 12,
+        }
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        debug_assert!(self.size() <= PAGE_SIZE, "node overflows page");
+        let mut page = vec![0u8; PAGE_SIZE];
+        match self {
+            Node::Leaf { next, cells } => {
+                page[0] = LEAF;
+                page[1..3].copy_from_slice(&(cells.len() as u16).to_be_bytes());
+                page[3..7].copy_from_slice(&next.to_be_bytes());
+                let mut pos = HDR;
+                for (key, payload) in cells {
+                    page[pos..pos + 8].copy_from_slice(&key.to_be_bytes());
+                    page[pos + 8..pos + 10]
+                        .copy_from_slice(&(payload.len() as u16).to_be_bytes());
+                    pos += 10;
+                    page[pos..pos + payload.len()].copy_from_slice(payload);
+                    pos += payload.len();
+                }
+            }
+            Node::Interior { rightmost, cells } => {
+                page[0] = INTERIOR;
+                page[1..3].copy_from_slice(&(cells.len() as u16).to_be_bytes());
+                page[3..7].copy_from_slice(&rightmost.to_be_bytes());
+                let mut pos = HDR;
+                for (key, child) in cells {
+                    page[pos..pos + 8].copy_from_slice(&key.to_be_bytes());
+                    page[pos + 8..pos + 12].copy_from_slice(&child.to_be_bytes());
+                    pos += 12;
+                }
+            }
+        }
+        page
+    }
+}
+
+/// Result of an insertion that overflowed a node.
+struct Split {
+    /// The original node now holds keys ≤ `sep`…
+    sep: i64,
+    /// …and this new node holds the rest.
+    right: u32,
+}
+
+/// A B+tree rooted at a fixed page (the root page id never changes, so
+/// catalog entries stay valid across splits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTree {
+    /// Root page id.
+    pub root: u32,
+}
+
+impl BTree {
+    /// Create an empty tree on a freshly allocated page.
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn create(pager: &mut Pager) -> Result<BTree, SqlError> {
+        let root = pager.allocate()?;
+        *pager.page_mut(root)? = empty_leaf_page();
+        Ok(BTree { root })
+    }
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    /// Storage failures / corruption.
+    pub fn get(&self, pager: &mut Pager, key: i64) -> Result<Option<Vec<u8>>, SqlError> {
+        let mut page_id = self.root;
+        loop {
+            let node = Node::parse(pager.page(page_id)?)?;
+            match node {
+                Node::Leaf { cells, .. } => {
+                    return Ok(cells
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .map(|(_, p)| p.clone()));
+                }
+                Node::Interior { rightmost, cells } => {
+                    page_id = cells
+                        .iter()
+                        .find(|(k, _)| key <= *k)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(rightmost);
+                }
+            }
+        }
+    }
+
+    /// Insert a new `(key, payload)`; duplicate keys are a constraint error.
+    ///
+    /// # Errors
+    /// [`SqlError::Constraint`] on duplicates, [`SqlError::RowTooLarge`] on
+    /// oversized payloads, storage failures.
+    pub fn insert(&self, pager: &mut Pager, key: i64, payload: Vec<u8>) -> Result<(), SqlError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(SqlError::RowTooLarge(payload.len()));
+        }
+        if let Some(split) = self.insert_into(pager, self.root, key, payload)? {
+            // Root split: copy the (already-split) root into a fresh left
+            // page and convert the root into an interior node so its page id
+            // stays stable.
+            let left = pager.allocate()?;
+            let root_bytes = pager.page(self.root)?.to_vec();
+            *pager.page_mut(left)? = root_bytes;
+            let new_root = Node::Interior { rightmost: split.right, cells: vec![(split.sep, left)] };
+            *pager.page_mut(self.root)? = new_root.serialize();
+        }
+        Ok(())
+    }
+
+    fn insert_into(
+        &self,
+        pager: &mut Pager,
+        page_id: u32,
+        key: i64,
+        payload: Vec<u8>,
+    ) -> Result<Option<Split>, SqlError> {
+        let node = Node::parse(pager.page(page_id)?)?;
+        match node {
+            Node::Leaf { next, mut cells } => {
+                match cells.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(_) => return Err(SqlError::Constraint(format!("duplicate rowid {key}"))),
+                    Err(pos) => cells.insert(pos, (key, payload)),
+                }
+                let mut node = Node::Leaf { next, cells };
+                if node.size() <= PAGE_SIZE {
+                    *pager.page_mut(page_id)? = node.serialize();
+                    return Ok(None);
+                }
+                // Split the leaf: move the upper half to a new right page.
+                let Node::Leaf { next, cells } = &mut node else { unreachable!() };
+                let mid = cells.len() / 2;
+                let right_cells = cells.split_off(mid);
+                let right_id = pager.allocate()?;
+                let right = Node::Leaf { next: *next, cells: right_cells };
+                *next = right_id;
+                let sep = cells.last().expect("left half non-empty").0;
+                *pager.page_mut(right_id)? = right.serialize();
+                *pager.page_mut(page_id)? = node.serialize();
+                Ok(Some(Split { sep, right: right_id }))
+            }
+            Node::Interior { mut rightmost, mut cells } => {
+                let (slot, child) = match cells.iter().position(|(k, _)| key <= *k) {
+                    Some(i) => (Some(i), cells[i].1),
+                    None => (None, rightmost),
+                };
+                let Some(split) = self.insert_into(pager, child, key, payload)? else {
+                    return Ok(None);
+                };
+                // The child now holds ≤ sep; `split.right` holds the rest.
+                match slot {
+                    Some(i) => {
+                        let old_key = cells[i].0;
+                        cells[i] = (split.sep, child);
+                        cells.insert(i + 1, (old_key, split.right));
+                    }
+                    None => {
+                        cells.push((split.sep, child));
+                        rightmost = split.right;
+                    }
+                }
+                let mut node = Node::Interior { rightmost, cells };
+                if node.size() <= PAGE_SIZE {
+                    *pager.page_mut(page_id)? = node.serialize();
+                    return Ok(None);
+                }
+                // Split the interior node.
+                let Node::Interior { rightmost, cells } = &mut node else { unreachable!() };
+                let mid = cells.len() / 2;
+                let sep_entry = cells[mid];
+                let right_cells: Vec<(i64, u32)> = cells[mid + 1..].to_vec();
+                cells.truncate(mid);
+                let left_rightmost = sep_entry.1;
+                let right = Node::Interior { rightmost: *rightmost, cells: right_cells };
+                *rightmost = left_rightmost;
+                let right_id = pager.allocate()?;
+                *pager.page_mut(right_id)? = right.serialize();
+                *pager.page_mut(page_id)? = node.serialize();
+                Ok(Some(Split { sep: sep_entry.0, right: right_id }))
+            }
+        }
+    }
+
+    /// Replace the payload of an existing key (same-size-or-smaller fast
+    /// path; falls back to delete+insert).
+    ///
+    /// # Errors
+    /// [`SqlError::Constraint`] if the key does not exist.
+    pub fn update(&self, pager: &mut Pager, key: i64, payload: Vec<u8>) -> Result<(), SqlError> {
+        if !self.delete(pager, key)? {
+            return Err(SqlError::Constraint(format!("update of missing rowid {key}")));
+        }
+        self.insert(pager, key, payload)
+    }
+
+    /// Delete a key; returns whether it existed. (No page merging: pages may
+    /// stay sparse until the table is dropped — a documented simplification.)
+    ///
+    /// # Errors
+    /// Storage failures / corruption.
+    pub fn delete(&self, pager: &mut Pager, key: i64) -> Result<bool, SqlError> {
+        let mut page_id = self.root;
+        loop {
+            let node = Node::parse(pager.page(page_id)?)?;
+            match node {
+                Node::Leaf { next, mut cells } => {
+                    let Ok(pos) = cells.binary_search_by_key(&key, |(k, _)| *k) else {
+                        return Ok(false);
+                    };
+                    cells.remove(pos);
+                    *pager.page_mut(page_id)? = Node::Leaf { next, cells }.serialize();
+                    return Ok(true);
+                }
+                Node::Interior { rightmost, cells } => {
+                    page_id = cells
+                        .iter()
+                        .find(|(k, _)| key <= *k)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(rightmost);
+                }
+            }
+        }
+    }
+
+    /// All `(key, payload)` pairs in key order.
+    ///
+    /// # Errors
+    /// Storage failures / corruption.
+    pub fn collect_all(&self, pager: &mut Pager) -> Result<Vec<(i64, Vec<u8>)>, SqlError> {
+        // Find the leftmost leaf, then follow the chain.
+        let mut page_id = self.root;
+        loop {
+            match Node::parse(pager.page(page_id)?)? {
+                Node::Leaf { .. } => break,
+                Node::Interior { rightmost, cells } => {
+                    page_id = cells.first().map(|(_, c)| *c).unwrap_or(rightmost);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { next, cells } = Node::parse(pager.page(page_id)?)? else {
+                return Err(SqlError::Corrupt("leaf chain hit an interior node".into()));
+            };
+            out.extend(cells);
+            if next == 0 {
+                break;
+            }
+            page_id = next;
+        }
+        Ok(out)
+    }
+
+    /// Largest key in the tree (next-rowid assignment).
+    ///
+    /// # Errors
+    /// Storage failures / corruption.
+    pub fn max_key(&self, pager: &mut Pager) -> Result<Option<i64>, SqlError> {
+        let mut page_id = self.root;
+        loop {
+            match Node::parse(pager.page(page_id)?)? {
+                Node::Leaf { cells, .. } => {
+                    if let Some((k, _)) = cells.last() {
+                        return Ok(Some(*k));
+                    }
+                    // The rightmost leaf can be empty after deletions; fall
+                    // back to a full scan.
+                    let all = self.collect_all(pager)?;
+                    return Ok(all.last().map(|(k, _)| *k));
+                }
+                Node::Interior { rightmost, .. } => page_id = rightmost,
+            }
+        }
+    }
+
+    /// Free every page of the tree except the root, which is reset to an
+    /// empty leaf (DELETE without WHERE).
+    ///
+    /// # Errors
+    /// Storage failures / corruption.
+    pub fn clear(&self, pager: &mut Pager) -> Result<(), SqlError> {
+        let pages = self.all_pages(pager)?;
+        for p in pages {
+            if p != self.root {
+                pager.free(p)?;
+            }
+        }
+        *pager.page_mut(self.root)? = empty_leaf_page();
+        Ok(())
+    }
+
+    /// Free the entire tree including the root (DROP TABLE).
+    ///
+    /// # Errors
+    /// Storage failures / corruption.
+    pub fn destroy(self, pager: &mut Pager) -> Result<(), SqlError> {
+        let pages = self.all_pages(pager)?;
+        for p in pages {
+            pager.free(p)?;
+        }
+        Ok(())
+    }
+
+    fn all_pages(&self, pager: &mut Pager) -> Result<Vec<u32>, SqlError> {
+        let mut stack = vec![self.root];
+        let mut out = Vec::new();
+        while let Some(p) = stack.pop() {
+            out.push(p);
+            if let Node::Interior { rightmost, cells } = Node::parse(pager.page(p)?)? {
+                stack.push(rightmost);
+                stack.extend(cells.iter().map(|(_, c)| *c));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::JournalMode;
+    use crate::vfs::MemVfs;
+
+    fn fresh() -> (Pager, BTree) {
+        let mut pager =
+            Pager::open(Box::new(MemVfs::new()), Box::new(MemVfs::new()), JournalMode::Off)
+                .expect("open");
+        let tree = BTree::create(&mut pager).expect("create");
+        (pager, tree)
+    }
+
+    fn payload(i: i64) -> Vec<u8> {
+        format!("row-{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (mut pager, tree) = fresh();
+        for i in [5i64, 1, 9, 3] {
+            tree.insert(&mut pager, i, payload(i)).expect("insert");
+        }
+        assert_eq!(tree.get(&mut pager, 3).expect("get"), Some(payload(3)));
+        assert_eq!(tree.get(&mut pager, 4).expect("get"), None);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (mut pager, tree) = fresh();
+        tree.insert(&mut pager, 1, payload(1)).expect("insert");
+        assert!(matches!(
+            tree.insert(&mut pager, 1, payload(1)),
+            Err(SqlError::Constraint(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let (mut pager, tree) = fresh();
+        assert!(matches!(
+            tree.insert(&mut pager, 1, vec![0u8; MAX_PAYLOAD + 1]),
+            Err(SqlError::RowTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn thousands_of_keys_with_splits() {
+        let (mut pager, tree) = fresh();
+        // Insert in a scrambled order to exercise interior splits.
+        let mut keys: Vec<i64> = (0..3000).collect();
+        let mut state = 12345u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            tree.insert(&mut pager, k, payload(k)).expect("insert");
+        }
+        // Spot-check lookups.
+        for k in [0i64, 1, 1499, 2998, 2999] {
+            assert_eq!(tree.get(&mut pager, k).expect("get"), Some(payload(k)), "key {k}");
+        }
+        // Ordered scan returns everything in order.
+        let all = tree.collect_all(&mut pager).expect("scan");
+        assert_eq!(all.len(), 3000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(tree.max_key(&mut pager).expect("max"), Some(2999));
+    }
+
+    #[test]
+    fn large_payloads_split_early() {
+        let (mut pager, tree) = fresh();
+        let big = vec![0xabu8; 1000];
+        for i in 0..50 {
+            tree.insert(&mut pager, i, big.clone()).expect("insert");
+        }
+        let all = tree.collect_all(&mut pager).expect("scan");
+        assert_eq!(all.len(), 50);
+        assert!(all.iter().all(|(_, p)| p == &big));
+    }
+
+    #[test]
+    fn delete_and_rescan() {
+        let (mut pager, tree) = fresh();
+        for i in 0..100 {
+            tree.insert(&mut pager, i, payload(i)).expect("insert");
+        }
+        for i in (0..100).step_by(2) {
+            assert!(tree.delete(&mut pager, i).expect("delete"));
+        }
+        assert!(!tree.delete(&mut pager, 2).expect("delete again"), "already gone");
+        let all = tree.collect_all(&mut pager).expect("scan");
+        assert_eq!(all.len(), 50);
+        assert!(all.iter().all(|(k, _)| k % 2 == 1));
+    }
+
+    #[test]
+    fn max_key_with_emptied_rightmost_leaf() {
+        let (mut pager, tree) = fresh();
+        for i in 0..500 {
+            tree.insert(&mut pager, i, payload(i)).expect("insert");
+        }
+        // Delete a tail range that likely empties the rightmost leaf.
+        for i in 300..500 {
+            tree.delete(&mut pager, i).expect("delete");
+        }
+        assert_eq!(tree.max_key(&mut pager).expect("max"), Some(299));
+    }
+
+    #[test]
+    fn update_replaces_payload() {
+        let (mut pager, tree) = fresh();
+        tree.insert(&mut pager, 7, payload(7)).expect("insert");
+        tree.update(&mut pager, 7, b"new".to_vec()).expect("update");
+        assert_eq!(tree.get(&mut pager, 7).expect("get"), Some(b"new".to_vec()));
+        assert!(tree.update(&mut pager, 8, b"x".to_vec()).is_err());
+    }
+
+    #[test]
+    fn clear_resets_and_frees() {
+        let (mut pager, tree) = fresh();
+        for i in 0..1000 {
+            tree.insert(&mut pager, i, payload(i)).expect("insert");
+        }
+        let pages_before = pager.page_count();
+        tree.clear(&mut pager).expect("clear");
+        assert!(tree.collect_all(&mut pager).expect("scan").is_empty());
+        assert_eq!(tree.max_key(&mut pager).expect("max"), None);
+        // Freed pages are reused by new allocations rather than growing the
+        // file.
+        let again = BTree::create(&mut pager).expect("create");
+        assert!(pager.page_count() <= pages_before, "freelist reuse");
+        let _ = again;
+    }
+
+    #[test]
+    fn persists_across_commit_and_cache_invalidation() {
+        let (mut pager, tree) = fresh();
+        for i in 0..200 {
+            tree.insert(&mut pager, i, payload(i)).expect("insert");
+        }
+        pager.commit().expect("commit");
+        pager.invalidate_cache().expect("invalidate");
+        let all = tree.collect_all(&mut pager).expect("scan");
+        assert_eq!(all.len(), 200);
+    }
+
+    #[test]
+    fn empty_tree_scan_and_max() {
+        let (mut pager, tree) = fresh();
+        assert!(tree.collect_all(&mut pager).expect("scan").is_empty());
+        assert_eq!(tree.max_key(&mut pager).expect("max"), None);
+        assert_eq!(tree.get(&mut pager, 1).expect("get"), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! The environment hooks for non-deterministic SQL functions.
+//!
+//! "By hooking into this subsystem, we ... also re-implement
+//! non-deterministic functions, such as system time and random values, by
+//! using the upcalls described in Section 2" (paper §3.2). `now()` and
+//! `random()` route through this trait; `pbft-sql` supplies an
+//! implementation fed by the primary's agreed non-deterministic data, so
+//! every replica evaluates them identically.
+
+/// Source of time and randomness for SQL functions.
+pub trait Env {
+    /// Current time in nanoseconds (returned by `now()`).
+    fn now_ns(&mut self) -> i64;
+    /// A random 63-bit value (returned by `random()`).
+    fn random(&mut self) -> i64;
+}
+
+/// A fixed environment — deterministic values set by the embedder.
+#[derive(Debug, Clone, Default)]
+pub struct FixedEnv {
+    /// Value `now()` returns.
+    pub now_ns: i64,
+    /// Seed for the `random()` sequence (advances per call so that two
+    /// `random()` calls in one statement differ, deterministically).
+    pub random_state: i64,
+}
+
+impl Env for FixedEnv {
+    fn now_ns(&mut self) -> i64 {
+        self.now_ns
+    }
+
+    fn random(&mut self) -> i64 {
+        // SplitMix64 step, truncated to the positive range.
+        let mut z = (self.random_state as u64).wrapping_add(0x9e3779b97f4a7c15);
+        self.random_state = z as i64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        ((z ^ (z >> 31)) >> 1) as i64
+    }
+}
+
+/// The real system environment (what a standalone, non-replicated database
+/// would use — and exactly what a replicated one must *not* use).
+#[derive(Debug, Clone, Default)]
+pub struct SystemEnv {
+    counter: u64,
+}
+
+impl Env for SystemEnv {
+    fn now_ns(&mut self) -> i64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as i64)
+            .unwrap_or(0)
+    }
+
+    fn random(&mut self) -> i64 {
+        // Hash of time + counter; not cryptographic, like SQLite's default.
+        self.counter = self.counter.wrapping_add(1);
+        let t = self.now_ns() as u64 ^ self.counter.rotate_left(32);
+        let mut z = t.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        ((z ^ (z >> 27)) >> 1) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_env_is_deterministic() {
+        let mut a = FixedEnv { now_ns: 42, random_state: 7 };
+        let mut b = FixedEnv { now_ns: 42, random_state: 7 };
+        assert_eq!(a.now_ns(), 42);
+        assert_eq!(a.random(), b.random());
+        assert_eq!(a.random(), b.random());
+    }
+
+    #[test]
+    fn fixed_env_random_advances() {
+        let mut e = FixedEnv::default();
+        assert_ne!(e.random(), e.random());
+    }
+
+    #[test]
+    fn random_is_non_negative() {
+        let mut e = FixedEnv { now_ns: 0, random_state: -12345 };
+        for _ in 0..100 {
+            assert!(e.random() >= 0);
+        }
+        let mut s = SystemEnv::default();
+        assert!(s.random() >= 0);
+        assert!(s.now_ns() > 0);
+    }
+}

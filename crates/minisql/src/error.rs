@@ -1,0 +1,52 @@
+//! The engine's error type.
+
+use std::fmt;
+
+use crate::vfs::VfsError;
+
+/// Errors returned by every fallible minisql operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Tokenizer rejected the input.
+    Lex(String),
+    /// Parser rejected the statement.
+    Parse(String),
+    /// Schema-level problem (unknown table/column, duplicate, …).
+    Schema(String),
+    /// Runtime evaluation problem (type mismatch, division by zero, …).
+    Runtime(String),
+    /// Constraint violation (primary key, not null).
+    Constraint(String),
+    /// A row exceeded the single-page payload limit.
+    RowTooLarge(usize),
+    /// Storage-layer failure.
+    Io(VfsError),
+    /// The database file is corrupt or not a minisql file.
+    Corrupt(String),
+    /// Transaction state misuse (nested BEGIN, COMMIT without BEGIN).
+    Txn(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Schema(m) => write!(f, "schema error: {m}"),
+            SqlError::Runtime(m) => write!(f, "runtime error: {m}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::RowTooLarge(n) => write!(f, "row of {n} bytes exceeds the page payload limit"),
+            SqlError::Io(e) => write!(f, "io error: {e}"),
+            SqlError::Corrupt(m) => write!(f, "database corrupt: {m}"),
+            SqlError::Txn(m) => write!(f, "transaction error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<VfsError> for SqlError {
+    fn from(e: VfsError) -> Self {
+        SqlError::Io(e)
+    }
+}

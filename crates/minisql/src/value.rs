@@ -1,0 +1,188 @@
+//! SQL values and their comparison/arithmetic semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Integer(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Binary blob.
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    /// SQL truthiness: NULL and zero are false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Integer(i) => *i != 0,
+            Value::Real(r) => *r != 0.0,
+            Value::Text(t) => !t.is_empty(),
+            Value::Blob(b) => !b.is_empty(),
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (integers and reals; NULL propagates as `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            Value::Real(r) => Some(*r as i64),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison; `None` when either side is NULL.
+    /// Cross-type ordering follows SQLite's storage-class order:
+    /// numbers < text < blob.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Integer(a), Integer(b)) => Some(a.cmp(b)),
+            (Real(a), Real(b)) => Some(a.partial_cmp(b).unwrap_or(Ordering::Equal)),
+            (Integer(a), Real(b)) => Some((*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)),
+            (Real(a), Integer(b)) => Some(a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Blob(a), Blob(b)) => Some(a.cmp(b)),
+            (Integer(_) | Real(_), Text(_) | Blob(_)) => Some(Ordering::Less),
+            (Text(_) | Blob(_), Integer(_) | Real(_)) => Some(Ordering::Greater),
+            (Text(_), Blob(_)) => Some(Ordering::Less),
+            (Blob(_), Text(_)) => Some(Ordering::Greater),
+        }
+    }
+
+    /// Total order for ORDER BY / GROUP BY (NULLs first, like SQLite).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.compare(other).unwrap_or(Ordering::Equal),
+        }
+    }
+
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Integer(_) => "integer",
+            Value::Real(_) => "real",
+            Value::Text(_) => "text",
+            Value::Blob(_) => "blob",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(t) => write!(f, "{t}"),
+            Value::Blob(b) => {
+                write!(f, "x'")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                write!(f, "'")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Integer(0).is_truthy());
+        assert!(Value::Integer(1).is_truthy());
+        assert!(!Value::Real(0.0).is_truthy());
+        assert!(Value::Text("x".into()).is_truthy());
+        assert!(!Value::Text(String::new()).is_truthy());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Integer(1)), None);
+        assert_eq!(Value::Integer(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert_eq!(Value::Integer(2).compare(&Value::Real(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Integer(2).compare(&Value::Real(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Real(3.0).compare(&Value::Integer(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn storage_class_ordering() {
+        assert_eq!(Value::Integer(9).compare(&Value::Text("a".into())), Some(Ordering::Less));
+        assert_eq!(Value::Text("z".into()).compare(&Value::Blob(vec![0])), Some(Ordering::Less));
+        assert_eq!(Value::Blob(vec![0]).compare(&Value::Integer(5)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn total_order_puts_nulls_first() {
+        let mut vals = vec![Value::Integer(1), Value::Null, Value::Text("a".into())];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Integer(-5).to_string(), "-5");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Blob(vec![0xab, 0x01]).to_string(), "x'ab01'");
+    }
+}

@@ -1,0 +1,450 @@
+//! The write-ahead log: minisql's second journal mode.
+//!
+//! The paper (§3.2) notes that SQLite's second file is "the rollback journal
+//! (or write-ahead-log, in a different mode of operation)". In WAL mode a
+//! commit *appends* the after-images of the dirty pages to the log and syncs
+//! once; the database file is only touched when the log is *checkpointed*
+//! back into it. Readers consult the log first (latest frame per page wins)
+//! and fall back to the database file.
+//!
+//! # File format
+//!
+//! A 32-byte header (`MSQLWAL1`, page size, reset counter, salt) followed by
+//! frames of `24 + page_size` bytes: page id, commit marker (zero for
+//! non-final frames of a transaction; the new durable page count on the
+//! final frame), and a cumulative Fletcher-style checksum chained from the
+//! header salt. Recovery replays frames only up to the last frame whose
+//! checksum verifies *and* that closes a transaction, so a torn append never
+//! surfaces a half-committed transaction — the same guarantee the rollback
+//! journal gives, with one sync per commit instead of three.
+//!
+//! Resetting the log after a checkpoint rewrites the header with a bumped
+//! reset counter (and therefore a new salt) rather than truncating: stale
+//! frames beyond the header fail their checksum chain and are ignored. The
+//! reset counter makes the whole file's evolution deterministic, which the
+//! PBFT embedding relies on (every replica's WAL is bit-identical).
+
+use std::collections::BTreeMap;
+
+use crate::error::SqlError;
+use crate::vfs::Vfs;
+
+const MAGIC: &[u8; 8] = b"MSQLWAL1";
+
+/// WAL header length in bytes.
+pub const WAL_HEADER: usize = 32;
+
+/// Per-frame header length in bytes (page id, commit marker, checksum).
+pub const FRAME_HEADER: usize = 24;
+
+/// In-memory WAL state: the read index and append cursor.
+///
+/// Built by [`recover`] at open time and maintained by [`append_commit`] /
+/// [`reset`] afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalState {
+    /// Latest committed frame offset for each page.
+    index: BTreeMap<u32, u64>,
+    /// Offset one past the last committed frame (0 = no header written yet).
+    end: u64,
+    /// Committed frames currently in the log.
+    frames: u64,
+    /// Durable page count as of the last commit record (0 = none).
+    durable_page_count: u32,
+    /// Header reset counter (bumped by [`reset`]).
+    reset_counter: u32,
+    /// Running checksum state after the last committed frame.
+    cksum: (u64, u64),
+    page_size: usize,
+}
+
+impl WalState {
+    /// State for an empty (or absent) log.
+    pub fn empty(page_size: usize) -> WalState {
+        WalState {
+            index: BTreeMap::new(),
+            end: 0,
+            frames: 0,
+            durable_page_count: 0,
+            reset_counter: 0,
+            cksum: salt_cksum(0),
+            page_size,
+        }
+    }
+
+    /// Latest committed frame offset for `page`, if the log holds one.
+    pub fn frame_of(&self, page: u32) -> Option<u64> {
+        self.index.get(&page).copied()
+    }
+
+    /// Number of committed frames in the log (the auto-checkpoint gauge).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Durable page count recorded by the last commit (0 when the log holds
+    /// no commits).
+    pub fn durable_page_count(&self) -> u32 {
+        self.durable_page_count
+    }
+
+    /// Pages with committed frames, for checkpointing.
+    pub fn pages(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.index.iter().map(|(&p, &o)| (p, o))
+    }
+}
+
+/// Salt for a given reset counter; the checksum chain starts here so frames
+/// written before the last [`reset`] can never validate.
+fn salt_cksum(reset_counter: u32) -> (u64, u64) {
+    let salt = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(reset_counter) + 1);
+    (salt, salt ^ 0x6d53_514c_5741_4c31) // "mSQLWAL1"
+}
+
+/// Advance the Fletcher-style checksum over 8-byte big-endian words.
+fn advance_cksum(mut s: (u64, u64), bytes: &[u8]) -> (u64, u64) {
+    debug_assert_eq!(bytes.len() % 8, 0, "checksummed spans are word-aligned");
+    for w in bytes.chunks_exact(8) {
+        let v = u64::from_be_bytes(w.try_into().expect("8 bytes"));
+        s.0 = s.0.wrapping_add(v).wrapping_add(s.1);
+        s.1 = s.1.wrapping_add(s.0);
+    }
+    s
+}
+
+/// Whether the file begins with a WAL header (used for journal-mode
+/// conversion at open time).
+pub fn is_present(vfs: &dyn Vfs) -> bool {
+    if vfs.len() < WAL_HEADER as u64 {
+        return false;
+    }
+    let mut magic = [0u8; 8];
+    if vfs.read_at(0, &mut magic).is_err() {
+        return false;
+    }
+    &magic == MAGIC
+}
+
+fn encode_header(page_size: usize, reset_counter: u32) -> [u8; WAL_HEADER] {
+    let mut h = [0u8; WAL_HEADER];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&(page_size as u32).to_be_bytes());
+    h[12..16].copy_from_slice(&reset_counter.to_be_bytes());
+    h[16..24].copy_from_slice(&salt_cksum(reset_counter).0.to_be_bytes());
+    h
+}
+
+/// Scan the log and rebuild the committed state.
+///
+/// Frames after the last valid commit record (torn appends, frames from an
+/// interrupted transaction, stale frames from before a header reset) are
+/// ignored; the next append overwrites them.
+///
+/// # Errors
+/// Storage failures, or a header that declares a different page size.
+pub fn recover(vfs: &dyn Vfs, page_size: usize) -> Result<WalState, SqlError> {
+    if vfs.len() < WAL_HEADER as u64 {
+        return Ok(WalState::empty(page_size));
+    }
+    let mut header = [0u8; WAL_HEADER];
+    vfs.read_at(0, &mut header)?;
+    if &header[..8] != MAGIC {
+        return Ok(WalState::empty(page_size));
+    }
+    let hdr_page_size = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    if hdr_page_size != page_size {
+        return Err(SqlError::Corrupt(format!(
+            "wal page size {hdr_page_size} does not match database page size {page_size}"
+        )));
+    }
+    let reset_counter = u32::from_be_bytes(header[12..16].try_into().expect("4 bytes"));
+    let mut st = WalState {
+        index: BTreeMap::new(),
+        end: WAL_HEADER as u64,
+        frames: 0,
+        durable_page_count: 0,
+        reset_counter,
+        cksum: salt_cksum(reset_counter),
+        page_size,
+    };
+    let frame_size = (FRAME_HEADER + page_size) as u64;
+    // Frames staged since the last commit record (not yet durable).
+    let mut staged: Vec<(u32, u64)> = Vec::new();
+    let mut staged_cksum = st.cksum;
+    let mut staged_frames = 0u64;
+    let mut off = st.end;
+    let mut hdr = vec![0u8; FRAME_HEADER];
+    let mut page = vec![0u8; page_size];
+    while off + frame_size <= vfs.len() {
+        vfs.read_at(off, &mut hdr)?;
+        vfs.read_at(off + FRAME_HEADER as u64, &mut page)?;
+        let page_id = u32::from_be_bytes(hdr[..4].try_into().expect("4 bytes"));
+        let commit = u32::from_be_bytes(hdr[4..8].try_into().expect("4 bytes"));
+        let s1 = u64::from_be_bytes(hdr[8..16].try_into().expect("8 bytes"));
+        let s2 = u64::from_be_bytes(hdr[16..24].try_into().expect("8 bytes"));
+        let expect = advance_cksum(staged_cksum, &hdr[..8]);
+        let expect = advance_cksum(expect, &page);
+        if (s1, s2) != expect {
+            break; // torn append or pre-reset garbage
+        }
+        staged_cksum = expect;
+        staged.push((page_id, off));
+        staged_frames += 1;
+        off += frame_size;
+        if commit != 0 {
+            // Transaction boundary: everything staged becomes durable.
+            for (p, o) in staged.drain(..) {
+                st.index.insert(p, o);
+            }
+            st.frames += staged_frames;
+            staged_frames = 0;
+            st.durable_page_count = commit;
+            st.end = off;
+            st.cksum = staged_cksum;
+        }
+    }
+    Ok(st)
+}
+
+/// Append one committed transaction: after-images of `pages`, the last frame
+/// carrying `new_page_count` as the commit record, then (optionally) a
+/// single sync. Returns the bytes written.
+///
+/// # Errors
+/// Storage failures. `pages` must be non-empty.
+pub fn append_commit(
+    vfs: &mut dyn Vfs,
+    st: &mut WalState,
+    pages: &[(u32, &[u8])],
+    new_page_count: u32,
+    sync: bool,
+) -> Result<u64, SqlError> {
+    assert!(!pages.is_empty(), "a commit writes at least one page");
+    let frame_size = (FRAME_HEADER + st.page_size) as u64;
+    let fresh_header = st.end == 0;
+    if fresh_header {
+        st.end = WAL_HEADER as u64;
+        st.cksum = salt_cksum(st.reset_counter);
+    }
+    let mut buf = Vec::with_capacity(
+        pages.len() * frame_size as usize + if fresh_header { WAL_HEADER } else { 0 },
+    );
+    if fresh_header {
+        buf.extend_from_slice(&encode_header(st.page_size, st.reset_counter));
+    }
+    let mut cksum = st.cksum;
+    for (i, (page_id, data)) in pages.iter().enumerate() {
+        debug_assert_eq!(data.len(), st.page_size);
+        let commit = if i + 1 == pages.len() { new_page_count } else { 0 };
+        let mut hdr = [0u8; FRAME_HEADER];
+        hdr[..4].copy_from_slice(&page_id.to_be_bytes());
+        hdr[4..8].copy_from_slice(&commit.to_be_bytes());
+        cksum = advance_cksum(cksum, &hdr[..8]);
+        cksum = advance_cksum(cksum, data);
+        hdr[8..16].copy_from_slice(&cksum.0.to_be_bytes());
+        hdr[16..24].copy_from_slice(&cksum.1.to_be_bytes());
+        buf.extend_from_slice(&hdr);
+        buf.extend_from_slice(data);
+    }
+    // Single contiguous write (header included when the file was empty),
+    // then at most one sync — the whole point of WAL mode.
+    let write_off = if fresh_header { 0 } else { st.end };
+    vfs.write_at(write_off, &buf)?;
+    if sync {
+        vfs.sync()?;
+    }
+    for (i, (page_id, _)) in pages.iter().enumerate() {
+        st.index.insert(*page_id, st.end + i as u64 * frame_size);
+    }
+    st.end += pages.len() as u64 * frame_size;
+    st.frames += pages.len() as u64;
+    st.durable_page_count = new_page_count;
+    st.cksum = cksum;
+    Ok(buf.len() as u64)
+}
+
+/// Read the page image stored in the frame at `offset`.
+///
+/// # Errors
+/// Storage failures.
+pub fn read_frame_page(
+    vfs: &dyn Vfs,
+    offset: u64,
+    buf: &mut [u8],
+) -> Result<(), SqlError> {
+    vfs.read_at(offset + FRAME_HEADER as u64, buf)?;
+    Ok(())
+}
+
+/// Reset the log after a checkpoint: bump the reset counter and rewrite the
+/// header so all existing frames become unreadable.
+///
+/// # Errors
+/// Storage failures.
+pub fn reset(vfs: &mut dyn Vfs, st: &mut WalState, sync: bool) -> Result<(), SqlError> {
+    st.reset_counter = st.reset_counter.wrapping_add(1);
+    vfs.write_at(0, &encode_header(st.page_size, st.reset_counter))?;
+    if sync {
+        vfs.sync()?;
+    }
+    st.index.clear();
+    st.end = WAL_HEADER as u64;
+    st.frames = 0;
+    st.cksum = salt_cksum(st.reset_counter);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    const PS: usize = 64;
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PS]
+    }
+
+    #[test]
+    fn empty_file_recovers_empty() {
+        let v = MemVfs::new();
+        let st = recover(&v, PS).expect("recover");
+        assert_eq!(st, WalState::empty(PS));
+        assert!(!is_present(&v));
+    }
+
+    #[test]
+    fn append_then_recover_roundtrips() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let p1 = page(1);
+        let p2 = page(2);
+        append_commit(&mut v, &mut st, &[(0, &p1), (3, &p2)], 4, true).expect("append");
+        assert!(is_present(&v));
+        assert_eq!(st.frames(), 2);
+        assert_eq!(st.durable_page_count(), 4);
+
+        let back = recover(&v, PS).expect("recover");
+        assert_eq!(back, st);
+        let mut buf = page(0);
+        read_frame_page(&v, back.frame_of(3).expect("indexed"), &mut buf).expect("read");
+        assert_eq!(buf, p2);
+    }
+
+    #[test]
+    fn later_frame_wins_for_same_page() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let old = page(1);
+        let new = page(9);
+        append_commit(&mut v, &mut st, &[(5, &old)], 6, true).expect("append");
+        append_commit(&mut v, &mut st, &[(5, &new)], 6, true).expect("append");
+        let back = recover(&v, PS).expect("recover");
+        let mut buf = page(0);
+        read_frame_page(&v, back.frame_of(5).expect("indexed"), &mut buf).expect("read");
+        assert_eq!(buf, new);
+        assert_eq!(back.frames(), 2, "both frames remain in the log");
+    }
+
+    #[test]
+    fn uncommitted_tail_is_ignored() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let p = page(1);
+        append_commit(&mut v, &mut st, &[(0, &p)], 2, true).expect("append");
+        // Hand-craft a frame with commit = 0 (transaction never finished).
+        let stale = st.clone();
+        let mut hdr = [0u8; FRAME_HEADER];
+        hdr[..4].copy_from_slice(&7u32.to_be_bytes());
+        let c = advance_cksum(stale.cksum, &hdr[..8]);
+        let c = advance_cksum(c, &page(8));
+        hdr[8..16].copy_from_slice(&c.0.to_be_bytes());
+        hdr[16..24].copy_from_slice(&c.1.to_be_bytes());
+        v.write_at(stale.end, &hdr).expect("write");
+        v.write_at(stale.end + FRAME_HEADER as u64, &page(8)).expect("write");
+        v.sync().expect("sync");
+
+        let back = recover(&v, PS).expect("recover");
+        assert_eq!(back.frames(), 1, "open transaction's frame not durable");
+        assert_eq!(back.frame_of(7), None);
+        assert_eq!(back.end, st.end);
+    }
+
+    #[test]
+    fn torn_append_is_ignored() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let p = page(1);
+        append_commit(&mut v, &mut st, &[(0, &p)], 2, true).expect("append");
+        let good = v.clone();
+        // A second commit whose page bytes got mangled "on disk".
+        let p2 = page(2);
+        append_commit(&mut v, &mut st, &[(1, &p2)], 3, true).expect("append");
+        let mut torn = v.clone();
+        torn.write_at(good.len() + FRAME_HEADER as u64, &[0xff; 8]).expect("mangle");
+        torn.sync().expect("sync");
+        let back = recover(&torn, PS).expect("recover");
+        assert_eq!(back.frames(), 1);
+        assert_eq!(back.durable_page_count(), 2);
+        assert_eq!(back.frame_of(1), None);
+    }
+
+    #[test]
+    fn unsynced_append_lost_on_crash() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let p = page(1);
+        append_commit(&mut v, &mut st, &[(0, &p)], 2, false).expect("append");
+        let crashed = v.crash();
+        let back = recover(&crashed, PS).expect("recover");
+        assert_eq!(back.frames(), 0);
+    }
+
+    #[test]
+    fn reset_hides_all_frames() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let p = page(1);
+        append_commit(&mut v, &mut st, &[(0, &p), (1, &p)], 3, true).expect("append");
+        reset(&mut v, &mut st, true).expect("reset");
+        assert_eq!(st.frames(), 0);
+        let back = recover(&v, PS).expect("recover");
+        assert_eq!(back.frames(), 0, "stale frames fail the new salt's chain");
+        assert_eq!(back.reset_counter, 1);
+
+        // Appending after a reset works and recovers cleanly.
+        let p2 = page(7);
+        append_commit(&mut v, &mut st, &[(2, &p2)], 4, true).expect("append");
+        let back = recover(&v, PS).expect("recover");
+        assert_eq!(back.frames(), 1);
+        let mut buf = page(0);
+        read_frame_page(&v, back.frame_of(2).expect("indexed"), &mut buf).expect("read");
+        assert_eq!(buf, p2);
+    }
+
+    #[test]
+    fn page_size_mismatch_rejected() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        let p = page(1);
+        append_commit(&mut v, &mut st, &[(0, &p)], 2, true).expect("append");
+        assert!(recover(&v, 128).is_err());
+    }
+
+    #[test]
+    fn multi_transaction_recovery_applies_prefix() {
+        let mut v = MemVfs::new();
+        let mut st = WalState::empty(PS);
+        for i in 0..5u8 {
+            let p = page(i + 1);
+            append_commit(&mut v, &mut st, &[(u32::from(i), &p)], 6, true).expect("append");
+        }
+        let back = recover(&v, PS).expect("recover");
+        assert_eq!(back.frames(), 5);
+        for i in 0..5u32 {
+            let mut buf = page(0);
+            read_frame_page(&v, back.frame_of(i).expect("indexed"), &mut buf).expect("read");
+            assert_eq!(buf, page(i as u8 + 1));
+        }
+    }
+}

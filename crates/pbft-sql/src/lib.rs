@@ -1,0 +1,30 @@
+//! The SQL state abstraction for PBFT (paper §3.2).
+//!
+//! "We decided to adapt an embedded relational database engine to intervene
+//! between the PBFT middleware library and the application. This way, the
+//! application will have SQL-level access to its state and the embedded
+//! engine will take care of interfacing with the PBFT library to satisfy its
+//! requirements."
+//!
+//! Three pieces implement that sentence:
+//!
+//! * [`StateVfs`] — a `minisql` VFS whose backing file *is* the application
+//!   partition of the replicated state region. Every write issues the
+//!   `modify()` notification the PBFT library requires before memory
+//!   changes, so checkpointing and state transfer see the database for free
+//!   (the paper's Figure 3 layering).
+//! * [`SqlApp`] — a [`pbft_core::App`] that executes ordered operations as
+//!   SQL, with the engine's `now()`/`random()` wired to the primary's agreed
+//!   non-deterministic data (§2.5: identical on every replica), ACID via the
+//!   rollback journal or the no-ACID mode for the §4.2 comparison, and
+//!   execution metrics (CPU, flushes, bytes) reported for cost accounting.
+//! * [`outcome`] — a canonical byte encoding of query results, so replies
+//!   from different replicas match bit-for-bit at the client.
+
+pub mod app;
+pub mod outcome;
+pub mod vfs;
+
+pub use app::{sql_state, CostProfile, SqlApp};
+pub use outcome::{decode_outcome, encode_outcome, WireOutcome};
+pub use vfs::StateVfs;

@@ -1,0 +1,100 @@
+//! The `Node` trait and the per-invocation context handed to handlers.
+
+use std::any::Any;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A node's address in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node-scoped timer identifier. Setting a timer with an id that is already
+/// armed re-arms it (the previous deadline is cancelled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+/// Something that lives at a network address and reacts to packets & timers.
+///
+/// Handlers *charge* virtual CPU time through [`NodeCtx::charge`]; while a
+/// node is busy, subsequent deliveries queue behind the busy period. This is
+/// the mechanism by which cryptographic and execution costs shape throughput.
+///
+/// The `Any` supertrait enables the simulator's `node_ref`/`node_mut`
+/// downcasts so harnesses can inspect node state between runs.
+pub trait Node: Any {
+    /// Called once when the node is added (or restarted).
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A packet addressed to this node has been delivered.
+    fn on_packet(&mut self, src: NodeId, payload: &[u8], ctx: &mut NodeCtx<'_>);
+
+    /// A previously armed timer has fired.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>);
+}
+
+/// Actions a handler can request; drained by the simulator afterwards.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send { dst: NodeId, payload: Vec<u8> },
+    SetTimer { id: TimerId, delay: SimDuration },
+    CancelTimer { id: TimerId },
+}
+
+/// The context passed to every handler invocation.
+///
+/// Collects outgoing actions and the CPU cost the handler wants charged.
+pub struct NodeCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) cost: SimDuration,
+    pub(crate) rng: &'a mut crate::rng::SimRng,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// The virtual time at which this handler runs.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's own address.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Queue a packet to `dst`. Packets depart after the handler's charged
+    /// CPU time, serialized on the sender's NIC in submission order.
+    pub fn send(&mut self, dst: NodeId, payload: Vec<u8>) {
+        self.actions.push(Action::Send { dst, payload });
+    }
+
+    /// Arm (or re-arm) timer `id` to fire after `delay`.
+    pub fn set_timer(&mut self, id: TimerId, delay: SimDuration) {
+        self.actions.push(Action::SetTimer { id, delay });
+    }
+
+    /// Cancel timer `id` if armed.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Charge `cost` of virtual CPU time for work performed in this handler.
+    /// The node stays busy (deliveries queue) until the charge elapses.
+    pub fn charge(&mut self, cost: SimDuration) {
+        self.cost += cost;
+    }
+
+    /// Deterministic randomness for protocol-level decisions (e.g. timer
+    /// jitter). Drawn from the simulation's seeded generator.
+    pub fn rng_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

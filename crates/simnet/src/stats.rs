@@ -1,0 +1,24 @@
+//! Per-node counters maintained by the simulator.
+
+use crate::time::SimDuration;
+
+/// Counters for one node over the lifetime of a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Packets handed to `on_packet`.
+    pub packets_received: u64,
+    /// Packets submitted via `NodeCtx::send`.
+    pub packets_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Packets lost on links out of this node.
+    pub packets_dropped: u64,
+    /// Packets discarded because this node was crashed at delivery time.
+    pub packets_to_dead_node: u64,
+    /// Total CPU time charged by handlers.
+    pub busy_time: SimDuration,
+    /// Timer firings delivered.
+    pub timers_fired: u64,
+}

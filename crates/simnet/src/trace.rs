@@ -1,0 +1,40 @@
+//! Message tracing — the reproduction of the paper's §2.2 methodology.
+//!
+//! "We also created a log of all messages exchanged between replicas that,
+//! given the common clock, allowed us to reason about the behavior of the
+//! system." The simulator's virtual clock *is* a common clock, so the trace
+//! records ground truth about every send, delivery and drop.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// What happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Packet handed to the link (departure time is after NIC serialization).
+    Sent,
+    /// Packet delivered to the destination handler.
+    Delivered,
+    /// Packet dropped by the link's loss model.
+    Dropped,
+    /// Packet arrived at a crashed node and was discarded.
+    DeadDestination,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Sender.
+    pub src: NodeId,
+    /// Destination.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub size: usize,
+    /// First payload byte (protocol engines put their message tag here,
+    /// which makes traces human-readable without decoding).
+    pub tag: u8,
+    /// What happened.
+    pub event: TraceEvent,
+}

@@ -1,0 +1,35 @@
+//! The PBFT state subsystem: a paged memory region with modify-notifications,
+//! an incremental Merkle (hash) tree, copy-on-write checkpoints and tree-walk
+//! state transfer.
+//!
+//! This reproduces the state machinery the paper describes in §2.1 and
+//! critiques in §3.2:
+//!
+//! > "This implementation defines application 'state' as a single continuous
+//! > virtual memory region. ... The library has a subsystem that manages the
+//! > synchronization and checkpointing of this state using copy-on-write
+//! > techniques and Merkle (hash) trees. ... A checkpoint message communicates
+//! > this root hash to the rest of the replicas ... If a peer finds itself out
+//! > of sync, an efficient tree walking algorithm is started from the root, to
+//! > identify the (hopefully few) data pages that are different and have them
+//! > retransmitted by the rest of the group."
+//!
+//! The application **must** call [`PagedState::modify`] before writing — the
+//! same contract the PBFT library imposes. Unlike the original (where a
+//! missed notification silently corrupts synchronization, the "havoc" of
+//! §3.2), this implementation *enforces* the contract: writes to unnotified
+//! pages return [`StateError::NotModified`].
+//!
+//! Pages are lazily allocated (`None` = all-zero page), which is the moral
+//! equivalent of the sparse file trick the paper uses to give SQLite a large
+//! fixed-size region without occupying disk (§3.2).
+
+mod merkle;
+mod region;
+mod snapshot;
+mod transfer;
+
+pub use merkle::MerkleTree;
+pub use region::{PagedState, Section, StateError, PAGE_SIZE};
+pub use snapshot::Snapshot;
+pub use transfer::{serve_fetch, FetchRequest, FetchResponse, Fetcher, TransferError};

@@ -1,0 +1,192 @@
+//! Incremental Merkle tree over page digests.
+//!
+//! Leaves are page digests; internal nodes bind their `(level, index)`
+//! position, so identical sibling subtrees at different positions still hash
+//! differently and a tree cannot be "rearranged" without changing the root.
+//! Updating one leaf recomputes only the path to the root (`O(log n)`).
+
+use pbft_crypto::{Digest, Sha256};
+
+/// A Merkle tree with a fixed number of leaves (padded to a power of two).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf digests (padded); `levels.last()` = `[root]`.
+    levels: Vec<Vec<Digest>>,
+    /// Number of real (unpadded) leaves.
+    leaf_count: usize,
+}
+
+/// Digest used for padding leaves beyond `leaf_count`.
+fn pad_leaf() -> Digest {
+    Digest::of(b"pbft-state-merkle-pad")
+}
+
+fn combine(level: u32, index: u64, left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&level.to_be_bytes());
+    h.update(&index.to_be_bytes());
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finish()
+}
+
+impl MerkleTree {
+    /// Build a tree from leaf digests.
+    ///
+    /// # Panics
+    /// Panics if `leaves` is empty.
+    pub fn build(leaves: Vec<Digest>) -> MerkleTree {
+        assert!(!leaves.is_empty(), "tree needs at least one leaf");
+        let leaf_count = leaves.len();
+        let width = leaf_count.next_power_of_two();
+        let mut level0 = leaves;
+        level0.resize(width, pad_leaf());
+        let mut levels = vec![level0];
+        let mut lvl = 1u32;
+        while levels.last().expect("non-empty").len() > 1 {
+            let below = levels.last().expect("non-empty");
+            let mut above = Vec::with_capacity(below.len() / 2);
+            for i in 0..below.len() / 2 {
+                above.push(combine(lvl, i as u64, &below[2 * i], &below[2 * i + 1]));
+            }
+            levels.push(above);
+            lvl += 1;
+        }
+        MerkleTree { levels, leaf_count }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of real leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Number of levels including the leaf level (a 1-leaf tree has 1).
+    pub fn height(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Digest of leaf `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= leaf_count`.
+    pub fn leaf(&self, index: usize) -> Digest {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        self.levels[0][index]
+    }
+
+    /// Digest of the node at `(level, index)`; level 0 = leaves.
+    /// Returns `None` if out of range (useful for the transfer protocol,
+    /// which must tolerate malformed requests from faulty peers).
+    pub fn node(&self, level: u32, index: u64) -> Option<Digest> {
+        self.levels
+            .get(level as usize)
+            .and_then(|l| l.get(index as usize))
+            .copied()
+    }
+
+    /// The two children digests of internal node `(level, index)`.
+    pub fn children(&self, level: u32, index: u64) -> Option<(Digest, Digest)> {
+        if level == 0 {
+            return None;
+        }
+        let below = self.levels.get(level as usize - 1)?;
+        let l = *below.get(2 * index as usize)?;
+        let r = *below.get(2 * index as usize + 1)?;
+        Some((l, r))
+    }
+
+    /// Replace leaf `index` and recompute the path to the root.
+    ///
+    /// # Panics
+    /// Panics if `index >= leaf_count`.
+    pub fn update_leaf(&mut self, index: usize, digest: Digest) {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        self.levels[0][index] = digest;
+        let mut idx = index;
+        for lvl in 1..self.levels.len() {
+            idx /= 2;
+            let (a, b) = (
+                self.levels[lvl - 1][2 * idx],
+                self.levels[lvl - 1][2 * idx + 1],
+            );
+            self.levels[lvl][idx] = combine(lvl as u32, idx as u64, &a, &b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| Digest::of(&(i as u64).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf() {
+        let t = MerkleTree::build(leaves(1));
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.root(), t.leaf(0));
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        for n in [1usize, 2, 3, 5, 8, 13, 64, 100] {
+            let mut ls = leaves(n);
+            let mut t = MerkleTree::build(ls.clone());
+            for touch in [0, n / 2, n - 1] {
+                ls[touch] = Digest::of(&[touch as u8, 0xff]);
+                t.update_leaf(touch, ls[touch]);
+                let rebuilt = MerkleTree::build(ls.clone());
+                assert_eq!(t.root(), rebuilt.root(), "n={n} touch={touch}");
+                assert_eq!(t, rebuilt);
+            }
+        }
+    }
+
+    #[test]
+    fn root_depends_on_every_leaf() {
+        let base = MerkleTree::build(leaves(7));
+        for i in 0..7 {
+            let mut ls = leaves(7);
+            ls[i] = Digest::of(b"changed");
+            assert_ne!(MerkleTree::build(ls).root(), base.root(), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn position_binding() {
+        // Swapping two equal-value leaves at different positions changes
+        // nothing, but swapping distinct leaves does; and a subtree moved to
+        // a different index yields a different parent.
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        let t1 = MerkleTree::build(vec![a, b, a, b]);
+        let t2 = MerkleTree::build(vec![a, b, b, a]);
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn children_and_node_accessors() {
+        let t = MerkleTree::build(leaves(4));
+        assert_eq!(t.height(), 3);
+        let (l, r) = t.children(2, 0).expect("root children");
+        assert_eq!(combine(2, 0, &l, &r), t.root());
+        assert_eq!(t.node(0, 2), Some(t.leaf(2)));
+        assert_eq!(t.node(9, 0), None);
+        assert_eq!(t.children(0, 0), None);
+        assert_eq!(t.node(2, 0), Some(t.root()));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn update_out_of_range_panics() {
+        let mut t = MerkleTree::build(leaves(3));
+        t.update_leaf(3, Digest::ZERO); // index 3 is padding, not a real leaf
+    }
+}

@@ -1,0 +1,523 @@
+//! The paged state region with enforced modify-notifications.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use pbft_crypto::{Digest, Sha256};
+
+use crate::merkle::MerkleTree;
+use crate::snapshot::Snapshot;
+
+/// Page size in bytes. 4 KiB, matching both the PBFT library's state pages
+/// and minisql's database pages (which is what lets the database file map
+/// 1:1 onto state pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Errors from state-region operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// A read or write touched bytes beyond the region.
+    OutOfBounds { offset: u64, len: usize, region_len: u64 },
+    /// A write touched a page that was not covered by a prior
+    /// [`PagedState::modify`] in the current checkpoint epoch.
+    NotModified { page: u64 },
+    /// A restore was attempted from a snapshot of a different geometry.
+    GeometryMismatch,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::OutOfBounds { offset, len, region_len } => write!(
+                f,
+                "access at offset {offset} len {len} out of bounds (region is {region_len} bytes)"
+            ),
+            StateError::NotModified { page } => {
+                write!(f, "write to page {page} without a prior modify() notification")
+            }
+            StateError::GeometryMismatch => write!(f, "snapshot geometry does not match region"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Digest of an all-zero page (shared by every lazily allocated page).
+fn zero_page_digest() -> Digest {
+    Digest::of(&[0u8; PAGE_SIZE])
+}
+
+fn page_digest(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+/// A fixed-size, page-granular memory region with copy-on-write snapshots
+/// and an incremental Merkle tree. See the crate docs for the contract.
+#[derive(Debug, Clone)]
+pub struct PagedState {
+    /// `None` = all-zero page not yet materialized (sparse).
+    pages: Vec<Option<Arc<Vec<u8>>>>,
+    tree: MerkleTree,
+    /// Pages notified via `modify` since the last `refresh_digest`.
+    dirty: BTreeSet<u64>,
+    /// Pages hashed by the last `refresh_digest` (for cost accounting).
+    last_refresh_hashed: u64,
+    len: u64,
+}
+
+impl PagedState {
+    /// Create a region of `num_pages` zeroed pages.
+    ///
+    /// # Panics
+    /// Panics if `num_pages == 0`.
+    pub fn new(num_pages: usize) -> PagedState {
+        assert!(num_pages > 0, "state needs at least one page");
+        let zp = zero_page_digest();
+        let tree = MerkleTree::build(vec![zp; num_pages]);
+        PagedState {
+            pages: vec![None; num_pages],
+            tree,
+            dirty: BTreeSet::new(),
+            last_refresh_hashed: 0,
+            len: (num_pages * PAGE_SIZE) as u64,
+        }
+    }
+
+    /// Create a region of at least `len_bytes` bytes (rounded up to pages).
+    pub fn with_len(len_bytes: u64) -> PagedState {
+        let pages = (len_bytes as usize).div_ceil(PAGE_SIZE).max(1);
+        PagedState::new(pages)
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the region has zero length (never: regions have ≥ 1 page).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check_bounds(&self, offset: u64, len: usize) -> Result<(), StateError> {
+        if offset.checked_add(len as u64).map_or(true, |end| end > self.len) {
+            return Err(StateError::OutOfBounds { offset, len, region_len: self.len });
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes at `offset`.
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] if the range exceeds the region.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), StateError> {
+        self.check_bounds(offset, buf.len())?;
+        let mut off = offset as usize;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let page = off / PAGE_SIZE;
+            let in_page = off % PAGE_SIZE;
+            let take = (PAGE_SIZE - in_page).min(buf.len() - filled);
+            match &self.pages[page] {
+                Some(p) => buf[filled..filled + take].copy_from_slice(&p[in_page..in_page + take]),
+                None => buf[filled..filled + take].fill(0),
+            }
+            filled += take;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` into a fresh vector.
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] if the range exceeds the region.
+    pub fn read_vec(&self, offset: u64, len: usize) -> Result<Vec<u8>, StateError> {
+        let mut v = vec![0u8; len];
+        self.read(offset, &mut v)?;
+        Ok(v)
+    }
+
+    /// Notify the library that bytes in `[offset, offset + len)` are about to
+    /// change — the PBFT `modify()` upcall. Must precede [`PagedState::write`]
+    /// within the same checkpoint epoch.
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] if the range exceeds the region.
+    pub fn modify(&mut self, offset: u64, len: usize) -> Result<(), StateError> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.check_bounds(offset, len)?;
+        let first = offset / PAGE_SIZE as u64;
+        let last = (offset + len as u64 - 1) / PAGE_SIZE as u64;
+        for p in first..=last {
+            self.dirty.insert(p);
+        }
+        Ok(())
+    }
+
+    /// Write `data` at `offset`. Every touched page must have been covered by
+    /// a [`PagedState::modify`] call since the last digest refresh.
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] or [`StateError::NotModified`].
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), StateError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.check_bounds(offset, data.len())?;
+        let first = offset / PAGE_SIZE as u64;
+        let last = (offset + data.len() as u64 - 1) / PAGE_SIZE as u64;
+        for p in first..=last {
+            if !self.dirty.contains(&p) {
+                return Err(StateError::NotModified { page: p });
+            }
+        }
+        let mut off = offset as usize;
+        let mut written = 0usize;
+        while written < data.len() {
+            let page = off / PAGE_SIZE;
+            let in_page = off % PAGE_SIZE;
+            let take = (PAGE_SIZE - in_page).min(data.len() - written);
+            let slot = &mut self.pages[page];
+            let buf = match slot {
+                Some(arc) => Arc::make_mut(arc), // copy-on-write un-share
+                None => {
+                    *slot = Some(Arc::new(vec![0u8; PAGE_SIZE]));
+                    Arc::make_mut(slot.as_mut().expect("just set"))
+                }
+            };
+            buf[in_page..in_page + take].copy_from_slice(&data[written..written + take]);
+            written += take;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Recompute digests for dirty pages and return the Merkle root. Clears
+    /// the dirty set (ending the checkpoint epoch: further writes need new
+    /// `modify` notifications).
+    pub fn refresh_digest(&mut self) -> Digest {
+        let dirty = std::mem::take(&mut self.dirty);
+        self.last_refresh_hashed = dirty.len() as u64;
+        for p in dirty {
+            let d = match &self.pages[p as usize] {
+                Some(data) => page_digest(data),
+                None => zero_page_digest(),
+            };
+            self.tree.update_leaf(p as usize, d);
+        }
+        self.tree.root()
+    }
+
+    /// Pages hashed by the most recent [`PagedState::refresh_digest`]
+    /// (experiments charge digest cost per hashed page).
+    pub fn last_refresh_hashed(&self) -> u64 {
+        self.last_refresh_hashed
+    }
+
+    /// The Merkle tree as of the last digest refresh.
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
+    }
+
+    /// Number of pages currently awaiting re-hash.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Take a copy-on-write snapshot at `seq`. Call after
+    /// [`PagedState::refresh_digest`] so the recorded root is current.
+    pub fn snapshot(&self, seq: u64) -> Snapshot {
+        Snapshot {
+            seq,
+            root: self.tree.root(),
+            pages: self.pages.clone(),
+            tree: self.tree.clone(),
+        }
+    }
+
+    /// Restore the region to a snapshot (used to roll back tentative
+    /// execution and as the base for state transfer).
+    ///
+    /// # Errors
+    /// [`StateError::GeometryMismatch`] if the snapshot has a different page
+    /// count.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), StateError> {
+        if snap.pages.len() != self.pages.len() {
+            return Err(StateError::GeometryMismatch);
+        }
+        self.pages = snap.pages.clone();
+        self.tree = snap.tree.clone();
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Install a page received via state transfer (bypasses the modify
+    /// contract — transfer is a library-internal operation). `None` installs
+    /// the zero page. Updates the Merkle leaf immediately.
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] if `page` is out of range or data is not
+    /// page-sized.
+    pub fn install_page(&mut self, page: u64, data: Option<Vec<u8>>) -> Result<(), StateError> {
+        let idx = page as usize;
+        if idx >= self.pages.len() {
+            return Err(StateError::OutOfBounds {
+                offset: page * PAGE_SIZE as u64,
+                len: PAGE_SIZE,
+                region_len: self.len,
+            });
+        }
+        match data {
+            Some(d) => {
+                if d.len() != PAGE_SIZE {
+                    return Err(StateError::OutOfBounds {
+                        offset: page * PAGE_SIZE as u64,
+                        len: d.len(),
+                        region_len: self.len,
+                    });
+                }
+                let digest = page_digest(&d);
+                self.pages[idx] = Some(Arc::new(d));
+                self.tree.update_leaf(idx, digest);
+            }
+            None => {
+                self.pages[idx] = None;
+                self.tree.update_leaf(idx, zero_page_digest());
+            }
+        }
+        self.dirty.remove(&page);
+        Ok(())
+    }
+
+    /// Raw page contents for state-transfer serving (`None` = zero page).
+    pub fn page(&self, page: u64) -> Option<&[u8]> {
+        self.pages
+            .get(page as usize)
+            .and_then(|p| p.as_deref().map(|v| v.as_slice()))
+    }
+}
+
+/// A named sub-range of the state region, used to carve the single region
+/// into a library partition and an application partition — the layout the
+/// PBFT implementation mandates ("it splits this region in two, the first
+/// part for the internal library needs and the remaining for the
+/// application").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// Byte offset of the section within the region.
+    pub base: u64,
+    /// Section length in bytes.
+    pub len: u64,
+}
+
+impl Section {
+    /// Read within the section (relative offset).
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] if the range leaves the section.
+    pub fn read(&self, state: &PagedState, offset: u64, buf: &mut [u8]) -> Result<(), StateError> {
+        self.check(offset, buf.len())?;
+        state.read(self.base + offset, buf)
+    }
+
+    /// Modify-notify within the section.
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] if the range leaves the section.
+    pub fn modify(&self, state: &mut PagedState, offset: u64, len: usize) -> Result<(), StateError> {
+        self.check(offset, len)?;
+        state.modify(self.base + offset, len)
+    }
+
+    /// Write within the section (the modify contract still applies).
+    ///
+    /// # Errors
+    /// [`StateError::OutOfBounds`] or [`StateError::NotModified`].
+    pub fn write(&self, state: &mut PagedState, offset: u64, data: &[u8]) -> Result<(), StateError> {
+        self.check(offset, data.len())?;
+        state.write(self.base + offset, data)
+    }
+
+    fn check(&self, offset: u64, len: usize) -> Result<(), StateError> {
+        if offset.checked_add(len as u64).map_or(true, |end| end > self.len) {
+            return Err(StateError::OutOfBounds { offset, len, region_len: self.len });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized_reads() {
+        let st = PagedState::new(4);
+        assert_eq!(st.read_vec(100, 16).expect("read"), vec![0u8; 16]);
+        assert_eq!(st.len(), 4 * PAGE_SIZE as u64);
+        assert!(!st.is_empty());
+    }
+
+    #[test]
+    fn modify_then_write_roundtrip() {
+        let mut st = PagedState::new(4);
+        st.modify(10, 5).expect("modify");
+        st.write(10, b"hello").expect("write");
+        assert_eq!(st.read_vec(10, 5).expect("read"), b"hello");
+    }
+
+    #[test]
+    fn write_without_modify_rejected() {
+        let mut st = PagedState::new(4);
+        assert_eq!(st.write(0, b"x"), Err(StateError::NotModified { page: 0 }));
+        // And after a digest refresh the epoch resets.
+        st.modify(0, 1).expect("modify");
+        st.refresh_digest();
+        assert_eq!(st.write(0, b"x"), Err(StateError::NotModified { page: 0 }));
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut st = PagedState::new(4);
+        let data = vec![7u8; PAGE_SIZE + 100];
+        let off = (PAGE_SIZE - 50) as u64;
+        st.modify(off, data.len()).expect("modify");
+        st.write(off, &data).expect("write");
+        assert_eq!(st.read_vec(off, data.len()).expect("read"), data);
+        // Bytes around the write untouched.
+        assert_eq!(st.read_vec(0, 10).expect("read"), vec![0u8; 10]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut st = PagedState::new(1);
+        let end = st.len();
+        assert!(matches!(st.read_vec(end, 1), Err(StateError::OutOfBounds { .. })));
+        assert!(matches!(st.modify(end - 1, 2), Err(StateError::OutOfBounds { .. })));
+        assert!(st.modify(end - 1, 1).is_ok());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let mut st = PagedState::new(4);
+        let d0 = st.refresh_digest();
+        st.modify(0, 3).expect("modify");
+        st.write(0, b"abc").expect("write");
+        let d1 = st.refresh_digest();
+        assert_ne!(d0, d1);
+        // Writing the same bytes back to zero restores the digest.
+        st.modify(0, 3).expect("modify");
+        st.write(0, &[0, 0, 0]).expect("write");
+        assert_eq!(st.refresh_digest(), d0);
+    }
+
+    #[test]
+    fn identical_content_identical_digest_across_instances() {
+        let mut a = PagedState::new(8);
+        let mut b = PagedState::new(8);
+        for st in [&mut a, &mut b] {
+            st.modify(5000, 4).expect("modify");
+            st.write(5000, b"vote").expect("write");
+        }
+        assert_eq!(a.refresh_digest(), b.refresh_digest());
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back() {
+        let mut st = PagedState::new(4);
+        st.modify(0, 4).expect("modify");
+        st.write(0, b"base").expect("write");
+        let root = st.refresh_digest();
+        let snap = st.snapshot(10);
+        assert_eq!(snap.seq, 10);
+        assert_eq!(snap.root, root);
+
+        st.modify(0, 4).expect("modify");
+        st.write(0, b"tent").expect("write");
+        assert_ne!(st.refresh_digest(), root);
+
+        st.restore(&snap).expect("restore");
+        assert_eq!(st.read_vec(0, 4).expect("read"), b"base");
+        assert_eq!(st.refresh_digest(), root);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut st = PagedState::new(2);
+        st.modify(0, 1).expect("modify");
+        st.write(0, &[1]).expect("write");
+        st.refresh_digest();
+        let snap = st.snapshot(1);
+        st.modify(0, 1).expect("modify");
+        st.write(0, &[2]).expect("write");
+        // The snapshot still sees the old byte (copy-on-write).
+        assert_eq!(snap.pages[0].as_ref().expect("page")[0], 1);
+    }
+
+    #[test]
+    fn restore_geometry_mismatch() {
+        let small = PagedState::new(2).snapshot(0);
+        let mut big = PagedState::new(4);
+        assert_eq!(big.restore(&small), Err(StateError::GeometryMismatch));
+    }
+
+    #[test]
+    fn install_page_updates_tree() {
+        let mut a = PagedState::new(4);
+        let mut b = PagedState::new(4);
+        a.modify(0, 4).expect("modify");
+        a.write(0, b"sync").expect("write");
+        let root_a = a.refresh_digest();
+
+        let page0 = a.page(0).expect("materialized").to_vec();
+        b.refresh_digest();
+        b.install_page(0, Some(page0)).expect("install");
+        assert_eq!(b.tree().root(), root_a);
+        assert_eq!(b.read_vec(0, 4).expect("read"), b"sync");
+
+        // Installing None restores the zero page.
+        b.install_page(0, None).expect("install zero");
+        assert_eq!(b.read_vec(0, 4).expect("read"), vec![0u8; 4]);
+        assert!(b.install_page(99, None).is_err());
+        assert!(b.install_page(0, Some(vec![0u8; 3])).is_err());
+    }
+
+    #[test]
+    fn section_respects_bounds() {
+        let mut st = PagedState::new(4);
+        let sec = Section { base: PAGE_SIZE as u64, len: PAGE_SIZE as u64 };
+        sec.modify(&mut st, 0, 4).expect("modify");
+        sec.write(&mut st, 0, b"abcd").expect("write");
+        let mut buf = [0u8; 4];
+        sec.read(&st, 0, &mut buf).expect("read");
+        assert_eq!(&buf, b"abcd");
+        // Absolute placement is inside page 1.
+        assert_eq!(st.read_vec(PAGE_SIZE as u64, 4).expect("read"), b"abcd");
+        // Out-of-section access rejected even though in-region.
+        assert!(matches!(
+            sec.write(&mut st, sec.len - 1, b"xy"),
+            Err(StateError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn refresh_counts_hashed_pages() {
+        let mut st = PagedState::new(8);
+        st.modify(0, PAGE_SIZE * 3).expect("modify");
+        assert_eq!(st.dirty_pages(), 3);
+        st.refresh_digest();
+        assert_eq!(st.last_refresh_hashed(), 3);
+        assert_eq!(st.dirty_pages(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! WebSocket-style channel framing.
+//!
+//! The paper (§3.3.3): browser communication "cannot be carried over UDP
+//! because this protocol is not allowed in the JavaScript runtime
+//! environment. ... Higher level protocols, such as WebSocket ... need to
+//! be used", which demands "switch[ing] from a point-to-point message-based
+//! communication to a connected channel-oriented communication".
+//!
+//! This module provides that channel layer: frames with an opcode and a
+//! length-prefixed payload, and [`ChannelBuf`], a reassembler that accepts
+//! arbitrarily fragmented byte chunks (a TCP-like stream) and yields whole
+//! frames.
+
+/// Frame opcodes (a subset of RFC 6455's, enough for the bridge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// UTF-8 text (JSON messages).
+    Text,
+    /// Binary payload.
+    Binary,
+    /// Keep-alive probe.
+    Ping,
+    /// Keep-alive response.
+    Pong,
+    /// Channel teardown.
+    Close,
+}
+
+impl Opcode {
+    fn to_byte(self) -> u8 {
+        match self {
+            Opcode::Text => 1,
+            Opcode::Binary => 2,
+            Opcode::Ping => 9,
+            Opcode::Pong => 10,
+            Opcode::Close => 8,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Opcode> {
+        match b {
+            1 => Some(Opcode::Text),
+            2 => Some(Opcode::Binary),
+            9 => Some(Opcode::Ping),
+            10 => Some(Opcode::Pong),
+            8 => Some(Opcode::Close),
+            _ => None,
+        }
+    }
+}
+
+/// A whole frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What kind of frame.
+    pub opcode: Opcode,
+    /// Payload bytes (UTF-8 for [`Opcode::Text`]).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A text frame.
+    pub fn text(s: impl Into<String>) -> Frame {
+        Frame { opcode: Opcode::Text, payload: s.into().into_bytes() }
+    }
+
+    /// Encode to wire bytes: opcode (1) + length (4, big-endian) + payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.opcode.to_byte());
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Maximum accepted frame payload (wire hygiene: a corrupt length header
+/// must not make the reassembler buffer gigabytes).
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadOpcode(b) => write!(f, "unknown frame opcode {b:#04x}"),
+            FrameError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Stream reassembler: feed byte chunks, drain whole frames.
+#[derive(Debug, Default)]
+pub struct ChannelBuf {
+    buf: Vec<u8>,
+}
+
+impl ChannelBuf {
+    /// An empty reassembly buffer.
+    pub fn new() -> ChannelBuf {
+        ChannelBuf::default()
+    }
+
+    /// Append a chunk as received from the stream.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pop the next whole frame, if buffered.
+    ///
+    /// # Errors
+    /// [`FrameError`] on a corrupt header; the channel should be closed (the
+    /// stream cannot be resynchronized).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < 5 {
+            return Ok(None);
+        }
+        let opcode = Opcode::from_byte(self.buf[0]).ok_or(FrameError::BadOpcode(self.buf[0]))?;
+        let len = u32::from_be_bytes(self.buf[1..5].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.buf.len() < 5 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[5..5 + len].to_vec();
+        self.buf.drain(..5 + len);
+        Ok(Some(Frame { opcode, payload }))
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame::text("{\"type\":\"request\"}");
+        let wire = f.encode();
+        let mut buf = ChannelBuf::new();
+        buf.push(&wire);
+        assert_eq!(buf.next_frame().expect("ok"), Some(f));
+        assert_eq!(buf.next_frame().expect("ok"), None);
+        assert_eq!(buf.buffered(), 0);
+    }
+
+    #[test]
+    fn reassembles_fragmented_stream() {
+        let frames = [Frame::text("one"), Frame::text("two"), Frame {
+            opcode: Opcode::Binary,
+            payload: vec![0u8, 1, 2, 3],
+        }];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        // Deliver in 3-byte chunks (worst-case fragmentation).
+        let mut buf = ChannelBuf::new();
+        let mut seen = Vec::new();
+        for chunk in wire.chunks(3) {
+            buf.push(chunk);
+            while let Some(f) = buf.next_frame().expect("ok") {
+                seen.push(f);
+            }
+        }
+        assert_eq!(seen, frames);
+    }
+
+    #[test]
+    fn coalesced_frames_all_pop() {
+        let mut wire = Frame::text("a").encode();
+        wire.extend_from_slice(&Frame::text("b").encode());
+        let mut buf = ChannelBuf::new();
+        buf.push(&wire);
+        assert_eq!(buf.next_frame().expect("ok"), Some(Frame::text("a")));
+        assert_eq!(buf.next_frame().expect("ok"), Some(Frame::text("b")));
+    }
+
+    #[test]
+    fn control_frames() {
+        for op in [Opcode::Ping, Opcode::Pong, Opcode::Close] {
+            let f = Frame { opcode: op, payload: vec![] };
+            let mut buf = ChannelBuf::new();
+            buf.push(&f.encode());
+            assert_eq!(buf.next_frame().expect("ok"), Some(f));
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_fatal() {
+        let mut buf = ChannelBuf::new();
+        buf.push(&[0x77, 0, 0, 0, 0]);
+        assert_eq!(buf.next_frame(), Err(FrameError::BadOpcode(0x77)));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = ChannelBuf::new();
+        let mut hdr = vec![1u8];
+        hdr.extend_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_be_bytes());
+        buf.push(&hdr);
+        assert!(matches!(buf.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let f = Frame::text("");
+        let mut buf = ChannelBuf::new();
+        buf.push(&f.encode());
+        assert_eq!(buf.next_frame().expect("ok"), Some(f));
+    }
+}

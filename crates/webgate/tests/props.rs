@@ -1,0 +1,74 @@
+//! Property-based tests for the JSON codec and channel framing.
+
+use proptest::prelude::*;
+use webgate::json::{hex_decode, hex_encode, parse, Json};
+use webgate::{ChannelBuf, Frame, Opcode};
+
+/// Arbitrary JSON trees (bounded depth/size).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Integral doubles roundtrip exactly; that is what the bridge uses.
+        (-1i64 << 53..1i64 << 53).prop_map(|n| Json::Number(n as f64)),
+        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{e9}\u{4e2d}]{0,24}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_roundtrips(v in arb_json()) {
+        let text = v.to_string_compact();
+        let back = parse(&text).expect("own output parses");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = parse(text); // Ok or Err, never panic
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic(v in arb_json()) {
+        prop_assert_eq!(v.to_string_compact(), v.to_string_compact());
+    }
+
+    #[test]
+    fn hex_roundtrips(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&bytes)).expect("decode"), bytes);
+    }
+
+    #[test]
+    fn frames_survive_any_fragmentation(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
+        chunk in 1usize..16,
+    ) {
+        let frames: Vec<Frame> = payloads
+            .iter()
+            .map(|p| Frame { opcode: Opcode::Binary, payload: p.clone() })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut buf = ChannelBuf::new();
+        let mut seen = Vec::new();
+        for c in wire.chunks(chunk) {
+            buf.push(c);
+            while let Some(f) = buf.next_frame().expect("clean stream") {
+                seen.push(f);
+            }
+        }
+        prop_assert_eq!(seen, frames);
+    }
+}

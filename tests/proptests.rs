@@ -1,0 +1,461 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use minisql::{decode_row, encode_row, Value};
+use pbft_core::messages::{AuthTag, Envelope, Message, Operation, RequestMsg, Sender};
+use pbft_core::types::ClientId;
+use pbft_crypto::auth::MacKey;
+use pbft_crypto::threshold::{combine, partial_sign, ThresholdGroup};
+use pbft_crypto::Digest;
+use pbft_state::{serve_fetch, Fetcher, MerkleTree, PagedState, PAGE_SIZE};
+
+// ----------------------------------------------------------------------
+// Merkle tree: incremental updates always match a from-scratch rebuild.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merkle_incremental_equals_rebuild(
+        n in 1usize..64,
+        updates in prop::collection::vec((0usize..64, 0u64..1000), 0..32),
+    ) {
+        let mut leaves: Vec<Digest> =
+            (0..n).map(|i| Digest::of(&(i as u64).to_be_bytes())).collect();
+        let mut tree = MerkleTree::build(leaves.clone());
+        for (idx, val) in updates {
+            let idx = idx % n;
+            leaves[idx] = Digest::of(&val.to_be_bytes());
+            tree.update_leaf(idx, leaves[idx]);
+        }
+        prop_assert_eq!(tree.root(), MerkleTree::build(leaves).root());
+    }
+
+    #[test]
+    fn state_transfer_syncs_arbitrary_divergence(
+        writes_a in prop::collection::vec((0u64..16, 0u8..255), 0..20),
+        writes_b in prop::collection::vec((0u64..16, 0u8..255), 0..20),
+    ) {
+        let scribble = |st: &mut PagedState, writes: &[(u64, u8)]| {
+            for &(page, byte) in writes {
+                let off = page * PAGE_SIZE as u64;
+                st.modify(off, 4).expect("modify");
+                st.write(off, &[byte; 4]).expect("write");
+            }
+            st.refresh_digest();
+        };
+        let mut src = PagedState::new(16);
+        let mut dst = PagedState::new(16);
+        scribble(&mut src, &writes_a);
+        scribble(&mut dst, &writes_b);
+        let snap = src.snapshot(1);
+        let (mut fetcher, mut reqs) = Fetcher::new(dst.tree(), snap.root);
+        let mut guard = 0;
+        while !reqs.is_empty() {
+            guard += 1;
+            prop_assert!(guard < 200, "transfer did not terminate");
+            let mut next = Vec::new();
+            for r in &reqs {
+                let resp = serve_fetch(&snap, r);
+                next.extend(fetcher.on_response(dst.tree(), resp).expect("honest peer"));
+                for (idx, data) in fetcher.take_ready() {
+                    dst.install_page(idx, data).expect("install");
+                }
+            }
+            reqs = next;
+        }
+        prop_assert!(fetcher.is_complete());
+        prop_assert_eq!(dst.tree().root(), snap.root);
+    }
+
+    // ------------------------------------------------------------------
+    // Wire codec: request envelopes roundtrip for arbitrary content.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn envelope_roundtrip_arbitrary_request(
+        client in 0u64..u64::MAX,
+        timestamp in 0u64..u64::MAX,
+        read_only in any::<bool>(),
+        addr in 0u32..u32::MAX,
+        body in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let msg = Message::Request(RequestMsg {
+            client: ClientId(client),
+            timestamp,
+            read_only,
+            reply_addr: addr,
+            op: Operation::App(body),
+        });
+        let prefix = Envelope::encode_prefix(Sender::Client(ClientId(client)), &msg);
+        let packet = Envelope::seal(prefix, &AuthTag::None);
+        let (env, _) = Envelope::decode(&packet).expect("roundtrip");
+        prop_assert_eq!(env.msg, msg);
+    }
+
+    #[test]
+    fn envelope_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Envelope::decode(&bytes); // must not panic on garbage
+    }
+
+    // ------------------------------------------------------------------
+    // MACs: verification accepts the real message and rejects mutations.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn mac_rejects_bit_flips(
+        key in prop::array::uniform32(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let k = MacKey::new(key);
+        let tag = k.mac(&msg, 3);
+        prop_assert!(k.verify(&msg, 3, tag));
+        let mut tampered = msg.clone();
+        let i = flip_byte.index(tampered.len());
+        tampered[i] ^= 1 << flip_bit;
+        prop_assert!(!k.verify(&tampered, 3, tag));
+    }
+
+    // ------------------------------------------------------------------
+    // Threshold signatures: any f+1 subset works, message binding holds.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn threshold_any_quorum_signs(seed in any::<u64>(), f in 1usize..3) {
+        let n = 3 * f + 1;
+        let (group, shares) = ThresholdGroup::deal(seed, f + 1, n);
+        // Deterministic subset choice driven by the seed.
+        let mut participants: Vec<u32> = (1..=n as u32).collect();
+        let rot = (seed % n as u64) as usize;
+        participants.rotate_left(rot);
+        participants.truncate(f + 1);
+        let partials: Vec<_> = participants
+            .iter()
+            .map(|&x| partial_sign(&shares[(x - 1) as usize], &participants))
+            .collect();
+        let sig = combine(&group, &partials, b"ballot").expect("combine");
+        prop_assert!(group.verify(b"ballot", &sig));
+        prop_assert!(!group.verify(b"forged", &sig));
+    }
+
+    // ------------------------------------------------------------------
+    // minisql records: arbitrary rows roundtrip.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sql_record_roundtrip(row in prop::collection::vec(arb_value(), 0..16)) {
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes).expect("roundtrip");
+        prop_assert_eq!(back.len(), row.len());
+        for (a, b) in back.iter().zip(&row) {
+            match (a, b) {
+                (Value::Real(x), Value::Real(y)) => {
+                    prop_assert!(x.to_bits() == y.to_bits());
+                }
+                _ => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Integer),
+        any::<f64>().prop_map(Value::Real),
+        "[a-zA-Z0-9 '%_-]{0,40}".prop_map(Value::Text),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Blob),
+    ]
+}
+
+// ----------------------------------------------------------------------
+// minisql B+tree vs a BTreeMap model.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(i64, Vec<u8>),
+    Delete(i64),
+}
+
+fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0i64..200, prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        (0i64..200).prop_map(TreeOp::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(arb_tree_op(), 0..120)) {
+        use minisql::{Database, DbOptions, JournalMode, MemVfs};
+        // Model the table through SQL so the whole stack is exercised.
+        let mut db = Database::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            DbOptions { journal_mode: JournalMode::Off, ..Default::default() },
+        ).expect("open");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)").expect("create");
+        let mut model = std::collections::BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let hex: String = v.iter().map(|b| format!("{b:02x}")).collect();
+                    let blob = if hex.is_empty() { "x''".to_string() } else { format!("x'{hex}'") };
+                    let res = db.execute(&format!("INSERT INTO t (id, v) VALUES ({k}, {blob})"));
+                    if model.contains_key(&k) {
+                        prop_assert!(res.is_err(), "duplicate pk must fail");
+                    } else {
+                        prop_assert!(res.is_ok(), "insert failed: {res:?}");
+                        model.insert(k, v);
+                    }
+                }
+                TreeOp::Delete(k) => {
+                    db.execute(&format!("DELETE FROM t WHERE id = {k}")).expect("delete");
+                    model.remove(&k);
+                }
+            }
+        }
+        let rows = db.query("SELECT id, v FROM t ORDER BY id").expect("scan");
+        prop_assert_eq!(rows.rows.len(), model.len());
+        for (row, (k, v)) in rows.rows.iter().zip(model.iter()) {
+            prop_assert_eq!(&row[0], &Value::Integer(*k));
+            prop_assert_eq!(&row[1], &Value::Blob(v.clone()));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Journal: a crash at any point either preserves the old committed
+    // state or the new one — never a torn mixture.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn commit_is_atomic_under_crash(values in prop::collection::vec(0i64..1000, 1..20)) {
+        use minisql::{Database, DbOptions, JournalMode, MemVfs, Vfs};
+        let mut db = Database::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            DbOptions { journal_mode: JournalMode::Rollback, ..Default::default() },
+        ).expect("open");
+        db.execute("CREATE TABLE t (v INTEGER)").expect("create");
+        for v in &values {
+            db.execute(&format!("INSERT INTO t (v) VALUES ({v})")).expect("insert");
+        }
+        // "Crash": reopen from the last synced images.
+        let grab = |db: &mut Database| -> (MemVfs, MemVfs) {
+            let take = |src: &dyn Vfs| {
+                let mut out = MemVfs::new();
+                let mut buf = vec![0u8; src.len() as usize];
+                src.read_at(0, &mut buf).expect("read");
+                out.write_at(0, &buf).expect("write");
+                out.sync().expect("sync");
+                out
+            };
+            (take(db.db_file()), take(db.journal_file()))
+        };
+        let (dbf, jf) = grab(&mut db);
+        let mut reopened = Database::open(
+            Box::new(dbf),
+            Box::new(jf),
+            DbOptions { journal_mode: JournalMode::Rollback, ..Default::default() },
+        ).expect("reopen");
+        let rows = reopened.query("SELECT COUNT(*) FROM t").expect("count");
+        prop_assert_eq!(&rows.rows[0][0], &Value::Integer(values.len() as i64));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Quorum arithmetic: intersection of any two quorums contains a correct
+// replica, for every f.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn quorum_intersection_contains_correct_replica(f in 1usize..34) {
+        let cfg = pbft_core::PbftConfig { f, ..Default::default() };
+        let n = cfg.n();
+        let q = cfg.quorum();
+        // Two quorums overlap in at least q + q - n = f + 1 replicas, so at
+        // least one is correct.
+        prop_assert!(2 * q >= n + f + 1);
+        // And a weak certificate always contains a correct replica.
+        prop_assert!(cfg.weak_quorum() >= f + 1);
+    }
+}
+
+// ----------------------------------------------------------------------
+// WAL mode: any post-crash image yields exactly the synced-commit prefix —
+// never a torn transaction, never lost synced data.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wal_crash_recovers_synced_prefix(
+        values in prop::collection::vec(0i64..1000, 1..24),
+        survive in 0usize..24,
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use minisql::{Database, DbOptions, JournalMode, MemVfs, Vfs};
+        let survive = survive.min(values.len());
+        let mut db = Database::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            DbOptions {
+                journal_mode: JournalMode::Wal,
+                wal_autocheckpoint: 7, // force checkpoints mid-stream
+                ..Default::default()
+            },
+        ).expect("open");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
+        let mut images = Vec::new();
+        let snapshot = |db: &mut Database| -> (MemVfs, MemVfs) {
+            let take = |src: &dyn Vfs| {
+                let mut out = MemVfs::new();
+                let mut buf = vec![0u8; src.len() as usize];
+                src.read_at(0, &mut buf).expect("read");
+                out.write_at(0, &buf).expect("write");
+                out.sync().expect("sync");
+                out
+            };
+            (take(db.db_file()), take(db.journal_file()))
+        };
+        images.push(snapshot(&mut db));
+        for v in &values {
+            db.execute(&format!("INSERT INTO t (v) VALUES ({v})")).expect("insert");
+            images.push(snapshot(&mut db));
+        }
+        // Crash right after `survive` commits, with unsynced garbage
+        // appended to the log (a torn in-flight append).
+        let (dbf, mut walf) = images[survive].clone();
+        let end = walf.len();
+        walf.write_at(end, &garbage).expect("write");
+        let crashed = walf.crash();
+        let mut reopened = Database::open(
+            Box::new(dbf),
+            Box::new(crashed),
+            DbOptions { journal_mode: JournalMode::Wal, ..Default::default() },
+        ).expect("reopen");
+        let rows = reopened.query("SELECT COUNT(*) FROM t").expect("count");
+        prop_assert_eq!(&rows.rows[0][0], &Value::Integer(survive as i64));
+        // And the surviving values are exactly the prefix.
+        let rows = reopened.query("SELECT v FROM t ORDER BY id").expect("select");
+        let got: Vec<i64> = rows.rows.iter().map(|r| match r[0] {
+            Value::Integer(i) => i,
+            _ => -1,
+        }).collect();
+        prop_assert_eq!(got, values[..survive].to_vec());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Session store: persist/load through the region is lossless for any
+// table, and the region bytes are deterministic (replica agreement).
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn session_store_roundtrips_and_is_deterministic(
+        entries in prop::collection::btree_map(
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..64),
+            0..24,
+        ),
+    ) {
+        use pbft_core::SessionStore;
+        use pbft_state::Section;
+        let section = Section { base: 0, len: 4 * PAGE_SIZE as u64 };
+        let mut store = SessionStore::new();
+        for (&c, data) in &entries {
+            store.set(ClientId(c), data.clone());
+        }
+        let mut a = PagedState::new(4);
+        let mut b = PagedState::new(4);
+        store.persist(&section, &mut a).expect("persist a");
+        store.persist(&section, &mut b).expect("persist b");
+        prop_assert_eq!(a.refresh_digest(), b.refresh_digest(), "deterministic bytes");
+        let back = SessionStore::load(&section, &a).expect("load");
+        prop_assert_eq!(back, store);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Database-level model test: a random CRUD workload matches an in-memory
+// model (and is journal-mode-independent).
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CrudOp {
+    Insert(i64),
+    DeleteWhere(i64),
+    UpdateWhere(i64, i64),
+}
+
+fn arb_crud() -> impl Strategy<Value = CrudOp> {
+    prop_oneof![
+        (0i64..50).prop_map(CrudOp::Insert),
+        (0i64..50).prop_map(CrudOp::DeleteWhere),
+        ((0i64..50), (0i64..50)).prop_map(|(a, b)| CrudOp::UpdateWhere(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn crud_workload_matches_model_in_every_journal_mode(
+        ops in prop::collection::vec(arb_crud(), 0..60),
+    ) {
+        use minisql::{Database, DbOptions, JournalMode, MemVfs};
+        for mode in [JournalMode::Rollback, JournalMode::Wal, JournalMode::Off] {
+            let mut db = Database::open(
+                Box::new(MemVfs::new()),
+                Box::new(MemVfs::new()),
+                DbOptions { journal_mode: mode, wal_autocheckpoint: 9, ..Default::default() },
+            ).expect("open");
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
+            let mut model: Vec<i64> = Vec::new();
+            for op in &ops {
+                match op {
+                    CrudOp::Insert(v) => {
+                        db.execute(&format!("INSERT INTO t (v) VALUES ({v})")).expect("insert");
+                        model.push(*v);
+                    }
+                    CrudOp::DeleteWhere(v) => {
+                        db.execute(&format!("DELETE FROM t WHERE v = {v}")).expect("delete");
+                        model.retain(|x| x != v);
+                    }
+                    CrudOp::UpdateWhere(from, to) => {
+                        db.execute(&format!("UPDATE t SET v = {to} WHERE v = {from}"))
+                            .expect("update");
+                        for x in &mut model {
+                            if *x == *from {
+                                *x = *to;
+                            }
+                        }
+                    }
+                }
+            }
+            let rows = db.query("SELECT v FROM t ORDER BY id").expect("select");
+            let got: Vec<i64> = rows.rows.iter().map(|r| match r[0] {
+                Value::Integer(i) => i,
+                _ => -1,
+            }).collect();
+            let mut sorted_got = got.clone();
+            let mut sorted_model = model.clone();
+            sorted_got.sort_unstable();
+            sorted_model.sort_unstable();
+            prop_assert_eq!(sorted_got, sorted_model, "mode {:?}", mode);
+        }
+    }
+}
