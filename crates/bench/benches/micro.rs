@@ -1,31 +1,26 @@
-//! Criterion micro-benchmarks of the substrates: real (wall-clock) costs of
-//! the cryptographic primitives, the Merkle state subsystem, the wire codec
-//! and minisql — the building blocks whose *virtual* costs the experiment
-//! harness models.
+//! Micro-benchmarks of the substrates: real (wall-clock) costs of the
+//! cryptographic primitives, the Merkle state subsystem, the wire codec and
+//! minisql — the building blocks whose *virtual* costs the experiment
+//! harness models. Runs on the in-repo timing harness (`bench::Harness`);
+//! filter with e.g. `cargo bench --bench micro -- crypto`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::{black_box, Harness};
 
-fn crypto_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+fn crypto_benches(h: &mut Harness) {
+    let mut g = h.group("crypto");
     let data = vec![0xabu8; 1024];
-    g.bench_function("sha256_1kib", |b| {
-        b.iter(|| pbft_crypto::sha256(black_box(&data)))
-    });
+    g.bench("sha256_1kib", |b| b.iter(|| pbft_crypto::sha256(black_box(&data))));
     let key = pbft_crypto::auth::MacKey::new([7u8; 32]);
-    g.bench_function("fastmac_1kib", |b| b.iter(|| key.mac(black_box(&data), 0)));
+    g.bench("fastmac_1kib", |b| b.iter(|| key.mac(black_box(&data), 0)));
     let kp = pbft_crypto::KeyPair::generate(1);
-    g.bench_function("rsa_sign", |b| b.iter(|| kp.sign(black_box(&data))));
+    g.bench("rsa_sign", |b| b.iter(|| kp.sign(black_box(&data))));
     let sig = kp.sign(&data);
-    g.bench_function("rsa_verify", |b| {
-        b.iter(|| kp.public().verify(black_box(&data), &sig))
-    });
-    g.finish();
+    g.bench("rsa_verify", |b| b.iter(|| kp.public().verify(black_box(&data), &sig)));
 }
 
-fn state_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("state");
-    g.bench_function("refresh_digest_16_dirty_pages", |b| {
+fn state_benches(h: &mut Harness) {
+    let mut g = h.group("state");
+    g.bench("refresh_digest_16_dirty_pages", |b| {
         let mut st = pbft_state::PagedState::new(64);
         b.iter(|| {
             st.modify(0, 16 * pbft_state::PAGE_SIZE).expect("modify");
@@ -33,18 +28,17 @@ fn state_benches(c: &mut Criterion) {
             st.refresh_digest()
         })
     });
-    g.bench_function("snapshot_64_pages", |b| {
+    g.bench("snapshot_64_pages", |b| {
         let mut st = pbft_state::PagedState::new(64);
         st.refresh_digest();
         b.iter(|| st.snapshot(black_box(1)))
     });
-    g.finish();
 }
 
-fn codec_benches(c: &mut Criterion) {
+fn codec_benches(h: &mut Harness) {
     use pbft_core::messages::{AuthTag, Envelope, Message, Operation, RequestMsg, Sender};
     use pbft_core::types::ClientId;
-    let mut g = c.benchmark_group("codec");
+    let mut g = h.group("codec");
     let req = RequestMsg {
         client: ClientId(7),
         timestamp: 42,
@@ -53,21 +47,20 @@ fn codec_benches(c: &mut Criterion) {
         op: Operation::App(vec![0u8; 1024]),
     };
     let msg = Message::Request(req);
-    g.bench_function("encode_request_1kib", |b| {
+    g.bench("encode_request_1kib", |b| {
         b.iter(|| Envelope::encode_prefix(Sender::Client(ClientId(7)), black_box(&msg)))
     });
     let prefix = Envelope::encode_prefix(Sender::Client(ClientId(7)), &msg);
     let packet = Envelope::seal(prefix, &AuthTag::None);
-    g.bench_function("decode_request_1kib", |b| {
+    g.bench("decode_request_1kib", |b| {
         b.iter(|| Envelope::decode(black_box(&packet)).expect("decode"))
     });
-    g.finish();
 }
 
-fn sql_benches(c: &mut Criterion) {
+fn sql_benches(h: &mut Harness) {
     use minisql::{Database, DbOptions, JournalMode, MemVfs};
-    let mut g = c.benchmark_group("minisql");
-    g.bench_function("insert_row_no_acid", |b| {
+    let mut g = h.group("minisql");
+    g.bench("insert_row_no_acid", |b| {
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
@@ -82,7 +75,7 @@ fn sql_benches(c: &mut Criterion) {
                 .expect("insert")
         })
     });
-    g.bench_function("point_select", |b| {
+    g.bench("point_select", |b| {
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
@@ -95,8 +88,13 @@ fn sql_benches(c: &mut Criterion) {
         }
         b.iter(|| db.query(black_box("SELECT v FROM t WHERE id = 500")).expect("select"))
     });
-    g.finish();
 }
 
-criterion_group!(benches, crypto_benches, state_benches, codec_benches, sql_benches);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    crypto_benches(&mut h);
+    state_benches(&mut h);
+    codec_benches(&mut h);
+    sql_benches(&mut h);
+    h.finish();
+}

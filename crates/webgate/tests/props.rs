@@ -1,58 +1,88 @@
-//! Property-based tests for the JSON codec and channel framing.
+//! Property-based tests for the JSON codec and channel framing, on the
+//! in-repo `propcheck` harness.
 
-use proptest::prelude::*;
+use propcheck::Gen;
 use webgate::json::{hex_decode, hex_encode, parse, Json};
 use webgate::{ChannelBuf, Frame, Opcode};
 
-/// Arbitrary JSON trees (bounded depth/size).
-fn arb_json() -> impl Strategy<Value = Json> {
-    let leaf = prop_oneof![
-        Just(Json::Null),
-        any::<bool>().prop_map(Json::Bool),
+/// Characters exercised by string values: ASCII word chars plus the JSON
+/// escapes (`"`, `\`, `/`) and two non-ASCII code points (é, 中).
+const STRING_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J',
+    'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1',
+    '2', '3', '4', '5', '6', '7', '8', '9', ' ', '_', '-', '.', '"', '\\', '/', '\u{e9}',
+    '\u{4e2d}',
+];
+
+const KEY_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+];
+
+/// Arbitrary JSON trees (bounded depth/size, matching the original
+/// `prop_recursive(4, 64, 8, ..)` shape).
+fn arb_json(g: &mut Gen, depth: usize) -> Json {
+    let variants = if depth == 0 { 4 } else { 6 };
+    match g.choice(variants) {
+        0 => Json::Null,
+        1 => Json::Bool(g.bool()),
         // Integral doubles roundtrip exactly; that is what the bridge uses.
-        (-1i64 << 53..1i64 << 53).prop_map(|n| Json::Number(n as f64)),
-        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{e9}\u{4e2d}]{0,24}".prop_map(Json::String),
-    ];
-    leaf.prop_recursive(4, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
-        ]
-    })
+        2 => Json::Number(g.i64_in(-(1i64 << 53)..(1i64 << 53)) as f64),
+        3 => Json::String(g.string_from(STRING_CHARS, 0..25)),
+        4 => {
+            let n = g.usize_in(0..6);
+            Json::Array((0..n).map(|_| arb_json(g, depth - 1)).collect())
+        }
+        _ => Json::Object(g.btree_map(
+            0..6,
+            |g| g.string_from(KEY_CHARS, 1..9),
+            |g| arb_json(g, depth - 1),
+        )),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn json_roundtrips(v in arb_json()) {
+#[test]
+fn json_roundtrips() {
+    propcheck::check("json_roundtrips", 128, |g| {
+        let v = arb_json(g, 4);
         let text = v.to_string_compact();
         let back = parse(&text).expect("own output parses");
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn parser_never_panics() {
+    propcheck::check("parser_never_panics", 128, |g| {
+        let bytes = g.bytes(0..256);
         if let Ok(text) = std::str::from_utf8(&bytes) {
             let _ = parse(text); // Ok or Err, never panic
         }
-    }
+    });
+}
 
-    #[test]
-    fn serialization_is_deterministic(v in arb_json()) {
-        prop_assert_eq!(v.to_string_compact(), v.to_string_compact());
-    }
+#[test]
+fn serialization_is_deterministic() {
+    propcheck::check("serialization_is_deterministic", 128, |g| {
+        let v = arb_json(g, 4);
+        assert_eq!(v.to_string_compact(), v.to_string_compact());
+    });
+}
 
-    #[test]
-    fn hex_roundtrips(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        prop_assert_eq!(hex_decode(&hex_encode(&bytes)).expect("decode"), bytes);
-    }
+#[test]
+fn hex_roundtrips() {
+    propcheck::check("hex_roundtrips", 128, |g| {
+        let bytes = g.bytes(0..128);
+        assert_eq!(hex_decode(&hex_encode(&bytes)).expect("decode"), bytes);
+    });
+}
 
-    #[test]
-    fn frames_survive_any_fragmentation(
-        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
-        chunk in 1usize..16,
-    ) {
+#[test]
+fn frames_survive_any_fragmentation() {
+    propcheck::check("frames_survive_any_fragmentation", 128, |g| {
+        let payloads = g.vec(1..6, |g| g.bytes(0..64));
+        let chunk = g.usize_in(1..16);
         let frames: Vec<Frame> = payloads
             .iter()
             .map(|p| Frame { opcode: Opcode::Binary, payload: p.clone() })
@@ -69,6 +99,6 @@ proptest! {
                 seen.push(f);
             }
         }
-        prop_assert_eq!(seen, frames);
-    }
+        assert_eq!(seen, frames);
+    });
 }

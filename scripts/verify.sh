@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, fully offline:
+#   1. release build of every workspace crate
+#   2. the whole test suite (unit + integration + property tests)
+#   3. examples and all 13 bench targets compile
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo build --examples --benches"
+cargo build --examples --benches
+
+echo "verify: OK"

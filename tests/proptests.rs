@@ -1,6 +1,10 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants, on the
+//! in-repo `propcheck` harness (seeded generators + stream-replay shrinking).
+//!
+//! Ported 1:1 from the original `proptest` suite; every property keeps at
+//! least the original case count (minimum 64).
 
-use proptest::prelude::*;
+use propcheck::Gen;
 
 use minisql::{decode_row, encode_row, Value};
 use pbft_core::messages::{AuthTag, Envelope, Message, Operation, RequestMsg, Sender};
@@ -14,14 +18,11 @@ use pbft_state::{serve_fetch, Fetcher, MerkleTree, PagedState, PAGE_SIZE};
 // Merkle tree: incremental updates always match a from-scratch rebuild.
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn merkle_incremental_equals_rebuild(
-        n in 1usize..64,
-        updates in prop::collection::vec((0usize..64, 0u64..1000), 0..32),
-    ) {
+#[test]
+fn merkle_incremental_equals_rebuild() {
+    propcheck::check("merkle_incremental_equals_rebuild", 64, |g| {
+        let n = g.usize_in(1..64);
+        let updates = g.vec(0..32, |g| (g.usize_in(0..64), g.u64_in(0..1000)));
         let mut leaves: Vec<Digest> =
             (0..n).map(|i| Digest::of(&(i as u64).to_be_bytes())).collect();
         let mut tree = MerkleTree::build(leaves.clone());
@@ -30,14 +31,15 @@ proptest! {
             leaves[idx] = Digest::of(&val.to_be_bytes());
             tree.update_leaf(idx, leaves[idx]);
         }
-        prop_assert_eq!(tree.root(), MerkleTree::build(leaves).root());
-    }
+        assert_eq!(tree.root(), MerkleTree::build(leaves).root());
+    });
+}
 
-    #[test]
-    fn state_transfer_syncs_arbitrary_divergence(
-        writes_a in prop::collection::vec((0u64..16, 0u8..255), 0..20),
-        writes_b in prop::collection::vec((0u64..16, 0u8..255), 0..20),
-    ) {
+#[test]
+fn state_transfer_syncs_arbitrary_divergence() {
+    propcheck::check("state_transfer_syncs_arbitrary_divergence", 64, |g| {
+        let writes_a = g.vec(0..20, |g| (g.u64_in(0..16), g.u8_in(0..255)));
+        let writes_b = g.vec(0..20, |g| (g.u64_in(0..16), g.u8_in(0..255)));
         let scribble = |st: &mut PagedState, writes: &[(u64, u8)]| {
             for &(page, byte) in writes {
                 let off = page * PAGE_SIZE as u64;
@@ -55,7 +57,7 @@ proptest! {
         let mut guard = 0;
         while !reqs.is_empty() {
             guard += 1;
-            prop_assert!(guard < 200, "transfer did not terminate");
+            assert!(guard < 200, "transfer did not terminate");
             let mut next = Vec::new();
             for r in &reqs {
                 let resp = serve_fetch(&snap, r);
@@ -66,66 +68,69 @@ proptest! {
             }
             reqs = next;
         }
-        prop_assert!(fetcher.is_complete());
-        prop_assert_eq!(dst.tree().root(), snap.root);
-    }
+        assert!(fetcher.is_complete());
+        assert_eq!(dst.tree().root(), snap.root);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Wire codec: request envelopes roundtrip for arbitrary content.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Wire codec: request envelopes roundtrip for arbitrary content.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn envelope_roundtrip_arbitrary_request(
-        client in 0u64..u64::MAX,
-        timestamp in 0u64..u64::MAX,
-        read_only in any::<bool>(),
-        addr in 0u32..u32::MAX,
-        body in prop::collection::vec(any::<u8>(), 0..2048),
-    ) {
+#[test]
+fn envelope_roundtrip_arbitrary_request() {
+    propcheck::check("envelope_roundtrip_arbitrary_request", 64, |g| {
+        let client = g.u64();
         let msg = Message::Request(RequestMsg {
             client: ClientId(client),
-            timestamp,
-            read_only,
-            reply_addr: addr,
-            op: Operation::App(body),
+            timestamp: g.u64(),
+            read_only: g.bool(),
+            reply_addr: g.u32(),
+            op: Operation::App(g.bytes(0..2048)),
         });
         let prefix = Envelope::encode_prefix(Sender::Client(ClientId(client)), &msg);
         let packet = Envelope::seal(prefix, &AuthTag::None);
         let (env, _) = Envelope::decode(&packet).expect("roundtrip");
-        prop_assert_eq!(env.msg, msg);
-    }
+        assert_eq!(env.msg, msg);
+    });
+}
 
-    #[test]
-    fn envelope_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn envelope_decode_never_panics() {
+    propcheck::check("envelope_decode_never_panics", 64, |g| {
+        let bytes = g.bytes(0..512);
         let _ = Envelope::decode(&bytes); // must not panic on garbage
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // MACs: verification accepts the real message and rejects mutations.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// MACs: verification accepts the real message and rejects mutations.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn mac_rejects_bit_flips(
-        key in prop::array::uniform32(any::<u8>()),
-        msg in prop::collection::vec(any::<u8>(), 1..256),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn mac_rejects_bit_flips() {
+    propcheck::check("mac_rejects_bit_flips", 64, |g| {
+        let key: [u8; 32] = g.byte_array();
+        let msg = g.bytes(1..256);
         let k = MacKey::new(key);
         let tag = k.mac(&msg, 3);
-        prop_assert!(k.verify(&msg, 3, tag));
+        assert!(k.verify(&msg, 3, tag));
         let mut tampered = msg.clone();
-        let i = flip_byte.index(tampered.len());
-        tampered[i] ^= 1 << flip_bit;
-        prop_assert!(!k.verify(&tampered, 3, tag));
-    }
+        let i = g.index(tampered.len());
+        tampered[i] ^= 1 << g.u8_in(0..8);
+        assert!(!k.verify(&tampered, 3, tag));
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Threshold signatures: any f+1 subset works, message binding holds.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Threshold signatures: any f+1 subset works, message binding holds.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn threshold_any_quorum_signs(seed in any::<u64>(), f in 1usize..3) {
+#[test]
+fn threshold_any_quorum_signs() {
+    propcheck::check("threshold_any_quorum_signs", 64, |g| {
+        let seed = g.u64();
+        let f = g.usize_in(1..3);
         let n = 3 * f + 1;
         let (group, shares) = ThresholdGroup::deal(seed, f + 1, n);
         // Deterministic subset choice driven by the seed.
@@ -138,38 +143,48 @@ proptest! {
             .map(|&x| partial_sign(&shares[(x - 1) as usize], &participants))
             .collect();
         let sig = combine(&group, &partials, b"ballot").expect("combine");
-        prop_assert!(group.verify(b"ballot", &sig));
-        prop_assert!(!group.verify(b"forged", &sig));
-    }
+        assert!(group.verify(b"ballot", &sig));
+        assert!(!group.verify(b"forged", &sig));
+    });
+}
 
-    // ------------------------------------------------------------------
-    // minisql records: arbitrary rows roundtrip.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// minisql records: arbitrary rows roundtrip.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn sql_record_roundtrip(row in prop::collection::vec(arb_value(), 0..16)) {
-        let bytes = encode_row(&row);
-        let back = decode_row(&bytes).expect("roundtrip");
-        prop_assert_eq!(back.len(), row.len());
-        for (a, b) in back.iter().zip(&row) {
-            match (a, b) {
-                (Value::Real(x), Value::Real(y)) => {
-                    prop_assert!(x.to_bits() == y.to_bits());
-                }
-                _ => prop_assert_eq!(a, b),
-            }
-        }
+const TEXT_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J',
+    'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1',
+    '2', '3', '4', '5', '6', '7', '8', '9', ' ', '\'', '%', '_', '-',
+];
+
+fn arb_value(g: &mut Gen) -> Value {
+    match g.choice(5) {
+        0 => Value::Null,
+        1 => Value::Integer(g.i64()),
+        2 => Value::Real(g.f64()),
+        3 => Value::Text(g.string_from(TEXT_CHARS, 0..41)),
+        _ => Value::Blob(g.bytes(0..64)),
     }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Integer),
-        any::<f64>().prop_map(Value::Real),
-        "[a-zA-Z0-9 '%_-]{0,40}".prop_map(Value::Text),
-        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Blob),
-    ]
+#[test]
+fn sql_record_roundtrip() {
+    propcheck::check("sql_record_roundtrip", 64, |g| {
+        let row = g.vec(0..16, arb_value);
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes).expect("roundtrip");
+        assert_eq!(back.len(), row.len());
+        for (a, b) in back.iter().zip(&row) {
+            match (a, b) {
+                (Value::Real(x), Value::Real(y)) => {
+                    assert!(x.to_bits() == y.to_bits());
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    });
 }
 
 // ----------------------------------------------------------------------
@@ -182,20 +197,18 @@ enum TreeOp {
     Delete(i64),
 }
 
-fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
-    prop_oneof![
-        (0i64..200, prop::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(k, v)| TreeOp::Insert(k, v)),
-        (0i64..200).prop_map(TreeOp::Delete),
-    ]
+fn arb_tree_op(g: &mut Gen) -> TreeOp {
+    match g.choice(2) {
+        0 => TreeOp::Insert(g.i64_in(0..200), g.bytes(0..64)),
+        _ => TreeOp::Delete(g.i64_in(0..200)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn btree_matches_model(ops in prop::collection::vec(arb_tree_op(), 0..120)) {
+#[test]
+fn btree_matches_model() {
+    propcheck::check("btree_matches_model", 64, |g| {
         use minisql::{Database, DbOptions, JournalMode, MemVfs};
+        let ops = g.vec(0..120, arb_tree_op);
         // Model the table through SQL so the whole stack is exercised.
         let mut db = Database::open(
             Box::new(MemVfs::new()),
@@ -211,9 +224,9 @@ proptest! {
                     let blob = if hex.is_empty() { "x''".to_string() } else { format!("x'{hex}'") };
                     let res = db.execute(&format!("INSERT INTO t (id, v) VALUES ({k}, {blob})"));
                     if model.contains_key(&k) {
-                        prop_assert!(res.is_err(), "duplicate pk must fail");
+                        assert!(res.is_err(), "duplicate pk must fail");
                     } else {
-                        prop_assert!(res.is_ok(), "insert failed: {res:?}");
+                        assert!(res.is_ok(), "insert failed: {res:?}");
                         model.insert(k, v);
                     }
                 }
@@ -224,21 +237,24 @@ proptest! {
             }
         }
         let rows = db.query("SELECT id, v FROM t ORDER BY id").expect("scan");
-        prop_assert_eq!(rows.rows.len(), model.len());
+        assert_eq!(rows.rows.len(), model.len());
         for (row, (k, v)) in rows.rows.iter().zip(model.iter()) {
-            prop_assert_eq!(&row[0], &Value::Integer(*k));
-            prop_assert_eq!(&row[1], &Value::Blob(v.clone()));
+            assert_eq!(&row[0], &Value::Integer(*k));
+            assert_eq!(&row[1], &Value::Blob(v.clone()));
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Journal: a crash at any point either preserves the old committed
-    // state or the new one — never a torn mixture.
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Journal: a crash at any point either preserves the old committed state or
+// the new one — never a torn mixture.
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn commit_is_atomic_under_crash(values in prop::collection::vec(0i64..1000, 1..20)) {
+#[test]
+fn commit_is_atomic_under_crash() {
+    propcheck::check("commit_is_atomic_under_crash", 64, |g| {
         use minisql::{Database, DbOptions, JournalMode, MemVfs, Vfs};
+        let values = g.vec(1..20, |g| g.i64_in(0..1000));
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
@@ -267,26 +283,26 @@ proptest! {
             DbOptions { journal_mode: JournalMode::Rollback, ..Default::default() },
         ).expect("reopen");
         let rows = reopened.query("SELECT COUNT(*) FROM t").expect("count");
-        prop_assert_eq!(&rows.rows[0][0], &Value::Integer(values.len() as i64));
-    }
+        assert_eq!(&rows.rows[0][0], &Value::Integer(values.len() as i64));
+    });
 }
 
 // ----------------------------------------------------------------------
 // Quorum arithmetic: intersection of any two quorums contains a correct
-// replica, for every f.
+// replica, for every f. (Exhaustive over the original sample space.)
 // ----------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn quorum_intersection_contains_correct_replica(f in 1usize..34) {
+#[test]
+fn quorum_intersection_contains_correct_replica() {
+    for f in 1usize..34 {
         let cfg = pbft_core::PbftConfig { f, ..Default::default() };
         let n = cfg.n();
         let q = cfg.quorum();
         // Two quorums overlap in at least q + q - n = f + 1 replicas, so at
         // least one is correct.
-        prop_assert!(2 * q >= n + f + 1);
+        assert!(2 * q >= n + f + 1);
         // And a weak certificate always contains a correct replica.
-        prop_assert!(cfg.weak_quorum() >= f + 1);
+        assert!(cfg.weak_quorum() >= f + 1);
     }
 }
 
@@ -295,17 +311,13 @@ proptest! {
 // never a torn transaction, never lost synced data.
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn wal_crash_recovers_synced_prefix(
-        values in prop::collection::vec(0i64..1000, 1..24),
-        survive in 0usize..24,
-        garbage in prop::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn wal_crash_recovers_synced_prefix() {
+    propcheck::check("wal_crash_recovers_synced_prefix", 64, |g| {
         use minisql::{Database, DbOptions, JournalMode, MemVfs, Vfs};
-        let survive = survive.min(values.len());
+        let values = g.vec(1..24, |g| g.i64_in(0..1000));
+        let survive = g.usize_in(0..24).min(values.len());
+        let garbage = g.bytes(0..64);
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
@@ -345,35 +357,28 @@ proptest! {
             DbOptions { journal_mode: JournalMode::Wal, ..Default::default() },
         ).expect("reopen");
         let rows = reopened.query("SELECT COUNT(*) FROM t").expect("count");
-        prop_assert_eq!(&rows.rows[0][0], &Value::Integer(survive as i64));
+        assert_eq!(&rows.rows[0][0], &Value::Integer(survive as i64));
         // And the surviving values are exactly the prefix.
         let rows = reopened.query("SELECT v FROM t ORDER BY id").expect("select");
         let got: Vec<i64> = rows.rows.iter().map(|r| match r[0] {
             Value::Integer(i) => i,
             _ => -1,
         }).collect();
-        prop_assert_eq!(got, values[..survive].to_vec());
-    }
+        assert_eq!(got, values[..survive].to_vec());
+    });
 }
 
 // ----------------------------------------------------------------------
-// Session store: persist/load through the region is lossless for any
-// table, and the region bytes are deterministic (replica agreement).
+// Session store: persist/load through the region is lossless for any table,
+// and the region bytes are deterministic (replica agreement).
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn session_store_roundtrips_and_is_deterministic(
-        entries in prop::collection::btree_map(
-            any::<u64>(),
-            prop::collection::vec(any::<u8>(), 0..64),
-            0..24,
-        ),
-    ) {
+#[test]
+fn session_store_roundtrips_and_is_deterministic() {
+    propcheck::check("session_store_roundtrips_and_is_deterministic", 64, |g| {
         use pbft_core::SessionStore;
         use pbft_state::Section;
+        let entries = g.btree_map(0..24, |g| g.u64(), |g| g.bytes(0..64));
         let section = Section { base: 0, len: 4 * PAGE_SIZE as u64 };
         let mut store = SessionStore::new();
         for (&c, data) in &entries {
@@ -383,10 +388,10 @@ proptest! {
         let mut b = PagedState::new(4);
         store.persist(&section, &mut a).expect("persist a");
         store.persist(&section, &mut b).expect("persist b");
-        prop_assert_eq!(a.refresh_digest(), b.refresh_digest(), "deterministic bytes");
+        assert_eq!(a.refresh_digest(), b.refresh_digest(), "deterministic bytes");
         let back = SessionStore::load(&section, &a).expect("load");
-        prop_assert_eq!(back, store);
-    }
+        assert_eq!(back, store);
+    });
 }
 
 // ----------------------------------------------------------------------
@@ -401,22 +406,19 @@ enum CrudOp {
     UpdateWhere(i64, i64),
 }
 
-fn arb_crud() -> impl Strategy<Value = CrudOp> {
-    prop_oneof![
-        (0i64..50).prop_map(CrudOp::Insert),
-        (0i64..50).prop_map(CrudOp::DeleteWhere),
-        ((0i64..50), (0i64..50)).prop_map(|(a, b)| CrudOp::UpdateWhere(a, b)),
-    ]
+fn arb_crud(g: &mut Gen) -> CrudOp {
+    match g.choice(3) {
+        0 => CrudOp::Insert(g.i64_in(0..50)),
+        1 => CrudOp::DeleteWhere(g.i64_in(0..50)),
+        _ => CrudOp::UpdateWhere(g.i64_in(0..50), g.i64_in(0..50)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn crud_workload_matches_model_in_every_journal_mode(
-        ops in prop::collection::vec(arb_crud(), 0..60),
-    ) {
+#[test]
+fn crud_workload_matches_model_in_every_journal_mode() {
+    propcheck::check("crud_workload_matches_model_in_every_journal_mode", 64, |g| {
         use minisql::{Database, DbOptions, JournalMode, MemVfs};
+        let ops = g.vec(0..60, arb_crud);
         for mode in [JournalMode::Rollback, JournalMode::Wal, JournalMode::Off] {
             let mut db = Database::open(
                 Box::new(MemVfs::new()),
@@ -455,7 +457,7 @@ proptest! {
             let mut sorted_model = model.clone();
             sorted_got.sort_unstable();
             sorted_model.sort_unstable();
-            prop_assert_eq!(sorted_got, sorted_model, "mode {:?}", mode);
+            assert_eq!(sorted_got, sorted_model, "mode {mode:?}");
         }
-    }
+    });
 }
