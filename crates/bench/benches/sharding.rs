@@ -1,0 +1,123 @@
+//! **Sharding** — extends Table 1 with horizontal composition: N
+//! independent PBFT groups behind the deterministic shard router, measuring
+//! how aggregate committed throughput scales with the shard count
+//! (the Loruenser et al. queueing model predicts near-linear scaling for
+//! partitioned request streams).
+//!
+//! Sweeps shard count ∈ {1, 2, 4, 8} × batching {on, off} on the keyed
+//! null-op workload (1 KiB requests, 12 clients per group — the paper's
+//! client:group ratio). Reports per-configuration aggregate TPS, per-shard
+//! balance and scaling efficiency against the 1-shard baseline.
+//!
+//! Knobs: `SHARDING_TRIALS` (default 2) trades runtime for tighter standard
+//! deviations.
+
+use harness::experiments::NUM_CLIENTS;
+use harness::shard::{ShardedCluster, ShardedClusterSpec, ShardedThroughput};
+use harness::workload::keyed_null_ops;
+use harness::{ClusterSpec, Stats};
+use pbft_core::PbftConfig;
+use simnet::SimDuration;
+
+const WARMUP: SimDuration = SimDuration::from_millis(300);
+const WINDOW: SimDuration = SimDuration::from_secs(1);
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REQUEST_SIZE: usize = 1024;
+
+struct Row {
+    shards: usize,
+    batching: bool,
+    /// One [`ShardedThroughput`] per trial.
+    trials: Vec<ShardedThroughput>,
+}
+
+impl Row {
+    fn aggregate(&self) -> Stats {
+        Stats::from_samples(&self.trials.iter().map(ShardedThroughput::aggregate_tps).collect::<Vec<_>>())
+    }
+
+    fn balance(&self) -> Stats {
+        Stats::from_samples(
+            &self.trials.iter().flat_map(|t| t.per_shard_tps.iter().copied()).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean scaling efficiency across trials against the 1-shard baseline.
+    fn efficiency(&self, baseline_tps: f64) -> f64 {
+        self.trials.iter().map(|t| t.scaling_efficiency(baseline_tps)).sum::<f64>()
+            / self.trials.len() as f64
+    }
+}
+
+fn measure(shards: usize, batching: bool, trials: usize) -> Row {
+    let trials = (0..trials)
+        .map(|trial| {
+            let spec = ShardedClusterSpec {
+                shards,
+                base: ClusterSpec {
+                    cfg: PbftConfig { batching, ..Default::default() },
+                    num_clients: NUM_CLIENTS,
+                    seed: 5000 + trial as u64,
+                    ..Default::default()
+                },
+            };
+            let mut sc = ShardedCluster::build(spec);
+            sc.start_keyed_workload(|shard, client| {
+                keyed_null_ops(REQUEST_SIZE, (shard * NUM_CLIENTS + client) as u64)
+            });
+            sc.measure_throughput(WARMUP, WINDOW)
+        })
+        .collect();
+    Row { shards, batching, trials }
+}
+
+fn main() {
+    let trials: usize = std::env::var("SHARDING_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    println!(
+        "Sharding — aggregate committed null-op TPS vs shard count \
+         (1 KiB ops, {NUM_CLIENTS} clients/group, {trials} trials)\n"
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>8} {:>14} {:>10} {:>12}",
+        "batching", "shards", "agg TPS", "StDev", "per-shard", "±", "efficiency"
+    );
+
+    for batching in [true, false] {
+        let rows: Vec<Row> =
+            SHARD_COUNTS.iter().map(|&s| measure(s, batching, trials)).collect();
+        let baseline = rows[0].aggregate().mean;
+        for row in &rows {
+            let (aggregate, balance) = (row.aggregate(), row.balance());
+            println!(
+                "{:<10} {:>7} {:>12.0} {:>8.0} {:>14.0} {:>10.0} {:>11.2}x",
+                if row.batching { "on" } else { "off" },
+                row.shards,
+                aggregate.mean,
+                aggregate.std_dev,
+                balance.mean,
+                balance.std_dev,
+                row.efficiency(baseline),
+            );
+        }
+        let four = rows
+            .iter()
+            .find(|r| r.shards == 4)
+            .expect("the acceptance gate needs the 4-shard configuration in SHARD_COUNTS");
+        let speedup = four.aggregate().mean / baseline;
+        println!(
+            "  -> 4-shard speedup over 1 shard: {speedup:.2}x \
+             (scaling model expects ~4x; acceptance floor 2.5x)"
+        );
+        assert!(
+            speedup >= 2.5,
+            "4-shard aggregate ({:.0} TPS) fell below 2.5x the 1-shard baseline ({:.0} TPS)",
+            four.aggregate().mean,
+            baseline
+        );
+        println!();
+    }
+}

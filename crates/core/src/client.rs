@@ -15,6 +15,7 @@ use pbft_crypto::Digest;
 
 use crate::config::{AuthMode, PbftConfig};
 use crate::keys::ClientKeys;
+use crate::routing::{RouteError, ShardMap};
 use crate::messages::{
     AuthTag, Envelope, Message, NewKeyMsg, Operation, ReplyMsg, RequestMsg, Sender,
 };
@@ -86,6 +87,9 @@ pub struct Client {
     outstanding: Option<Outstanding>,
     queue: VecDeque<(Vec<u8>, bool)>,
     events: Vec<ClientEvent>,
+    /// In a sharded deployment, the partition and the group this client's
+    /// replica set serves (see [`Client::bind_shard`]).
+    shard: Option<(ShardMap, u32)>,
     /// Metrics for throughput harnesses.
     pub metrics: ClientMetrics,
 }
@@ -118,6 +122,7 @@ impl Client {
             outstanding: None,
             queue: VecDeque::new(),
             events: Vec::new(),
+            shard: None,
             metrics: ClientMetrics::default(),
         }
     }
@@ -150,6 +155,7 @@ impl Client {
             outstanding: None,
             queue: VecDeque::new(),
             events: Vec::new(),
+            shard: None,
             metrics: ClientMetrics::default(),
         }
     }
@@ -204,6 +210,50 @@ impl Client {
         self.queue.push_back((op, read_only));
         self.pump(now_ns, &mut res);
         res
+    }
+
+    /// Bind this client to one group of a sharded deployment: it will only
+    /// accept route-aware submissions ([`Client::submit_routed`]) whose keys
+    /// the partition assigns to `shard`.
+    ///
+    /// The binding is advisory plumbing for the transport layer — the
+    /// replicas this client's sends reach *are* group `shard` — so the check
+    /// catches mis-routed operations before they are ordered by a group that
+    /// does not own their keys.
+    pub fn bind_shard(&mut self, map: ShardMap, shard: u32) {
+        assert!(shard < map.shards(), "shard index out of range");
+        self.shard = Some((map, shard));
+    }
+
+    /// The shard this client is bound to, if any.
+    pub fn bound_shard(&self) -> Option<u32> {
+        self.shard.as_ref().map(|(_, s)| *s)
+    }
+
+    /// Route-aware submission: verify that every shard key of the operation
+    /// routes to this client's bound group, then [`Client::submit`].
+    ///
+    /// Errors are typed ([`RouteError`]): `CrossShard` when the keys span
+    /// groups (atomic cross-shard operations need a coordination protocol
+    /// this deployment does not run), `ForeignShard` when the operation
+    /// belongs to a different group than the one this client talks to, and
+    /// `NoKeys` when the operation names no key at all. An unbound client
+    /// accepts everything (the single-group deployment is the degenerate
+    /// one-shard case).
+    pub fn submit_routed<K: AsRef<[u8]>>(
+        &mut self,
+        keys: &[K],
+        op: Vec<u8>,
+        read_only: bool,
+        now_ns: u64,
+    ) -> Result<HandleResult, RouteError> {
+        if let Some((map, bound)) = &self.shard {
+            let key_shard = map.route(keys)?;
+            if key_shard != *bound {
+                return Err(RouteError::ForeignShard { key_shard, bound_shard: *bound });
+            }
+        }
+        Ok(self.submit(op, read_only, now_ns))
     }
 
     /// Ask the service to terminate this session (§3.1 Leave).
@@ -604,6 +654,42 @@ mod tests {
         let _ = c.handle_packet(&packet, 1000);
         let _ = c.handle_packet(&sealed_reply(1, 1, b"forged", false), 1000);
         assert!(c.has_outstanding(), "one bad + one good reply must not certify");
+    }
+
+    #[test]
+    fn routed_submission_enforces_the_binding() {
+        use crate::routing::{RouteError, ShardMap};
+        let map = ShardMap::new(4);
+        let key = b"row-1".to_vec();
+        let home = map.shard_of(&key);
+        let mut c = client();
+        c.bind_shard(map, home);
+        assert_eq!(c.bound_shard(), Some(home));
+
+        // The op's key routes here: accepted and dispatched.
+        let res = c.submit_routed(&[key.clone()], vec![1], false, 0).expect("routes home");
+        assert!(res.sends().count() > 0);
+
+        // A key owned by another group is a typed ForeignShard error.
+        let foreign = (0..64u64)
+            .map(|i| i.to_be_bytes().to_vec())
+            .find(|k| map.shard_of(k) != home)
+            .expect("some key routes elsewhere");
+        let err = c.submit_routed(&[foreign.clone()], vec![2], false, 0).unwrap_err();
+        assert!(matches!(err, RouteError::ForeignShard { bound_shard, .. } if bound_shard == home));
+
+        // Keys spanning groups are a typed CrossShard error.
+        let err = c.submit_routed(&[key, foreign], vec![3], false, 0).unwrap_err();
+        assert!(matches!(err, RouteError::CrossShard { .. }));
+        assert_eq!(c.queued(), 0, "rejected ops are never queued");
+    }
+
+    #[test]
+    fn unbound_client_routes_everything() {
+        let mut c = client();
+        assert_eq!(c.bound_shard(), None);
+        let res = c.submit_routed(&[b"any".as_slice()], vec![1], false, 0).expect("unbound accepts");
+        assert!(res.sends().count() > 0);
     }
 
     #[test]

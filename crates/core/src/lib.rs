@@ -18,7 +18,10 @@
 //!   §2.5, and
 //! * the paper's own contribution: **dynamic client membership** — a
 //!   two-phase challenge–response Join, Leave, an id redirection table, and
-//!   timestamp-based stale-session cleanup (§3.1).
+//!   timestamp-based stale-session cleanup (§3.1), and
+//! * [`routing`] — the deterministic key → group map for sharded
+//!   multi-group deployments, plus route-aware request submission on the
+//!   client ([`Client::bind_shard`] / [`Client::submit_routed`]).
 //!
 //! The engines are *sans-io*: a [`Replica`] or [`Client`] consumes packets
 //! and timer firings and returns [`Output`]s (sends, timer arms, deliveries)
@@ -35,6 +38,7 @@ pub mod membership;
 pub mod messages;
 pub mod output;
 pub mod replica;
+pub mod routing;
 pub mod session;
 pub mod types;
 pub mod wire;
@@ -46,5 +50,6 @@ pub use keys::KeyStore;
 pub use messages::{Envelope, Message, Operation, RequestMsg};
 pub use output::{HandleResult, NetTarget, OpCounts, Output, TimerKind};
 pub use replica::Replica;
+pub use routing::{RouteError, ShardMap};
 pub use session::{SessionCtx, SessionError, SessionStore};
 pub use types::{ClientId, ReplicaId, SeqNum, View};

@@ -2,8 +2,8 @@
 //!
 //! One [`Replica`] value is the complete protocol state machine for one
 //! group member: feed it packets and timer firings, collect sends and timer
-//! arms. Submodules: [`execution`] (ordering → execution → checkpoints),
-//! [`viewchange`] (primary failover) and [`recovery`] (status exchange and
+//! arms. Submodules: `execution` (ordering → execution → checkpoints),
+//! `viewchange` (primary failover) and `recovery` (status exchange and
 //! state transfer).
 
 mod execution;

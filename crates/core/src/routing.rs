@@ -1,0 +1,236 @@
+//! Deterministic key → group routing for sharded deployments.
+//!
+//! One PBFT group totally orders one request stream; the quadratic message
+//! complexity of the agreement keeps any single group's throughput bounded
+//! regardless of hardware (paper Table 1 tops out near 17k null ops/s).
+//! Horizontal composition — N independent groups, each owning a disjoint
+//! partition of the key space — is the standard escape hatch, and the
+//! queueing model of Loruenser et al. predicts near-linear scaling when the
+//! request streams are partitioned.
+//!
+//! [`ShardMap`] is the whole contract of that partitioning: a pure,
+//! deterministic function from an operation's *shard key* (any byte string
+//! the application designates — a row key, an election id, a client tag) to
+//! a group index. Every client and every tool that holds the same
+//! `ShardMap` computes the same assignment, with no coordination and no
+//! routing tables to distribute.
+//!
+//! Operations naming several keys are routable only when all keys land on
+//! the same group; otherwise routing fails with the typed
+//! [`RouteError::CrossShard`] so callers can surface the conflict instead of
+//! silently splitting an atomic operation. Cross-shard *coordination* (two
+//! phase commit across groups) is deliberately out of scope here.
+//!
+//! ```
+//! use pbft_core::routing::{RouteError, ShardMap};
+//!
+//! let map = ShardMap::new(4);
+//! // Deterministic and total: every key routes, and always the same way.
+//! assert_eq!(map.shard_of(b"voter-42"), map.shard_of(b"voter-42"));
+//! assert!(map.shard_of(b"anything") < 4);
+//!
+//! // Multi-key operations route only if the keys agree.
+//! let same = [b"k1".to_vec(), b"k1".to_vec()];
+//! assert!(map.route(&same).is_ok());
+//! let split = [b"k1".to_vec(), b"k3".to_vec()];
+//! match map.route(&split) {
+//!     Err(RouteError::CrossShard { .. }) => {}
+//!     other => panic!("expected a cross-shard rejection, got {other:?}"),
+//! }
+//! ```
+
+use std::fmt;
+
+/// The stable 64-bit key hash all routing derives from (FNV-1a).
+///
+/// The choice is part of the deployment contract: every client of a sharded
+/// deployment must hash identically or requests land on groups that never
+/// ordered them. FNV-1a is tiny, has no data-dependent branches, and mixes
+/// short keys (the common case: row keys, numeric ids) well enough that
+/// uniform keys spread uniformly across buckets.
+pub fn stable_key_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Final avalanche (SplitMix64 finalizer) so that low-entropy tails —
+    // e.g. keys differing only in the last byte — still flip high bits
+    // before the modulo.
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Why an operation could not be routed to a single group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The operation designated no shard key at all.
+    NoKeys,
+    /// Two of the operation's keys map to different groups. Atomic
+    /// cross-shard operations require a coordination protocol this
+    /// deployment does not run.
+    CrossShard {
+        /// The first key and the shard it routes to.
+        first: (Vec<u8>, u32),
+        /// The earliest key that disagrees, and its shard.
+        conflicting: (Vec<u8>, u32),
+    },
+    /// The key routes to a shard other than the one this client is bound to
+    /// (see [`crate::Client::bind_shard`]): the caller holds a connection to
+    /// the wrong group.
+    ForeignShard {
+        /// Where the key belongs.
+        key_shard: u32,
+        /// The group the client is bound to.
+        bound_shard: u32,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoKeys => write!(f, "operation names no shard key"),
+            RouteError::CrossShard { first, conflicting } => write!(
+                f,
+                "cross-shard operation: key {:02x?} routes to shard {} but key {:02x?} routes to shard {}",
+                first.0, first.1, conflicting.0, conflicting.1
+            ),
+            RouteError::ForeignShard { key_shard, bound_shard } => write!(
+                f,
+                "key routes to shard {key_shard} but this client is bound to shard {bound_shard}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The deterministic key-space partition: `shards` groups, key → group by
+/// stable hash. See the [module docs](self) for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A partition into `shards` groups.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero — an empty deployment routes nothing.
+    pub fn new(shards: u32) -> ShardMap {
+        assert!(shards > 0, "a deployment needs at least one shard");
+        ShardMap { shards }
+    }
+
+    /// Number of groups in the partition.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The group owning `key`. Total (every key routes) and deterministic
+    /// (a pure function of the bytes and the shard count).
+    pub fn shard_of(&self, key: &[u8]) -> u32 {
+        (stable_key_hash(key) % self.shards as u64) as u32
+    }
+
+    /// Route an operation naming `keys`: the single group owning all of
+    /// them, or a typed error when there is no such group.
+    pub fn route<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<u32, RouteError> {
+        let Some(first) = keys.first() else {
+            return Err(RouteError::NoKeys);
+        };
+        let shard = self.shard_of(first.as_ref());
+        for key in &keys[1..] {
+            let s = self.shard_of(key.as_ref());
+            if s != shard {
+                return Err(RouteError::CrossShard {
+                    first: (first.as_ref().to_vec(), shard),
+                    conflicting: (key.as_ref().to_vec(), s),
+                });
+            }
+        }
+        Ok(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let map = ShardMap::new(5);
+        for i in 0..1000u64 {
+            let key = i.to_be_bytes();
+            let s = map.shard_of(&key);
+            assert!(s < 5);
+            assert_eq!(s, map.shard_of(&key), "same key, same shard");
+        }
+    }
+
+    #[test]
+    fn one_shard_routes_everything_to_zero() {
+        let map = ShardMap::new(1);
+        assert_eq!(map.shard_of(b""), 0);
+        assert_eq!(map.shard_of(b"any key at all"), 0);
+    }
+
+    #[test]
+    fn multi_key_agreement_routes() {
+        let map = ShardMap::new(4);
+        let k = b"agree".to_vec();
+        assert_eq!(map.route(&[k.clone(), k.clone(), k]).unwrap(), map.shard_of(b"agree"));
+    }
+
+    #[test]
+    fn cross_shard_is_a_typed_error() {
+        let map = ShardMap::new(8);
+        // Find two keys on different shards (the first few integers suffice).
+        let (mut a, mut b) = (None, None);
+        for i in 0..64u64 {
+            let key = i.to_be_bytes().to_vec();
+            let s = map.shard_of(&key);
+            if a.is_none() {
+                a = Some((key, s));
+            } else if s != a.as_ref().unwrap().1 {
+                b = Some((key, s));
+                break;
+            }
+        }
+        let (ka, sa) = a.unwrap();
+        let (kb, sb) = b.expect("uniform hash cannot put 64 keys on one shard");
+        match map.route(&[ka.clone(), kb.clone()]) {
+            Err(RouteError::CrossShard { first, conflicting }) => {
+                assert_eq!(first, (ka, sa));
+                assert_eq!(conflicting, (kb, sb));
+            }
+            other => panic!("expected CrossShard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_key_set_is_rejected() {
+        let keys: [&[u8]; 0] = [];
+        assert_eq!(ShardMap::new(2).route(&keys), Err(RouteError::NoKeys));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardMap::new(0);
+    }
+
+    #[test]
+    fn hash_avalanches_short_suffix_changes() {
+        // Keys differing in one trailing byte should not collapse onto a few
+        // shards: check the spread over 256 single-byte variations.
+        let map = ShardMap::new(8);
+        let mut seen = [0u32; 8];
+        for b in 0..=255u8 {
+            seen[map.shard_of(&[b"prefix-".as_slice(), &[b]].concat()) as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "all shards hit: {seen:?}");
+    }
+}

@@ -5,7 +5,7 @@
 //! (fast message authentication) and MD5 (digests). This crate plays the same
 //! role for the reproduction:
 //!
-//! * [`sha256`] — a real SHA-256 implementation used for all digests
+//! * [`mod@sha256`] — a real SHA-256 implementation used for all digests
 //!   (standing in for MD5, which is broken and adds nothing to the protocol).
 //! * [`hmac`] — HMAC-SHA256, used for key derivation and strong MACs.
 //! * [`fastmac`] — a UMAC-style polynomial MAC producing 64-bit tags; this is

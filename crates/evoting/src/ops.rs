@@ -53,6 +53,22 @@ impl VoteOp {
         )
     }
 
+    /// The operation's stable shard key, for routing in sharded multi-group
+    /// deployments: all traffic of one election lands on one PBFT group (so
+    /// casting, tallying and certifying election *e* serialize in a single
+    /// total order), keyed by the election id's big-endian bytes.
+    /// Election-catalog operations (`CreateElection`, `ListElections`) share
+    /// the constant catalog key so the catalog itself lives on one group.
+    pub fn shard_key(&self) -> Vec<u8> {
+        match self {
+            VoteOp::CreateElection { .. } | VoteOp::ListElections => b"#elections".to_vec(),
+            VoteOp::CastVote { election, .. }
+            | VoteOp::Tally { election }
+            | VoteOp::MyVote { election }
+            | VoteOp::Certify { election, .. } => election.to_be_bytes().to_vec(),
+        }
+    }
+
     /// Encode for transport inside a PBFT request.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -152,6 +168,17 @@ mod tests {
         ] {
             assert_eq!(VoteOp::decode(&op.encode()), Some(op));
         }
+    }
+
+    #[test]
+    fn shard_keys_group_by_election() {
+        let cast = VoteOp::CastVote { election: 3, choice: "alice".into() };
+        let tally = VoteOp::Tally { election: 3 };
+        assert_eq!(cast.shard_key(), tally.shard_key(), "one election, one shard");
+        assert_ne!(tally.shard_key(), VoteOp::Tally { election: 4 }.shard_key());
+        // Catalog ops share the catalog key.
+        let create = VoteOp::CreateElection { title: "a".into() };
+        assert_eq!(create.shard_key(), VoteOp::ListElections.shard_key());
     }
 
     #[test]

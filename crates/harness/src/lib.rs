@@ -14,19 +14,43 @@
 //! * [`firewall`] — the Yin et al. privacy-firewall topology of §3.3.1,
 //!   for the deployment-cost ablation,
 //! * [`workload`] — closed-loop client workload generators (null ops of the
-//!   paper's sizes, the §4.2 SQL row insert, e-voting sessions),
+//!   paper's sizes, the §4.2 SQL row insert, e-voting sessions), plus their
+//!   key-tagged variants for sharded deployments,
+//! * [`shard`] — sharded multi-group composition: a deterministic
+//!   client-side shard router over N independent groups sharing one virtual
+//!   clock, with cross-shard operations rejected by a typed error,
 //! * [`stats`] — mean/standard deviation over trials (the paper's TPS ±
 //!   StDev columns),
 //! * [`experiments`] — one entry point per table/figure.
+//!
+//! # Example: measure a small cluster's throughput
+//!
+//! ```
+//! use harness::workload::null_ops;
+//! use harness::{Cluster, ClusterSpec};
+//! use simnet::SimDuration;
+//!
+//! let mut cluster = Cluster::build(ClusterSpec { num_clients: 2, ..Default::default() });
+//! cluster.start_workload(|_| null_ops(128));
+//! let tps = cluster.measure_throughput(
+//!     SimDuration::from_millis(100),
+//!     SimDuration::from_millis(200),
+//! );
+//! assert!(tps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod byzantine;
 pub mod cluster;
 pub mod firewall;
 pub mod cost;
 pub mod experiments;
+pub mod shard;
 pub mod stats;
 pub mod workload;
 
 pub use cluster::{AppKind, Cluster, ClusterSpec};
 pub use cost::CostModel;
+pub use shard::{ShardRouter, ShardedCluster, ShardedClusterSpec};
 pub use stats::Stats;

@@ -1,0 +1,454 @@
+//! Sharded multi-group PBFT: N independent groups behind a deterministic
+//! client-side router.
+//!
+//! The paper's evaluation (Table 1, Fig. 5) tops out at what one 4-replica
+//! group can commit: the agreement is quadratic in messages and every
+//! replica orders every request. The standard escape hatch is horizontal
+//! composition — run N groups side by side, partition the key space among
+//! them with a deterministic hash, and route each operation to the group
+//! owning its key. The queueing model of Loruenser et al. predicts
+//! near-linear throughput scaling when the request streams are disjoint;
+//! the `sharding` bench target tests that prediction against the Table 1
+//! baseline.
+//!
+//! Pieces:
+//!
+//! * [`ShardRouter`] — the client-side router: a thin veneer over
+//!   [`pbft_core::routing::ShardMap`] that routes [`KeyedOp`]s and rejects
+//!   cross-shard operations with the typed
+//!   [`RouteError::CrossShard`](pbft_core::routing::RouteError) (cross-shard
+//!   *coordination* is explicitly out of scope — a later PR).
+//! * [`ShardedClusterSpec`] / [`ShardedCluster`] — the harness layer:
+//!   composes N [`Cluster`]s (one [`simnet`] simulation each, advanced in
+//!   lockstep via [`simnet::run_lockstep`] so they share one virtual clock),
+//!   installs router-filtered keyed workloads, and aggregates completed
+//!   requests, throughput and traces across groups.
+//!
+//! ```
+//! use harness::shard::ShardRouter;
+//! use harness::workload::KeyedOp;
+//!
+//! let router = ShardRouter::new(4);
+//! let op = KeyedOp { keys: vec![b"voter-1".to_vec()], op: vec![0; 8], read_only: false };
+//! let shard = router.route(&op).expect("single-key ops always route");
+//! assert!(shard < 4);
+//! assert_eq!(router.route_key(b"voter-1"), shard);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pbft_core::routing::{RouteError, ShardMap};
+use simnet::{merge_traces, run_lockstep, SimDuration, TraceEntry};
+
+use crate::cluster::{Cluster, ClusterSpec};
+use crate::stats::Stats;
+use crate::workload::{KeyedOp, KeyedOpGen, OpGen};
+
+/// Decorrelates the network randomness of the groups: shard `s` simulates
+/// with seed `base.seed + s * SHARD_SEED_STRIDE`, so trials (which vary
+/// `base.seed` by small offsets) never collide with shard offsets.
+pub const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9;
+
+/// How many consecutive foreign/unroutable operations the workload adapter
+/// will skip before concluding the generator can never feed its shard.
+const STARVATION_LIMIT: u32 = 100_000;
+
+/// The client-side deterministic shard router.
+///
+/// Routing is a pure function of the operation's shard keys and the shard
+/// count — every client computes the same assignment with no coordination.
+/// See [`pbft_core::routing`] for the hash contract.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    map: ShardMap,
+}
+
+impl ShardRouter {
+    /// A router over `shards` groups.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> ShardRouter {
+        ShardRouter { map: ShardMap::new(shards as u32) }
+    }
+
+    /// Number of groups routed over.
+    pub fn shards(&self) -> usize {
+        self.map.shards() as usize
+    }
+
+    /// The underlying partition (shareable with [`pbft_core::Client::bind_shard`]).
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// The group owning a single key.
+    pub fn route_key(&self, key: &[u8]) -> usize {
+        self.map.shard_of(key) as usize
+    }
+
+    /// Route an operation: the single group owning all of its keys, or a
+    /// typed error — [`RouteError::CrossShard`] when the keys span groups,
+    /// [`RouteError::NoKeys`] when the op names none.
+    pub fn route(&self, op: &KeyedOp) -> Result<usize, RouteError> {
+        self.map.route(&op.keys).map(|s| s as usize)
+    }
+}
+
+/// Counters kept by the router while it drives workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterMetrics {
+    /// Operations the router assigned to a single owning group — via a
+    /// [`ShardedCluster::route`] probe or a workload adapter (the adapters
+    /// then submit them on the owning group).
+    pub routed: u64,
+    /// Operations skipped by a client because their key belongs to another
+    /// group (the stream is rejection-sampled per shard).
+    pub skipped_foreign: u64,
+    /// Operations rejected because their keys span groups
+    /// ([`RouteError::CrossShard`]).
+    pub rejected_cross_shard: u64,
+    /// Operations rejected because they named no shard key at all
+    /// ([`RouteError::NoKeys`]).
+    pub rejected_keyless: u64,
+}
+
+impl RouterMetrics {
+    fn record(&mut self, verdict: &Result<usize, RouteError>) {
+        match verdict {
+            Ok(_) => self.routed += 1,
+            Err(RouteError::CrossShard { .. }) => self.rejected_cross_shard += 1,
+            Err(RouteError::NoKeys) => self.rejected_keyless += 1,
+            // ForeignShard never escapes ShardMap::route (it is produced
+            // only by a bound Client); count it as keyless-adjacent noise
+            // rather than a partition conflict if it ever appears.
+            Err(RouteError::ForeignShard { .. }) => self.rejected_keyless += 1,
+        }
+    }
+}
+
+/// Configuration of a sharded deployment: `shards` independent PBFT groups,
+/// each built from the `base` template (same protocol config, app, client
+/// count and cost model; the simulation seed is decorrelated per shard).
+#[derive(Debug, Clone)]
+pub struct ShardedClusterSpec {
+    /// Number of independent PBFT groups.
+    pub shards: usize,
+    /// Per-group template. `base.num_clients` clients are mounted *per
+    /// group* — a sharded deployment scales clients with groups, like the
+    /// paper's fixed 12-clients-per-group population.
+    pub base: ClusterSpec,
+}
+
+impl Default for ShardedClusterSpec {
+    fn default() -> Self {
+        ShardedClusterSpec { shards: 4, base: ClusterSpec::default() }
+    }
+}
+
+/// A running sharded deployment: N [`Cluster`]s sharing one virtual clock.
+///
+/// All time-advancing methods move every group in lockstep
+/// ([`simnet::run_lockstep`]), so cross-group aggregates (completed
+/// requests, throughput windows, merged traces) compare like-for-like
+/// instants.
+pub struct ShardedCluster {
+    router: ShardRouter,
+    groups: Vec<Cluster>,
+    metrics: Rc<RefCell<RouterMetrics>>,
+}
+
+impl ShardedCluster {
+    /// Build `spec.shards` groups and align their clocks.
+    pub fn build(spec: ShardedClusterSpec) -> ShardedCluster {
+        assert!(spec.shards > 0, "a deployment needs at least one shard");
+        let groups: Vec<Cluster> = (0..spec.shards)
+            .map(|s| {
+                let mut gspec = spec.base.clone();
+                gspec.seed = spec.base.seed.wrapping_add(s as u64 * SHARD_SEED_STRIDE);
+                Cluster::build(gspec)
+            })
+            .collect();
+        let mut cluster = ShardedCluster {
+            router: ShardRouter::new(spec.shards),
+            groups,
+            metrics: Rc::new(RefCell::new(RouterMetrics::default())),
+        };
+        // Group builds settle independently (joins may take a different
+        // number of rounds per seed); advance stragglers to the latest
+        // clock so the lockstep invariant holds from here on.
+        let horizon = cluster.groups.iter().map(|g| g.sim.now()).max().expect("non-empty");
+        for g in &mut cluster.groups {
+            g.sim.run_until(horizon);
+        }
+        cluster
+    }
+
+    /// The router of this deployment.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of groups.
+    pub fn shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// One group's cluster.
+    pub fn group(&self, shard: usize) -> &Cluster {
+        &self.groups[shard]
+    }
+
+    /// One group's cluster, mutably (fault injection per shard).
+    pub fn group_mut(&mut self, shard: usize) -> &mut Cluster {
+        &mut self.groups[shard]
+    }
+
+    /// Route an operation through the deployment's router, recording the
+    /// outcome in [`RouterMetrics`].
+    pub fn route(&self, op: &KeyedOp) -> Result<usize, RouteError> {
+        let verdict = self.router.route(op);
+        self.metrics.borrow_mut().record(&verdict);
+        verdict
+    }
+
+    /// Counters accumulated by [`ShardedCluster::route`] and the workload
+    /// adapters installed by [`ShardedCluster::start_keyed_workload`].
+    pub fn router_metrics(&self) -> RouterMetrics {
+        *self.metrics.borrow()
+    }
+
+    /// Install a keyed workload on every client of every group.
+    ///
+    /// `make_gen(shard, client)` produces the client's keyed stream. Each
+    /// client rejection-samples its stream through the router: operations
+    /// whose keys belong to another group are skipped (counted in
+    /// [`RouterMetrics::skipped_foreign`] — in a real deployment that
+    /// client-side router would hand them to a connection of the owning
+    /// group), and cross-shard operations are rejected and counted in
+    /// [`RouterMetrics::rejected_cross_shard`].
+    ///
+    /// # Panics
+    /// Panics (at pump time) if a generator yields 100 000 consecutive
+    /// operations that don't route to its shard — a mis-partitioned
+    /// workload would otherwise spin the closed loop forever.
+    pub fn start_keyed_workload(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
+        let router = self.router;
+        for (s, group) in self.groups.iter_mut().enumerate() {
+            let metrics = &self.metrics;
+            group.start_workload(|client| {
+                let mut gen = make_gen(s, client);
+                let metrics = Rc::clone(metrics);
+                let mut next = 0u64;
+                let adapted: OpGen = Box::new(move |_| {
+                    let mut misses = 0u32;
+                    loop {
+                        let keyed = gen(next);
+                        next += 1;
+                        match router.route(&keyed) {
+                            Ok(home) if home == s => {
+                                metrics.borrow_mut().routed += 1;
+                                return (keyed.op, keyed.read_only);
+                            }
+                            Ok(_) => metrics.borrow_mut().skipped_foreign += 1,
+                            Err(e) => metrics.borrow_mut().record(&Err(e)),
+                        }
+                        misses += 1;
+                        assert!(
+                            misses < STARVATION_LIMIT,
+                            "keyed workload starved shard {s}: no routable op in \
+                             {STARVATION_LIMIT} draws"
+                        );
+                    }
+                });
+                adapted
+            });
+        }
+    }
+
+    /// Advance all groups in lockstep by `d` of shared virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        run_lockstep(self.groups.iter_mut().map(|g| &mut g.sim), d);
+    }
+
+    /// Stop issuing operations everywhere and drain in-flight work.
+    pub fn quiesce(&mut self, drain: SimDuration) {
+        for g in &mut self.groups {
+            g.quiesce(SimDuration::ZERO);
+        }
+        self.run_for(drain);
+    }
+
+    /// Total completed requests across all groups.
+    pub fn completed(&self) -> u64 {
+        self.groups.iter().map(Cluster::completed).sum()
+    }
+
+    /// Completed requests per group.
+    pub fn per_shard_completed(&self) -> Vec<u64> {
+        self.groups.iter().map(Cluster::completed).collect()
+    }
+
+    /// Mean request latency (ms) across every completed request of every
+    /// group — weighted by each group's completed count, so an imbalanced
+    /// partition does not let a quiet shard's latency swamp the aggregate.
+    pub fn mean_latency_ms(&self) -> f64 {
+        let (mut total_ns, mut completed) = (0u64, 0u64);
+        for g in &self.groups {
+            for i in 0..g.clients.len() {
+                let m = g.client_metrics(i);
+                total_ns += m.total_latency_ns;
+                completed += m.completed;
+            }
+        }
+        if completed == 0 {
+            0.0
+        } else {
+            total_ns as f64 / completed as f64 / 1e6
+        }
+    }
+
+    /// Run `warmup`, then measure committed throughput over `window`
+    /// (requests per second of shared virtual time), per shard and in
+    /// aggregate.
+    pub fn measure_throughput(
+        &mut self,
+        warmup: SimDuration,
+        window: SimDuration,
+    ) -> ShardedThroughput {
+        self.run_for(warmup);
+        let base = self.per_shard_completed();
+        self.run_for(window);
+        let per_shard_tps: Vec<f64> = self
+            .per_shard_completed()
+            .iter()
+            .zip(&base)
+            .map(|(now, then)| (now - then) as f64 / window.as_secs_f64())
+            .collect();
+        ShardedThroughput { per_shard_tps }
+    }
+
+    /// Are all replicas' state digests identical *within every group*?
+    /// (Safety holds per group; groups legitimately diverge from each other
+    /// — they serve disjoint key spaces.)
+    pub fn states_converged(&mut self) -> bool {
+        let all: Vec<Vec<usize>> =
+            self.groups.iter().map(|g| (0..g.spec().cfg.n()).collect()).collect();
+        self.groups
+            .iter_mut()
+            .zip(all)
+            .all(|(g, replicas)| g.states_converged(&replicas))
+    }
+
+    /// Drain every group's message trace into one shared timeline tagged by
+    /// shard index (requires `base.trace`).
+    pub fn merged_trace(&mut self) -> Vec<(usize, TraceEntry)> {
+        merge_traces(self.groups.iter_mut().map(|g| g.sim.take_trace()).collect())
+    }
+}
+
+/// A throughput measurement over a sharded deployment.
+#[derive(Debug, Clone)]
+pub struct ShardedThroughput {
+    /// Committed requests per second of virtual time, per shard.
+    pub per_shard_tps: Vec<f64>,
+}
+
+impl ShardedThroughput {
+    /// Aggregate committed throughput: the sum over groups (valid because
+    /// every group was measured over the same shared-clock window).
+    pub fn aggregate_tps(&self) -> f64 {
+        self.per_shard_tps.iter().sum()
+    }
+
+    /// Mean ± std-dev of the per-shard throughput — the balance view: a
+    /// large deviation means the partition or the workload is skewed.
+    pub fn balance(&self) -> Stats {
+        Stats::from_samples(&self.per_shard_tps)
+    }
+
+    /// Scaling efficiency against a single-group baseline: aggregate TPS
+    /// divided by `shards × baseline`. 1.0 is perfectly linear scaling.
+    pub fn scaling_efficiency(&self, single_shard_baseline_tps: f64) -> f64 {
+        let ideal = self.per_shard_tps.len() as f64 * single_shard_baseline_tps;
+        if ideal == 0.0 {
+            0.0
+        } else {
+            self.aggregate_tps() / ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::keyed_null_ops;
+
+    #[test]
+    fn sharded_build_aligns_clocks() {
+        let spec = ShardedClusterSpec {
+            shards: 3,
+            base: ClusterSpec { num_clients: 2, ..Default::default() },
+        };
+        let sc = ShardedCluster::build(spec);
+        let now = sc.group(0).sim.now();
+        assert!((1..3).all(|s| sc.group(s).sim.now() == now));
+    }
+
+    #[test]
+    fn keyed_workload_routes_and_completes_on_every_shard() {
+        let spec = ShardedClusterSpec {
+            shards: 2,
+            base: ClusterSpec { num_clients: 3, ..Default::default() },
+        };
+        let mut sc = ShardedCluster::build(spec);
+        sc.start_keyed_workload(|shard, client| {
+            keyed_null_ops(128, (shard * 100 + client) as u64)
+        });
+        let t = sc.measure_throughput(SimDuration::from_millis(200), SimDuration::from_millis(500));
+        assert!(t.per_shard_tps.iter().all(|&tps| tps > 100.0), "{:?}", t.per_shard_tps);
+        let m = sc.router_metrics();
+        assert!(m.routed > 0);
+        assert!(m.skipped_foreign > 0, "uniform keys must sometimes route away");
+        assert_eq!(m.rejected_cross_shard, 0);
+        sc.quiesce(SimDuration::from_millis(500));
+        assert!(sc.states_converged());
+    }
+
+    #[test]
+    fn route_counts_cross_shard_rejections() {
+        let sc = ShardedCluster::build(ShardedClusterSpec {
+            shards: 8,
+            base: ClusterSpec { num_clients: 1, ..Default::default() },
+        });
+        // Find two keys owned by different groups.
+        let router = *sc.router();
+        let k0 = b"alpha".to_vec();
+        let foreign = (0..64u64)
+            .map(|i| i.to_be_bytes().to_vec())
+            .find(|k| router.route_key(k) != router.route_key(&k0))
+            .expect("some key routes elsewhere");
+        let bad = KeyedOp { keys: vec![k0.clone(), foreign], op: vec![1], read_only: false };
+        assert!(matches!(sc.route(&bad), Err(RouteError::CrossShard { .. })));
+        let ok = KeyedOp { keys: vec![k0], op: vec![2], read_only: false };
+        assert!(sc.route(&ok).is_ok());
+        let keyless = KeyedOp { keys: vec![], op: vec![3], read_only: false };
+        assert_eq!(sc.route(&keyless), Err(RouteError::NoKeys));
+        let m = sc.router_metrics();
+        assert_eq!(
+            (m.routed, m.rejected_cross_shard, m.rejected_keyless),
+            (1, 1, 1),
+            "each rejection lands in its own counter"
+        );
+    }
+
+    #[test]
+    fn scaling_efficiency_is_aggregate_over_ideal() {
+        let t = ShardedThroughput { per_shard_tps: vec![900.0, 1000.0, 1100.0, 1000.0] };
+        assert!((t.aggregate_tps() - 4000.0).abs() < 1e-9);
+        assert!((t.scaling_efficiency(1000.0) - 1.0).abs() < 1e-9, "linear scaling is 1.0");
+        assert!((t.scaling_efficiency(2000.0) - 0.5).abs() < 1e-9);
+        assert_eq!(t.scaling_efficiency(0.0), 0.0, "zero baseline guarded");
+    }
+}

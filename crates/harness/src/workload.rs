@@ -1,8 +1,81 @@
 //! Closed-loop client workloads.
+//!
+//! Two generator shapes coexist:
+//!
+//! * [`OpGen`] — the original single-group shape: a stream of raw
+//!   `(op bytes, read_only)` pairs, installed per client by
+//!   [`Cluster::start_workload`](crate::Cluster::start_workload).
+//! * [`KeyedOpGen`] — the sharded shape: each operation additionally names
+//!   the **shard keys** it touches ([`KeyedOp`]), so the shard router can
+//!   assign it to the PBFT group owning those keys (or reject it as
+//!   cross-shard). [`ShardedCluster`](crate::shard::ShardedCluster) installs
+//!   these.
 
 /// A generator producing the next operation for a closed-loop client:
 /// `(op bytes, read_only)`.
 pub type OpGen = Box<dyn FnMut(u64) -> (Vec<u8>, bool)>;
+
+/// An operation tagged with the shard keys it touches.
+///
+/// The keys are routing metadata, not payload: they never go on the wire
+/// (each group's replicas are oblivious to the partition), they only feed
+/// the client-side router's hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedOp {
+    /// The shard keys the operation touches. Routable iff all of them map
+    /// to the same group; see [`pbft_core::routing::ShardMap::route`].
+    pub keys: Vec<Vec<u8>>,
+    /// The encoded application operation.
+    pub op: Vec<u8>,
+    /// Whether the PBFT read-only fast path may serve it.
+    pub read_only: bool,
+}
+
+/// A generator producing the next key-tagged operation for a closed-loop
+/// client of a sharded deployment.
+pub type KeyedOpGen = Box<dyn FnMut(u64) -> KeyedOp>;
+
+/// Keyed null operations: the Table 1 null-op workload over a logical key
+/// space, for sharding experiments. The key — `tag` (a per-client
+/// disambiguator) and the sequence number, 16 big-endian bytes — is stamped
+/// into the op body, making each op a distinct "write" to a distinct key
+/// that the router spreads across groups.
+pub fn keyed_null_ops(size: usize, tag: u64) -> KeyedOpGen {
+    Box::new(move |seq| {
+        let key = [tag.to_be_bytes(), seq.to_be_bytes()].concat();
+        let mut op = vec![0u8; size];
+        let n = key.len().min(size);
+        op[..n].copy_from_slice(&key[..n]);
+        KeyedOp { keys: vec![key], op, read_only: false }
+    })
+}
+
+/// The §4.2 SQL row-insert workload with its shard key attached: the key is
+/// the inserted row's `k` column (the voter identity), extracted by the same
+/// [`pbft_sql::shard_key`] convention every router-side tool uses.
+pub fn keyed_sql_insert_ops(client_tag: u64) -> KeyedOpGen {
+    let mut inner = sql_insert_ops(client_tag);
+    Box::new(move |seq| {
+        let (op, read_only) = inner(seq);
+        let sql = std::str::from_utf8(&op).expect("generated SQL is UTF-8");
+        let key = pbft_sql::shard_key(sql).expect("inserts always carry a key literal");
+        KeyedOp { keys: vec![key], op, read_only }
+    })
+}
+
+/// E-voting sessions over several elections, keyed so that each election's
+/// traffic routes to the group owning it (see [`evoting::VoteOp::shard_key`]).
+pub fn keyed_evoting_ops(
+    elections: &'static [i64],
+    choices: &'static [&'static str],
+) -> KeyedOpGen {
+    Box::new(move |seq| {
+        let election = elections[(seq as usize) % elections.len()];
+        let choice = choices[(seq as usize) % choices.len()];
+        let op = evoting::VoteOp::CastVote { election, choice: choice.to_string() };
+        KeyedOp { keys: vec![op.shard_key()], op: op.encode(), read_only: false }
+    })
+}
 
 /// Null operations of a fixed size — the workload behind Table 1 / Figure 4
 /// ("The client and server programs built to measure throughput transmit
@@ -65,6 +138,37 @@ mod tests {
         assert!(sql.contains("now()"));
         assert!(sql.contains("random()"));
         assert!(!ro);
+    }
+
+    #[test]
+    fn keyed_null_ops_key_matches_stamp() {
+        let mut gen = keyed_null_ops(64, 9);
+        let a = gen(0);
+        let b = gen(1);
+        assert_eq!(a.keys.len(), 1);
+        assert_eq!(a.keys[0].len(), 16);
+        assert_eq!(&a.op[..16], &a.keys[0][..], "key is stamped into the op");
+        assert_ne!(a.keys[0], b.keys[0], "distinct seq, distinct key");
+        assert_eq!(a.op.len(), 64);
+    }
+
+    #[test]
+    fn keyed_sql_ops_key_on_the_row_key() {
+        let mut gen = keyed_sql_insert_ops(3);
+        let keyed = gen(9);
+        assert_eq!(keyed.keys, vec![b"voter-3-9".to_vec()]);
+        let sql = String::from_utf8(keyed.op).expect("utf8");
+        assert!(sql.contains("'voter-3-9'"));
+    }
+
+    #[test]
+    fn keyed_evoting_ops_key_on_the_election() {
+        let mut gen = keyed_evoting_ops(&[1, 2], &["a", "b", "c"]);
+        let first = gen(0);
+        let third = gen(2);
+        assert_eq!(first.keys, third.keys, "elections rotate with period 2");
+        assert_ne!(first.keys, gen(1).keys);
+        assert!(evoting::VoteOp::decode(&first.op).is_some());
     }
 
     #[test]

@@ -14,11 +14,15 @@
 //! * crash / restart fault injection (transient state is lost, exactly the
 //!   scenario of paper §2.3), and
 //! * a message trace, the equivalent of the paper's §2.2 common-clock message
-//!   log ("given the common clock, [it] allowed us to reason about the
+//!   log ("given the common clock, \[it\] allowed us to reason about the
 //!   behavior of the system").
 //!
 //! Everything is deterministic given the seed: two runs produce identical
 //! traces. Experiment trials vary the seed to obtain standard deviations.
+//!
+//! Several independent simulations can be composed under one shared virtual
+//! clock with [`run_lockstep`] / [`merge_traces`] — the substrate for the
+//! sharded multi-group deployments in the `harness` crate.
 //!
 //! # Example
 //!
@@ -54,6 +58,9 @@
 //! assert_eq!(p.got.as_deref(), Some(&b"yeh"[..]));
 //! ```
 
+#![warn(missing_docs)]
+
+mod group;
 mod link;
 mod node;
 mod rng;
@@ -62,6 +69,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use group::{merge_traces, run_lockstep};
 pub use link::LinkParams;
 pub use node::{Node, NodeCtx, NodeId, TimerId};
 pub use rng::SimRng;

@@ -8,8 +8,8 @@
 //! are inappropriate for applications such as ours"). Instead each replica
 //! terminates channels itself and the web client fans out to all of them.
 //!
-//! A message on a channel is a [`Frame`](crate::frame::Frame) whose text
-//! payload is a JSON object:
+//! A message on a channel is a [`Frame`] whose text payload is a JSON
+//! object:
 //!
 //! ```json
 //! {"proto":"pbft-web/1","kind":"request","seq":42,

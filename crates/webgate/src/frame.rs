@@ -3,7 +3,7 @@
 //! The paper (§3.3.3): browser communication "cannot be carried over UDP
 //! because this protocol is not allowed in the JavaScript runtime
 //! environment. ... Higher level protocols, such as WebSocket ... need to
-//! be used", which demands "switch[ing] from a point-to-point message-based
+//! be used", which demands "switch\[ing\] from a point-to-point message-based
 //! communication to a connected channel-oriented communication".
 //!
 //! This module provides that channel layer: frames with an opcode and a

@@ -25,7 +25,7 @@
 //! centralized components, so every replica terminates channels itself and
 //! the browser client fans out to all of them (the paper also notes the
 //! cryptography must move "from Rabin to more widely available
-//! cryptosystems, such as RSA" — this workspace's [`pbft_crypto`] signature
+//! cryptosystems, such as RSA" — this workspace's `pbft_crypto` signature
 //! scheme is RSA-shaped for the same reason).
 //!
 //! # Example

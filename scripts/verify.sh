@@ -2,7 +2,8 @@
 # Tier-1 verification gate, fully offline:
 #   1. release build of every workspace crate
 #   2. the whole test suite (unit + integration + property tests)
-#   3. examples and all 13 bench targets compile
+#   3. examples and all 14 bench targets compile
+#   4. rustdoc is complete and warning-free, and the doc-examples run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +17,11 @@ cargo test -q
 
 echo "==> cargo build --examples --benches"
 cargo build --examples --benches
+
+echo "==> RUSTDOCFLAGS=-D warnings cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> cargo test --doc"
+cargo test --doc --quiet
 
 echo "verify: OK"
