@@ -234,12 +234,12 @@ impl Client {
     /// routes to this client's bound group, then [`Client::submit`].
     ///
     /// Errors are typed ([`RouteError`]): `CrossShard` when the keys span
-    /// groups (atomic cross-shard operations need a coordination protocol
-    /// this deployment does not run), `ForeignShard` when the operation
-    /// belongs to a different group than the one this client talks to, and
-    /// `NoKeys` when the operation names no key at all. An unbound client
-    /// accepts everything (the single-group deployment is the degenerate
-    /// one-shard case).
+    /// groups (atomic cross-shard operations must go through the two-phase
+    /// commit of [`crate::xshard`] rather than a single group's order),
+    /// `ForeignShard` when the operation belongs to a different group than
+    /// the one this client talks to, and `NoKeys` when the operation names
+    /// no key at all. An unbound client accepts everything (the
+    /// single-group deployment is the degenerate one-shard case).
     pub fn submit_routed<K: AsRef<[u8]>>(
         &mut self,
         keys: &[K],
@@ -667,15 +667,16 @@ mod tests {
         assert_eq!(c.bound_shard(), Some(home));
 
         // The op's key routes here: accepted and dispatched.
-        let res = c.submit_routed(&[key.clone()], vec![1], false, 0).expect("routes home");
+        let res = c
+            .submit_routed(std::slice::from_ref(&key), vec![1], false, 0)
+            .expect("routes home");
         assert!(res.sends().count() > 0);
 
         // A key owned by another group is a typed ForeignShard error.
-        let foreign = (0..64u64)
-            .map(|i| i.to_be_bytes().to_vec())
-            .find(|k| map.shard_of(k) != home)
-            .expect("some key routes elsewhere");
-        let err = c.submit_routed(&[foreign.clone()], vec![2], false, 0).unwrap_err();
+        let foreign = crate::routing::test_key_on_other_shard(&map, &key);
+        let err = c
+            .submit_routed(std::slice::from_ref(&foreign), vec![2], false, 0)
+            .unwrap_err();
         assert!(matches!(err, RouteError::ForeignShard { bound_shard, .. } if bound_shard == home));
 
         // Keys spanning groups are a typed CrossShard error.

@@ -21,13 +21,19 @@
 //!   timestamp-based stale-session cleanup (§3.1), and
 //! * [`routing`] — the deterministic key → group map for sharded
 //!   multi-group deployments, plus route-aware request submission on the
-//!   client ([`Client::bind_shard`] / [`Client::submit_routed`]).
+//!   client ([`Client::bind_shard`] / [`Client::submit_routed`]), and
+//! * [`xshard`] — deterministic two-phase commit across groups: the
+//!   lock-and-log participant state machine, the replicated coordinator
+//!   decision record, and the wire framing that carries both inside
+//!   ordinary ordered operations.
 //!
 //! The engines are *sans-io*: a [`Replica`] or [`Client`] consumes packets
 //! and timer firings and returns [`Output`]s (sends, timer arms, deliveries)
 //! plus an [`OpCounts`] record of the real work performed. Any transport can
 //! drive them; the workspace drives them with `simnet`, which converts
 //! `OpCounts` into virtual CPU time through a calibrated cost model.
+
+#![warn(missing_docs)]
 
 pub mod app;
 pub mod client;
@@ -42,6 +48,7 @@ pub mod routing;
 pub mod session;
 pub mod types;
 pub mod wire;
+pub mod xshard;
 
 pub use app::{App, ExecMetrics, NonDet, NullApp};
 pub use client::{Client, ClientEvent};
@@ -53,3 +60,4 @@ pub use replica::Replica;
 pub use routing::{RouteError, ShardMap};
 pub use session::{SessionCtx, SessionError, SessionStore};
 pub use types::{ClientId, ReplicaId, SeqNum, View};
+pub use xshard::{SubOp, TxCoordinator, TxId, XMsg, XReply, XShardApp, XShardLeg, XShardOp};

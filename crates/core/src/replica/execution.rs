@@ -304,7 +304,7 @@ impl Replica {
             let missing: Vec<Digest> = pp
                 .entries
                 .iter()
-                .filter(|en| !matches!(en.full, Some(_)) && !self.bodies.contains_key(&en.digest))
+                .filter(|en| en.full.is_none() && !self.bodies.contains_key(&en.digest))
                 .map(|en| en.digest)
                 .collect();
             if !missing.is_empty() {
@@ -487,7 +487,7 @@ impl Replica {
     /// Take a checkpoint when `seq` is an interval boundary and its batch is
     /// committed and executed.
     pub(crate) fn maybe_checkpoint(&mut self, seq: SeqNum, res: &mut HandleResult) {
-        if seq % self.cfg.checkpoint_interval != 0 {
+        if !seq.is_multiple_of(self.cfg.checkpoint_interval) {
             return;
         }
         if self.checkpoints.contains_key(&seq) {

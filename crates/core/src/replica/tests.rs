@@ -28,6 +28,9 @@ enum AppKind {
     SessionCounter,
 }
 
+/// Packet filter: `(source, destination, message discriminant) -> drop?`.
+type DropFilter = Box<dyn Fn(Source, &NetTarget, u8) -> bool>;
+
 struct Net {
     cfg: PbftConfig,
     replicas: Vec<Replica>,
@@ -37,7 +40,7 @@ struct Net {
     queue: VecDeque<(Source, NetTarget, Vec<u8>, u8)>,
     now: u64,
     /// Packets this filter returns `true` for are dropped.
-    drop: Option<Box<dyn Fn(Source, &NetTarget, u8) -> bool>>,
+    drop: Option<DropFilter>,
     dropped: usize,
 }
 

@@ -18,8 +18,11 @@
 //! Operations naming several keys are routable only when all keys land on
 //! the same group; otherwise routing fails with the typed
 //! [`RouteError::CrossShard`] so callers can surface the conflict instead of
-//! silently splitting an atomic operation. Cross-shard *coordination* (two
-//! phase commit across groups) is deliberately out of scope here.
+//! silently splitting an atomic operation. Cross-shard *coordination* is
+//! deliberately not this module's job: atomic multi-group operations go
+//! through the two-phase commit of [`crate::xshard`], which uses
+//! [`XShardOp::route`](crate::xshard::XShardOp::route) to split a
+//! transaction into per-shard legs over this same partition.
 //!
 //! ```
 //! use pbft_core::routing::{RouteError, ShardMap};
@@ -69,8 +72,8 @@ pub enum RouteError {
     /// The operation designated no shard key at all.
     NoKeys,
     /// Two of the operation's keys map to different groups. Atomic
-    /// cross-shard operations require a coordination protocol this
-    /// deployment does not run.
+    /// cross-shard operations must go through the two-phase commit of
+    /// [`crate::xshard`] instead of single-group submission.
     CrossShard {
         /// The first key and the shard it routes to.
         first: (Vec<u8>, u32),
@@ -155,6 +158,22 @@ impl ShardMap {
     }
 }
 
+/// Test-only probe shared by this crate's test modules: the first small
+/// integer key (big-endian `u64` bytes) that `map` assigns to a different
+/// shard than `than`.
+///
+/// # Panics
+/// Panics if 64 probes all collide — impossible for a uniform hash over
+/// two or more shards.
+#[cfg(test)]
+pub(crate) fn test_key_on_other_shard(map: &ShardMap, than: &[u8]) -> Vec<u8> {
+    let home = map.shard_of(than);
+    (0..64u64)
+        .map(|i| i.to_be_bytes().to_vec())
+        .find(|k| map.shard_of(k) != home)
+        .expect("uniform hash cannot put 64 keys on one shard")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,19 +207,10 @@ mod tests {
     fn cross_shard_is_a_typed_error() {
         let map = ShardMap::new(8);
         // Find two keys on different shards (the first few integers suffice).
-        let (mut a, mut b) = (None, None);
-        for i in 0..64u64 {
-            let key = i.to_be_bytes().to_vec();
-            let s = map.shard_of(&key);
-            if a.is_none() {
-                a = Some((key, s));
-            } else if s != a.as_ref().unwrap().1 {
-                b = Some((key, s));
-                break;
-            }
-        }
-        let (ka, sa) = a.unwrap();
-        let (kb, sb) = b.expect("uniform hash cannot put 64 keys on one shard");
+        let ka = 0u64.to_be_bytes().to_vec();
+        let sa = map.shard_of(&ka);
+        let kb = test_key_on_other_shard(&map, &ka);
+        let sb = map.shard_of(&kb);
         match map.route(&[ka.clone(), kb.clone()]) {
             Err(RouteError::CrossShard { first, conflicting }) => {
                 assert_eq!(first, (ka, sa));

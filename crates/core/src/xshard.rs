@@ -1,0 +1,1189 @@
+//! Cross-shard atomic commit: deterministic two-phase commit over PBFT
+//! groups.
+//!
+//! The sharded deployment of [`crate::routing`] rejects any operation whose
+//! keys span groups ([`crate::routing::RouteError::CrossShard`]) — each PBFT
+//! group totally orders only its own partition. This module supplies the
+//! missing coordination layer: a presumed-abort two-phase commit in which
+//! **every protocol step is itself an ordered operation of a PBFT group**,
+//! so both the participant lock/stage tables and the coordinator's decision
+//! record are replicated and f-tolerant. No new message paths are added to
+//! the replicas; 2PC rides entirely inside `Operation::App` request bodies.
+//!
+//! Roles and flow (the coordinator group is the shard owning the
+//! transaction's *first* key):
+//!
+//! ```text
+//! client/initiator      coordinator group         participant groups
+//!       │  Prepare{txid, sub-ops} ──────────────────────►│ (ordered op:
+//!       │◄─────────────── PrepareOk / PrepareFail ───────│  lock + stage)
+//!       │  Decide{txid, commit?} ──►│ (ordered op:        │
+//!       │◄──── DecisionLogged ──────│  log the verdict)   │
+//!       │  Commit{txid} / Abort{txid} ───────────────────►│ (ordered op:
+//!       │◄─────────────── Committed / Aborted ────────────│  apply or drop)
+//! ```
+//!
+//! * **Lock-and-log participants.** A `Prepare` locks the named keys and
+//!   stages the sub-operations without touching application state; a
+//!   conflicting lock makes the participant vote `PrepareFail` immediately
+//!   (no waiting — the no-wait policy cannot deadlock). Only a later
+//!   `Commit` executes the staged sub-ops against the application, in one
+//!   ordered batch; `Abort` discards them. Committed state therefore never
+//!   contains half of a transaction.
+//! * **Replicated coordinator.** The initiator may only send
+//!   `Commit`/`Abort` after the coordinator group has ordered and
+//!   acknowledged a `Decide` record. A crashed initiator leaves at worst a
+//!   logged decision (recoverable via [`XMsg::QueryDecision`]) or no
+//!   decision at all — and no decision means no participant ever commits
+//!   (presumed abort).
+//! * **Timeout aborts.** A participant shard that cannot answer a `Prepare`
+//!   (crashed, partitioned, or Byzantine beyond its group's `f`) makes the
+//!   initiator decide *abort* after a timeout. The unreachable shard has
+//!   staged nothing or will receive the `Abort` when it heals; it never
+//!   half-applies.
+//!
+//! [`XShardApp`] is the app-side implementation: it wraps any [`App`] and
+//! intercepts operations carrying the [`XSHARD_MAGIC`] frame; every other
+//! operation passes through byte-identical, so single-shard traffic keeps
+//! the exact fast path it had before this module existed (a pinned
+//! regression test in the harness holds that equality).
+//!
+//! Known limitation (tracked in ROADMAP.md): the lock/stage/decision tables
+//! live in app memory, not in the replicated state region. They are a pure
+//! function of the ordered operations the replica has *executed*, so they
+//! survive group-level faults (≤ f per group) and tentative-execution
+//! rollback (re-execution is idempotent), but **not** paths that skip
+//! execution: a crash-restart, or a checkpoint-install state transfer that
+//! jumps a lagging replica over ordered operations it never ran. A replica
+//! whose table misses a transaction staged inside such a gap answers a
+//! later `Commit` with the presumed-abort branch while its quorum peers
+//! apply — the group's certified replies stay correct (≤ f such replicas
+//! are masked), but that replica's region diverges until the next
+//! transfer. The harness scenarios therefore model shard failure as
+//! partition/stall; persisting the tables into the region is the ROADMAP
+//! item that lifts the caveat.
+//!
+//! ```
+//! use pbft_core::app::{App, NonDet, NullApp};
+//! use pbft_core::xshard::{SubOp, XMsg, XReply, XShardApp};
+//! use pbft_core::ClientId;
+//!
+//! let mut app = XShardApp::new(Box::new(NullApp::new(8)));
+//! let nd = NonDet::default();
+//! let prepare = XMsg::Prepare {
+//!     txid: 7,
+//!     ops: vec![SubOp { keys: vec![b"acct-a".to_vec()], op: vec![1, 2, 3] }],
+//! };
+//! let (reply, _) = app.execute(ClientId(1), &prepare.encode(), &nd, false);
+//! assert_eq!(XReply::decode(&reply), Some(XReply::PrepareOk { txid: 7 }));
+//! // Nothing is applied until the commit arrives…
+//! assert!(!app.is_applied(7));
+//! let (reply, _) = app.execute(ClientId(1), &XMsg::Commit { txid: 7 }.encode(), &nd, false);
+//! assert!(matches!(XReply::decode(&reply), Some(XReply::Committed { txid: 7, .. })));
+//! assert!(app.is_applied(7));
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::app::{App, ExecMetrics, NonDet};
+use crate::routing::{RouteError, ShardMap};
+use crate::session::SessionCtx;
+use crate::types::ClientId;
+
+/// Globally unique transaction identifier (assigned by the initiator;
+/// harness initiators stripe their index into the high bits).
+pub type TxId = u64;
+
+/// Frame prefix reserved for cross-shard protocol operations and replies.
+///
+/// Application operations beginning with these four bytes would be
+/// intercepted by [`XShardApp`]; none of the repo's op encodings can emit
+/// them (SQL is UTF-8 text, `VoteOp` tags are 1–6, keyed null ops start
+/// with a small big-endian counter), and new app encodings must keep
+/// avoiding them.
+pub const XSHARD_MAGIC: [u8; 4] = [0xA7, b'X', b'S', 0x01];
+
+/// One shard-local piece of a cross-shard transaction: the shard keys it
+/// locks plus the application operation to execute at commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubOp {
+    /// Shard keys the sub-operation touches (all must route to one group).
+    pub keys: Vec<Vec<u8>>,
+    /// The encoded application operation, executed only on `Commit`.
+    pub op: Vec<u8>,
+}
+
+/// The per-shard slice of a routed transaction: which group, and the
+/// sub-operations it will be asked to prepare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XShardLeg {
+    /// The participant group.
+    pub shard: u32,
+    /// The sub-operations homed on that group, in submission order.
+    pub ops: Vec<SubOp>,
+}
+
+/// A cross-shard transaction after routing: its id, its per-shard sub-op
+/// legs, and the coordinator group (the shard owning the first key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XShardOp {
+    /// Transaction id.
+    pub txid: TxId,
+    /// Per-shard legs, ordered by first appearance in the sub-op list.
+    pub legs: Vec<XShardLeg>,
+    /// The coordinator group: owner of the transaction's first key.
+    pub coordinator: u32,
+}
+
+impl XShardOp {
+    /// Route `sub_ops` through `map`, grouping them into per-shard legs.
+    ///
+    /// Each individual sub-op must be single-shard (its keys must agree);
+    /// a sub-op whose own keys span groups is a routing error — split it
+    /// into per-shard sub-ops instead.
+    ///
+    /// # Errors
+    /// [`RouteError::NoKeys`] if the transaction (or any sub-op) names no
+    /// key; [`RouteError::CrossShard`] if one sub-op's keys span groups.
+    pub fn route(txid: TxId, sub_ops: Vec<SubOp>, map: &ShardMap) -> Result<XShardOp, RouteError> {
+        if sub_ops.is_empty() {
+            return Err(RouteError::NoKeys);
+        }
+        let mut legs: Vec<XShardLeg> = Vec::new();
+        for sub in sub_ops {
+            let shard = map.route(&sub.keys)?;
+            match legs.iter_mut().find(|l| l.shard == shard) {
+                Some(leg) => leg.ops.push(sub),
+                None => legs.push(XShardLeg { shard, ops: vec![sub] }),
+            }
+        }
+        let coordinator = legs[0].shard;
+        Ok(XShardOp { txid, legs, coordinator })
+    }
+
+    /// Does the whole transaction land on a single group? Single-leg
+    /// transactions skip 2PC entirely (the harness submits them as one
+    /// ordered operation).
+    pub fn is_single_shard(&self) -> bool {
+        self.legs.len() == 1
+    }
+}
+
+/// A cross-shard protocol operation, carried as an ordered `Operation::App`
+/// body framed with [`XSHARD_MAGIC`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XMsg {
+    /// Phase one: lock the sub-ops' keys and stage them (vote request).
+    Prepare {
+        /// Transaction id.
+        txid: TxId,
+        /// The sub-operations homed on the receiving group.
+        ops: Vec<SubOp>,
+    },
+    /// Coordinator-side decision record: ordered by the coordinator group
+    /// before any `Commit`/`Abort` is sent (the replicated commit point).
+    Decide {
+        /// Transaction id.
+        txid: TxId,
+        /// The verdict being logged.
+        commit: bool,
+    },
+    /// Phase two, commit path: execute the staged sub-ops.
+    Commit {
+        /// Transaction id.
+        txid: TxId,
+    },
+    /// Phase two, abort path: discard the staged sub-ops.
+    Abort {
+        /// Transaction id.
+        txid: TxId,
+    },
+    /// Read-only: what decision, if any, did this (coordinator) group log?
+    QueryDecision {
+        /// Transaction id.
+        txid: TxId,
+    },
+    /// Read-only: did this group apply the transaction? (Atomicity audits.)
+    QueryApplied {
+        /// Transaction id.
+        txid: TxId,
+    },
+    /// Single-group transaction: execute all sub-ops in one ordered batch
+    /// (the collapsed 1-participant 2PC — no locks, no second phase).
+    AtomicBatch {
+        /// Transaction id.
+        txid: TxId,
+        /// The sub-operations, executed back-to-back.
+        ops: Vec<SubOp>,
+    },
+}
+
+const TAG_PREPARE: u8 = 1;
+const TAG_DECIDE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_QUERY_DECISION: u8 = 5;
+const TAG_QUERY_APPLIED: u8 = 6;
+const TAG_ATOMIC_BATCH: u8 = 7;
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(buf: &[u8], at: &mut usize) -> Option<Vec<u8>> {
+    let len = u32::from_be_bytes(buf.get(*at..*at + 4)?.try_into().ok()?) as usize;
+    *at += 4;
+    let b = buf.get(*at..*at + len)?.to_vec();
+    *at += len;
+    Some(b)
+}
+
+fn put_sub_ops(out: &mut Vec<u8>, ops: &[SubOp]) {
+    // The u16 counts are a wire invariant, not a silent cap: truncating
+    // here would make a participant stage (and later apply) a *subset* of
+    // the transaction — exactly the partial application 2PC exists to
+    // prevent — so oversized transactions fail loudly at the initiator.
+    assert!(ops.len() <= u16::MAX as usize, "transaction exceeds {} sub-ops", u16::MAX);
+    out.extend_from_slice(&(ops.len() as u16).to_be_bytes());
+    for sub in ops {
+        assert!(sub.keys.len() <= u16::MAX as usize, "sub-op exceeds {} keys", u16::MAX);
+        out.extend_from_slice(&(sub.keys.len() as u16).to_be_bytes());
+        for k in &sub.keys {
+            put_bytes(out, k);
+        }
+        put_bytes(out, &sub.op);
+    }
+}
+
+fn get_sub_ops(buf: &[u8], at: &mut usize) -> Option<Vec<SubOp>> {
+    let n = u16::from_be_bytes(buf.get(*at..*at + 2)?.try_into().ok()?) as usize;
+    *at += 2;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let nk = u16::from_be_bytes(buf.get(*at..*at + 2)?.try_into().ok()?) as usize;
+        *at += 2;
+        let mut keys = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            keys.push(get_bytes(buf, at)?);
+        }
+        let op = get_bytes(buf, at)?;
+        ops.push(SubOp { keys, op });
+    }
+    Some(ops)
+}
+
+impl XMsg {
+    /// Is this operation safe for the PBFT read-only fast path?
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, XMsg::QueryDecision { .. } | XMsg::QueryApplied { .. })
+    }
+
+    /// The transaction this message belongs to.
+    pub fn txid(&self) -> TxId {
+        match self {
+            XMsg::Prepare { txid, .. }
+            | XMsg::Decide { txid, .. }
+            | XMsg::Commit { txid }
+            | XMsg::Abort { txid }
+            | XMsg::QueryDecision { txid }
+            | XMsg::QueryApplied { txid }
+            | XMsg::AtomicBatch { txid, .. } => *txid,
+        }
+    }
+
+    /// Encode as an `Operation::App` body ([`XSHARD_MAGIC`]-framed).
+    ///
+    /// # Panics
+    /// Panics if a sub-op list or key list exceeds the `u16` wire counts —
+    /// truncation would silently drop part of an atomic transaction.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = XSHARD_MAGIC.to_vec();
+        let (tag, txid) = match self {
+            XMsg::Prepare { txid, .. } => (TAG_PREPARE, txid),
+            XMsg::Decide { txid, .. } => (TAG_DECIDE, txid),
+            XMsg::Commit { txid } => (TAG_COMMIT, txid),
+            XMsg::Abort { txid } => (TAG_ABORT, txid),
+            XMsg::QueryDecision { txid } => (TAG_QUERY_DECISION, txid),
+            XMsg::QueryApplied { txid } => (TAG_QUERY_APPLIED, txid),
+            XMsg::AtomicBatch { txid, .. } => (TAG_ATOMIC_BATCH, txid),
+        };
+        out.push(tag);
+        out.extend_from_slice(&txid.to_be_bytes());
+        match self {
+            XMsg::Prepare { ops, .. } | XMsg::AtomicBatch { ops, .. } => put_sub_ops(&mut out, ops),
+            XMsg::Decide { commit, .. } => out.push(u8::from(*commit)),
+            _ => {}
+        }
+        out
+    }
+
+    /// Decode an operation body. `None` for anything that is not a
+    /// well-formed xshard frame — plain application operations fall through
+    /// untouched (the [`XShardApp`] pass-through path).
+    pub fn decode(body: &[u8]) -> Option<XMsg> {
+        let rest = body.strip_prefix(&XSHARD_MAGIC[..])?;
+        let (&tag, rest) = rest.split_first()?;
+        let txid = TxId::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+        let mut at = 8;
+        let msg = match tag {
+            TAG_PREPARE => XMsg::Prepare { txid, ops: get_sub_ops(rest, &mut at)? },
+            TAG_DECIDE => XMsg::Decide { txid, commit: *rest.get(at)? != 0 },
+            TAG_COMMIT => XMsg::Commit { txid },
+            TAG_ABORT => XMsg::Abort { txid },
+            TAG_QUERY_DECISION => XMsg::QueryDecision { txid },
+            TAG_QUERY_APPLIED => XMsg::QueryApplied { txid },
+            TAG_ATOMIC_BATCH => XMsg::AtomicBatch { txid, ops: get_sub_ops(rest, &mut at)? },
+            _ => return None,
+        };
+        Some(msg)
+    }
+}
+
+/// A participant/coordinator reply, framed with [`XSHARD_MAGIC`] so the
+/// initiator can tell protocol replies from plain application replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XReply {
+    /// Vote yes: keys locked, sub-ops staged ("PrepareOk").
+    PrepareOk {
+        /// Transaction id.
+        txid: TxId,
+    },
+    /// Vote no: a named key is already locked by another transaction.
+    PrepareFail {
+        /// Transaction id.
+        txid: TxId,
+        /// The transaction currently holding the contested lock.
+        holder: TxId,
+    },
+    /// Staged sub-ops executed; the inner application replies, in order.
+    Committed {
+        /// Transaction id.
+        txid: TxId,
+        /// One application reply per staged sub-op.
+        replies: Vec<Vec<u8>>,
+    },
+    /// Staged sub-ops discarded (idempotent: also the reply for an abort of
+    /// a transaction this group never prepared — presumed abort).
+    Aborted {
+        /// Transaction id.
+        txid: TxId,
+    },
+    /// The coordinator group ordered the decision record.
+    DecisionLogged {
+        /// Transaction id.
+        txid: TxId,
+        /// The verdict actually on record (first writer wins).
+        commit: bool,
+    },
+    /// Answer to [`XMsg::QueryDecision`].
+    Decision {
+        /// Transaction id.
+        txid: TxId,
+        /// `None` while no decision is on record.
+        commit: Option<bool>,
+    },
+    /// Answer to [`XMsg::QueryApplied`].
+    Applied {
+        /// Transaction id.
+        txid: TxId,
+        /// Whether this group's committed state reflects the transaction.
+        applied: bool,
+    },
+}
+
+const RTAG_PREPARE_OK: u8 = 1;
+const RTAG_PREPARE_FAIL: u8 = 2;
+const RTAG_COMMITTED: u8 = 3;
+const RTAG_ABORTED: u8 = 4;
+const RTAG_DECISION_LOGGED: u8 = 5;
+const RTAG_DECISION: u8 = 6;
+const RTAG_APPLIED: u8 = 7;
+
+impl XReply {
+    /// The transaction this reply belongs to.
+    pub fn txid(&self) -> TxId {
+        match self {
+            XReply::PrepareOk { txid }
+            | XReply::PrepareFail { txid, .. }
+            | XReply::Committed { txid, .. }
+            | XReply::Aborted { txid }
+            | XReply::DecisionLogged { txid, .. }
+            | XReply::Decision { txid, .. }
+            | XReply::Applied { txid, .. } => *txid,
+        }
+    }
+
+    /// Encode as a reply body.
+    ///
+    /// # Panics
+    /// Panics if a `Committed` reply carries more than `u16::MAX` sub-op
+    /// replies (the wire count would truncate).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = XSHARD_MAGIC.to_vec();
+        let (tag, txid) = match self {
+            XReply::PrepareOk { txid } => (RTAG_PREPARE_OK, txid),
+            XReply::PrepareFail { txid, .. } => (RTAG_PREPARE_FAIL, txid),
+            XReply::Committed { txid, .. } => (RTAG_COMMITTED, txid),
+            XReply::Aborted { txid } => (RTAG_ABORTED, txid),
+            XReply::DecisionLogged { txid, .. } => (RTAG_DECISION_LOGGED, txid),
+            XReply::Decision { txid, .. } => (RTAG_DECISION, txid),
+            XReply::Applied { txid, .. } => (RTAG_APPLIED, txid),
+        };
+        out.push(tag);
+        out.extend_from_slice(&txid.to_be_bytes());
+        match self {
+            XReply::PrepareFail { holder, .. } => out.extend_from_slice(&holder.to_be_bytes()),
+            XReply::Committed { replies, .. } => {
+                assert!(replies.len() <= u16::MAX as usize, "reply count exceeds {}", u16::MAX);
+                out.extend_from_slice(&(replies.len() as u16).to_be_bytes());
+                for r in replies {
+                    put_bytes(&mut out, r);
+                }
+            }
+            XReply::DecisionLogged { commit, .. } => out.push(u8::from(*commit)),
+            XReply::Decision { commit, .. } => out.push(match commit {
+                None => 2,
+                Some(false) => 0,
+                Some(true) => 1,
+            }),
+            XReply::Applied { applied, .. } => out.push(u8::from(*applied)),
+            _ => {}
+        }
+        out
+    }
+
+    /// Decode a reply body; `None` for plain application replies.
+    pub fn decode(body: &[u8]) -> Option<XReply> {
+        let rest = body.strip_prefix(&XSHARD_MAGIC[..])?;
+        let (&tag, rest) = rest.split_first()?;
+        let txid = TxId::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+        let mut at = 8;
+        let reply = match tag {
+            RTAG_PREPARE_OK => XReply::PrepareOk { txid },
+            RTAG_PREPARE_FAIL => XReply::PrepareFail {
+                txid,
+                holder: TxId::from_be_bytes(rest.get(at..at + 8)?.try_into().ok()?),
+            },
+            RTAG_COMMITTED => {
+                let n = u16::from_be_bytes(rest.get(at..at + 2)?.try_into().ok()?) as usize;
+                at += 2;
+                let mut replies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replies.push(get_bytes(rest, &mut at)?);
+                }
+                XReply::Committed { txid, replies }
+            }
+            RTAG_ABORTED => XReply::Aborted { txid },
+            RTAG_DECISION_LOGGED => XReply::DecisionLogged { txid, commit: *rest.get(at)? != 0 },
+            RTAG_DECISION => XReply::Decision {
+                txid,
+                commit: match *rest.get(at)? {
+                    0 => Some(false),
+                    1 => Some(true),
+                    _ => None,
+                },
+            },
+            RTAG_APPLIED => XReply::Applied { txid, applied: *rest.get(at)? != 0 },
+            _ => return None,
+        };
+        Some(reply)
+    }
+}
+
+/// Pure coordinator vote bookkeeping for one transaction: feed it the
+/// participant set, record votes, read the verdict.
+///
+/// The *durable* coordinator state is the ordered [`XMsg::Decide`] record in
+/// the coordinator group's log; this value is only the initiator-side tally
+/// that determines what verdict to submit there.
+///
+/// ```
+/// use pbft_core::xshard::TxCoordinator;
+///
+/// let mut c = TxCoordinator::new([0u32, 2u32]);
+/// assert_eq!(c.record_vote(0, true), None); // still waiting on shard 2
+/// assert_eq!(c.record_vote(2, true), Some(true));
+/// assert_eq!(c.verdict(), Some(true));
+///
+/// let mut c = TxCoordinator::new([0u32, 2u32]);
+/// // A single no-vote decides abort without waiting for the rest.
+/// assert_eq!(c.record_vote(2, false), Some(false));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxCoordinator {
+    pending: BTreeSet<u32>,
+    verdict: Option<bool>,
+}
+
+impl TxCoordinator {
+    /// Start a tally over the participant shards.
+    pub fn new(participants: impl IntoIterator<Item = u32>) -> TxCoordinator {
+        TxCoordinator { pending: participants.into_iter().collect(), verdict: None }
+    }
+
+    /// Shards whose votes are still outstanding.
+    pub fn pending(&self) -> &BTreeSet<u32> {
+        &self.pending
+    }
+
+    /// Record a vote. Returns the verdict the moment it is determined:
+    /// `Some(false)` on the first no-vote, `Some(true)` when every
+    /// participant voted yes. Later votes cannot change a verdict.
+    pub fn record_vote(&mut self, shard: u32, prepared: bool) -> Option<bool> {
+        self.pending.remove(&shard);
+        if self.verdict.is_some() {
+            return self.verdict;
+        }
+        if !prepared {
+            self.verdict = Some(false);
+        } else if self.pending.is_empty() {
+            self.verdict = Some(true);
+        }
+        self.verdict
+    }
+
+    /// Force the abort verdict (prepare timeout). Idempotent; cannot
+    /// override an already-determined commit.
+    pub fn timeout(&mut self) -> bool {
+        if self.verdict.is_none() {
+            self.verdict = Some(false);
+        }
+        self.verdict == Some(false)
+    }
+
+    /// The verdict, if determined.
+    pub fn verdict(&self) -> Option<bool> {
+        self.verdict
+    }
+}
+
+/// How many committed transactions' staged sub-ops [`XShardApp`] retains
+/// for idempotent re-execution after a tentative-execution rollback.
+pub const COMMITTED_LOG_CAP: usize = 4096;
+
+/// The lock-and-log participant (and decision-log coordinator) application
+/// wrapper.
+///
+/// Wraps any [`App`]; operations framed with [`XSHARD_MAGIC`] drive the
+/// participant state machine, everything else passes through to the inner
+/// application byte-identically. All bookkeeping transitions are pure
+/// functions of the ordered operation history, so every replica of a group
+/// holds identical tables and produces bit-identical replies.
+///
+/// Memory: the per-transaction *payloads* (staged and recently committed
+/// sub-ops) are bounded — staged entries live only between prepare and
+/// decision, and the committed log is capped at [`COMMITTED_LOG_CAP`]
+/// entries. The `applied`/`aborted`/`decisions` records are retained
+/// indefinitely (a few machine words per transaction) because forgetting
+/// them would break idempotence and the audit surface; bounding them is
+/// part of the region-persistence ROADMAP item.
+pub struct XShardApp {
+    inner: Box<dyn App>,
+    /// Key → transaction currently holding its lock.
+    locks: BTreeMap<Vec<u8>, TxId>,
+    /// Staged (prepared, not yet decided) transactions.
+    staged: BTreeMap<TxId, Vec<SubOp>>,
+    /// Recently committed transactions' sub-ops (idempotent re-execution).
+    committed_log: BTreeMap<TxId, Vec<SubOp>>,
+    /// Commit order of `committed_log` entries, oldest first (eviction).
+    committed_order: std::collections::VecDeque<TxId>,
+    /// Every transaction this group has applied (committed or batched).
+    applied: BTreeSet<TxId>,
+    /// Transactions this group has aborted.
+    aborted: BTreeSet<TxId>,
+    /// Coordinator decision records (first writer wins).
+    decisions: BTreeMap<TxId, bool>,
+    /// Plain operations passed through to the inner application.
+    passthrough: u64,
+}
+
+impl std::fmt::Debug for XShardApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XShardApp")
+            .field("staged", &self.staged.len())
+            .field("locks", &self.locks.len())
+            .field("applied", &self.applied.len())
+            .field("passthrough", &self.passthrough)
+            .finish()
+    }
+}
+
+/// Bookkeeping CPU cost charged per xshard protocol op, in microseconds
+/// (lock-table work; the real application cost is charged at commit).
+const XSHARD_BOOKKEEPING_US: f64 = 2.0;
+
+impl XShardApp {
+    /// Wrap an application for cross-shard deployments.
+    pub fn new(inner: Box<dyn App>) -> XShardApp {
+        XShardApp {
+            inner,
+            locks: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            committed_log: BTreeMap::new(),
+            committed_order: std::collections::VecDeque::new(),
+            applied: BTreeSet::new(),
+            aborted: BTreeSet::new(),
+            decisions: BTreeMap::new(),
+            passthrough: 0,
+        }
+    }
+
+    /// Has this group applied `txid` to its committed state?
+    pub fn is_applied(&self, txid: TxId) -> bool {
+        self.applied.contains(&txid)
+    }
+
+    /// Is `txid` currently staged (prepared, awaiting a decision)?
+    pub fn is_staged(&self, txid: TxId) -> bool {
+        self.staged.contains_key(&txid)
+    }
+
+    /// The decision this group logged for `txid`, if acting as coordinator.
+    pub fn decision(&self, txid: TxId) -> Option<bool> {
+        self.decisions.get(&txid).copied()
+    }
+
+    /// Keys currently locked by in-flight transactions.
+    pub fn locked_keys(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Plain (non-xshard) operations forwarded to the inner application.
+    pub fn passthrough_ops(&self) -> u64 {
+        self.passthrough
+    }
+
+    fn release_locks(&mut self, txid: TxId) {
+        self.locks.retain(|_, holder| *holder != txid);
+    }
+
+    /// Record a committed transaction's sub-ops for idempotent re-execution,
+    /// evicting the *least recently committed* entries past the cap (the
+    /// same deterministic order on every replica, since commits are ordered
+    /// operations).
+    fn log_committed(&mut self, txid: TxId, ops: Vec<SubOp>) {
+        if self.committed_log.insert(txid, ops).is_none() {
+            self.committed_order.push_back(txid);
+        }
+        while self.committed_order.len() > COMMITTED_LOG_CAP {
+            if let Some(oldest) = self.committed_order.pop_front() {
+                self.committed_log.remove(&oldest);
+            }
+        }
+    }
+
+    fn bookkeeping_metrics() -> ExecMetrics {
+        ExecMetrics { cpu_us: XSHARD_BOOKKEEPING_US, ..Default::default() }
+    }
+
+    fn apply_ops(
+        &mut self,
+        client: ClientId,
+        ops: &[SubOp],
+        nondet: &NonDet,
+        session: Option<&mut SessionCtx<'_>>,
+    ) -> (Vec<Vec<u8>>, ExecMetrics) {
+        let mut metrics = Self::bookkeeping_metrics();
+        let mut replies = Vec::with_capacity(ops.len());
+        let mut session = session;
+        for sub in ops {
+            let (reply, m) = match session.as_deref_mut() {
+                Some(ctx) => self.inner.execute_with_session(client, &sub.op, nondet, false, ctx),
+                None => self.inner.execute(client, &sub.op, nondet, false),
+            };
+            metrics.add(&m);
+            replies.push(reply);
+        }
+        (replies, metrics)
+    }
+
+    fn handle(
+        &mut self,
+        client: ClientId,
+        msg: XMsg,
+        nondet: &NonDet,
+        read_only: bool,
+        session: Option<&mut SessionCtx<'_>>,
+    ) -> (Vec<u8>, ExecMetrics) {
+        let bookkeeping = Self::bookkeeping_metrics();
+        match msg {
+            XMsg::Prepare { txid, ops } => {
+                if read_only {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                // Idempotent re-prepare (rollback re-execution).
+                if self.staged.contains_key(&txid) || self.applied.contains(&txid) {
+                    return (XReply::PrepareOk { txid }.encode(), bookkeeping);
+                }
+                // A participant never votes yes for a transaction it already
+                // aborted (a late retransmitted prepare after timeout-abort).
+                if self.aborted.contains(&txid) {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                // No-wait locking: any conflict is an immediate no-vote, so
+                // lock acquisition can never deadlock across shards.
+                for sub in &ops {
+                    for key in &sub.keys {
+                        if let Some(&holder) = self.locks.get(key) {
+                            if holder != txid {
+                                return (
+                                    XReply::PrepareFail { txid, holder }.encode(),
+                                    bookkeeping,
+                                );
+                            }
+                        }
+                    }
+                }
+                for sub in &ops {
+                    for key in &sub.keys {
+                        self.locks.insert(key.clone(), txid);
+                    }
+                }
+                self.staged.insert(txid, ops);
+                (XReply::PrepareOk { txid }.encode(), bookkeeping)
+            }
+            XMsg::Commit { txid } => {
+                if read_only {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                let ops = match self.staged.remove(&txid) {
+                    Some(ops) => ops,
+                    // Re-execution after a rollback: the staged entry moved
+                    // to the committed log the first time around; re-apply
+                    // (the region was rolled back with everything else).
+                    None => match self.committed_log.get(&txid) {
+                        Some(ops) => ops.clone(),
+                        // Commit for a transaction never prepared here —
+                        // protocol misuse; presumed abort keeps it safe, and
+                        // recording the abort stops a late reordered Prepare
+                        // from staging and locking keys nobody will release.
+                        None => {
+                            self.aborted.insert(txid);
+                            return (XReply::Aborted { txid }.encode(), bookkeeping);
+                        }
+                    },
+                };
+                let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
+                self.release_locks(txid);
+                self.applied.insert(txid);
+                self.log_committed(txid, ops);
+                (XReply::Committed { txid, replies }.encode(), metrics)
+            }
+            XMsg::Abort { txid } => {
+                if read_only {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                // An abort can never undo an applied commit; reply with the
+                // truth so a confused initiator notices.
+                if self.applied.contains(&txid) {
+                    return (XReply::Committed { txid, replies: Vec::new() }.encode(), bookkeeping);
+                }
+                self.staged.remove(&txid);
+                self.release_locks(txid);
+                self.aborted.insert(txid);
+                (XReply::Aborted { txid }.encode(), bookkeeping)
+            }
+            XMsg::Decide { txid, commit } => {
+                if read_only {
+                    return (XReply::Decision { txid, commit: None }.encode(), bookkeeping);
+                }
+                let recorded = *self.decisions.entry(txid).or_insert(commit);
+                (XReply::DecisionLogged { txid, commit: recorded }.encode(), bookkeeping)
+            }
+            XMsg::QueryDecision { txid } => (
+                XReply::Decision { txid, commit: self.decisions.get(&txid).copied() }.encode(),
+                bookkeeping,
+            ),
+            XMsg::QueryApplied { txid } => (
+                XReply::Applied { txid, applied: self.applied.contains(&txid) }.encode(),
+                bookkeeping,
+            ),
+            XMsg::AtomicBatch { txid, ops } => {
+                if read_only {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                if self.applied.contains(&txid) {
+                    // Idempotent re-execution after rollback.
+                    let ops = self.committed_log.get(&txid).cloned().unwrap_or(ops);
+                    let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
+                    return (XReply::Committed { txid, replies }.encode(), metrics);
+                }
+                let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
+                self.applied.insert(txid);
+                self.log_committed(txid, ops);
+                (XReply::Committed { txid, replies }.encode(), metrics)
+            }
+        }
+    }
+}
+
+impl App for XShardApp {
+    fn execute(
+        &mut self,
+        client: ClientId,
+        op: &[u8],
+        nondet: &NonDet,
+        read_only: bool,
+    ) -> (Vec<u8>, ExecMetrics) {
+        match XMsg::decode(op) {
+            Some(msg) => self.handle(client, msg, nondet, read_only, None),
+            None => {
+                self.passthrough += 1;
+                self.inner.execute(client, op, nondet, read_only)
+            }
+        }
+    }
+
+    fn execute_with_session(
+        &mut self,
+        client: ClientId,
+        op: &[u8],
+        nondet: &NonDet,
+        read_only: bool,
+        session: &mut SessionCtx<'_>,
+    ) -> (Vec<u8>, ExecMetrics) {
+        match XMsg::decode(op) {
+            Some(msg) => self.handle(client, msg, nondet, read_only, Some(session)),
+            None => {
+                self.passthrough += 1;
+                self.inner.execute_with_session(client, op, nondet, read_only, session)
+            }
+        }
+    }
+
+    fn make_nondet(&mut self, now_ns: u64, random: u64) -> NonDet {
+        self.inner.make_nondet(now_ns, random)
+    }
+
+    fn validate_nondet(&self, nondet: &NonDet, now_ns: u64, window_ns: u64) -> bool {
+        self.inner.validate_nondet(nondet, now_ns, window_ns)
+    }
+
+    fn authorize_join(&mut self, idbuf: &[u8]) -> Option<Vec<u8>> {
+        self.inner.authorize_join(idbuf)
+    }
+
+    fn on_state_installed(&mut self) {
+        // The xshard tables are keyed by txid with idempotent transitions,
+        // so they survive a region rollback + re-execution unchanged (see
+        // the module docs for the limitation around replica restarts).
+        self.inner.on_state_installed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{KvApp, NullApp, StateHandle};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn null_xapp() -> XShardApp {
+        XShardApp::new(Box::new(NullApp::new(4)))
+    }
+
+    fn kv_xapp() -> (XShardApp, StateHandle) {
+        let state: StateHandle = Rc::new(RefCell::new(pbft_state::PagedState::new(4)));
+        (XShardApp::new(Box::new(KvApp::new(state.clone(), 0, 64))), state)
+    }
+
+    fn nd() -> NonDet {
+        NonDet::default()
+    }
+
+    fn sub(key: &[u8], op: Vec<u8>) -> SubOp {
+        SubOp { keys: vec![key.to_vec()], op }
+    }
+
+    #[test]
+    fn msgs_roundtrip() {
+        for msg in [
+            XMsg::Prepare {
+                txid: 9,
+                ops: vec![
+                    SubOp { keys: vec![b"a".to_vec(), b"b".to_vec()], op: vec![1, 2] },
+                    SubOp { keys: vec![], op: vec![] },
+                ],
+            },
+            XMsg::Decide { txid: 1, commit: true },
+            XMsg::Decide { txid: 1, commit: false },
+            XMsg::Commit { txid: u64::MAX },
+            XMsg::Abort { txid: 0 },
+            XMsg::QueryDecision { txid: 3 },
+            XMsg::QueryApplied { txid: 4 },
+            XMsg::AtomicBatch { txid: 5, ops: vec![sub(b"k", vec![7; 9])] },
+        ] {
+            assert_eq!(XMsg::decode(&msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for reply in [
+            XReply::PrepareOk { txid: 1 },
+            XReply::PrepareFail { txid: 2, holder: 9 },
+            XReply::Committed { txid: 3, replies: vec![b"ok".to_vec(), vec![]] },
+            XReply::Aborted { txid: 4 },
+            XReply::DecisionLogged { txid: 5, commit: true },
+            XReply::Decision { txid: 6, commit: None },
+            XReply::Decision { txid: 6, commit: Some(false) },
+            XReply::Applied { txid: 7, applied: true },
+        ] {
+            assert_eq!(XReply::decode(&reply.encode()), Some(reply));
+        }
+    }
+
+    #[test]
+    fn plain_ops_are_not_xshard_frames() {
+        for body in [
+            &b""[..],
+            b"INSERT INTO bench VALUES ('x')",
+            &[0u8; 32][..],
+            &[1u8, 2, 3][..],
+            &XSHARD_MAGIC[..3], // truncated magic
+            &[0xA7, b'X', b'S', 0x01, 99, 0, 0, 0, 0, 0, 0, 0, 0][..], // bad tag
+        ] {
+            assert_eq!(XMsg::decode(body), None);
+            assert_eq!(XReply::decode(body), None);
+        }
+    }
+
+    #[test]
+    fn routing_groups_sub_ops_into_legs() {
+        let map = ShardMap::new(4);
+        let (ka, kb) = two_keys_on_distinct_shards(&map);
+        let op = XShardOp::route(
+            7,
+            vec![sub(&ka, vec![1]), sub(&kb, vec![2]), sub(&ka, vec![3])],
+            &map,
+        )
+        .expect("routable");
+        assert_eq!(op.txid, 7);
+        assert_eq!(op.legs.len(), 2);
+        assert_eq!(op.coordinator, map.shard_of(&ka), "coordinator owns the first key");
+        assert_eq!(op.legs[0].ops.len(), 2, "same-shard sub-ops share a leg");
+        assert!(!op.is_single_shard());
+
+        let single = XShardOp::route(8, vec![sub(&ka, vec![1])], &map).expect("routable");
+        assert!(single.is_single_shard());
+        assert_eq!(XShardOp::route(9, vec![], &map), Err(RouteError::NoKeys));
+        let split = SubOp { keys: vec![ka, kb], op: vec![1] };
+        assert!(matches!(
+            XShardOp::route(10, vec![split], &map),
+            Err(RouteError::CrossShard { .. })
+        ));
+    }
+
+    fn two_keys_on_distinct_shards(map: &ShardMap) -> (Vec<u8>, Vec<u8>) {
+        let a = b"first".to_vec();
+        let b = crate::routing::test_key_on_other_shard(map, &a);
+        (a, b)
+    }
+
+    #[test]
+    fn coordinator_tally() {
+        let mut c = TxCoordinator::new([0, 1, 2]);
+        assert_eq!(c.verdict(), None);
+        assert_eq!(c.record_vote(1, true), None);
+        assert_eq!(c.pending().len(), 2);
+        assert_eq!(c.record_vote(0, true), None);
+        assert_eq!(c.record_vote(2, true), Some(true));
+        // A late (duplicate) vote cannot flip the verdict.
+        assert_eq!(c.record_vote(2, false), Some(true));
+        assert!(!c.timeout(), "timeout cannot override commit");
+
+        let mut c = TxCoordinator::new([0, 1]);
+        assert_eq!(c.record_vote(0, false), Some(false));
+        assert_eq!(c.record_vote(1, true), Some(false));
+
+        let mut c = TxCoordinator::new([0, 1]);
+        assert!(c.timeout());
+        assert_eq!(c.record_vote(0, true), Some(false), "late yes after timeout stays abort");
+    }
+
+    #[test]
+    fn prepare_commit_applies_staged_ops() {
+        let (mut app, state) = kv_xapp();
+        let prepare = XMsg::Prepare { txid: 1, ops: vec![sub(b"k5", KvApp::op_put(5, 42))] };
+        let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::PrepareOk { txid: 1 }));
+        assert!(app.is_staged(1));
+        assert_eq!(state.borrow().dirty_pages(), 0, "prepare must not touch state");
+
+        let (r, _) = app.execute(ClientId(1), &XMsg::Commit { txid: 1 }.encode(), &nd(), false);
+        match XReply::decode(&r) {
+            Some(XReply::Committed { txid: 1, replies }) => {
+                assert_eq!(replies, vec![b"ok".to_vec()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(app.is_applied(1));
+        assert!(!app.is_staged(1));
+        assert_eq!(app.locked_keys(), 0, "commit releases locks");
+        assert!(state.borrow().dirty_pages() > 0, "commit applied the put");
+    }
+
+    #[test]
+    fn abort_discards_staged_ops() {
+        let (mut app, state) = kv_xapp();
+        let prepare = XMsg::Prepare { txid: 2, ops: vec![sub(b"k1", KvApp::op_put(1, 7))] };
+        let _ = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        let (r, _) = app.execute(ClientId(1), &XMsg::Abort { txid: 2 }.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 2 }));
+        assert!(!app.is_applied(2));
+        assert_eq!(app.locked_keys(), 0);
+        assert_eq!(state.borrow().dirty_pages(), 0, "nothing ever touched state");
+        // A late prepare retransmission after the abort stays aborted.
+        let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 2 }));
+    }
+
+    #[test]
+    fn conflicting_locks_vote_no() {
+        let mut app = null_xapp();
+        let p1 = XMsg::Prepare { txid: 1, ops: vec![sub(b"hot", vec![1])] };
+        let p2 = XMsg::Prepare { txid: 2, ops: vec![sub(b"hot", vec![2])] };
+        let _ = app.execute(ClientId(1), &p1.encode(), &nd(), false);
+        let (r, _) = app.execute(ClientId(2), &p2.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::PrepareFail { txid: 2, holder: 1 }));
+        assert!(!app.is_staged(2), "a failed prepare stages nothing");
+        // After tx 1 aborts, the key is free again.
+        let _ = app.execute(ClientId(1), &XMsg::Abort { txid: 1 }.encode(), &nd(), false);
+        let (r, _) = app.execute(ClientId(2), &XMsg::Prepare { txid: 3, ops: vec![sub(b"hot", vec![3])] }.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::PrepareOk { txid: 3 }));
+    }
+
+    #[test]
+    fn commit_without_prepare_is_presumed_abort() {
+        let mut app = null_xapp();
+        let (r, _) = app.execute(ClientId(1), &XMsg::Commit { txid: 99 }.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 99 }));
+        assert!(!app.is_applied(99));
+        // The presumed abort is *recorded*: a late reordered Prepare for the
+        // same transaction must not stage and lock keys nobody will release.
+        let late = XMsg::Prepare { txid: 99, ops: vec![sub(b"k", vec![1])] };
+        let (r, _) = app.execute(ClientId(1), &late.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 99 }));
+        assert!(!app.is_staged(99));
+        assert_eq!(app.locked_keys(), 0);
+    }
+
+    #[test]
+    fn decisions_are_first_writer_wins() {
+        let mut app = null_xapp();
+        let (r, _) = app.execute(ClientId(1), &XMsg::Decide { txid: 5, commit: true }.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::DecisionLogged { txid: 5, commit: true }));
+        // A conflicting second decide is ignored; the record stands.
+        let (r, _) = app.execute(ClientId(1), &XMsg::Decide { txid: 5, commit: false }.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::DecisionLogged { txid: 5, commit: true }));
+        let (r, _) = app.execute(ClientId(1), &XMsg::QueryDecision { txid: 5 }.encode(), &nd(), true);
+        assert_eq!(XReply::decode(&r), Some(XReply::Decision { txid: 5, commit: Some(true) }));
+        let (r, _) = app.execute(ClientId(1), &XMsg::QueryDecision { txid: 6 }.encode(), &nd(), true);
+        assert_eq!(XReply::decode(&r), Some(XReply::Decision { txid: 6, commit: None }));
+    }
+
+    #[test]
+    fn query_applied_tracks_commits_and_batches() {
+        let mut app = null_xapp();
+        let q = |app: &mut XShardApp, txid| {
+            let (r, _) = app.execute(ClientId(1), &XMsg::QueryApplied { txid }.encode(), &nd(), true);
+            match XReply::decode(&r) {
+                Some(XReply::Applied { applied, .. }) => applied,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert!(!q(&mut app, 1));
+        let _ = app.execute(ClientId(1), &XMsg::Prepare { txid: 1, ops: vec![sub(b"a", vec![1])] }.encode(), &nd(), false);
+        assert!(!q(&mut app, 1), "staged is not applied");
+        let _ = app.execute(ClientId(1), &XMsg::Commit { txid: 1 }.encode(), &nd(), false);
+        assert!(q(&mut app, 1));
+        let batch = XMsg::AtomicBatch { txid: 2, ops: vec![sub(b"b", vec![2]), sub(b"c", vec![3])] };
+        let (r, _) = app.execute(ClientId(1), &batch.encode(), &nd(), false);
+        assert!(matches!(XReply::decode(&r), Some(XReply::Committed { txid: 2, ref replies }) if replies.len() == 2));
+        assert!(q(&mut app, 2));
+    }
+
+    #[test]
+    fn committed_log_evicts_by_commit_order_on_both_paths() {
+        let mut app = null_xapp();
+        // Interleave two "initiators" (txid high bits) and both commit
+        // paths, so commit order differs from numeric txid order.
+        let mut order = Vec::new();
+        for k in 0..(COMMITTED_LOG_CAP as u64 / 2 + 2) {
+            for initiator in [2u64, 1u64] {
+                let txid = (initiator << 40) | k;
+                if initiator == 1 {
+                    let p = XMsg::Prepare { txid, ops: vec![sub(&txid.to_be_bytes(), vec![1])] };
+                    let _ = app.execute(ClientId(1), &p.encode(), &nd(), false);
+                    let _ = app.execute(ClientId(1), &XMsg::Commit { txid }.encode(), &nd(), false);
+                } else {
+                    let b = XMsg::AtomicBatch { txid, ops: vec![sub(&txid.to_be_bytes(), vec![2])] };
+                    let _ = app.execute(ClientId(1), &b.encode(), &nd(), false);
+                }
+                order.push(txid);
+            }
+        }
+        assert_eq!(app.committed_log.len(), COMMITTED_LOG_CAP, "cap enforced on both paths");
+        let evicted = order.len() - COMMITTED_LOG_CAP;
+        for (i, txid) in order.iter().enumerate() {
+            assert_eq!(
+                app.committed_log.contains_key(txid),
+                i >= evicted,
+                "entry {i} (txid {txid:#x}) must be evicted iff among the oldest commits"
+            );
+            assert!(app.is_applied(*txid), "eviction never forgets applied-ness");
+        }
+    }
+
+    #[test]
+    fn read_only_path_never_mutates() {
+        let (mut app, state) = kv_xapp();
+        let prepare = XMsg::Prepare { txid: 1, ops: vec![sub(b"k", KvApp::op_put(1, 1))] };
+        let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), true);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 1 }));
+        assert!(!app.is_staged(1));
+        let (r, _) = app.execute(ClientId(1), &XMsg::Commit { txid: 1 }.encode(), &nd(), true);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 1 }));
+        assert_eq!(state.borrow().dirty_pages(), 0);
+    }
+
+    #[test]
+    fn passthrough_is_byte_identical() {
+        let mut plain = NullApp::new(16);
+        let wrapped = null_xapp();
+        // NullApp replies 16 zero bytes; the wrapper must not touch them.
+        let op = b"just an app op".to_vec();
+        let (a, am) = plain.execute(ClientId(1), &op, &nd(), false);
+        let mut wrapped16 = XShardApp::new(Box::new(NullApp::new(16)));
+        let (b, bm) = wrapped16.execute(ClientId(1), &op, &nd(), false);
+        assert_eq!(a, b);
+        assert_eq!(am, bm, "pass-through adds no cost");
+        assert_eq!(wrapped16.passthrough_ops(), 1);
+        assert_eq!(wrapped.passthrough_ops(), 0);
+    }
+
+    #[test]
+    fn two_replicas_stay_deterministic() {
+        // The whole point: two replicas executing the same ordered history
+        // produce bit-identical replies and identical tables.
+        let (mut a, sa) = kv_xapp();
+        let (mut b, sb) = kv_xapp();
+        let history = [
+            XMsg::Prepare { txid: 1, ops: vec![sub(b"x", KvApp::op_put(1, 10))] },
+            XMsg::Prepare { txid: 2, ops: vec![sub(b"x", KvApp::op_put(1, 20))] }, // conflict
+            XMsg::Decide { txid: 1, commit: true },
+            XMsg::Commit { txid: 1 },
+            XMsg::Abort { txid: 2 },
+            XMsg::QueryApplied { txid: 1 },
+        ];
+        for msg in &history {
+            let ro = msg.is_read_only();
+            let (ra, _) = a.execute(ClientId(1), &msg.encode(), &nd(), ro);
+            let (rb, _) = b.execute(ClientId(1), &msg.encode(), &nd(), ro);
+            assert_eq!(ra, rb, "replies diverged on {msg:?}");
+        }
+        assert_eq!(sa.borrow_mut().refresh_digest(), sb.borrow_mut().refresh_digest());
+        assert!(a.is_applied(1) && !a.is_applied(2));
+    }
+}

@@ -146,7 +146,7 @@ impl Sha256 {
         pad[0] = 0x80;
         let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
-        self.update_no_len(&pad[..pad_len + 8].to_vec());
+        self.update_no_len(&pad[..pad_len + 8]);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());

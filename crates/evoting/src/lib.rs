@@ -23,4 +23,4 @@ pub mod certificate;
 
 pub use app::{EvotingApp, EVOTING_SCHEMA};
 pub use certificate::{assemble_certificate, verify_certificate, CertifyReply, TallyCertificate};
-pub use ops::{decode_tally, idbuf, VoteOp};
+pub use ops::{cross_precinct_ballot, decode_tally, idbuf, VoteOp};

@@ -131,6 +131,27 @@ impl VoteOp {
     }
 }
 
+/// A cross-precinct ballot: cast the same choice in several precinct
+/// elections **atomically** (all precincts record it, or none do).
+///
+/// In a sharded deployment each election's traffic lives on the PBFT group
+/// owning its id (see [`VoteOp::shard_key`]), so a multi-precinct ballot is
+/// inherently cross-shard: the returned `(shard key, encoded op)` pairs are
+/// the per-precinct sub-operations to feed into the two-phase commit of
+/// `pbft_core::xshard` (one sub-op per election, each single-shard by
+/// construction). Because every committed ballot adds exactly one vote in
+/// *every* named precinct, equal per-precinct vote totals across the slate
+/// double as a cheap atomicity audit.
+pub fn cross_precinct_ballot(elections: &[i64], choice: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
+    elections
+        .iter()
+        .map(|&election| {
+            let op = VoteOp::CastVote { election, choice: choice.to_string() };
+            (op.shard_key(), op.encode())
+        })
+        .collect()
+}
+
 /// Build the application identification buffer for the Join (§3.1): the
 /// credentials the replicated voter registry checks.
 pub fn idbuf(user: &str, secret: &str) -> Vec<u8> {
@@ -195,6 +216,22 @@ mod tests {
         assert_eq!(VoteOp::decode(&[]), None);
         assert_eq!(VoteOp::decode(&[99]), None);
         assert_eq!(VoteOp::decode(&[2, 1]), None);
+    }
+
+    #[test]
+    fn cross_precinct_ballot_is_one_sub_op_per_election() {
+        let subs = cross_precinct_ballot(&[3, 7], "alice");
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].0, 3i64.to_be_bytes().to_vec(), "keyed by election id");
+        assert_ne!(subs[0].0, subs[1].0);
+        for (key, op) in &subs {
+            let decoded = VoteOp::decode(op).expect("sub-ops decode");
+            match &decoded {
+                VoteOp::CastVote { choice, .. } => assert_eq!(choice, "alice"),
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(&decoded.shard_key(), key, "sub-op keys match the op's own key");
+        }
     }
 
     #[test]

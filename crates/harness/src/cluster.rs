@@ -32,6 +32,14 @@ pub enum AppKind {
         /// ACID (rollback journal) or the no-ACID comparison mode.
         journal: JournalMode,
     },
+    /// The SQL app with a custom setup script instead of the bench table
+    /// (e.g. the `accounts` schema of the cross-shard transfer workload).
+    SqlWith {
+        /// Journal mode.
+        journal: JournalMode,
+        /// Setup SQL run once at first open (deterministic across replicas).
+        setup: String,
+    },
     /// The full e-voting service.
     Evoting {
         /// Journal mode.
@@ -55,6 +63,10 @@ impl AppKind {
             AppKind::Sql { journal } => Box::new(
                 SqlApp::open(state, *journal, CostProfile::default(), Some(SQL_BENCH_SCHEMA))
                     .expect("state region fits the bench schema"),
+            ),
+            AppKind::SqlWith { journal, setup } => Box::new(
+                SqlApp::open(state, *journal, CostProfile::default(), Some(setup))
+                    .expect("state region fits the setup script"),
             ),
             AppKind::Evoting { journal, voters } => {
                 let refs: Vec<(&str, &str)> =
@@ -82,6 +94,25 @@ pub struct ClusterSpec {
     pub seed: u64,
     /// Record a message trace.
     pub trace: bool,
+    /// Wrap the application in [`pbft_core::XShardApp`] so the group can
+    /// act as a participant/coordinator of cross-shard transactions (see
+    /// [`crate::xshard`]). Plain operations pass through byte-identically,
+    /// so enabling this on a deployment that never submits cross-shard
+    /// frames changes nothing.
+    pub xshard: bool,
+}
+
+impl ClusterSpec {
+    /// Build this spec's application over `state`, honoring the
+    /// [`ClusterSpec::xshard`] wrapper flag.
+    pub fn make_app(&self, state: StateHandle) -> Box<dyn App> {
+        let inner = self.app.make(state);
+        if self.xshard {
+            Box::new(pbft_core::XShardApp::new(inner))
+        } else {
+            inner
+        }
+    }
 }
 
 impl Default for ClusterSpec {
@@ -98,6 +129,7 @@ impl Default for ClusterSpec {
             },
             seed: 1,
             trace: false,
+            xshard: false,
         }
     }
 }
@@ -236,7 +268,7 @@ pub fn make_engine(spec: &ClusterSpec, i: u32) -> Replica {
         (1..=spec.num_clients as u64).map(ClientId).collect()
     };
     let state: StateHandle = Rc::new(RefCell::new(PagedState::new(spec.app.state_pages())));
-    let app = spec.app.make(state.clone());
+    let app = spec.make_app(state.clone());
     Replica::new(spec.cfg.clone(), GROUP_SEED, ReplicaId(i), state, app, &static_clients)
 }
 
@@ -345,13 +377,43 @@ impl Cluster {
 
     /// Install a workload generator on every client and issue the first op.
     pub fn start_workload(&mut self, mut make_gen: impl FnMut(usize) -> OpGen) {
-        for (i, &id) in self.clients.clone().iter().enumerate() {
+        let all: Vec<usize> = (0..self.clients.len()).collect();
+        self.start_workload_on(&all, |i| make_gen(i));
+    }
+
+    /// Install a workload generator on a subset of clients (by index),
+    /// leaving the rest idle — e.g. the cross-shard harness reserves the
+    /// trailing clients as manually driven transaction agents.
+    pub fn start_workload_on(&mut self, indices: &[usize], mut make_gen: impl FnMut(usize) -> OpGen) {
+        for &i in indices {
+            let id = self.clients[i];
             let gen = make_gen(i);
             self.sim.with_node_ctx::<ClientHost, _>(id, |host, ctx| {
                 host.gen = Some(gen);
                 host.pump_workload(ctx);
             });
         }
+    }
+
+    /// Submit one operation on client `idx`'s engine (manual driving, used
+    /// by the cross-shard transaction agents). Queues behind an outstanding
+    /// request if the client is busy — PBFT allows one in flight per client.
+    pub fn client_submit(&mut self, idx: usize, op: Vec<u8>, read_only: bool) {
+        let id = self.clients[idx];
+        self.sim.with_node_ctx::<ClientHost, _>(id, |host, ctx| {
+            let model = host.model;
+            let res = host.client.submit(op, read_only, ctx.now().as_nanos());
+            apply_outputs(res, &model, ctx);
+        });
+    }
+
+    /// Drain the join/reply events client `idx` has observed since the last
+    /// drain. Empty if the client's node has been crashed.
+    pub fn take_client_events(&mut self, idx: usize) -> Vec<ClientEvent> {
+        self.sim
+            .node_mut::<ClientHost>(self.clients[idx])
+            .map(|host| std::mem::take(&mut host.events))
+            .unwrap_or_default()
     }
 
     /// Advance virtual time.
@@ -406,7 +468,7 @@ impl Cluster {
     pub fn replica_counts(&self, i: usize) -> pbft_core::OpCounts {
         self.sim
             .node_ref::<ReplicaHost>(self.replicas[i])
-            .map(|h| h.cum_counts.clone())
+            .map(|h| h.cum_counts)
             .unwrap_or_default()
     }
 
@@ -453,7 +515,7 @@ impl Cluster {
             }
             _ => Rc::new(RefCell::new(PagedState::new(self.spec.app.state_pages()))),
         };
-        let app = self.spec.app.make(state.clone());
+        let app = self.spec.make_app(state.clone());
         let replica = Replica::new(
             self.spec.cfg.clone(),
             GROUP_SEED,

@@ -296,11 +296,15 @@ pub struct NonDetReport {
 /// pre-prepares with a tight validation window; without the
 /// skip-on-replay fix the replay is rejected and progress stalls.
 pub fn nondet_replay(skip_on_replay: bool, seed: u64) -> NonDetReport {
-    let mut cfg = PbftConfig::default();
-    cfg.tentative_execution = false;
-    cfg.nondet.validate_window_ns = 400_000_000; // fresh pre-prepares pass
-    cfg.nondet.skip_validation_on_replay = skip_on_replay;
-    cfg.view_change_timeout_ns = 200_000_000;
+    let cfg = PbftConfig {
+        tentative_execution: false,
+        nondet: pbft_core::config::NonDetPolicy {
+            validate_window_ns: 400_000_000, // fresh pre-prepares pass
+            skip_validation_on_replay: skip_on_replay,
+        },
+        view_change_timeout_ns: 200_000_000,
+        ..Default::default()
+    };
     let spec = ClusterSpec {
         cfg,
         app: AppKind::Null { reply_size: 64 },

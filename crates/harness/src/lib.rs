@@ -19,6 +19,10 @@
 //! * [`shard`] — sharded multi-group composition: a deterministic
 //!   client-side shard router over N independent groups sharing one virtual
 //!   clock, with cross-shard operations rejected by a typed error,
+//! * [`xshard`] — cross-shard atomic commit on top of [`shard`]: closed-loop
+//!   transaction initiators driving the two-phase commit of
+//!   [`pbft_core::xshard`] through every group's own PBFT agreement, with
+//!   timeout aborts and a ground-truth atomicity audit,
 //! * [`stats`] — mean/standard deviation over trials (the paper's TPS ±
 //!   StDev columns),
 //! * [`experiments`] — one entry point per table/figure.
@@ -49,8 +53,10 @@ pub mod experiments;
 pub mod shard;
 pub mod stats;
 pub mod workload;
+pub mod xshard;
 
 pub use cluster::{AppKind, Cluster, ClusterSpec};
 pub use cost::CostModel;
 pub use shard::{ShardRouter, ShardedCluster, ShardedClusterSpec};
 pub use stats::Stats;
+pub use xshard::{XShardCluster, XShardMetrics, XShardSpec};

@@ -162,12 +162,23 @@ pub struct ShardedCluster {
 impl ShardedCluster {
     /// Build `spec.shards` groups and align their clocks.
     pub fn build(spec: ShardedClusterSpec) -> ShardedCluster {
+        Self::build_with(spec, |_, gspec| Cluster::build(gspec))
+    }
+
+    /// [`ShardedCluster::build`] with a per-group cluster factory — the hook
+    /// for mounting faulty replicas in selected groups (the factory receives
+    /// the shard index and the seed-decorrelated group spec, and typically
+    /// calls [`Cluster::build`] or [`crate::byzantine::build_faulty_cluster`]).
+    pub fn build_with(
+        spec: ShardedClusterSpec,
+        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
+    ) -> ShardedCluster {
         assert!(spec.shards > 0, "a deployment needs at least one shard");
         let groups: Vec<Cluster> = (0..spec.shards)
             .map(|s| {
                 let mut gspec = spec.base.clone();
                 gspec.seed = spec.base.seed.wrapping_add(s as u64 * SHARD_SEED_STRIDE);
-                Cluster::build(gspec)
+                make_cluster(s, gspec)
             })
             .collect();
         let mut cluster = ShardedCluster {
@@ -234,10 +245,23 @@ impl ShardedCluster {
     /// operations that don't route to its shard — a mis-partitioned
     /// workload would otherwise spin the closed loop forever.
     pub fn start_keyed_workload(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
+        let per_group: Vec<Vec<usize>> =
+            self.groups.iter().map(|g| (0..g.clients.len()).collect()).collect();
+        self.start_keyed_workload_on(&per_group, |s, c| make_gen(s, c));
+    }
+
+    /// [`ShardedCluster::start_keyed_workload`] restricted to the given
+    /// client indices of each group (`indices[shard]`); the other clients
+    /// stay idle for manual driving (the cross-shard transaction agents).
+    pub fn start_keyed_workload_on(
+        &mut self,
+        indices: &[Vec<usize>],
+        mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
+    ) {
         let router = self.router;
         for (s, group) in self.groups.iter_mut().enumerate() {
             let metrics = &self.metrics;
-            group.start_workload(|client| {
+            group.start_workload_on(&indices[s], |client| {
                 let mut gen = make_gen(s, client);
                 let metrics = Rc::clone(metrics);
                 let mut next = 0u64;

@@ -10,6 +10,13 @@
 //!   assign it to the PBFT group owning those keys (or reject it as
 //!   cross-shard). [`ShardedCluster`](crate::shard::ShardedCluster) installs
 //!   these.
+//! * [`TxGen`] — the transactional shape: each draw is a [`TxOp`], a *set*
+//!   of single-shard sub-operations to apply atomically. Transactions whose
+//!   sub-ops span groups go through the two-phase commit of
+//!   [`crate::xshard`]; single-group ones collapse to the fast path.
+
+use pbft_core::routing::{stable_key_hash, ShardMap};
+use pbft_core::SubOp;
 
 /// A generator producing the next operation for a closed-loop client:
 /// `(op bytes, read_only)`.
@@ -34,6 +41,113 @@ pub struct KeyedOp {
 /// A generator producing the next key-tagged operation for a closed-loop
 /// client of a sharded deployment.
 pub type KeyedOpGen = Box<dyn FnMut(u64) -> KeyedOp>;
+
+/// A transaction: sub-operations to apply atomically (all-or-nothing),
+/// each single-shard on its own but possibly spanning groups together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxOp {
+    /// The sub-operations, in application order.
+    pub sub_ops: Vec<SubOp>,
+}
+
+/// A generator producing the next transaction for a closed-loop initiator
+/// of a cross-shard deployment ([`crate::xshard::XShardCluster`]).
+pub type TxGen = Box<dyn FnMut(u64) -> TxOp>;
+
+/// Deterministic workload randomness: a stable hash over the generator tag,
+/// the sequence number and a draw index (so one `(tag, seq)` can make
+/// several independent choices).
+fn mix(tag: u64, seq: u64, draw: u64) -> u64 {
+    let mut bytes = [0u8; 24];
+    bytes[..8].copy_from_slice(&tag.to_be_bytes());
+    bytes[8..16].copy_from_slice(&seq.to_be_bytes());
+    bytes[16..].copy_from_slice(&draw.to_be_bytes());
+    stable_key_hash(&bytes)
+}
+
+/// Cross-shard null transactions: each draw is a two-sub-op transaction
+/// whose keys are guaranteed to live on *different* groups of `map` — the
+/// minimal transactional counterpart of [`keyed_null_ops`]. Keys are drawn
+/// from a bounded space of `key_space` "accounts", so concurrent initiators
+/// genuinely contend for locks (the bench's abort-rate column comes from
+/// here); each sub-op's body stamps its key into `size` zero bytes exactly
+/// like the keyed null workload.
+///
+/// # Panics
+/// Panics at draw time if `map` has a single shard or `key_space` is too
+/// small to offer keys on two different groups.
+pub fn cross_null_txs(map: ShardMap, size: usize, key_space: u64, tag: u64) -> TxGen {
+    assert!(map.shards() > 1, "cross-shard transactions need at least two groups");
+    let null_sub = move |key: Vec<u8>| {
+        let mut op = vec![0u8; size];
+        let n = key.len().min(size);
+        op[..n].copy_from_slice(&key[..n]);
+        SubOp { keys: vec![key], op }
+    };
+    Box::new(move |seq| {
+        let a = mix(tag, seq, 0) % key_space;
+        let key_a = a.to_be_bytes().to_vec();
+        let shard_a = map.shard_of(&key_a);
+        let key_b = (1..=64u64)
+            .map(|draw| (mix(tag, seq, draw) % key_space).to_be_bytes().to_vec())
+            .find(|k| map.shard_of(k) != shard_a)
+            .expect("a uniform key space of this size covers more than one shard");
+        TxOp { sub_ops: vec![null_sub(key_a), null_sub(key_b)] }
+    })
+}
+
+/// Account-transfer transactions over the [`pbft_sql::transfer`] schema:
+/// each draw moves a small amount between two distinct accounts of a
+/// bounded space. Whether a given transfer is cross-shard is up to the key
+/// hash — exactly like a real workload — so the driver's fast path
+/// (same-group pairs) and 2PC path (split pairs) both get exercised. The
+/// global `SUM(bal)` is invariant under any mix of committed and aborted
+/// transfers, which is the conservation audit the atomicity tests assert.
+pub fn transfer_txs(accounts: u64, max_amount: i64, tag: u64) -> TxGen {
+    assert!(accounts >= 2, "transfers need two distinct accounts");
+    Box::new(move |seq| {
+        let from = mix(tag, seq, 0) % accounts;
+        let to = (from + 1 + mix(tag, seq, 1) % (accounts - 1)) % accounts;
+        let amount = 1 + (mix(tag, seq, 2) % max_amount.max(1) as u64) as i64;
+        let t = pbft_sql::Transfer {
+            from: pbft_sql::transfer::account_key(from),
+            to: pbft_sql::transfer::account_key(to),
+            amount,
+        };
+        TxOp {
+            sub_ops: t
+                .sub_ops()
+                .into_iter()
+                .map(|(key, sql)| SubOp { keys: vec![key], op: sql.into_bytes() })
+                .collect(),
+        }
+    })
+}
+
+/// Cross-precinct ballots: each draw casts one choice atomically in two of
+/// the given precinct elections (see [`evoting::cross_precinct_ballot`]).
+/// Since election traffic shards by election id, a two-precinct ballot is
+/// cross-shard whenever the pair's ids hash to different groups.
+pub fn cross_precinct_ballot_txs(
+    elections: &'static [i64],
+    choices: &'static [&'static str],
+    tag: u64,
+) -> TxGen {
+    assert!(elections.len() >= 2, "a cross-precinct ballot names two precincts");
+    Box::new(move |seq| {
+        let first = (mix(tag, seq, 0) % elections.len() as u64) as usize;
+        let second = (first + 1 + (mix(tag, seq, 1) % (elections.len() as u64 - 1)) as usize)
+            % elections.len();
+        let choice = choices[(seq as usize) % choices.len()];
+        let pair = [elections[first], elections[second]];
+        TxOp {
+            sub_ops: evoting::cross_precinct_ballot(&pair, choice)
+                .into_iter()
+                .map(|(key, op)| SubOp { keys: vec![key], op })
+                .collect(),
+        }
+    })
+}
 
 /// Keyed null operations: the Table 1 null-op workload over a logical key
 /// space, for sharding experiments. The key — `tag` (a per-client
@@ -169,6 +283,52 @@ mod tests {
         assert_eq!(first.keys, third.keys, "elections rotate with period 2");
         assert_ne!(first.keys, gen(1).keys);
         assert!(evoting::VoteOp::decode(&first.op).is_some());
+    }
+
+    #[test]
+    fn cross_null_txs_always_span_two_shards() {
+        let map = ShardMap::new(4);
+        let mut gen = cross_null_txs(map, 64, 128, 7);
+        for seq in 0..50 {
+            let tx = gen(seq);
+            assert_eq!(tx.sub_ops.len(), 2);
+            let shards: Vec<u32> =
+                tx.sub_ops.iter().map(|s| map.shard_of(&s.keys[0])).collect();
+            assert_ne!(shards[0], shards[1], "sub-ops must land on distinct groups");
+            for sub in &tx.sub_ops {
+                assert_eq!(sub.op.len(), 64);
+                assert_eq!(&sub.op[..8], &sub.keys[0][..], "key stamped into the body");
+            }
+        }
+        // Deterministic: the same (tag, seq) draws the same transaction.
+        assert_eq!(gen(3), cross_null_txs(map, 64, 128, 7)(3));
+    }
+
+    #[test]
+    fn transfer_txs_move_between_distinct_accounts() {
+        let mut gen = transfer_txs(16, 10, 3);
+        for seq in 0..30 {
+            let tx = gen(seq);
+            assert_eq!(tx.sub_ops.len(), 2);
+            assert_ne!(tx.sub_ops[0].keys, tx.sub_ops[1].keys, "no self-transfers");
+            let debit = std::str::from_utf8(&tx.sub_ops[0].op).expect("sql");
+            let credit = std::str::from_utf8(&tx.sub_ops[1].op).expect("sql");
+            assert!(debit.contains("bal - "));
+            assert!(credit.contains("bal + "));
+            // The sub-op's routing key matches the SQL's own shard key.
+            assert_eq!(pbft_sql::shard_key(debit).as_deref(), Some(&tx.sub_ops[0].keys[0][..]));
+        }
+    }
+
+    #[test]
+    fn ballot_txs_pick_two_distinct_precincts() {
+        let mut gen = cross_precinct_ballot_txs(&[1, 2, 3], &["a", "b"], 5);
+        for seq in 0..20 {
+            let tx = gen(seq);
+            assert_eq!(tx.sub_ops.len(), 2);
+            assert_ne!(tx.sub_ops[0].keys, tx.sub_ops[1].keys);
+            assert!(evoting::VoteOp::decode(&tx.sub_ops[0].op).is_some());
+        }
     }
 
     #[test]

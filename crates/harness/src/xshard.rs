@@ -1,0 +1,916 @@
+//! Cross-shard transaction driving: two-phase commit over a
+//! [`ShardedCluster`].
+//!
+//! [`crate::shard`] scales throughput by running N independent PBFT groups,
+//! but rejects any operation touching keys in two groups. This module layers
+//! the deterministic two-phase commit of [`pbft_core::xshard`] on top: an
+//! [`XShardCluster`] mounts every group's application inside the
+//! lock-and-log [`pbft_core::XShardApp`] wrapper and drives closed-loop
+//! **transaction initiators**, each owning one dedicated agent client *per
+//! group* (so an initiator can talk to every participant of its transaction
+//! concurrently while PBFT's one-outstanding-request-per-client rule holds
+//! per agent).
+//!
+//! Per transaction drawn from a [`TxGen`]:
+//!
+//! 1. **Route.** [`XShardOp::route`] splits the sub-ops into per-shard legs.
+//!    A single-leg transaction skips 2PC entirely: it is submitted as one
+//!    ordered `AtomicBatch` operation on the owning group (and plain
+//!    single-shard workload ops never even enter this module — they run on
+//!    the untouched [`crate::shard`] fast path).
+//! 2. **Prepare.** One `Prepare` per leg, each ordered by its group's own
+//!    PBFT agreement; the group's replicas deterministically lock the keys
+//!    and stage the sub-ops (or vote no on a lock conflict — the no-wait
+//!    policy that makes cross-shard deadlock impossible).
+//! 3. **Decide.** The verdict (all-yes → commit; any no-vote or a prepare
+//!    timeout → abort) is logged as an ordered `Decide` operation on the
+//!    *coordinator* group — the shard owning the transaction's first key —
+//!    making the commit point itself replicated and f-tolerant.
+//! 4. **Finish.** Only after `DecisionLogged` does the initiator send
+//!    `Commit`/`Abort` to every leg; participants apply or discard their
+//!    staged sub-ops as one ordered step. A participant shard that stalls
+//!    mid-protocol (crashed, partitioned, Byzantine beyond its group's f)
+//!    can only delay its own leg: the decision is already durable, late
+//!    `Commit`s apply when the shard heals, and a shard that never voted
+//!    can only be aborted — never half-applied.
+//!
+//! [`XShardCluster::audit_atomicity`] is the ground-truth check the
+//! property tests lean on: it replays the transaction log against every
+//! participant group's quorum-certified `QueryApplied` answer and demands
+//! all-or-nothing application.
+
+use std::collections::BTreeSet;
+
+use pbft_core::client::ClientEvent;
+use pbft_core::routing::RouteError;
+use pbft_core::xshard::{TxCoordinator, TxId, XMsg, XReply, XShardOp};
+use simnet::{SimDuration, SimTime};
+
+use crate::cluster::{Cluster, ClusterSpec};
+use crate::shard::{ShardedCluster, ShardedClusterSpec};
+use crate::workload::{KeyedOpGen, TxGen};
+
+/// Configuration of a cross-shard deployment.
+#[derive(Debug, Clone)]
+pub struct XShardSpec {
+    /// Number of PBFT groups.
+    pub shards: usize,
+    /// Per-group template. `base.num_clients` is the number of *background*
+    /// workload clients per group (the PR 2 single-shard path); the
+    /// transaction agents are mounted on top of them. `base.xshard` is
+    /// forced on.
+    pub base: ClusterSpec,
+    /// Closed-loop transaction initiators. Each initiator gets one agent
+    /// client on every group, so concurrent transactions never contend for
+    /// a client slot.
+    pub initiators: usize,
+    /// How long a transaction waits for all votes before deciding abort.
+    pub prepare_timeout: SimDuration,
+    /// How long the decide and finish phases wait before giving up on
+    /// unreachable groups (the transaction outcome is already determined).
+    pub finish_timeout: SimDuration,
+    /// Driver polling quantum: the lockstep slice between initiator pumps.
+    /// Smaller = tighter closed loop, more wall-clock overhead.
+    pub poll_interval: SimDuration,
+}
+
+impl Default for XShardSpec {
+    fn default() -> Self {
+        XShardSpec {
+            shards: 4,
+            base: ClusterSpec::default(),
+            initiators: 4,
+            prepare_timeout: SimDuration::from_millis(100),
+            finish_timeout: SimDuration::from_millis(200),
+            poll_interval: SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// Driver-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XShardMetrics {
+    /// Single-group transactions committed via the collapsed `AtomicBatch`
+    /// path (no 2PC rounds).
+    pub local_txs: u64,
+    /// Cross-shard transactions committed through full 2PC.
+    pub tx_committed: u64,
+    /// Cross-shard transactions aborted.
+    pub tx_aborted: u64,
+    /// Aborts caused by a lock-conflict no-vote.
+    pub aborts_conflict: u64,
+    /// Aborts caused by a prepare timeout (unreachable participant).
+    pub aborts_timeout: u64,
+    /// Transactions abandoned with an undetermined outcome (coordinator
+    /// unreachable after an all-yes vote; participants keep their locks
+    /// until the coordinator heals).
+    pub tx_unresolved: u64,
+    /// Sub-operations of committed transactions (both paths), counted when
+    /// the transaction *settles*. In a healthy run that coincides with
+    /// execution; under faults it can lead or lag slightly — a timed-out
+    /// batch counts at settle though it executes only when its shard heals,
+    /// and a commit whose finish acks timed out counts only the acked legs.
+    pub committed_sub_ops: u64,
+    /// Generator draws rejected at routing (a sub-op spanning groups).
+    pub rejected_draws: u64,
+    /// Finish phases that gave up waiting for acks from stalled shards
+    /// (the outcome was already decided; late commits apply on heal).
+    pub finish_timeouts: u64,
+    /// Single-group batches whose ack timed out (recorded committed — the
+    /// batch executes when the shard processes its queue; see
+    /// [`XShardSpec::finish_timeout`]).
+    pub batch_timeouts: u64,
+}
+
+/// The recorded outcome of one transaction, for auditing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Commit decision logged and commits dispatched.
+    Committed,
+    /// Abort decision logged (or presumed) and aborts dispatched.
+    Aborted,
+    /// Abandoned without a determined outcome (coordinator unreachable).
+    Unresolved,
+}
+
+/// One entry of the transaction log kept by the driver.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Transaction id.
+    pub txid: TxId,
+    /// Participant shards.
+    pub shards: Vec<usize>,
+    /// Whether the transaction was single-group (`AtomicBatch`).
+    pub single_group: bool,
+    /// Final outcome.
+    pub outcome: TxOutcome,
+}
+
+enum Phase {
+    Idle,
+    /// Awaiting the `Committed` ack of a single-group `AtomicBatch`.
+    Batch {
+        /// Sub-op count, for metrics if the ack times out.
+        sub_ops: u64,
+        /// Give-up deadline: the batch is unconditionally committed once
+        /// submitted (there is no abort path — the agent client retransmits
+        /// until the group orders it), so on timeout the driver records the
+        /// commit and stops waiting for the ack.
+        deadline: SimTime,
+    },
+    /// Awaiting votes.
+    Preparing { tally: TxCoordinator, conflict: bool, deadline: SimTime },
+    /// Decision submitted to the coordinator; awaiting `DecisionLogged`.
+    Deciding { commit: bool, conflict: bool, timed_out: bool, deadline: SimTime },
+    /// Commits/aborts dispatched; awaiting acks.
+    Finishing {
+        commit: bool,
+        conflict: bool,
+        timed_out: bool,
+        pending: BTreeSet<usize>,
+        sub_ops_applied: u64,
+        deadline: SimTime,
+    },
+}
+
+struct Initiator {
+    gen: Option<TxGen>,
+    next_seq: u64,
+    txid: TxId,
+    coordinator: usize,
+    shards: Vec<usize>,
+    phase: Phase,
+}
+
+impl Initiator {
+    fn new() -> Initiator {
+        Initiator {
+            gen: None,
+            next_seq: 0,
+            txid: 0,
+            coordinator: 0,
+            shards: Vec::new(),
+            phase: Phase::Idle,
+        }
+    }
+}
+
+/// A running cross-shard deployment: a [`ShardedCluster`] whose groups run
+/// the [`pbft_core::XShardApp`] wrapper, plus the transaction driver.
+pub struct XShardCluster {
+    sc: ShardedCluster,
+    bg_clients: usize,
+    initiators: Vec<Initiator>,
+    metrics: XShardMetrics,
+    tx_log: Vec<TxRecord>,
+    prepare_timeout: SimDuration,
+    finish_timeout: SimDuration,
+    poll_interval: SimDuration,
+}
+
+impl XShardCluster {
+    /// Build the deployment (see [`XShardCluster::build_with`]).
+    pub fn build(spec: XShardSpec) -> XShardCluster {
+        Self::build_with(spec, |_, gspec| Cluster::build(gspec))
+    }
+
+    /// Build with a per-group cluster factory (the hook for mounting faulty
+    /// replicas in chosen groups; the factory receives the shard index and
+    /// the group's spec and usually calls [`Cluster::build`] or
+    /// [`crate::byzantine::build_faulty_cluster`]).
+    pub fn build_with(
+        spec: XShardSpec,
+        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
+    ) -> XShardCluster {
+        let bg_clients = spec.base.num_clients;
+        let mut base = spec.base.clone();
+        base.xshard = true;
+        base.num_clients = bg_clients + spec.initiators;
+        let sc = ShardedCluster::build_with(
+            ShardedClusterSpec { shards: spec.shards, base },
+            &mut make_cluster,
+        );
+        XShardCluster {
+            sc,
+            bg_clients,
+            initiators: (0..spec.initiators).map(|_| Initiator::new()).collect(),
+            metrics: XShardMetrics::default(),
+            tx_log: Vec::new(),
+            prepare_timeout: spec.prepare_timeout,
+            finish_timeout: spec.finish_timeout,
+            poll_interval: spec.poll_interval,
+        }
+    }
+
+    /// The underlying sharded cluster (groups, router, traces).
+    pub fn sharded(&self) -> &ShardedCluster {
+        &self.sc
+    }
+
+    /// The underlying sharded cluster, mutably (fault injection).
+    pub fn sharded_mut(&mut self) -> &mut ShardedCluster {
+        &mut self.sc
+    }
+
+    /// Number of groups.
+    pub fn shards(&self) -> usize {
+        self.sc.shards()
+    }
+
+    /// Driver counters.
+    pub fn metrics(&self) -> XShardMetrics {
+        self.metrics
+    }
+
+    /// The transaction log (one record per finished transaction).
+    pub fn tx_log(&self) -> &[TxRecord] {
+        &self.tx_log
+    }
+
+    /// The client index of initiator `i`'s agent on every group.
+    fn agent(&self, initiator: usize) -> usize {
+        self.bg_clients + initiator
+    }
+
+    /// Current shared virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sc.group(0).sim.now()
+    }
+
+    /// Install the background (single-shard, PR 2 fast path) workload on
+    /// the `base.num_clients` ordinary clients of every group.
+    pub fn start_background(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
+        let indices: Vec<Vec<usize>> =
+            (0..self.sc.shards()).map(|_| (0..self.bg_clients).collect()).collect();
+        self.sc.start_keyed_workload_on(&indices, |s, c| make_gen(s, c));
+    }
+
+    /// Install a transaction stream on every initiator and issue the first
+    /// transactions.
+    pub fn start_transactions(&mut self, mut make_gen: impl FnMut(usize) -> TxGen) {
+        for i in 0..self.initiators.len() {
+            self.initiators[i].gen = Some(make_gen(i));
+        }
+        self.pump();
+    }
+
+    /// Stop drawing new transactions (in-flight ones keep running).
+    pub fn stop_transactions(&mut self) {
+        for init in &mut self.initiators {
+            init.gen = None;
+        }
+    }
+
+    /// Advance shared virtual time by `d`, pumping the transaction driver
+    /// every [`XShardSpec::poll_interval`].
+    pub fn run_for(&mut self, d: SimDuration) {
+        let mut left = d.as_nanos();
+        while left > 0 {
+            let slice = self.poll_interval.as_nanos().min(left);
+            self.sc.run_for(SimDuration::from_nanos(slice));
+            left -= slice;
+            self.pump();
+        }
+    }
+
+    /// Stop all traffic and drain: background generators are removed, no
+    /// new transactions are drawn, and the driver keeps pumping for `drain`
+    /// so in-flight transactions finish or time out.
+    pub fn quiesce(&mut self, drain: SimDuration) {
+        for s in 0..self.sc.shards() {
+            self.sc.group_mut(s).quiesce(SimDuration::ZERO);
+        }
+        self.stop_transactions();
+        self.run_for(drain);
+    }
+
+    /// Are all in-flight transactions finished (every initiator idle)?
+    pub fn drained(&self) -> bool {
+        self.initiators.iter().all(|i| matches!(i.phase, Phase::Idle))
+    }
+
+    /// Total committed work units: background completions plus every
+    /// sub-operation applied by a committed transaction. Protocol traffic
+    /// (prepares, decides, acks) is deliberately *not* counted — this is
+    /// application throughput, comparable with the PR 2 sharding numbers.
+    pub fn committed_units(&self) -> u64 {
+        self.background_completed()
+            + self.metrics.committed_sub_ops
+    }
+
+    /// Completed requests of the background clients only.
+    pub fn background_completed(&self) -> u64 {
+        (0..self.sc.shards())
+            .map(|s| {
+                let g = self.sc.group(s);
+                (0..self.bg_clients.min(g.clients.len()))
+                    .map(|c| g.client_metrics(c).completed)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Run `warmup`, then measure committed application throughput and the
+    /// transaction abort rate over `window` of shared virtual time.
+    pub fn measure(&mut self, warmup: SimDuration, window: SimDuration) -> XShardThroughput {
+        self.run_for(warmup);
+        let units0 = self.committed_units();
+        let m0 = self.metrics;
+        self.run_for(window);
+        let m1 = self.metrics;
+        let committed = (m1.tx_committed + m1.local_txs) - (m0.tx_committed + m0.local_txs);
+        let aborted = m1.tx_aborted - m0.tx_aborted;
+        XShardThroughput {
+            committed_tps: (self.committed_units() - units0) as f64 / window.as_secs_f64(),
+            tx_committed: committed,
+            tx_aborted: aborted,
+        }
+    }
+
+    /// Partition a group's replicas from all of its clients — the
+    /// "participant shard crashed" fault: the group is healthy internally
+    /// but unreachable, so prepares time out and transactions abort.
+    pub fn isolate_shard(&mut self, shard: usize) {
+        let g = self.sc.group_mut(shard);
+        let (replicas, clients) = (g.replicas.clone(), g.clients.clone());
+        g.sim.partition(&replicas, &clients);
+    }
+
+    /// Heal every link of a group partitioned by
+    /// [`XShardCluster::isolate_shard`].
+    pub fn heal_shard(&mut self, shard: usize) {
+        self.sc.group_mut(shard).sim.heal_all();
+    }
+
+    /// Are all replicas' states digest-identical within every group?
+    pub fn states_converged(&mut self) -> bool {
+        self.sc.states_converged()
+    }
+
+    /// Submit `op` on initiator `initiator`'s agent of `shard` and run the
+    /// deployment until its reply arrives (matching xshard replies by
+    /// `txid` when given). `None` if no reply within `timeout`.
+    ///
+    /// # Panics
+    /// Panics when the deployment has no transaction initiators (agents are
+    /// the only manually drivable clients — build with `initiators >= 1` to
+    /// use the query/audit surface), or when transactions are still in
+    /// flight: the wait loop consumes the agents' replies itself, so it may
+    /// only run once the driver is [`drained`](XShardCluster::drained)
+    /// (quiesce first) — otherwise it would eat an in-flight transaction's
+    /// votes and acks and corrupt its outcome.
+    pub fn submit_and_wait(
+        &mut self,
+        shard: usize,
+        initiator: usize,
+        op: Vec<u8>,
+        read_only: bool,
+        match_txid: Option<TxId>,
+        timeout: SimDuration,
+    ) -> Option<Vec<u8>> {
+        assert!(
+            initiator < self.initiators.len(),
+            "submit_and_wait needs a transaction agent: initiator {initiator} of {} (build the \
+             deployment with initiators >= 1 to use queries and audits)",
+            self.initiators.len()
+        );
+        assert!(
+            self.drained(),
+            "submit_and_wait would steal in-flight transaction replies: quiesce (stop and drain \
+             transactions) before querying or auditing"
+        );
+        let agent = self.agent(initiator);
+        self.sc.group_mut(shard).client_submit(agent, op, read_only);
+        let mut waited = SimDuration::ZERO;
+        while waited < timeout {
+            self.sc.run_for(self.poll_interval);
+            waited = waited.saturating_add(self.poll_interval);
+            for ev in self.sc.group_mut(shard).take_client_events(agent) {
+                if let ClientEvent::ReplyDelivered { result, .. } = ev {
+                    match (match_txid, XReply::decode(&result)) {
+                        // A plain-op caller must not be handed a stale
+                        // protocol ack from an abandoned transaction that
+                        // the agent was still retransmitting.
+                        (None, None) => return Some(result),
+                        (Some(want), Some(reply)) if reply.txid() == want => return Some(result),
+                        _ => {} // stale reply from an abandoned transaction
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Ground-truth atomicity audit: for every recorded transaction with a
+    /// determined outcome, ask each participant group (via quorum-certified
+    /// read-only `QueryApplied`) whether it applied the transaction, and
+    /// demand all-or-nothing agreement with the recorded outcome.
+    ///
+    /// Queries ride initiator 0's agents, so the deployment must have been
+    /// built with at least one initiator (trivially true whenever there are
+    /// transactions to audit).
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation found, or of a
+    /// shard that failed to answer within `timeout`.
+    pub fn audit_atomicity(&mut self, timeout: SimDuration) -> Result<(), String> {
+        let records = self.tx_log.clone();
+        for rec in records {
+            let want = match rec.outcome {
+                TxOutcome::Committed => true,
+                TxOutcome::Aborted => false,
+                // No determined outcome: nothing may be applied anywhere
+                // (no commit was ever dispatched).
+                TxOutcome::Unresolved => false,
+            };
+            for &shard in &rec.shards {
+                let q = XMsg::QueryApplied { txid: rec.txid }.encode();
+                let reply = self
+                    .submit_and_wait(shard, 0, q, true, Some(rec.txid), timeout)
+                    .ok_or_else(|| {
+                        format!("shard {shard} did not answer QueryApplied for tx {:#x}", rec.txid)
+                    })?;
+                match XReply::decode(&reply) {
+                    Some(XReply::Applied { applied, .. }) => {
+                        if applied != want {
+                            return Err(format!(
+                                "atomicity violated: tx {:#x} ({:?}) is applied={applied} on \
+                                 shard {shard} but the outcome requires applied={want}",
+                                rec.txid, rec.outcome
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "unexpected QueryApplied reply on shard {shard}: {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The driver proper
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self) {
+        let now = self.now();
+        for i in 0..self.initiators.len() {
+            self.pump_initiator(i, now);
+        }
+    }
+
+    fn pump_initiator(&mut self, i: usize, now: SimTime) {
+        let agent = self.agent(i);
+        // Collect this initiator's replies across all groups, tagged by
+        // shard, before touching the phase machine.
+        let mut replies: Vec<(usize, XReply)> = Vec::new();
+        for s in 0..self.sc.shards() {
+            for ev in self.sc.group_mut(s).take_client_events(agent) {
+                if let ClientEvent::ReplyDelivered { result, .. } = ev {
+                    if let Some(reply) = XReply::decode(&result) {
+                        replies.push((s, reply));
+                    }
+                }
+            }
+        }
+        let current = self.initiators[i].txid;
+        for (shard, reply) in replies {
+            if reply.txid() == current {
+                self.on_reply(i, shard, reply, now);
+            }
+            // else: stale reply from an earlier (timed-out) transaction.
+        }
+        self.check_deadlines(i, now);
+        if matches!(self.initiators[i].phase, Phase::Idle) {
+            self.start_next(i, now);
+        }
+    }
+
+    fn on_reply(&mut self, i: usize, shard: usize, reply: XReply, now: SimTime) {
+        let agent = self.agent(i);
+        let init = &mut self.initiators[i];
+        match (&mut init.phase, reply) {
+            (Phase::Batch { .. }, XReply::Committed { replies, .. }) => {
+                self.metrics.local_txs += 1;
+                self.metrics.committed_sub_ops += replies.len() as u64;
+                self.finish(i, TxOutcome::Committed);
+            }
+            (Phase::Preparing { tally, conflict, .. }, vote) => {
+                let (prepared, is_vote) = match vote {
+                    XReply::PrepareOk { .. } => (true, true),
+                    XReply::PrepareFail { .. } => {
+                        *conflict = true;
+                        (false, true)
+                    }
+                    // A participant that already timed-out-aborted this txid
+                    // answers Aborted; treat as a no-vote.
+                    XReply::Aborted { .. } => (false, true),
+                    _ => (false, false),
+                };
+                if !is_vote {
+                    return;
+                }
+                if let Some(verdict) = tally.record_vote(shard as u32, prepared) {
+                    let conflict = *conflict;
+                    let txid = init.txid;
+                    let coordinator = init.coordinator;
+                    init.phase = Phase::Deciding {
+                        commit: verdict,
+                        conflict,
+                        timed_out: false,
+                        deadline: now + self.finish_timeout,
+                    };
+                    let decide = XMsg::Decide { txid, commit: verdict }.encode();
+                    self.sc.group_mut(coordinator).client_submit(agent, decide, false);
+                }
+            }
+            (Phase::Deciding { commit, conflict, timed_out, .. }, XReply::DecisionLogged { commit: recorded, .. }) => {
+                // The record is authoritative (first writer wins there).
+                let commit = *commit && recorded;
+                let (conflict, timed_out) = (*conflict, *timed_out);
+                let txid = init.txid;
+                let shards = init.shards.clone();
+                init.phase = Phase::Finishing {
+                    commit,
+                    conflict,
+                    timed_out,
+                    pending: shards.iter().copied().collect(),
+                    sub_ops_applied: 0,
+                    deadline: now + self.finish_timeout,
+                };
+                let msg = if commit { XMsg::Commit { txid } } else { XMsg::Abort { txid } };
+                for s in shards {
+                    self.sc.group_mut(s).client_submit(agent, msg.encode(), false);
+                }
+            }
+            // Only real finish acks count: a late vote or DecisionLogged for
+            // this txid (e.g. an Abort queued behind a still-outstanding
+            // Prepare on a slow shard) must not settle the transaction early.
+            (Phase::Finishing { pending, sub_ops_applied, .. }, ack @ (XReply::Committed { .. } | XReply::Aborted { .. })) => {
+                if let XReply::Committed { replies, .. } = &ack {
+                    *sub_ops_applied += replies.len() as u64;
+                }
+                pending.remove(&shard);
+                if pending.is_empty() {
+                    self.settle_finish(i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn check_deadlines(&mut self, i: usize, now: SimTime) {
+        enum Action {
+            None,
+            SettleBatch { sub_ops: u64 },
+            DecideAbort { conflict: bool },
+            AbandonCommit,
+            AbortAll { conflict: bool, timed_out: bool },
+            SettleFinish,
+        }
+        let action = {
+            let init = &mut self.initiators[i];
+            match &mut init.phase {
+                Phase::Batch { sub_ops, deadline } if now >= *deadline => {
+                    Action::SettleBatch { sub_ops: *sub_ops }
+                }
+                Phase::Preparing { tally, conflict, deadline } if now >= *deadline => {
+                    tally.timeout();
+                    Action::DecideAbort { conflict: *conflict }
+                }
+                Phase::Deciding { commit, conflict, timed_out, deadline } if now >= *deadline => {
+                    if *commit {
+                        Action::AbandonCommit
+                    } else {
+                        Action::AbortAll { conflict: *conflict, timed_out: *timed_out }
+                    }
+                }
+                Phase::Finishing { deadline, .. } if now >= *deadline => Action::SettleFinish,
+                _ => Action::None,
+            }
+        };
+        let agent = self.agent(i);
+        match action {
+            Action::None => {}
+            Action::SettleBatch { sub_ops } => {
+                // A submitted AtomicBatch cannot abort: the agent client
+                // retransmits until the (possibly stalled) group orders it,
+                // so the truthful record is "committed"; the late ack is
+                // dropped by the stale-txid filter when it arrives.
+                self.metrics.batch_timeouts += 1;
+                self.metrics.local_txs += 1;
+                self.metrics.committed_sub_ops += sub_ops;
+                self.finish(i, TxOutcome::Committed);
+            }
+            Action::DecideAbort { conflict } => {
+                let (txid, coordinator) = (self.initiators[i].txid, self.initiators[i].coordinator);
+                self.initiators[i].phase = Phase::Deciding {
+                    commit: false,
+                    conflict,
+                    timed_out: true,
+                    deadline: now + self.finish_timeout,
+                };
+                let decide = XMsg::Decide { txid, commit: false }.encode();
+                self.sc.group_mut(coordinator).client_submit(agent, decide, false);
+            }
+            Action::AbandonCommit => {
+                // All participants voted yes but the commit decision could
+                // not be logged (coordinator group unreachable): abandoning
+                // is the only safe move — no Commit may be sent without a
+                // durable decision, and sending Abort could contradict the
+                // Decide still queued there. Participants keep their locks
+                // until the coordinator heals and a recovery pass resolves
+                // via QueryDecision.
+                self.metrics.tx_unresolved += 1;
+                self.finish(i, TxOutcome::Unresolved);
+            }
+            Action::AbortAll { conflict, timed_out } => {
+                // The abort verdict needs no durable record (presumed
+                // abort): release the participants directly.
+                let (txid, shards) =
+                    (self.initiators[i].txid, self.initiators[i].shards.clone());
+                self.initiators[i].phase = Phase::Finishing {
+                    commit: false,
+                    conflict,
+                    timed_out,
+                    pending: shards.iter().copied().collect(),
+                    sub_ops_applied: 0,
+                    deadline: now + self.finish_timeout,
+                };
+                for s in shards {
+                    self.sc
+                        .group_mut(s)
+                        .client_submit(agent, XMsg::Abort { txid }.encode(), false);
+                }
+            }
+            Action::SettleFinish => {
+                self.metrics.finish_timeouts += 1;
+                self.settle_finish(i);
+            }
+        }
+    }
+
+    /// Count and log the outcome of a finishing transaction, then go idle.
+    fn settle_finish(&mut self, i: usize) {
+        let Phase::Finishing { commit, conflict, timed_out, sub_ops_applied, .. } =
+            std::mem::replace(&mut self.initiators[i].phase, Phase::Idle)
+        else {
+            return;
+        };
+        if commit {
+            self.metrics.tx_committed += 1;
+            self.metrics.committed_sub_ops += sub_ops_applied;
+            self.finish(i, TxOutcome::Committed);
+        } else {
+            self.metrics.tx_aborted += 1;
+            if conflict {
+                self.metrics.aborts_conflict += 1;
+            }
+            if timed_out {
+                self.metrics.aborts_timeout += 1;
+            }
+            self.finish(i, TxOutcome::Aborted);
+        }
+    }
+
+    /// Record the transaction's outcome and return the initiator to idle.
+    fn finish(&mut self, i: usize, outcome: TxOutcome) {
+        let init = &mut self.initiators[i];
+        self.tx_log.push(TxRecord {
+            txid: init.txid,
+            shards: init.shards.clone(),
+            single_group: init.shards.len() == 1,
+            outcome,
+        });
+        init.phase = Phase::Idle;
+    }
+
+    fn start_next(&mut self, i: usize, now: SimTime) {
+        let agent = self.agent(i);
+        let map = self.sc.router().map();
+        let init = &mut self.initiators[i];
+        let Some(gen) = &mut init.gen else { return };
+        let seq = init.next_seq;
+        init.next_seq += 1;
+        let tx = gen(seq);
+        // Initiator index in the high bits keeps txids globally unique.
+        let txid: TxId = ((i as u64 + 1) << 40) | seq;
+        let routed = match XShardOp::route(txid, tx.sub_ops, &map) {
+            Ok(routed) => routed,
+            Err(RouteError::NoKeys | RouteError::CrossShard { .. } | RouteError::ForeignShard { .. }) => {
+                self.metrics.rejected_draws += 1;
+                return; // skip this draw; next pump tries the next one
+            }
+        };
+        init.txid = txid;
+        init.coordinator = routed.coordinator as usize;
+        init.shards = routed.legs.iter().map(|l| l.shard as usize).collect();
+        if routed.is_single_shard() {
+            let leg = routed.legs.into_iter().next().expect("one leg");
+            init.phase = Phase::Batch {
+                sub_ops: leg.ops.len() as u64,
+                deadline: now + self.finish_timeout,
+            };
+            let op = XMsg::AtomicBatch { txid, ops: leg.ops }.encode();
+            self.sc.group_mut(leg.shard as usize).client_submit(agent, op, false);
+        } else {
+            let tally = TxCoordinator::new(routed.legs.iter().map(|l| l.shard));
+            init.phase = Phase::Preparing {
+                tally,
+                conflict: false,
+                deadline: now + self.prepare_timeout,
+            };
+            for leg in routed.legs {
+                let op = XMsg::Prepare { txid, ops: leg.ops }.encode();
+                self.sc.group_mut(leg.shard as usize).client_submit(agent, op, false);
+            }
+        }
+    }
+}
+
+/// A throughput/abort measurement over a window of shared virtual time.
+#[derive(Debug, Clone, Copy)]
+pub struct XShardThroughput {
+    /// Committed application work (background ops + committed transaction
+    /// sub-ops) per second of virtual time.
+    pub committed_tps: f64,
+    /// Transactions committed in the window (both paths).
+    pub tx_committed: u64,
+    /// Transactions aborted in the window.
+    pub tx_aborted: u64,
+}
+
+impl XShardThroughput {
+    /// Aborted / (committed + aborted); 0.0 when no transactions ran.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.tx_committed + self.tx_aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.tx_aborted as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{cross_null_txs, keyed_null_ops};
+
+    fn small_spec(shards: usize, initiators: usize) -> XShardSpec {
+        XShardSpec {
+            shards,
+            base: ClusterSpec { num_clients: 2, ..Default::default() },
+            initiators,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cross_shard_transactions_commit_and_audit_clean() {
+        let mut xc = XShardCluster::build(small_spec(2, 2));
+        let map = xc.sharded().router().map();
+        xc.start_background(|s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+        xc.start_transactions(|i| cross_null_txs(map, 64, 1 << 20, i as u64));
+        xc.run_for(SimDuration::from_millis(800));
+        xc.quiesce(SimDuration::from_millis(500));
+        let m = xc.metrics();
+        assert!(m.tx_committed > 0, "2PC transactions must commit: {m:?}");
+        assert_eq!(m.committed_sub_ops, (2 * m.tx_committed));
+        assert!(xc.background_completed() > 0, "background fast path keeps running");
+        assert!(xc.drained(), "all initiators idle after quiesce");
+        xc.audit_atomicity(SimDuration::from_millis(200)).expect("atomic");
+        assert!(xc.states_converged());
+    }
+
+    #[test]
+    fn conflicting_transactions_abort_and_release_locks() {
+        // Two initiators fighting over a two-key space: conflicts are near
+        // certain, and every abort must release its locks so later
+        // transactions can still commit.
+        let mut xc = XShardCluster::build(small_spec(2, 2));
+        let map = xc.sharded().router().map();
+        xc.start_transactions(|i| cross_null_txs(map, 32, 4, i as u64));
+        xc.run_for(SimDuration::from_secs(1));
+        xc.quiesce(SimDuration::from_millis(500));
+        let m = xc.metrics();
+        assert!(m.tx_committed > 0, "the system must not livelock: {m:?}");
+        assert!(m.aborts_conflict > 0, "a 4-key space must conflict: {m:?}");
+        xc.audit_atomicity(SimDuration::from_millis(200)).expect("atomic");
+    }
+
+    #[test]
+    fn isolated_participant_times_out_to_abort() {
+        let mut xc = XShardCluster::build(XShardSpec {
+            prepare_timeout: SimDuration::from_millis(50),
+            finish_timeout: SimDuration::from_millis(50),
+            ..small_spec(2, 1)
+        });
+        let map = xc.sharded().router().map();
+        xc.isolate_shard(1);
+        xc.start_transactions(|i| cross_null_txs(map, 32, 1 << 20, i as u64));
+        xc.run_for(SimDuration::from_millis(600));
+        let m = xc.metrics();
+        assert!(m.aborts_timeout > 0, "unreachable participant must abort: {m:?}");
+        assert_eq!(m.tx_committed, 0, "no transaction can commit without shard 1");
+        // Heal, drain the backlog, and every outcome must audit atomic.
+        xc.heal_shard(1);
+        xc.quiesce(SimDuration::from_secs(2));
+        xc.audit_atomicity(SimDuration::from_millis(500)).expect("atomic after heal");
+    }
+
+    #[test]
+    fn batch_to_an_isolated_shard_times_out_instead_of_wedging() {
+        let mut xc = XShardCluster::build(XShardSpec {
+            finish_timeout: SimDuration::from_millis(50),
+            ..small_spec(2, 1)
+        });
+        let victim = xc.sharded().router().route_key(b"same");
+        xc.isolate_shard(victim);
+        // Every draw is a single-group batch homed on the isolated shard.
+        xc.start_transactions(|_| {
+            Box::new(|seq| crate::workload::TxOp {
+                sub_ops: vec![pbft_core::SubOp {
+                    keys: vec![b"same".to_vec()],
+                    op: seq.to_be_bytes().to_vec(),
+                }],
+            })
+        });
+        xc.run_for(SimDuration::from_millis(300));
+        let m = xc.metrics();
+        assert!(m.batch_timeouts > 0, "the initiator must not wedge: {m:?}");
+        xc.stop_transactions();
+        xc.run_for(SimDuration::from_millis(100));
+        assert!(xc.drained(), "initiator returns to idle after each timeout");
+        // After healing, the queued batches execute (they cannot abort) and
+        // the committed records audit clean.
+        xc.heal_shard(victim);
+        xc.quiesce(SimDuration::from_secs(2));
+        xc.audit_atomicity(SimDuration::from_millis(500)).expect("atomic after heal");
+    }
+
+    #[test]
+    fn single_group_transactions_take_the_batch_path() {
+        let mut xc = XShardCluster::build(small_spec(2, 1));
+        // A generator whose two sub-ops share one key: always single-leg.
+        xc.start_transactions(|_| {
+            Box::new(|seq| crate::workload::TxOp {
+                sub_ops: vec![
+                    pbft_core::SubOp { keys: vec![b"same".to_vec()], op: seq.to_be_bytes().to_vec() },
+                    pbft_core::SubOp { keys: vec![b"same".to_vec()], op: vec![1] },
+                ],
+            })
+        });
+        xc.run_for(SimDuration::from_millis(400));
+        xc.quiesce(SimDuration::from_millis(300));
+        let m = xc.metrics();
+        assert!(m.local_txs > 0, "{m:?}");
+        assert_eq!(m.tx_committed, 0, "no 2PC rounds for single-group transactions");
+        assert_eq!(m.committed_sub_ops, 2 * m.local_txs);
+        assert!(xc.tx_log().iter().all(|r| r.single_group));
+        xc.audit_atomicity(SimDuration::from_millis(200)).expect("atomic");
+    }
+}

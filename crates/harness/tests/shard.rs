@@ -1,7 +1,8 @@
 //! Shard-router contract tests: the properties a client-side deterministic
 //! router must satisfy (determinism, totality, balance), the typed
-//! cross-shard rejection this PR pins down (cross-shard coordination is a
-//! later PR), and an end-to-end sharded-cluster scenario.
+//! cross-shard rejection of single-group submission (atomic cross-shard
+//! operations go through `harness::xshard` instead — see tests/xshard.rs),
+//! and an end-to-end sharded-cluster scenario.
 
 use harness::shard::{ShardRouter, ShardedCluster, ShardedClusterSpec};
 use harness::workload::{keyed_sql_insert_ops, KeyedOp};
@@ -77,10 +78,11 @@ fn multi_key_ops_route_iff_keys_agree() {
 
 #[test]
 fn cross_shard_ops_are_rejected_with_the_typed_error() {
-    // Pin the exact out-of-scope behaviour: a SQL multi-row op touching two
-    // rows owned by different groups must surface RouteError::CrossShard —
-    // not a panic, not a silent partial execution on one group. A later PR
-    // adding cross-shard coordination will relax exactly this test.
+    // Pin the single-group submission boundary: a SQL multi-row op touching
+    // two rows owned by different groups must surface RouteError::CrossShard
+    // — not a panic, not a silent partial execution on one group. The typed
+    // error is what tells callers to reach for the 2PC path
+    // (`harness::xshard`) instead of plain routing.
     let router = ShardRouter::new(4);
     let home = |k: &[u8]| router.route_key(k);
     let k1 = b"voter-0-0".to_vec();

@@ -517,8 +517,9 @@ impl Database {
         let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (order keys, output)
 
         if aggregate_mode {
-            // Group rows.
-            let mut groups: Vec<(Vec<Value>, Vec<&(i64, Vec<Value>)>)> = Vec::new();
+            // Group rows: (group key, member rows borrowed from `source`).
+            type Groups<'a> = Vec<(Vec<Value>, Vec<&'a (i64, Vec<Value>)>)>;
+            let mut groups: Groups<'_> = Vec::new();
             for row in &source {
                 let key: Vec<Value> = s
                     .group_by
@@ -1015,6 +1016,18 @@ fn like_match(pattern: &str, text: &str) -> bool {
     rec(&p, &t)
 }
 
+impl Database {
+    #[cfg(test)]
+    fn pager_db(&self) -> &dyn Vfs {
+        self.pager.db_vfs()
+    }
+
+    #[cfg(test)]
+    fn pager_journal(&self) -> &dyn Vfs {
+        self.pager.journal_vfs()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1462,17 +1475,5 @@ mod tests {
         let (db_b, wal_b) = run();
         assert_eq!(db_a.bytes(), db_b.bytes());
         assert_eq!(wal_a.bytes(), wal_b.bytes());
-    }
-}
-
-impl Database {
-    #[cfg(test)]
-    fn pager_db(&self) -> &dyn Vfs {
-        self.pager.db_vfs()
-    }
-
-    #[cfg(test)]
-    fn pager_journal(&self) -> &dyn Vfs {
-        self.pager.journal_vfs()
     }
 }

@@ -142,7 +142,7 @@ impl Pager {
             None
         };
         let wal_frames = wal.as_ref().map_or(0, |w| w.frames());
-        if db.len() == 0 && wal_frames == 0 {
+        if db.is_empty() && wal_frames == 0 {
             // Fresh database: header page + catalog root at page 1.
             let header = Header { page_count: 2, freelist_head: 0, catalog_root: 1 };
             let mut pager = Pager {
@@ -529,8 +529,8 @@ mod tests {
             p.page_mut(id).expect("page")[100] = 0xab;
             p.commit().expect("commit");
             // Extract the final bytes for "reopen".
-            db = clone_vfs(&p.db);
-            journal = clone_vfs(&p.journal);
+            db = clone_vfs(p.db.as_ref());
+            journal = clone_vfs(p.journal.as_ref());
         }
         let mut p2 =
             Pager::open(Box::new(db), Box::new(journal), JournalMode::Rollback).expect("reopen");
@@ -539,7 +539,7 @@ mod tests {
     }
 
     /// Test helper: recover the concrete MemVfs from the boxed trait object.
-    fn clone_vfs(v: &Box<dyn Vfs>) -> MemVfs {
+    fn clone_vfs(v: &dyn Vfs) -> MemVfs {
         let mut out = MemVfs::new();
         let len = v.len();
         let mut buf = vec![0u8; len as usize];
@@ -567,7 +567,7 @@ mod tests {
         let id = p.allocate().expect("alloc");
         p.page_mut(id).expect("page")[7] = 0x77;
         p.commit().expect("commit");
-        let committed_db = clone_vfs(&p.db);
+        let committed_db = clone_vfs(p.db.as_ref());
 
         // Second transaction: stage the journal by hand, corrupt the db,
         // "crash" before syncing the db.
@@ -628,7 +628,7 @@ mod tests {
     #[test]
     fn wal_commit_leaves_database_file_untouched() {
         let mut p = fresh(JournalMode::Wal);
-        let db_before = clone_vfs(&p.db);
+        let db_before = clone_vfs(p.db.as_ref());
         let id = p.allocate().expect("alloc");
         p.page_mut(id).expect("page")[0] = 0x42;
         p.commit().expect("commit");
@@ -657,8 +657,8 @@ mod tests {
         let id = p.allocate().expect("alloc");
         p.page_mut(id).expect("page")[9] = 0x99;
         p.commit().expect("commit");
-        let db = clone_vfs(&p.db);
-        let wal = clone_vfs(&p.journal);
+        let db = clone_vfs(p.db.as_ref());
+        let wal = clone_vfs(p.journal.as_ref());
         let mut p2 = Pager::open(Box::new(db), Box::new(wal), JournalMode::Wal).expect("reopen");
         assert_eq!(p2.page(id).expect("page")[9], 0x99);
         assert_eq!(p2.page_count(), 3);
@@ -676,10 +676,10 @@ mod tests {
             let id = p.allocate().expect("alloc");
             p.page_mut(id).expect("page")[0] = 1;
             p.commit().expect("commit");
-            db = clone_vfs(&p.db);
+            db = clone_vfs(p.db.as_ref());
             // Take the *synced* wal image, then append unsynced garbage the
             // crash discards (emulating a torn in-flight commit).
-            wal = clone_vfs(&p.journal);
+            wal = clone_vfs(p.journal.as_ref());
         }
         let mut torn = wal.clone();
         let end = torn.len();
@@ -704,7 +704,7 @@ mod tests {
         assert!(stats.db_pages_written > 0);
         assert_eq!(p.wal_frames(), 0, "log reset after checkpoint");
         // The database file alone (no WAL) now holds everything.
-        let db = clone_vfs(&p.db);
+        let db = clone_vfs(p.db.as_ref());
         let mut p2 = Pager::open(Box::new(db), Box::new(MemVfs::new()), JournalMode::Wal)
             .expect("reopen");
         assert_eq!(p2.page(id).expect("page")[3], 0x33);
@@ -731,8 +731,8 @@ mod tests {
         let id = p.allocate().expect("alloc");
         p.page_mut(id).expect("page")[5] = 0x55;
         p.commit().expect("commit");
-        let db = clone_vfs(&p.db);
-        let wal = clone_vfs(&p.journal);
+        let db = clone_vfs(p.db.as_ref());
+        let wal = clone_vfs(p.journal.as_ref());
         // Reopen in rollback mode: the WAL folds into the db file.
         let mut p2 =
             Pager::open(Box::new(db), Box::new(wal), JournalMode::Rollback).expect("convert");
@@ -773,8 +773,8 @@ mod tests {
             p.commit().expect("commit");
             ids.push((id, i));
         }
-        let db = clone_vfs(&p.db);
-        let wal = clone_vfs(&p.journal);
+        let db = clone_vfs(p.db.as_ref());
+        let wal = clone_vfs(p.journal.as_ref());
         let mut p2 = Pager::open(Box::new(db), Box::new(wal), JournalMode::Wal).expect("reopen");
         for (id, i) in ids {
             assert_eq!(p2.page(id).expect("page")[1], i);

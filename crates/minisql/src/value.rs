@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn total_order_puts_nulls_first() {
-        let mut vals = vec![Value::Integer(1), Value::Null, Value::Text("a".into())];
+        let mut vals = [Value::Integer(1), Value::Null, Value::Text("a".into())];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
     }

@@ -43,6 +43,10 @@ impl Default for CostProfile {
 /// writes over many commits.
 pub const REPLICATED_WAL_AUTOCHECKPOINT: u64 = 64;
 
+/// A join authorizer: maps the §3.1 identification buffer to the
+/// application identity to bind, or `None` to deny.
+pub type JoinAuthorizer = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>;
+
 /// A [`pbft_core::App`] whose operations are SQL scripts (UTF-8 bytes) and
 /// whose replies are canonically encoded outcomes.
 pub struct SqlApp {
@@ -50,7 +54,7 @@ pub struct SqlApp {
     state: StateHandle,
     vfs_syncs: SyncCounter,
     cost: CostProfile,
-    authorizer: Option<Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>>,
+    authorizer: Option<JoinAuthorizer>,
     executed: u64,
 }
 
@@ -160,7 +164,7 @@ impl SqlApp {
     }
 
     /// Install a join authorizer (the §3.1 identification-buffer check).
-    pub fn set_authorizer(&mut self, f: Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>) {
+    pub fn set_authorizer(&mut self, f: JoinAuthorizer) {
         self.authorizer = Some(f);
     }
 

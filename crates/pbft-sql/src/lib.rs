@@ -23,9 +23,11 @@
 
 pub mod app;
 pub mod outcome;
+pub mod transfer;
 pub mod vfs;
 
 pub use app::{sql_state, CostProfile, SqlApp};
+pub use transfer::Transfer;
 pub use outcome::{decode_outcome, encode_outcome, WireOutcome};
 pub use vfs::StateVfs;
 

@@ -102,9 +102,7 @@ mod tests {
     }
 
     fn chatty_sim(seed: u64, period_us: u64) -> Simulator {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
-        cfg.trace = true;
+        let cfg = SimConfig { seed, trace: true, ..Default::default() };
         let mut sim = Simulator::new(cfg);
         let a = sim.add_node(Box::new(Chatter { peer: NodeId(1), period: SimDuration::from_micros(period_us) }));
         let _b = sim.add_node(Box::new(Chatter { peer: a, period: SimDuration::from_micros(period_us) }));
@@ -113,7 +111,7 @@ mod tests {
 
     #[test]
     fn lockstep_keeps_clocks_identical() {
-        let mut sims = vec![chatty_sim(1, 100), chatty_sim(2, 130), chatty_sim(3, 70)];
+        let mut sims = [chatty_sim(1, 100), chatty_sim(2, 130), chatty_sim(3, 70)];
         for _ in 0..5 {
             let now = run_lockstep(sims.iter_mut(), SimDuration::from_millis(1));
             assert!(sims.iter().all(|s| s.now() == now));
@@ -132,7 +130,7 @@ mod tests {
 
     #[test]
     fn merged_trace_is_time_ordered_and_tagged() {
-        let mut sims = vec![chatty_sim(10, 90), chatty_sim(11, 110)];
+        let mut sims = [chatty_sim(10, 90), chatty_sim(11, 110)];
         run_lockstep(sims.iter_mut(), SimDuration::from_millis(2));
         let merged = merge_traces(sims.iter_mut().map(|s| s.take_trace()).collect());
         assert!(!merged.is_empty());
@@ -153,7 +151,7 @@ mod tests {
     #[test]
     fn merge_is_deterministic() {
         let run = || {
-            let mut sims = vec![chatty_sim(5, 100), chatty_sim(6, 100)];
+            let mut sims = [chatty_sim(5, 100), chatty_sim(6, 100)];
             run_lockstep(sims.iter_mut(), SimDuration::from_millis(1));
             merge_traces(sims.iter_mut().map(|s| s.take_trace()).collect())
         };

@@ -73,8 +73,7 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_means_free_wire() {
-        let mut l = LinkParams::default();
-        l.bandwidth_bytes_per_sec = 0;
+        let l = LinkParams { bandwidth_bytes_per_sec: 0, ..Default::default() };
         assert_eq!(l.wire_time(1 << 20), SimDuration::ZERO);
     }
 

@@ -623,10 +623,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut cfg = SimConfig::default();
-            cfg.seed = seed;
-            cfg.trace = true;
-            cfg.default_link.loss = 0.3;
+            let cfg = SimConfig {
+                seed,
+                trace: true,
+                default_link: LinkParams { loss: 0.3, ..Default::default() },
+                ..Default::default()
+            };
             let (mut sim, _, _) = two_nodes(cfg);
             sim.run_for(SimDuration::from_millis(5));
             sim.take_trace()
@@ -680,9 +682,11 @@ mod tests {
     fn wire_time_orders_departures() {
         // Two sends in one handler: the second leaves after the first's
         // serialization completes (NIC is serial).
-        let mut cfg = SimConfig::default();
-        cfg.trace = true;
-        cfg.default_link.jitter = SimDuration::ZERO;
+        let cfg = SimConfig {
+            trace: true,
+            default_link: LinkParams { jitter: SimDuration::ZERO, ..Default::default() },
+            ..Default::default()
+        };
         let mut sim = Simulator::new(cfg);
         let probe = sim.add_node(Box::new(Probe::new()));
         let sender = sim.add_node(Box::new(Sender { dst: probe, count: 2 }));

@@ -23,6 +23,40 @@
 //! Pages are lazily allocated (`None` = all-zero page), which is the moral
 //! equivalent of the sparse file trick the paper uses to give SQLite a large
 //! fixed-size region without occupying disk (§3.2).
+//!
+//! The whole contract in one example — modify-before-write, digests over
+//! pages, and the tree-walk transfer reconciling a diverged replica:
+//!
+//! ```
+//! use pbft_state::{serve_fetch, Fetcher, PagedState, StateError};
+//!
+//! let mut up_to_date = PagedState::new(8);
+//! // The modify-notification contract is enforced, not advisory:
+//! assert!(matches!(
+//!     up_to_date.write(4096, b"unnotified"),
+//!     Err(StateError::NotModified { page: 1 })
+//! ));
+//! up_to_date.modify(4096, 10).unwrap();
+//! up_to_date.write(4096, b"checkpoint").unwrap();
+//! let root = up_to_date.refresh_digest();
+//! let checkpoint = up_to_date.snapshot(1);
+//!
+//! // A diverged replica walks the tree and fetches only differing pages.
+//! let mut behind = PagedState::new(8);
+//! behind.refresh_digest();
+//! let (mut fetcher, mut requests) = Fetcher::new(behind.tree(), root);
+//! while let Some(req) = requests.pop() {
+//!     let resp = serve_fetch(&checkpoint, &req);
+//!     requests.extend(fetcher.on_response(behind.tree(), resp).unwrap());
+//!     for (page, data) in fetcher.take_ready() {
+//!         behind.install_page(page, data).unwrap();
+//!     }
+//! }
+//! assert!(fetcher.is_complete());
+//! assert_eq!(behind.refresh_digest(), root, "one differing page, transferred");
+//! ```
+
+#![warn(missing_docs)]
 
 mod merkle;
 mod region;

@@ -18,10 +18,20 @@ pub const PAGE_SIZE: usize = 4096;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StateError {
     /// A read or write touched bytes beyond the region.
-    OutOfBounds { offset: u64, len: usize, region_len: u64 },
+    OutOfBounds {
+        /// Start offset of the rejected access.
+        offset: u64,
+        /// Length of the rejected access.
+        len: usize,
+        /// Total region length the access fell outside of.
+        region_len: u64,
+    },
     /// A write touched a page that was not covered by a prior
     /// [`PagedState::modify`] in the current checkpoint epoch.
-    NotModified { page: u64 },
+    NotModified {
+        /// The unnotified page index.
+        page: u64,
+    },
     /// A restore was attempted from a snapshot of a different geometry.
     GeometryMismatch,
 }
@@ -108,7 +118,7 @@ impl PagedState {
     }
 
     fn check_bounds(&self, offset: u64, len: usize) -> Result<(), StateError> {
-        if offset.checked_add(len as u64).map_or(true, |end| end > self.len) {
+        if offset.checked_add(len as u64).is_none_or(|end| end > self.len) {
             return Err(StateError::OutOfBounds { offset, len, region_len: self.len });
         }
         Ok(())
@@ -350,7 +360,7 @@ impl Section {
     }
 
     fn check(&self, offset: u64, len: usize) -> Result<(), StateError> {
-        if offset.checked_add(len as u64).map_or(true, |end| end > self.len) {
+        if offset.checked_add(len as u64).is_none_or(|end| end > self.len) {
             return Err(StateError::OutOfBounds { offset, len, region_len: self.len });
         }
         Ok(())

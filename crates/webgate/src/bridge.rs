@@ -213,10 +213,8 @@ impl ChannelEndpoint {
 pub fn outputs_to_channels(outputs: &[Output]) -> Result<Vec<(u32, Vec<u8>)>, BridgeError> {
     let mut out = Vec::new();
     for o in outputs {
-        if let Output::Send { to, packet, .. } = o {
-            if let pbft_core::NetTarget::Replica(r) = to {
-                out.push((r.0, packet_to_frame(packet)?.encode()));
-            }
+        if let Output::Send { to: pbft_core::NetTarget::Replica(r), packet, .. } = o {
+            out.push((r.0, packet_to_frame(packet)?.encode()));
         }
     }
     Ok(out)

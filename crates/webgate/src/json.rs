@@ -420,7 +420,7 @@ pub fn hex_encode(bytes: &[u8]) -> String {
 /// Odd length or non-hex characters (reported as a [`ParseJsonError`] for a
 /// uniform error type at the bridge layer).
 pub fn hex_decode(s: &str) -> Result<Vec<u8>, ParseJsonError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(ParseJsonError { at: s.len(), reason: "odd hex length".to_string() });
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -131,7 +131,7 @@ fn web_client_completes_requests_over_json_channels() {
     assert_eq!(wc.client.metrics.completed, 5);
     // All replicas executed all five requests.
     for r in &wc.replicas {
-        assert_eq!(r.last_executed() > 0, true);
+        assert!(r.last_executed() > 0);
         assert_eq!(r.metrics().executed_requests, 5);
     }
 }

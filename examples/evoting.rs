@@ -61,15 +61,15 @@ fn main() {
     // Tally through the read-only fast path.
     let tally_client = cluster.clients[0];
     cluster.sim.with_node_ctx::<ClientHost, _>(tally_client, |host, ctx| {
-        host.client.is_member().then(|| ()).expect("member");
+        host.client.is_member().then_some(()).expect("member");
         let res = host
             .client
             .submit(VoteOp::Tally { election: 1 }.encode(), true, ctx.now().as_nanos());
         for out in res.outputs {
-            if let pbft_core::Output::Send { to, packet, .. } = out {
-                if let pbft_core::NetTarget::Replica(r) = to {
-                    ctx.send(simnet::NodeId(r.0), packet);
-                }
+            if let pbft_core::Output::Send { to: pbft_core::NetTarget::Replica(r), packet, .. } =
+                out
+            {
+                ctx.send(simnet::NodeId(r.0), packet);
             }
         }
     });

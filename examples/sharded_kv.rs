@@ -67,7 +67,7 @@ fn main() {
         Err(e) => println!("  rejected: {e}"),
         Ok(s) => unreachable!("cross-shard op routed to shard {s}"),
     }
-    println!("  (cross-shard coordination is future work; the typed error pins the boundary)");
+    println!("  (atomic cross-shard writes go through 2PC — see examples/bank_transfer.rs)");
 
     kv.quiesce(SimDuration::from_secs(1));
     assert!(kv.states_converged(), "every group's replicas agree on its partition");

@@ -2,8 +2,9 @@
 # Tier-1 verification gate, fully offline:
 #   1. release build of every workspace crate
 #   2. the whole test suite (unit + integration + property tests)
-#   3. examples and all 14 bench targets compile
-#   4. rustdoc is complete and warning-free, and the doc-examples run
+#   3. examples and all 15 bench targets compile
+#   4. clippy is clean across every target (warnings are errors)
+#   5. rustdoc is complete and warning-free, and the doc-examples run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,9 @@ cargo test -q
 
 echo "==> cargo build --examples --benches"
 cargo build --examples --benches
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --quiet -- -D warnings
 
 echo "==> RUSTDOCFLAGS=-D warnings cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet

@@ -184,8 +184,7 @@ fn lossy_network_makes_progress_and_converges() {
     // changes all interact — the system must stay safe and live. Body
     // fetching is on (the §2.4 fix); the paper-default fragility without it
     // is demonstrated by the packet_loss bench.
-    let mut link = simnet::LinkParams::default();
-    link.loss = 0.02;
+    let link = simnet::LinkParams { loss: 0.02, ..Default::default() };
     let cfg = PbftConfig {
         checkpoint_interval: 64,
         fetch_missing_bodies: true,

@@ -18,7 +18,8 @@ fn every_reexported_crate_is_linked() {
     // simnet
     assert_eq!(umbrella::simnet::SimDuration::from_millis(1).as_nanos(), 1_000_000);
     // pbft_state
-    assert!(umbrella::pbft_state::PAGE_SIZE > 0);
+    let region = umbrella::pbft_state::PagedState::new(1);
+    assert_eq!(region.len(), umbrella::pbft_state::PAGE_SIZE as u64);
     // pbft_core
     let cfg = umbrella::pbft_core::PbftConfig::default();
     assert_eq!(cfg.n(), 3 * cfg.f + 1);
