@@ -42,7 +42,10 @@ fn main() {
         ("split-brain primary", Fault::SplitBrain),
     ] {
         let tps = run(Some(fault));
-        println!("  {name:<27} {tps:>8.0} TPS  ({:.0}% of baseline)", tps / base * 100.0);
+        println!(
+            "  {name:<27} {tps:>8.0} TPS  ({:.0}% of baseline)",
+            tps / base * 100.0
+        );
     }
     println!("expectation: every fault is survived; equivocation costs the most");
 }

@@ -10,7 +10,11 @@ fn main() {
     for (size, rows) in fig4(&sizes, 1) {
         println!(
             "{}",
-            render_table(&format!("Figure 4 — null ops, {size} B request/reply"), &rows, None)
+            render_table(
+                &format!("Figure 4 — null ops, {size} B request/reply"),
+                &rows,
+                None
+            )
         );
     }
     println!("expectation: the configuration ordering is the same at every size");

@@ -9,13 +9,17 @@ use bench::{black_box, Harness};
 fn crypto_benches(h: &mut Harness) {
     let mut g = h.group("crypto");
     let data = vec![0xabu8; 1024];
-    g.bench("sha256_1kib", |b| b.iter(|| pbft_crypto::sha256(black_box(&data))));
+    g.bench("sha256_1kib", |b| {
+        b.iter(|| pbft_crypto::sha256(black_box(&data)))
+    });
     let key = pbft_crypto::auth::MacKey::new([7u8; 32]);
     g.bench("fastmac_1kib", |b| b.iter(|| key.mac(black_box(&data), 0)));
     let kp = pbft_crypto::KeyPair::generate(1);
     g.bench("rsa_sign", |b| b.iter(|| kp.sign(black_box(&data))));
     let sig = kp.sign(&data);
-    g.bench("rsa_verify", |b| b.iter(|| kp.public().verify(black_box(&data), &sig)));
+    g.bench("rsa_verify", |b| {
+        b.iter(|| kp.public().verify(black_box(&data), &sig))
+    });
 }
 
 fn state_benches(h: &mut Harness) {
@@ -64,10 +68,14 @@ fn sql_benches(h: &mut Harness) {
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
-            DbOptions { journal_mode: JournalMode::Off, ..Default::default() },
+            DbOptions {
+                journal_mode: JournalMode::Off,
+                ..Default::default()
+            },
         )
         .expect("open");
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v TEXT)").expect("create");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v TEXT)")
+            .expect("create");
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -79,14 +87,22 @@ fn sql_benches(h: &mut Harness) {
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
-            DbOptions { journal_mode: JournalMode::Off, ..Default::default() },
+            DbOptions {
+                journal_mode: JournalMode::Off,
+                ..Default::default()
+            },
         )
         .expect("open");
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").expect("create");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .expect("create");
         for i in 0..1000 {
-            db.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, 'v{i}')")).expect("insert");
+            db.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, 'v{i}')"))
+                .expect("insert");
         }
-        b.iter(|| db.query(black_box("SELECT v FROM t WHERE id = 500")).expect("select"))
+        b.iter(|| {
+            db.query(black_box("SELECT v FROM t WHERE id = 500"))
+                .expect("select")
+        })
     });
 }
 

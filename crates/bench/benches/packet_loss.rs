@@ -24,5 +24,7 @@ fn main() {
             with_fix.converged,
         );
     }
-    println!("expectation: default wedges replica 3 until checkpoint transfer; the fix avoids transfers");
+    println!(
+        "expectation: default wedges replica 3 until checkpoint transfer; the fix avoids transfers"
+    );
 }

@@ -29,7 +29,10 @@ fn run(rows: usize) -> (f64, f64, u64) {
 
 fn main() {
     println!("privacy-firewall ablation (12 clients, 1 KiB null ops, default config)");
-    println!("{:>5} {:>10} {:>14} {:>22}", "rows", "TPS", "latency (ms)", "suppressed @ row 0");
+    println!(
+        "{:>5} {:>10} {:>14} {:>22}",
+        "rows", "TPS", "latency (ms)", "suppressed @ row 0"
+    );
     let (base_tps, base_lat, _) = run(0);
     println!("{:>5} {:>10.0} {:>14.3} {:>22}", 0, base_tps, base_lat, "-");
     for rows in 1..=3 {

@@ -16,5 +16,7 @@ fn main() {
             interval_ms, r.auth_failures, r.transfers, r.recovery_ms
         );
     }
-    println!("expectation: recovery via state transfer; auth failures shrink with the NewKey interval");
+    println!(
+        "expectation: recovery via state transfer; auth failures shrink with the NewKey interval"
+    );
 }

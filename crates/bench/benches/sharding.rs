@@ -33,18 +33,31 @@ struct Row {
 
 impl Row {
     fn aggregate(&self) -> Stats {
-        Stats::from_samples(&self.trials.iter().map(ShardedThroughput::aggregate_tps).collect::<Vec<_>>())
+        Stats::from_samples(
+            &self
+                .trials
+                .iter()
+                .map(ShardedThroughput::aggregate_tps)
+                .collect::<Vec<_>>(),
+        )
     }
 
     fn balance(&self) -> Stats {
         Stats::from_samples(
-            &self.trials.iter().flat_map(|t| t.per_shard_tps.iter().copied()).collect::<Vec<_>>(),
+            &self
+                .trials
+                .iter()
+                .flat_map(|t| t.per_shard_tps.iter().copied())
+                .collect::<Vec<_>>(),
         )
     }
 
     /// Mean scaling efficiency across trials against the 1-shard baseline.
     fn efficiency(&self, baseline_tps: f64) -> f64 {
-        self.trials.iter().map(|t| t.scaling_efficiency(baseline_tps)).sum::<f64>()
+        self.trials
+            .iter()
+            .map(|t| t.scaling_efficiency(baseline_tps))
+            .sum::<f64>()
             / self.trials.len() as f64
     }
 }
@@ -55,7 +68,10 @@ fn measure(shards: usize, batching: bool, trials: usize) -> Row {
             let spec = ShardedClusterSpec {
                 shards,
                 base: ClusterSpec {
-                    cfg: PbftConfig { batching, ..Default::default() },
+                    cfg: PbftConfig {
+                        batching,
+                        ..Default::default()
+                    },
                     num_clients: NUM_CLIENTS,
                     seed: 5000 + trial as u64,
                     ..Default::default()
@@ -68,7 +84,11 @@ fn measure(shards: usize, batching: bool, trials: usize) -> Row {
             sc.measure_throughput(WARMUP, WINDOW)
         })
         .collect();
-    Row { shards, batching, trials }
+    Row {
+        shards,
+        batching,
+        trials,
+    }
 }
 
 fn main() {
@@ -87,8 +107,10 @@ fn main() {
     );
 
     for batching in [true, false] {
-        let rows: Vec<Row> =
-            SHARD_COUNTS.iter().map(|&s| measure(s, batching, trials)).collect();
+        let rows: Vec<Row> = SHARD_COUNTS
+            .iter()
+            .map(|&s| measure(s, batching, trials))
+            .collect();
         let baseline = rows[0].aggregate().mean;
         for row in &rows {
             let (aggregate, balance) = (row.aggregate(), row.balance());

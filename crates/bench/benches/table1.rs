@@ -20,6 +20,9 @@ fn main() {
     ];
     println!("paper-vs-measured:");
     for (r, p) in rows.iter().zip(paper) {
-        println!("  {:<32} paper {:>7.0}   measured {:>7.0}", r.name, p, r.tps.mean);
+        println!(
+            "  {:<32} paper {:>7.0}   measured {:>7.0}",
+            r.name, p, r.tps.mean
+        );
     }
 }

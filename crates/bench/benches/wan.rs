@@ -4,7 +4,10 @@
 use harness::experiments::wan_sweep;
 
 fn main() {
-    println!("{:>14} {:>12} {:>14}", "one-way (ms)", "TPS", "latency (ms)");
+    println!(
+        "{:>14} {:>12} {:>14}",
+        "one-way (ms)", "TPS", "latency (ms)"
+    );
     for (ms, tps, lat) in wan_sweep(&[1, 5, 15, 40, 80], 1) {
         println!("{:>14} {:>12.0} {:>14.2}", ms, tps.mean, lat);
     }

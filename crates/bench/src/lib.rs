@@ -32,7 +32,10 @@ impl Harness {
     pub fn from_args() -> Harness {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         let env_u64 = |key: &str, default: u64| {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         };
         Harness {
             filter,
@@ -44,7 +47,10 @@ impl Harness {
 
     /// Start a named group of related benchmarks.
     pub fn group(&mut self, name: &str) -> Group<'_> {
-        Group { harness: self, name: name.to_string() }
+        Group {
+            harness: self,
+            name: name.to_string(),
+        }
     }
 
     /// Print the result table.
@@ -79,7 +85,10 @@ impl Harness {
         }
         // Calibrate: double the iteration count until one sample is long
         // enough to time reliably, then size samples to the target budget.
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         loop {
             f(&mut b);
             if b.elapsed >= Duration::from_millis(2) || b.iters >= 1 << 30 {
@@ -229,7 +238,10 @@ mod tests {
 
     #[test]
     fn bencher_times_the_loop() {
-        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
         let mut count = 0u64;
         b.iter(|| count += 1);
         assert_eq!(count, 100);

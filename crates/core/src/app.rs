@@ -93,7 +93,10 @@ pub trait App {
     /// Produce non-deterministic data (primary-side upcall). The default
     /// uses the local clock and the provided randomness.
     fn make_nondet(&mut self, now_ns: u64, random: u64) -> NonDet {
-        NonDet { timestamp_ns: now_ns, random }
+        NonDet {
+            timestamp_ns: now_ns,
+            random,
+        }
     }
 
     /// Validate the primary's non-deterministic data (backup-side upcall,
@@ -131,7 +134,10 @@ pub struct NullApp {
 impl NullApp {
     /// Create a null app whose replies are `reply_size` bytes.
     pub fn new(reply_size: usize) -> Self {
-        NullApp { reply_size, executed: 0 }
+        NullApp {
+            reply_size,
+            executed: 0,
+        }
     }
 
     /// Number of operations executed.
@@ -198,7 +204,10 @@ impl App for KvApp {
         _nondet: &NonDet,
         read_only: bool,
     ) -> (Vec<u8>, ExecMetrics) {
-        let metrics = ExecMetrics { cpu_us: 1.0, ..Default::default() };
+        let metrics = ExecMetrics {
+            cpu_us: 1.0,
+            ..Default::default()
+        };
         if op.len() < 9 {
             return (b"err".to_vec(), metrics);
         }
@@ -251,7 +260,10 @@ impl App for SessionCounterApp {
         _nondet: &NonDet,
         _read_only: bool,
     ) -> (Vec<u8>, ExecMetrics) {
-        (b"err: session app requires session execution".to_vec(), ExecMetrics::default())
+        (
+            b"err: session app requires session execution".to_vec(),
+            ExecMetrics::default(),
+        )
     }
 
     fn execute_with_session(
@@ -262,7 +274,10 @@ impl App for SessionCounterApp {
         read_only: bool,
         session: &mut crate::session::SessionCtx<'_>,
     ) -> (Vec<u8>, ExecMetrics) {
-        let metrics = ExecMetrics { cpu_us: 1.0, ..Default::default() };
+        let metrics = ExecMetrics {
+            cpu_us: 1.0,
+            ..Default::default()
+        };
         let reply = match op {
             b"incr" if !read_only => {
                 let next = Self::counter(session) + 1;
@@ -303,7 +318,12 @@ mod tests {
     fn kv_put_get() {
         let st = handle(4);
         let mut app = KvApp::new(st.clone(), 0, 32);
-        let (r, _) = app.execute(ClientId(1), &KvApp::op_put(5, 99), &NonDet::default(), false);
+        let (r, _) = app.execute(
+            ClientId(1),
+            &KvApp::op_put(5, 99),
+            &NonDet::default(),
+            false,
+        );
         assert_eq!(r, b"ok");
         let (r, _) = app.execute(ClientId(1), &KvApp::op_get(5), &NonDet::default(), true);
         assert_eq!(u64::from_be_bytes(r[8..16].try_into().unwrap()), 99);
@@ -324,7 +344,10 @@ mod tests {
     #[test]
     fn default_nondet_validation_window() {
         let app = NullApp::new(0);
-        let nd = NonDet { timestamp_ns: 1_000_000, random: 5 };
+        let nd = NonDet {
+            timestamp_ns: 1_000_000,
+            random: 5,
+        };
         assert!(app.validate_nondet(&nd, 1_100_000, 200_000));
         assert!(!app.validate_nondet(&nd, 2_000_000, 200_000));
         // Symmetric: primary clock ahead of ours.
@@ -344,28 +367,40 @@ mod tests {
         let mut store = SessionStore::new();
         for expect in 1..=3u64 {
             let mut ctx = SessionCtx::new(&mut store, ClientId(1), false);
-            let (r, _) = app.execute_with_session(ClientId(1), b"incr", &NonDet::default(), false, &mut ctx);
+            let (r, _) =
+                app.execute_with_session(ClientId(1), b"incr", &NonDet::default(), false, &mut ctx);
             assert_eq!(r, expect.to_be_bytes());
         }
         // A different session counts separately.
         let mut ctx = SessionCtx::new(&mut store, ClientId(2), false);
-        let (r, _) = app.execute_with_session(ClientId(2), b"incr", &NonDet::default(), false, &mut ctx);
+        let (r, _) =
+            app.execute_with_session(ClientId(2), b"incr", &NonDet::default(), false, &mut ctx);
         assert_eq!(r, 1u64.to_be_bytes());
         // Read on the read-only path.
         let mut ctx = SessionCtx::new(&mut store, ClientId(1), true);
-        let (r, _) = app.execute_with_session(ClientId(1), b"read", &NonDet::default(), true, &mut ctx);
+        let (r, _) =
+            app.execute_with_session(ClientId(1), b"read", &NonDet::default(), true, &mut ctx);
         assert_eq!(r, 3u64.to_be_bytes());
         assert!(!ctx.is_dirty());
         // incr is rejected on the read-only path (the app guards it).
         let mut ctx = SessionCtx::new(&mut store, ClientId(1), true);
-        let (r, _) = app.execute_with_session(ClientId(1), b"incr", &NonDet::default(), true, &mut ctx);
+        let (r, _) =
+            app.execute_with_session(ClientId(1), b"incr", &NonDet::default(), true, &mut ctx);
         assert!(r.starts_with(b"err"));
     }
 
     #[test]
     fn exec_metrics_accumulate() {
-        let mut a = ExecMetrics { cpu_us: 1.0, disk_flushes: 1, disk_write_bytes: 10 };
-        a.add(&ExecMetrics { cpu_us: 2.0, disk_flushes: 3, disk_write_bytes: 5 });
+        let mut a = ExecMetrics {
+            cpu_us: 1.0,
+            disk_flushes: 1,
+            disk_write_bytes: 10,
+        };
+        a.add(&ExecMetrics {
+            cpu_us: 2.0,
+            disk_flushes: 3,
+            disk_write_bytes: 5,
+        });
         assert_eq!(a.disk_flushes, 4);
         assert_eq!(a.disk_write_bytes, 15);
         assert!((a.cpu_us - 3.0).abs() < 1e-9);

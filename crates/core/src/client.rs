@@ -15,11 +15,11 @@ use pbft_crypto::Digest;
 
 use crate::config::{AuthMode, PbftConfig};
 use crate::keys::ClientKeys;
-use crate::routing::{RouteError, ShardMap};
 use crate::messages::{
     AuthTag, Envelope, Message, NewKeyMsg, Operation, ReplyMsg, RequestMsg, Sender,
 };
 use crate::output::{HandleResult, NetTarget, Output, TimerKind};
+use crate::routing::{RouteError, ShardMap};
 use crate::types::{ClientId, NetAddr, ReplicaId, View};
 
 /// Events surfaced to the application driving the client.
@@ -250,7 +250,10 @@ impl Client {
         if let Some((map, bound)) = &self.shard {
             let key_shard = map.route(keys)?;
             if key_shard != *bound {
-                return Err(RouteError::ForeignShard { key_shard, bound_shard: *bound });
+                return Err(RouteError::ForeignShard {
+                    key_shard,
+                    bound_shard: *bound,
+                });
             }
         }
         Ok(self.submit(op, read_only, now_ns))
@@ -270,7 +273,9 @@ impl Client {
         if self.outstanding.is_some() || self.join != JoinState::Member {
             return;
         }
-        let Some((op, read_only)) = self.queue.pop_front() else { return };
+        let Some((op, read_only)) = self.queue.pop_front() else {
+            return;
+        };
         let req = self.build_request(Operation::App(op), read_only);
         self.dispatch_request(req, now_ns, res);
     }
@@ -305,8 +310,17 @@ impl Client {
     /// Send a request: big requests are multicast to all replicas; others go
     /// to the primary only. On retransmission everything goes to everyone
     /// ("the client is expected to keep retransmitting its request").
-    fn send_request(&mut self, req: &RequestMsg, big: bool, retransmit: bool, res: &mut HandleResult) {
-        let is_join = matches!(req.op, Operation::JoinPhase1 { .. } | Operation::JoinPhase2 { .. });
+    fn send_request(
+        &mut self,
+        req: &RequestMsg,
+        big: bool,
+        retransmit: bool,
+        res: &mut HandleResult,
+    ) {
+        let is_join = matches!(
+            req.op,
+            Operation::JoinPhase1 { .. } | Operation::JoinPhase2 { .. }
+        );
         let msg = Message::Request(req.clone());
         let prefix = Envelope::encode_prefix(self.sender(), &msg);
         res.counts.digest_bytes += prefix.len() as u64;
@@ -315,10 +329,15 @@ impl Client {
             res.counts.sign += 1;
             AuthTag::Sig(self.keys.keypair().sign(&prefix))
         } else {
-            self.keys.seal_request(self.cfg.auth, &prefix, &mut res.counts)
+            self.keys
+                .seal_request(self.cfg.auth, &prefix, &mut res.counts)
         };
         let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope { sender: self.sender(), msg, auth };
+        let env = Envelope {
+            sender: self.sender(),
+            msg,
+            auth,
+        };
         if big || retransmit || is_join {
             for i in 0..self.cfg.n() as u32 {
                 res.outputs.push(Output::Send {
@@ -329,7 +348,11 @@ impl Client {
             }
         } else {
             let primary = self.cfg.primary_of(self.view_guess);
-            res.outputs.push(Output::Send { to: NetTarget::Replica(primary), packet, envelope: env });
+            res.outputs.push(Output::Send {
+                to: NetTarget::Replica(primary),
+                packet,
+                envelope: env,
+            });
         }
     }
 
@@ -350,7 +373,11 @@ impl Client {
         res.counts.sign += 1;
         let auth = AuthTag::Sig(self.keys.keypair().sign(&prefix));
         let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope { sender: Sender::Client(self.id), msg, auth };
+        let env = Envelope {
+            sender: Sender::Client(self.id),
+            msg,
+            auth,
+        };
         for i in 0..self.cfg.n() as u32 {
             res.outputs.push(Output::Send {
                 to: NetTarget::Replica(ReplicaId(i)),
@@ -377,7 +404,10 @@ impl Client {
     fn send_join_phase2(&mut self, challenge: Challenge, now_ns: u64, res: &mut HandleResult) {
         let fp = self.keys.keypair().public().fingerprint();
         let response = make_response(&challenge, &fp);
-        let op = Operation::JoinPhase2 { fingerprint: fp, response };
+        let op = Operation::JoinPhase2 {
+            fingerprint: fp,
+            response,
+        };
         self.join = JoinState::AwaitingAdmission;
         let req = self.build_request(op, false);
         self.dispatch_request(req, now_ns, res);
@@ -389,8 +419,12 @@ impl Client {
         let Ok((env, prefix_len)) = Envelope::decode(packet) else {
             return res;
         };
-        let Message::Reply(reply) = env.msg else { return res };
-        let Sender::Replica(from) = env.sender else { return res };
+        let Message::Reply(reply) = env.msg else {
+            return res;
+        };
+        let Sender::Replica(from) = env.sender else {
+            return res;
+        };
         if from != reply.replica || from.0 as usize >= self.cfg.n() {
             return res;
         }
@@ -405,13 +439,17 @@ impl Client {
     }
 
     fn on_reply(&mut self, reply: ReplyMsg, now_ns: u64, res: &mut HandleResult) {
-        let Some(out) = &mut self.outstanding else { return };
+        let Some(out) = &mut self.outstanding else {
+            return;
+        };
         if reply.client != self.id || reply.timestamp != out.req.timestamp {
             return;
         }
         let digest = reply.result_digest();
         res.counts.digest_bytes += reply.result.len() as u64;
-        out.results.entry(digest).or_insert_with(|| reply.result.clone());
+        out.results
+            .entry(digest)
+            .or_insert_with(|| reply.result.clone());
         out.replies.insert(reply.replica, (digest, reply.tentative));
         // Quorum rules (§2.1): f+1 matching stable replies, or 2f+1 matching
         // when any of them are tentative (incl. the read-only path).
@@ -429,7 +467,9 @@ impl Client {
         let latency_ns = now_ns.saturating_sub(out.sent_ns);
         self.view_guess = self.view_guess.max(reply.view);
         self.outstanding = None;
-        res.outputs.push(Output::CancelTimer { kind: TimerKind::Retransmit });
+        res.outputs.push(Output::CancelTimer {
+            kind: TimerKind::Retransmit,
+        });
         match self.join {
             JoinState::Member => {
                 self.metrics.completed += 1;
@@ -448,7 +488,8 @@ impl Client {
                     self.send_join_phase2(Challenge(Digest(d)), now_ns, res);
                 } else {
                     self.join = JoinState::AwaitingChallenge;
-                    self.events.push(ClientEvent::JoinDenied("malformed challenge".into()));
+                    self.events
+                        .push(ClientEvent::JoinDenied("malformed challenge".into()));
                 }
             }
             JoinState::AwaitingAdmission => {
@@ -564,7 +605,10 @@ mod tests {
             assert!(c.has_outstanding(), "2 tentative replies are not enough");
         }
         let _ = c.handle_packet(&sealed_reply(2, 1, b"ok", true), 2000);
-        assert!(!c.has_outstanding(), "2f+1 matching tentative replies complete");
+        assert!(
+            !c.has_outstanding(),
+            "2f+1 matching tentative replies complete"
+        );
         let evs = c.take_events();
         assert!(matches!(
             &evs[0],
@@ -627,7 +671,11 @@ mod tests {
     fn newkey_timer_rebroadcasts_keys() {
         let mut c = client();
         let res = c.on_timer(TimerKind::NewKey, 0);
-        assert_eq!(res.sends().count(), 4, "blind NewKey to every replica (§2.3)");
+        assert_eq!(
+            res.sends().count(),
+            4,
+            "blind NewKey to every replica (§2.3)"
+        );
         assert!(res
             .sends()
             .all(|(_, env)| matches!(env.msg, Message::NewKey(_))));
@@ -653,7 +701,10 @@ mod tests {
         let packet = Envelope::seal(prefix, &auth);
         let _ = c.handle_packet(&packet, 1000);
         let _ = c.handle_packet(&sealed_reply(1, 1, b"forged", false), 1000);
-        assert!(c.has_outstanding(), "one bad + one good reply must not certify");
+        assert!(
+            c.has_outstanding(),
+            "one bad + one good reply must not certify"
+        );
     }
 
     #[test]
@@ -680,7 +731,9 @@ mod tests {
         assert!(matches!(err, RouteError::ForeignShard { bound_shard, .. } if bound_shard == home));
 
         // Keys spanning groups are a typed CrossShard error.
-        let err = c.submit_routed(&[key, foreign], vec![3], false, 0).unwrap_err();
+        let err = c
+            .submit_routed(&[key, foreign], vec![3], false, 0)
+            .unwrap_err();
         assert!(matches!(err, RouteError::CrossShard { .. }));
         assert_eq!(c.queued(), 0, "rejected ops are never queued");
     }
@@ -689,7 +742,9 @@ mod tests {
     fn unbound_client_routes_everything() {
         let mut c = client();
         assert_eq!(c.bound_shard(), None);
-        let res = c.submit_routed(&[b"any".as_slice()], vec![1], false, 0).expect("unbound accepts");
+        let res = c
+            .submit_routed(&[b"any".as_slice()], vec![1], false, 0)
+            .expect("unbound accepts");
         assert!(res.sends().count() > 0);
     }
 

@@ -187,9 +187,21 @@ impl PbftConfig {
     pub fn table1_name(&self) -> String {
         format!(
             "{}_{}_{}_{}",
-            if self.dynamic_membership { "nosta" } else { "sta" },
-            if self.auth == AuthMode::Macs { "mac" } else { "nomac" },
-            if self.all_requests_big { "allbig" } else { "noallbig" },
+            if self.dynamic_membership {
+                "nosta"
+            } else {
+                "sta"
+            },
+            if self.auth == AuthMode::Macs {
+                "mac"
+            } else {
+                "nomac"
+            },
+            if self.all_requests_big {
+                "allbig"
+            } else {
+                "noallbig"
+            },
             if self.batching { "batch" } else { "nobatch" },
         )
     }
@@ -201,18 +213,27 @@ mod tests {
 
     #[test]
     fn group_arithmetic() {
-        let cfg = PbftConfig { f: 1, ..Default::default() };
+        let cfg = PbftConfig {
+            f: 1,
+            ..Default::default()
+        };
         assert_eq!(cfg.n(), 4);
         assert_eq!(cfg.quorum(), 3);
         assert_eq!(cfg.weak_quorum(), 2);
-        let cfg2 = PbftConfig { f: 2, ..Default::default() };
+        let cfg2 = PbftConfig {
+            f: 2,
+            ..Default::default()
+        };
         assert_eq!(cfg2.n(), 7);
         assert_eq!(cfg2.quorum(), 5);
     }
 
     #[test]
     fn primary_rotates() {
-        let cfg = PbftConfig { f: 1, ..Default::default() };
+        let cfg = PbftConfig {
+            f: 1,
+            ..Default::default()
+        };
         assert_eq!(cfg.primary_of(0), ReplicaId(0));
         assert_eq!(cfg.primary_of(1), ReplicaId(1));
         assert_eq!(cfg.primary_of(4), ReplicaId(0));
@@ -221,7 +242,10 @@ mod tests {
 
     #[test]
     fn batching_off_forces_window_one() {
-        let cfg = PbftConfig { batching: false, ..Default::default() };
+        let cfg = PbftConfig {
+            batching: false,
+            ..Default::default()
+        };
         assert_eq!(cfg.effective_window(), 1);
         assert_eq!(cfg.effective_max_batch(), 1);
         let on = PbftConfig::default();
@@ -233,7 +257,10 @@ mod tests {
     fn big_request_rules() {
         let all = PbftConfig::default();
         assert!(all.is_big(1));
-        let sel = PbftConfig { all_requests_big: false, ..Default::default() };
+        let sel = PbftConfig {
+            all_requests_big: false,
+            ..Default::default()
+        };
         assert!(!sel.is_big(1024));
         assert!(sel.is_big(10_000));
     }

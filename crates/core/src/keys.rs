@@ -20,7 +20,11 @@ use crate::output::OpCounts;
 use crate::types::{ClientId, ReplicaId};
 
 /// Deterministically derive a node key pair from the deployment seed.
-pub fn node_keypair(group_seed: u64, replica: Option<ReplicaId>, client: Option<ClientId>) -> KeyPair {
+pub fn node_keypair(
+    group_seed: u64,
+    replica: Option<ReplicaId>,
+    client: Option<ClientId>,
+) -> KeyPair {
     let tag = match (replica, client) {
         (Some(r), None) => 0x1000_0000_0000_0000u64 | u64::from(r.0),
         (None, Some(c)) => 0x2000_0000_0000_0000u64 | c.0,
@@ -45,7 +49,11 @@ pub fn client_session_key(group_seed: u64, client: ClientId, replica: ReplicaId)
     let mut ctx = Vec::with_capacity(16);
     ctx.extend_from_slice(&client.0.to_be_bytes());
     ctx.extend_from_slice(&u64::from(replica.0).to_be_bytes());
-    MacKey::new(derive_key(&group_seed.to_be_bytes(), "client-session", &ctx))
+    MacKey::new(derive_key(
+        &group_seed.to_be_bytes(),
+        "client-session",
+        &ctx,
+    ))
 }
 
 /// A replica-side key store.
@@ -98,7 +106,16 @@ impl KeyStore {
             client_keys.insert(c, client_session_key(group_seed, c, me));
             client_pubkeys.insert(c, node_keypair(group_seed, None, Some(c)).public());
         }
-        KeyStore { me, n, group_seed, keypair, replica_pubkeys, replica_keys, client_keys, client_pubkeys }
+        KeyStore {
+            me,
+            n,
+            group_seed,
+            keypair,
+            replica_pubkeys,
+            replica_keys,
+            client_keys,
+            client_pubkeys,
+        }
     }
 
     /// This replica's id.
@@ -208,7 +225,9 @@ impl KeyStore {
             }
             AuthTag::Sig(sig) => {
                 counts.sig_verify += 1;
-                self.replica_pubkeys[from.0 as usize].verify(prefix, sig).is_ok()
+                self.replica_pubkeys[from.0 as usize]
+                    .verify(prefix, sig)
+                    .is_ok()
             }
             _ => false,
         }
@@ -279,9 +298,8 @@ impl ClientKeys {
     /// configuration.
     pub fn new_dynamic(group_seed: u64, identity_seed: u64, id: ClientId, n: usize) -> ClientKeys {
         let mut keys = ClientKeys::new(group_seed, id, n);
-        keys.keypair = KeyPair::generate(
-            identity_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ group_seed,
-        );
+        keys.keypair =
+            KeyPair::generate(identity_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ group_seed);
         keys
     }
 

@@ -59,7 +59,11 @@ pub struct MessageLog {
 impl MessageLog {
     /// Create a log with capacity `span` above the low watermark.
     pub fn new(span: SeqNum) -> Self {
-        MessageLog { entries: BTreeMap::new(), low: 0, span }
+        MessageLog {
+            entries: BTreeMap::new(),
+            low: 0,
+            span,
+        }
     }
 
     /// High watermark.
@@ -172,7 +176,10 @@ mod tests {
     fn conflicting_digest_rejected() {
         let mut log = MessageLog::new(256);
         assert!(log.entry_for(5, 0, digest(1)).is_some());
-        assert!(log.entry_for(5, 0, digest(2)).is_none(), "same view, different digest");
+        assert!(
+            log.entry_for(5, 0, digest(2)).is_none(),
+            "same view, different digest"
+        );
         assert!(log.entry_for(5, 0, digest(1)).is_some(), "same digest fine");
     }
 
@@ -187,7 +194,10 @@ mod tests {
         let e = log.entry_for(5, 1, digest(2)).expect("supersede");
         assert_eq!(e.view, 1);
         assert!(!e.prepared, "state reset for the new view");
-        assert!(log.entry_for(5, 0, digest(1)).is_none(), "stale view rejected");
+        assert!(
+            log.entry_for(5, 0, digest(1)).is_none(),
+            "stale view rejected"
+        );
     }
 
     #[test]

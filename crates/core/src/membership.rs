@@ -133,7 +133,16 @@ impl Membership {
     ) -> Challenge {
         let fp = pubkey.fingerprint();
         let challenge = make_challenge(&fp, nonce, seq);
-        self.pending.insert(fp, PendingJoin { challenge, pubkey, addr, nonce, idbuf });
+        self.pending.insert(
+            fp,
+            PendingJoin {
+                challenge,
+                pubkey,
+                addr,
+                nonce,
+                idbuf,
+            },
+        );
         challenge
     }
 
@@ -230,7 +239,10 @@ impl Membership {
         for c in stale {
             self.remove(c);
         }
-        self.slots.iter().position(|s| s.is_none()).map(|i| i as u32)
+        self.slots
+            .iter()
+            .position(|s| s.is_none())
+            .map(|i| i as u32)
     }
 
     /// Serialize into the library partition of the state region (with the
@@ -341,11 +353,23 @@ impl Membership {
             let idbuf = d.bytes()?;
             pending.insert(
                 fp,
-                PendingJoin { challenge, pubkey: PublicKey::from_bytes(&pk), addr, nonce, idbuf },
+                PendingJoin {
+                    challenge,
+                    pubkey: PublicKey::from_bytes(&pk),
+                    addr,
+                    nonce,
+                    idbuf,
+                },
             );
         }
         d.finish()?;
-        Ok(Membership { capacity: cap, next_id, redirection, slots, pending })
+        Ok(Membership {
+            capacity: cap,
+            next_id,
+            redirection,
+            slots,
+            pending,
+        })
     }
 }
 
@@ -362,7 +386,13 @@ mod tests {
     fn join(m: &mut Membership, seed: u64, now: u64) -> JoinOutcome {
         let pubkey = pk(seed);
         let fp = pubkey.fingerprint();
-        let ch = m.phase1(pubkey, seed, seed as NetAddr, format!("user{seed}").into_bytes(), 10);
+        let ch = m.phase1(
+            pubkey,
+            seed,
+            seed as NetAddr,
+            format!("user{seed}").into_bytes(),
+            10,
+        );
         let resp = make_response(&ch, &fp);
         m.phase2(&fp, &resp, now, 1_000, &mut |idbuf| Some(idbuf.to_vec()))
     }
@@ -466,7 +496,9 @@ mod tests {
         let ch = m.phase1(pk(3), 3, 3, b"user3".to_vec(), 8);
         let resp = make_response(&ch, &pk(3).fingerprint());
         assert!(matches!(
-            m.phase2(&pk(3).fingerprint(), &resp, 5_000, 1_000, &mut |i| Some(i.to_vec())),
+            m.phase2(&pk(3).fingerprint(), &resp, 5_000, 1_000, &mut |i| Some(
+                i.to_vec()
+            )),
             JoinOutcome::Joined { .. }
         ));
         assert_eq!(m.active_sessions(), 1, "both stale sessions were cleared");
@@ -508,7 +540,10 @@ mod tests {
         m.phase1(pk(9), 9, 9, b"pending".to_vec(), 33);
 
         let mut state = PagedState::new(4);
-        let section = Section { base: 0, len: 2 * 4096 };
+        let section = Section {
+            base: 0,
+            len: 2 * 4096,
+        };
         m.persist(&section, &mut state).expect("persist");
         let loaded = Membership::load(&section, &state, 4).expect("load");
         assert_eq!(loaded, m);

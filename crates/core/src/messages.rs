@@ -56,10 +56,22 @@ impl Operation {
             Operation::Noop => {
                 e.u8(1);
             }
-            Operation::JoinPhase1 { pubkey, nonce, reply_addr, idbuf } => {
-                e.u8(2).raw(&pubkey.to_bytes()).u64(*nonce).u32(*reply_addr).bytes(idbuf);
+            Operation::JoinPhase1 {
+                pubkey,
+                nonce,
+                reply_addr,
+                idbuf,
+            } => {
+                e.u8(2)
+                    .raw(&pubkey.to_bytes())
+                    .u64(*nonce)
+                    .u32(*reply_addr)
+                    .bytes(idbuf);
             }
-            Operation::JoinPhase2 { fingerprint, response } => {
+            Operation::JoinPhase2 {
+                fingerprint,
+                response,
+            } => {
                 e.u8(3).digest(fingerprint).digest(&response.0);
             }
             Operation::Leave => {
@@ -163,7 +175,9 @@ pub struct BatchEntry {
 
 impl BatchEntry {
     fn encode(&self, e: &mut Enc) {
-        e.digest(&self.digest).u64(self.client.0).u64(self.timestamp);
+        e.digest(&self.digest)
+            .u64(self.client.0)
+            .u64(self.timestamp);
         match &self.full {
             Some(r) => {
                 e.u8(1);
@@ -184,7 +198,12 @@ impl BatchEntry {
             1 => Some(RequestMsg::decode(d)?),
             t => return Err(WireError::BadTag(t)),
         };
-        Ok(BatchEntry { digest, client, timestamp, full })
+        Ok(BatchEntry {
+            digest,
+            client,
+            timestamp,
+            full,
+        })
     }
 }
 
@@ -207,7 +226,10 @@ impl PrePrepareMsg {
     /// non-determinism and the ordered request digests (not inline bodies).
     pub fn batch_digest(&self) -> Digest {
         let mut e = Enc::new();
-        e.u64(self.view).u64(self.seq).u64(self.nondet.timestamp_ns).u64(self.nondet.random);
+        e.u64(self.view)
+            .u64(self.seq)
+            .u64(self.nondet.timestamp_ns)
+            .u64(self.nondet.random);
         e.u32(self.entries.len() as u32);
         for entry in &self.entries {
             e.digest(&entry.digest);
@@ -218,7 +240,10 @@ impl PrePrepareMsg {
     }
 
     fn encode(&self, e: &mut Enc) {
-        e.u64(self.view).u64(self.seq).u64(self.nondet.timestamp_ns).u64(self.nondet.random);
+        e.u64(self.view)
+            .u64(self.seq)
+            .u64(self.nondet.timestamp_ns)
+            .u64(self.nondet.random);
         e.u32(self.entries.len() as u32);
         for entry in &self.entries {
             entry.encode(e);
@@ -228,7 +253,10 @@ impl PrePrepareMsg {
     fn decode(d: &mut Dec<'_>) -> Result<PrePrepareMsg, WireError> {
         let view = d.u64()?;
         let seq = d.u64()?;
-        let nondet = NonDet { timestamp_ns: d.u64()?, random: d.u64()? };
+        let nondet = NonDet {
+            timestamp_ns: d.u64()?,
+            random: d.u64()?,
+        };
         let n = d.u32()? as usize;
         if n > 100_000 {
             return Err(WireError::BadLength(n as u64));
@@ -237,7 +265,12 @@ impl PrePrepareMsg {
         for _ in 0..n {
             entries.push(BatchEntry::decode(d)?);
         }
-        Ok(PrePrepareMsg { view, seq, nondet, entries })
+        Ok(PrePrepareMsg {
+            view,
+            seq,
+            nondet,
+            entries,
+        })
     }
 }
 
@@ -332,6 +365,12 @@ pub struct StatusMsg {
     pub stable_root: Digest,
     /// Highest executed sequence number.
     pub last_executed: SeqNum,
+    /// Whether the reporter is mid-view-change (its `view` is then the old
+    /// view it is leaving, not one it vouches is live). Recovery's
+    /// stranded-view rejoin only counts peers *actively operating* in a
+    /// lower view, so a legitimate in-progress view change never reads as
+    /// "the group is still back there".
+    pub in_view_change: bool,
 }
 
 /// State-transfer fetch (wraps the tree-walk protocol of `pbft-state`).
@@ -496,7 +535,9 @@ impl Message {
                 e.u64(m.seq).digest(&m.root).u32(m.replica.0);
             }
             Message::ViewChange(m) => {
-                e.u64(m.new_view).u64(m.last_stable_seq).digest(&m.stable_root);
+                e.u64(m.new_view)
+                    .u64(m.last_stable_seq)
+                    .digest(&m.stable_root);
                 e.u32(m.prepared.len() as u32);
                 for p in &m.prepared {
                     p.preprepare.encode(e);
@@ -528,7 +569,8 @@ impl Message {
                     .u64(m.view)
                     .u64(m.last_stable_seq)
                     .digest(&m.stable_root)
-                    .u64(m.last_executed);
+                    .u64(m.last_executed)
+                    .u8(u8::from(m.in_view_change));
             }
             Message::Fetch(m) => {
                 e.u64(m.target_seq);
@@ -545,8 +587,16 @@ impl Message {
             Message::FetchResp(m) => {
                 e.u64(m.target_seq);
                 match &m.resp {
-                    FetchResponse::Meta { level, index, children } => {
-                        e.u8(0).u32(*level).u64(*index).digest(&children.0).digest(&children.1);
+                    FetchResponse::Meta {
+                        level,
+                        index,
+                        children,
+                    } => {
+                        e.u8(0)
+                            .u32(*level)
+                            .u64(*index)
+                            .digest(&children.0)
+                            .digest(&children.1);
                     }
                     FetchResponse::Page { index, data } => {
                         e.u8(1).u64(*index);
@@ -611,7 +661,9 @@ impl Message {
                 }
                 let mut prepared = Vec::with_capacity(n);
                 for _ in 0..n {
-                    prepared.push(PreparedProof { preprepare: PrePrepareMsg::decode(d)? });
+                    prepared.push(PreparedProof {
+                        preprepare: PrePrepareMsg::decode(d)?,
+                    });
                 }
                 let replica = ReplicaId(d.u32()?);
                 Message::ViewChange(ViewChangeMsg {
@@ -648,7 +700,11 @@ impl Message {
                 for _ in 0..npp {
                     pre_prepares.push(PrePrepareMsg::decode(d)?);
                 }
-                Message::NewView(NewViewMsg { view, view_changes, pre_prepares })
+                Message::NewView(NewViewMsg {
+                    view,
+                    view_changes,
+                    pre_prepares,
+                })
             }
             9 => {
                 let client = ClientId(d.u64()?);
@@ -662,7 +718,11 @@ impl Message {
                     let k: [u8; 32] = d.raw(32)?.try_into().expect("32 bytes");
                     keys.push(k);
                 }
-                Message::NewKey(NewKeyMsg { client, reply_addr, keys })
+                Message::NewKey(NewKeyMsg {
+                    client,
+                    reply_addr,
+                    keys,
+                })
             }
             10 => Message::Status(StatusMsg {
                 replica: ReplicaId(d.u32()?),
@@ -670,15 +730,23 @@ impl Message {
                 last_stable_seq: d.u64()?,
                 stable_root: d.digest()?,
                 last_executed: d.u64()?,
+                in_view_change: d.u8()? != 0,
             }),
             11 => {
                 let target_seq = d.u64()?;
                 let req = match d.u8()? {
-                    0 => FetchRequest::Meta { level: d.u32()?, index: d.u64()? },
+                    0 => FetchRequest::Meta {
+                        level: d.u32()?,
+                        index: d.u64()?,
+                    },
                     1 => FetchRequest::Page { index: d.u64()? },
                     t => return Err(WireError::BadTag(t)),
                 };
-                Message::Fetch(FetchMsg { target_seq, req, replica: ReplicaId(d.u32()?) })
+                Message::Fetch(FetchMsg {
+                    target_seq,
+                    req,
+                    replica: ReplicaId(d.u32()?),
+                })
             }
             12 => {
                 let target_seq = d.u64()?;
@@ -700,7 +768,11 @@ impl Message {
                     2 => FetchResponse::Unavailable,
                     t => return Err(WireError::BadTag(t)),
                 };
-                Message::FetchResp(FetchRespMsg { target_seq, resp, replica: ReplicaId(d.u32()?) })
+                Message::FetchResp(FetchRespMsg {
+                    target_seq,
+                    resp,
+                    replica: ReplicaId(d.u32()?),
+                })
             }
             13 => Message::BodyFetch(BodyFetchMsg {
                 digest: d.digest()?,
@@ -878,7 +950,11 @@ mod tests {
     fn roundtrip(msg: Message, sender: Sender, auth: AuthTag) {
         let prefix = Envelope::encode_prefix(sender, &msg);
         let packet = Envelope::seal(prefix.clone(), &auth);
-        assert_eq!(packet[0], msg.discriminant(), "first byte is the discriminant");
+        assert_eq!(
+            packet[0],
+            msg.discriminant(),
+            "first byte is the discriminant"
+        );
         let (env, prefix_len) = Envelope::decode(&packet).expect("decode");
         assert_eq!(env.msg, msg);
         assert_eq!(env.sender, sender);
@@ -914,7 +990,10 @@ mod tests {
             Operation::Leave,
         ];
         for op in ops {
-            let req = RequestMsg { op, ..sample_request() };
+            let req = RequestMsg {
+                op,
+                ..sample_request()
+            };
             roundtrip(Message::Request(req), Sender::Anonymous, AuthTag::None);
         }
     }
@@ -925,7 +1004,10 @@ mod tests {
         let pp = PrePrepareMsg {
             view: 3,
             seq: 55,
-            nondet: NonDet { timestamp_ns: 1000, random: 0xfeed },
+            nondet: NonDet {
+                timestamp_ns: 1000,
+                random: 0xfeed,
+            },
             entries: vec![
                 BatchEntry {
                     digest: req.digest(),
@@ -945,19 +1027,33 @@ mod tests {
         let mut no_body = pp.clone();
         no_body.entries[0].full = None;
         assert_eq!(pp.batch_digest(), no_body.batch_digest());
-        roundtrip(Message::PrePrepare(pp), Sender::Replica(ReplicaId(0)), AuthTag::None);
+        roundtrip(
+            Message::PrePrepare(pp),
+            Sender::Replica(ReplicaId(0)),
+            AuthTag::None,
+        );
     }
 
     #[test]
     fn agreement_messages_roundtrip() {
         let d = Digest::of(b"batch");
         roundtrip(
-            Message::Prepare(PrepareMsg { view: 1, seq: 2, digest: d, replica: ReplicaId(3) }),
+            Message::Prepare(PrepareMsg {
+                view: 1,
+                seq: 2,
+                digest: d,
+                replica: ReplicaId(3),
+            }),
             Sender::Replica(ReplicaId(3)),
             AuthTag::Mac(Mac64(99)),
         );
         roundtrip(
-            Message::Commit(CommitMsg { view: 1, seq: 2, digest: d, replica: ReplicaId(2) }),
+            Message::Commit(CommitMsg {
+                view: 1,
+                seq: 2,
+                digest: d,
+                replica: ReplicaId(2),
+            }),
             Sender::Replica(ReplicaId(2)),
             AuthTag::Authenticator(Authenticator::from_entries(vec![
                 (0, Mac64(1)),
@@ -995,7 +1091,10 @@ mod tests {
         let packet = Envelope::seal(prefix, &AuthTag::Sig(sig));
         let (env, prefix_len) = Envelope::decode(&packet).expect("decode");
         match env.auth {
-            AuthTag::Sig(s) => kp.public().verify(&packet[..prefix_len], &s).expect("verifies"),
+            AuthTag::Sig(s) => kp
+                .public()
+                .verify(&packet[..prefix_len], &s)
+                .expect("verifies"),
             _ => panic!("wrong auth kind"),
         }
     }
@@ -1005,7 +1104,10 @@ mod tests {
         let pp = PrePrepareMsg {
             view: 0,
             seq: 5,
-            nondet: NonDet { timestamp_ns: 1, random: 2 },
+            nondet: NonDet {
+                timestamp_ns: 1,
+                random: 2,
+            },
             entries: vec![BatchEntry {
                 digest: Digest::of(b"x"),
                 client: ClientId(1),
@@ -1017,16 +1119,32 @@ mod tests {
             new_view: 1,
             last_stable_seq: 0,
             stable_root: Digest::of(b"root"),
-            prepared: vec![PreparedProof { preprepare: pp.clone() }],
+            prepared: vec![PreparedProof {
+                preprepare: pp.clone(),
+            }],
             replica: ReplicaId(2),
         };
-        roundtrip(Message::ViewChange(vc.clone()), Sender::Replica(ReplicaId(2)), AuthTag::None);
+        roundtrip(
+            Message::ViewChange(vc.clone()),
+            Sender::Replica(ReplicaId(2)),
+            AuthTag::None,
+        );
         let nv = NewViewMsg {
             view: 1,
-            view_changes: vec![vc.clone(), ViewChangeMsg { replica: ReplicaId(3), ..vc }],
+            view_changes: vec![
+                vc.clone(),
+                ViewChangeMsg {
+                    replica: ReplicaId(3),
+                    ..vc
+                },
+            ],
             pre_prepares: vec![pp],
         };
-        roundtrip(Message::NewView(nv), Sender::Replica(ReplicaId(1)), AuthTag::None);
+        roundtrip(
+            Message::NewView(nv),
+            Sender::Replica(ReplicaId(1)),
+            AuthTag::None,
+        );
     }
 
     #[test]
@@ -1046,8 +1164,14 @@ mod tests {
                 index: 1,
                 children: (Digest::of(b"l"), Digest::of(b"r")),
             },
-            FetchResponse::Page { index: 9, data: Some(vec![7u8; 64]) },
-            FetchResponse::Page { index: 9, data: None },
+            FetchResponse::Page {
+                index: 9,
+                data: Some(vec![7u8; 64]),
+            },
+            FetchResponse::Page {
+                index: 9,
+                data: None,
+            },
             FetchResponse::Unavailable,
         ] {
             roundtrip(
@@ -1080,16 +1204,24 @@ mod tests {
                 last_stable_seq: 256,
                 stable_root: Digest::of(b"s"),
                 last_executed: 300,
+                in_view_change: true,
             }),
             Sender::Replica(ReplicaId(3)),
             AuthTag::None,
         );
         roundtrip(
-            Message::BodyFetch(BodyFetchMsg { digest: Digest::of(b"d"), replica: ReplicaId(1) }),
+            Message::BodyFetch(BodyFetchMsg {
+                digest: Digest::of(b"d"),
+                replica: ReplicaId(1),
+            }),
             Sender::Replica(ReplicaId(1)),
             AuthTag::None,
         );
-        roundtrip(Message::BodyResp(sample_request()), Sender::Replica(ReplicaId(0)), AuthTag::None);
+        roundtrip(
+            Message::BodyResp(sample_request()),
+            Sender::Replica(ReplicaId(0)),
+            AuthTag::None,
+        );
     }
 
     #[test]

@@ -174,8 +174,17 @@ mod tests {
 
     #[test]
     fn op_counts_accumulate() {
-        let mut a = OpCounts { mac_gen: 1, sign: 2, ..Default::default() };
-        a.add(&OpCounts { mac_gen: 3, sig_verify: 1, exec_cpu_us: 2.5, ..Default::default() });
+        let mut a = OpCounts {
+            mac_gen: 1,
+            sign: 2,
+            ..Default::default()
+        };
+        a.add(&OpCounts {
+            mac_gen: 3,
+            sig_verify: 1,
+            exec_cpu_us: 2.5,
+            ..Default::default()
+        });
         assert_eq!(a.mac_gen, 4);
         assert_eq!(a.sign, 2);
         assert_eq!(a.sig_verify, 1);

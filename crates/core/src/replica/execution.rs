@@ -93,7 +93,12 @@ impl Replica {
             let random = Digest::of_parts(&[b"nondet", &seq.to_be_bytes()]).prefix_u64();
             let nondet = self.app.make_nondet(now_ns, random);
             self.last_issue_ns = now_ns;
-            let pp = PrePrepareMsg { view: self.view, seq, nondet, entries };
+            let pp = PrePrepareMsg {
+                view: self.view,
+                seq,
+                nondet,
+                entries,
+            };
             let digest = pp.batch_digest();
             res.counts.digest_bytes += 64 + 48 * pp.entries.len() as u64;
             self.seq_assign = seq;
@@ -167,13 +172,24 @@ impl Replica {
         self.arm_vc_timer(res);
         if !me_primary {
             let me = self.id();
-            let prepare = PrepareMsg { view: pp.view, seq: pp.seq, digest, replica: me };
+            let prepare = PrepareMsg {
+                view: pp.view,
+                seq: pp.seq,
+                digest,
+                replica: me,
+            };
             if let Some(e) = self.log.get_mut(pp.seq) {
                 e.prepares.insert(me);
             }
             self.multicast(Message::Prepare(prepare), res);
         }
         self.update_prepared(pp.seq, now_ns, res);
+        // A retransmitted pre-prepare can be the last missing piece of an
+        // entry whose prepares and commits raced ahead of it (status-driven
+        // recovery re-sends all three, and the quorum paths above early-
+        // return on duplicates) — kick execution directly so a lagging
+        // replica drains the committed prefix it just completed.
+        self.try_execute(now_ns, res);
     }
 
     pub(crate) fn on_prepare(&mut self, p: PrepareMsg, now_ns: u64, res: &mut HandleResult) {
@@ -194,7 +210,9 @@ impl Replica {
     /// backups (the pre-prepare stands in for the primary's prepare).
     pub(crate) fn update_prepared(&mut self, seq: SeqNum, now_ns: u64, res: &mut HandleResult) {
         let needed = 2 * self.cfg.f;
-        let Some(e) = self.log.get_mut(seq) else { return };
+        let Some(e) = self.log.get_mut(seq) else {
+            return;
+        };
         if e.prepared || e.preprepare.is_none() {
             return;
         }
@@ -210,7 +228,12 @@ impl Replica {
         let digest = e.digest;
         let view = e.view;
         let me = self.id();
-        let commit = CommitMsg { view, seq, digest, replica: me };
+        let commit = CommitMsg {
+            view,
+            seq,
+            digest,
+            replica: me,
+        };
         if let Some(e) = self.log.get_mut(seq) {
             e.commits.insert(me);
         }
@@ -235,8 +258,21 @@ impl Replica {
     /// committed-local: prepared + 2f+1 commits.
     pub(crate) fn update_committed(&mut self, seq: SeqNum, now_ns: u64, res: &mut HandleResult) {
         let quorum = self.cfg.quorum();
-        let Some(e) = self.log.get_mut(seq) else { return };
-        if e.committed || !e.prepared || e.commits.len() < quorum {
+        let Some(e) = self.log.get_mut(seq) else {
+            return;
+        };
+        if e.committed {
+            // A retransmitted commit for an entry that is committed but not
+            // yet executed (its pre-prepare or an earlier batch arrived
+            // late) must still kick the execution loop — every other quorum
+            // path early-returns on duplicates, and a lagging replica being
+            // helped by status retransmissions has no other trigger left.
+            if !e.executed {
+                self.try_execute(now_ns, res);
+            }
+            return;
+        }
+        if !e.prepared || e.commits.len() < quorum {
             return;
         }
         e.committed = true;
@@ -291,7 +327,9 @@ impl Replica {
         loop {
             let seq = self.last_executed + 1;
             let Some(e) = self.log.get(seq) else { break };
-            let Some(pp) = e.preprepare.clone() else { break };
+            let Some(pp) = e.preprepare.clone() else {
+                break;
+            };
             if e.executed {
                 break;
             }
@@ -311,7 +349,10 @@ impl Replica {
                 self.metrics.stuck_missing_body += 1;
                 if self.cfg.fetch_missing_bodies {
                     for d in missing {
-                        let msg = Message::BodyFetch(BodyFetchMsg { digest: d, replica: self.id() });
+                        let msg = Message::BodyFetch(BodyFetchMsg {
+                            digest: d,
+                            replica: self.id(),
+                        });
                         self.multicast(msg, res);
                     }
                     res.outputs.push(Output::SetTimer {
@@ -349,7 +390,11 @@ impl Replica {
         for entry in &pp.entries {
             let req = match &entry.full {
                 Some(r) => r.clone(),
-                None => self.bodies.get(&entry.digest).expect("checked above").clone(),
+                None => self
+                    .bodies
+                    .get(&entry.digest)
+                    .expect("checked above")
+                    .clone(),
             };
             self.observed.remove(&entry.digest);
             let reply_body = self.execute_one(&req, &pp.nondet, &mut membership_dirty, res);
@@ -363,7 +408,11 @@ impl Replica {
                     tentative: !committed,
                     result,
                 };
-                let addr = self.client_addr.get(&req.client).copied().unwrap_or(req.reply_addr);
+                let addr = self
+                    .client_addr
+                    .get(&req.client)
+                    .copied()
+                    .unwrap_or(req.reply_addr);
                 self.send_reply(reply, addr, res);
             }
             res.counts.requests_executed += 1;
@@ -396,8 +445,9 @@ impl Replica {
                 }
                 let mut ctx =
                     crate::session::SessionCtx::new(&mut self.sessions, req.client, false);
-                let (result, exec) =
-                    self.app.execute_with_session(req.client, op, nondet, false, &mut ctx);
+                let (result, exec) = self
+                    .app
+                    .execute_with_session(req.client, op, nondet, false, &mut ctx);
                 if ctx.is_dirty() {
                     self.persist_sessions();
                 }
@@ -406,20 +456,33 @@ impl Replica {
                 res.counts.disk_write_bytes += exec.disk_write_bytes;
                 Some(result)
             }
-            Operation::JoinPhase1 { pubkey, nonce, reply_addr, idbuf } => {
+            Operation::JoinPhase1 {
+                pubkey,
+                nonce,
+                reply_addr,
+                idbuf,
+            } => {
                 let m = self.membership.as_mut()?;
-                let challenge = m.phase1(*pubkey, *nonce, *reply_addr, idbuf.clone(), req.timestamp);
+                let challenge =
+                    m.phase1(*pubkey, *nonce, *reply_addr, idbuf.clone(), req.timestamp);
                 *membership_dirty = true;
                 self.client_addr.insert(req.client, *reply_addr);
                 Some(challenge.0.as_bytes().to_vec())
             }
-            Operation::JoinPhase2 { fingerprint, response } => {
+            Operation::JoinPhase2 {
+                fingerprint,
+                response,
+            } => {
                 let stale = self.cfg.session_stale_ns;
                 let app = &mut self.app;
                 let m = self.membership.as_mut()?;
-                let outcome = m.phase2(fingerprint, response, nondet.timestamp_ns, stale, &mut |idbuf| {
-                    app.authorize_join(idbuf)
-                });
+                let outcome = m.phase2(
+                    fingerprint,
+                    response,
+                    nondet.timestamp_ns,
+                    stale,
+                    &mut |idbuf| app.authorize_join(idbuf),
+                );
                 *membership_dirty = true;
                 match outcome {
                     JoinOutcome::Joined { client, terminated } => {
@@ -519,25 +582,28 @@ impl Replica {
         let snap = self.state.borrow().snapshot(seq);
         self.checkpoints.insert(seq, snap);
         self.checkpoint_chain.insert(seq, self.exec_chain);
-        self.checkpoint_chain.retain(|s, _| self.checkpoints.contains_key(s));
+        self.checkpoint_chain
+            .retain(|s, _| self.checkpoints.contains_key(s));
         self.metrics.checkpoints_taken += 1;
         let me = self.id();
-        let msg = CheckpointMsg { seq, root, replica: me };
+        let msg = CheckpointMsg {
+            seq,
+            root,
+            replica: me,
+        };
         self.ckpt_votes.entry((seq, root)).or_default().insert(me);
         self.multicast(Message::Checkpoint(msg), res);
         self.maybe_stabilize(seq, root, res);
     }
 
-    pub(crate) fn on_checkpoint(
-        &mut self,
-        c: CheckpointMsg,
-        _now_ns: u64,
-        res: &mut HandleResult,
-    ) {
+    pub(crate) fn on_checkpoint(&mut self, c: CheckpointMsg, _now_ns: u64, res: &mut HandleResult) {
         if c.seq <= self.stable.0 {
             return;
         }
-        self.ckpt_votes.entry((c.seq, c.root)).or_default().insert(c.replica);
+        self.ckpt_votes
+            .entry((c.seq, c.root))
+            .or_default()
+            .insert(c.replica);
         self.maybe_stabilize(c.seq, c.root, res);
     }
 
@@ -573,7 +639,11 @@ impl Replica {
         let referenced: std::collections::HashSet<Digest> = self
             .log
             .iter()
-            .flat_map(|(_, e)| e.preprepare.iter().flat_map(|pp| pp.entries.iter().map(|en| en.digest)))
+            .flat_map(|(_, e)| {
+                e.preprepare
+                    .iter()
+                    .flat_map(|pp| pp.entries.iter().map(|en| en.digest))
+            })
             .collect();
         // Keep bodies that a live log entry references *or* that belong to a
         // request not yet executed for its client (pending in the batching
@@ -581,8 +651,7 @@ impl Replica {
         // wedge execution exactly like a §2.4 packet loss.
         let last_ts = &self.last_req_ts;
         self.bodies.retain(|d, req| {
-            referenced.contains(d)
-                || req.timestamp > last_ts.get(&req.client).copied().unwrap_or(0)
+            referenced.contains(d) || req.timestamp > last_ts.get(&req.client).copied().unwrap_or(0)
         });
         self.pending_digests
             .retain(|d| referenced.contains(d) || self.pending.iter().any(|r| r.digest() == *d));

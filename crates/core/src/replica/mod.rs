@@ -16,7 +16,7 @@ mod tests;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use pbft_crypto::Digest;
-use pbft_state::{Fetcher, FetchRequest, Section, Snapshot};
+use pbft_state::{FetchRequest, Fetcher, Section, Snapshot};
 
 use crate::app::{App, NonDet, StateHandle};
 use crate::config::PbftConfig;
@@ -24,8 +24,7 @@ use crate::keys::KeyStore;
 use crate::log::MessageLog;
 use crate::membership::Membership;
 use crate::messages::{
-    AuthTag, Envelope, Message, NewKeyMsg, ReplyMsg, RequestMsg, Sender, StatusMsg,
-    ViewChangeMsg,
+    AuthTag, Envelope, Message, NewKeyMsg, ReplyMsg, RequestMsg, Sender, StatusMsg, ViewChangeMsg,
 };
 use crate::output::{HandleResult, NetTarget, Output, TimerKind};
 use crate::types::{ClientId, NetAddr, ReplicaId, SeqNum, View};
@@ -38,9 +37,12 @@ pub const MEMBERSHIP_PAGES: u64 = 4;
 pub const SESSION_PAGES: u64 = 4;
 
 /// Pages reserved at the front of the state region for the library partition
-/// (membership tables + session state). The application partition starts
-/// after them.
-pub const LIB_REGION_PAGES: u64 = MEMBERSHIP_PAGES + SESSION_PAGES;
+/// (membership tables + session state + the cross-shard transaction tables
+/// of [`crate::xshard`], which occupy [`crate::xshard::xshard_section`]
+/// whether or not the deployment wraps its app in
+/// [`crate::xshard::XShardApp`]). The application partition starts after
+/// them.
+pub const LIB_REGION_PAGES: u64 = MEMBERSHIP_PAGES + SESSION_PAGES + crate::xshard::XSHARD_PAGES;
 
 /// Counters exposed for experiments and tests.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -196,8 +198,14 @@ impl Replica {
         let n = cfg.n();
         let keys = KeyStore::new_replica(group_seed, me, n, preinstalled_clients);
         let page = pbft_state::PAGE_SIZE as u64;
-        let lib_section = Section { base: 0, len: MEMBERSHIP_PAGES * page };
-        let session_section = Section { base: MEMBERSHIP_PAGES * page, len: SESSION_PAGES * page };
+        let lib_section = Section {
+            base: 0,
+            len: MEMBERSHIP_PAGES * page,
+        };
+        let session_section = Section {
+            base: MEMBERSHIP_PAGES * page,
+            len: SESSION_PAGES * page,
+        };
         let sessions = crate::session::SessionStore::load(&session_section, &state.borrow())
             .unwrap_or_default();
         let membership = if cfg.dynamic_membership {
@@ -345,7 +353,11 @@ impl Replica {
                 e.tentative,
             );
         }
-        let _ = write!(out, "\n  ckpts={:?}", self.checkpoints.keys().collect::<Vec<_>>());
+        let _ = write!(
+            out,
+            "\n  ckpts={:?}",
+            self.checkpoints.keys().collect::<Vec<_>>()
+        );
         for (r, st) in &self.peer_status {
             let _ = write!(
                 out,
@@ -356,7 +368,10 @@ impl Replica {
         let _ = write!(
             out,
             "\n  votes={:?}",
-            self.ckpt_votes.iter().map(|((s, _), v)| (*s, v.len())).collect::<Vec<_>>()
+            self.ckpt_votes
+                .iter()
+                .map(|((s, _), v)| (*s, v.len()))
+                .collect::<Vec<_>>()
         );
         out
     }
@@ -386,6 +401,7 @@ impl Replica {
             last_stable_seq: self.stable.0,
             stable_root: self.stable.1,
             last_executed: self.last_executed,
+            in_view_change: self.in_view_change,
         }
     }
 
@@ -408,7 +424,9 @@ impl Replica {
     /// authenticated prefix bytes).
     fn dispatch(&mut self, env: Envelope, prefix: &[u8], now_ns: u64, res: &mut HandleResult) {
         match env.msg {
-            Message::Request(req) => self.on_request(env.sender, req, &env.auth, prefix, now_ns, res),
+            Message::Request(req) => {
+                self.on_request(env.sender, req, &env.auth, prefix, now_ns, res)
+            }
             Message::PrePrepare(pp) => {
                 if self.verify_replica(env.sender, prefix, &env.auth, res) {
                     self.on_preprepare(pp, now_ns, false, res);
@@ -443,8 +461,7 @@ impl Replica {
                 }
             }
             Message::NewView(nv) => {
-                let from_primary =
-                    env.sender == Sender::Replica(self.cfg.primary_of(nv.view));
+                let from_primary = env.sender == Sender::Replica(self.cfg.primary_of(nv.view));
                 if from_primary && self.verify_replica(env.sender, prefix, &env.auth, res) {
                     self.on_new_view(nv, now_ns, res);
                 }
@@ -504,7 +521,10 @@ impl Replica {
         use crate::messages::Operation;
         res.counts.digest_bytes += prefix.len() as u64;
 
-        let is_join = matches!(req.op, Operation::JoinPhase1 { .. } | Operation::JoinPhase2 { .. });
+        let is_join = matches!(
+            req.op,
+            Operation::JoinPhase1 { .. } | Operation::JoinPhase2 { .. }
+        );
         // The claimed sender must match the request body (joins are
         // anonymous until admitted).
         let sender_ok = match sender {
@@ -536,7 +556,10 @@ impl Replica {
                     return;
                 }
             }
-            if !self.keys.verify_from_client(req.client, prefix, auth, &mut res.counts) {
+            if !self
+                .keys
+                .verify_from_client(req.client, prefix, auth, &mut res.counts)
+            {
                 self.metrics.auth_failures += 1;
                 return;
             }
@@ -595,7 +618,11 @@ impl Replica {
                 let msg = Message::Request(req.clone());
                 let relay_prefix = Envelope::encode_prefix(sender, &msg);
                 let packet = Envelope::seal(relay_prefix, auth);
-                let env = Envelope { sender, msg, auth: auth.clone() };
+                let env = Envelope {
+                    sender,
+                    msg,
+                    auth: auth.clone(),
+                };
                 res.outputs.push(Output::Send {
                     to: NetTarget::Replica(primary),
                     packet,
@@ -614,11 +641,17 @@ impl Replica {
         res: &mut HandleResult,
     ) -> bool {
         use crate::messages::Operation;
-        let AuthTag::Sig(sig) = auth else { return false };
+        let AuthTag::Sig(sig) = auth else {
+            return false;
+        };
         let pubkey = match &req.op {
             Operation::JoinPhase1 { pubkey, .. } => *pubkey,
             Operation::JoinPhase2 { fingerprint, .. } => {
-                match self.membership.as_ref().and_then(|m| m.pending(fingerprint)) {
+                match self
+                    .membership
+                    .as_ref()
+                    .and_then(|m| m.pending(fingerprint))
+                {
                     Some(p) => p.pubkey,
                     None => return false,
                 }
@@ -632,9 +665,14 @@ impl Replica {
     fn serve_read_only(&mut self, req: &RequestMsg, now_ns: u64, res: &mut HandleResult) {
         use crate::messages::Operation;
         let Operation::App(op) = &req.op else { return };
-        let nondet = NonDet { timestamp_ns: now_ns, random: 0 };
+        let nondet = NonDet {
+            timestamp_ns: now_ns,
+            random: 0,
+        };
         let mut ctx = crate::session::SessionCtx::new(&mut self.sessions, req.client, true);
-        let (result, exec) = self.app.execute_with_session(req.client, op, &nondet, true, &mut ctx);
+        let (result, exec) = self
+            .app
+            .execute_with_session(req.client, op, &nondet, true, &mut ctx);
         debug_assert!(!ctx.is_dirty(), "read-only path cannot mutate sessions");
         res.counts.exec_cpu_us += exec.cpu_us;
         self.metrics.read_only_served += 1;
@@ -660,10 +698,12 @@ impl Replica {
         };
         // Resolve the client's public key: static configuration or the
         // membership session established at Join time.
-        let pubkey = self
-            .keys
-            .client_pubkey(nk.client)
-            .or_else(|| self.membership.as_ref().and_then(|m| m.session(nk.client)).map(|s| s.pubkey));
+        let pubkey = self.keys.client_pubkey(nk.client).or_else(|| {
+            self.membership
+                .as_ref()
+                .and_then(|m| m.session(nk.client))
+                .map(|s| s.pubkey)
+        });
         let Some(pubkey) = pubkey else {
             self.metrics.auth_failures += 1;
             return;
@@ -686,9 +726,15 @@ impl Replica {
 
     pub(crate) fn multicast(&self, msg: Message, res: &mut HandleResult) {
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
-        let auth = self.keys.seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
+        let auth = self
+            .keys
+            .seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
         let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth };
+        let env = Envelope {
+            sender: Sender::Replica(self.id()),
+            msg,
+            auth,
+        };
         for i in 0..self.cfg.n() as u32 {
             if i == self.id().0 {
                 continue;
@@ -706,18 +752,36 @@ impl Replica {
     /// own entry.
     pub(crate) fn send_authenticated(&self, to: NetTarget, msg: Message, res: &mut HandleResult) {
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
-        let auth = self.keys.seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
+        let auth = self
+            .keys
+            .seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
         let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth };
-        res.outputs.push(Output::Send { to, packet, envelope: env });
+        let env = Envelope {
+            sender: Sender::Replica(self.id()),
+            msg,
+            auth,
+        };
+        res.outputs.push(Output::Send {
+            to,
+            packet,
+            envelope: env,
+        });
     }
 
     /// Send an unauthenticated (digest-validated) message to one target.
     pub(crate) fn send_plain(&self, to: NetTarget, msg: Message, res: &mut HandleResult) {
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
         let packet = Envelope::seal(prefix, &AuthTag::None);
-        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth: AuthTag::None };
-        res.outputs.push(Output::Send { to, packet, envelope: env });
+        let env = Envelope {
+            sender: Sender::Replica(self.id()),
+            msg,
+            auth: AuthTag::None,
+        };
+        res.outputs.push(Output::Send {
+            to,
+            packet,
+            envelope: env,
+        });
     }
 
     pub(crate) fn send_reply(&mut self, reply: ReplyMsg, addr: NetAddr, res: &mut HandleResult) {
@@ -725,10 +789,20 @@ impl Replica {
         self.last_reply.insert(client, reply.clone());
         let msg = Message::Reply(reply);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
-        let auth = self.keys.seal_to_client(self.cfg.auth, client, &prefix, &mut res.counts);
+        let auth = self
+            .keys
+            .seal_to_client(self.cfg.auth, client, &prefix, &mut res.counts);
         let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope { sender: Sender::Replica(self.id()), msg, auth };
-        res.outputs.push(Output::Send { to: NetTarget::Client(addr), packet, envelope: env });
+        let env = Envelope {
+            sender: Sender::Replica(self.id()),
+            msg,
+            auth,
+        };
+        res.outputs.push(Output::Send {
+            to: NetTarget::Client(addr),
+            packet,
+            envelope: env,
+        });
     }
 
     pub(crate) fn verify_replica(
@@ -743,7 +817,10 @@ impl Replica {
             return false;
         };
         res.counts.digest_bytes += prefix.len() as u64;
-        if self.keys.verify_from_replica(from, prefix, auth, &mut res.counts) {
+        if self
+            .keys
+            .verify_from_replica(from, prefix, auth, &mut res.counts)
+        {
             true
         } else {
             self.metrics.auth_failures += 1;
@@ -787,13 +864,12 @@ impl Replica {
             .and_then(|e| e.preprepare.as_ref().map(|pp| (e, pp)))
             .is_some_and(|(e, pp)| {
                 (e.prepared || e.committed)
-                    && pp.entries.iter().any(|en| {
-                        en.full.is_none() && !self.bodies.contains_key(&en.digest)
-                    })
+                    && pp
+                        .entries
+                        .iter()
+                        .any(|en| en.full.is_none() && !self.bodies.contains_key(&en.digest))
             });
-        if self.last_executed == self.vc_timer_baseline
-            && has_outstanding
-            && !head_blocked_on_body
+        if self.last_executed == self.vc_timer_baseline && has_outstanding && !head_blocked_on_body
         {
             // No progress on known work: suspect the primary.
             self.start_view_change(self.view + 1, now_ns, res);

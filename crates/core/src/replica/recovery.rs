@@ -6,9 +6,17 @@
 //! checkpoint ahead of it, it tree-walk-fetches the divergent pages and
 //! resumes. A replica wedged by a lost big-request body (§2.4) recovers
 //! through exactly the same path when the next checkpoint stabilizes.
+//!
+//! Because every library- and wrapper-level table that must survive these
+//! paths is mirrored into the region (membership, sessions, and the
+//! cross-shard 2PC tables of [`crate::xshard`]), a completed transfer ends
+//! with reload calls — [`crate::app::App::on_state_installed`] plus the
+//! library reloads — that rebuild the in-memory caches from the installed
+//! pages. That is what lets a replica fast-forwarded *over* a
+//! transaction's prepare answer the later commit like its peers.
 
 use pbft_crypto::Digest;
-use pbft_state::{serve_fetch, Fetcher, FetchRequest, FetchResponse};
+use pbft_state::{serve_fetch, FetchRequest, FetchResponse, Fetcher};
 
 use crate::membership::Membership;
 use crate::messages::{FetchMsg, FetchRespMsg, Message, StatusMsg};
@@ -22,6 +30,8 @@ impl Replica {
         if s.replica == self.id() {
             return;
         }
+        let prev = self.peer_status.insert(s.replica, s);
+        self.maybe_rejoin_group_view(res);
         let mine = self.my_status();
         // A peer a batch or two behind is normal pipeline skew under load;
         // only treat real gaps as "behind" — and rate-limit the help.
@@ -29,10 +39,18 @@ impl Replica {
         // other forever, each reply carrying signed retransmissions, and the
         // storm eats the CPU that should be agreeing on new batches.
         const LAG_SLACK: u64 = 2;
+        // The slack exception: a peer whose executed position has not moved
+        // since its previous status is *stuck*, not skewed (a quiescent
+        // system issues no new agreements, so a tail of lost commits would
+        // otherwise leave it one or two batches — and one region digest —
+        // behind forever). Skew never trips this: a loaded replica advances
+        // between status ticks.
+        let stuck_behind = prev.is_some_and(|p| p.last_executed == s.last_executed)
+            && s.last_executed < mine.last_executed;
         let they_are_behind = s.last_stable_seq < mine.last_stable_seq
             || s.last_executed + LAG_SLACK < mine.last_executed
-            || s.view < mine.view;
-        self.peer_status.insert(s.replica, s);
+            || s.view < mine.view
+            || stuck_behind;
         let help_due = match self.last_peer_help.get(&s.replica) {
             Some(&t) => now_ns.saturating_sub(t) >= self.cfg.status_interval_ns / 2,
             None => true, // never helped this peer yet
@@ -50,6 +68,47 @@ impl Replica {
         // checkpoint certificate's direct votes lost — uses it to recover
         // even when fewer than 2f+1 checkpoint votes ever reach it.
         self.try_recover_from_statuses(self.recovering, res);
+    }
+
+    /// A replica stranded in a view change nobody else joined (its timer
+    /// fired on lost datagrams, not on a faulty primary) re-adopts the
+    /// group's view when a full quorum of peers reports a *lower* active
+    /// view. Without this, the stranded replica rejects the group's
+    /// retransmissions (they carry the lower view) and can only
+    /// resynchronize at the next stable checkpoint — which a quiescent
+    /// system never takes. Safety rests on the usual quorum-intersection
+    /// argument: anything committed anywhere carries 2f+1 commits, so at
+    /// least f+1 honest replicas carry it into any later view-change
+    /// certificate regardless of this replica's votes.
+    fn maybe_rejoin_group_view(&mut self, res: &mut HandleResult) {
+        if !self.in_view_change {
+            return;
+        }
+        let target = self.vc.target.unwrap_or(self.view);
+        // Only peers *actively operating* in a lower view count — a peer
+        // that is itself mid-view-change reports the view it is leaving,
+        // and counting it would cancel a legitimate in-progress change
+        // against a genuinely faulty primary. Statuses refresh every
+        // status tick, so the evidence is at most one interval stale.
+        let lower: Vec<_> = self
+            .peer_status
+            .values()
+            .filter(|p| !p.in_view_change)
+            .map(|p| p.view)
+            .filter(|&v| v < target)
+            .collect();
+        if lower.len() < self.cfg.quorum() {
+            return;
+        }
+        let group_view = lower.into_iter().max().expect("quorum is non-empty");
+        self.view = group_view;
+        self.in_view_change = false;
+        self.vc.target = None;
+        self.vc_timer_armed = false;
+        self.arm_vc_timer(res);
+        res.outputs.push(Output::CancelTimer {
+            kind: TimerKind::NewViewTimeout,
+        });
     }
 
     /// Re-send agreement messages a lagging peer is missing: our own
@@ -101,7 +160,10 @@ impl Replica {
         let mut groups: std::collections::BTreeMap<(SeqNum, Digest), Vec<&StatusMsg>> =
             Default::default();
         for s in self.peer_status.values() {
-            groups.entry((s.last_stable_seq, s.stable_root)).or_default().push(s);
+            groups
+                .entry((s.last_stable_seq, s.stable_root))
+                .or_default()
+                .push(s);
         }
         let best = groups
             .iter()
@@ -162,7 +224,11 @@ impl Replica {
             outstanding: reqs.clone(),
         });
         for req in reqs {
-            let msg = Message::Fetch(FetchMsg { target_seq: seq, req, replica: self.id() });
+            let msg = Message::Fetch(FetchMsg {
+                target_seq: seq,
+                req,
+                replica: self.id(),
+            });
             self.send_plain(NetTarget::Replica(peer), msg, res);
         }
         res.outputs.push(Output::SetTimer {
@@ -184,12 +250,7 @@ impl Replica {
         self.send_plain(NetTarget::Replica(f.replica), msg, res);
     }
 
-    pub(crate) fn on_fetch_resp(
-        &mut self,
-        fr: FetchRespMsg,
-        now_ns: u64,
-        res: &mut HandleResult,
-    ) {
+    pub(crate) fn on_fetch_resp(&mut self, fr: FetchRespMsg, now_ns: u64, res: &mut HandleResult) {
         let Some(fs) = &mut self.fetch else { return };
         if fr.target_seq != fs.target_seq {
             return;
@@ -222,14 +283,23 @@ impl Replica {
             let mut st = self.state.borrow_mut();
             for (idx, data) in ready {
                 res.counts.pages_hashed += 1;
-                st.install_page(idx, data).expect("fetcher validated the page index");
+                st.install_page(idx, data)
+                    .expect("fetcher validated the page index");
             }
         }
         for req in next {
-            let msg = Message::Fetch(FetchMsg { target_seq, req, replica: self.id() });
+            let msg = Message::Fetch(FetchMsg {
+                target_seq,
+                req,
+                replica: self.id(),
+            });
             self.send_plain(NetTarget::Replica(peer), msg, res);
         }
-        let done = self.fetch.as_ref().map(|f| f.fetcher.is_complete()).unwrap_or(false);
+        let done = self
+            .fetch
+            .as_ref()
+            .map(|f| f.fetcher.is_complete())
+            .unwrap_or(false);
         if done {
             self.finish_transfer(res);
             self.try_execute(now_ns, res);
@@ -239,7 +309,11 @@ impl Replica {
     pub(crate) fn finish_transfer(&mut self, res: &mut HandleResult) {
         let Some(fs) = self.fetch.take() else { return };
         let (seq, root) = (fs.target_seq, fs.target_root);
-        debug_assert_eq!(self.state.borrow().tree().root(), root, "transfer converged");
+        debug_assert_eq!(
+            self.state.borrow().tree().root(),
+            root,
+            "transfer converged"
+        );
         self.app.on_state_installed();
         self.reload_membership();
         self.reload_sessions();
@@ -268,7 +342,9 @@ impl Replica {
         self.checkpoint_chain.insert(seq, root);
         self.metrics.state_transfers_completed += 1;
         self.recovering = false;
-        res.outputs.push(Output::CancelTimer { kind: TimerKind::FetchRetry });
+        res.outputs.push(Output::CancelTimer {
+            kind: TimerKind::FetchRetry,
+        });
     }
 
     pub(crate) fn reload_sessions(&mut self) {
@@ -279,8 +355,12 @@ impl Replica {
 
     pub(crate) fn reload_membership(&mut self) {
         if self.cfg.dynamic_membership {
-            let m = Membership::load(&self.lib_section, &self.state.borrow(), self.cfg.max_clients)
-                .unwrap_or_else(|_| Membership::new(self.cfg.max_clients));
+            let m = Membership::load(
+                &self.lib_section,
+                &self.state.borrow(),
+                self.cfg.max_clients,
+            )
+            .unwrap_or_else(|_| Membership::new(self.cfg.max_clients));
             self.membership = Some(m);
         }
     }
@@ -289,9 +369,17 @@ impl Replica {
 /// Drop the outstanding request a response answers.
 fn remove_outstanding(outstanding: &mut Vec<FetchRequest>, resp: &FetchResponse) {
     let idx = outstanding.iter().position(|req| match (req, resp) {
-        (FetchRequest::Meta { level: l1, index: i1 }, FetchResponse::Meta { level: l2, index: i2, .. }) => {
-            l1 == l2 && i1 == i2
-        }
+        (
+            FetchRequest::Meta {
+                level: l1,
+                index: i1,
+            },
+            FetchResponse::Meta {
+                level: l2,
+                index: i2,
+                ..
+            },
+        ) => l1 == l2 && i1 == i2,
         (FetchRequest::Page { index: i1 }, FetchResponse::Page { index: i2, .. }) => i1 == i2,
         _ => false,
     });

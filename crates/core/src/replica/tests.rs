@@ -17,7 +17,7 @@ use crate::replica::{Replica, LIB_REGION_PAGES};
 use crate::types::{ClientId, NetAddr, ReplicaId};
 
 const SEED: u64 = 0xBEEF;
-const STATE_PAGES: usize = 16;
+const STATE_PAGES: usize = LIB_REGION_PAGES as usize + 8;
 const CLIENT_ADDR_BASE: NetAddr = 100;
 
 /// Which app backs the replicas.
@@ -71,7 +71,11 @@ fn make_replica(cfg: &PbftConfig, i: u32, app: AppKind, clients: &[ClientId]) ->
 impl Net {
     fn new(cfg: PbftConfig, num_clients: usize, app: AppKind) -> Net {
         let client_ids: Vec<ClientId> = (1..=num_clients as u64).map(ClientId).collect();
-        let preinstalled = if cfg.dynamic_membership { Vec::new() } else { client_ids.clone() };
+        let preinstalled = if cfg.dynamic_membership {
+            Vec::new()
+        } else {
+            client_ids.clone()
+        };
         let replicas: Vec<Replica> = (0..cfg.n() as u32)
             .map(|i| make_replica(&cfg, i, app, &preinstalled))
             .collect();
@@ -122,7 +126,9 @@ impl Net {
     /// Deliver queued packets until quiescent or `max_steps`.
     fn pump(&mut self, max_steps: usize) {
         for _ in 0..max_steps {
-            let Some((src, to, packet, disc)) = self.queue.pop_front() else { return };
+            let Some((src, to, packet, disc)) = self.queue.pop_front() else {
+                return;
+            };
             if let Some(f) = &self.drop {
                 if f(src, &to, disc) {
                     self.dropped += 1;
@@ -187,7 +193,10 @@ impl Net {
     }
 
     fn assert_chains_equal(&self, among: &[usize]) {
-        let chains: Vec<_> = among.iter().map(|&i| self.replicas[i].exec_chain()).collect();
+        let chains: Vec<_> = among
+            .iter()
+            .map(|&i| self.replicas[i].exec_chain())
+            .collect();
         for w in chains.windows(2) {
             assert_eq!(w[0], w[1], "replica execution chains diverged");
         }
@@ -196,7 +205,12 @@ impl Net {
     fn assert_states_equal(&mut self, among: &[usize]) {
         let roots: Vec<_> = among
             .iter()
-            .map(|&i| self.replicas[i].state_handle().borrow_mut().refresh_digest())
+            .map(|&i| {
+                self.replicas[i]
+                    .state_handle()
+                    .borrow_mut()
+                    .refresh_digest()
+            })
             .collect();
         for w in roots.windows(2) {
             assert_eq!(w[0], w[1], "replica states diverged");
@@ -205,7 +219,11 @@ impl Net {
 }
 
 fn default_cfg() -> PbftConfig {
-    PbftConfig { checkpoint_interval: 4, log_size: 16, ..Default::default() }
+    PbftConfig {
+        checkpoint_interval: 4,
+        log_size: 16,
+        ..Default::default()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -243,14 +261,21 @@ fn sequence_of_requests_from_many_clients() {
     net.assert_states_equal(&[0, 1, 2, 3]);
     // 20 requests with interval 4 → stable checkpoint advanced and logs GCd.
     for r in &net.replicas {
-        assert!(r.stable_checkpoint().0 >= 4, "stable = {}", r.stable_checkpoint().0);
+        assert!(
+            r.stable_checkpoint().0 >= 4,
+            "stable = {}",
+            r.stable_checkpoint().0
+        );
         assert!(r.metrics().checkpoints_taken >= 1);
     }
 }
 
 #[test]
 fn non_big_requests_flow_through_primary() {
-    let cfg = PbftConfig { all_requests_big: false, ..default_cfg() };
+    let cfg = PbftConfig {
+        all_requests_big: false,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 2, AppKind::Null(32));
     net.submit(0, vec![7; 100], false);
     net.submit(1, vec![8; 100], false);
@@ -262,7 +287,10 @@ fn non_big_requests_flow_through_primary() {
 
 #[test]
 fn signature_mode_works() {
-    let cfg = PbftConfig { auth: AuthMode::Signatures, ..default_cfg() };
+    let cfg = PbftConfig {
+        auth: AuthMode::Signatures,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 2, AppKind::Null(32));
     net.submit(0, vec![1], false);
     net.submit(1, vec![2], false);
@@ -274,7 +302,10 @@ fn signature_mode_works() {
 
 #[test]
 fn batching_disabled_still_executes() {
-    let cfg = PbftConfig { batching: false, ..default_cfg() };
+    let cfg = PbftConfig {
+        batching: false,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 3, AppKind::Null(16));
     for c in 0..3 {
         net.submit(c, vec![c as u8], false);
@@ -295,7 +326,11 @@ fn batching_disabled_still_executes() {
 
 #[test]
 fn batching_disabled_without_tick_executes_inline() {
-    let cfg = PbftConfig { batching: false, nobatch_issue_tick_ns: 0, ..default_cfg() };
+    let cfg = PbftConfig {
+        batching: false,
+        nobatch_issue_tick_ns: 0,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 3, AppKind::Null(16));
     for c in 0..3 {
         net.submit(c, vec![c as u8], false);
@@ -311,7 +346,10 @@ fn batching_disabled_without_tick_executes_inline() {
 
 #[test]
 fn tentative_execution_disabled_still_executes() {
-    let cfg = PbftConfig { tentative_execution: false, ..default_cfg() };
+    let cfg = PbftConfig {
+        tentative_execution: false,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 1, AppKind::Null(16));
     net.submit(0, vec![1], false);
     net.pump(10_000);
@@ -327,12 +365,20 @@ fn duplicate_request_served_from_reply_cache() {
     net.submit(0, vec![1], false);
     net.pump(10_000);
     assert_eq!(net.completed(0), 1);
-    let before: u64 = net.replicas.iter().map(|r| r.metrics().executed_requests).sum();
+    let before: u64 = net
+        .replicas
+        .iter()
+        .map(|r| r.metrics().executed_requests)
+        .sum();
     // Fire the client's retransmit timer manually: the request was answered,
     // so this is a pure duplicate.
     net.fire_client_timer(0, crate::output::TimerKind::Retransmit);
     net.pump(10_000);
-    let after: u64 = net.replicas.iter().map(|r| r.metrics().executed_requests).sum();
+    let after: u64 = net
+        .replicas
+        .iter()
+        .map(|r| r.metrics().executed_requests)
+        .sum();
     assert_eq!(before, after, "duplicates must not re-execute");
 }
 
@@ -386,7 +432,11 @@ fn checkpoints_garbage_collect_log_and_bodies() {
     }
     assert_eq!(net.completed(0), 8);
     for r in &net.replicas {
-        assert!(r.stable_checkpoint().0 >= 8, "stable = {}", r.stable_checkpoint().0);
+        assert!(
+            r.stable_checkpoint().0 >= 8,
+            "stable = {}",
+            r.stable_checkpoint().0
+        );
         assert!(r.retained_checkpoints() <= 2);
         assert_eq!(r.body_store_len(), 0, "bodies pruned after GC");
     }
@@ -401,14 +451,17 @@ fn lost_big_request_body_wedges_replica_until_checkpoint() {
     let mut net = Net::new(default_cfg(), 1, AppKind::Kv);
     // Drop the client's request multicast to replica 3 only.
     net.drop = Some(Box::new(|src, to, disc| {
-        matches!(src, Source::Client(0))
-            && *to == NetTarget::Replica(ReplicaId(3))
-            && disc == 1 // request
+        matches!(src, Source::Client(0)) && *to == NetTarget::Replica(ReplicaId(3)) && disc == 1
+        // request
     }));
     net.submit(0, KvApp::op_put(1, 1), false);
     net.pump(50_000);
     // Replicas 0-2 executed; replica 3 is wedged on the missing body.
-    assert_eq!(net.completed(0), 1, "quorum of 3 replicas still serves the client");
+    assert_eq!(
+        net.completed(0),
+        1,
+        "quorum of 3 replicas still serves the client"
+    );
     assert_eq!(net.replicas[3].last_executed(), 0);
     assert!(net.replicas[3].metrics().stuck_missing_body > 0);
     // Stop dropping; drive to the next checkpoint: replica 3 recovers via
@@ -427,12 +480,13 @@ fn lost_big_request_body_wedges_replica_until_checkpoint() {
 
 #[test]
 fn body_fetch_fix_recovers_without_checkpoint() {
-    let cfg = PbftConfig { fetch_missing_bodies: true, ..default_cfg() };
+    let cfg = PbftConfig {
+        fetch_missing_bodies: true,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 1, AppKind::Kv);
     net.drop = Some(Box::new(|src, to, disc| {
-        matches!(src, Source::Client(0))
-            && *to == NetTarget::Replica(ReplicaId(3))
-            && disc == 1
+        matches!(src, Source::Client(0)) && *to == NetTarget::Replica(ReplicaId(3)) && disc == 1
     }));
     net.submit(0, KvApp::op_put(1, 1), false);
     net.pump(50_000);
@@ -474,7 +528,10 @@ fn prepared_request_survives_view_change() {
     // new view must re-issue the same batch (safety of the P set).
     // Tentative execution is off so that "prepared" does not already answer
     // the client.
-    let cfg = PbftConfig { tentative_execution: false, ..default_cfg() };
+    let cfg = PbftConfig {
+        tentative_execution: false,
+        ..default_cfg()
+    };
     let mut net = Net::new(cfg, 1, AppKind::Kv);
     // Drop every commit so nothing executes in view 0, but prepares flow.
     net.drop = Some(Box::new(|_, _, disc| disc == 4));
@@ -487,7 +544,11 @@ fn prepared_request_survives_view_change() {
         net.fire_replica_timer(i, crate::output::TimerKind::ViewChange);
     }
     net.pump(100_000);
-    assert_eq!(net.completed(0), 1, "prepared request re-executed in view 1");
+    assert_eq!(
+        net.completed(0),
+        1,
+        "prepared request re-executed in view 1"
+    );
     net.assert_states_equal(&[1, 2, 3]);
     // The value must be the one the old primary ordered.
     net.submit(0, KvApp::op_get(9), true);
@@ -586,15 +647,17 @@ fn restarted_replica_recovers_via_state_transfer() {
 // ----------------------------------------------------------------------
 
 fn dynamic_cfg() -> PbftConfig {
-    PbftConfig { dynamic_membership: true, ..default_cfg() }
+    PbftConfig {
+        dynamic_membership: true,
+        ..default_cfg()
+    }
 }
 
 #[test]
 fn dynamic_client_joins_and_executes() {
     let cfg = dynamic_cfg();
     let mut net = Net::new(cfg.clone(), 0, AppKind::Kv);
-    let mut dyn_client =
-        Client::new_dynamic(cfg, SEED, 7, CLIENT_ADDR_BASE, b"alice:pw".to_vec());
+    let mut dyn_client = Client::new_dynamic(cfg, SEED, 7, CLIENT_ADDR_BASE, b"alice:pw".to_vec());
     let res = dyn_client.on_start(net.now);
     net.clients.push(dyn_client);
     net.route(Source::Client(0), res.outputs);
@@ -698,12 +761,17 @@ fn stale_nondet_rejected_when_validation_enforced() {
     assert!(rejections >= 3, "all backups rejected, got {rejections}");
 }
 
-
 // ----------------------------------------------------------------------
 // §3.3.2: the per-session state subsystem
 // ----------------------------------------------------------------------
 
-fn join_dynamic_client(net: &mut Net, cfg: &PbftConfig, seed_id: u64, addr: NetAddr, identity: &[u8]) -> usize {
+fn join_dynamic_client(
+    net: &mut Net,
+    cfg: &PbftConfig,
+    seed_id: u64,
+    addr: NetAddr,
+    identity: &[u8],
+) -> usize {
     let mut c = Client::new_dynamic(cfg.clone(), SEED, seed_id, addr, identity.to_vec());
     let res = c.on_start(net.now);
     let idx = net.clients.len();
@@ -724,7 +792,11 @@ fn session_state_accumulates_across_requests() {
         net.pump(50_000);
         assert_eq!(net.completed(c), expect);
         let reply = net.last_reply(c).expect("reply");
-        assert_eq!(reply, expect.to_be_bytes().to_vec(), "library session state persists");
+        assert_eq!(
+            reply,
+            expect.to_be_bytes().to_vec(),
+            "library session state persists"
+        );
     }
     // The session table lives in the replicated region: identical on all.
     net.assert_states_equal(&[0, 1, 2, 3]);
@@ -744,7 +816,10 @@ fn leave_clears_session_state() {
     let c2 = join_dynamic_client(&mut net, &cfg, 23, CLIENT_ADDR_BASE + 1, b"erin");
     net.submit(c2, b"incr".to_vec(), false);
     net.pump(50_000);
-    assert_eq!(net.last_reply(c2).expect("reply"), 1u64.to_be_bytes().to_vec());
+    assert_eq!(
+        net.last_reply(c2).expect("reply"),
+        1u64.to_be_bytes().to_vec()
+    );
 }
 
 #[test]
@@ -796,6 +871,9 @@ fn session_state_survives_state_transfer() {
     // every replica (exercised through the normal agreement path).
     net.submit(c, b"incr".to_vec(), false);
     net.pump(50_000);
-    assert_eq!(net.last_reply(c).expect("reply"), 7u64.to_be_bytes().to_vec());
+    assert_eq!(
+        net.last_reply(c).expect("reply"),
+        7u64.to_be_bytes().to_vec()
+    );
     net.assert_states_equal(&[0, 1, 2, 3]);
 }

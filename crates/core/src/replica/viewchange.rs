@@ -43,12 +43,19 @@ impl Replica {
             replica: self.id(),
         };
         let me = self.id();
-        self.vc.votes.entry(target).or_default().insert(me, vc.clone());
+        self.vc
+            .votes
+            .entry(target)
+            .or_default()
+            .insert(me, vc.clone());
         self.multicast(Message::ViewChange(vc), res);
         // Exponential backoff across failed rounds.
         let rounds = (target - self.view).min(10);
         let delay = self.cfg.view_change_timeout_ns.saturating_mul(1 << rounds);
-        res.outputs.push(Output::SetTimer { kind: TimerKind::NewViewTimeout, delay_ns: delay });
+        res.outputs.push(Output::SetTimer {
+            kind: TimerKind::NewViewTimeout,
+            delay_ns: delay,
+        });
         self.try_build_new_view(target, now_ns, res);
     }
 
@@ -79,14 +86,19 @@ impl Replica {
         if self.cfg.primary_of(w) != self.id() || self.view >= w {
             return;
         }
-        let Some(votes) = self.vc.votes.get(&w) else { return };
+        let Some(votes) = self.vc.votes.get(&w) else {
+            return;
+        };
         if votes.len() < self.cfg.quorum() {
             return;
         }
-        let vcs: Vec<ViewChangeMsg> =
-            votes.values().take(self.cfg.quorum()).cloned().collect();
+        let vcs: Vec<ViewChangeMsg> = votes.values().take(self.cfg.quorum()).cloned().collect();
         let (min_s, max_s, o) = compute_new_view_preprepares(&vcs, w);
-        let nv = NewViewMsg { view: w, view_changes: vcs.clone(), pre_prepares: o.clone() };
+        let nv = NewViewMsg {
+            view: w,
+            view_changes: vcs.clone(),
+            pre_prepares: o.clone(),
+        };
         self.multicast(Message::NewView(nv), res);
         let hint = stable_hint(&vcs);
         self.metrics.new_views_entered += 1;
@@ -148,7 +160,9 @@ impl Replica {
         }
         self.vc_timer_armed = false;
         self.arm_vc_timer(res);
-        res.outputs.push(Output::CancelTimer { kind: TimerKind::NewViewTimeout });
+        res.outputs.push(Output::CancelTimer {
+            kind: TimerKind::NewViewTimeout,
+        });
         self.try_execute(now_ns, res);
         // If we are the new primary, requests observed as a backup but never
         // ordered become our initial batching queue.
@@ -173,10 +187,7 @@ impl Replica {
     /// Roll tentatively executed batches back to the last stable checkpoint
     /// and re-execute the committed prefix (§2.1 tentative execution).
     pub(crate) fn rollback_tentative(&mut self, res: &mut HandleResult) {
-        let has_tentative = self
-            .log
-            .iter()
-            .any(|(_, e)| e.executed && e.tentative);
+        let has_tentative = self.log.iter().any(|(_, e)| e.executed && e.tentative);
         if !has_tentative {
             return;
         }
@@ -188,9 +199,17 @@ impl Replica {
             let mut st = self.state.borrow_mut();
             st.restore(&snap).expect("stable snapshot matches geometry");
         }
+        // The app (and any wrapper keeping region-backed tables, e.g. the
+        // xshard lock/stage tables) plus the library's own region mirrors
+        // must all rewind to the restored image before re-execution.
         self.app.on_state_installed();
         self.reload_membership();
-        self.exec_chain = self.checkpoint_chain.get(&base).copied().unwrap_or(Digest::ZERO);
+        self.reload_sessions();
+        self.exec_chain = self
+            .checkpoint_chain
+            .get(&base)
+            .copied()
+            .unwrap_or(Digest::ZERO);
         let old_last = self.last_executed;
         self.last_executed = base;
         // Re-execute the committed prefix; stop at the first non-committed
@@ -200,7 +219,9 @@ impl Replica {
             if !e.committed {
                 break;
             }
-            let Some(pp) = e.preprepare.clone() else { break };
+            let Some(pp) = e.preprepare.clone() else {
+                break;
+            };
             let bodies_ok = pp
                 .entries
                 .iter()

@@ -200,7 +200,10 @@ mod tests {
     fn multi_key_agreement_routes() {
         let map = ShardMap::new(4);
         let k = b"agree".to_vec();
-        assert_eq!(map.route(&[k.clone(), k.clone(), k]).unwrap(), map.shard_of(b"agree"));
+        assert_eq!(
+            map.route(&[k.clone(), k.clone(), k]).unwrap(),
+            map.shard_of(b"agree")
+        );
     }
 
     #[test]

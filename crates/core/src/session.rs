@@ -110,7 +110,9 @@ impl SessionStore {
             return Ok(SessionStore::new());
         }
         let mut buf = vec![0u8; len];
-        section.read(state, 4, &mut buf).map_err(|_| WireError::Truncated)?;
+        section
+            .read(state, 4, &mut buf)
+            .map_err(|_| WireError::Truncated)?;
         let mut d = Dec::new(&buf);
         let count = d.u32()? as usize;
         let mut entries = BTreeMap::new();
@@ -141,7 +143,12 @@ impl<'a> SessionCtx<'a> {
     /// Scope `store` to `client`. `read_only` contexts reject writes (the
     /// §2.1 read-only fast path must not modify state).
     pub fn new(store: &'a mut SessionStore, client: ClientId, read_only: bool) -> SessionCtx<'a> {
-        SessionCtx { store, client, read_only, dirty: false }
+        SessionCtx {
+            store,
+            client,
+            read_only,
+            dirty: false,
+        }
     }
 
     /// The requesting client.
@@ -205,7 +212,10 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::ReadOnly => write!(f, "session write on the read-only path"),
             SessionError::TooLarge(n) => {
-                write!(f, "session blob of {n} bytes exceeds the {MAX_SESSION_BYTES}-byte limit")
+                write!(
+                    f,
+                    "session blob of {n} bytes exceeds the {MAX_SESSION_BYTES}-byte limit"
+                )
             }
         }
     }
@@ -221,7 +231,10 @@ mod tests {
 
     fn setup() -> (Rc<RefCell<PagedState>>, Section) {
         let state = Rc::new(RefCell::new(PagedState::new(8)));
-        let section = Section { base: 0, len: 4 * pbft_state::PAGE_SIZE as u64 };
+        let section = Section {
+            base: 0,
+            len: 4 * pbft_state::PAGE_SIZE as u64,
+        };
         (state, section)
     }
 
@@ -231,7 +244,9 @@ mod tests {
         let mut store = SessionStore::new();
         store.set(ClientId(1), b"cart: 3 items".to_vec());
         store.set(ClientId(9), b"page 4".to_vec());
-        store.persist(&section, &mut state.borrow_mut()).expect("persist");
+        store
+            .persist(&section, &mut state.borrow_mut())
+            .expect("persist");
         let back = SessionStore::load(&section, &state.borrow()).expect("load");
         assert_eq!(back, store);
         assert_eq!(back.get(ClientId(9)), Some(b"page 4".as_slice()));
@@ -301,8 +316,12 @@ mod tests {
     #[test]
     fn sessions_isolated_per_client() {
         let mut store = SessionStore::new();
-        SessionCtx::new(&mut store, ClientId(1), false).put(b"a").expect("put");
-        SessionCtx::new(&mut store, ClientId(2), false).put(b"b").expect("put");
+        SessionCtx::new(&mut store, ClientId(1), false)
+            .put(b"a")
+            .expect("put");
+        SessionCtx::new(&mut store, ClientId(2), false)
+            .put(b"b")
+            .expect("put");
         assert_eq!(SessionCtx::new(&mut store, ClientId(1), false).get(), b"a");
         assert_eq!(SessionCtx::new(&mut store, ClientId(2), false).get(), b"b");
     }

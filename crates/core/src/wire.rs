@@ -47,7 +47,9 @@ pub struct Enc {
 impl Enc {
     /// Create an empty encoder.
     pub fn new() -> Self {
-        Enc { buf: Vec::with_capacity(256) }
+        Enc {
+            buf: Vec::with_capacity(256),
+        }
     }
 
     /// Finish and take the bytes.
@@ -170,7 +172,9 @@ impl<'a> Dec<'a> {
     /// # Errors
     /// [`WireError::Truncated`].
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Read a big-endian u64.
@@ -178,7 +182,9 @@ impl<'a> Dec<'a> {
     /// # Errors
     /// [`WireError::Truncated`].
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a bool byte (0 or 1).
@@ -232,7 +238,11 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         let mut e = Enc::new();
-        e.u8(7).u32(0xdead_beef).u64(0x1122_3344_5566_7788).boolean(true).boolean(false);
+        e.u8(7)
+            .u32(0xdead_beef)
+            .u64(0x1122_3344_5566_7788)
+            .boolean(true)
+            .boolean(false);
         let bytes = e.into_bytes();
         let mut d = Dec::new(&bytes);
         assert_eq!(d.u8().unwrap(), 7);

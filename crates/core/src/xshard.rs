@@ -48,27 +48,56 @@
 //! the exact fast path it had before this module existed (a pinned
 //! regression test in the harness holds that equality).
 //!
-//! Known limitation (tracked in ROADMAP.md): the lock/stage/decision tables
-//! live in app memory, not in the replicated state region. They are a pure
-//! function of the ordered operations the replica has *executed*, so they
-//! survive group-level faults (≤ f per group) and tentative-execution
-//! rollback (re-execution is idempotent), but **not** paths that skip
-//! execution: a crash-restart, or a checkpoint-install state transfer that
-//! jumps a lagging replica over ordered operations it never ran. A replica
-//! whose table misses a transaction staged inside such a gap answers a
-//! later `Commit` with the presumed-abort branch while its quorum peers
-//! apply — the group's certified replies stay correct (≤ f such replicas
-//! are masked), but that replica's region diverges until the next
-//! transfer. The harness scenarios therefore model shard failure as
-//! partition/stall; persisting the tables into the region is the ROADMAP
-//! item that lifts the caveat.
+//! ## Durability: the tables live in the replicated state region
+//!
+//! Every table the wrapper keeps — the lock table, the staged sub-ops, the
+//! applied/aborted sets, the coordinator decision log and the GC floors —
+//! is mirrored write-through into a dedicated section of the replica's
+//! [`pbft_state::PagedState`] region (see [`xshard_section`]): the
+//! in-flight tables as a [`pbft_state::BlobCell`] image rewritten per
+//! mutation, the per-transaction completion records as a fixed-slot
+//! [`pbft_state::SlotRing`]. The section is therefore Merkle-covered,
+//! carried by checkpoint snapshots and certificates, and installed page by
+//! page during state transfer like any other state. Paths that *skip*
+//! execution — a crash-restart over a preserved disk, or a
+//! checkpoint-install state transfer that jumps a lagging replica over a
+//! transaction's prepare — reconstruct the tables from the section
+//! ([`App::on_state_installed`] reloads them) instead of diverging, which
+//! is what makes replica repair mid-transaction safe.
+//!
+//! ## Bounded retention: the stability-watermark GC
+//!
+//! Completion records (applied / aborted / decision facts) are retained in
+//! the ring's arrival order and bounded by its capacity; once full, every
+//! new record evicts the oldest and advances a per-initiator **GC floor**
+//! (the stability watermark, keyed by the [`TxId`] stripe — the initiator
+//! index in the high bits). The floor is a watermark, not a tombstone:
+//! eviction follows completion order, so a still-retained record may sit
+//! below its stripe's floor, and every handler consults the tables
+//! *first* — retained records keep answering exactly (e.g. the idempotent
+//! `PrepareOk` for an applied transaction). Only a transaction whose
+//! record was actually collected falls through to the watermark, which
+//! answers deterministically without re-recording:
+//! `Prepare`/`Commit`/`Abort` answer `Aborted` (presumed abort, and
+//! nothing is staged or locked), an `AtomicBatch` answers `Committed`
+//! without re-executing (an ordered batch always committed the first
+//! time), and the queries answer "no record". Every replica of a group
+//! evicts at the same ordered operation, so the floors — like the tables —
+//! are bit-identical across the group.
 //!
 //! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
 //! use pbft_core::app::{App, NonDet, NullApp};
+//! use pbft_core::replica::LIB_REGION_PAGES;
 //! use pbft_core::xshard::{SubOp, XMsg, XReply, XShardApp};
 //! use pbft_core::ClientId;
 //!
-//! let mut app = XShardApp::new(Box::new(NullApp::new(8)));
+//! let state = Rc::new(RefCell::new(pbft_state::PagedState::new(
+//!     LIB_REGION_PAGES as usize + 1,
+//! )));
+//! let mut app = XShardApp::mount(Box::new(NullApp::new(8)), state);
 //! let nd = NonDet::default();
 //! let prepare = XMsg::Prepare {
 //!     txid: 7,
@@ -85,10 +114,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::app::{App, ExecMetrics, NonDet};
+use pbft_state::{BlobCell, Section, SlotRing, PAGE_SIZE};
+
+use crate::app::{App, ExecMetrics, NonDet, StateHandle};
 use crate::routing::{RouteError, ShardMap};
 use crate::session::SessionCtx;
 use crate::types::ClientId;
+use crate::wire::{Dec, Enc};
 
 /// Globally unique transaction identifier (assigned by the initiator;
 /// harness initiators stripe their index into the high bits).
@@ -154,11 +186,18 @@ impl XShardOp {
             let shard = map.route(&sub.keys)?;
             match legs.iter_mut().find(|l| l.shard == shard) {
                 Some(leg) => leg.ops.push(sub),
-                None => legs.push(XShardLeg { shard, ops: vec![sub] }),
+                None => legs.push(XShardLeg {
+                    shard,
+                    ops: vec![sub],
+                }),
             }
         }
         let coordinator = legs[0].shard;
-        Ok(XShardOp { txid, legs, coordinator })
+        Ok(XShardOp {
+            txid,
+            legs,
+            coordinator,
+        })
     }
 
     /// Does the whole transaction land on a single group? Single-leg
@@ -244,16 +283,60 @@ fn put_sub_ops(out: &mut Vec<u8>, ops: &[SubOp]) {
     // here would make a participant stage (and later apply) a *subset* of
     // the transaction — exactly the partial application 2PC exists to
     // prevent — so oversized transactions fail loudly at the initiator.
-    assert!(ops.len() <= u16::MAX as usize, "transaction exceeds {} sub-ops", u16::MAX);
+    assert!(
+        ops.len() <= u16::MAX as usize,
+        "transaction exceeds {} sub-ops",
+        u16::MAX
+    );
     out.extend_from_slice(&(ops.len() as u16).to_be_bytes());
     for sub in ops {
-        assert!(sub.keys.len() <= u16::MAX as usize, "sub-op exceeds {} keys", u16::MAX);
+        assert!(
+            sub.keys.len() <= u16::MAX as usize,
+            "sub-op exceeds {} keys",
+            u16::MAX
+        );
         out.extend_from_slice(&(sub.keys.len() as u16).to_be_bytes());
         for k in &sub.keys {
             put_bytes(out, k);
         }
         put_bytes(out, &sub.op);
     }
+}
+
+/// Decode a [`XShardApp`] in-flight table image (the inverse of
+/// `XShardApp::tables_image`).
+#[allow(clippy::type_complexity)]
+fn decode_tables_image(
+    image: &[u8],
+) -> Result<
+    (
+        BTreeMap<Vec<u8>, TxId>,
+        BTreeMap<TxId, Vec<SubOp>>,
+        BTreeMap<u64, TxId>,
+    ),
+    crate::wire::WireError,
+> {
+    let mut d = Dec::new(image);
+    let mut locks = BTreeMap::new();
+    for _ in 0..d.u32()? {
+        let key = d.bytes()?;
+        let txid = d.u64()?;
+        locks.insert(key, txid);
+    }
+    let mut staged = BTreeMap::new();
+    for _ in 0..d.u32()? {
+        let txid = d.u64()?;
+        let encoded = d.bytes()?;
+        let ops = get_sub_ops(&encoded, &mut 0).ok_or(crate::wire::WireError::Truncated)?;
+        staged.insert(txid, ops);
+    }
+    let mut floors = BTreeMap::new();
+    for _ in 0..d.u32()? {
+        let stripe = d.u64()?;
+        let floor = d.u64()?;
+        floors.insert(stripe, floor);
+    }
+    Ok((locks, staged, floors))
 }
 
 fn get_sub_ops(buf: &[u8], at: &mut usize) -> Option<Vec<SubOp>> {
@@ -327,13 +410,22 @@ impl XMsg {
         let txid = TxId::from_be_bytes(rest.get(..8)?.try_into().ok()?);
         let mut at = 8;
         let msg = match tag {
-            TAG_PREPARE => XMsg::Prepare { txid, ops: get_sub_ops(rest, &mut at)? },
-            TAG_DECIDE => XMsg::Decide { txid, commit: *rest.get(at)? != 0 },
+            TAG_PREPARE => XMsg::Prepare {
+                txid,
+                ops: get_sub_ops(rest, &mut at)?,
+            },
+            TAG_DECIDE => XMsg::Decide {
+                txid,
+                commit: *rest.get(at)? != 0,
+            },
             TAG_COMMIT => XMsg::Commit { txid },
             TAG_ABORT => XMsg::Abort { txid },
             TAG_QUERY_DECISION => XMsg::QueryDecision { txid },
             TAG_QUERY_APPLIED => XMsg::QueryApplied { txid },
-            TAG_ATOMIC_BATCH => XMsg::AtomicBatch { txid, ops: get_sub_ops(rest, &mut at)? },
+            TAG_ATOMIC_BATCH => XMsg::AtomicBatch {
+                txid,
+                ops: get_sub_ops(rest, &mut at)?,
+            },
             _ => return None,
         };
         Some(msg)
@@ -435,7 +527,11 @@ impl XReply {
         match self {
             XReply::PrepareFail { holder, .. } => out.extend_from_slice(&holder.to_be_bytes()),
             XReply::Committed { replies, .. } => {
-                assert!(replies.len() <= u16::MAX as usize, "reply count exceeds {}", u16::MAX);
+                assert!(
+                    replies.len() <= u16::MAX as usize,
+                    "reply count exceeds {}",
+                    u16::MAX
+                );
                 out.extend_from_slice(&(replies.len() as u16).to_be_bytes());
                 for r in replies {
                     put_bytes(&mut out, r);
@@ -475,7 +571,10 @@ impl XReply {
                 XReply::Committed { txid, replies }
             }
             RTAG_ABORTED => XReply::Aborted { txid },
-            RTAG_DECISION_LOGGED => XReply::DecisionLogged { txid, commit: *rest.get(at)? != 0 },
+            RTAG_DECISION_LOGGED => XReply::DecisionLogged {
+                txid,
+                commit: *rest.get(at)? != 0,
+            },
             RTAG_DECISION => XReply::Decision {
                 txid,
                 commit: match *rest.get(at)? {
@@ -484,7 +583,10 @@ impl XReply {
                     _ => None,
                 },
             },
-            RTAG_APPLIED => XReply::Applied { txid, applied: *rest.get(at)? != 0 },
+            RTAG_APPLIED => XReply::Applied {
+                txid,
+                applied: *rest.get(at)? != 0,
+            },
             _ => return None,
         };
         Some(reply)
@@ -519,7 +621,10 @@ pub struct TxCoordinator {
 impl TxCoordinator {
     /// Start a tally over the participant shards.
     pub fn new(participants: impl IntoIterator<Item = u32>) -> TxCoordinator {
-        TxCoordinator { pending: participants.into_iter().collect(), verdict: None }
+        TxCoordinator {
+            pending: participants.into_iter().collect(),
+            verdict: None,
+        }
     }
 
     /// Shards whose votes are still outstanding.
@@ -558,9 +663,92 @@ impl TxCoordinator {
     }
 }
 
-/// How many committed transactions' staged sub-ops [`XShardApp`] retains
-/// for idempotent re-execution after a tentative-execution rollback.
-pub const COMMITTED_LOG_CAP: usize = 4096;
+/// Pages of the xshard region section holding the completion-record ring
+/// (the [`pbft_state::SlotRing`] of applied/aborted/decision facts).
+pub const XSHARD_RING_PAGES: u64 = 32;
+
+/// Pages of the xshard region section holding the in-flight table cell
+/// (the [`pbft_state::BlobCell`] image of locks, staged sub-ops and GC
+/// floors).
+pub const XSHARD_CELL_PAGES: u64 = 24;
+
+/// Total pages of the xshard section inside the library partition of the
+/// replica state region (see [`crate::replica::LIB_REGION_PAGES`]).
+pub const XSHARD_PAGES: u64 = XSHARD_RING_PAGES + XSHARD_CELL_PAGES;
+
+/// Bytes of one completion record slot: txid (8) + kind tag (1) + padding.
+const XSHARD_SLOT_LEN: usize = 16;
+
+/// Ceiling of the cell headroom a prepare must leave free (see
+/// [`XShardApp`]): room for the floor entries (16 bytes per initiator
+/// stripe) that the non-voting paths may mint on ring eviction after the
+/// prepare was accepted. 4096 bytes covers 256 stripes — far beyond any
+/// deployment's initiator count. Small custom cells reserve an eighth of
+/// their capacity (at least four entries) instead.
+const XSHARD_FLOOR_HEADROOM: usize = 4096;
+
+/// Bit position of the initiator stripe inside a [`TxId`] (initiators put
+/// their index in the high bits; see [`TxId`]). GC floors are kept per
+/// stripe so eviction of one initiator's old transactions never shadows a
+/// fresh transaction of another.
+pub const TX_STRIPE_SHIFT: u32 = 40;
+
+const XSHARD_RING_MAGIC: u64 = 0x5853_5249_4E47_0001; // "XSRING" + version
+const XSHARD_CELL_MAGIC: u64 = 0x5853_4345_4C4C_0001; // "XSCELL" + version
+
+/// Completion-record kind tags (ring slot byte 8).
+const REC_APPLIED: u8 = 1;
+const REC_ABORTED: u8 = 2;
+const REC_DECIDED_COMMIT: u8 = 3;
+const REC_DECIDED_ABORT: u8 = 4;
+
+/// The xshard section of the standard replica region layout: immediately
+/// after the membership and session pages, [`XSHARD_PAGES`] long. The ring
+/// occupies the first [`XSHARD_RING_PAGES`], the cell the rest.
+/// [`XShardApp::mount`] wires this geometry; deployments with a custom
+/// region layout use [`XShardApp::with_sections`] instead.
+pub fn xshard_section() -> Section {
+    let page = PAGE_SIZE as u64;
+    Section {
+        base: (crate::replica::MEMBERSHIP_PAGES + crate::replica::SESSION_PAGES) * page,
+        len: XSHARD_PAGES * page,
+    }
+}
+
+/// The ring and cell sub-sections of the standard [`xshard_section`]
+/// geometry.
+fn standard_sections() -> (Section, Section) {
+    let page = PAGE_SIZE as u64;
+    let sec = xshard_section();
+    (
+        Section {
+            base: sec.base,
+            len: XSHARD_RING_PAGES * page,
+        },
+        Section {
+            base: sec.base + XSHARD_RING_PAGES * page,
+            len: XSHARD_CELL_PAGES * page,
+        },
+    )
+}
+
+/// Read the GC floors straight out of a replica's region (standard layout),
+/// without an [`XShardApp`] instance. The harness atomicity audit uses this
+/// to recognize transactions whose completion records the stability
+/// watermark already collected — a quorum-certified `QueryApplied` for
+/// those deterministically answers "not applied" whatever the original
+/// outcome was, so they are no longer auditable at the application level.
+/// An empty or never-written section yields no floors.
+pub fn read_gc_floors(state: &pbft_state::PagedState) -> BTreeMap<u64, TxId> {
+    let (_, cell) = standard_sections();
+    let cell = BlobCell::new(cell, XSHARD_CELL_MAGIC);
+    match cell.load(state) {
+        Ok(Some(image)) => decode_tables_image(&image)
+            .map(|(_, _, floors)| floors)
+            .unwrap_or_default(),
+        _ => BTreeMap::new(),
+    }
+}
 
 /// The lock-and-log participant (and decision-log coordinator) application
 /// wrapper.
@@ -571,29 +759,37 @@ pub const COMMITTED_LOG_CAP: usize = 4096;
 /// functions of the ordered operation history, so every replica of a group
 /// holds identical tables and produces bit-identical replies.
 ///
-/// Memory: the per-transaction *payloads* (staged and recently committed
-/// sub-ops) are bounded — staged entries live only between prepare and
-/// decision, and the committed log is capped at [`COMMITTED_LOG_CAP`]
-/// entries. The `applied`/`aborted`/`decisions` records are retained
-/// indefinitely (a few machine words per transaction) because forgetting
-/// them would break idempotence and the audit surface; bounding them is
-/// part of the region-persistence ROADMAP item.
+/// The tables are mirrored write-through into the wrapper's region section
+/// (module docs) and reloaded whenever the engine installs region content
+/// from elsewhere — state transfer, tentative-execution rollback, or a
+/// restart over a preserved disk ([`XShardApp::mount`] loads at
+/// construction). In-memory they are only a cache of the section.
+///
+/// Memory and region use are bounded: staged payloads live only between
+/// prepare and decision (an oversized in-flight table makes a prepare vote
+/// no deterministically), and completion records are retained up to the
+/// ring capacity ([`XShardApp::record_capacity`]) with the
+/// stability-watermark GC answering for anything older.
 pub struct XShardApp {
     inner: Box<dyn App>,
+    /// The shared region handle (the same one the engine checkpoints).
+    state: StateHandle,
+    /// Durable completion records, oldest-first, bounded.
+    ring: SlotRing,
+    /// Durable image of the in-flight tables (locks + staged + floors).
+    cell: BlobCell,
     /// Key → transaction currently holding its lock.
     locks: BTreeMap<Vec<u8>, TxId>,
     /// Staged (prepared, not yet decided) transactions.
     staged: BTreeMap<TxId, Vec<SubOp>>,
-    /// Recently committed transactions' sub-ops (idempotent re-execution).
-    committed_log: BTreeMap<TxId, Vec<SubOp>>,
-    /// Commit order of `committed_log` entries, oldest first (eviction).
-    committed_order: std::collections::VecDeque<TxId>,
     /// Every transaction this group has applied (committed or batched).
     applied: BTreeSet<TxId>,
     /// Transactions this group has aborted.
     aborted: BTreeSet<TxId>,
     /// Coordinator decision records (first writer wins).
     decisions: BTreeMap<TxId, bool>,
+    /// Per-stripe GC floors: highest evicted txid per initiator stripe.
+    floors: BTreeMap<u64, TxId>,
     /// Plain operations passed through to the inner application.
     passthrough: u64,
 }
@@ -604,6 +800,7 @@ impl std::fmt::Debug for XShardApp {
             .field("staged", &self.staged.len())
             .field("locks", &self.locks.len())
             .field("applied", &self.applied.len())
+            .field("floors", &self.floors.len())
             .field("passthrough", &self.passthrough)
             .finish()
     }
@@ -614,19 +811,44 @@ impl std::fmt::Debug for XShardApp {
 const XSHARD_BOOKKEEPING_US: f64 = 2.0;
 
 impl XShardApp {
-    /// Wrap an application for cross-shard deployments.
-    pub fn new(inner: Box<dyn App>) -> XShardApp {
-        XShardApp {
+    /// Wrap an application for cross-shard deployments over the standard
+    /// region layout ([`xshard_section`]). Existing section content — a
+    /// preserved disk across a restart — is loaded, not cleared: a replica
+    /// that crashed mid-transaction comes back with its lock/stage/decision
+    /// tables exactly as of its last executed operation.
+    pub fn mount(inner: Box<dyn App>, state: StateHandle) -> XShardApp {
+        let (ring, cell) = standard_sections();
+        Self::with_sections(inner, state, ring, cell)
+    }
+
+    /// [`XShardApp::mount`] with explicit ring/cell sections — the hook for
+    /// custom region layouts and for tests that want a tiny ring (fast GC
+    /// eviction) or a tiny cell (staging-capacity refusal).
+    ///
+    /// # Panics
+    /// Panics if the sections cannot hold their container headers, or the
+    /// region holds a corrupt table image (a state bug, not a caller error).
+    pub fn with_sections(
+        inner: Box<dyn App>,
+        state: StateHandle,
+        ring: Section,
+        cell: Section,
+    ) -> XShardApp {
+        let mut app = XShardApp {
             inner,
+            state,
+            ring: SlotRing::new(ring, XSHARD_SLOT_LEN, XSHARD_RING_MAGIC),
+            cell: BlobCell::new(cell, XSHARD_CELL_MAGIC),
             locks: BTreeMap::new(),
             staged: BTreeMap::new(),
-            committed_log: BTreeMap::new(),
-            committed_order: std::collections::VecDeque::new(),
             applied: BTreeSet::new(),
             aborted: BTreeSet::new(),
             decisions: BTreeMap::new(),
+            floors: BTreeMap::new(),
             passthrough: 0,
-        }
+        };
+        app.reload_tables();
+        app
     }
 
     /// Has this group applied `txid` to its committed state?
@@ -654,27 +876,151 @@ impl XShardApp {
         self.passthrough
     }
 
+    /// How many completion records the ring retains before the GC floor
+    /// starts advancing.
+    pub fn record_capacity(&self) -> u64 {
+        self.ring.capacity()
+    }
+
+    /// The GC floor of an initiator stripe: the highest garbage-collected
+    /// txid, or `None` while nothing of that stripe was ever evicted.
+    pub fn gc_floor(&self, stripe: u64) -> Option<TxId> {
+        self.floors.get(&stripe).copied()
+    }
+
+    /// Is `txid` at or below its stripe's GC floor (its completion record
+    /// was evicted; the stability-watermark answers for it)?
+    pub fn is_gc_evicted(&self, txid: TxId) -> bool {
+        self.floors
+            .get(&(txid >> TX_STRIPE_SHIFT))
+            .is_some_and(|&floor| txid <= floor)
+    }
+
     fn release_locks(&mut self, txid: TxId) {
         self.locks.retain(|_, holder| *holder != txid);
     }
 
-    /// Record a committed transaction's sub-ops for idempotent re-execution,
-    /// evicting the *least recently committed* entries past the cap (the
-    /// same deterministic order on every replica, since commits are ordered
-    /// operations).
-    fn log_committed(&mut self, txid: TxId, ops: Vec<SubOp>) {
-        if self.committed_log.insert(txid, ops).is_none() {
-            self.committed_order.push_back(txid);
+    /// Append a completion record to the durable ring; a full ring evicts
+    /// its oldest record, whose map entry is dropped and whose stripe floor
+    /// advances (the stability watermark).
+    fn push_record(&mut self, txid: TxId, kind: u8) {
+        let mut rec = [0u8; XSHARD_SLOT_LEN];
+        rec[..8].copy_from_slice(&txid.to_be_bytes());
+        rec[8] = kind;
+        let evicted = {
+            let mut st = self.state.borrow_mut();
+            self.ring
+                .push(&mut st, &rec)
+                .expect("xshard ring section in bounds")
+        };
+        if let Some(old) = evicted {
+            let old_tx = TxId::from_be_bytes(old[..8].try_into().expect("8 bytes"));
+            match old[8] {
+                REC_APPLIED => {
+                    self.applied.remove(&old_tx);
+                }
+                REC_ABORTED => {
+                    self.aborted.remove(&old_tx);
+                }
+                REC_DECIDED_COMMIT | REC_DECIDED_ABORT => {
+                    self.decisions.remove(&old_tx);
+                }
+                _ => {}
+            }
+            let floor = self.floors.entry(old_tx >> TX_STRIPE_SHIFT).or_insert(0);
+            *floor = (*floor).max(old_tx);
         }
-        while self.committed_order.len() > COMMITTED_LOG_CAP {
-            if let Some(oldest) = self.committed_order.pop_front() {
-                self.committed_log.remove(&oldest);
+    }
+
+    /// Serialize the in-flight tables (locks, staged sub-ops, GC floors)
+    /// into the cell image.
+    fn tables_image(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.locks.len() as u32);
+        for (key, txid) in &self.locks {
+            e.bytes(key).u64(*txid);
+        }
+        e.u32(self.staged.len() as u32);
+        for (txid, ops) in &self.staged {
+            let mut encoded = Vec::new();
+            put_sub_ops(&mut encoded, ops);
+            e.u64(*txid).bytes(&encoded);
+        }
+        e.u32(self.floors.len() as u32);
+        for (stripe, floor) in &self.floors {
+            e.u64(*stripe).u64(*floor);
+        }
+        e.into_bytes()
+    }
+
+    /// Write the in-flight tables through to the region (every mutation of
+    /// locks/staged/floors ends here, so the region is a function of the
+    /// executed prefix at every operation boundary).
+    fn persist_tables(&mut self) {
+        let image = self.tables_image();
+        self.store_tables(image);
+    }
+
+    /// Cell bytes a prepare must leave unused for later floor growth.
+    fn floor_headroom(&self) -> usize {
+        (self.cell.capacity() / 8).clamp(4 * XSHARD_SLOT_LEN, XSHARD_FLOOR_HEADROOM)
+    }
+
+    /// Store a prebuilt table image (the Prepare path builds it once for
+    /// the capacity vote and reuses it here).
+    fn store_tables(&mut self, image: Vec<u8>) {
+        let mut st = self.state.borrow_mut();
+        // Cannot fire under the documented sizing invariant: prepares
+        // reserve [`XSHARD_FLOOR_HEADROOM`] below the cell capacity, and
+        // the only growth past a prepare is one 16-byte floor entry per
+        // *new* initiator stripe (paths that cannot vote no).
+        self.cell
+            .store(&mut st, &image)
+            .expect("xshard cell sized for in-flight tables plus floor headroom");
+    }
+
+    /// Rebuild every table from the region section — construction over a
+    /// preserved disk, state-transfer install, tentative rollback.
+    fn reload_tables(&mut self) {
+        self.locks.clear();
+        self.staged.clear();
+        self.applied.clear();
+        self.aborted.clear();
+        self.decisions.clear();
+        self.floors.clear();
+        let st = self.state.borrow();
+        if let Some(image) = self.cell.load(&st).expect("xshard cell readable") {
+            let (locks, staged, floors) =
+                decode_tables_image(&image).expect("xshard table image decodes");
+            self.locks = locks;
+            self.staged = staged;
+            self.floors = floors;
+        }
+        for rec in self.ring.records(&st).expect("xshard ring readable") {
+            let txid = TxId::from_be_bytes(rec[..8].try_into().expect("8 bytes"));
+            match rec[8] {
+                REC_APPLIED => {
+                    self.applied.insert(txid);
+                }
+                REC_ABORTED => {
+                    self.aborted.insert(txid);
+                }
+                REC_DECIDED_COMMIT => {
+                    self.decisions.insert(txid, true);
+                }
+                REC_DECIDED_ABORT => {
+                    self.decisions.insert(txid, false);
+                }
+                _ => {}
             }
         }
     }
 
     fn bookkeeping_metrics() -> ExecMetrics {
-        ExecMetrics { cpu_us: XSHARD_BOOKKEEPING_US, ..Default::default() }
+        ExecMetrics {
+            cpu_us: XSHARD_BOOKKEEPING_US,
+            ..Default::default()
+        }
     }
 
     fn apply_ops(
@@ -689,7 +1035,9 @@ impl XShardApp {
         let mut session = session;
         for sub in ops {
             let (reply, m) = match session.as_deref_mut() {
-                Some(ctx) => self.inner.execute_with_session(client, &sub.op, nondet, false, ctx),
+                Some(ctx) => self
+                    .inner
+                    .execute_with_session(client, &sub.op, nondet, false, ctx),
                 None => self.inner.execute(client, &sub.op, nondet, false),
             };
             metrics.add(&m);
@@ -717,8 +1065,11 @@ impl XShardApp {
                     return (XReply::PrepareOk { txid }.encode(), bookkeeping);
                 }
                 // A participant never votes yes for a transaction it already
-                // aborted (a late retransmitted prepare after timeout-abort).
-                if self.aborted.contains(&txid) {
+                // aborted (a late retransmitted prepare after timeout-abort)
+                // — nor for one old enough that its completion record was
+                // garbage-collected (the stability watermark presumes abort,
+                // and staging it would lock keys nobody will release).
+                if self.aborted.contains(&txid) || self.is_gc_evicted(txid) {
                     return (XReply::Aborted { txid }.encode(), bookkeeping);
                 }
                 // No-wait locking: any conflict is an immediate no-vote, so
@@ -741,34 +1092,64 @@ impl XShardApp {
                     }
                 }
                 self.staged.insert(txid, ops);
+                // The in-flight tables must fit their region cell with
+                // [`XSHARD_FLOOR_HEADROOM`] to spare; a transaction that
+                // would overflow votes no — the same deterministic answer
+                // on every replica of the group. The headroom is what the
+                // non-voting paths (Decide, presumed-abort Commit, Abort)
+                // may later consume when a ring eviction mints a floor
+                // entry for a new stripe.
+                let image = self.tables_image();
+                if image.len() + self.floor_headroom() > self.cell.capacity() {
+                    self.staged.remove(&txid);
+                    self.release_locks(txid);
+                    self.aborted.insert(txid);
+                    self.push_record(txid, REC_ABORTED);
+                    self.persist_tables();
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                self.store_tables(image);
                 (XReply::PrepareOk { txid }.encode(), bookkeeping)
             }
             XMsg::Commit { txid } => {
                 if read_only {
                     return (XReply::Aborted { txid }.encode(), bookkeeping);
                 }
-                let ops = match self.staged.remove(&txid) {
-                    Some(ops) => ops,
-                    // Re-execution after a rollback: the staged entry moved
-                    // to the committed log the first time around; re-apply
-                    // (the region was rolled back with everything else).
-                    None => match self.committed_log.get(&txid) {
-                        Some(ops) => ops.clone(),
-                        // Commit for a transaction never prepared here —
-                        // protocol misuse; presumed abort keeps it safe, and
-                        // recording the abort stops a late reordered Prepare
-                        // from staging and locking keys nobody will release.
-                        None => {
-                            self.aborted.insert(txid);
-                            return (XReply::Aborted { txid }.encode(), bookkeeping);
+                if let Some(ops) = self.staged.remove(&txid) {
+                    let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
+                    self.release_locks(txid);
+                    self.applied.insert(txid);
+                    self.push_record(txid, REC_APPLIED);
+                    self.persist_tables();
+                    return (XReply::Committed { txid, replies }.encode(), metrics);
+                }
+                // Duplicate ordered commit: the first one applied and
+                // replied; acknowledge without re-executing. (Rollback
+                // re-execution never lands here — restoring the region
+                // restored the staged entry too.)
+                if self.applied.contains(&txid) {
+                    return (
+                        XReply::Committed {
+                            txid,
+                            replies: Vec::new(),
                         }
-                    },
-                };
-                let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
-                self.release_locks(txid);
-                self.applied.insert(txid);
-                self.log_committed(txid, ops);
-                (XReply::Committed { txid, replies }.encode(), metrics)
+                        .encode(),
+                        bookkeeping,
+                    );
+                }
+                // Garbage-collected: the watermark already presumes abort;
+                // answer without writing a fresh record.
+                if self.is_gc_evicted(txid) {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                // Commit for a transaction never prepared here — protocol
+                // misuse; presumed abort keeps it safe, and recording the
+                // abort stops a late reordered Prepare from staging and
+                // locking keys nobody will release.
+                self.aborted.insert(txid);
+                self.push_record(txid, REC_ABORTED);
+                self.persist_tables();
+                (XReply::Aborted { txid }.encode(), bookkeeping)
             }
             XMsg::Abort { txid } => {
                 if read_only {
@@ -777,41 +1158,124 @@ impl XShardApp {
                 // An abort can never undo an applied commit; reply with the
                 // truth so a confused initiator notices.
                 if self.applied.contains(&txid) {
-                    return (XReply::Committed { txid, replies: Vec::new() }.encode(), bookkeeping);
+                    return (
+                        XReply::Committed {
+                            txid,
+                            replies: Vec::new(),
+                        }
+                        .encode(),
+                        bookkeeping,
+                    );
                 }
-                self.staged.remove(&txid);
+                let had_stage = self.staged.remove(&txid).is_some();
                 self.release_locks(txid);
-                self.aborted.insert(txid);
+                if self.is_gc_evicted(txid) {
+                    // Evicted long ago; the watermark already answers abort.
+                    if had_stage {
+                        self.persist_tables();
+                    }
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                let newly_aborted = self.aborted.insert(txid);
+                if newly_aborted {
+                    self.push_record(txid, REC_ABORTED);
+                }
+                if newly_aborted || had_stage {
+                    self.persist_tables();
+                }
                 (XReply::Aborted { txid }.encode(), bookkeeping)
             }
             XMsg::Decide { txid, commit } => {
                 if read_only {
-                    return (XReply::Decision { txid, commit: None }.encode(), bookkeeping);
+                    return (
+                        XReply::Decision { txid, commit: None }.encode(),
+                        bookkeeping,
+                    );
                 }
-                let recorded = *self.decisions.entry(txid).or_insert(commit);
-                (XReply::DecisionLogged { txid, commit: recorded }.encode(), bookkeeping)
+                if let Some(&recorded) = self.decisions.get(&txid) {
+                    return (
+                        XReply::DecisionLogged {
+                            txid,
+                            commit: recorded,
+                        }
+                        .encode(),
+                        bookkeeping,
+                    );
+                }
+                // A decision old enough to be garbage-collected is presumed
+                // abort; no fresh record is written for ancient txids.
+                if self.is_gc_evicted(txid) {
+                    return (
+                        XReply::DecisionLogged {
+                            txid,
+                            commit: false,
+                        }
+                        .encode(),
+                        bookkeeping,
+                    );
+                }
+                self.decisions.insert(txid, commit);
+                self.push_record(
+                    txid,
+                    if commit {
+                        REC_DECIDED_COMMIT
+                    } else {
+                        REC_DECIDED_ABORT
+                    },
+                );
+                self.persist_tables();
+                (
+                    XReply::DecisionLogged { txid, commit }.encode(),
+                    bookkeeping,
+                )
             }
             XMsg::QueryDecision { txid } => (
-                XReply::Decision { txid, commit: self.decisions.get(&txid).copied() }.encode(),
+                XReply::Decision {
+                    txid,
+                    commit: self.decisions.get(&txid).copied(),
+                }
+                .encode(),
                 bookkeeping,
             ),
             XMsg::QueryApplied { txid } => (
-                XReply::Applied { txid, applied: self.applied.contains(&txid) }.encode(),
+                XReply::Applied {
+                    txid,
+                    applied: self.applied.contains(&txid),
+                }
+                .encode(),
                 bookkeeping,
             ),
             XMsg::AtomicBatch { txid, ops } => {
                 if read_only {
                     return (XReply::Aborted { txid }.encode(), bookkeeping);
                 }
-                if self.applied.contains(&txid) {
-                    // Idempotent re-execution after rollback.
-                    let ops = self.committed_log.get(&txid).cloned().unwrap_or(ops);
-                    let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
-                    return (XReply::Committed { txid, replies }.encode(), metrics);
+                // Hardening against protocol misuse: a txid is routed
+                // either as a batch or through 2PC, never both, but if a
+                // confused initiator batches a txid it also prepared, the
+                // stale stage entry and its locks must not dangle forever —
+                // on the duplicate/garbage-collected paths below included.
+                if self.staged.remove(&txid).is_some() {
+                    self.release_locks(txid);
+                    self.persist_tables();
+                }
+                // Duplicate ordered batch (or one old enough that its
+                // applied record was garbage-collected): an ordered batch
+                // always committed the first time, so acknowledge without
+                // double-applying.
+                if self.applied.contains(&txid) || self.is_gc_evicted(txid) {
+                    return (
+                        XReply::Committed {
+                            txid,
+                            replies: Vec::new(),
+                        }
+                        .encode(),
+                        bookkeeping,
+                    );
                 }
                 let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
                 self.applied.insert(txid);
-                self.log_committed(txid, ops);
+                self.push_record(txid, REC_APPLIED);
+                self.persist_tables();
                 (XReply::Committed { txid, replies }.encode(), metrics)
             }
         }
@@ -847,7 +1311,8 @@ impl App for XShardApp {
             Some(msg) => self.handle(client, msg, nondet, read_only, Some(session)),
             None => {
                 self.passthrough += 1;
-                self.inner.execute_with_session(client, op, nondet, read_only, session)
+                self.inner
+                    .execute_with_session(client, op, nondet, read_only, session)
             }
         }
     }
@@ -865,9 +1330,12 @@ impl App for XShardApp {
     }
 
     fn on_state_installed(&mut self) {
-        // The xshard tables are keyed by txid with idempotent transitions,
-        // so they survive a region rollback + re-execution unchanged (see
-        // the module docs for the limitation around replica restarts).
+        // The engine just rewrote the region (state transfer install or a
+        // tentative-execution rollback); the in-memory tables are stale
+        // caches of the xshard section — rebuild them from it. This is the
+        // path that lets a lagging replica fast-forwarded *over* a
+        // transaction's prepare answer the later commit correctly.
+        self.reload_tables();
         self.inner.on_state_installed();
     }
 }
@@ -876,16 +1344,52 @@ impl App for XShardApp {
 mod tests {
     use super::*;
     use crate::app::{KvApp, NullApp, StateHandle};
+    use pbft_state::PagedState;
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    const PAGE: u64 = PAGE_SIZE as u64;
+
+    fn test_state() -> StateHandle {
+        Rc::new(RefCell::new(PagedState::new(8)))
+    }
+
+    /// Test geometry: ring in pages 0–3, cell in pages 4–5, app data from
+    /// page 6 on.
+    fn test_sections() -> (Section, Section) {
+        (
+            Section {
+                base: 0,
+                len: 4 * PAGE,
+            },
+            Section {
+                base: 4 * PAGE,
+                len: 2 * PAGE,
+            },
+        )
+    }
+
+    fn xapp_over(state: &StateHandle, inner: Box<dyn App>) -> XShardApp {
+        let (ring, cell) = test_sections();
+        XShardApp::with_sections(inner, state.clone(), ring, cell)
+    }
+
     fn null_xapp() -> XShardApp {
-        XShardApp::new(Box::new(NullApp::new(4)))
+        xapp_over(&test_state(), Box::new(NullApp::new(4)))
     }
 
     fn kv_xapp() -> (XShardApp, StateHandle) {
-        let state: StateHandle = Rc::new(RefCell::new(pbft_state::PagedState::new(4)));
-        (XShardApp::new(Box::new(KvApp::new(state.clone(), 0, 64))), state)
+        let state = test_state();
+        let app = xapp_over(&state, Box::new(KvApp::new(state.clone(), 6 * PAGE, 64)));
+        (app, state)
+    }
+
+    /// Read the KV slot for `key` straight out of the region (bypassing the
+    /// app), to prove prepares stage without touching application state.
+    fn kv_slot_value(state: &StateHandle, key: u64) -> u64 {
+        let off = 6 * PAGE + (key % 64) * 16;
+        let rec = state.borrow().read_vec(off, 16).expect("slot in bounds");
+        u64::from_be_bytes(rec[8..16].try_into().expect("8 bytes"))
     }
 
     fn nd() -> NonDet {
@@ -893,7 +1397,10 @@ mod tests {
     }
 
     fn sub(key: &[u8], op: Vec<u8>) -> SubOp {
-        SubOp { keys: vec![key.to_vec()], op }
+        SubOp {
+            keys: vec![key.to_vec()],
+            op,
+        }
     }
 
     #[test]
@@ -902,17 +1409,32 @@ mod tests {
             XMsg::Prepare {
                 txid: 9,
                 ops: vec![
-                    SubOp { keys: vec![b"a".to_vec(), b"b".to_vec()], op: vec![1, 2] },
-                    SubOp { keys: vec![], op: vec![] },
+                    SubOp {
+                        keys: vec![b"a".to_vec(), b"b".to_vec()],
+                        op: vec![1, 2],
+                    },
+                    SubOp {
+                        keys: vec![],
+                        op: vec![],
+                    },
                 ],
             },
-            XMsg::Decide { txid: 1, commit: true },
-            XMsg::Decide { txid: 1, commit: false },
+            XMsg::Decide {
+                txid: 1,
+                commit: true,
+            },
+            XMsg::Decide {
+                txid: 1,
+                commit: false,
+            },
             XMsg::Commit { txid: u64::MAX },
             XMsg::Abort { txid: 0 },
             XMsg::QueryDecision { txid: 3 },
             XMsg::QueryApplied { txid: 4 },
-            XMsg::AtomicBatch { txid: 5, ops: vec![sub(b"k", vec![7; 9])] },
+            XMsg::AtomicBatch {
+                txid: 5,
+                ops: vec![sub(b"k", vec![7; 9])],
+            },
         ] {
             assert_eq!(XMsg::decode(&msg.encode()), Some(msg));
         }
@@ -923,12 +1445,27 @@ mod tests {
         for reply in [
             XReply::PrepareOk { txid: 1 },
             XReply::PrepareFail { txid: 2, holder: 9 },
-            XReply::Committed { txid: 3, replies: vec![b"ok".to_vec(), vec![]] },
+            XReply::Committed {
+                txid: 3,
+                replies: vec![b"ok".to_vec(), vec![]],
+            },
             XReply::Aborted { txid: 4 },
-            XReply::DecisionLogged { txid: 5, commit: true },
-            XReply::Decision { txid: 6, commit: None },
-            XReply::Decision { txid: 6, commit: Some(false) },
-            XReply::Applied { txid: 7, applied: true },
+            XReply::DecisionLogged {
+                txid: 5,
+                commit: true,
+            },
+            XReply::Decision {
+                txid: 6,
+                commit: None,
+            },
+            XReply::Decision {
+                txid: 6,
+                commit: Some(false),
+            },
+            XReply::Applied {
+                txid: 7,
+                applied: true,
+            },
         ] {
             assert_eq!(XReply::decode(&reply.encode()), Some(reply));
         }
@@ -961,14 +1498,21 @@ mod tests {
         .expect("routable");
         assert_eq!(op.txid, 7);
         assert_eq!(op.legs.len(), 2);
-        assert_eq!(op.coordinator, map.shard_of(&ka), "coordinator owns the first key");
+        assert_eq!(
+            op.coordinator,
+            map.shard_of(&ka),
+            "coordinator owns the first key"
+        );
         assert_eq!(op.legs[0].ops.len(), 2, "same-shard sub-ops share a leg");
         assert!(!op.is_single_shard());
 
         let single = XShardOp::route(8, vec![sub(&ka, vec![1])], &map).expect("routable");
         assert!(single.is_single_shard());
         assert_eq!(XShardOp::route(9, vec![], &map), Err(RouteError::NoKeys));
-        let split = SubOp { keys: vec![ka, kb], op: vec![1] };
+        let split = SubOp {
+            keys: vec![ka, kb],
+            op: vec![1],
+        };
         assert!(matches!(
             XShardOp::route(10, vec![split], &map),
             Err(RouteError::CrossShard { .. })
@@ -999,19 +1543,35 @@ mod tests {
 
         let mut c = TxCoordinator::new([0, 1]);
         assert!(c.timeout());
-        assert_eq!(c.record_vote(0, true), Some(false), "late yes after timeout stays abort");
+        assert_eq!(
+            c.record_vote(0, true),
+            Some(false),
+            "late yes after timeout stays abort"
+        );
     }
 
     #[test]
     fn prepare_commit_applies_staged_ops() {
         let (mut app, state) = kv_xapp();
-        let prepare = XMsg::Prepare { txid: 1, ops: vec![sub(b"k5", KvApp::op_put(5, 42))] };
+        let prepare = XMsg::Prepare {
+            txid: 1,
+            ops: vec![sub(b"k5", KvApp::op_put(5, 42))],
+        };
         let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
         assert_eq!(XReply::decode(&r), Some(XReply::PrepareOk { txid: 1 }));
         assert!(app.is_staged(1));
-        assert_eq!(state.borrow().dirty_pages(), 0, "prepare must not touch state");
+        assert_eq!(
+            kv_slot_value(&state, 5),
+            0,
+            "prepare must not touch application state"
+        );
 
-        let (r, _) = app.execute(ClientId(1), &XMsg::Commit { txid: 1 }.encode(), &nd(), false);
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: 1 }.encode(),
+            &nd(),
+            false,
+        );
         match XReply::decode(&r) {
             Some(XReply::Committed { txid: 1, replies }) => {
                 assert_eq!(replies, vec![b"ok".to_vec()]);
@@ -1021,19 +1581,26 @@ mod tests {
         assert!(app.is_applied(1));
         assert!(!app.is_staged(1));
         assert_eq!(app.locked_keys(), 0, "commit releases locks");
-        assert!(state.borrow().dirty_pages() > 0, "commit applied the put");
+        assert_eq!(kv_slot_value(&state, 5), 42, "commit applied the put");
     }
 
     #[test]
     fn abort_discards_staged_ops() {
         let (mut app, state) = kv_xapp();
-        let prepare = XMsg::Prepare { txid: 2, ops: vec![sub(b"k1", KvApp::op_put(1, 7))] };
+        let prepare = XMsg::Prepare {
+            txid: 2,
+            ops: vec![sub(b"k1", KvApp::op_put(1, 7))],
+        };
         let _ = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
         let (r, _) = app.execute(ClientId(1), &XMsg::Abort { txid: 2 }.encode(), &nd(), false);
         assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 2 }));
         assert!(!app.is_applied(2));
         assert_eq!(app.locked_keys(), 0);
-        assert_eq!(state.borrow().dirty_pages(), 0, "nothing ever touched state");
+        assert_eq!(
+            kv_slot_value(&state, 1),
+            0,
+            "nothing ever touched application state"
+        );
         // A late prepare retransmission after the abort stays aborted.
         let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
         assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 2 }));
@@ -1042,27 +1609,53 @@ mod tests {
     #[test]
     fn conflicting_locks_vote_no() {
         let mut app = null_xapp();
-        let p1 = XMsg::Prepare { txid: 1, ops: vec![sub(b"hot", vec![1])] };
-        let p2 = XMsg::Prepare { txid: 2, ops: vec![sub(b"hot", vec![2])] };
+        let p1 = XMsg::Prepare {
+            txid: 1,
+            ops: vec![sub(b"hot", vec![1])],
+        };
+        let p2 = XMsg::Prepare {
+            txid: 2,
+            ops: vec![sub(b"hot", vec![2])],
+        };
         let _ = app.execute(ClientId(1), &p1.encode(), &nd(), false);
         let (r, _) = app.execute(ClientId(2), &p2.encode(), &nd(), false);
-        assert_eq!(XReply::decode(&r), Some(XReply::PrepareFail { txid: 2, holder: 1 }));
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::PrepareFail { txid: 2, holder: 1 })
+        );
         assert!(!app.is_staged(2), "a failed prepare stages nothing");
         // After tx 1 aborts, the key is free again.
         let _ = app.execute(ClientId(1), &XMsg::Abort { txid: 1 }.encode(), &nd(), false);
-        let (r, _) = app.execute(ClientId(2), &XMsg::Prepare { txid: 3, ops: vec![sub(b"hot", vec![3])] }.encode(), &nd(), false);
+        let (r, _) = app.execute(
+            ClientId(2),
+            &XMsg::Prepare {
+                txid: 3,
+                ops: vec![sub(b"hot", vec![3])],
+            }
+            .encode(),
+            &nd(),
+            false,
+        );
         assert_eq!(XReply::decode(&r), Some(XReply::PrepareOk { txid: 3 }));
     }
 
     #[test]
     fn commit_without_prepare_is_presumed_abort() {
         let mut app = null_xapp();
-        let (r, _) = app.execute(ClientId(1), &XMsg::Commit { txid: 99 }.encode(), &nd(), false);
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: 99 }.encode(),
+            &nd(),
+            false,
+        );
         assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 99 }));
         assert!(!app.is_applied(99));
         // The presumed abort is *recorded*: a late reordered Prepare for the
         // same transaction must not stage and lock keys nobody will release.
-        let late = XMsg::Prepare { txid: 99, ops: vec![sub(b"k", vec![1])] };
+        let late = XMsg::Prepare {
+            txid: 99,
+            ops: vec![sub(b"k", vec![1])],
+        };
         let (r, _) = app.execute(ClientId(1), &late.encode(), &nd(), false);
         assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 99 }));
         assert!(!app.is_staged(99));
@@ -1072,74 +1665,411 @@ mod tests {
     #[test]
     fn decisions_are_first_writer_wins() {
         let mut app = null_xapp();
-        let (r, _) = app.execute(ClientId(1), &XMsg::Decide { txid: 5, commit: true }.encode(), &nd(), false);
-        assert_eq!(XReply::decode(&r), Some(XReply::DecisionLogged { txid: 5, commit: true }));
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::Decide {
+                txid: 5,
+                commit: true,
+            }
+            .encode(),
+            &nd(),
+            false,
+        );
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::DecisionLogged {
+                txid: 5,
+                commit: true
+            })
+        );
         // A conflicting second decide is ignored; the record stands.
-        let (r, _) = app.execute(ClientId(1), &XMsg::Decide { txid: 5, commit: false }.encode(), &nd(), false);
-        assert_eq!(XReply::decode(&r), Some(XReply::DecisionLogged { txid: 5, commit: true }));
-        let (r, _) = app.execute(ClientId(1), &XMsg::QueryDecision { txid: 5 }.encode(), &nd(), true);
-        assert_eq!(XReply::decode(&r), Some(XReply::Decision { txid: 5, commit: Some(true) }));
-        let (r, _) = app.execute(ClientId(1), &XMsg::QueryDecision { txid: 6 }.encode(), &nd(), true);
-        assert_eq!(XReply::decode(&r), Some(XReply::Decision { txid: 6, commit: None }));
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::Decide {
+                txid: 5,
+                commit: false,
+            }
+            .encode(),
+            &nd(),
+            false,
+        );
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::DecisionLogged {
+                txid: 5,
+                commit: true
+            })
+        );
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::QueryDecision { txid: 5 }.encode(),
+            &nd(),
+            true,
+        );
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::Decision {
+                txid: 5,
+                commit: Some(true)
+            })
+        );
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::QueryDecision { txid: 6 }.encode(),
+            &nd(),
+            true,
+        );
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::Decision {
+                txid: 6,
+                commit: None
+            })
+        );
     }
 
     #[test]
     fn query_applied_tracks_commits_and_batches() {
         let mut app = null_xapp();
         let q = |app: &mut XShardApp, txid| {
-            let (r, _) = app.execute(ClientId(1), &XMsg::QueryApplied { txid }.encode(), &nd(), true);
+            let (r, _) = app.execute(
+                ClientId(1),
+                &XMsg::QueryApplied { txid }.encode(),
+                &nd(),
+                true,
+            );
             match XReply::decode(&r) {
                 Some(XReply::Applied { applied, .. }) => applied,
                 other => panic!("{other:?}"),
             }
         };
         assert!(!q(&mut app, 1));
-        let _ = app.execute(ClientId(1), &XMsg::Prepare { txid: 1, ops: vec![sub(b"a", vec![1])] }.encode(), &nd(), false);
+        let _ = app.execute(
+            ClientId(1),
+            &XMsg::Prepare {
+                txid: 1,
+                ops: vec![sub(b"a", vec![1])],
+            }
+            .encode(),
+            &nd(),
+            false,
+        );
         assert!(!q(&mut app, 1), "staged is not applied");
-        let _ = app.execute(ClientId(1), &XMsg::Commit { txid: 1 }.encode(), &nd(), false);
+        let _ = app.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: 1 }.encode(),
+            &nd(),
+            false,
+        );
         assert!(q(&mut app, 1));
-        let batch = XMsg::AtomicBatch { txid: 2, ops: vec![sub(b"b", vec![2]), sub(b"c", vec![3])] };
+        let batch = XMsg::AtomicBatch {
+            txid: 2,
+            ops: vec![sub(b"b", vec![2]), sub(b"c", vec![3])],
+        };
         let (r, _) = app.execute(ClientId(1), &batch.encode(), &nd(), false);
-        assert!(matches!(XReply::decode(&r), Some(XReply::Committed { txid: 2, ref replies }) if replies.len() == 2));
+        assert!(
+            matches!(XReply::decode(&r), Some(XReply::Committed { txid: 2, ref replies }) if replies.len() == 2)
+        );
         assert!(q(&mut app, 2));
     }
 
     #[test]
-    fn committed_log_evicts_by_commit_order_on_both_paths() {
-        let mut app = null_xapp();
-        // Interleave two "initiators" (txid high bits) and both commit
-        // paths, so commit order differs from numeric txid order.
-        let mut order = Vec::new();
-        for k in 0..(COMMITTED_LOG_CAP as u64 / 2 + 2) {
-            for initiator in [2u64, 1u64] {
-                let txid = (initiator << 40) | k;
-                if initiator == 1 {
-                    let p = XMsg::Prepare { txid, ops: vec![sub(&txid.to_be_bytes(), vec![1])] };
-                    let _ = app.execute(ClientId(1), &p.encode(), &nd(), false);
-                    let _ = app.execute(ClientId(1), &XMsg::Commit { txid }.encode(), &nd(), false);
-                } else {
-                    let b = XMsg::AtomicBatch { txid, ops: vec![sub(&txid.to_be_bytes(), vec![2])] };
-                    let _ = app.execute(ClientId(1), &b.encode(), &nd(), false);
-                }
-                order.push(txid);
+    fn tables_survive_a_remount_over_the_same_region() {
+        // Crash-restart over a preserved disk: a fresh wrapper over the same
+        // region reconstructs every table mid-transaction.
+        let state = test_state();
+        let mut app = xapp_over(&state, Box::new(NullApp::new(4)));
+        let prepare = XMsg::Prepare {
+            txid: 7,
+            ops: vec![sub(b"held", vec![1])],
+        };
+        let _ = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        let _ = app.execute(
+            ClientId(1),
+            &XMsg::Decide {
+                txid: 7,
+                commit: true,
+            }
+            .encode(),
+            &nd(),
+            false,
+        );
+        let batch = XMsg::AtomicBatch {
+            txid: 8,
+            ops: vec![sub(b"b", vec![2])],
+        };
+        let _ = app.execute(ClientId(1), &batch.encode(), &nd(), false);
+        let _ = app.execute(ClientId(1), &XMsg::Abort { txid: 9 }.encode(), &nd(), false);
+        drop(app);
+
+        let mut back = xapp_over(&state, Box::new(NullApp::new(4)));
+        assert!(back.is_staged(7), "staged sub-ops reloaded");
+        assert_eq!(back.locked_keys(), 1, "locks reloaded");
+        assert_eq!(back.decision(7), Some(true), "decision log reloaded");
+        assert!(back.is_applied(8), "applied set reloaded");
+        // The reloaded stage is live: the commit applies it.
+        let (r, _) = back.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: 7 }.encode(),
+            &nd(),
+            false,
+        );
+        assert!(
+            matches!(XReply::decode(&r), Some(XReply::Committed { txid: 7, ref replies }) if replies.len() == 1)
+        );
+        assert!(back.is_applied(7));
+        // And the reloaded abort record still refuses a late prepare.
+        let late = XMsg::Prepare {
+            txid: 9,
+            ops: vec![sub(b"z", vec![3])],
+        };
+        let (r, _) = back.execute(ClientId(1), &late.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 9 }));
+    }
+
+    #[test]
+    fn tables_roll_back_with_the_region() {
+        // Tentative-execution rollback: restoring a snapshot and firing
+        // on_state_installed rewinds the tables to the snapshot point, so
+        // re-execution of the suffix reproduces them exactly.
+        let (mut app, state) = kv_xapp();
+        let prepare = XMsg::Prepare {
+            txid: 3,
+            ops: vec![sub(b"k9", KvApp::op_put(9, 77))],
+        };
+        let _ = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        state.borrow_mut().refresh_digest();
+        let snap = state.borrow().snapshot(1);
+
+        let commit = XMsg::Commit { txid: 3 };
+        let (r1, _) = app.execute(ClientId(1), &commit.encode(), &nd(), false);
+        assert!(app.is_applied(3));
+        let committed_root = state.borrow_mut().refresh_digest();
+
+        state.borrow_mut().restore(&snap).expect("geometry matches");
+        app.on_state_installed();
+        assert!(app.is_staged(3), "rollback rewound to the staged state");
+        assert!(!app.is_applied(3));
+        assert_eq!(
+            kv_slot_value(&state, 9),
+            0,
+            "application effect rolled back"
+        );
+
+        // Re-executing the suffix converges to the identical region.
+        let (r2, _) = app.execute(ClientId(1), &commit.encode(), &nd(), false);
+        assert_eq!(r1, r2, "re-execution is bit-identical");
+        assert_eq!(state.borrow_mut().refresh_digest(), committed_root);
+    }
+
+    #[test]
+    fn transfer_install_reconstructs_tables_over_a_jumped_prepare() {
+        // The execution-skipping path: replica B never executes the Prepare;
+        // it installs A's checkpoint pages (as state transfer would) and
+        // must then answer the Commit by applying — not by presumed abort.
+        let state_a = test_state();
+        let mut a = xapp_over(
+            &state_a,
+            Box::new(KvApp::new(state_a.clone(), 6 * PAGE, 64)),
+        );
+        let prepare = XMsg::Prepare {
+            txid: 11,
+            ops: vec![sub(b"k2", KvApp::op_put(2, 5))],
+        };
+        let _ = a.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        state_a.borrow_mut().refresh_digest();
+        let checkpoint = state_a.borrow().snapshot(64);
+
+        let state_b = test_state();
+        let mut b = xapp_over(
+            &state_b,
+            Box::new(KvApp::new(state_b.clone(), 6 * PAGE, 64)),
+        );
+        assert!(!b.is_staged(11), "B never executed the prepare");
+        {
+            let mut st = state_b.borrow_mut();
+            st.refresh_digest();
+            for page in 0..st.num_pages() as u64 {
+                let data = checkpoint.page(page).map(|p| p.to_vec());
+                st.install_page(page, data).expect("same geometry");
             }
         }
-        assert_eq!(app.committed_log.len(), COMMITTED_LOG_CAP, "cap enforced on both paths");
-        let evicted = order.len() - COMMITTED_LOG_CAP;
-        for (i, txid) in order.iter().enumerate() {
-            assert_eq!(
-                app.committed_log.contains_key(txid),
-                i >= evicted,
-                "entry {i} (txid {txid:#x}) must be evicted iff among the oldest commits"
-            );
-            assert!(app.is_applied(*txid), "eviction never forgets applied-ness");
+        b.on_state_installed();
+        assert!(b.is_staged(11), "the installed section carries the prepare");
+
+        let (ra, _) = a.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: 11 }.encode(),
+            &nd(),
+            false,
+        );
+        let (rb, _) = b.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: 11 }.encode(),
+            &nd(),
+            false,
+        );
+        assert_eq!(ra, rb, "fast-forwarded replica commits like its peers");
+        assert!(b.is_applied(11));
+        assert_eq!(
+            state_a.borrow_mut().refresh_digest(),
+            state_b.borrow_mut().refresh_digest(),
+            "regions stay digest-identical"
+        );
+    }
+
+    #[test]
+    fn gc_watermark_evicts_in_order_and_answers_late_messages() {
+        // A deliberately tiny ring: header + 4 slots.
+        let make = || {
+            let state = test_state();
+            let ring = Section {
+                base: 0,
+                len: (32 + 4 * XSHARD_SLOT_LEN) as u64,
+            };
+            let cell = Section {
+                base: PAGE,
+                len: PAGE,
+            };
+            let app =
+                XShardApp::with_sections(Box::new(NullApp::new(4)), state.clone(), ring, cell);
+            (app, state)
+        };
+        let (mut a, state_a) = make();
+        let (mut b, state_b) = make();
+        let stripe = 1u64 << TX_STRIPE_SHIFT;
+        for app in [&mut a, &mut b] {
+            assert_eq!(app.record_capacity(), 4);
+            for k in 0..7u64 {
+                let txid = stripe | k;
+                let batch = XMsg::AtomicBatch {
+                    txid,
+                    ops: vec![sub(&k.to_be_bytes(), vec![1])],
+                };
+                let _ = app.execute(ClientId(1), &batch.encode(), &nd(), false);
+            }
         }
+        // 7 applied records through a 4-slot ring: txids 0..=2 evicted.
+        assert_eq!(
+            a.gc_floor(1),
+            Some(stripe | 2),
+            "floor tracks the newest eviction"
+        );
+        assert!(a.is_gc_evicted(stripe | 2) && !a.is_gc_evicted(stripe | 3));
+        assert!(a.is_applied(stripe | 5), "retained records still answer");
+
+        // Late retransmissions for an evicted txid answer deterministically
+        // on every replica, and never stage or lock anything.
+        let late_prepare = XMsg::Prepare {
+            txid: stripe | 1,
+            ops: vec![sub(b"x", vec![9])],
+        };
+        let late_batch = XMsg::AtomicBatch {
+            txid: stripe,
+            ops: vec![sub(b"y", vec![9])],
+        };
+        for msg in [
+            late_prepare,
+            late_batch,
+            XMsg::Commit { txid: stripe | 2 },
+            XMsg::Abort { txid: stripe | 1 },
+        ] {
+            let (ra, _) = a.execute(ClientId(1), &msg.encode(), &nd(), false);
+            let (rb, _) = b.execute(ClientId(1), &msg.encode(), &nd(), false);
+            assert_eq!(ra, rb, "late {msg:?} diverged");
+        }
+        assert_eq!(a.locked_keys(), 0, "nothing staged for evicted txids");
+        assert!(!a.is_staged(stripe | 1));
+        // An evicted batch acks committed without double-applying; an
+        // evicted prepare/commit answers the presumed abort.
+        let (r, _) = a.execute(
+            ClientId(1),
+            &XMsg::AtomicBatch {
+                txid: stripe,
+                ops: vec![],
+            }
+            .encode(),
+            &nd(),
+            false,
+        );
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::Committed {
+                txid: stripe,
+                replies: vec![]
+            })
+        );
+        let (r, _) = a.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: stripe | 1 }.encode(),
+            &nd(),
+            false,
+        );
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::Aborted { txid: stripe | 1 })
+        );
+        // Eviction is itself deterministic: region digests agree.
+        assert_eq!(
+            state_a.borrow_mut().refresh_digest(),
+            state_b.borrow_mut().refresh_digest()
+        );
+        // A *fresh* txid above the floor still prepares normally.
+        let fresh = XMsg::Prepare {
+            txid: stripe | 9,
+            ops: vec![sub(b"f", vec![1])],
+        };
+        let (r, _) = a.execute(ClientId(1), &fresh.encode(), &nd(), false);
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::PrepareOk { txid: stripe | 9 })
+        );
+    }
+
+    #[test]
+    fn prepare_overflowing_the_cell_votes_abort_deterministically() {
+        // A cell that fits only small stage tables (256 bytes minus the
+        // header and the floor headroom a prepare must leave free).
+        let make = || {
+            let state = test_state();
+            let ring = Section { base: 0, len: PAGE };
+            let cell = Section {
+                base: PAGE,
+                len: 256,
+            };
+            XShardApp::with_sections(Box::new(NullApp::new(4)), state, ring, cell)
+        };
+        let (mut a, mut b) = (make(), make());
+        let fat = XMsg::Prepare {
+            txid: 1,
+            ops: vec![sub(b"k", vec![0u8; 4096])],
+        };
+        for app in [&mut a, &mut b] {
+            let (r, _) = app.execute(ClientId(1), &fat.encode(), &nd(), false);
+            assert_eq!(
+                XReply::decode(&r),
+                Some(XReply::Aborted { txid: 1 }),
+                "overflow votes no"
+            );
+            assert!(!app.is_staged(1));
+            assert_eq!(app.locked_keys(), 0, "overflow leaves no locks behind");
+        }
+        // A small transaction still fits and proceeds.
+        let slim = XMsg::Prepare {
+            txid: 2,
+            ops: vec![sub(b"k", vec![1])],
+        };
+        let (r, _) = a.execute(ClientId(1), &slim.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::PrepareOk { txid: 2 }));
     }
 
     #[test]
     fn read_only_path_never_mutates() {
         let (mut app, state) = kv_xapp();
-        let prepare = XMsg::Prepare { txid: 1, ops: vec![sub(b"k", KvApp::op_put(1, 1))] };
+        let prepare = XMsg::Prepare {
+            txid: 1,
+            ops: vec![sub(b"k", KvApp::op_put(1, 1))],
+        };
         let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), true);
         assert_eq!(XReply::decode(&r), Some(XReply::Aborted { txid: 1 }));
         assert!(!app.is_staged(1));
@@ -1155,7 +2085,7 @@ mod tests {
         // NullApp replies 16 zero bytes; the wrapper must not touch them.
         let op = b"just an app op".to_vec();
         let (a, am) = plain.execute(ClientId(1), &op, &nd(), false);
-        let mut wrapped16 = XShardApp::new(Box::new(NullApp::new(16)));
+        let mut wrapped16 = xapp_over(&test_state(), Box::new(NullApp::new(16)));
         let (b, bm) = wrapped16.execute(ClientId(1), &op, &nd(), false);
         assert_eq!(a, b);
         assert_eq!(am, bm, "pass-through adds no cost");
@@ -1170,9 +2100,18 @@ mod tests {
         let (mut a, sa) = kv_xapp();
         let (mut b, sb) = kv_xapp();
         let history = [
-            XMsg::Prepare { txid: 1, ops: vec![sub(b"x", KvApp::op_put(1, 10))] },
-            XMsg::Prepare { txid: 2, ops: vec![sub(b"x", KvApp::op_put(1, 20))] }, // conflict
-            XMsg::Decide { txid: 1, commit: true },
+            XMsg::Prepare {
+                txid: 1,
+                ops: vec![sub(b"x", KvApp::op_put(1, 10))],
+            },
+            XMsg::Prepare {
+                txid: 2,
+                ops: vec![sub(b"x", KvApp::op_put(1, 20))],
+            }, // conflict
+            XMsg::Decide {
+                txid: 1,
+                commit: true,
+            },
             XMsg::Commit { txid: 1 },
             XMsg::Abort { txid: 2 },
             XMsg::QueryApplied { txid: 1 },
@@ -1183,7 +2122,10 @@ mod tests {
             let (rb, _) = b.execute(ClientId(1), &msg.encode(), &nd(), ro);
             assert_eq!(ra, rb, "replies diverged on {msg:?}");
         }
-        assert_eq!(sa.borrow_mut().refresh_digest(), sb.borrow_mut().refresh_digest());
+        assert_eq!(
+            sa.borrow_mut().refresh_digest(),
+            sb.borrow_mut().refresh_digest()
+        );
         assert!(a.is_applied(1) && !a.is_applied(2));
     }
 }

@@ -171,11 +171,8 @@ mod tests {
     #[test]
     fn entries_roundtrip() {
         let ks = keys(3);
-        let auth = Authenticator::generate(
-            ks.iter().enumerate().map(|(i, k)| (i as u32, k)),
-            b"m",
-            0,
-        );
+        let auth =
+            Authenticator::generate(ks.iter().enumerate().map(|(i, k)| (i as u32, k)), b"m", 0);
         let rebuilt = Authenticator::from_entries(auth.iter().collect());
         assert_eq!(auth, rebuilt);
         assert!(!rebuilt.is_empty());

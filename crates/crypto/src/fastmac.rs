@@ -64,7 +64,9 @@ impl FastMacKey {
         };
         let mut chunks = msg.chunks_exact(8);
         for c in chunks.by_ref() {
-            eval(u128::from(u64::from_le_bytes(c.try_into().expect("8 bytes"))));
+            eval(u128::from(u64::from_le_bytes(
+                c.try_into().expect("8 bytes"),
+            )));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {

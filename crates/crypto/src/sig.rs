@@ -74,7 +74,10 @@ impl Signature {
         let s = u64::from_be_bytes(b[..8].try_into().expect("8 bytes"));
         let mut d = [0u8; 32];
         d.copy_from_slice(&b[8..]);
-        Signature { s, digest: Digest(d) }
+        Signature {
+            s,
+            digest: Digest(d),
+        }
     }
 }
 
@@ -115,7 +118,10 @@ impl KeyPair {
                 Some(d) => d,
                 None => continue,
             };
-            return KeyPair { public: PublicKey { n, e }, d };
+            return KeyPair {
+                public: PublicKey { n, e },
+                d,
+            };
         }
     }
 
@@ -316,7 +322,10 @@ mod tests {
         let kp1 = KeyPair::generate(3);
         let kp2 = KeyPair::generate(4);
         let sig = kp1.sign(b"msg");
-        assert_eq!(kp2.public().verify(b"msg", &sig), Err(SigError::BadSignature));
+        assert_eq!(
+            kp2.public().verify(b"msg", &sig),
+            Err(SigError::BadSignature)
+        );
     }
 
     #[test]
@@ -324,7 +333,10 @@ mod tests {
         let kp = KeyPair::generate(5);
         let mut sig = kp.sign(b"msg");
         sig.s ^= 1;
-        assert_eq!(kp.public().verify(b"msg", &sig), Err(SigError::BadSignature));
+        assert_eq!(
+            kp.public().verify(b"msg", &sig),
+            Err(SigError::BadSignature)
+        );
     }
 
     #[test]

@@ -133,7 +133,14 @@ impl ThresholdGroup {
             })
             .collect();
         let verify_tag = group_tag(secret, b"threshold-group-verification");
-        (ThresholdGroup { threshold, n, verify_tag }, shares)
+        (
+            ThresholdGroup {
+                threshold,
+                n,
+                verify_tag,
+            },
+            shares,
+        )
     }
 
     /// The reconstruction threshold (`f + 1`).
@@ -177,7 +184,10 @@ pub fn partial_sign(share: &SecretShare, participants: &[u32]) -> PartialSignatu
         den = mul(den, sub(xi, xj as u64));
     }
     let lambda = mul(num, inv(den));
-    PartialSignature { x: share.x, weighted: mul(lambda, share.y) }
+    PartialSignature {
+        x: share.x,
+        weighted: mul(lambda, share.y),
+    }
 }
 
 /// Combine `threshold` partial signatures into a group signature over `msg`.

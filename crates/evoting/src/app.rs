@@ -47,7 +47,11 @@ impl EvotingApp {
     /// # Panics
     /// Panics if the region is too small for the schema — a deployment
     /// configuration error surfaced at construction.
-    pub fn open(state: StateHandle, journal_mode: JournalMode, voters: &[(&str, &str)]) -> EvotingApp {
+    pub fn open(
+        state: StateHandle,
+        journal_mode: JournalMode,
+        voters: &[(&str, &str)],
+    ) -> EvotingApp {
         let mut setup = EVOTING_SCHEMA.to_string();
         for (user, secret) in voters {
             setup.push_str(&format!(
@@ -58,7 +62,10 @@ impl EvotingApp {
         }
         let sql = SqlApp::open(state, journal_mode, CostProfile::default(), Some(&setup))
             .expect("state region large enough for the e-voting schema");
-        EvotingApp { sql, threshold_share: None }
+        EvotingApp {
+            sql,
+            threshold_share: None,
+        }
     }
 
     /// Install this replica's share of the group signing secret (dealt at
@@ -117,22 +124,48 @@ impl App for EvotingApp {
             return (b"err:malformed operation".to_vec(), ExecMetrics::default());
         };
         if read_only && !vote_op.is_read_only() {
-            return (b"err:write op on read-only path".to_vec(), ExecMetrics::default());
+            return (
+                b"err:write op on read-only path".to_vec(),
+                ExecMetrics::default(),
+            );
         }
-        if let VoteOp::Certify { election, participants } = &vote_op {
+        if let VoteOp::Certify {
+            election,
+            participants,
+        } = &vote_op
+        {
             let Some(share) = self.threshold_share else {
-                return (b"err:no threshold share dealt".to_vec(), ExecMetrics::default());
+                return (
+                    b"err:no threshold share dealt".to_vec(),
+                    ExecMetrics::default(),
+                );
             };
             if !participants.contains(&share.x) {
-                return (b"err:this replica is not in the signer set".to_vec(), ExecMetrics::default());
+                return (
+                    b"err:this replica is not in the signer set".to_vec(),
+                    ExecMetrics::default(),
+                );
             }
-            let tally_sql = self.op_to_sql(client, &VoteOp::Tally { election: *election });
+            let tally_sql = self.op_to_sql(
+                client,
+                &VoteOp::Tally {
+                    election: *election,
+                },
+            );
             let (tally, metrics) = self.sql.execute(client, tally_sql.as_bytes(), nondet, true);
-            let reply = CertifyReply { partial: partial_sign(&share, participants), tally };
+            let reply = CertifyReply {
+                partial: partial_sign(&share, participants),
+                tally,
+            };
             return (reply.encode(), metrics);
         }
         let sql = self.op_to_sql(client, &vote_op);
-        self.sql.execute(client, sql.as_bytes(), nondet, read_only && vote_op.is_read_only())
+        self.sql.execute(
+            client,
+            sql.as_bytes(),
+            nondet,
+            read_only && vote_op.is_read_only(),
+        )
     }
 
     /// Check credentials against the replicated voter registry (§3.1's
@@ -166,7 +199,10 @@ mod tests {
     use pbft_sql::{decode_outcome, sql_state, WireOutcome};
 
     fn nd(ts: u64) -> NonDet {
-        NonDet { timestamp_ns: ts, random: ts ^ 0xabcd }
+        NonDet {
+            timestamp_ns: ts,
+            random: ts ^ 0xabcd,
+        }
     }
 
     fn service() -> EvotingApp {
@@ -182,7 +218,10 @@ mod tests {
         let mut app = service();
         let (reply, _) = app.execute(
             ClientId(1),
-            &VoteOp::CreateElection { title: "Board".into() }.encode(),
+            &VoteOp::CreateElection {
+                title: "Board".into(),
+            }
+            .encode(),
             &nd(1),
             false,
         );
@@ -192,7 +231,11 @@ mod tests {
         for (client, choice) in [(1u64, "yes"), (2, "no"), (3, "yes"), (2, "yes")] {
             let (reply, metrics) = app.execute(
                 ClientId(client),
-                &VoteOp::CastVote { election: 1, choice: choice.into() }.encode(),
+                &VoteOp::CastVote {
+                    election: 1,
+                    choice: choice.into(),
+                }
+                .encode(),
                 &nd(10 + client),
                 false,
             );
@@ -207,8 +250,12 @@ mod tests {
             assert!(metrics.disk_flushes > 0, "ACID vote storage flushes");
         }
 
-        let (reply, _) =
-            app.execute(ClientId(9), &VoteOp::Tally { election: 1 }.encode(), &nd(99), true);
+        let (reply, _) = app.execute(
+            ClientId(9),
+            &VoteOp::Tally { election: 1 }.encode(),
+            &nd(99),
+            true,
+        );
         let tally = decode_tally(&reply).expect("tally");
         assert_eq!(tally, vec![("yes".to_string(), 3)], "re-vote replaced 'no'");
     }
@@ -224,12 +271,20 @@ mod tests {
         );
         app.execute(
             ClientId(7),
-            &VoteOp::CastVote { election: 1, choice: "blue".into() }.encode(),
+            &VoteOp::CastVote {
+                election: 1,
+                choice: "blue".into(),
+            }
+            .encode(),
             &nd(2),
             false,
         );
-        let (reply, _) =
-            app.execute(ClientId(7), &VoteOp::MyVote { election: 1 }.encode(), &nd(3), true);
+        let (reply, _) = app.execute(
+            ClientId(7),
+            &VoteOp::MyVote { election: 1 }.encode(),
+            &nd(3),
+            true,
+        );
         match decode_outcome(&reply) {
             Some(WireOutcome::Rows(rows)) => {
                 assert_eq!(rows.rows[0][0], Value::Text("blue".into()));
@@ -237,8 +292,12 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // A different session sees no vote.
-        let (reply, _) =
-            app.execute(ClientId(8), &VoteOp::MyVote { election: 1 }.encode(), &nd(4), true);
+        let (reply, _) = app.execute(
+            ClientId(8),
+            &VoteOp::MyVote { election: 1 }.encode(),
+            &nd(4),
+            true,
+        );
         match decode_outcome(&reply) {
             Some(WireOutcome::Rows(rows)) => assert!(rows.rows.is_empty()),
             other => panic!("{other:?}"),
@@ -272,7 +331,11 @@ mod tests {
         let mut app = service();
         let (reply, _) = app.execute(
             ClientId(1),
-            &VoteOp::CastVote { election: 1, choice: "x".into() }.encode(),
+            &VoteOp::CastVote {
+                election: 1,
+                choice: "x".into(),
+            }
+            .encode(),
             &nd(1),
             true,
         );
@@ -285,7 +348,10 @@ mod tests {
         for title in ["A", "B"] {
             app.execute(
                 ClientId(1),
-                &VoteOp::CreateElection { title: title.into() }.encode(),
+                &VoteOp::CreateElection {
+                    title: title.into(),
+                }
+                .encode(),
                 &nd(1),
                 false,
             );
@@ -306,7 +372,11 @@ mod tests {
         let mut b = service();
         let ops = [
             VoteOp::CreateElection { title: "E".into() }.encode(),
-            VoteOp::CastVote { election: 1, choice: "yes".into() }.encode(),
+            VoteOp::CastVote {
+                election: 1,
+                choice: "yes".into(),
+            }
+            .encode(),
             VoteOp::Tally { election: 1 }.encode(),
         ];
         for (i, op) in ops.iter().enumerate() {

@@ -111,10 +111,12 @@ pub fn assemble_certificate(
     replies: &[CertifyReply],
 ) -> Result<TallyCertificate, CertificateError> {
     let Some(first) = replies.first() else {
-        return Err(CertificateError::Threshold(ThresholdError::NotEnoughShares {
-            needed: group.threshold(),
-            got: 0,
-        }));
+        return Err(CertificateError::Threshold(
+            ThresholdError::NotEnoughShares {
+                needed: group.threshold(),
+                got: 0,
+            },
+        ));
     };
     if replies.iter().any(|r| r.tally != first.tally) {
         return Err(CertificateError::TallyMismatch);
@@ -122,7 +124,11 @@ pub fn assemble_certificate(
     let tally = decode_tally(&first.tally).ok_or(CertificateError::BadTally)?;
     let partials: Vec<PartialSignature> = replies.iter().map(|r| r.partial).collect();
     let signature = combine(group, &partials, &first.tally)?;
-    Ok(TallyCertificate { tally, tally_bytes: first.tally.clone(), signature })
+    Ok(TallyCertificate {
+        tally,
+        tally_bytes: first.tally.clone(),
+        signature,
+    })
 }
 
 /// Third-party verification: does `certificate` prove `tally_bytes` was
@@ -168,7 +174,10 @@ mod tests {
         let tally = tally_bytes();
         let replies = replies(&shares, &[1, 3], &tally);
         let cert = assemble_certificate(&group, &replies).expect("assemble");
-        assert_eq!(cert.tally, vec![("pbft".to_string(), 3), ("raft".to_string(), 1)]);
+        assert_eq!(
+            cert.tally,
+            vec![("pbft".to_string(), 3), ("raft".to_string(), 1)]
+        );
         assert!(verify_certificate(&group, &cert));
     }
 
@@ -177,8 +186,8 @@ mod tests {
         let (group, shares) = deal();
         let tally = tally_bytes();
         for who in [[1u32, 2], [2, 3], [3, 4], [1, 4]] {
-            let cert = assemble_certificate(&group, &replies(&shares, &who, &tally))
-                .expect("assemble");
+            let cert =
+                assemble_certificate(&group, &replies(&shares, &who, &tally)).expect("assemble");
             assert!(verify_certificate(&group, &cert), "set {who:?}");
         }
     }
@@ -187,8 +196,8 @@ mod tests {
     fn forged_tally_fails_verification() {
         let (group, shares) = deal();
         let tally = tally_bytes();
-        let cert = assemble_certificate(&group, &replies(&shares, &[1, 2], &tally))
-            .expect("assemble");
+        let cert =
+            assemble_certificate(&group, &replies(&shares, &[1, 2], &tally)).expect("assemble");
         let mut forged = cert.clone();
         forged.tally_bytes[12] ^= 0xff;
         assert!(!verify_certificate(&group, &forged));

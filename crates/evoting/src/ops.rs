@@ -91,7 +91,10 @@ impl VoteOp {
                 out.push(5);
                 out.extend_from_slice(&election.to_be_bytes());
             }
-            VoteOp::Certify { election, participants } => {
+            VoteOp::Certify {
+                election,
+                participants,
+            } => {
                 out.push(6);
                 out.extend_from_slice(&election.to_be_bytes());
                 out.push(participants.len() as u8);
@@ -107,15 +110,21 @@ impl VoteOp {
     pub fn decode(bytes: &[u8]) -> Option<VoteOp> {
         let (&tag, rest) = bytes.split_first()?;
         Some(match tag {
-            1 => VoteOp::CreateElection { title: String::from_utf8(rest.to_vec()).ok()? },
+            1 => VoteOp::CreateElection {
+                title: String::from_utf8(rest.to_vec()).ok()?,
+            },
             2 => {
                 let election = i64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
                 let choice = String::from_utf8(rest.get(8..)?.to_vec()).ok()?;
                 VoteOp::CastVote { election, choice }
             }
-            3 => VoteOp::Tally { election: i64::from_be_bytes(rest.get(..8)?.try_into().ok()?) },
+            3 => VoteOp::Tally {
+                election: i64::from_be_bytes(rest.get(..8)?.try_into().ok()?),
+            },
             4 => VoteOp::ListElections,
-            5 => VoteOp::MyVote { election: i64::from_be_bytes(rest.get(..8)?.try_into().ok()?) },
+            5 => VoteOp::MyVote {
+                election: i64::from_be_bytes(rest.get(..8)?.try_into().ok()?),
+            },
             6 => {
                 let election = i64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
                 let count = *rest.get(8)? as usize;
@@ -124,7 +133,10 @@ impl VoteOp {
                     let off = 9 + i * 4;
                     participants.push(u32::from_be_bytes(rest.get(off..off + 4)?.try_into().ok()?));
                 }
-                VoteOp::Certify { election, participants }
+                VoteOp::Certify {
+                    election,
+                    participants,
+                }
             }
             _ => return None,
         })
@@ -146,7 +158,10 @@ pub fn cross_precinct_ballot(elections: &[i64], choice: &str) -> Vec<(Vec<u8>, V
     elections
         .iter()
         .map(|&election| {
-            let op = VoteOp::CastVote { election, choice: choice.to_string() };
+            let op = VoteOp::CastVote {
+                election,
+                choice: choice.to_string(),
+            };
             (op.shard_key(), op.encode())
         })
         .collect()
@@ -180,12 +195,20 @@ mod tests {
     #[test]
     fn ops_roundtrip() {
         for op in [
-            VoteOp::CreateElection { title: "Board 2026".into() },
-            VoteOp::CastVote { election: 3, choice: "alice".into() },
+            VoteOp::CreateElection {
+                title: "Board 2026".into(),
+            },
+            VoteOp::CastVote {
+                election: 3,
+                choice: "alice".into(),
+            },
             VoteOp::Tally { election: 3 },
             VoteOp::ListElections,
             VoteOp::MyVote { election: 1 },
-            VoteOp::Certify { election: 2, participants: vec![1, 3] },
+            VoteOp::Certify {
+                election: 2,
+                participants: vec![1, 3],
+            },
         ] {
             assert_eq!(VoteOp::decode(&op.encode()), Some(op));
         }
@@ -193,9 +216,16 @@ mod tests {
 
     #[test]
     fn shard_keys_group_by_election() {
-        let cast = VoteOp::CastVote { election: 3, choice: "alice".into() };
+        let cast = VoteOp::CastVote {
+            election: 3,
+            choice: "alice".into(),
+        };
         let tally = VoteOp::Tally { election: 3 };
-        assert_eq!(cast.shard_key(), tally.shard_key(), "one election, one shard");
+        assert_eq!(
+            cast.shard_key(),
+            tally.shard_key(),
+            "one election, one shard"
+        );
         assert_ne!(tally.shard_key(), VoteOp::Tally { election: 4 }.shard_key());
         // Catalog ops share the catalog key.
         let create = VoteOp::CreateElection { title: "a".into() };
@@ -205,7 +235,11 @@ mod tests {
     #[test]
     fn read_only_classification() {
         assert!(!VoteOp::CreateElection { title: "x".into() }.is_read_only());
-        assert!(!VoteOp::CastVote { election: 1, choice: "y".into() }.is_read_only());
+        assert!(!VoteOp::CastVote {
+            election: 1,
+            choice: "y".into()
+        }
+        .is_read_only());
         assert!(VoteOp::Tally { election: 1 }.is_read_only());
         assert!(VoteOp::ListElections.is_read_only());
         assert!(VoteOp::MyVote { election: 1 }.is_read_only());
@@ -222,7 +256,11 @@ mod tests {
     fn cross_precinct_ballot_is_one_sub_op_per_election() {
         let subs = cross_precinct_ballot(&[3, 7], "alice");
         assert_eq!(subs.len(), 2);
-        assert_eq!(subs[0].0, 3i64.to_be_bytes().to_vec(), "keyed by election id");
+        assert_eq!(
+            subs[0].0,
+            3i64.to_be_bytes().to_vec(),
+            "keyed by election id"
+        );
         assert_ne!(subs[0].0, subs[1].0);
         for (key, op) in &subs {
             let decoded = VoteOp::decode(op).expect("sub-ops decode");
@@ -230,7 +268,11 @@ mod tests {
                 VoteOp::CastVote { choice, .. } => assert_eq!(choice, "alice"),
                 other => panic!("{other:?}"),
             }
-            assert_eq!(&decoded.shard_key(), key, "sub-op keys match the op's own key");
+            assert_eq!(
+                &decoded.shard_key(),
+                key,
+                "sub-op keys match the op's own key"
+            );
         }
     }
 

@@ -61,13 +61,28 @@ pub struct FaultyReplicaHost {
 impl FaultyReplicaHost {
     /// Wrap `replica` with `fault`. For [`Fault::SplitBrain`] pass the twin
     /// engine created with [`make_engine`] for the same id.
-    pub fn new(replica: Replica, twin: Option<Replica>, fault: Fault, model: CostModel, n: usize) -> Self {
+    pub fn new(
+        replica: Replica,
+        twin: Option<Replica>,
+        fault: Fault,
+        model: CostModel,
+        n: usize,
+    ) -> Self {
         let mut engines = vec![replica];
         if let Some(t) = twin {
-            assert_eq!(fault, Fault::SplitBrain, "twin engines are for split-brain only");
+            assert_eq!(
+                fault,
+                Fault::SplitBrain,
+                "twin engines are for split-brain only"
+            );
             engines.push(t);
         }
-        FaultyReplicaHost { engines, fault, model, n }
+        FaultyReplicaHost {
+            engines,
+            fault,
+            model,
+            n,
+        }
     }
 
     /// Does `engine_idx` get to talk to `dst` under the current fault?
@@ -119,14 +134,19 @@ impl FaultyReplicaHost {
                     if !self.audience_allows(engine_idx, dst) {
                         continue;
                     }
-                    let Some(packet) = self.transform(packet, to_client) else { continue };
+                    let Some(packet) = self.transform(packet, to_client) else {
+                        continue;
+                    };
                     ctx.charge(self.model.packet_cost(packet.len()));
                     ctx.send(dst, packet);
                 }
                 Output::SetTimer { kind, delay_ns } => {
                     // Timers collapse across engines (same kinds); close
                     // enough for fault scenarios.
-                    ctx.set_timer(TimerId(kind.index()), simnet::SimDuration::from_nanos(delay_ns));
+                    ctx.set_timer(
+                        TimerId(kind.index()),
+                        simnet::SimDuration::from_nanos(delay_ns),
+                    );
                 }
                 Output::CancelTimer { kind } => ctx.cancel_timer(TimerId(kind.index())),
             }
@@ -158,7 +178,9 @@ impl Node for FaultyReplicaHost {
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
-        let Some(kind) = pbft_core::TimerKind::from_index(timer.0) else { return };
+        let Some(kind) = pbft_core::TimerKind::from_index(timer.0) else {
+            return;
+        };
         for i in 0..self.engines.len() {
             let res = self.engines[i].on_timer(kind, ctx.now().as_nanos() + i as u64);
             ctx.charge(self.model.charge_counts(&res.counts));

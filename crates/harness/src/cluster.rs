@@ -61,16 +61,23 @@ impl AppKind {
         match self {
             AppKind::Null { reply_size } => Box::new(NullApp::new(*reply_size)),
             AppKind::Sql { journal } => Box::new(
-                SqlApp::open(state, *journal, CostProfile::default(), Some(SQL_BENCH_SCHEMA))
-                    .expect("state region fits the bench schema"),
+                SqlApp::open(
+                    state,
+                    *journal,
+                    CostProfile::default(),
+                    Some(SQL_BENCH_SCHEMA),
+                )
+                .expect("state region fits the bench schema"),
             ),
             AppKind::SqlWith { journal, setup } => Box::new(
                 SqlApp::open(state, *journal, CostProfile::default(), Some(setup))
                     .expect("state region fits the setup script"),
             ),
             AppKind::Evoting { journal, voters } => {
-                let refs: Vec<(&str, &str)> =
-                    voters.iter().map(|(u, s)| (u.as_str(), s.as_str())).collect();
+                let refs: Vec<(&str, &str)> = voters
+                    .iter()
+                    .map(|(u, s)| (u.as_str(), s.as_str()))
+                    .collect();
                 Box::new(evoting::EvotingApp::open(state, *journal, &refs))
             }
         }
@@ -104,11 +111,13 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// Build this spec's application over `state`, honoring the
-    /// [`ClusterSpec::xshard`] wrapper flag.
+    /// [`ClusterSpec::xshard`] wrapper flag. The wrapper mounts over the
+    /// region's xshard section and *loads* any existing content — a replica
+    /// restarted over a preserved disk reconstructs its 2PC tables here.
     pub fn make_app(&self, state: StateHandle) -> Box<dyn App> {
-        let inner = self.app.make(state);
+        let inner = self.app.make(state.clone());
         if self.xshard {
-            Box::new(pbft_core::XShardApp::new(inner))
+            Box::new(pbft_core::XShardApp::mount(inner, state))
         } else {
             inner
         }
@@ -167,14 +176,25 @@ fn apply_outputs(res: HandleResult, model: &CostModel, ctx: &mut NodeCtx<'_>) {
 impl ReplicaHost {
     /// Mount a replica engine with the standard honest behaviour.
     pub fn new(replica: Replica, model: CostModel) -> ReplicaHost {
-        ReplicaHost { replica, cum_counts: Default::default(), model, restarted: false }
+        ReplicaHost {
+            replica,
+            cum_counts: Default::default(),
+            model,
+            restarted: false,
+        }
     }
 }
 
 impl ClientHost {
     /// Mount a client engine with no workload installed.
     pub fn new(client: Client, model: CostModel) -> ClientHost {
-        ClientHost { client, model, gen: None, issued: 0, events: Vec::new() }
+        ClientHost {
+            client,
+            model,
+            gen: None,
+            issued: 0,
+            events: Vec::new(),
+        }
     }
 }
 
@@ -193,7 +213,9 @@ impl Node for ReplicaHost {
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
-        let Some(kind) = TimerKind::from_index(timer.0) else { return };
+        let Some(kind) = TimerKind::from_index(timer.0) else {
+            return;
+        };
         let res = self.replica.on_timer(kind, ctx.now().as_nanos());
         self.cum_counts.add(&res.counts);
         apply_outputs(res, &self.model.clone(), ctx);
@@ -240,7 +262,9 @@ impl Node for ClientHost {
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
-        let Some(kind) = TimerKind::from_index(timer.0) else { return };
+        let Some(kind) = TimerKind::from_index(timer.0) else {
+            return;
+        };
         let res = self.client.on_timer(kind, ctx.now().as_nanos());
         apply_outputs(res, &self.model.clone(), ctx);
         self.pump_workload(ctx);
@@ -269,7 +293,14 @@ pub fn make_engine(spec: &ClusterSpec, i: u32) -> Replica {
     };
     let state: StateHandle = Rc::new(RefCell::new(PagedState::new(spec.app.state_pages())));
     let app = spec.make_app(state.clone());
-    Replica::new(spec.cfg.clone(), GROUP_SEED, ReplicaId(i), state, app, &static_clients)
+    Replica::new(
+        spec.cfg.clone(),
+        GROUP_SEED,
+        ReplicaId(i),
+        state,
+        app,
+        &static_clients,
+    )
 }
 
 impl Cluster {
@@ -302,7 +333,12 @@ impl Cluster {
             ..Default::default()
         });
         let (replicas, clients) = assemble(&mut sim, &spec);
-        let mut cluster = Cluster { sim, replicas, clients, spec };
+        let mut cluster = Cluster {
+            sim,
+            replicas,
+            clients,
+            spec,
+        };
         cluster.settle();
         cluster
     }
@@ -351,7 +387,12 @@ impl Cluster {
             }));
             clients.push(id);
         }
-        let mut cluster = Cluster { sim, replicas, clients, spec };
+        let mut cluster = Cluster {
+            sim,
+            replicas,
+            clients,
+            spec,
+        };
         cluster.settle();
         cluster
     }
@@ -360,10 +401,11 @@ impl Cluster {
     fn settle(&mut self) {
         for _ in 0..100 {
             self.sim.run_for(SimDuration::from_millis(20));
-            let all_member = self
-                .clients
-                .iter()
-                .all(|&id| self.sim.node_ref::<ClientHost>(id).is_some_and(|c| c.client.is_member()));
+            let all_member = self.clients.iter().all(|&id| {
+                self.sim
+                    .node_ref::<ClientHost>(id)
+                    .is_some_and(|c| c.client.is_member())
+            });
             if all_member {
                 break;
             }
@@ -384,7 +426,11 @@ impl Cluster {
     /// Install a workload generator on a subset of clients (by index),
     /// leaving the rest idle — e.g. the cross-shard harness reserves the
     /// trailing clients as manually driven transaction agents.
-    pub fn start_workload_on(&mut self, indices: &[usize], mut make_gen: impl FnMut(usize) -> OpGen) {
+    pub fn start_workload_on(
+        &mut self,
+        indices: &[usize],
+        mut make_gen: impl FnMut(usize) -> OpGen,
+    ) {
         for &i in indices {
             let id = self.clients[i];
             let gen = make_gen(i);
@@ -461,7 +507,9 @@ impl Cluster {
 
     /// Access a replica engine.
     pub fn replica(&self, i: usize) -> Option<&Replica> {
-        self.sim.node_ref::<ReplicaHost>(self.replicas[i]).map(|h| &h.replica)
+        self.sim
+            .node_ref::<ReplicaHost>(self.replicas[i])
+            .map(|h| &h.replica)
     }
 
     /// A replica's cumulative work record (cost-model inputs).
@@ -565,13 +613,14 @@ mod tests {
 
     #[test]
     fn static_null_cluster_reaches_throughput() {
-        let spec = ClusterSpec { num_clients: 4, ..Default::default() };
+        let spec = ClusterSpec {
+            num_clients: 4,
+            ..Default::default()
+        };
         let mut cluster = Cluster::build(spec);
         cluster.start_workload(|_| null_ops(256));
-        let tps = cluster.measure_throughput(
-            SimDuration::from_millis(200),
-            SimDuration::from_millis(500),
-        );
+        let tps = cluster
+            .measure_throughput(SimDuration::from_millis(200), SimDuration::from_millis(500));
         assert!(tps > 1000.0, "default config should be fast, got {tps}");
         cluster.quiesce(SimDuration::from_millis(500));
         assert!(cluster.states_converged(&[0, 1, 2, 3]));
@@ -580,8 +629,15 @@ mod tests {
 
     #[test]
     fn dynamic_cluster_joins_and_works() {
-        let cfg = PbftConfig { dynamic_membership: true, ..Default::default() };
-        let spec = ClusterSpec { cfg, num_clients: 3, ..Default::default() };
+        let cfg = PbftConfig {
+            dynamic_membership: true,
+            ..Default::default()
+        };
+        let spec = ClusterSpec {
+            cfg,
+            num_clients: 3,
+            ..Default::default()
+        };
         let mut cluster = Cluster::build(spec);
         for &id in &cluster.clients {
             let host = cluster.sim.node_ref::<ClientHost>(id).expect("client");
@@ -595,7 +651,9 @@ mod tests {
     #[test]
     fn sql_cluster_executes_inserts() {
         let spec = ClusterSpec {
-            app: AppKind::Sql { journal: JournalMode::Rollback },
+            app: AppKind::Sql {
+                journal: JournalMode::Rollback,
+            },
             num_clients: 4,
             ..Default::default()
         };
@@ -609,8 +667,15 @@ mod tests {
 
     #[test]
     fn crash_and_restart_recovers() {
-        let cfg = PbftConfig { checkpoint_interval: 32, ..Default::default() };
-        let spec = ClusterSpec { cfg, num_clients: 4, ..Default::default() };
+        let cfg = PbftConfig {
+            checkpoint_interval: 32,
+            ..Default::default()
+        };
+        let spec = ClusterSpec {
+            cfg,
+            num_clients: 4,
+            ..Default::default()
+        };
         let mut cluster = Cluster::build(spec);
         cluster.start_workload(|_| null_ops(64));
         cluster.run_for(SimDuration::from_millis(300));

@@ -86,9 +86,19 @@ mod tests {
     #[test]
     fn signatures_dominate_macs() {
         let m = CostModel::default();
-        let macs = OpCounts { mac_gen: 3, ..Default::default() };
-        let sig = OpCounts { sign: 1, ..Default::default() };
-        assert!(m.charge_counts(&sig) > m.charge_counts(&macs).saturating_add(SimDuration::from_micros(100)));
+        let macs = OpCounts {
+            mac_gen: 3,
+            ..Default::default()
+        };
+        let sig = OpCounts {
+            sign: 1,
+            ..Default::default()
+        };
+        assert!(
+            m.charge_counts(&sig)
+                > m.charge_counts(&macs)
+                    .saturating_add(SimDuration::from_micros(100))
+        );
     }
 
     #[test]
@@ -102,14 +112,20 @@ mod tests {
     #[test]
     fn flushes_are_expensive() {
         let m = CostModel::default();
-        let one_flush = OpCounts { disk_flushes: 1, ..Default::default() };
+        let one_flush = OpCounts {
+            disk_flushes: 1,
+            ..Default::default()
+        };
         assert!(m.charge_counts(&one_flush) >= SimDuration::from_micros(400));
     }
 
     #[test]
     fn exec_cpu_passes_through() {
         let m = CostModel::default();
-        let c = OpCounts { exec_cpu_us: 123.0, ..Default::default() };
+        let c = OpCounts {
+            exec_cpu_us: 123.0,
+            ..Default::default()
+        };
         assert_eq!(m.charge_counts(&c), SimDuration::from_micros_f64(123.0));
     }
 }

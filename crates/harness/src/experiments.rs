@@ -29,7 +29,11 @@ pub struct ConfigResult {
 fn config(dynamic: bool, macs: bool, allbig: bool, batching: bool) -> PbftConfig {
     PbftConfig {
         dynamic_membership: dynamic,
-        auth: if macs { AuthMode::Macs } else { AuthMode::Signatures },
+        auth: if macs {
+            AuthMode::Macs
+        } else {
+            AuthMode::Signatures
+        },
         all_requests_big: allbig,
         batching,
         ..Default::default()
@@ -155,9 +159,18 @@ pub fn acid_comparison(trials: usize) -> (Stats, Stats) {
 pub fn journal_modes(trials: usize) -> Vec<(&'static str, Stats)> {
     let cfg = config(true, false, false, true);
     vec![
-        ("rollback journal (ACID, 3 syncs/commit)", sql_throughput(&cfg, JournalMode::Rollback, trials)),
-        ("write-ahead log  (ACID, 1 sync/commit)", sql_throughput(&cfg, JournalMode::Wal, trials)),
-        ("no journal       (no-ACID, 0 syncs)", sql_throughput(&cfg, JournalMode::Off, trials)),
+        (
+            "rollback journal (ACID, 3 syncs/commit)",
+            sql_throughput(&cfg, JournalMode::Rollback, trials),
+        ),
+        (
+            "write-ahead log  (ACID, 1 sync/commit)",
+            sql_throughput(&cfg, JournalMode::Wal, trials),
+        ),
+        (
+            "no journal       (no-ACID, 0 syncs)",
+            sql_throughput(&cfg, JournalMode::Off, trials),
+        ),
     ]
 }
 
@@ -325,8 +338,14 @@ pub fn nondet_replay(skip_on_replay: bool, seed: u64) -> NonDetReport {
     let before = cluster.completed();
     cluster.run_for(SimDuration::from_secs(2));
     let completed_after = cluster.completed() - before;
-    let validation_failures = (1..4).map(|i| cluster.replica_metrics(i).nondet_validation_failures).sum();
-    NonDetReport { skip_on_replay, validation_failures, completed_after }
+    let validation_failures = (1..4)
+        .map(|i| cluster.replica_metrics(i).nondet_validation_failures)
+        .sum();
+    NonDetReport {
+        skip_on_replay,
+        validation_failures,
+        completed_after,
+    }
 }
 
 /// **§3.3.3 (WAN ablation)**: throughput and latency vs one-way link delay,
@@ -368,9 +387,11 @@ pub fn render_table(title: &str, rows: &[ConfigResult], baseline: Option<f64>) -
         "configuration", "TPS", "StDev", "% of best"
     ));
     let best = baseline
-        .or_else(|| rows.iter().map(|r| r.tps.mean).fold(None, |a: Option<f64>, b| {
-            Some(a.map_or(b, |a| a.max(b)))
-        }))
+        .or_else(|| {
+            rows.iter()
+                .map(|r| r.tps.mean)
+                .fold(None, |a: Option<f64>, b| Some(a.map_or(b, |a| a.max(b))))
+        })
         .unwrap_or(1.0);
     for r in rows {
         out.push_str(&format!(

@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 use pbft_core::{ClientId, Envelope, Message};
 use simnet::{Node, NodeCtx, NodeId, TimerId};
 
-use crate::cluster::{make_engine, Cluster, ClusterSpec, ClientHost, ReplicaHost};
+use crate::cluster::{make_engine, ClientHost, Cluster, ClusterSpec, ReplicaHost};
 use crate::cost::CostModel;
 
 /// Reply-filtering state for one `(client, timestamp)`.
@@ -71,7 +71,12 @@ pub enum NextHop {
 
 impl FirewallNode {
     /// A row with the given downstream hop.
-    pub fn new(weak_quorum: usize, strong_quorum: usize, next: NextHop, model: CostModel) -> FirewallNode {
+    pub fn new(
+        weak_quorum: usize,
+        strong_quorum: usize,
+        next: NextHop,
+        model: CostModel,
+    ) -> FirewallNode {
         FirewallNode {
             weak_quorum,
             strong_quorum,
@@ -106,7 +111,10 @@ impl Node for FirewallNode {
             self.suppressed += 1;
             return;
         };
-        let slot = self.slots.entry((reply.client, reply.timestamp)).or_default();
+        let slot = self
+            .slots
+            .entry((reply.client, reply.timestamp))
+            .or_default();
         if !slot.versions.insert((reply.replica.0, reply.tentative)) {
             self.suppressed += 1; // retransmission of an already-passed reply
             return;
@@ -152,9 +160,15 @@ pub struct FirewalledCluster {
 /// Replica-facing addressing: clients advertise the outermost firewall row
 /// as their reply address, so replicas need no changes at all.
 pub fn build_firewalled_cluster(spec: ClusterSpec, rows: usize) -> FirewalledCluster {
-    assert!(!spec.cfg.dynamic_membership, "firewall demo uses static membership");
+    assert!(
+        !spec.cfg.dynamic_membership,
+        "firewall demo uses static membership"
+    );
     if rows == 0 {
-        return FirewalledCluster { cluster: Cluster::build(spec), rows: Vec::new() };
+        return FirewalledCluster {
+            cluster: Cluster::build(spec),
+            rows: Vec::new(),
+        };
     }
     let n = spec.cfg.n();
     let weak = spec.cfg.weak_quorum();
@@ -217,7 +231,10 @@ impl FirewalledCluster {
         self.rows
             .iter()
             .filter_map(|&id| self.cluster.sim.node_ref::<FirewallNode>(id))
-            .map(|f| RowStats { forwarded: f.forwarded, suppressed: f.suppressed })
+            .map(|f| RowStats {
+                forwarded: f.forwarded,
+                suppressed: f.suppressed,
+            })
             .collect()
     }
 }
@@ -243,7 +260,11 @@ mod tests {
         let mut fc = build_firewalled_cluster(spec(4), 2);
         fc.cluster.start_workload(|i| null_ops(64 + i));
         fc.cluster.run_for(SimDuration::from_secs(1));
-        assert!(fc.cluster.completed() > 100, "got {}", fc.cluster.completed());
+        assert!(
+            fc.cluster.completed() > 100,
+            "got {}",
+            fc.cluster.completed()
+        );
         let stats = fc.row_stats();
         assert_eq!(stats.len(), 2);
         assert!(stats[0].forwarded > 0);

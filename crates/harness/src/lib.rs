@@ -47,9 +47,9 @@
 
 pub mod byzantine;
 pub mod cluster;
-pub mod firewall;
 pub mod cost;
 pub mod experiments;
+pub mod firewall;
 pub mod shard;
 pub mod stats;
 pub mod workload;

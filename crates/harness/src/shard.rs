@@ -70,7 +70,9 @@ impl ShardRouter {
     /// # Panics
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> ShardRouter {
-        ShardRouter { map: ShardMap::new(shards as u32) }
+        ShardRouter {
+            map: ShardMap::new(shards as u32),
+        }
     }
 
     /// Number of groups routed over.
@@ -143,7 +145,10 @@ pub struct ShardedClusterSpec {
 
 impl Default for ShardedClusterSpec {
     fn default() -> Self {
-        ShardedClusterSpec { shards: 4, base: ClusterSpec::default() }
+        ShardedClusterSpec {
+            shards: 4,
+            base: ClusterSpec::default(),
+        }
     }
 }
 
@@ -189,7 +194,12 @@ impl ShardedCluster {
         // Group builds settle independently (joins may take a different
         // number of rounds per seed); advance stragglers to the latest
         // clock so the lockstep invariant holds from here on.
-        let horizon = cluster.groups.iter().map(|g| g.sim.now()).max().expect("non-empty");
+        let horizon = cluster
+            .groups
+            .iter()
+            .map(|g| g.sim.now())
+            .max()
+            .expect("non-empty");
         for g in &mut cluster.groups {
             g.sim.run_until(horizon);
         }
@@ -245,8 +255,11 @@ impl ShardedCluster {
     /// operations that don't route to its shard — a mis-partitioned
     /// workload would otherwise spin the closed loop forever.
     pub fn start_keyed_workload(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
-        let per_group: Vec<Vec<usize>> =
-            self.groups.iter().map(|g| (0..g.clients.len()).collect()).collect();
+        let per_group: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| (0..g.clients.len()).collect())
+            .collect();
         self.start_keyed_workload_on(&per_group, |s, c| make_gen(s, c));
     }
 
@@ -353,12 +366,32 @@ impl ShardedCluster {
         ShardedThroughput { per_shard_tps }
     }
 
+    /// Crash one member replica of one group — a *real* node failure (its
+    /// transient protocol state is gone), unlike the partition/stall faults
+    /// PR 3 limited itself to. The group keeps committing as long as at
+    /// most f members are down.
+    pub fn crash_member(&mut self, shard: usize, member: usize) {
+        self.groups[shard].crash_replica(member);
+    }
+
+    /// Restart a crashed member of one group. `preserve_disk` keeps the
+    /// replica's state region (its durable "disk" — including the xshard
+    /// section, so 2PC tables reload); otherwise it restarts blank and
+    /// reconstructs everything via checkpoint state transfer. Client
+    /// session keys are always lost (the §2.3 scenario).
+    pub fn restart_member(&mut self, shard: usize, member: usize, preserve_disk: bool) {
+        self.groups[shard].restart_replica(member, preserve_disk);
+    }
+
     /// Are all replicas' state digests identical *within every group*?
     /// (Safety holds per group; groups legitimately diverge from each other
     /// — they serve disjoint key spaces.)
     pub fn states_converged(&mut self) -> bool {
-        let all: Vec<Vec<usize>> =
-            self.groups.iter().map(|g| (0..g.spec().cfg.n()).collect()).collect();
+        let all: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| (0..g.spec().cfg.n()).collect())
+            .collect();
         self.groups
             .iter_mut()
             .zip(all)
@@ -413,7 +446,10 @@ mod tests {
     fn sharded_build_aligns_clocks() {
         let spec = ShardedClusterSpec {
             shards: 3,
-            base: ClusterSpec { num_clients: 2, ..Default::default() },
+            base: ClusterSpec {
+                num_clients: 2,
+                ..Default::default()
+            },
         };
         let sc = ShardedCluster::build(spec);
         let now = sc.group(0).sim.now();
@@ -424,17 +460,25 @@ mod tests {
     fn keyed_workload_routes_and_completes_on_every_shard() {
         let spec = ShardedClusterSpec {
             shards: 2,
-            base: ClusterSpec { num_clients: 3, ..Default::default() },
+            base: ClusterSpec {
+                num_clients: 3,
+                ..Default::default()
+            },
         };
         let mut sc = ShardedCluster::build(spec);
-        sc.start_keyed_workload(|shard, client| {
-            keyed_null_ops(128, (shard * 100 + client) as u64)
-        });
+        sc.start_keyed_workload(|shard, client| keyed_null_ops(128, (shard * 100 + client) as u64));
         let t = sc.measure_throughput(SimDuration::from_millis(200), SimDuration::from_millis(500));
-        assert!(t.per_shard_tps.iter().all(|&tps| tps > 100.0), "{:?}", t.per_shard_tps);
+        assert!(
+            t.per_shard_tps.iter().all(|&tps| tps > 100.0),
+            "{:?}",
+            t.per_shard_tps
+        );
         let m = sc.router_metrics();
         assert!(m.routed > 0);
-        assert!(m.skipped_foreign > 0, "uniform keys must sometimes route away");
+        assert!(
+            m.skipped_foreign > 0,
+            "uniform keys must sometimes route away"
+        );
         assert_eq!(m.rejected_cross_shard, 0);
         sc.quiesce(SimDuration::from_millis(500));
         assert!(sc.states_converged());
@@ -444,7 +488,10 @@ mod tests {
     fn route_counts_cross_shard_rejections() {
         let sc = ShardedCluster::build(ShardedClusterSpec {
             shards: 8,
-            base: ClusterSpec { num_clients: 1, ..Default::default() },
+            base: ClusterSpec {
+                num_clients: 1,
+                ..Default::default()
+            },
         });
         // Find two keys owned by different groups.
         let router = *sc.router();
@@ -453,11 +500,23 @@ mod tests {
             .map(|i| i.to_be_bytes().to_vec())
             .find(|k| router.route_key(k) != router.route_key(&k0))
             .expect("some key routes elsewhere");
-        let bad = KeyedOp { keys: vec![k0.clone(), foreign], op: vec![1], read_only: false };
+        let bad = KeyedOp {
+            keys: vec![k0.clone(), foreign],
+            op: vec![1],
+            read_only: false,
+        };
         assert!(matches!(sc.route(&bad), Err(RouteError::CrossShard { .. })));
-        let ok = KeyedOp { keys: vec![k0], op: vec![2], read_only: false };
+        let ok = KeyedOp {
+            keys: vec![k0],
+            op: vec![2],
+            read_only: false,
+        };
         assert!(sc.route(&ok).is_ok());
-        let keyless = KeyedOp { keys: vec![], op: vec![3], read_only: false };
+        let keyless = KeyedOp {
+            keys: vec![],
+            op: vec![3],
+            read_only: false,
+        };
         assert_eq!(sc.route(&keyless), Err(RouteError::NoKeys));
         let m = sc.router_metrics();
         assert_eq!(
@@ -469,9 +528,14 @@ mod tests {
 
     #[test]
     fn scaling_efficiency_is_aggregate_over_ideal() {
-        let t = ShardedThroughput { per_shard_tps: vec![900.0, 1000.0, 1100.0, 1000.0] };
+        let t = ShardedThroughput {
+            per_shard_tps: vec![900.0, 1000.0, 1100.0, 1000.0],
+        };
         assert!((t.aggregate_tps() - 4000.0).abs() < 1e-9);
-        assert!((t.scaling_efficiency(1000.0) - 1.0).abs() < 1e-9, "linear scaling is 1.0");
+        assert!(
+            (t.scaling_efficiency(1000.0) - 1.0).abs() < 1e-9,
+            "linear scaling is 1.0"
+        );
         assert!((t.scaling_efficiency(2000.0) - 0.5).abs() < 1e-9);
         assert_eq!(t.scaling_efficiency(0.0), 0.0, "zero baseline guarded");
     }

@@ -77,12 +77,18 @@ fn mix(tag: u64, seq: u64, draw: u64) -> u64 {
 /// Panics at draw time if `map` has a single shard or `key_space` is too
 /// small to offer keys on two different groups.
 pub fn cross_null_txs(map: ShardMap, size: usize, key_space: u64, tag: u64) -> TxGen {
-    assert!(map.shards() > 1, "cross-shard transactions need at least two groups");
+    assert!(
+        map.shards() > 1,
+        "cross-shard transactions need at least two groups"
+    );
     let null_sub = move |key: Vec<u8>| {
         let mut op = vec![0u8; size];
         let n = key.len().min(size);
         op[..n].copy_from_slice(&key[..n]);
-        SubOp { keys: vec![key], op }
+        SubOp {
+            keys: vec![key],
+            op,
+        }
     };
     Box::new(move |seq| {
         let a = mix(tag, seq, 0) % key_space;
@@ -92,7 +98,9 @@ pub fn cross_null_txs(map: ShardMap, size: usize, key_space: u64, tag: u64) -> T
             .map(|draw| (mix(tag, seq, draw) % key_space).to_be_bytes().to_vec())
             .find(|k| map.shard_of(k) != shard_a)
             .expect("a uniform key space of this size covers more than one shard");
-        TxOp { sub_ops: vec![null_sub(key_a), null_sub(key_b)] }
+        TxOp {
+            sub_ops: vec![null_sub(key_a), null_sub(key_b)],
+        }
     })
 }
 
@@ -118,7 +126,10 @@ pub fn transfer_txs(accounts: u64, max_amount: i64, tag: u64) -> TxGen {
             sub_ops: t
                 .sub_ops()
                 .into_iter()
-                .map(|(key, sql)| SubOp { keys: vec![key], op: sql.into_bytes() })
+                .map(|(key, sql)| SubOp {
+                    keys: vec![key],
+                    op: sql.into_bytes(),
+                })
                 .collect(),
         }
     })
@@ -133,7 +144,10 @@ pub fn cross_precinct_ballot_txs(
     choices: &'static [&'static str],
     tag: u64,
 ) -> TxGen {
-    assert!(elections.len() >= 2, "a cross-precinct ballot names two precincts");
+    assert!(
+        elections.len() >= 2,
+        "a cross-precinct ballot names two precincts"
+    );
     Box::new(move |seq| {
         let first = (mix(tag, seq, 0) % elections.len() as u64) as usize;
         let second = (first + 1 + (mix(tag, seq, 1) % (elections.len() as u64 - 1)) as usize)
@@ -143,7 +157,10 @@ pub fn cross_precinct_ballot_txs(
         TxOp {
             sub_ops: evoting::cross_precinct_ballot(&pair, choice)
                 .into_iter()
-                .map(|(key, op)| SubOp { keys: vec![key], op })
+                .map(|(key, op)| SubOp {
+                    keys: vec![key],
+                    op,
+                })
                 .collect(),
         }
     })
@@ -160,7 +177,11 @@ pub fn keyed_null_ops(size: usize, tag: u64) -> KeyedOpGen {
         let mut op = vec![0u8; size];
         let n = key.len().min(size);
         op[..n].copy_from_slice(&key[..n]);
-        KeyedOp { keys: vec![key], op, read_only: false }
+        KeyedOp {
+            keys: vec![key],
+            op,
+            read_only: false,
+        }
     })
 }
 
@@ -173,7 +194,11 @@ pub fn keyed_sql_insert_ops(client_tag: u64) -> KeyedOpGen {
         let (op, read_only) = inner(seq);
         let sql = std::str::from_utf8(&op).expect("generated SQL is UTF-8");
         let key = pbft_sql::shard_key(sql).expect("inserts always carry a key literal");
-        KeyedOp { keys: vec![key], op, read_only }
+        KeyedOp {
+            keys: vec![key],
+            op,
+            read_only,
+        }
     })
 }
 
@@ -186,8 +211,15 @@ pub fn keyed_evoting_ops(
     Box::new(move |seq| {
         let election = elections[(seq as usize) % elections.len()];
         let choice = choices[(seq as usize) % choices.len()];
-        let op = evoting::VoteOp::CastVote { election, choice: choice.to_string() };
-        KeyedOp { keys: vec![op.shard_key()], op: op.encode(), read_only: false }
+        let op = evoting::VoteOp::CastVote {
+            election,
+            choice: choice.to_string(),
+        };
+        KeyedOp {
+            keys: vec![op.shard_key()],
+            op: op.encode(),
+            read_only: false,
+        }
     })
 }
 
@@ -223,7 +255,10 @@ pub const SQL_BENCH_SCHEMA: &str =
 pub fn evoting_ops(choices: &'static [&'static str]) -> OpGen {
     Box::new(move |seq| {
         let choice = choices[(seq as usize) % choices.len()];
-        let op = evoting::VoteOp::CastVote { election: 1, choice: choice.to_string() };
+        let op = evoting::VoteOp::CastVote {
+            election: 1,
+            choice: choice.to_string(),
+        };
         (op.encode(), false)
     })
 }
@@ -292,8 +327,11 @@ mod tests {
         for seq in 0..50 {
             let tx = gen(seq);
             assert_eq!(tx.sub_ops.len(), 2);
-            let shards: Vec<u32> =
-                tx.sub_ops.iter().map(|s| map.shard_of(&s.keys[0])).collect();
+            let shards: Vec<u32> = tx
+                .sub_ops
+                .iter()
+                .map(|s| map.shard_of(&s.keys[0]))
+                .collect();
             assert_ne!(shards[0], shards[1], "sub-ops must land on distinct groups");
             for sub in &tx.sub_ops {
                 assert_eq!(sub.op.len(), 64);
@@ -316,7 +354,10 @@ mod tests {
             assert!(debit.contains("bal - "));
             assert!(credit.contains("bal + "));
             // The sub-op's routing key matches the SQL's own shard key.
-            assert_eq!(pbft_sql::shard_key(debit).as_deref(), Some(&tx.sub_ops[0].keys[0][..]));
+            assert_eq!(
+                pbft_sql::shard_key(debit).as_deref(),
+                Some(&tx.sub_ops[0].keys[0][..])
+            );
         }
     }
 

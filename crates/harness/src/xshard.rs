@@ -38,6 +38,21 @@
 //! property tests lean on: it replays the transaction log against every
 //! participant group's quorum-certified `QueryApplied` answer and demands
 //! all-or-nothing application.
+//!
+//! Fault surface: beyond the PR 3 partition/stall faults
+//! ([`XShardCluster::isolate_shard`]/[`XShardCluster::heal_shard`]), the
+//! driver exposes *real* member faults —
+//! [`XShardCluster::crash_member`]/[`XShardCluster::restart_member`] crash
+//! and restart an individual replica inside a group, exercising the
+//! execution-skipping recovery paths the durable 2PC tables exist for
+//! (crash-restart over a preserved disk, and checkpoint state transfer
+//! that fast-forwards a blank restart over a transaction's prepare). A
+//! transaction abandoned [`TxOutcome::Unresolved`] (coordinator group
+//! unreachable after an all-yes vote) is settled after the heal by
+//! [`XShardCluster::resolve_unresolved`], which recovers the logged
+//! verdict via `QueryDecision` and releases the participants' held locks.
+//! [`XShardCluster::states_converged`] checks digests *including* the
+//! xshard section, so a lock-table divergence fails loudly.
 
 use std::collections::BTreeSet;
 
@@ -103,8 +118,16 @@ pub struct XShardMetrics {
     pub aborts_timeout: u64,
     /// Transactions abandoned with an undetermined outcome (coordinator
     /// unreachable after an all-yes vote; participants keep their locks
-    /// until the coordinator heals).
+    /// until the coordinator heals and a
+    /// [`XShardCluster::resolve_unresolved`] pass settles them).
     pub tx_unresolved: u64,
+    /// Previously-unresolved transactions that a recovery pass drove to
+    /// commit (the coordinator had logged the commit decision).
+    pub recovered_committed: u64,
+    /// Previously-unresolved transactions that a recovery pass drove to
+    /// abort (no decision was on record: presumed abort, logged then
+    /// enforced).
+    pub recovered_aborted: u64,
     /// Sub-operations of committed transactions (both paths), counted when
     /// the transaction *settles*. In a healthy run that coincides with
     /// execution; under faults it can lead or lag slightly — a timed-out
@@ -140,9 +163,13 @@ pub struct TxRecord {
     pub txid: TxId,
     /// Participant shards.
     pub shards: Vec<usize>,
+    /// The coordinator group (owner of the transaction's first key; always
+    /// also a participant). The recovery pass queries its decision log.
+    pub coordinator: usize,
     /// Whether the transaction was single-group (`AtomicBatch`).
     pub single_group: bool,
-    /// Final outcome.
+    /// Final outcome ([`TxOutcome::Unresolved`] entries are rewritten in
+    /// place by [`XShardCluster::resolve_unresolved`]).
     pub outcome: TxOutcome,
 }
 
@@ -159,9 +186,18 @@ enum Phase {
         deadline: SimTime,
     },
     /// Awaiting votes.
-    Preparing { tally: TxCoordinator, conflict: bool, deadline: SimTime },
+    Preparing {
+        tally: TxCoordinator,
+        conflict: bool,
+        deadline: SimTime,
+    },
     /// Decision submitted to the coordinator; awaiting `DecisionLogged`.
-    Deciding { commit: bool, conflict: bool, timed_out: bool, deadline: SimTime },
+    Deciding {
+        commit: bool,
+        conflict: bool,
+        timed_out: bool,
+        deadline: SimTime,
+    },
     /// Commits/aborts dispatched; awaiting acks.
     Finishing {
         commit: bool,
@@ -227,7 +263,10 @@ impl XShardCluster {
         base.xshard = true;
         base.num_clients = bg_clients + spec.initiators;
         let sc = ShardedCluster::build_with(
-            ShardedClusterSpec { shards: spec.shards, base },
+            ShardedClusterSpec {
+                shards: spec.shards,
+                base,
+            },
             &mut make_cluster,
         );
         XShardCluster {
@@ -280,9 +319,11 @@ impl XShardCluster {
     /// Install the background (single-shard, PR 2 fast path) workload on
     /// the `base.num_clients` ordinary clients of every group.
     pub fn start_background(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
-        let indices: Vec<Vec<usize>> =
-            (0..self.sc.shards()).map(|_| (0..self.bg_clients).collect()).collect();
-        self.sc.start_keyed_workload_on(&indices, |s, c| make_gen(s, c));
+        let indices: Vec<Vec<usize>> = (0..self.sc.shards())
+            .map(|_| (0..self.bg_clients).collect())
+            .collect();
+        self.sc
+            .start_keyed_workload_on(&indices, |s, c| make_gen(s, c));
     }
 
     /// Install a transaction stream on every initiator and issue the first
@@ -326,7 +367,9 @@ impl XShardCluster {
 
     /// Are all in-flight transactions finished (every initiator idle)?
     pub fn drained(&self) -> bool {
-        self.initiators.iter().all(|i| matches!(i.phase, Phase::Idle))
+        self.initiators
+            .iter()
+            .all(|i| matches!(i.phase, Phase::Idle))
     }
 
     /// Total committed work units: background completions plus every
@@ -334,8 +377,7 @@ impl XShardCluster {
     /// (prepares, decides, acks) is deliberately *not* counted — this is
     /// application throughput, comparable with the PR 2 sharding numbers.
     pub fn committed_units(&self) -> u64 {
-        self.background_completed()
-            + self.metrics.committed_sub_ops
+        self.background_completed() + self.metrics.committed_sub_ops
     }
 
     /// Completed requests of the background clients only.
@@ -382,9 +424,51 @@ impl XShardCluster {
         self.sc.group_mut(shard).sim.heal_all();
     }
 
-    /// Are all replicas' states digest-identical within every group?
+    /// Crash one member replica of one group mid-transaction — a real node
+    /// failure, not a partition (see [`ShardedCluster::crash_member`]).
+    pub fn crash_member(&mut self, shard: usize, member: usize) {
+        self.sc.crash_member(shard, member);
+    }
+
+    /// Restart a crashed member (see [`ShardedCluster::restart_member`]).
+    /// With `preserve_disk` the member reloads its 2PC tables from the
+    /// xshard section of its preserved region; without it, checkpoint state
+    /// transfer reinstalls them along with the rest of the region.
+    pub fn restart_member(&mut self, shard: usize, member: usize, preserve_disk: bool) {
+        self.sc.restart_member(shard, member, preserve_disk);
+    }
+
+    /// Are all replicas' states digest-identical within every group —
+    /// *including* the xshard section? The region digest already covers the
+    /// section (the 2PC tables are ordinary Merkle-covered pages since they
+    /// moved into the region), but the per-section comparison is kept
+    /// explicit so a lock/stage/decision divergence is reported even if the
+    /// surrounding region comparison were ever relaxed.
     pub fn states_converged(&mut self) -> bool {
-        self.sc.states_converged()
+        if !self.sc.states_converged() {
+            return false;
+        }
+        let sec = pbft_core::xshard::xshard_section();
+        for s in 0..self.sc.shards() {
+            let g = self.sc.group(s);
+            let mut images: Vec<Vec<u8>> = Vec::new();
+            for i in 0..g.spec().cfg.n() {
+                let Some(replica) = g.replica(i) else {
+                    continue;
+                };
+                let handle = replica.state_handle();
+                let st = handle.borrow();
+                let mut image = vec![0u8; sec.len as usize];
+                if sec.read(&st, 0, &mut image).is_err() {
+                    return false; // region too small to hold the section
+                }
+                images.push(image);
+            }
+            if !images.windows(2).all(|w| w[0] == w[1]) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Submit `op` on initiator `initiator`'s agent of `shard` and run the
@@ -446,6 +530,13 @@ impl XShardCluster {
     /// read-only `QueryApplied`) whether it applied the transaction, and
     /// demand all-or-nothing agreement with the recorded outcome.
     ///
+    /// Transactions at or below a group's GC floor (their completion
+    /// records were collected by the stability watermark — only possible in
+    /// runs long enough to wrap the record ring) are skipped on that group:
+    /// the watermark deterministically answers "not applied" for them
+    /// whatever the true outcome was, so they are no longer auditable at
+    /// the application level.
+    ///
     /// Queries ride initiator 0's agents, so the deployment must have been
     /// built with at least one initiator (trivially true whenever there are
     /// transactions to audit).
@@ -454,6 +545,21 @@ impl XShardCluster {
     /// A human-readable description of the first violation found, or of a
     /// shard that failed to answer within `timeout`.
     pub fn audit_atomicity(&mut self, timeout: SimDuration) -> Result<(), String> {
+        // Per-group GC floors, read straight from a live replica's region.
+        let floors: Vec<std::collections::BTreeMap<u64, TxId>> = (0..self.sc.shards())
+            .map(|s| {
+                let g = self.sc.group(s);
+                (0..g.spec().cfg.n())
+                    .find_map(|i| g.replica(i))
+                    .map(|r| pbft_core::xshard::read_gc_floors(&r.state_handle().borrow()))
+                    .unwrap_or_default()
+            })
+            .collect();
+        let gc_evicted = |shard: usize, txid: TxId| {
+            floors[shard]
+                .get(&(txid >> pbft_core::xshard::TX_STRIPE_SHIFT))
+                .is_some_and(|&floor| txid <= floor)
+        };
         let records = self.tx_log.clone();
         for rec in records {
             let want = match rec.outcome {
@@ -464,11 +570,17 @@ impl XShardCluster {
                 TxOutcome::Unresolved => false,
             };
             for &shard in &rec.shards {
+                if gc_evicted(shard, rec.txid) {
+                    continue; // collected by the watermark: unauditable
+                }
                 let q = XMsg::QueryApplied { txid: rec.txid }.encode();
                 let reply = self
                     .submit_and_wait(shard, 0, q, true, Some(rec.txid), timeout)
                     .ok_or_else(|| {
-                        format!("shard {shard} did not answer QueryApplied for tx {:#x}", rec.txid)
+                        format!(
+                            "shard {shard} did not answer QueryApplied for tx {:#x}",
+                            rec.txid
+                        )
                     })?;
                 match XReply::decode(&reply) {
                     Some(XReply::Applied { applied, .. }) => {
@@ -489,6 +601,134 @@ impl XShardCluster {
             }
         }
         Ok(())
+    }
+
+    /// Is `txid` at or below the GC floor of `shard`'s group, read from a
+    /// live replica's region? (The audit pre-reads all floors instead —
+    /// this is the one-off variant for the recovery pass.)
+    fn shard_gc_evicted(&self, shard: usize, txid: TxId) -> bool {
+        let g = self.sc.group(shard);
+        let floors = (0..g.spec().cfg.n())
+            .find_map(|i| g.replica(i))
+            .map(|r| pbft_core::xshard::read_gc_floors(&r.state_handle().borrow()))
+            .unwrap_or_default();
+        floors
+            .get(&(txid >> pbft_core::xshard::TX_STRIPE_SHIFT))
+            .is_some_and(|&floor| txid <= floor)
+    }
+
+    /// Recovery pass for [`TxOutcome::Unresolved`] transactions, run after
+    /// the coordinator group heals (and after a quiesce — this drives the
+    /// agents manually).
+    ///
+    /// For every unresolved record: query the coordinator's replicated
+    /// decision log (`QueryDecision`); if no decision is on record, log the
+    /// presumed abort as an ordered `Decide` — first writer wins there, so
+    /// if the abandoned initiator's stale commit decision got ordered
+    /// first, the *recorded* verdict is used instead. The logged verdict is
+    /// then driven to every participant (`Commit`/`Abort`), releasing the
+    /// locks participants held across the outage, and the transaction log
+    /// entry is rewritten to the settled outcome (so
+    /// [`XShardCluster::audit_atomicity`] audits it like any other).
+    ///
+    /// # Errors
+    /// A description of the first shard that failed to answer within
+    /// `timeout`, or of a reply that contradicts the recovered verdict.
+    ///
+    /// # Panics
+    /// Panics if transactions are still in flight (see
+    /// [`XShardCluster::submit_and_wait`]) or the deployment has no
+    /// initiators.
+    pub fn resolve_unresolved(&mut self, timeout: SimDuration) -> Result<RecoveryReport, String> {
+        let unresolved: Vec<(usize, TxRecord)> = self
+            .tx_log
+            .iter()
+            .cloned()
+            .enumerate()
+            .filter(|(_, r)| r.outcome == TxOutcome::Unresolved)
+            .collect();
+        let mut report = RecoveryReport::default();
+        for (idx, rec) in unresolved {
+            let txid = rec.txid;
+            let q = XMsg::QueryDecision { txid }.encode();
+            let reply = self
+                .submit_and_wait(rec.coordinator, 0, q, true, Some(txid), timeout)
+                .ok_or_else(|| {
+                    format!(
+                        "coordinator {} did not answer QueryDecision for tx {txid:#x}",
+                        rec.coordinator
+                    )
+                })?;
+            let mut verdict = match XReply::decode(&reply) {
+                Some(XReply::Decision { commit, .. }) => commit,
+                other => return Err(format!("unexpected QueryDecision reply: {other:?}")),
+            };
+            if verdict.is_none() {
+                let d = XMsg::Decide {
+                    txid,
+                    commit: false,
+                }
+                .encode();
+                let reply = self
+                    .submit_and_wait(rec.coordinator, 0, d, false, Some(txid), timeout)
+                    .ok_or_else(|| {
+                        format!(
+                            "coordinator {} did not log a recovery decision for tx {txid:#x}",
+                            rec.coordinator
+                        )
+                    })?;
+                verdict = match XReply::decode(&reply) {
+                    Some(XReply::DecisionLogged { commit, .. }) => Some(commit),
+                    other => return Err(format!("unexpected Decide reply: {other:?}")),
+                };
+            }
+            let commit = verdict.expect("decided above");
+            let msg = if commit {
+                XMsg::Commit { txid }
+            } else {
+                XMsg::Abort { txid }
+            };
+            for &shard in &rec.shards {
+                let reply = self
+                    .submit_and_wait(shard, 0, msg.encode(), false, Some(txid), timeout)
+                    .ok_or_else(|| {
+                        format!("shard {shard} did not finish recovered tx {txid:#x}")
+                    })?;
+                match (commit, XReply::decode(&reply)) {
+                    (true, Some(XReply::Committed { .. }))
+                    | (false, Some(XReply::Aborted { .. })) => {}
+                    // A commit answered `Aborted` is the stability
+                    // watermark speaking, not a violation, when the txid's
+                    // records were garbage-collected on that group during a
+                    // very long outage (same exemption as the audit).
+                    (true, Some(XReply::Aborted { .. })) if self.shard_gc_evicted(shard, txid) => {}
+                    (false, Some(XReply::Committed { .. })) => {
+                        return Err(format!(
+                            "recovery found tx {txid:#x} applied on shard {shard} without a \
+                             commit decision"
+                        ));
+                    }
+                    (_, other) => {
+                        return Err(format!(
+                            "unexpected finish reply for tx {txid:#x} on shard {shard}: {other:?}"
+                        ))
+                    }
+                }
+            }
+            self.tx_log[idx].outcome = if commit {
+                TxOutcome::Committed
+            } else {
+                TxOutcome::Aborted
+            };
+            if commit {
+                report.committed += 1;
+                self.metrics.recovered_committed += 1;
+            } else {
+                report.aborted += 1;
+                self.metrics.recovered_aborted += 1;
+            }
+        }
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -538,7 +778,12 @@ impl XShardCluster {
                 self.metrics.committed_sub_ops += replies.len() as u64;
                 self.finish(i, TxOutcome::Committed);
             }
-            (Phase::Preparing { tally, conflict, .. }, vote) => {
+            (
+                Phase::Preparing {
+                    tally, conflict, ..
+                },
+                vote,
+            ) => {
                 let (prepared, is_vote) = match vote {
                     XReply::PrepareOk { .. } => (true, true),
                     XReply::PrepareFail { .. } => {
@@ -563,11 +808,27 @@ impl XShardCluster {
                         timed_out: false,
                         deadline: now + self.finish_timeout,
                     };
-                    let decide = XMsg::Decide { txid, commit: verdict }.encode();
-                    self.sc.group_mut(coordinator).client_submit(agent, decide, false);
+                    let decide = XMsg::Decide {
+                        txid,
+                        commit: verdict,
+                    }
+                    .encode();
+                    self.sc
+                        .group_mut(coordinator)
+                        .client_submit(agent, decide, false);
                 }
             }
-            (Phase::Deciding { commit, conflict, timed_out, .. }, XReply::DecisionLogged { commit: recorded, .. }) => {
+            (
+                Phase::Deciding {
+                    commit,
+                    conflict,
+                    timed_out,
+                    ..
+                },
+                XReply::DecisionLogged {
+                    commit: recorded, ..
+                },
+            ) => {
                 // The record is authoritative (first writer wins there).
                 let commit = *commit && recorded;
                 let (conflict, timed_out) = (*conflict, *timed_out);
@@ -581,15 +842,28 @@ impl XShardCluster {
                     sub_ops_applied: 0,
                     deadline: now + self.finish_timeout,
                 };
-                let msg = if commit { XMsg::Commit { txid } } else { XMsg::Abort { txid } };
+                let msg = if commit {
+                    XMsg::Commit { txid }
+                } else {
+                    XMsg::Abort { txid }
+                };
                 for s in shards {
-                    self.sc.group_mut(s).client_submit(agent, msg.encode(), false);
+                    self.sc
+                        .group_mut(s)
+                        .client_submit(agent, msg.encode(), false);
                 }
             }
             // Only real finish acks count: a late vote or DecisionLogged for
             // this txid (e.g. an Abort queued behind a still-outstanding
             // Prepare on a slow shard) must not settle the transaction early.
-            (Phase::Finishing { pending, sub_ops_applied, .. }, ack @ (XReply::Committed { .. } | XReply::Aborted { .. })) => {
+            (
+                Phase::Finishing {
+                    pending,
+                    sub_ops_applied,
+                    ..
+                },
+                ack @ (XReply::Committed { .. } | XReply::Aborted { .. }),
+            ) => {
                 if let XReply::Committed { replies, .. } = &ack {
                     *sub_ops_applied += replies.len() as u64;
                 }
@@ -617,15 +891,29 @@ impl XShardCluster {
                 Phase::Batch { sub_ops, deadline } if now >= *deadline => {
                     Action::SettleBatch { sub_ops: *sub_ops }
                 }
-                Phase::Preparing { tally, conflict, deadline } if now >= *deadline => {
+                Phase::Preparing {
+                    tally,
+                    conflict,
+                    deadline,
+                } if now >= *deadline => {
                     tally.timeout();
-                    Action::DecideAbort { conflict: *conflict }
+                    Action::DecideAbort {
+                        conflict: *conflict,
+                    }
                 }
-                Phase::Deciding { commit, conflict, timed_out, deadline } if now >= *deadline => {
+                Phase::Deciding {
+                    commit,
+                    conflict,
+                    timed_out,
+                    deadline,
+                } if now >= *deadline => {
                     if *commit {
                         Action::AbandonCommit
                     } else {
-                        Action::AbortAll { conflict: *conflict, timed_out: *timed_out }
+                        Action::AbortAll {
+                            conflict: *conflict,
+                            timed_out: *timed_out,
+                        }
                     }
                 }
                 Phase::Finishing { deadline, .. } if now >= *deadline => Action::SettleFinish,
@@ -653,8 +941,14 @@ impl XShardCluster {
                     timed_out: true,
                     deadline: now + self.finish_timeout,
                 };
-                let decide = XMsg::Decide { txid, commit: false }.encode();
-                self.sc.group_mut(coordinator).client_submit(agent, decide, false);
+                let decide = XMsg::Decide {
+                    txid,
+                    commit: false,
+                }
+                .encode();
+                self.sc
+                    .group_mut(coordinator)
+                    .client_submit(agent, decide, false);
             }
             Action::AbandonCommit => {
                 // All participants voted yes but the commit decision could
@@ -662,16 +956,18 @@ impl XShardCluster {
                 // is the only safe move — no Commit may be sent without a
                 // durable decision, and sending Abort could contradict the
                 // Decide still queued there. Participants keep their locks
-                // until the coordinator heals and a recovery pass resolves
-                // via QueryDecision.
+                // until the coordinator heals and `resolve_unresolved`
+                // recovers the verdict via QueryDecision.
                 self.metrics.tx_unresolved += 1;
                 self.finish(i, TxOutcome::Unresolved);
             }
-            Action::AbortAll { conflict, timed_out } => {
+            Action::AbortAll {
+                conflict,
+                timed_out,
+            } => {
                 // The abort verdict needs no durable record (presumed
                 // abort): release the participants directly.
-                let (txid, shards) =
-                    (self.initiators[i].txid, self.initiators[i].shards.clone());
+                let (txid, shards) = (self.initiators[i].txid, self.initiators[i].shards.clone());
                 self.initiators[i].phase = Phase::Finishing {
                     commit: false,
                     conflict,
@@ -695,8 +991,13 @@ impl XShardCluster {
 
     /// Count and log the outcome of a finishing transaction, then go idle.
     fn settle_finish(&mut self, i: usize) {
-        let Phase::Finishing { commit, conflict, timed_out, sub_ops_applied, .. } =
-            std::mem::replace(&mut self.initiators[i].phase, Phase::Idle)
+        let Phase::Finishing {
+            commit,
+            conflict,
+            timed_out,
+            sub_ops_applied,
+            ..
+        } = std::mem::replace(&mut self.initiators[i].phase, Phase::Idle)
         else {
             return;
         };
@@ -722,6 +1023,7 @@ impl XShardCluster {
         self.tx_log.push(TxRecord {
             txid: init.txid,
             shards: init.shards.clone(),
+            coordinator: init.coordinator,
             single_group: init.shards.len() == 1,
             outcome,
         });
@@ -740,7 +1042,11 @@ impl XShardCluster {
         let txid: TxId = ((i as u64 + 1) << 40) | seq;
         let routed = match XShardOp::route(txid, tx.sub_ops, &map) {
             Ok(routed) => routed,
-            Err(RouteError::NoKeys | RouteError::CrossShard { .. } | RouteError::ForeignShard { .. }) => {
+            Err(
+                RouteError::NoKeys
+                | RouteError::CrossShard { .. }
+                | RouteError::ForeignShard { .. },
+            ) => {
                 self.metrics.rejected_draws += 1;
                 return; // skip this draw; next pump tries the next one
             }
@@ -755,7 +1061,9 @@ impl XShardCluster {
                 deadline: now + self.finish_timeout,
             };
             let op = XMsg::AtomicBatch { txid, ops: leg.ops }.encode();
-            self.sc.group_mut(leg.shard as usize).client_submit(agent, op, false);
+            self.sc
+                .group_mut(leg.shard as usize)
+                .client_submit(agent, op, false);
         } else {
             let tally = TxCoordinator::new(routed.legs.iter().map(|l| l.shard));
             init.phase = Phase::Preparing {
@@ -765,10 +1073,23 @@ impl XShardCluster {
             };
             for leg in routed.legs {
                 let op = XMsg::Prepare { txid, ops: leg.ops }.encode();
-                self.sc.group_mut(leg.shard as usize).client_submit(agent, op, false);
+                self.sc
+                    .group_mut(leg.shard as usize)
+                    .client_submit(agent, op, false);
             }
         }
     }
+}
+
+/// What a [`XShardCluster::resolve_unresolved`] pass settled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions whose logged decision was commit: commits delivered to
+    /// every participant.
+    pub committed: u64,
+    /// Transactions with no logged decision: presumed abort logged, aborts
+    /// delivered, held participant locks released.
+    pub aborted: u64,
 }
 
 /// A throughput/abort measurement over a window of shared virtual time.
@@ -803,7 +1124,10 @@ mod tests {
     fn small_spec(shards: usize, initiators: usize) -> XShardSpec {
         XShardSpec {
             shards,
-            base: ClusterSpec { num_clients: 2, ..Default::default() },
+            base: ClusterSpec {
+                num_clients: 2,
+                ..Default::default()
+            },
             initiators,
             ..Default::default()
         }
@@ -820,9 +1144,13 @@ mod tests {
         let m = xc.metrics();
         assert!(m.tx_committed > 0, "2PC transactions must commit: {m:?}");
         assert_eq!(m.committed_sub_ops, (2 * m.tx_committed));
-        assert!(xc.background_completed() > 0, "background fast path keeps running");
+        assert!(
+            xc.background_completed() > 0,
+            "background fast path keeps running"
+        );
         assert!(xc.drained(), "all initiators idle after quiesce");
-        xc.audit_atomicity(SimDuration::from_millis(200)).expect("atomic");
+        xc.audit_atomicity(SimDuration::from_millis(200))
+            .expect("atomic");
         assert!(xc.states_converged());
     }
 
@@ -839,7 +1167,8 @@ mod tests {
         let m = xc.metrics();
         assert!(m.tx_committed > 0, "the system must not livelock: {m:?}");
         assert!(m.aborts_conflict > 0, "a 4-key space must conflict: {m:?}");
-        xc.audit_atomicity(SimDuration::from_millis(200)).expect("atomic");
+        xc.audit_atomicity(SimDuration::from_millis(200))
+            .expect("atomic");
     }
 
     #[test]
@@ -854,12 +1183,19 @@ mod tests {
         xc.start_transactions(|i| cross_null_txs(map, 32, 1 << 20, i as u64));
         xc.run_for(SimDuration::from_millis(600));
         let m = xc.metrics();
-        assert!(m.aborts_timeout > 0, "unreachable participant must abort: {m:?}");
-        assert_eq!(m.tx_committed, 0, "no transaction can commit without shard 1");
+        assert!(
+            m.aborts_timeout > 0,
+            "unreachable participant must abort: {m:?}"
+        );
+        assert_eq!(
+            m.tx_committed, 0,
+            "no transaction can commit without shard 1"
+        );
         // Heal, drain the backlog, and every outcome must audit atomic.
         xc.heal_shard(1);
         xc.quiesce(SimDuration::from_secs(2));
-        xc.audit_atomicity(SimDuration::from_millis(500)).expect("atomic after heal");
+        xc.audit_atomicity(SimDuration::from_millis(500))
+            .expect("atomic after heal");
     }
 
     #[test]
@@ -889,7 +1225,8 @@ mod tests {
         // the committed records audit clean.
         xc.heal_shard(victim);
         xc.quiesce(SimDuration::from_secs(2));
-        xc.audit_atomicity(SimDuration::from_millis(500)).expect("atomic after heal");
+        xc.audit_atomicity(SimDuration::from_millis(500))
+            .expect("atomic after heal");
     }
 
     #[test]
@@ -899,8 +1236,14 @@ mod tests {
         xc.start_transactions(|_| {
             Box::new(|seq| crate::workload::TxOp {
                 sub_ops: vec![
-                    pbft_core::SubOp { keys: vec![b"same".to_vec()], op: seq.to_be_bytes().to_vec() },
-                    pbft_core::SubOp { keys: vec![b"same".to_vec()], op: vec![1] },
+                    pbft_core::SubOp {
+                        keys: vec![b"same".to_vec()],
+                        op: seq.to_be_bytes().to_vec(),
+                    },
+                    pbft_core::SubOp {
+                        keys: vec![b"same".to_vec()],
+                        op: vec![1],
+                    },
                 ],
             })
         });
@@ -908,9 +1251,13 @@ mod tests {
         xc.quiesce(SimDuration::from_millis(300));
         let m = xc.metrics();
         assert!(m.local_txs > 0, "{m:?}");
-        assert_eq!(m.tx_committed, 0, "no 2PC rounds for single-group transactions");
+        assert_eq!(
+            m.tx_committed, 0,
+            "no 2PC rounds for single-group transactions"
+        );
         assert_eq!(m.committed_sub_ops, 2 * m.local_txs);
         assert!(xc.tx_log().iter().all(|r| r.single_group));
-        xc.audit_atomicity(SimDuration::from_millis(200)).expect("atomic");
+        xc.audit_atomicity(SimDuration::from_millis(200))
+            .expect("atomic");
     }
 }

@@ -49,7 +49,10 @@ fn assert_correct_replicas_agree(cluster: &mut Cluster, correct: &[usize]) {
             }
         }
     }
-    assert!(cluster.states_converged(correct), "correct replicas' states diverged");
+    assert!(
+        cluster.states_converged(correct),
+        "correct replicas' states diverged"
+    );
 }
 
 #[test]
@@ -99,7 +102,10 @@ fn tampered_agreement_messages_cost_only_the_liars_vote() {
         .iter()
         .map(|&r| cluster.replica_metrics(r).auth_failures)
         .sum();
-    assert!(auth_failures > 0, "tampering must be *detected*, not absorbed");
+    assert!(
+        auth_failures > 0,
+        "tampering must be *detected*, not absorbed"
+    );
     cluster.quiesce(SimDuration::from_secs(1));
     assert_correct_replicas_agree(&mut cluster, &[0, 1, 3]);
 }
@@ -140,7 +146,10 @@ fn split_brain_minority_backup_suspects_and_recovers() {
     let mut cluster = build_faulty_cluster(s, 0, Fault::SplitBrain);
     cluster.start_workload(|i| null_ops(64 + i));
     cluster.run_for(SimDuration::from_secs(6));
-    assert!(cluster.completed() > 100, "majority audience sustains progress");
+    assert!(
+        cluster.completed() > 100,
+        "majority audience sustains progress"
+    );
     let victim = cluster.replica_metrics(1);
     assert!(
         victim.view_changes_started >= 1,

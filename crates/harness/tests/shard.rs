@@ -61,15 +61,25 @@ fn multi_key_ops_route_iff_keys_agree() {
         let shards = g.usize_in(1..9);
         let router = ShardRouter::new(shards);
         let keys: Vec<Vec<u8>> = (0..g.usize_in(1..6)).map(|_| g.bytes(1..16)).collect();
-        let op = KeyedOp { keys: keys.clone(), op: vec![0], read_only: false };
+        let op = KeyedOp {
+            keys: keys.clone(),
+            op: vec![0],
+            read_only: false,
+        };
         let homes: Vec<usize> = keys.iter().map(|k| router.route_key(k)).collect();
         match router.route(&op) {
             Ok(s) => {
-                assert!(homes.iter().all(|&h| h == s), "routed ⇒ all keys agree on {s}");
+                assert!(
+                    homes.iter().all(|&h| h == s),
+                    "routed ⇒ all keys agree on {s}"
+                );
             }
             Err(RouteError::CrossShard { first, conflicting }) => {
                 assert_ne!(first.1, conflicting.1, "rejection names disagreeing shards");
-                assert!(homes.iter().any(|&h| h != homes[0]), "rejected ⇒ keys disagree");
+                assert!(
+                    homes.iter().any(|&h| h != homes[0]),
+                    "rejected ⇒ keys disagree"
+                );
             }
             Err(e) => panic!("non-empty key set produced {e:?}"),
         }
@@ -103,10 +113,18 @@ fn cross_shard_ops_are_rejected_with_the_typed_error() {
         other => panic!("expected CrossShard, got {other:?}"),
     }
     // Same keys, same group: routable.
-    let ok = KeyedOp { keys: vec![k1.clone(), k1.clone()], op: vec![1], read_only: false };
+    let ok = KeyedOp {
+        keys: vec![k1.clone(), k1.clone()],
+        op: vec![1],
+        read_only: false,
+    };
     assert_eq!(router.route(&ok), Ok(home(&k1)));
     // No keys: typed, not a panic.
-    let keyless = KeyedOp { keys: vec![], op: vec![2], read_only: false };
+    let keyless = KeyedOp {
+        keys: vec![],
+        op: vec![2],
+        read_only: false,
+    };
     assert_eq!(router.route(&keyless), Err(RouteError::NoKeys));
 }
 
@@ -118,7 +136,9 @@ fn sharded_sql_cluster_partitions_and_converges() {
     let spec = ShardedClusterSpec {
         shards: 2,
         base: ClusterSpec {
-            app: harness::AppKind::Sql { journal: JournalMode::Rollback },
+            app: harness::AppKind::Sql {
+                journal: JournalMode::Rollback,
+            },
             num_clients: 3,
             ..Default::default()
         },
@@ -131,10 +151,16 @@ fn sharded_sql_cluster_partitions_and_converges() {
         "both groups make progress: {:?}",
         t.per_shard_tps
     );
-    assert!(t.aggregate_tps() > t.per_shard_tps[0], "aggregate sums the groups");
+    assert!(
+        t.aggregate_tps() > t.per_shard_tps[0],
+        "aggregate sums the groups"
+    );
     let m = sc.router_metrics();
     assert!(m.routed > 0 && m.skipped_foreign > 0);
-    assert_eq!(m.rejected_cross_shard, 0, "single-key inserts never cross shards");
+    assert_eq!(
+        m.rejected_cross_shard, 0,
+        "single-key inserts never cross shards"
+    );
     sc.quiesce(SimDuration::from_secs(1));
     assert!(sc.states_converged());
 }

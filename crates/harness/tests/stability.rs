@@ -54,8 +54,13 @@ fn clean_network_causes_no_view_changes() {
                 "{journal:?}: replica {r} suspected the primary under a clean network: {m:?}"
             );
         }
-        let retrans: u64 = (0..12).map(|c| cluster.client_metrics(c).retransmissions).sum();
-        assert!(retrans <= 4, "{journal:?}: {retrans} client retransmissions under clean load");
+        let retrans: u64 = (0..12)
+            .map(|c| cluster.client_metrics(c).retransmissions)
+            .sum();
+        assert!(
+            retrans <= 4,
+            "{journal:?}: {retrans} client retransmissions under clean load"
+        );
     }
 }
 
@@ -77,6 +82,12 @@ fn wal_lands_between_rollback_and_off() {
     let (acid, _) = run(JournalMode::Rollback);
     let (wal, _) = run(JournalMode::Wal);
     let (off, _) = run(JournalMode::Off);
-    assert!(wal > acid, "WAL ({wal:.0}) should beat rollback ({acid:.0})");
-    assert!(off > wal, "no journal ({off:.0}) should beat WAL ({wal:.0})");
+    assert!(
+        wal > acid,
+        "WAL ({wal:.0}) should beat rollback ({acid:.0})"
+    );
+    assert!(
+        off > wal,
+        "no journal ({off:.0}) should beat WAL ({wal:.0})"
+    );
 }

@@ -15,7 +15,19 @@ use simnet::SimDuration;
 const AUDIT_TIMEOUT: SimDuration = SimDuration::from_millis(500);
 
 fn base_spec(num_clients: usize, seed: u64) -> ClusterSpec {
-    ClusterSpec { num_clients, seed, ..Default::default() }
+    let mut spec = ClusterSpec {
+        num_clients,
+        seed,
+        ..Default::default()
+    };
+    // The §2.4 fix. With the 2PC tables durable in the region, convergence
+    // checks are strict about the whole region image, so a replica wedged on
+    // a request body it lost to multicast drops (all requests are big under
+    // the default config) must be able to refetch it — the alternative
+    // recovery path, the next checkpoint transfer, never comes in a
+    // quiesced system.
+    spec.cfg.fetch_missing_bodies = true;
+    spec
 }
 
 /// Atomicity under lossy links: every message class (request, agreement,
@@ -126,7 +138,10 @@ fn atomicity_with_one_byzantine_participant() {
         );
         xc.audit_atomicity(AUDIT_TIMEOUT)
             .unwrap_or_else(|e| panic!("{fault:?} shard={faulty_shard} seed={seed}: {e}"));
-        assert!(xc.states_converged(), "honest replicas stay digest-identical");
+        assert!(
+            xc.states_converged(),
+            "honest replicas stay digest-identical"
+        );
     });
 }
 
@@ -155,8 +170,14 @@ fn sql_transfers_conserve_the_global_balance() {
     xc.run_for(SimDuration::from_millis(700));
     xc.quiesce(SimDuration::from_secs(1));
     let m = xc.metrics();
-    assert!(m.tx_committed > 0, "cross-shard transfers must commit: {m:?}");
-    assert!(m.local_txs > 0, "same-shard pairs take the batch path: {m:?}");
+    assert!(
+        m.tx_committed > 0,
+        "cross-shard transfers must commit: {m:?}"
+    );
+    assert!(
+        m.local_txs > 0,
+        "same-shard pairs take the batch path: {m:?}"
+    );
     xc.audit_atomicity(AUDIT_TIMEOUT).expect("atomic");
     // Every group holds a full copy of the schema but only applies updates
     // for rows it owns, so each group's SUM drifts from shards × initial by
@@ -193,7 +214,10 @@ fn cross_precinct_ballots_keep_precinct_tallies_in_step() {
     let spec = XShardSpec {
         shards: 2,
         base: ClusterSpec {
-            app: AppKind::Evoting { journal: JournalMode::Rollback, voters: Vec::new() },
+            app: AppKind::Evoting {
+                journal: JournalMode::Rollback,
+                voters: Vec::new(),
+            },
             num_clients: 0,
             ..Default::default()
         },
@@ -214,8 +238,14 @@ fn cross_precinct_ballots_keep_precinct_tallies_in_step() {
     xc.run_for(SimDuration::from_millis(600));
     xc.quiesce(SimDuration::from_secs(1));
     let m = xc.metrics();
-    assert!(m.tx_committed > 0, "cross-precinct ballots must commit: {m:?}");
-    assert_eq!(m.local_txs, 0, "the fixed pair never collapses to one group");
+    assert!(
+        m.tx_committed > 0,
+        "cross-precinct ballots must commit: {m:?}"
+    );
+    assert_eq!(
+        m.local_txs, 0,
+        "the fixed pair never collapses to one group"
+    );
     xc.audit_atomicity(AUDIT_TIMEOUT).expect("atomic");
     // Tally each precinct on its owning group.
     let mut totals = Vec::new();
@@ -228,7 +258,10 @@ fn cross_precinct_ballots_keep_precinct_tallies_in_step() {
         let tally = evoting::decode_tally(&reply).expect("tally decodes");
         totals.push(tally.iter().map(|(_, n)| n).sum::<i64>());
     }
-    assert_eq!(totals[0], totals[1], "atomic ballots keep precinct totals in step");
+    assert_eq!(
+        totals[0], totals[1],
+        "atomic ballots keep precinct totals in step"
+    );
     assert!(totals[0] > 0, "committed ballots produced votes");
     assert!(xc.states_converged());
 }
@@ -267,7 +300,10 @@ fn single_shard_ops_keep_the_pr2_fast_path() {
     };
     let baseline = run_sharded(seed);
     let wrapped = run_xshard(seed);
-    assert!(baseline.iter().sum::<u64>() > 100, "enough traffic to be meaningful");
+    assert!(
+        baseline.iter().sum::<u64>() > 100,
+        "enough traffic to be meaningful"
+    );
     assert_eq!(
         baseline, wrapped,
         "0-initiator xshard deployment must equal the PR 2 fast path exactly"
@@ -290,8 +326,14 @@ fn tx_log_outcomes_match_metrics() {
     xc.quiesce(SimDuration::from_millis(500));
     let m = xc.metrics();
     let log = xc.tx_log();
-    let committed = log.iter().filter(|r| r.outcome == TxOutcome::Committed).count() as u64;
-    let aborted = log.iter().filter(|r| r.outcome == TxOutcome::Aborted).count() as u64;
+    let committed = log
+        .iter()
+        .filter(|r| r.outcome == TxOutcome::Committed)
+        .count() as u64;
+    let aborted = log
+        .iter()
+        .filter(|r| r.outcome == TxOutcome::Aborted)
+        .count() as u64;
     assert_eq!(committed, m.tx_committed + m.local_txs);
     assert_eq!(aborted, m.tx_aborted);
     assert!(log.iter().all(|r| !r.shards.is_empty()));

@@ -24,8 +24,14 @@ pub fn empty_leaf_page() -> Vec<u8> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Leaf { next: u32, cells: Vec<(i64, Vec<u8>)> },
-    Interior { rightmost: u32, cells: Vec<(i64, u32)> },
+    Leaf {
+        next: u32,
+        cells: Vec<(i64, Vec<u8>)>,
+    },
+    Interior {
+        rightmost: u32,
+        cells: Vec<(i64, u32)>,
+    },
 }
 
 impl Node {
@@ -42,10 +48,8 @@ impl Node {
                     if pos + 10 > PAGE_SIZE {
                         return Err(corrupt("leaf cell header past page end"));
                     }
-                    let key =
-                        i64::from_be_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
-                    let len =
-                        u16::from_be_bytes([page[pos + 8], page[pos + 9]]) as usize;
+                    let key = i64::from_be_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
+                    let len = u16::from_be_bytes([page[pos + 8], page[pos + 9]]) as usize;
                     pos += 10;
                     if pos + len > PAGE_SIZE {
                         return Err(corrupt("leaf payload past page end"));
@@ -61,14 +65,16 @@ impl Node {
                     if pos + 12 > PAGE_SIZE {
                         return Err(corrupt("interior cell past page end"));
                     }
-                    let key =
-                        i64::from_be_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
+                    let key = i64::from_be_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
                     let child =
                         u32::from_be_bytes(page[pos + 8..pos + 12].try_into().expect("4 bytes"));
                     cells.push((key, child));
                     pos += 12;
                 }
-                Ok(Node::Interior { rightmost: aux, cells })
+                Ok(Node::Interior {
+                    rightmost: aux,
+                    cells,
+                })
             }
             other => Err(corrupt(&format!("unknown node type {other}"))),
         }
@@ -94,8 +100,7 @@ impl Node {
                 let mut pos = HDR;
                 for (key, payload) in cells {
                     page[pos..pos + 8].copy_from_slice(&key.to_be_bytes());
-                    page[pos + 8..pos + 10]
-                        .copy_from_slice(&(payload.len() as u16).to_be_bytes());
+                    page[pos + 8..pos + 10].copy_from_slice(&(payload.len() as u16).to_be_bytes());
                     pos += 10;
                     page[pos..pos + payload.len()].copy_from_slice(payload);
                     pos += payload.len();
@@ -186,7 +191,10 @@ impl BTree {
             let left = pager.allocate()?;
             let root_bytes = pager.page(self.root)?.to_vec();
             *pager.page_mut(left)? = root_bytes;
-            let new_root = Node::Interior { rightmost: split.right, cells: vec![(split.sep, left)] };
+            let new_root = Node::Interior {
+                rightmost: split.right,
+                cells: vec![(split.sep, left)],
+            };
             *pager.page_mut(self.root)? = new_root.serialize();
         }
         Ok(())
@@ -212,18 +220,29 @@ impl BTree {
                     return Ok(None);
                 }
                 // Split the leaf: move the upper half to a new right page.
-                let Node::Leaf { next, cells } = &mut node else { unreachable!() };
+                let Node::Leaf { next, cells } = &mut node else {
+                    unreachable!()
+                };
                 let mid = cells.len() / 2;
                 let right_cells = cells.split_off(mid);
                 let right_id = pager.allocate()?;
-                let right = Node::Leaf { next: *next, cells: right_cells };
+                let right = Node::Leaf {
+                    next: *next,
+                    cells: right_cells,
+                };
                 *next = right_id;
                 let sep = cells.last().expect("left half non-empty").0;
                 *pager.page_mut(right_id)? = right.serialize();
                 *pager.page_mut(page_id)? = node.serialize();
-                Ok(Some(Split { sep, right: right_id }))
+                Ok(Some(Split {
+                    sep,
+                    right: right_id,
+                }))
             }
-            Node::Interior { mut rightmost, mut cells } => {
+            Node::Interior {
+                mut rightmost,
+                mut cells,
+            } => {
                 let (slot, child) = match cells.iter().position(|(k, _)| key <= *k) {
                     Some(i) => (Some(i), cells[i].1),
                     None => (None, rightmost),
@@ -249,18 +268,26 @@ impl BTree {
                     return Ok(None);
                 }
                 // Split the interior node.
-                let Node::Interior { rightmost, cells } = &mut node else { unreachable!() };
+                let Node::Interior { rightmost, cells } = &mut node else {
+                    unreachable!()
+                };
                 let mid = cells.len() / 2;
                 let sep_entry = cells[mid];
                 let right_cells: Vec<(i64, u32)> = cells[mid + 1..].to_vec();
                 cells.truncate(mid);
                 let left_rightmost = sep_entry.1;
-                let right = Node::Interior { rightmost: *rightmost, cells: right_cells };
+                let right = Node::Interior {
+                    rightmost: *rightmost,
+                    cells: right_cells,
+                };
                 *rightmost = left_rightmost;
                 let right_id = pager.allocate()?;
                 *pager.page_mut(right_id)? = right.serialize();
                 *pager.page_mut(page_id)? = node.serialize();
-                Ok(Some(Split { sep: sep_entry.0, right: right_id }))
+                Ok(Some(Split {
+                    sep: sep_entry.0,
+                    right: right_id,
+                }))
             }
         }
     }
@@ -272,7 +299,9 @@ impl BTree {
     /// [`SqlError::Constraint`] if the key does not exist.
     pub fn update(&self, pager: &mut Pager, key: i64, payload: Vec<u8>) -> Result<(), SqlError> {
         if !self.delete(pager, key)? {
-            return Err(SqlError::Constraint(format!("update of missing rowid {key}")));
+            return Err(SqlError::Constraint(format!(
+                "update of missing rowid {key}"
+            )));
         }
         self.insert(pager, key, payload)
     }
@@ -406,9 +435,12 @@ mod tests {
     use crate::vfs::MemVfs;
 
     fn fresh() -> (Pager, BTree) {
-        let mut pager =
-            Pager::open(Box::new(MemVfs::new()), Box::new(MemVfs::new()), JournalMode::Off)
-                .expect("open");
+        let mut pager = Pager::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            JournalMode::Off,
+        )
+        .expect("open");
         let tree = BTree::create(&mut pager).expect("create");
         (pager, tree)
     }
@@ -462,7 +494,11 @@ mod tests {
         }
         // Spot-check lookups.
         for k in [0i64, 1, 1499, 2998, 2999] {
-            assert_eq!(tree.get(&mut pager, k).expect("get"), Some(payload(k)), "key {k}");
+            assert_eq!(
+                tree.get(&mut pager, k).expect("get"),
+                Some(payload(k)),
+                "key {k}"
+            );
         }
         // Ordered scan returns everything in order.
         let all = tree.collect_all(&mut pager).expect("scan");
@@ -492,7 +528,10 @@ mod tests {
         for i in (0..100).step_by(2) {
             assert!(tree.delete(&mut pager, i).expect("delete"));
         }
-        assert!(!tree.delete(&mut pager, 2).expect("delete again"), "already gone");
+        assert!(
+            !tree.delete(&mut pager, 2).expect("delete again"),
+            "already gone"
+        );
         let all = tree.collect_all(&mut pager).expect("scan");
         assert_eq!(all.len(), 50);
         assert!(all.iter().all(|(k, _)| k % 2 == 1));

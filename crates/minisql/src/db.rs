@@ -56,7 +56,9 @@ impl Default for DbOptions {
 
 impl std::fmt::Debug for DbOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DbOptions").field("journal_mode", &self.journal_mode).finish()
+        f.debug_struct("DbOptions")
+            .field("journal_mode", &self.journal_mode)
+            .finish()
     }
 }
 
@@ -91,7 +93,12 @@ impl Database {
     ) -> Result<Database, SqlError> {
         let mut pager = Pager::open(db, journal, opts.journal_mode)?;
         pager.set_wal_autocheckpoint(opts.wal_autocheckpoint);
-        Ok(Database { pager, env: opts.env, catalog: None, in_txn: false })
+        Ok(Database {
+            pager,
+            env: opts.env,
+            catalog: None,
+            in_txn: false,
+        })
     }
 
     /// Fold the WAL into the database file now (no-op outside WAL mode).
@@ -181,7 +188,9 @@ impl Database {
     pub fn query(&mut self, sql: &str) -> Result<Rows, SqlError> {
         match self.execute(sql)? {
             ExecOutcome::Rows(r) => Ok(r),
-            other => Err(SqlError::Runtime(format!("statement produced {other:?}, not rows"))),
+            other => Err(SqlError::Runtime(format!(
+                "statement produced {other:?}, not rows"
+            ))),
         }
     }
 
@@ -232,13 +241,23 @@ impl Database {
 
     fn run(&mut self, stmt: &Stmt) -> Result<ExecOutcome, SqlError> {
         match stmt {
-            Stmt::CreateTable { name, columns, if_not_exists } => {
-                self.create_table(name, columns, *if_not_exists)
-            }
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => self.create_table(name, columns, *if_not_exists),
             Stmt::DropTable { name, if_exists } => self.drop_table(name, *if_exists),
-            Stmt::Insert { table, columns, rows } => self.insert(table, columns, rows),
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert(table, columns, rows),
             Stmt::Select(s) => Ok(ExecOutcome::Rows(self.select(s)?)),
-            Stmt::Update { table, sets, filter } => self.update(table, sets, filter.as_ref()),
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => self.update(table, sets, filter.as_ref()),
             Stmt::Delete { table, filter } => self.delete(table, filter.as_ref()),
             Stmt::Begin | Stmt::Commit | Stmt::Rollback => unreachable!("handled above"),
         }
@@ -378,7 +397,10 @@ impl Database {
             next_rowid = next_rowid.max(rowid + 1);
             for (i, c) in schema.columns.iter().enumerate() {
                 if c.not_null && row[i].is_null() {
-                    return Err(SqlError::Constraint(format!("{}.{} is NOT NULL", table, c.name)));
+                    return Err(SqlError::Constraint(format!(
+                        "{}.{} is NOT NULL",
+                        table, c.name
+                    )));
                 }
             }
             tree.insert(&mut self.pager, rowid, encode_row(&row))?;
@@ -441,7 +463,10 @@ impl Database {
             }
             for (i, c) in schema.columns.iter().enumerate() {
                 if c.not_null && new_row[i].is_null() {
-                    return Err(SqlError::Constraint(format!("{}.{} is NOT NULL", table, c.name)));
+                    return Err(SqlError::Constraint(format!(
+                        "{}.{} is NOT NULL",
+                        table, c.name
+                    )));
                 }
             }
             // A changed primary key moves the row.
@@ -511,7 +536,9 @@ impl Database {
         };
 
         let aggregate_mode = !s.group_by.is_empty()
-            || s.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
+            || s.items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
 
         let columns = self.output_names(s, schema.as_ref());
         let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (order keys, output)
@@ -528,7 +555,9 @@ impl Database {
                     .collect::<Result<_, _>>()?;
                 match groups.iter_mut().find(|(k, _)| {
                     k.len() == key.len()
-                        && k.iter().zip(&key).all(|(a, b)| a.total_cmp(b) == Ordering::Equal)
+                        && k.iter()
+                            .zip(&key)
+                            .all(|(a, b)| a.total_cmp(b) == Ordering::Equal)
                 }) {
                     Some((_, members)) => members.push(row),
                     None => groups.push((key, vec![row])),
@@ -629,7 +658,10 @@ impl Database {
                 Value::Null => Ok(Value::Null),
                 Value::Integer(i) => Ok(Value::Integer(-i)),
                 Value::Real(r) => Ok(Value::Real(-r)),
-                other => Err(SqlError::Runtime(format!("cannot negate {}", other.type_name()))),
+                other => Err(SqlError::Runtime(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
             },
             Expr::Not(e) => match self.eval(e, ctx)? {
                 Value::Null => Ok(Value::Null),
@@ -649,8 +681,10 @@ impl Database {
                 eval_binary(*op, l, r)
             }
             Expr::Call { name, args } => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| self.eval(a, ctx)).collect::<Result<_, _>>()?;
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| self.eval(a, ctx))
+                    .collect::<Result<_, _>>()?;
                 self.call_function(name, vals)
             }
             Expr::Aggregate { .. } => Err(SqlError::Runtime(
@@ -673,8 +707,16 @@ impl Database {
             _ => {}
         }
         let r = self.eval(right, ctx)?;
-        let lv = if l.is_null() { None } else { Some(l.is_truthy()) };
-        let rv = if r.is_null() { None } else { Some(r.is_truthy()) };
+        let lv = if l.is_null() {
+            None
+        } else {
+            Some(l.is_truthy())
+        };
+        let rv = if r.is_null() {
+            None
+        } else {
+            Some(r.is_truthy())
+        };
         let out = match (op, lv, rv) {
             (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
             (BinOp::And, Some(true), Some(true)) => Some(true),
@@ -682,7 +724,9 @@ impl Database {
             (BinOp::Or, Some(false), Some(false)) => Some(false),
             _ => None,
         };
-        Ok(out.map(|b| Value::Integer(i64::from(b))).unwrap_or(Value::Null))
+        Ok(out
+            .map(|b| Value::Integer(i64::from(b)))
+            .unwrap_or(Value::Null))
     }
 
     /// Evaluate an expression in aggregate context: aggregates consume the
@@ -771,7 +815,10 @@ impl Database {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(SqlError::Runtime(format!("{name}() takes {n} argument(s), got {}", args.len())))
+                Err(SqlError::Runtime(format!(
+                    "{name}() takes {n} argument(s), got {}",
+                    args.len()
+                )))
             }
         };
         match name {
@@ -823,9 +870,14 @@ impl Database {
                     Value::Null => return Ok(Value::Text(String::new())),
                     v => v.to_string().into_bytes(),
                 };
-                Ok(Value::Text(bytes.iter().map(|b| format!("{b:02X}")).collect()))
+                Ok(Value::Text(
+                    bytes.iter().map(|b| format!("{b:02X}")).collect(),
+                ))
             }
-            "coalesce" => Ok(args.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+            "coalesce" => Ok(args
+                .into_iter()
+                .find(|v| !v.is_null())
+                .unwrap_or(Value::Null)),
             "typeof" => {
                 arity(1)?;
                 Ok(Value::Text(args[0].type_name().into()))
@@ -843,11 +895,17 @@ struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     fn none() -> Ctx<'static> {
-        Ctx { schema: None, row: None }
+        Ctx {
+            schema: None,
+            row: None,
+        }
     }
 
     fn row(schema: &'a TableSchema, row: &'a [Value]) -> Ctx<'a> {
-        Ctx { schema: Some(schema), row: Some(row) }
+        Ctx {
+            schema: Some(schema),
+            row: Some(row),
+        }
     }
 
     fn maybe(schema: Option<&'a TableSchema>, row: Option<&'a [Value]>) -> Ctx<'a> {
@@ -881,7 +939,12 @@ fn contains_aggregate(expr: &Expr) -> bool {
 fn pk_eq_literal(filter: &Expr, schema: &TableSchema) -> Option<i64> {
     let pk = schema.pk_index()?;
     let pk_name = &schema.columns[pk].name;
-    let Expr::Binary { op: BinOp::Eq, left, right } = filter else {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = filter
+    else {
         return None;
     };
     match (left.as_ref(), right.as_ref()) {
@@ -1041,7 +1104,10 @@ mod tests {
             DbOptions {
                 journal_mode: JournalMode::Rollback,
                 wal_autocheckpoint: crate::pager::DEFAULT_WAL_AUTOCHECKPOINT,
-                env: Box::new(FixedEnv { now_ns: 1_000, random_state: 1 }),
+                env: Box::new(FixedEnv {
+                    now_ns: 1_000,
+                    random_state: 1,
+                }),
             },
         )
         .expect("open")
@@ -1076,7 +1142,8 @@ mod tests {
     #[test]
     fn where_and_point_lookup() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .expect("create");
         for i in 1..=10 {
             db.execute(&format!("INSERT INTO t (id, v) VALUES ({i}, {})", i * 10))
                 .expect("insert");
@@ -1085,17 +1152,22 @@ mod tests {
         assert_eq!(ints(&rows, 0), vec![70]);
         let rows = db.query("SELECT v FROM t WHERE 7 = id").expect("select");
         assert_eq!(ints(&rows, 0), vec![70]);
-        let rows = db.query("SELECT id FROM t WHERE v > 70 ORDER BY id").expect("select");
+        let rows = db
+            .query("SELECT id FROM t WHERE v > 70 ORDER BY id")
+            .expect("select");
         assert_eq!(ints(&rows, 0), vec![8, 9, 10]);
     }
 
     #[test]
     fn update_and_delete() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
-        db.execute("INSERT INTO t (v) VALUES (1), (2), (3)").expect("insert");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .expect("create");
+        db.execute("INSERT INTO t (v) VALUES (1), (2), (3)")
+            .expect("insert");
         assert_eq!(
-            db.execute("UPDATE t SET v = v * 100 WHERE v >= 2").expect("update"),
+            db.execute("UPDATE t SET v = v * 100 WHERE v >= 2")
+                .expect("update"),
             ExecOutcome::Affected(2)
         );
         let rows = db.query("SELECT v FROM t ORDER BY v").expect("select");
@@ -1129,22 +1201,35 @@ mod tests {
         assert_eq!(rows.rows[0][2], Value::Real(6.0));
         assert_eq!(rows.rows[0][3], Value::Real(2.0));
         // Global aggregate without GROUP BY.
-        let rows = db.query("SELECT COUNT(*), MIN(weight), MAX(weight) FROM votes").expect("agg");
-        assert_eq!(rows.rows[0], vec![Value::Integer(4), Value::Real(1.0), Value::Real(3.0)]);
+        let rows = db
+            .query("SELECT COUNT(*), MIN(weight), MAX(weight) FROM votes")
+            .expect("agg");
+        assert_eq!(
+            rows.rows[0],
+            vec![Value::Integer(4), Value::Real(1.0), Value::Real(3.0)]
+        );
         // Aggregate over empty table yields one row.
         db.execute("DELETE FROM votes").expect("clear");
-        let rows = db.query("SELECT COUNT(*), SUM(weight) FROM votes").expect("agg");
+        let rows = db
+            .query("SELECT COUNT(*), SUM(weight) FROM votes")
+            .expect("agg");
         assert_eq!(rows.rows[0], vec![Value::Integer(0), Value::Null]);
     }
 
     #[test]
     fn order_by_desc_and_limit() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
-        db.execute("INSERT INTO t (v) VALUES (5), (3), (9), (1)").expect("insert");
-        let rows = db.query("SELECT v FROM t ORDER BY v DESC LIMIT 2").expect("select");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .expect("create");
+        db.execute("INSERT INTO t (v) VALUES (5), (3), (9), (1)")
+            .expect("insert");
+        let rows = db
+            .query("SELECT v FROM t ORDER BY v DESC LIMIT 2")
+            .expect("select");
         assert_eq!(ints(&rows, 0), vec![9, 5]);
-        let rows = db.query("SELECT v FROM t ORDER BY v LIMIT 0").expect("select");
+        let rows = db
+            .query("SELECT v FROM t ORDER BY v LIMIT 0")
+            .expect("select");
         assert!(rows.rows.is_empty());
     }
 
@@ -1195,23 +1280,32 @@ mod tests {
     fn like_patterns() {
         let mut db = db();
         let rows = db
-            .query("SELECT 'hello' LIKE 'h%', 'hello' LIKE 'H_LLO', 'hello' LIKE 'x%', 'a' LIKE '%'")
+            .query(
+                "SELECT 'hello' LIKE 'h%', 'hello' LIKE 'H_LLO', 'hello' LIKE 'x%', 'a' LIKE '%'",
+            )
             .expect("select");
         assert_eq!(
             rows.rows[0],
-            vec![Value::Integer(1), Value::Integer(1), Value::Integer(0), Value::Integer(1)]
+            vec![
+                Value::Integer(1),
+                Value::Integer(1),
+                Value::Integer(0),
+                Value::Integer(1)
+            ]
         );
     }
 
     #[test]
     fn constraints_enforced() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL)").expect("create");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL)")
+            .expect("create");
         assert!(matches!(
             db.execute("INSERT INTO t (id, name) VALUES (1, NULL)"),
             Err(SqlError::Constraint(_))
         ));
-        db.execute("INSERT INTO t (id, name) VALUES (1, 'x')").expect("insert");
+        db.execute("INSERT INTO t (id, name) VALUES (1, 'x')")
+            .expect("insert");
         assert!(matches!(
             db.execute("INSERT INTO t (id, name) VALUES (1, 'dup')"),
             Err(SqlError::Constraint(_))
@@ -1221,10 +1315,17 @@ mod tests {
     #[test]
     fn schema_errors() {
         let mut db = db();
-        assert!(matches!(db.execute("SELECT * FROM missing"), Err(SqlError::Schema(_))));
+        assert!(matches!(
+            db.execute("SELECT * FROM missing"),
+            Err(SqlError::Schema(_))
+        ));
         db.execute("CREATE TABLE t (a INTEGER)").expect("create");
-        assert!(matches!(db.execute("CREATE TABLE t (a INTEGER)"), Err(SqlError::Schema(_))));
-        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)").expect("idempotent");
+        assert!(matches!(
+            db.execute("CREATE TABLE t (a INTEGER)"),
+            Err(SqlError::Schema(_))
+        ));
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+            .expect("idempotent");
         assert!(matches!(
             db.execute("INSERT INTO t (nope) VALUES (1)"),
             Err(SqlError::Schema(_))
@@ -1235,7 +1336,8 @@ mod tests {
         ));
         db.execute("DROP TABLE t").expect("drop");
         assert!(db.execute("DROP TABLE t").is_err());
-        db.execute("DROP TABLE IF EXISTS t").expect("idempotent drop");
+        db.execute("DROP TABLE IF EXISTS t")
+            .expect("idempotent drop");
     }
 
     #[test]
@@ -1261,8 +1363,10 @@ mod tests {
     #[test]
     fn failed_statement_rolls_back() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT NOT NULL)").expect("create");
-        db.execute("INSERT INTO t (id, v) VALUES (1, 'keep')").expect("insert");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT NOT NULL)")
+            .expect("create");
+        db.execute("INSERT INTO t (id, v) VALUES (1, 'keep')")
+            .expect("insert");
         // Multi-row insert where the second row violates NOT NULL: the whole
         // statement must be rolled back.
         let err = db.execute("INSERT INTO t (id, v) VALUES (2, 'x'), (3, NULL)");
@@ -1296,7 +1400,11 @@ mod tests {
 
     /// Test helper: copy a database's backing store out through the Vfs API.
     fn extract(d: &mut Database, db_file: bool) -> MemVfs {
-        let src: &dyn Vfs = if db_file { d.pager_db() } else { d.pager_journal() };
+        let src: &dyn Vfs = if db_file {
+            d.pager_db()
+        } else {
+            d.pager_journal()
+        };
         let mut out = MemVfs::new();
         let mut buf = vec![0u8; src.len() as usize];
         src.read_at(0, &mut buf).expect("read");
@@ -1332,27 +1440,39 @@ mod tests {
     #[test]
     fn changed_primary_key_moves_row() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").expect("create");
-        db.execute("INSERT INTO t (id, v) VALUES (1, 'a')").expect("insert");
-        db.execute("UPDATE t SET id = 100 WHERE id = 1").expect("update");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .expect("create");
+        db.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+            .expect("insert");
+        db.execute("UPDATE t SET id = 100 WHERE id = 1")
+            .expect("update");
         let rows = db.query("SELECT id FROM t WHERE id = 100").expect("select");
         assert_eq!(ints(&rows, 0), vec![100]);
-        assert!(db.query("SELECT id FROM t WHERE id = 1").expect("select").rows.is_empty());
+        assert!(db
+            .query("SELECT id FROM t WHERE id = 1")
+            .expect("select")
+            .rows
+            .is_empty());
     }
 
     #[test]
     fn many_rows_survive_splits_end_to_end() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, blob TEXT)").expect("create");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, blob TEXT)")
+            .expect("create");
         db.execute("BEGIN").expect("begin");
         for i in 0..500 {
-            db.execute(&format!("INSERT INTO t (blob) VALUES ('row number {i} padding padding')"))
-                .expect("insert");
+            db.execute(&format!(
+                "INSERT INTO t (blob) VALUES ('row number {i} padding padding')"
+            ))
+            .expect("insert");
         }
         db.execute("COMMIT").expect("commit");
         let rows = db.query("SELECT COUNT(*) FROM t").expect("count");
         assert_eq!(rows.rows[0][0], Value::Integer(500));
-        let rows = db.query("SELECT id FROM t ORDER BY id DESC LIMIT 1").expect("max");
+        let rows = db
+            .query("SELECT id FROM t ORDER BY id DESC LIMIT 1")
+            .expect("max");
         assert_eq!(rows.rows[0][0], Value::Integer(500));
     }
 
@@ -1367,7 +1487,10 @@ mod tests {
             DbOptions {
                 journal_mode: JournalMode::Wal,
                 wal_autocheckpoint: 1_000,
-                env: Box::new(FixedEnv { now_ns: 1_000, random_state: 1 }),
+                env: Box::new(FixedEnv {
+                    now_ns: 1_000,
+                    random_state: 1,
+                }),
             },
         )
         .expect("open")
@@ -1385,9 +1508,12 @@ mod tests {
     #[test]
     fn wal_mode_crud_roundtrip() {
         let mut db = wal_db();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").expect("create");
-        db.execute("INSERT INTO t (v) VALUES ('a'), ('b'), ('c')").expect("insert");
-        db.execute("UPDATE t SET v = 'B' WHERE id = 2").expect("update");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .expect("create");
+        db.execute("INSERT INTO t (v) VALUES ('a'), ('b'), ('c')")
+            .expect("insert");
+        db.execute("UPDATE t SET v = 'B' WHERE id = 2")
+            .expect("update");
         db.execute("DELETE FROM t WHERE id = 3").expect("delete");
         let rows = db.query("SELECT v FROM t ORDER BY id").expect("select");
         assert_eq!(
@@ -1402,14 +1528,20 @@ mod tests {
         let mut db = wal_db();
         db.execute("CREATE TABLE t (v INTEGER)").expect("create");
         db.execute("INSERT INTO t (v) VALUES (42)").expect("insert");
-        let files = (snapshot_vfs(db.pager_db()), snapshot_vfs(db.pager_journal()));
+        let files = (
+            snapshot_vfs(db.pager_db()),
+            snapshot_vfs(db.pager_journal()),
+        );
         let mut db2 = Database::open(
             Box::new(files.0),
             Box::new(files.1),
             DbOptions {
                 journal_mode: JournalMode::Wal,
                 wal_autocheckpoint: 1_000,
-                env: Box::new(FixedEnv { now_ns: 1, random_state: 1 }),
+                env: Box::new(FixedEnv {
+                    now_ns: 1,
+                    random_state: 1,
+                }),
             },
         )
         .expect("reopen");
@@ -1432,7 +1564,10 @@ mod tests {
             DbOptions {
                 journal_mode: JournalMode::Wal,
                 wal_autocheckpoint: 1_000,
-                env: Box::new(FixedEnv { now_ns: 1, random_state: 1 }),
+                env: Box::new(FixedEnv {
+                    now_ns: 1,
+                    random_state: 1,
+                }),
             },
         )
         .expect("reopen");
@@ -1449,7 +1584,11 @@ mod tests {
         db.execute("INSERT INTO t (v) VALUES (2)").expect("insert");
         db.execute("ROLLBACK").expect("rollback");
         let rows = db.query("SELECT COUNT(*) FROM t").expect("count");
-        assert_eq!(rows.rows[0][0], Value::Integer(0), "rolled-back txn invisible");
+        assert_eq!(
+            rows.rows[0][0],
+            Value::Integer(0),
+            "rolled-back txn invisible"
+        );
         db.execute("BEGIN").expect("begin");
         db.execute("INSERT INTO t (v) VALUES (3)").expect("insert");
         db.execute("COMMIT").expect("commit");
@@ -1469,7 +1608,10 @@ mod tests {
         let run = || {
             let mut db = wal_db();
             db.execute_script(script).expect("script");
-            (snapshot_vfs(db.pager_db()), snapshot_vfs(db.pager_journal()))
+            (
+                snapshot_vfs(db.pager_db()),
+                snapshot_vfs(db.pager_journal()),
+            )
         };
         let (db_a, wal_a) = run();
         let (db_b, wal_b) = run();

@@ -72,8 +72,14 @@ mod tests {
 
     #[test]
     fn fixed_env_is_deterministic() {
-        let mut a = FixedEnv { now_ns: 42, random_state: 7 };
-        let mut b = FixedEnv { now_ns: 42, random_state: 7 };
+        let mut a = FixedEnv {
+            now_ns: 42,
+            random_state: 7,
+        };
+        let mut b = FixedEnv {
+            now_ns: 42,
+            random_state: 7,
+        };
         assert_eq!(a.now_ns(), 42);
         assert_eq!(a.random(), b.random());
         assert_eq!(a.random(), b.random());
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn random_is_non_negative() {
-        let mut e = FixedEnv { now_ns: 0, random_state: -12345 };
+        let mut e = FixedEnv {
+            now_ns: 0,
+            random_state: -12345,
+        };
         for _ in 0..100 {
             assert!(e.random() >= 0);
         }

@@ -35,7 +35,9 @@ impl fmt::Display for SqlError {
             SqlError::Schema(m) => write!(f, "schema error: {m}"),
             SqlError::Runtime(m) => write!(f, "runtime error: {m}"),
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
-            SqlError::RowTooLarge(n) => write!(f, "row of {n} bytes exceeds the page payload limit"),
+            SqlError::RowTooLarge(n) => {
+                write!(f, "row of {n} bytes exceeds the page payload limit")
+            }
             SqlError::Io(e) => write!(f, "io error: {e}"),
             SqlError::Corrupt(m) => write!(f, "database corrupt: {m}"),
             SqlError::Txn(m) => write!(f, "transaction error: {m}"),

@@ -97,7 +97,10 @@ pub fn read_journal(vfs: &dyn Vfs, page_size: usize) -> Result<Option<JournalCon
         vfs.read_at(off + 4, &mut data)?;
         entries.push((u32::from_be_bytes(id_buf), data));
     }
-    Ok(Some(JournalContents { old_page_count, entries }))
+    Ok(Some(JournalContents {
+        old_page_count,
+        entries,
+    }))
 }
 
 #[cfg(test)]
@@ -136,8 +139,14 @@ mod tests {
         assert_eq!(read_journal(&v, 64).expect("read"), None);
 
         let mut v2 = MemVfs::new();
-        write_journal(&mut v2, 64, 1, &[(0, vec![0u8; 64]), (1, vec![0u8; 64])], true)
-            .expect("write");
+        write_journal(
+            &mut v2,
+            64,
+            1,
+            &[(0, vec![0u8; 64]), (1, vec![0u8; 64])],
+            true,
+        )
+        .expect("write");
         v2.set_len(40).expect("truncate");
         assert!(read_journal(&v2, 64).is_err());
     }

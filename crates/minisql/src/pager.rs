@@ -144,7 +144,11 @@ impl Pager {
         let wal_frames = wal.as_ref().map_or(0, |w| w.frames());
         if db.is_empty() && wal_frames == 0 {
             // Fresh database: header page + catalog root at page 1.
-            let header = Header { page_count: 2, freelist_head: 0, catalog_root: 1 };
+            let header = Header {
+                page_count: 2,
+                freelist_head: 0,
+                catalog_root: 1,
+            };
             let mut pager = Pager {
                 db,
                 journal,
@@ -241,7 +245,13 @@ impl Pager {
         }
         if !self.cache.contains_key(&id) {
             let mut buf = vec![0u8; PAGE_SIZE];
-            read_durable_page(self.db.as_ref(), self.journal.as_ref(), self.wal.as_ref(), id, &mut buf)?;
+            read_durable_page(
+                self.db.as_ref(),
+                self.journal.as_ref(),
+                self.wal.as_ref(),
+                id,
+                &mut buf,
+            )?;
             self.stats.pages_read += 1;
             self.cache.insert(id, buf);
         }
@@ -361,10 +371,23 @@ impl Pager {
         let pages: Vec<(u32, &[u8])> = self
             .dirty
             .iter()
-            .map(|&id| (id, self.cache.get(&id).expect("dirty pages are cached").as_slice()))
+            .map(|&id| {
+                (
+                    id,
+                    self.cache
+                        .get(&id)
+                        .expect("dirty pages are cached")
+                        .as_slice(),
+                )
+            })
             .collect();
-        let outcome =
-            crate::wal::append_commit(self.journal.as_mut(), &mut st, &pages, self.header.page_count, true);
+        let outcome = crate::wal::append_commit(
+            self.journal.as_mut(),
+            &mut st,
+            &pages,
+            self.header.page_count,
+            true,
+        );
         drop(pages);
         let frames = st.frames();
         self.wal = Some(st);
@@ -386,7 +409,9 @@ impl Pager {
     /// Storage failures; the WAL itself is only reset after the database
     /// sync succeeds, so a crash mid-checkpoint just replays it.
     pub fn wal_checkpoint(&mut self) -> Result<(), SqlError> {
-        let Some(st) = self.wal.as_ref() else { return Ok(()) };
+        let Some(st) = self.wal.as_ref() else {
+            return Ok(());
+        };
         if st.frames() == 0 {
             return Ok(());
         }
@@ -423,18 +448,20 @@ impl Pager {
         self.cache.remove(&0);
         if self.disk_page_count > 0 {
             let mut page0 = vec![0u8; PAGE_SIZE];
-            if read_durable_page(self.db.as_ref(), self.journal.as_ref(), self.wal.as_ref(), 0, &mut page0)
-                .is_ok()
+            if read_durable_page(
+                self.db.as_ref(),
+                self.journal.as_ref(),
+                self.wal.as_ref(),
+                0,
+                &mut page0,
+            )
+            .is_ok()
                 && &page0[..8] == MAGIC
             {
                 self.header = Header {
                     page_count: u32::from_be_bytes(page0[8..12].try_into().expect("4 bytes")),
-                    freelist_head: u32::from_be_bytes(
-                        page0[12..16].try_into().expect("4 bytes"),
-                    ),
-                    catalog_root: u32::from_be_bytes(
-                        page0[16..20].try_into().expect("4 bytes"),
-                    ),
+                    freelist_head: u32::from_be_bytes(page0[12..16].try_into().expect("4 bytes")),
+                    catalog_root: u32::from_be_bytes(page0[16..20].try_into().expect("4 bytes")),
                 };
             }
         }
@@ -454,9 +481,17 @@ impl Pager {
             self.wal = Some(crate::wal::recover(self.journal.as_ref(), PAGE_SIZE)?);
         }
         let mut page0 = vec![0u8; PAGE_SIZE];
-        read_durable_page(self.db.as_ref(), self.journal.as_ref(), self.wal.as_ref(), 0, &mut page0)?;
+        read_durable_page(
+            self.db.as_ref(),
+            self.journal.as_ref(),
+            self.wal.as_ref(),
+            0,
+            &mut page0,
+        )?;
         if &page0[..8] != MAGIC {
-            return Err(SqlError::Corrupt("bad magic after cache invalidation".into()));
+            return Err(SqlError::Corrupt(
+                "bad magic after cache invalidation".into(),
+            ));
         }
         self.header = Header {
             page_count: u32::from_be_bytes(page0[8..12].try_into().expect("4 bytes")),
@@ -523,8 +558,12 @@ mod tests {
         let mut db = MemVfs::new();
         let mut journal = MemVfs::new();
         {
-            let mut p = Pager::open(Box::new(db.clone()), Box::new(journal.clone()), JournalMode::Rollback)
-                .expect("open");
+            let mut p = Pager::open(
+                Box::new(db.clone()),
+                Box::new(journal.clone()),
+                JournalMode::Rollback,
+            )
+            .expect("open");
             let id = p.allocate().expect("alloc");
             p.page_mut(id).expect("page")[100] = 0xab;
             p.commit().expect("commit");
@@ -575,17 +614,23 @@ mod tests {
         let mut journal = MemVfs::new();
         let pre_image = {
             let mut buf = vec![0u8; PAGE_SIZE];
-            db.read_at(id as u64 * PAGE_SIZE as u64, &mut buf).expect("read");
+            db.read_at(id as u64 * PAGE_SIZE as u64, &mut buf)
+                .expect("read");
             buf
         };
         write_journal(&mut journal, PAGE_SIZE, 3, &[(id, pre_image)], true).expect("journal");
         // Partial overwrite that never got synced: the crash image keeps the
         // synced content, so emulate a *synced* torn write to be pessimistic.
-        db.write_at(id as u64 * PAGE_SIZE as u64, &[0xff; PAGE_SIZE]).expect("write");
+        db.write_at(id as u64 * PAGE_SIZE as u64, &[0xff; PAGE_SIZE])
+            .expect("write");
         db.sync().expect("sync");
 
-        let p2 = Pager::open(Box::new(db.crash()), Box::new(journal.crash()), JournalMode::Rollback)
-            .expect("recovering open");
+        let p2 = Pager::open(
+            Box::new(db.crash()),
+            Box::new(journal.crash()),
+            JournalMode::Rollback,
+        )
+        .expect("recovering open");
         let mut p2 = p2;
         assert_eq!(p2.page(id).expect("page")[7], 0x77, "pre-image restored");
     }
@@ -632,7 +677,11 @@ mod tests {
         let id = p.allocate().expect("alloc");
         p.page_mut(id).expect("page")[0] = 0x42;
         p.commit().expect("commit");
-        assert_eq!(p.db.len(), db_before.len(), "db file only changes at checkpoint");
+        assert_eq!(
+            p.db.len(),
+            db_before.len(),
+            "db file only changes at checkpoint"
+        );
         assert!(p.wal_frames() > 0);
         // But the committed page reads back through the WAL.
         assert_eq!(p.page(id).expect("page")[0], 0x42);
@@ -671,8 +720,12 @@ mod tests {
         let mut db = MemVfs::new();
         let mut wal = MemVfs::new();
         {
-            let mut p = Pager::open(Box::new(db.clone()), Box::new(wal.clone()), JournalMode::Wal)
-                .expect("open");
+            let mut p = Pager::open(
+                Box::new(db.clone()),
+                Box::new(wal.clone()),
+                JournalMode::Wal,
+            )
+            .expect("open");
             let id = p.allocate().expect("alloc");
             p.page_mut(id).expect("page")[0] = 1;
             p.commit().expect("commit");
@@ -705,8 +758,8 @@ mod tests {
         assert_eq!(p.wal_frames(), 0, "log reset after checkpoint");
         // The database file alone (no WAL) now holds everything.
         let db = clone_vfs(p.db.as_ref());
-        let mut p2 = Pager::open(Box::new(db), Box::new(MemVfs::new()), JournalMode::Wal)
-            .expect("reopen");
+        let mut p2 =
+            Pager::open(Box::new(db), Box::new(MemVfs::new()), JournalMode::Wal).expect("reopen");
         assert_eq!(p2.page(id).expect("page")[3], 0x33);
     }
 

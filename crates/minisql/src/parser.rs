@@ -98,7 +98,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(SqlError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -115,14 +118,19 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected {p:?}, found {:?}", self.peek())))
+            Err(SqlError::Parse(format!(
+                "expected {p:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -132,7 +140,9 @@ impl Parser {
             .ok_or_else(|| SqlError::Parse("empty statement".into()))?
             .clone();
         let Token::Ident(kw) = &head else {
-            return Err(SqlError::Parse(format!("statement cannot start with {head:?}")));
+            return Err(SqlError::Parse(format!(
+                "statement cannot start with {head:?}"
+            )));
         };
         match kw.to_ascii_lowercase().as_str() {
             "create" => self.create_table(),
@@ -179,9 +189,7 @@ impl Parser {
                     "real" | "float" | "double" => ColType::Real,
                     "text" | "varchar" | "char" | "string" => ColType::Text,
                     "blob" => ColType::Blob,
-                    other => {
-                        return Err(SqlError::Parse(format!("unknown column type {other}")))
-                    }
+                    other => return Err(SqlError::Parse(format!("unknown column type {other}"))),
                 },
                 other => return Err(SqlError::Parse(format!("expected type, found {other:?}"))),
             };
@@ -198,13 +206,22 @@ impl Parser {
                     break;
                 }
             }
-            columns.push(ColumnDef { name: col_name, ctype, primary_key, not_null });
+            columns.push(ColumnDef {
+                name: col_name,
+                ctype,
+                primary_key,
+                not_null,
+            });
             if !self.eat_punct(",") {
                 break;
             }
         }
         self.expect_punct(")")?;
-        Ok(Stmt::CreateTable { name, columns, if_not_exists })
+        Ok(Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     fn drop_table(&mut self) -> Result<Stmt, SqlError> {
@@ -216,7 +233,10 @@ impl Parser {
         } else {
             false
         };
-        Ok(Stmt::DropTable { name: self.ident()?, if_exists })
+        Ok(Stmt::DropTable {
+            name: self.ident()?,
+            if_exists,
+        })
     }
 
     fn insert(&mut self) -> Result<Stmt, SqlError> {
@@ -250,7 +270,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Stmt::Insert { table, columns, rows })
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt, SqlError> {
@@ -261,15 +285,27 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat_punct(",") {
                 break;
             }
         }
-        let from = if self.eat_kw("from") { Some(self.ident()?) } else { None };
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let from = if self.eat_kw("from") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -305,7 +341,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { items, from, filter, group_by, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            from,
+            filter,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn update(&mut self) -> Result<Stmt, SqlError> {
@@ -321,15 +364,27 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Update { table, sets, filter })
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> Result<Stmt, SqlError> {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Stmt::Delete { table, filter })
     }
 
@@ -343,7 +398,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -352,7 +411,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -379,7 +442,10 @@ impl Parser {
                 self.pos += 1;
                 let negated = self.eat_kw("not");
                 self.expect_kw("null")?;
-                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+                return Ok(Expr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                });
             }
             _ => None,
         };
@@ -387,7 +453,11 @@ impl Parser {
             Some(op) => {
                 self.pos += 1;
                 let right = self.add_expr()?;
-                Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+                Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
             }
             None => Ok(left),
         }
@@ -404,7 +474,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.mul_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -420,7 +494,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -490,7 +568,10 @@ impl Parser {
             }
             let arg = self.expr()?;
             self.expect_punct(")")?;
-            return Ok(Expr::Aggregate { func, arg: Some(Box::new(arg)) });
+            return Ok(Expr::Aggregate {
+                func,
+                arg: Some(Box::new(arg)),
+            });
         }
         let mut args = Vec::new();
         if !self.eat_punct(")") {
@@ -517,7 +598,11 @@ mod tests {
         )
         .expect("parse");
         match stmt {
-            Stmt::CreateTable { name, columns, if_not_exists } => {
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 assert_eq!(name, "votes");
                 assert!(if_not_exists);
                 assert_eq!(columns.len(), 4);
@@ -534,7 +619,11 @@ mod tests {
     fn insert_multi_row() {
         let stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").expect("parse");
         match stmt {
-            Stmt::Insert { table, columns, rows } => {
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns, vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
@@ -568,7 +657,15 @@ mod tests {
         let stmt = parse("SELECT 1 + 2 * 3").expect("parse");
         match stmt {
             Stmt::Select(s) => match &s.items[0] {
-                SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                SelectItem::Expr {
+                    expr:
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            right,
+                            ..
+                        },
+                    ..
+                } => {
                     assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("{other:?}"),
@@ -623,7 +720,13 @@ mod tests {
                 assert_eq!(s.items.len(), 4);
                 assert!(matches!(
                     &s.items[3],
-                    SelectItem::Expr { expr: Expr::Aggregate { func: AggFunc::Max, .. }, .. }
+                    SelectItem::Expr {
+                        expr: Expr::Aggregate {
+                            func: AggFunc::Max,
+                            ..
+                        },
+                        ..
+                    }
                 ));
             }
             other => panic!("{other:?}"),

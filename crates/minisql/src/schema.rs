@@ -98,7 +98,12 @@ impl TableSchema {
                 not_null: flags & 2 != 0,
             });
         }
-        Ok(TableSchema { id, name, columns, root })
+        Ok(TableSchema {
+            id,
+            name,
+            columns,
+            root,
+        })
     }
 }
 
@@ -107,7 +112,9 @@ impl TableSchema {
 /// # Errors
 /// Storage failures / corruption.
 pub fn load_catalog(pager: &mut Pager) -> Result<BTreeMap<String, TableSchema>, SqlError> {
-    let tree = BTree { root: pager.catalog_root() };
+    let tree = BTree {
+        root: pager.catalog_root(),
+    };
     let mut out = BTreeMap::new();
     for (id, payload) in tree.collect_all(pager)? {
         let row = decode_row(&payload)?;
@@ -122,7 +129,9 @@ pub fn load_catalog(pager: &mut Pager) -> Result<BTreeMap<String, TableSchema>, 
 /// # Errors
 /// Storage failures.
 pub fn save_new_table(pager: &mut Pager, schema: &mut TableSchema) -> Result<(), SqlError> {
-    let tree = BTree { root: pager.catalog_root() };
+    let tree = BTree {
+        root: pager.catalog_root(),
+    };
     let id = tree.max_key(pager)?.unwrap_or(0) + 1;
     schema.id = id;
     tree.insert(pager, id, encode_row(&schema.to_row()))
@@ -133,7 +142,9 @@ pub fn save_new_table(pager: &mut Pager, schema: &mut TableSchema) -> Result<(),
 /// # Errors
 /// Storage failures.
 pub fn delete_table(pager: &mut Pager, id: i64) -> Result<(), SqlError> {
-    let tree = BTree { root: pager.catalog_root() };
+    let tree = BTree {
+        root: pager.catalog_root(),
+    };
     tree.delete(pager, id)?;
     Ok(())
 }
@@ -168,9 +179,12 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip() {
-        let mut pager =
-            Pager::open(Box::new(MemVfs::new()), Box::new(MemVfs::new()), JournalMode::Off)
-                .expect("open");
+        let mut pager = Pager::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            JournalMode::Off,
+        )
+        .expect("open");
         let mut s1 = schema("votes", 5);
         let mut s2 = schema("voters", 6);
         save_new_table(&mut pager, &mut s1).expect("save");
@@ -184,9 +198,12 @@ mod tests {
 
     #[test]
     fn delete_removes() {
-        let mut pager =
-            Pager::open(Box::new(MemVfs::new()), Box::new(MemVfs::new()), JournalMode::Off)
-                .expect("open");
+        let mut pager = Pager::open(
+            Box::new(MemVfs::new()),
+            Box::new(MemVfs::new()),
+            JournalMode::Off,
+        )
+        .expect("open");
         let mut s = schema("t", 5);
         save_new_table(&mut pager, &mut s).expect("save");
         delete_table(&mut pager, s.id).expect("delete");

@@ -159,16 +159,34 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_compare() {
-        assert_eq!(Value::Integer(2).compare(&Value::Real(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Integer(2).compare(&Value::Real(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Real(3.0).compare(&Value::Integer(2)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Integer(2).compare(&Value::Real(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Integer(2).compare(&Value::Real(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Real(3.0).compare(&Value::Integer(2)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
     fn storage_class_ordering() {
-        assert_eq!(Value::Integer(9).compare(&Value::Text("a".into())), Some(Ordering::Less));
-        assert_eq!(Value::Text("z".into()).compare(&Value::Blob(vec![0])), Some(Ordering::Less));
-        assert_eq!(Value::Blob(vec![0]).compare(&Value::Integer(5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Integer(9).compare(&Value::Text("a".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Text("z".into()).compare(&Value::Blob(vec![0])),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Blob(vec![0]).compare(&Value::Integer(5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]

@@ -28,10 +28,11 @@ pub enum VfsError {
 impl fmt::Display for VfsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VfsError::OutOfBounds { offset, len, file_len } => write!(
-                f,
-                "access at {offset}+{len} beyond file length {file_len}"
-            ),
+            VfsError::OutOfBounds {
+                offset,
+                len,
+                file_len,
+            } => write!(f, "access at {offset}+{len} beyond file length {file_len}"),
             VfsError::Backend(m) => write!(f, "backend error: {m}"),
         }
     }
@@ -95,7 +96,11 @@ impl MemVfs {
 
     /// The file a post-crash open would see (last synced image).
     pub fn crash(&self) -> MemVfs {
-        MemVfs { data: self.stable.clone(), stable: self.stable.clone(), syncs: 0 }
+        MemVfs {
+            data: self.stable.clone(),
+            stable: self.stable.clone(),
+            syncs: 0,
+        }
     }
 
     /// Number of syncs performed (tests assert on durability behaviour).

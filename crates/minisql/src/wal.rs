@@ -235,7 +235,11 @@ pub fn append_commit(
     let mut cksum = st.cksum;
     for (i, (page_id, data)) in pages.iter().enumerate() {
         debug_assert_eq!(data.len(), st.page_size);
-        let commit = if i + 1 == pages.len() { new_page_count } else { 0 };
+        let commit = if i + 1 == pages.len() {
+            new_page_count
+        } else {
+            0
+        };
         let mut hdr = [0u8; FRAME_HEADER];
         hdr[..4].copy_from_slice(&page_id.to_be_bytes());
         hdr[4..8].copy_from_slice(&commit.to_be_bytes());
@@ -267,11 +271,7 @@ pub fn append_commit(
 ///
 /// # Errors
 /// Storage failures.
-pub fn read_frame_page(
-    vfs: &dyn Vfs,
-    offset: u64,
-    buf: &mut [u8],
-) -> Result<(), SqlError> {
+pub fn read_frame_page(vfs: &dyn Vfs, offset: u64, buf: &mut [u8]) -> Result<(), SqlError> {
     vfs.read_at(offset + FRAME_HEADER as u64, buf)?;
     Ok(())
 }
@@ -361,7 +361,8 @@ mod tests {
         hdr[8..16].copy_from_slice(&c.0.to_be_bytes());
         hdr[16..24].copy_from_slice(&c.1.to_be_bytes());
         v.write_at(stale.end, &hdr).expect("write");
-        v.write_at(stale.end + FRAME_HEADER as u64, &page(8)).expect("write");
+        v.write_at(stale.end + FRAME_HEADER as u64, &page(8))
+            .expect("write");
         v.sync().expect("sync");
 
         let back = recover(&v, PS).expect("recover");
@@ -381,7 +382,8 @@ mod tests {
         let p2 = page(2);
         append_commit(&mut v, &mut st, &[(1, &p2)], 3, true).expect("append");
         let mut torn = v.clone();
-        torn.write_at(good.len() + FRAME_HEADER as u64, &[0xff; 8]).expect("mangle");
+        torn.write_at(good.len() + FRAME_HEADER as u64, &[0xff; 8])
+            .expect("mangle");
         torn.sync().expect("sync");
         let back = recover(&torn, PS).expect("recover");
         assert_eq!(back.frames(), 1);

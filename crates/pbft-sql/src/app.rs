@@ -33,7 +33,11 @@ pub struct CostProfile {
 
 impl Default for CostProfile {
     fn default() -> Self {
-        CostProfile { stmt_base_us: 60.0, page_read_us: 4.0, page_write_us: 12.0 }
+        CostProfile {
+            stmt_base_us: 60.0,
+            page_read_us: 4.0,
+            page_write_us: 12.0,
+        }
     }
 }
 
@@ -60,7 +64,9 @@ pub struct SqlApp {
 
 impl std::fmt::Debug for SqlApp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SqlApp").field("executed", &self.executed).finish()
+        f.debug_struct("SqlApp")
+            .field("executed", &self.executed)
+            .finish()
     }
 }
 
@@ -81,8 +87,14 @@ impl SqlApp {
         let page = pbft_state::PAGE_SIZE as u64;
         let app_pages = app.len / page;
         let db_pages = (app_pages * 3 / 4).max(1);
-        let db = Section { base: app.base, len: db_pages * page };
-        let wal = Section { base: app.base + db.len, len: app.len - db.len };
+        let db = Section {
+            base: app.base,
+            len: db_pages * page,
+        };
+        let wal = Section {
+            base: app.base + db.len,
+            len: app.len - db.len,
+        };
         (db, wal)
     }
 
@@ -108,7 +120,13 @@ impl SqlApp {
         cost: CostProfile,
         setup_sql: Option<&str>,
     ) -> Result<SqlApp, SqlError> {
-        Self::open_with(state, journal_mode, REPLICATED_WAL_AUTOCHECKPOINT, cost, setup_sql)
+        Self::open_with(
+            state,
+            journal_mode,
+            REPLICATED_WAL_AUTOCHECKPOINT,
+            cost,
+            setup_sql,
+        )
     }
 
     /// [`SqlApp::open`] with an explicit WAL auto-checkpoint threshold
@@ -133,8 +151,7 @@ impl SqlApp {
             _ => (Self::app_section(&state), Box::new(MemVfs::new())),
         };
         let vfs = StateVfs::new(state.clone(), db_section, syncs.clone());
-        let fresh =
-            minisql::Vfs::len(&vfs) == 0 && !minisql::wal::is_present(wal_vfs.as_ref());
+        let fresh = minisql::Vfs::len(&vfs) == 0 && !minisql::wal::is_present(wal_vfs.as_ref());
         let mut db = Database::open(
             Box::new(vfs),
             wal_vfs,
@@ -193,8 +210,7 @@ impl SqlApp {
         ExecMetrics {
             cpu_us,
             disk_flushes: total_syncs,
-            disk_write_bytes: io.db_pages_written * minisql::PAGE_SIZE as u64
-                + io.journal_bytes,
+            disk_write_bytes: io.db_pages_written * minisql::PAGE_SIZE as u64 + io.journal_bytes,
         }
     }
 }
@@ -260,14 +276,18 @@ mod tests {
     use crate::outcome::{decode_outcome, WireOutcome};
     use minisql::Value;
 
-    const SETUP: &str = "CREATE TABLE kv (id INTEGER PRIMARY KEY, k TEXT, v TEXT, ts INTEGER, rnd INTEGER)";
+    const SETUP: &str =
+        "CREATE TABLE kv (id INTEGER PRIMARY KEY, k TEXT, v TEXT, ts INTEGER, rnd INTEGER)";
 
     fn app(mode: JournalMode) -> SqlApp {
         SqlApp::open(sql_state(64), mode, CostProfile::default(), Some(SETUP)).expect("open")
     }
 
     fn nd(ts: u64, rnd: u64) -> NonDet {
-        NonDet { timestamp_ns: ts, random: rnd }
+        NonDet {
+            timestamp_ns: ts,
+            random: rnd,
+        }
     }
 
     #[test]
@@ -287,7 +307,11 @@ mod tests {
         match decode_outcome(&reply) {
             Some(WireOutcome::Rows(rows)) => {
                 assert_eq!(rows.rows[0][0], Value::Text("alice".into()));
-                assert_eq!(rows.rows[0][2], Value::Integer(123), "now() = agreed nondet");
+                assert_eq!(
+                    rows.rows[0][2],
+                    Value::Integer(123),
+                    "now() = agreed nondet"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -324,8 +348,12 @@ mod tests {
     #[test]
     fn read_only_path_rejects_writes() {
         let mut a = app(JournalMode::Rollback);
-        let (reply, _) =
-            a.execute(ClientId(1), b"INSERT INTO kv (k) VALUES ('x')", &nd(1, 1), true);
+        let (reply, _) = a.execute(
+            ClientId(1),
+            b"INSERT INTO kv (k) VALUES ('x')",
+            &nd(1, 1),
+            true,
+        );
         match decode_outcome(&reply) {
             Some(WireOutcome::Error(e)) => assert!(e.contains("read-only")),
             other => panic!("{other:?}"),
@@ -408,7 +436,11 @@ mod tests {
         let (reply, _) = a.execute(ClientId(1), b"SELECT COUNT(*) FROM kv", &nd(3, 3), true);
         match decode_outcome(&reply) {
             Some(WireOutcome::Rows(rows)) => {
-                assert_eq!(rows.rows[0][0], Value::Integer(1), "second insert rolled back")
+                assert_eq!(
+                    rows.rows[0][0],
+                    Value::Integer(1),
+                    "second insert rolled back"
+                )
             }
             other => panic!("{other:?}"),
         }
@@ -419,8 +451,14 @@ mod tests {
     // ------------------------------------------------------------------
 
     fn wal_app(state: StateHandle) -> SqlApp {
-        SqlApp::open_with(state, JournalMode::Wal, 8, CostProfile::default(), Some(SETUP))
-            .expect("open wal")
+        SqlApp::open_with(
+            state,
+            JournalMode::Wal,
+            8,
+            CostProfile::default(),
+            Some(SETUP),
+        )
+        .expect("open wal")
     }
 
     #[test]
@@ -445,9 +483,8 @@ mod tests {
         // Cross an auto-checkpoint boundary (threshold 8 frames) so both the
         // append path and the checkpoint path are covered.
         for i in 0..12u64 {
-            let op = format!(
-                "INSERT INTO kv (k, v, ts, rnd) VALUES ('k{i}', 'v{i}', now(), random())"
-            );
+            let op =
+                format!("INSERT INTO kv (k, v, ts, rnd) VALUES ('k{i}', 'v{i}', now(), random())");
             let (ra, _) = a.execute(ClientId(1), op.as_bytes(), &nd(i, i), false);
             let (rb, _) = b.execute(ClientId(1), op.as_bytes(), &nd(i, i), false);
             assert_eq!(ra, rb);
@@ -508,7 +545,11 @@ mod tests {
         let (reply, _) = a.execute(ClientId(1), b"SELECT COUNT(*) FROM kv", &nd(3, 3), true);
         match decode_outcome(&reply) {
             Some(WireOutcome::Rows(rows)) => {
-                assert_eq!(rows.rows[0][0], Value::Integer(1), "WAL index rebuilt from region")
+                assert_eq!(
+                    rows.rows[0][0],
+                    Value::Integer(1),
+                    "WAL index rebuilt from region"
+                )
             }
             other => panic!("{other:?}"),
         }

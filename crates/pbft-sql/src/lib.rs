@@ -27,8 +27,8 @@ pub mod transfer;
 pub mod vfs;
 
 pub use app::{sql_state, CostProfile, SqlApp};
-pub use transfer::Transfer;
 pub use outcome::{decode_outcome, encode_outcome, WireOutcome};
+pub use transfer::Transfer;
 pub use vfs::StateVfs;
 
 /// The stable shard key of a SQL operation, by the workload convention used

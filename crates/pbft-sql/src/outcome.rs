@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn done_and_affected_roundtrip() {
-        assert_eq!(decode_outcome(&encode_outcome(&Ok(ExecOutcome::Done))), Some(WireOutcome::Done));
+        assert_eq!(
+            decode_outcome(&encode_outcome(&Ok(ExecOutcome::Done))),
+            Some(WireOutcome::Done)
+        );
         assert_eq!(
             decode_outcome(&encode_outcome(&Ok(ExecOutcome::Affected(7)))),
             Some(WireOutcome::Affected(7))

@@ -134,15 +134,23 @@ mod tests {
     #[test]
     fn setup_seeds_accounts_and_sum() {
         let mut app = app_with_accounts(8, 100);
-        let (reply, _) =
-            app.execute(ClientId(1), SUM_BALANCES_SQL.as_bytes(), &NonDet::default(), true);
+        let (reply, _) = app.execute(
+            ClientId(1),
+            SUM_BALANCES_SQL.as_bytes(),
+            &NonDet::default(),
+            true,
+        );
         assert_eq!(decode_sum(&reply), Some(800));
     }
 
     #[test]
     fn debit_and_credit_conserve_the_sum() {
         let mut app = app_with_accounts(4, 50);
-        let t = Transfer { from: account_key(0), to: account_key(3), amount: 20 };
+        let t = Transfer {
+            from: account_key(0),
+            to: account_key(3),
+            amount: 20,
+        };
         for sql in [t.debit_sql(), t.credit_sql()] {
             let (reply, _) = app.execute(ClientId(1), sql.as_bytes(), &NonDet::default(), false);
             assert!(matches!(
@@ -150,9 +158,17 @@ mod tests {
                 Some(crate::WireOutcome::Affected(1))
             ));
         }
-        let (reply, _) =
-            app.execute(ClientId(1), SUM_BALANCES_SQL.as_bytes(), &NonDet::default(), true);
-        assert_eq!(decode_sum(&reply), Some(200), "transfers conserve the total");
+        let (reply, _) = app.execute(
+            ClientId(1),
+            SUM_BALANCES_SQL.as_bytes(),
+            &NonDet::default(),
+            true,
+        );
+        assert_eq!(
+            decode_sum(&reply),
+            Some(200),
+            "transfers conserve the total"
+        );
         // And the individual balances moved.
         let (reply, _) = app.execute(
             ClientId(1),
@@ -173,18 +189,43 @@ mod tests {
         // The property the atomicity experiments lean on: applying only the
         // debit leg is visible in SUM(bal).
         let mut app = app_with_accounts(2, 10);
-        let t = Transfer { from: account_key(0), to: account_key(1), amount: 5 };
-        let _ = app.execute(ClientId(1), t.debit_sql().as_bytes(), &NonDet::default(), false);
-        let (reply, _) =
-            app.execute(ClientId(1), SUM_BALANCES_SQL.as_bytes(), &NonDet::default(), true);
-        assert_eq!(decode_sum(&reply), Some(15), "half-applied transfer leaks balance");
+        let t = Transfer {
+            from: account_key(0),
+            to: account_key(1),
+            amount: 5,
+        };
+        let _ = app.execute(
+            ClientId(1),
+            t.debit_sql().as_bytes(),
+            &NonDet::default(),
+            false,
+        );
+        let (reply, _) = app.execute(
+            ClientId(1),
+            SUM_BALANCES_SQL.as_bytes(),
+            &NonDet::default(),
+            true,
+        );
+        assert_eq!(
+            decode_sum(&reply),
+            Some(15),
+            "half-applied transfer leaks balance"
+        );
     }
 
     #[test]
     fn sub_ops_route_by_their_where_literal() {
-        let t = Transfer { from: "it's".into(), to: "b".into(), amount: 1 };
+        let t = Transfer {
+            from: "it's".into(),
+            to: "b".into(),
+            amount: 1,
+        };
         let [(dk, dsql), (ck, csql)] = t.sub_ops();
-        assert_eq!(crate::shard_key(&dsql).as_deref(), Some(&dk[..]), "quoting round-trips");
+        assert_eq!(
+            crate::shard_key(&dsql).as_deref(),
+            Some(&dk[..]),
+            "quoting round-trips"
+        );
         assert_eq!(crate::shard_key(&csql).as_deref(), Some(&ck[..]));
     }
 }

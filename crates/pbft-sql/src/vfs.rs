@@ -44,7 +44,12 @@ impl StateVfs {
     /// else is an empty file (fresh database).
     pub fn new(state: StateHandle, section: Section, syncs: SyncCounter) -> StateVfs {
         let len = Self::probe_len(&state, &section);
-        StateVfs { state, section, len, syncs }
+        StateVfs {
+            state,
+            section,
+            len,
+            syncs,
+        }
     }
 
     /// Mount a VFS whose logical length is pinned to the section size.
@@ -55,7 +60,12 @@ impl StateVfs {
     /// is safe (the tail reads as zeros).
     pub fn fixed(state: StateHandle, section: Section, syncs: SyncCounter) -> StateVfs {
         let len = section.len;
-        StateVfs { state, section, len, syncs }
+        StateVfs {
+            state,
+            section,
+            len,
+            syncs,
+        }
     }
 
     /// Re-derive the logical length after the region changed underneath
@@ -81,7 +91,9 @@ impl StateVfs {
 impl Vfs for StateVfs {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), VfsError> {
         let st = self.state.borrow();
-        self.section.read(&st, offset, buf).map_err(|e| VfsError::Backend(e.to_string()))
+        self.section
+            .read(&st, offset, buf)
+            .map_err(|e| VfsError::Backend(e.to_string()))
     }
 
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), VfsError> {
@@ -142,7 +154,10 @@ mod tests {
 
     fn setup(pages: usize) -> (StateHandle, Section, SyncCounter) {
         let state: StateHandle = Rc::new(RefCell::new(PagedState::new(pages)));
-        let section = Section { base: 4096, len: (pages as u64 - 1) * 4096 };
+        let section = Section {
+            base: 4096,
+            len: (pages as u64 - 1) * 4096,
+        };
         (state, section, Rc::new(RefCell::new(0)))
     }
 
@@ -195,8 +210,10 @@ mod tests {
         let vfs = StateVfs::new(state.clone(), section, syncs);
         let mut db = Database::open(Box::new(vfs), Box::new(MemVfs::new()), DbOptions::default())
             .expect("open");
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").expect("create");
-        db.execute("INSERT INTO t (v) VALUES ('in the region')").expect("insert");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .expect("create");
+        db.execute("INSERT INTO t (v) VALUES ('in the region')")
+            .expect("insert");
         let rows = db.query("SELECT v FROM t").expect("select");
         assert_eq!(rows.rows[0][0], Value::Text("in the region".into()));
 
@@ -204,9 +221,12 @@ mod tests {
         // (this is what state transfer hands to a recovering replica).
         let vfs2 = StateVfs::new(state.clone(), section, Rc::new(RefCell::new(0)));
         assert!(vfs2.len() > 0, "length recovered from the header");
-        let mut db2 =
-            Database::open(Box::new(vfs2), Box::new(MemVfs::new()), DbOptions::default())
-                .expect("reopen");
+        let mut db2 = Database::open(
+            Box::new(vfs2),
+            Box::new(MemVfs::new()),
+            DbOptions::default(),
+        )
+        .expect("reopen");
         let rows = db2.query("SELECT v FROM t").expect("select");
         assert_eq!(rows.rows[0][0], Value::Text("in the region".into()));
     }
@@ -216,6 +236,9 @@ mod tests {
         let (state, section, syncs) = setup(2); // section is one page
         let mut vfs = StateVfs::new(state, section, syncs);
         assert!(vfs.write_at(0, &[1u8; 4096]).is_ok());
-        assert!(vfs.write_at(4096, &[1u8]).is_err(), "fixed-size region overflow");
+        assert!(
+            vfs.write_at(4096, &[1u8]).is_err(),
+            "fixed-size region overflow"
+        );
     }
 }

@@ -196,7 +196,9 @@ impl Gen {
     /// A string of characters drawn from `alphabet`, length drawn from `len`.
     pub fn string_from(&mut self, alphabet: &[char], len: Range<usize>) -> String {
         let n = self.usize_in(len);
-        (0..n).map(|_| alphabet[self.index(alphabet.len())]).collect()
+        (0..n)
+            .map(|_| alphabet[self.index(alphabet.len())])
+            .collect()
     }
 }
 
@@ -443,8 +445,15 @@ mod tests {
         let minimal = shrink(&prop, failing.expect("some seed fails"));
         // One draw decides the length; everything after the length draw that
         // the shrinker could delete is gone.
-        assert!(minimal.len() <= 11, "stream of {} draws not minimal", minimal.len());
+        assert!(
+            minimal.len() <= 11,
+            "stream of {} draws not minimal",
+            minimal.len()
+        );
         let mut g = Gen::replay(minimal);
-        assert!(run_caught(&prop, &mut g).is_err(), "minimal case still fails");
+        assert!(
+            run_caught(&prop, &mut g).is_err(),
+            "minimal case still fails"
+        );
     }
 }

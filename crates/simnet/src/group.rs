@@ -102,10 +102,20 @@ mod tests {
     }
 
     fn chatty_sim(seed: u64, period_us: u64) -> Simulator {
-        let cfg = SimConfig { seed, trace: true, ..Default::default() };
+        let cfg = SimConfig {
+            seed,
+            trace: true,
+            ..Default::default()
+        };
         let mut sim = Simulator::new(cfg);
-        let a = sim.add_node(Box::new(Chatter { peer: NodeId(1), period: SimDuration::from_micros(period_us) }));
-        let _b = sim.add_node(Box::new(Chatter { peer: a, period: SimDuration::from_micros(period_us) }));
+        let a = sim.add_node(Box::new(Chatter {
+            peer: NodeId(1),
+            period: SimDuration::from_micros(period_us),
+        }));
+        let _b = sim.add_node(Box::new(Chatter {
+            peer: a,
+            period: SimDuration::from_micros(period_us),
+        }));
         sim
     }
 
@@ -134,7 +144,10 @@ mod tests {
         run_lockstep(sims.iter_mut(), SimDuration::from_millis(2));
         let merged = merge_traces(sims.iter_mut().map(|s| s.take_trace()).collect());
         assert!(!merged.is_empty());
-        assert!(merged.windows(2).all(|w| w[0].1.at <= w[1].1.at), "time-ordered");
+        assert!(
+            merged.windows(2).all(|w| w[0].1.at <= w[1].1.at),
+            "time-ordered"
+        );
         assert!(merged.iter().any(|(g, _)| *g == 0));
         assert!(merged.iter().any(|(g, _)| *g == 1));
         // Ties (same instant) resolve by group index — deterministic merge.
@@ -144,7 +157,10 @@ mod tests {
             .all(|w| w[0].0 <= w[1].0 || w[0].1.at != w[1].1.at));
         assert!(merged.iter().all(|(_, e)| matches!(
             e.event,
-            TraceEvent::Sent | TraceEvent::Delivered | TraceEvent::Dropped | TraceEvent::DeadDestination
+            TraceEvent::Sent
+                | TraceEvent::Delivered
+                | TraceEvent::Dropped
+                | TraceEvent::DeadDestination
         )));
     }
 

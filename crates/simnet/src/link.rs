@@ -35,7 +35,10 @@ impl Default for LinkParams {
 impl LinkParams {
     /// A LAN link with the default parameters and the given loss probability.
     pub fn lan_with_loss(loss: f64) -> Self {
-        LinkParams { loss, ..Default::default() }
+        LinkParams {
+            loss,
+            ..Default::default()
+        }
     }
 
     /// A WAN link: high latency, moderate jitter, no loss.
@@ -73,7 +76,10 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_means_free_wire() {
-        let l = LinkParams { bandwidth_bytes_per_sec: 0, ..Default::default() };
+        let l = LinkParams {
+            bandwidth_bytes_per_sec: 0,
+            ..Default::default()
+        };
         assert_eq!(l.wire_time(1 << 20), SimDuration::ZERO);
     }
 

@@ -12,7 +12,9 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        SimRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     /// Next 64 random bits.

@@ -37,8 +37,17 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { src: NodeId, dst: NodeId, payload: Vec<u8> },
-    Timer { node: NodeId, id: TimerId, gen: u64, incarnation: u64 },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        payload: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        gen: u64,
+        incarnation: u64,
+    },
 }
 
 struct EventEntry {
@@ -313,7 +322,9 @@ impl Simulator {
         match entry.kind {
             EventKind::Deliver { src, dst, payload } => {
                 let idx = dst.0 as usize;
-                if idx >= self.nodes.len() || !self.nodes[idx].alive || self.nodes[idx].node.is_none()
+                if idx >= self.nodes.len()
+                    || !self.nodes[idx].alive
+                    || self.nodes[idx].node.is_none()
                 {
                     let tag = payload.first().copied().unwrap_or(0);
                     self.record(TraceEntry {
@@ -349,7 +360,12 @@ impl Simulator {
                 });
                 self.invoke(dst, |n, ctx| n.on_packet(src, &payload, ctx));
             }
-            EventKind::Timer { node, id, gen, incarnation } => {
+            EventKind::Timer {
+                node,
+                id,
+                gen,
+                incarnation,
+            } => {
                 let idx = node.0 as usize;
                 let slot = &self.nodes[idx];
                 if !slot.alive
@@ -361,7 +377,15 @@ impl Simulator {
                 }
                 let busy = slot.busy_until;
                 if busy > self.now {
-                    self.push_event(busy, EventKind::Timer { node, id, gen, incarnation });
+                    self.push_event(
+                        busy,
+                        EventKind::Timer {
+                            node,
+                            id,
+                            gen,
+                            incarnation,
+                        },
+                    );
                     return;
                 }
                 self.stats[idx].timers_fired += 1;
@@ -433,7 +457,14 @@ impl Simulator {
                         tag,
                         event: TraceEvent::Sent,
                     });
-                    self.push_event(arrive, EventKind::Deliver { src: id, dst, payload });
+                    self.push_event(
+                        arrive,
+                        EventKind::Deliver {
+                            src: id,
+                            dst,
+                            payload,
+                        },
+                    );
                 }
                 Action::SetTimer { id: tid, delay } => {
                     let slot = &mut self.nodes[idx];
@@ -442,7 +473,15 @@ impl Simulator {
                     let gen = *gen;
                     let incarnation = slot.incarnation;
                     let at = self.now + delay;
-                    self.push_event(at, EventKind::Timer { node: id, id: tid, gen, incarnation });
+                    self.push_event(
+                        at,
+                        EventKind::Timer {
+                            node: id,
+                            id: tid,
+                            gen,
+                            incarnation,
+                        },
+                    );
                 }
                 Action::CancelTimer { id: tid } => {
                     let slot = &mut self.nodes[idx];
@@ -509,7 +548,10 @@ mod tests {
     fn two_nodes(cfg: SimConfig) -> (Simulator, NodeId, NodeId) {
         let mut sim = Simulator::new(cfg);
         let probe = sim.add_node(Box::new(Probe::new()));
-        let sender = sim.add_node(Box::new(Sender { dst: probe, count: 3 }));
+        let sender = sim.add_node(Box::new(Sender {
+            dst: probe,
+            count: 3,
+        }));
         (sim, probe, sender)
     }
 
@@ -529,7 +571,10 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::default());
         let probe_id = sim.add_node(Box::new(Probe::new()));
         sim.node_mut::<Probe>(probe_id).expect("probe").charge = SimDuration::from_millis(1);
-        let _ = sim.add_node(Box::new(Sender { dst: probe_id, count: 3 }));
+        let _ = sim.add_node(Box::new(Sender {
+            dst: probe_id,
+            count: 3,
+        }));
         sim.run_for(SimDuration::from_millis(20));
         let p: &Probe = sim.node_ref(probe_id).expect("probe");
         assert_eq!(p.delivered.len(), 3);
@@ -551,10 +596,7 @@ mod tests {
         let p: &Probe = sim.node_ref(probe).expect("probe");
         assert!(p.delivered.is_empty());
         assert_eq!(sim.stats(sender).packets_dropped, 3);
-        assert!(sim
-            .trace()
-            .iter()
-            .all(|t| t.event == TraceEvent::Dropped));
+        assert!(sim.trace().iter().all(|t| t.event == TraceEvent::Dropped));
     }
 
     #[test]
@@ -562,7 +604,10 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::default());
         let probe = sim.add_node(Box::new(Probe::new()));
         sim.crash(probe);
-        let sender = sim.add_node(Box::new(Sender { dst: probe, count: 2 }));
+        let sender = sim.add_node(Box::new(Sender {
+            dst: probe,
+            count: 2,
+        }));
         sim.run_for(SimDuration::from_millis(5));
         assert_eq!(sim.stats(probe).packets_to_dead_node, 2);
         // Restart and send again.
@@ -598,7 +643,10 @@ mod tests {
     #[test]
     fn timer_rearm_and_cancel() {
         let mut sim = Simulator::new(SimConfig::default());
-        let id = sim.add_node(Box::new(TimerNode { fired: Vec::new(), cancel_second: true }));
+        let id = sim.add_node(Box::new(TimerNode {
+            fired: Vec::new(),
+            cancel_second: true,
+        }));
         sim.run_for(SimDuration::from_millis(10));
         let n: &TimerNode = sim.node_ref(id).expect("node");
         assert_eq!(n.fired.len(), 1);
@@ -609,7 +657,10 @@ mod tests {
     #[test]
     fn timers_die_on_crash() {
         let mut sim = Simulator::new(SimConfig::default());
-        let id = sim.add_node(Box::new(TimerNode { fired: Vec::new(), cancel_second: false }));
+        let id = sim.add_node(Box::new(TimerNode {
+            fired: Vec::new(),
+            cancel_second: false,
+        }));
         sim.crash(id);
         sim.run_for(SimDuration::from_millis(10));
         // Node value retained but timers never fired.
@@ -626,7 +677,10 @@ mod tests {
             let cfg = SimConfig {
                 seed,
                 trace: true,
-                default_link: LinkParams { loss: 0.3, ..Default::default() },
+                default_link: LinkParams {
+                    loss: 0.3,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let (mut sim, _, _) = two_nodes(cfg);
@@ -641,7 +695,10 @@ mod tests {
     fn partition_and_heal() {
         let mut sim = Simulator::new(SimConfig::default());
         let probe = sim.add_node(Box::new(Probe::new()));
-        let sender = sim.add_node(Box::new(Sender { dst: probe, count: 1 }));
+        let sender = sim.add_node(Box::new(Sender {
+            dst: probe,
+            count: 1,
+        }));
         sim.run_for(SimDuration::from_millis(2));
         sim.partition(&[sender], &[probe]);
         sim.with_node_ctx::<Sender, _>(sender, |s, ctx| ctx.send(s.dst, vec![1]));
@@ -684,12 +741,18 @@ mod tests {
         // serialization completes (NIC is serial).
         let cfg = SimConfig {
             trace: true,
-            default_link: LinkParams { jitter: SimDuration::ZERO, ..Default::default() },
+            default_link: LinkParams {
+                jitter: SimDuration::ZERO,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut sim = Simulator::new(cfg);
         let probe = sim.add_node(Box::new(Probe::new()));
-        let sender = sim.add_node(Box::new(Sender { dst: probe, count: 2 }));
+        let sender = sim.add_node(Box::new(Sender {
+            dst: probe,
+            count: 2,
+        }));
         sim.run_for(SimDuration::from_millis(5));
         let sends: Vec<_> = sim
             .trace()

@@ -58,11 +58,13 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 mod merkle;
 mod region;
 mod snapshot;
 mod transfer;
 
+pub use codec::{BlobCell, CodecError, SlotRing};
 pub use merkle::MerkleTree;
 pub use region::{PagedState, Section, StateError, PAGE_SIZE};
 pub use snapshot::Snapshot;

@@ -124,7 +124,9 @@ mod tests {
     use super::*;
 
     fn leaves(n: usize) -> Vec<Digest> {
-        (0..n).map(|i| Digest::of(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| Digest::of(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     #[test]

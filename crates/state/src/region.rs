@@ -39,12 +39,19 @@ pub enum StateError {
 impl fmt::Display for StateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StateError::OutOfBounds { offset, len, region_len } => write!(
+            StateError::OutOfBounds {
+                offset,
+                len,
+                region_len,
+            } => write!(
                 f,
                 "access at offset {offset} len {len} out of bounds (region is {region_len} bytes)"
             ),
             StateError::NotModified { page } => {
-                write!(f, "write to page {page} without a prior modify() notification")
+                write!(
+                    f,
+                    "write to page {page} without a prior modify() notification"
+                )
             }
             StateError::GeometryMismatch => write!(f, "snapshot geometry does not match region"),
         }
@@ -118,8 +125,15 @@ impl PagedState {
     }
 
     fn check_bounds(&self, offset: u64, len: usize) -> Result<(), StateError> {
-        if offset.checked_add(len as u64).is_none_or(|end| end > self.len) {
-            return Err(StateError::OutOfBounds { offset, len, region_len: self.len });
+        if offset
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.len)
+        {
+            return Err(StateError::OutOfBounds {
+                offset,
+                len,
+                region_len: self.len,
+            });
         }
         Ok(())
     }
@@ -345,7 +359,12 @@ impl Section {
     ///
     /// # Errors
     /// [`StateError::OutOfBounds`] if the range leaves the section.
-    pub fn modify(&self, state: &mut PagedState, offset: u64, len: usize) -> Result<(), StateError> {
+    pub fn modify(
+        &self,
+        state: &mut PagedState,
+        offset: u64,
+        len: usize,
+    ) -> Result<(), StateError> {
         self.check(offset, len)?;
         state.modify(self.base + offset, len)
     }
@@ -354,14 +373,26 @@ impl Section {
     ///
     /// # Errors
     /// [`StateError::OutOfBounds`] or [`StateError::NotModified`].
-    pub fn write(&self, state: &mut PagedState, offset: u64, data: &[u8]) -> Result<(), StateError> {
+    pub fn write(
+        &self,
+        state: &mut PagedState,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), StateError> {
         self.check(offset, data.len())?;
         state.write(self.base + offset, data)
     }
 
     fn check(&self, offset: u64, len: usize) -> Result<(), StateError> {
-        if offset.checked_add(len as u64).is_none_or(|end| end > self.len) {
-            return Err(StateError::OutOfBounds { offset, len, region_len: self.len });
+        if offset
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.len)
+        {
+            return Err(StateError::OutOfBounds {
+                offset,
+                len,
+                region_len: self.len,
+            });
         }
         Ok(())
     }
@@ -413,8 +444,14 @@ mod tests {
     fn out_of_bounds_detected() {
         let mut st = PagedState::new(1);
         let end = st.len();
-        assert!(matches!(st.read_vec(end, 1), Err(StateError::OutOfBounds { .. })));
-        assert!(matches!(st.modify(end - 1, 2), Err(StateError::OutOfBounds { .. })));
+        assert!(matches!(
+            st.read_vec(end, 1),
+            Err(StateError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            st.modify(end - 1, 2),
+            Err(StateError::OutOfBounds { .. })
+        ));
         assert!(st.modify(end - 1, 1).is_ok());
     }
 
@@ -506,7 +543,10 @@ mod tests {
     #[test]
     fn section_respects_bounds() {
         let mut st = PagedState::new(4);
-        let sec = Section { base: PAGE_SIZE as u64, len: PAGE_SIZE as u64 };
+        let sec = Section {
+            base: PAGE_SIZE as u64,
+            len: PAGE_SIZE as u64,
+        };
         sec.modify(&mut st, 0, 4).expect("modify");
         sec.write(&mut st, 0, b"abcd").expect("write");
         let mut buf = [0u8; 4];

@@ -18,8 +18,8 @@ use std::fmt;
 use pbft_crypto::Digest;
 
 use crate::merkle::MerkleTree;
-use crate::snapshot::Snapshot;
 use crate::region::PAGE_SIZE;
+use crate::snapshot::Snapshot;
 
 /// A state-transfer request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,7 +136,13 @@ impl Fetcher {
         }
         f.expected.push((top, 0, target_root));
         f.outstanding_meta = 1;
-        (f, vec![FetchRequest::Meta { level: top, index: 0 }])
+        (
+            f,
+            vec![FetchRequest::Meta {
+                level: top,
+                index: 0,
+            }],
+        )
     }
 
     /// The checkpoint root this transfer is converging toward.
@@ -172,7 +178,11 @@ impl Fetcher {
         resp: FetchResponse,
     ) -> Result<Vec<FetchRequest>, TransferError> {
         match resp {
-            FetchResponse::Meta { level, index, children } => {
+            FetchResponse::Meta {
+                level,
+                index,
+                children,
+            } => {
                 let Some(expect) = self.expected_digest(level, index) else {
                     return Ok(Vec::new()); // unsolicited; ignore
                 };
@@ -203,7 +213,10 @@ impl Fetcher {
                     } else {
                         self.expected.push((child_level, child_index, child_digest));
                         self.outstanding_meta += 1;
-                        out.push(FetchRequest::Meta { level: child_level, index: child_index });
+                        out.push(FetchRequest::Meta {
+                            level: child_level,
+                            index: child_index,
+                        });
                     }
                 }
                 Ok(out)
@@ -247,12 +260,19 @@ fn combine_check(level: u32, index: u64, left: &Digest, right: &Digest) -> Diges
 pub fn serve_fetch(snap: &Snapshot, req: &FetchRequest) -> FetchResponse {
     match req {
         FetchRequest::Meta { level, index } => match snap.tree().children(*level, *index) {
-            Some(children) => FetchResponse::Meta { level: *level, index: *index, children },
+            Some(children) => FetchResponse::Meta {
+                level: *level,
+                index: *index,
+                children,
+            },
             None => FetchResponse::Unavailable,
         },
         FetchRequest::Page { index } => {
             if (*index as usize) < snap.num_pages() {
-                FetchResponse::Page { index: *index, data: snap.page(*index).map(|p| p.to_vec()) }
+                FetchResponse::Page {
+                    index: *index,
+                    data: snap.page(*index).map(|p| p.to_vec()),
+                }
             } else {
                 FetchResponse::Unavailable
             }
@@ -314,7 +334,10 @@ mod tests {
         let mut b = PagedState::new(16);
         let moved = sync(&mut b, &snap);
         assert_eq!(moved, 1);
-        assert_eq!(b.read_vec(9 * PAGE_SIZE as u64, 8).expect("read"), vec![0xaa; 8]);
+        assert_eq!(
+            b.read_vec(9 * PAGE_SIZE as u64, 8).expect("read"),
+            vec![0xaa; 8]
+        );
         assert_eq!(b.tree().root(), snap.root);
     }
 
@@ -333,7 +356,10 @@ mod tests {
         let moved = sync(&mut b, &snap);
         assert_eq!(moved, 6, "5 pages from a + 1 page reverted to zero");
         assert_eq!(b.tree().root(), snap.root);
-        assert_eq!(b.read_vec(20 * PAGE_SIZE as u64, 8).expect("read"), vec![0u8; 8]);
+        assert_eq!(
+            b.read_vec(20 * PAGE_SIZE as u64, 8).expect("read"),
+            vec![0u8; 8]
+        );
     }
 
     #[test]
@@ -376,7 +402,10 @@ mod tests {
                 break;
             }
         }
-        let evil = FetchResponse::Page { index: 2, data: Some(vec![0x66; PAGE_SIZE]) };
+        let evil = FetchResponse::Page {
+            index: 2,
+            data: Some(vec![0x66; PAGE_SIZE]),
+        };
         assert_eq!(
             fetcher.on_response(b.tree(), evil),
             Err(TransferError::PageDigestMismatch { index: 2 })
@@ -414,7 +443,13 @@ mod tests {
         b.refresh_digest();
         let (mut fetcher, _reqs) = Fetcher::new(b.tree(), snap.root);
         let out = fetcher
-            .on_response(b.tree(), FetchResponse::Page { index: 3, data: None })
+            .on_response(
+                b.tree(),
+                FetchResponse::Page {
+                    index: 3,
+                    data: None,
+                },
+            )
             .expect("ignored");
         assert!(out.is_empty());
         let out = fetcher

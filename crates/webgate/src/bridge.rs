@@ -115,8 +115,8 @@ pub fn json_to_packet(v: &Json) -> Result<Vec<u8>, BridgeError> {
         .get("auth")
         .and_then(Json::as_str)
         .ok_or_else(|| BridgeError::BadMessage("missing auth".to_string()))?;
-    let mut packet = json::hex_decode(prefix_hex)
-        .map_err(|e| BridgeError::BadMessage(e.to_string()))?;
+    let mut packet =
+        json::hex_decode(prefix_hex).map_err(|e| BridgeError::BadMessage(e.to_string()))?;
     packet.extend(json::hex_decode(auth_hex).map_err(|e| BridgeError::BadMessage(e.to_string()))?);
     let (env, _) = Envelope::decode(&packet).map_err(|_| BridgeError::BadPacket)?;
     if let Some(kind) = v.get("kind").and_then(Json::as_str) {
@@ -153,8 +153,8 @@ pub fn frame_to_packet(frame: &Frame) -> Result<Option<Vec<u8>>, BridgeError> {
         }
         _ => return Ok(None),
     }
-    let text = std::str::from_utf8(&frame.payload)
-        .map_err(|e| BridgeError::NotJson(e.to_string()))?;
+    let text =
+        std::str::from_utf8(&frame.payload).map_err(|e| BridgeError::NotJson(e.to_string()))?;
     let v = json::parse(text).map_err(|e| BridgeError::NotJson(e.to_string()))?;
     json_to_packet(&v).map(Some)
 }
@@ -213,7 +213,12 @@ impl ChannelEndpoint {
 pub fn outputs_to_channels(outputs: &[Output]) -> Result<Vec<(u32, Vec<u8>)>, BridgeError> {
     let mut out = Vec::new();
     for o in outputs {
-        if let Output::Send { to: pbft_core::NetTarget::Replica(r), packet, .. } = o {
+        if let Output::Send {
+            to: pbft_core::NetTarget::Replica(r),
+            packet,
+            ..
+        } = o
+        {
             out.push((r.0, packet_to_frame(packet)?.encode()));
         }
     }
@@ -258,7 +263,10 @@ mod tests {
         assert_eq!(v.get("kind").and_then(Json::as_str), Some("request"));
         assert_eq!(v.get("client").and_then(Json::as_u64), Some(3));
         let back = json_to_packet(&v).expect("decode");
-        assert_eq!(back, packet, "byte-exact reconstruction (signatures survive)");
+        assert_eq!(
+            back, packet,
+            "byte-exact reconstruction (signatures survive)"
+        );
     }
 
     #[test]
@@ -275,7 +283,10 @@ mod tests {
         if let Json::Object(m) = &mut v {
             m.insert("kind".to_string(), Json::str("reply"));
         }
-        assert!(matches!(json_to_packet(&v), Err(BridgeError::BadMessage(_))));
+        assert!(matches!(
+            json_to_packet(&v),
+            Err(BridgeError::BadMessage(_))
+        ));
     }
 
     #[test]
@@ -297,7 +308,10 @@ mod tests {
             ("prefix", Json::str("zz")),
             ("auth", Json::str("")),
         ]);
-        assert!(matches!(json_to_packet(&v), Err(BridgeError::BadMessage(_))));
+        assert!(matches!(
+            json_to_packet(&v),
+            Err(BridgeError::BadMessage(_))
+        ));
     }
 
     #[test]
@@ -326,7 +340,11 @@ mod tests {
     #[test]
     fn control_frames_pass_silently() {
         let mut ep = ChannelEndpoint::new();
-        let ping = Frame { opcode: Opcode::Ping, payload: vec![] }.encode();
+        let ping = Frame {
+            opcode: Opcode::Ping,
+            payload: vec![],
+        }
+        .encode();
         assert_eq!(ep.on_bytes(&ping).expect("ok"), Vec::<Vec<u8>>::new());
     }
 
@@ -334,7 +352,11 @@ mod tests {
     fn binary_frames_carry_raw_packets() {
         let packet = request_packet();
         let mut ep = ChannelEndpoint::new();
-        let frame = Frame { opcode: Opcode::Binary, payload: packet.clone() }.encode();
+        let frame = Frame {
+            opcode: Opcode::Binary,
+            payload: packet.clone(),
+        }
+        .encode();
         assert_eq!(ep.on_bytes(&frame).expect("ok"), vec![packet]);
     }
 }

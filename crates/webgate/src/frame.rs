@@ -61,7 +61,10 @@ pub struct Frame {
 impl Frame {
     /// A text frame.
     pub fn text(s: impl Into<String>) -> Frame {
-        Frame { opcode: Opcode::Text, payload: s.into().into_bytes() }
+        Frame {
+            opcode: Opcode::Text,
+            payload: s.into().into_bytes(),
+        }
     }
 
     /// Encode to wire bytes: opcode (1) + length (4, big-endian) + payload.
@@ -160,10 +163,14 @@ mod tests {
 
     #[test]
     fn reassembles_fragmented_stream() {
-        let frames = [Frame::text("one"), Frame::text("two"), Frame {
-            opcode: Opcode::Binary,
-            payload: vec![0u8, 1, 2, 3],
-        }];
+        let frames = [
+            Frame::text("one"),
+            Frame::text("two"),
+            Frame {
+                opcode: Opcode::Binary,
+                payload: vec![0u8, 1, 2, 3],
+            },
+        ];
         let mut wire = Vec::new();
         for f in &frames {
             wire.extend_from_slice(&f.encode());
@@ -193,7 +200,10 @@ mod tests {
     #[test]
     fn control_frames() {
         for op in [Opcode::Ping, Opcode::Pong, Opcode::Close] {
-            let f = Frame { opcode: op, payload: vec![] };
+            let f = Frame {
+                opcode: op,
+                payload: vec![],
+            };
             let mut buf = ChannelBuf::new();
             buf.push(&f.encode());
             assert_eq!(buf.next_frame().expect("ok"), Some(f));

@@ -176,7 +176,10 @@ fn write_escaped(s: &str, out: &mut String) {
 /// # Errors
 /// [`ParseJsonError`] with the offending byte offset.
 pub fn parse(input: &str) -> Result<Json, ParseJsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -193,7 +196,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, reason: &str) -> ParseJsonError {
-        ParseJsonError { at: self.pos, reason: reason.to_string() }
+        ParseJsonError {
+            at: self.pos,
+            reason: reason.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -357,8 +363,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseJsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
             v = (v << 4) | d;
         }
         Ok(v)
@@ -391,7 +401,10 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Number)
-            .map_err(|_| ParseJsonError { at: start, reason: "invalid number".to_string() })
+            .map_err(|_| ParseJsonError {
+                at: start,
+                reason: "invalid number".to_string(),
+            })
     }
 }
 
@@ -421,7 +434,10 @@ pub fn hex_encode(bytes: &[u8]) -> String {
 /// uniform error type at the bridge layer).
 pub fn hex_decode(s: &str) -> Result<Vec<u8>, ParseJsonError> {
     if !s.len().is_multiple_of(2) {
-        return Err(ParseJsonError { at: s.len(), reason: "odd hex length".to_string() });
+        return Err(ParseJsonError {
+            at: s.len(),
+            reason: "odd hex length".to_string(),
+        });
     }
     let mut out = Vec::with_capacity(s.len() / 2);
     let bytes = s.as_bytes();
@@ -430,7 +446,12 @@ pub fn hex_decode(s: &str) -> Result<Vec<u8>, ParseJsonError> {
         let lo = (bytes[i + 1] as char).to_digit(16);
         match (hi, lo) {
             (Some(h), Some(l)) => out.push(((h << 4) | l) as u8),
-            _ => return Err(ParseJsonError { at: i, reason: "bad hex digit".to_string() }),
+            _ => {
+                return Err(ParseJsonError {
+                    at: i,
+                    reason: "bad hex digit".to_string(),
+                })
+            }
         }
     }
     Ok(out)
@@ -462,11 +483,18 @@ mod tests {
 
     #[test]
     fn structures_roundtrip() {
-        roundtrip(&Json::Array(vec![Json::int(1), Json::str("two"), Json::Null]));
+        roundtrip(&Json::Array(vec![
+            Json::int(1),
+            Json::str("two"),
+            Json::Null,
+        ]));
         roundtrip(&Json::object([
             ("type", Json::str("request")),
             ("client", Json::int(12)),
-            ("ops", Json::Array(vec![Json::object([("k", Json::str("v"))])])),
+            (
+                "ops",
+                Json::Array(vec![Json::object([("k", Json::str("v"))])]),
+            ),
         ]));
         roundtrip(&Json::Array(vec![]));
         roundtrip(&Json::Object(BTreeMap::new()));
@@ -476,7 +504,10 @@ mod tests {
     fn parses_whitespace_and_escapes() {
         let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : \"\\u0041\\u00e9\" } ").expect("parse");
         assert_eq!(v.get("b").and_then(Json::as_str), Some("Aé"));
-        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
     }
 
     #[test]
@@ -490,8 +521,19 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "nul", "tru", "01x", "\"unterminated",
-            "{\"a\" 1}", "[1 2]", "\"bad \\q escape\"", "1 2",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\"bad \\q escape\"",
+            "1 2",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }

@@ -35,10 +35,16 @@ impl WebCluster {
         let clients = vec![ClientId(1)];
         let replicas: Vec<Replica> = (0..4u32)
             .map(|i| {
-                let state: StateHandle = Rc::new(RefCell::new(PagedState::new(
-                    LIB_REGION_PAGES as usize + 4,
-                )));
-                Replica::new(cfg.clone(), SEED, ReplicaId(i), state, Box::new(NullApp::new(16)), &clients)
+                let state: StateHandle =
+                    Rc::new(RefCell::new(PagedState::new(LIB_REGION_PAGES as usize + 4)));
+                Replica::new(
+                    cfg.clone(),
+                    SEED,
+                    ReplicaId(i),
+                    state,
+                    Box::new(NullApp::new(16)),
+                    &clients,
+                )
             })
             .collect();
         let client = Client::new_static(cfg, SEED, ClientId(1), CLIENT_ADDR);

@@ -8,16 +8,15 @@ use webgate::{ChannelBuf, Frame, Opcode};
 /// Characters exercised by string values: ASCII word chars plus the JSON
 /// escapes (`"`, `\`, `/`) and two non-ASCII code points (é, 中).
 const STRING_CHARS: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J',
-    'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1',
-    '2', '3', '4', '5', '6', '7', '8', '9', ' ', '_', '-', '.', '"', '\\', '/', '\u{e9}',
-    '\u{4e2d}',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L',
+    'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1', '2', '3', '4',
+    '5', '6', '7', '8', '9', ' ', '_', '-', '.', '"', '\\', '/', '\u{e9}', '\u{4e2d}',
 ];
 
 const KEY_CHARS: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z',
 ];
 
 /// Arbitrary JSON trees (bounded depth/size, matching the original
@@ -85,7 +84,10 @@ fn frames_survive_any_fragmentation() {
         let chunk = g.usize_in(1..16);
         let frames: Vec<Frame> = payloads
             .iter()
-            .map(|p| Frame { opcode: Opcode::Binary, payload: p.clone() })
+            .map(|p| Frame {
+                opcode: Opcode::Binary,
+                payload: p.clone(),
+            })
             .collect();
         let mut wire = Vec::new();
         for f in &frames {

@@ -39,7 +39,11 @@ fn main() {
     };
     let mut bank = XShardCluster::build(spec);
     let map = bank.sharded().router().map();
-    let sample = Transfer { from: "acct-0".into(), to: "acct-1".into(), amount: 50 };
+    let sample = Transfer {
+        from: "acct-0".into(),
+        to: "acct-1".into(),
+        amount: 50,
+    };
     for (key, sql) in sample.sub_ops() {
         println!(
             "  {} -> shard {}   [{}]",

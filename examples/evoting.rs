@@ -20,10 +20,16 @@ fn main() {
     let voters: Vec<(String, String)> = (0..5)
         .map(|i| (format!("voter{i}"), format!("secret{i}")))
         .collect();
-    let cfg = PbftConfig { dynamic_membership: true, ..Default::default() };
+    let cfg = PbftConfig {
+        dynamic_membership: true,
+        ..Default::default()
+    };
     let spec = ClusterSpec {
         cfg,
-        app: AppKind::Evoting { journal: JournalMode::Rollback, voters: voters.clone() },
+        app: AppKind::Evoting {
+            journal: JournalMode::Rollback,
+            voters: voters.clone(),
+        },
         num_clients: 5,
         trace: true,
         ..Default::default()
@@ -39,7 +45,10 @@ fn main() {
             host.client.is_member(),
             host.client.id()
         );
-        assert!(host.client.is_member(), "credentialed voters must be admitted");
+        assert!(
+            host.client.is_member(),
+            "credentialed voters must be admitted"
+        );
     }
 
     // One admin client creates the election, then everybody votes.
@@ -48,31 +57,49 @@ fn main() {
         Box::new(move |_| {
             step += 1;
             let op = match (i, step) {
-                (0, 1) => VoteOp::CreateElection { title: "Board 2026".into() },
-                (n, _) if n % 2 == 0 => VoteOp::CastVote { election: 1, choice: "apricot".into() },
-                _ => VoteOp::CastVote { election: 1, choice: "quince".into() },
+                (0, 1) => VoteOp::CreateElection {
+                    title: "Board 2026".into(),
+                },
+                (n, _) if n % 2 == 0 => VoteOp::CastVote {
+                    election: 1,
+                    choice: "apricot".into(),
+                },
+                _ => VoteOp::CastVote {
+                    election: 1,
+                    choice: "quince".into(),
+                },
             };
             (op.encode(), false)
         })
     });
     cluster.run_for(SimDuration::from_millis(400));
-    println!("\nvotes processed: {} operations completed", cluster.completed());
+    println!(
+        "\nvotes processed: {} operations completed",
+        cluster.completed()
+    );
 
     // Tally through the read-only fast path.
     let tally_client = cluster.clients[0];
-    cluster.sim.with_node_ctx::<ClientHost, _>(tally_client, |host, ctx| {
-        host.client.is_member().then_some(()).expect("member");
-        let res = host
-            .client
-            .submit(VoteOp::Tally { election: 1 }.encode(), true, ctx.now().as_nanos());
-        for out in res.outputs {
-            if let pbft_core::Output::Send { to: pbft_core::NetTarget::Replica(r), packet, .. } =
-                out
-            {
-                ctx.send(simnet::NodeId(r.0), packet);
+    cluster
+        .sim
+        .with_node_ctx::<ClientHost, _>(tally_client, |host, ctx| {
+            host.client.is_member().then_some(()).expect("member");
+            let res = host.client.submit(
+                VoteOp::Tally { election: 1 }.encode(),
+                true,
+                ctx.now().as_nanos(),
+            );
+            for out in res.outputs {
+                if let pbft_core::Output::Send {
+                    to: pbft_core::NetTarget::Replica(r),
+                    packet,
+                    ..
+                } = out
+                {
+                    ctx.send(simnet::NodeId(r.0), packet);
+                }
             }
-        }
-    });
+        });
     cluster.run_for(SimDuration::from_millis(200));
     let host = cluster
         .sim

@@ -15,8 +15,15 @@ use pbft_core::PbftConfig;
 use simnet::SimDuration;
 
 fn main() {
-    let cfg = PbftConfig { checkpoint_interval: 64, ..Default::default() };
-    let spec = ClusterSpec { cfg, num_clients: 4, ..Default::default() };
+    let cfg = PbftConfig {
+        checkpoint_interval: 64,
+        ..Default::default()
+    };
+    let spec = ClusterSpec {
+        cfg,
+        num_clients: 4,
+        ..Default::default()
+    };
     let mut cluster = Cluster::build(spec);
 
     // Drop 30% of packets from every client to replica 3 (the paper saw

@@ -13,7 +13,10 @@ use simnet::SimDuration;
 fn main() {
     // The default spec is the paper's preferred configuration:
     // sta_mac_allbig_batch, 12 clients, 4 replicas, LAN links.
-    let mut spec = ClusterSpec { trace: true, ..Default::default() };
+    let mut spec = ClusterSpec {
+        trace: true,
+        ..Default::default()
+    };
     spec.num_clients = 4;
     let mut cluster = Cluster::build(spec);
 
@@ -25,8 +28,21 @@ fn main() {
 
     println!("--- Figure 1: normal-case operation (first traced packets) ---");
     let names = [
-        "", "request", "pre-prepare", "prepare", "commit", "reply", "checkpoint", "view-change",
-        "new-view", "new-key", "status", "fetch", "fetch-resp", "body-fetch", "body-resp",
+        "",
+        "request",
+        "pre-prepare",
+        "prepare",
+        "commit",
+        "reply",
+        "checkpoint",
+        "view-change",
+        "new-view",
+        "new-key",
+        "status",
+        "fetch",
+        "fetch-resp",
+        "body-fetch",
+        "body-resp",
     ];
     let trace = cluster.sim.take_trace();
     for entry in trace

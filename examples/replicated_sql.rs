@@ -18,22 +18,28 @@ use simnet::SimDuration;
 fn submit_sql(cluster: &mut Cluster, client: usize, sql: &str, read_only: bool) {
     let id = cluster.clients[client];
     let sql = sql.to_string();
-    cluster.sim.with_node_ctx::<ClientHost, _>(id, move |host, ctx| {
-        let res = host.client.submit(sql.into_bytes(), read_only, ctx.now().as_nanos());
-        for out in res.outputs {
-            if let pbft_core::Output::Send { to, packet, .. } = out {
-                match to {
-                    pbft_core::NetTarget::Replica(r) => ctx.send(simnet::NodeId(r.0), packet),
-                    pbft_core::NetTarget::Client(a) => ctx.send(simnet::NodeId(a), packet),
+    cluster
+        .sim
+        .with_node_ctx::<ClientHost, _>(id, move |host, ctx| {
+            let res = host
+                .client
+                .submit(sql.into_bytes(), read_only, ctx.now().as_nanos());
+            for out in res.outputs {
+                if let pbft_core::Output::Send { to, packet, .. } = out {
+                    match to {
+                        pbft_core::NetTarget::Replica(r) => ctx.send(simnet::NodeId(r.0), packet),
+                        pbft_core::NetTarget::Client(a) => ctx.send(simnet::NodeId(a), packet),
+                    }
                 }
             }
-        }
-    });
+        });
     cluster.run_for(SimDuration::from_millis(50));
 }
 
 fn last_outcome(cluster: &Cluster, client: usize) -> Option<WireOutcome> {
-    let host = cluster.sim.node_ref::<ClientHost>(cluster.clients[client])?;
+    let host = cluster
+        .sim
+        .node_ref::<ClientHost>(cluster.clients[client])?;
     host.events.iter().rev().find_map(|e| match e {
         pbft_core::ClientEvent::ReplyDelivered { result, .. } => decode_outcome(result),
         _ => None,
@@ -42,7 +48,9 @@ fn last_outcome(cluster: &Cluster, client: usize) -> Option<WireOutcome> {
 
 fn main() {
     let spec = ClusterSpec {
-        app: AppKind::Sql { journal: JournalMode::Rollback },
+        app: AppKind::Sql {
+            journal: JournalMode::Rollback,
+        },
         num_clients: 2,
         ..Default::default()
     };
@@ -56,8 +64,9 @@ fn main() {
         "CREATE TABLE ballots (id INTEGER PRIMARY KEY, voter TEXT, vote TEXT, ts INTEGER, rnd INTEGER)",
         false,
     );
-    for (i, (voter, vote)) in
-        [("ada", "yes"), ("bob", "no"), ("cyd", "yes")].iter().enumerate()
+    for (i, (voter, vote)) in [("ada", "yes"), ("bob", "no"), ("cyd", "yes")]
+        .iter()
+        .enumerate()
     {
         submit_sql(
             &mut cluster,

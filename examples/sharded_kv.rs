@@ -31,7 +31,9 @@ fn main() {
     let spec = ShardedClusterSpec {
         shards,
         base: ClusterSpec {
-            app: AppKind::Sql { journal: JournalMode::Rollback },
+            app: AppKind::Sql {
+                journal: JournalMode::Rollback,
+            },
             num_clients: 6,
             ..Default::default()
         },
@@ -44,7 +46,11 @@ fn main() {
     for (s, tps) in t.per_shard_tps.iter().enumerate() {
         println!("  shard {s}: {tps:>6.0} committed inserts/s");
     }
-    println!("  aggregate: {:>6.0} TPS   balance: {}", t.aggregate_tps(), t.balance());
+    println!(
+        "  aggregate: {:>6.0} TPS   balance: {}",
+        t.aggregate_tps(),
+        t.balance()
+    );
     let m = kv.router_metrics();
     println!(
         "  router: {} ops routed home, {} skipped as foreign (owned by another group)",
@@ -70,6 +76,9 @@ fn main() {
     println!("  (atomic cross-shard writes go through 2PC — see examples/bank_transfer.rs)");
 
     kv.quiesce(SimDuration::from_secs(1));
-    assert!(kv.states_converged(), "every group's replicas agree on its partition");
+    assert!(
+        kv.states_converged(),
+        "every group's replicas agree on its partition"
+    );
     println!("\nall groups quiesced and internally convergent.");
 }

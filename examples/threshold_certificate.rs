@@ -33,7 +33,11 @@ fn main() {
     // Each replica keeps its share in local memory only — shares are never
     // part of the replicated state, so they never cross the network.
     let (group, shares) = ThresholdGroup::deal(0xD401, 2, 4);
-    println!("dealt a ({}, {}) threshold group", group.threshold(), group.n());
+    println!(
+        "dealt a ({}, {}) threshold group",
+        group.threshold(),
+        group.n()
+    );
 
     // Four replicas of the e-voting service. (Driving the full agreement
     // protocol is examples/evoting.rs's job; here every replica executes
@@ -41,8 +45,9 @@ fn main() {
     let voters = [("alice", "pw1"), ("bob", "pw2"), ("carol", "pw3")];
     let mut replicas: Vec<EvotingApp> = (0..4)
         .map(|i| {
-            let state: StateHandle =
-                Rc::new(RefCell::new(PagedState::new(LIB_REGION_PAGES as usize + 512)));
+            let state: StateHandle = Rc::new(RefCell::new(PagedState::new(
+                LIB_REGION_PAGES as usize + 512,
+            )));
             let mut app = EvotingApp::open(state, JournalMode::Rollback, &voters);
             app.set_threshold_share(shares[i]);
             app
@@ -51,13 +56,39 @@ fn main() {
 
     // The agreed operation order: create an election, three votes.
     let ops = [
-        (ClientId(1), VoteOp::CreateElection { title: "best consensus".into() }),
-        (ClientId(1), VoteOp::CastVote { election: 1, choice: "pbft".into() }),
-        (ClientId(2), VoteOp::CastVote { election: 1, choice: "pbft".into() }),
-        (ClientId(3), VoteOp::CastVote { election: 1, choice: "paxos".into() }),
+        (
+            ClientId(1),
+            VoteOp::CreateElection {
+                title: "best consensus".into(),
+            },
+        ),
+        (
+            ClientId(1),
+            VoteOp::CastVote {
+                election: 1,
+                choice: "pbft".into(),
+            },
+        ),
+        (
+            ClientId(2),
+            VoteOp::CastVote {
+                election: 1,
+                choice: "pbft".into(),
+            },
+        ),
+        (
+            ClientId(3),
+            VoteOp::CastVote {
+                election: 1,
+                choice: "paxos".into(),
+            },
+        ),
     ];
     for (seq, (client, op)) in ops.iter().enumerate() {
-        let nondet = NonDet { timestamp_ns: 1_000 + seq as u64, random: 42 + seq as u64 };
+        let nondet = NonDet {
+            timestamp_ns: 1_000 + seq as u64,
+            random: 42 + seq as u64,
+        };
         for r in &mut replicas {
             r.execute(*client, &op.encode(), &nondet, false);
         }
@@ -67,18 +98,23 @@ fn main() {
     // An auditor asks replicas 1 and 3 (evaluation points 1 and 3) for
     // partial signatures over the tally.
     let signer_set = vec![1u32, 3];
-    let certify = VoteOp::Certify { election: 1, participants: signer_set.clone() };
-    let nondet = NonDet { timestamp_ns: 9_000, random: 0 };
+    let certify = VoteOp::Certify {
+        election: 1,
+        participants: signer_set.clone(),
+    };
+    let nondet = NonDet {
+        timestamp_ns: 9_000,
+        random: 0,
+    };
     let mut replies = Vec::new();
     for &x in &signer_set {
-        let (bytes, _) = replicas[(x - 1) as usize].execute(
-            ClientId(9),
-            &certify.encode(),
-            &nondet,
-            true,
-        );
+        let (bytes, _) =
+            replicas[(x - 1) as usize].execute(ClientId(9), &certify.encode(), &nondet, true);
         let reply = CertifyReply::decode(&bytes).expect("certify reply decodes");
-        println!("replica {x} answered with partial signature (x = {})", reply.partial.x);
+        println!(
+            "replica {x} answered with partial signature (x = {})",
+            reply.partial.x
+        );
         replies.push(reply);
     }
 
@@ -92,13 +128,19 @@ fn main() {
 
     // A single replica cannot certify on its own...
     let lone = assemble_certificate(&group, &replies[..1]);
-    println!("\nsingle-replica certification attempt: {:?}", lone.err().map(|e| e.to_string()));
+    println!(
+        "\nsingle-replica certification attempt: {:?}",
+        lone.err().map(|e| e.to_string())
+    );
 
     // ...and a Byzantine replica lying about the tally is caught.
     let mut lying = replies.clone();
     lying[1].tally[9] ^= 1;
     let caught = assemble_certificate(&group, &lying);
-    println!("byzantine tally mismatch: {:?}", caught.err().map(|e| e.to_string()));
+    println!(
+        "byzantine tally mismatch: {:?}",
+        caught.err().map(|e| e.to_string())
+    );
 
     // And a tampered certificate fails third-party verification.
     let mut forged = cert.clone();

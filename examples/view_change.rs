@@ -17,7 +17,11 @@ fn main() {
         view_change_timeout_ns: 200_000_000, // suspect the primary after 200 ms
         ..Default::default()
     };
-    let spec = ClusterSpec { cfg, num_clients: 6, ..Default::default() };
+    let spec = ClusterSpec {
+        cfg,
+        num_clients: 6,
+        ..Default::default()
+    };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|_| null_ops(512));
     cluster.run_for(SimDuration::from_millis(300));
@@ -39,7 +43,10 @@ fn main() {
         assert!(r.view() >= 1, "backups moved to a new view");
     }
     let after = cluster.completed();
-    println!("\nafter failover: {after} requests completed (+{})", after - before);
+    println!(
+        "\nafter failover: {after} requests completed (+{})",
+        after - before
+    );
     assert!(after > before, "the new primary serves clients");
     cluster.quiesce(SimDuration::from_secs(1));
     assert!(cluster.states_converged(&[1, 2, 3]));

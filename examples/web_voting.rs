@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use evoting::{idbuf, decode_tally, EvotingApp, VoteOp};
+use evoting::{decode_tally, idbuf, EvotingApp, VoteOp};
 use minisql::JournalMode;
 use pbft_core::app::StateHandle;
 use pbft_core::client::{Client, ClientEvent};
@@ -43,22 +43,20 @@ struct WebDeployment {
 
 impl WebDeployment {
     fn new(voters: &[(&str, &str)]) -> WebDeployment {
-        let cfg = PbftConfig { dynamic_membership: true, ..Default::default() };
+        let cfg = PbftConfig {
+            dynamic_membership: true,
+            ..Default::default()
+        };
         let replicas = (0..4u32)
             .map(|i| {
-                let state: StateHandle =
-                    Rc::new(RefCell::new(PagedState::new(LIB_REGION_PAGES as usize + 512)));
+                let state: StateHandle = Rc::new(RefCell::new(PagedState::new(
+                    LIB_REGION_PAGES as usize + 512,
+                )));
                 let app = EvotingApp::open(state.clone(), JournalMode::Rollback, voters);
                 Replica::new(cfg.clone(), SEED, ReplicaId(i), state, Box::new(app), &[])
             })
             .collect();
-        let browser = Client::new_dynamic(
-            cfg,
-            SEED,
-            1,
-            BROWSER_ADDR,
-            idbuf("webvoter", "hunter2"),
-        );
+        let browser = Client::new_dynamic(cfg, SEED, 1, BROWSER_ADDR, idbuf("webvoter", "hunter2"));
         WebDeployment {
             replicas,
             endpoints: (0..4).map(|_| ChannelEndpoint::new()).collect(),
@@ -91,10 +89,16 @@ impl WebDeployment {
             if self.shown < 3 {
                 self.shown += 1;
                 let text = String::from_utf8_lossy(&stream[5..]).to_string();
-                let pretty = if text.len() > 120 { format!("{}…", &text[..120]) } else { text };
+                let pretty = if text.len() > 120 {
+                    format!("{}…", &text[..120])
+                } else {
+                    text
+                };
                 println!("  browser → replica {replica}: {pretty}");
             }
-            let packets = self.endpoints[replica as usize].on_bytes(&stream).expect("bridge");
+            let packets = self.endpoints[replica as usize]
+                .on_bytes(&stream)
+                .expect("bridge");
             for p in packets {
                 let res = self.replicas[replica as usize].handle_packet(&p, self.now);
                 self.route_replica(replica as usize, res.outputs);
@@ -124,7 +128,9 @@ impl WebDeployment {
     }
 
     fn submit(&mut self, op: &VoteOp) -> Vec<u8> {
-        let res = self.browser.submit(op.encode(), op.is_read_only(), self.now);
+        let res = self
+            .browser
+            .submit(op.encode(), op.is_read_only(), self.now);
         self.route_browser(res.outputs);
         self.pump();
         for e in self.browser.take_events() {
@@ -148,9 +154,14 @@ fn main() {
     println!("  joined: assigned client id {}\n", web.browser.id());
 
     println!("--- creating an election and casting a vote ---");
-    let reply = web.submit(&VoteOp::CreateElection { title: "favorite consensus".into() });
+    let reply = web.submit(&VoteOp::CreateElection {
+        title: "favorite consensus".into(),
+    });
     println!("  create election reply: {} bytes", reply.len());
-    let _ = web.submit(&VoteOp::CastVote { election: 1, choice: "pbft".into() });
+    let _ = web.submit(&VoteOp::CastVote {
+        election: 1,
+        choice: "pbft".into(),
+    });
     println!("  vote cast for 'pbft'");
 
     println!("\n--- §2.1 read-only tally over the same channels ---");
@@ -183,7 +194,13 @@ fn main() {
             println!("  {key}: {}", field.to_string_compact());
         }
     }
-    let Some(Json::String(prefix_hex)) = v.get("prefix") else { unreachable!() };
-    println!("  prefix: {}… ({} hex chars)", &prefix_hex[..32], prefix_hex.len());
+    let Some(Json::String(prefix_hex)) = v.get("prefix") else {
+        unreachable!()
+    };
+    println!(
+        "  prefix: {}… ({} hex chars)",
+        &prefix_hex[..32],
+        prefix_hex.len()
+    );
     println!("\nweb voting over JSON channels: OK");
 }

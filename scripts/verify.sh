@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate, fully offline:
-#   1. release build of every workspace crate
-#   2. the whole test suite (unit + integration + property tests)
-#   3. examples and all 15 bench targets compile
-#   4. clippy is clean across every target (warnings are errors)
-#   5. rustdoc is complete and warning-free, and the doc-examples run
+#   1. formatting is canonical (cargo fmt --check)
+#   2. release build of every workspace crate
+#   3. the whole test suite (unit + integration + property tests)
+#   4. examples and all 15 bench targets compile
+#   5. clippy is clean across every target (warnings are errors)
+#   6. rustdoc is complete and warning-free, and the doc-examples run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --release

@@ -18,7 +18,12 @@ fn throughput_ordering_matches_the_paper() {
     // The qualitative Table 1 result: optimal >> signatures, and dynamic
     // membership is (nearly) free.
     let tps = |cfg: PbftConfig| {
-        let spec = ClusterSpec { cfg, num_clients: 8, seed: 5, ..Default::default() };
+        let spec = ClusterSpec {
+            cfg,
+            num_clients: 8,
+            seed: 5,
+            ..Default::default()
+        };
         let mut cluster = Cluster::build(spec);
         cluster.start_workload(|_| null_ops(1024));
         cluster.measure_throughput(ms(200), ms(800))
@@ -50,13 +55,19 @@ fn throughput_ordering_matches_the_paper() {
 fn null_vs_sql_throughput_gap() {
     // The paper's headline: real (database) operations are far slower than
     // the null operations BFT papers advertise.
-    let spec = ClusterSpec { num_clients: 8, seed: 6, ..Default::default() };
+    let spec = ClusterSpec {
+        num_clients: 8,
+        seed: 6,
+        ..Default::default()
+    };
     let mut null_cluster = Cluster::build(spec);
     null_cluster.start_workload(|_| null_ops(1024));
     let null_tps = null_cluster.measure_throughput(ms(200), ms(800));
 
     let spec = ClusterSpec {
-        app: AppKind::Sql { journal: JournalMode::Rollback },
+        app: AppKind::Sql {
+            journal: JournalMode::Rollback,
+        },
         num_clients: 8,
         seed: 6,
         ..Default::default()
@@ -86,7 +97,9 @@ fn replica_crash_restart_rejoins_with_sql_state() {
     };
     let spec = ClusterSpec {
         cfg,
-        app: AppKind::Sql { journal: JournalMode::Rollback },
+        app: AppKind::Sql {
+            journal: JournalMode::Rollback,
+        },
         num_clients: 4,
         seed: 7,
         ..Default::default()
@@ -116,7 +129,9 @@ fn view_change_preserves_sql_state() {
     };
     let spec = ClusterSpec {
         cfg,
-        app: AppKind::Sql { journal: JournalMode::Rollback },
+        app: AppKind::Sql {
+            journal: JournalMode::Rollback,
+        },
         num_clients: 4,
         seed: 8,
         ..Default::default()
@@ -127,7 +142,10 @@ fn view_change_preserves_sql_state() {
     let before = cluster.completed();
     cluster.crash_replica(0);
     cluster.run_for(SimDuration::from_secs(3));
-    assert!(cluster.completed() > before, "progress resumed after failover");
+    assert!(
+        cluster.completed() > before,
+        "progress resumed after failover"
+    );
     for i in 1..4 {
         assert!(cluster.replica(i).expect("alive").view() >= 1);
     }
@@ -142,10 +160,16 @@ fn evoting_end_to_end_with_dynamic_members() {
         ("bob".to_string(), "pw2".to_string()),
         ("carol".to_string(), "pw3".to_string()),
     ];
-    let cfg = PbftConfig { dynamic_membership: true, ..Default::default() };
+    let cfg = PbftConfig {
+        dynamic_membership: true,
+        ..Default::default()
+    };
     let spec = ClusterSpec {
         cfg,
-        app: AppKind::Evoting { journal: JournalMode::Rollback, voters },
+        app: AppKind::Evoting {
+            journal: JournalMode::Rollback,
+            voters,
+        },
         num_clients: 3,
         seed: 9,
         ..Default::default()
@@ -167,7 +191,10 @@ fn evoting_end_to_end_with_dynamic_members() {
             let op = if i == 0 && step == 1 {
                 evoting::VoteOp::CreateElection { title: "T".into() }
             } else {
-                evoting::VoteOp::CastVote { election: 1, choice: format!("c{}", i % 2) }
+                evoting::VoteOp::CastVote {
+                    election: 1,
+                    choice: format!("c{}", i % 2),
+                }
             };
             (op.encode(), false)
         })
@@ -184,13 +211,22 @@ fn lossy_network_makes_progress_and_converges() {
     // changes all interact — the system must stay safe and live. Body
     // fetching is on (the §2.4 fix); the paper-default fragility without it
     // is demonstrated by the packet_loss bench.
-    let link = simnet::LinkParams { loss: 0.02, ..Default::default() };
+    let link = simnet::LinkParams {
+        loss: 0.02,
+        ..Default::default()
+    };
     let cfg = PbftConfig {
         checkpoint_interval: 64,
         fetch_missing_bodies: true,
         ..Default::default()
     };
-    let spec = ClusterSpec { cfg, link, num_clients: 6, seed: 10, ..Default::default() };
+    let spec = ClusterSpec {
+        cfg,
+        link,
+        num_clients: 6,
+        seed: 10,
+        ..Default::default()
+    };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|_| null_ops(512));
     cluster.run_for(SimDuration::from_secs(5));
@@ -201,8 +237,16 @@ fn lossy_network_makes_progress_and_converges() {
 
 #[test]
 fn signature_mode_cluster_is_correct_just_slow() {
-    let cfg = PbftConfig { auth: AuthMode::Signatures, ..Default::default() };
-    let spec = ClusterSpec { cfg, num_clients: 4, seed: 11, ..Default::default() };
+    let cfg = PbftConfig {
+        auth: AuthMode::Signatures,
+        ..Default::default()
+    };
+    let spec = ClusterSpec {
+        cfg,
+        num_clients: 4,
+        seed: 11,
+        ..Default::default()
+    };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|_| null_ops(256));
     cluster.run_for(SimDuration::from_secs(1));
@@ -214,7 +258,11 @@ fn signature_mode_cluster_is_correct_just_slow() {
 #[test]
 fn deterministic_runs_identical_results() {
     let run = |seed: u64| {
-        let spec = ClusterSpec { num_clients: 4, seed, ..Default::default() };
+        let spec = ClusterSpec {
+            num_clients: 4,
+            seed,
+            ..Default::default()
+        };
         let mut cluster = Cluster::build(spec);
         cluster.start_workload(|_| null_ops(256));
         cluster.run_for(ms(500));

@@ -23,8 +23,9 @@ fn merkle_incremental_equals_rebuild() {
     propcheck::check("merkle_incremental_equals_rebuild", 64, |g| {
         let n = g.usize_in(1..64);
         let updates = g.vec(0..32, |g| (g.usize_in(0..64), g.u64_in(0..1000)));
-        let mut leaves: Vec<Digest> =
-            (0..n).map(|i| Digest::of(&(i as u64).to_be_bytes())).collect();
+        let mut leaves: Vec<Digest> = (0..n)
+            .map(|i| Digest::of(&(i as u64).to_be_bytes()))
+            .collect();
         let mut tree = MerkleTree::build(leaves.clone());
         for (idx, val) in updates {
             let idx = idx % n;
@@ -153,10 +154,10 @@ fn threshold_any_quorum_signs() {
 // ----------------------------------------------------------------------
 
 const TEXT_CHARS: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J',
-    'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1',
-    '2', '3', '4', '5', '6', '7', '8', '9', ' ', '\'', '%', '_', '-',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L',
+    'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', '0', '1', '2', '3', '4',
+    '5', '6', '7', '8', '9', ' ', '\'', '%', '_', '-',
 ];
 
 fn arb_value(g: &mut Gen) -> Value {
@@ -213,15 +214,24 @@ fn btree_matches_model() {
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
-            DbOptions { journal_mode: JournalMode::Off, ..Default::default() },
-        ).expect("open");
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)").expect("create");
+            DbOptions {
+                journal_mode: JournalMode::Off,
+                ..Default::default()
+            },
+        )
+        .expect("open");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)")
+            .expect("create");
         let mut model = std::collections::BTreeMap::new();
         for op in ops {
             match op {
                 TreeOp::Insert(k, v) => {
                     let hex: String = v.iter().map(|b| format!("{b:02x}")).collect();
-                    let blob = if hex.is_empty() { "x''".to_string() } else { format!("x'{hex}'") };
+                    let blob = if hex.is_empty() {
+                        "x''".to_string()
+                    } else {
+                        format!("x'{hex}'")
+                    };
                     let res = db.execute(&format!("INSERT INTO t (id, v) VALUES ({k}, {blob})"));
                     if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
                         assert!(res.is_ok(), "insert failed: {res:?}");
@@ -231,7 +241,8 @@ fn btree_matches_model() {
                     }
                 }
                 TreeOp::Delete(k) => {
-                    db.execute(&format!("DELETE FROM t WHERE id = {k}")).expect("delete");
+                    db.execute(&format!("DELETE FROM t WHERE id = {k}"))
+                        .expect("delete");
                     model.remove(&k);
                 }
             }
@@ -258,11 +269,16 @@ fn commit_is_atomic_under_crash() {
         let mut db = Database::open(
             Box::new(MemVfs::new()),
             Box::new(MemVfs::new()),
-            DbOptions { journal_mode: JournalMode::Rollback, ..Default::default() },
-        ).expect("open");
+            DbOptions {
+                journal_mode: JournalMode::Rollback,
+                ..Default::default()
+            },
+        )
+        .expect("open");
         db.execute("CREATE TABLE t (v INTEGER)").expect("create");
         for v in &values {
-            db.execute(&format!("INSERT INTO t (v) VALUES ({v})")).expect("insert");
+            db.execute(&format!("INSERT INTO t (v) VALUES ({v})"))
+                .expect("insert");
         }
         // "Crash": reopen from the last synced images.
         let grab = |db: &mut Database| -> (MemVfs, MemVfs) {
@@ -280,8 +296,12 @@ fn commit_is_atomic_under_crash() {
         let mut reopened = Database::open(
             Box::new(dbf),
             Box::new(jf),
-            DbOptions { journal_mode: JournalMode::Rollback, ..Default::default() },
-        ).expect("reopen");
+            DbOptions {
+                journal_mode: JournalMode::Rollback,
+                ..Default::default()
+            },
+        )
+        .expect("reopen");
         let rows = reopened.query("SELECT COUNT(*) FROM t").expect("count");
         assert_eq!(&rows.rows[0][0], &Value::Integer(values.len() as i64));
     });
@@ -295,7 +315,10 @@ fn commit_is_atomic_under_crash() {
 #[test]
 fn quorum_intersection_contains_correct_replica() {
     for f in 1usize..34 {
-        let cfg = pbft_core::PbftConfig { f, ..Default::default() };
+        let cfg = pbft_core::PbftConfig {
+            f,
+            ..Default::default()
+        };
         let n = cfg.n();
         let q = cfg.quorum();
         // Two quorums overlap in at least q + q - n = f + 1 replicas, so at
@@ -326,8 +349,10 @@ fn wal_crash_recovers_synced_prefix() {
                 wal_autocheckpoint: 7, // force checkpoints mid-stream
                 ..Default::default()
             },
-        ).expect("open");
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
+        )
+        .expect("open");
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            .expect("create");
         let mut images = Vec::new();
         let snapshot = |db: &mut Database| -> (MemVfs, MemVfs) {
             let take = |src: &dyn Vfs| {
@@ -342,7 +367,8 @@ fn wal_crash_recovers_synced_prefix() {
         };
         images.push(snapshot(&mut db));
         for v in &values {
-            db.execute(&format!("INSERT INTO t (v) VALUES ({v})")).expect("insert");
+            db.execute(&format!("INSERT INTO t (v) VALUES ({v})"))
+                .expect("insert");
             images.push(snapshot(&mut db));
         }
         // Crash right after `survive` commits, with unsynced garbage
@@ -354,16 +380,26 @@ fn wal_crash_recovers_synced_prefix() {
         let mut reopened = Database::open(
             Box::new(dbf),
             Box::new(crashed),
-            DbOptions { journal_mode: JournalMode::Wal, ..Default::default() },
-        ).expect("reopen");
+            DbOptions {
+                journal_mode: JournalMode::Wal,
+                ..Default::default()
+            },
+        )
+        .expect("reopen");
         let rows = reopened.query("SELECT COUNT(*) FROM t").expect("count");
         assert_eq!(&rows.rows[0][0], &Value::Integer(survive as i64));
         // And the surviving values are exactly the prefix.
-        let rows = reopened.query("SELECT v FROM t ORDER BY id").expect("select");
-        let got: Vec<i64> = rows.rows.iter().map(|r| match r[0] {
-            Value::Integer(i) => i,
-            _ => -1,
-        }).collect();
+        let rows = reopened
+            .query("SELECT v FROM t ORDER BY id")
+            .expect("select");
+        let got: Vec<i64> = rows
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Integer(i) => i,
+                _ => -1,
+            })
+            .collect();
         assert_eq!(got, values[..survive].to_vec());
     });
 }
@@ -379,7 +415,10 @@ fn session_store_roundtrips_and_is_deterministic() {
         use pbft_core::SessionStore;
         use pbft_state::Section;
         let entries = g.btree_map(0..24, |g| g.u64(), |g| g.bytes(0..64));
-        let section = Section { base: 0, len: 4 * PAGE_SIZE as u64 };
+        let section = Section {
+            base: 0,
+            len: 4 * PAGE_SIZE as u64,
+        };
         let mut store = SessionStore::new();
         for (&c, data) in &entries {
             store.set(ClientId(c), data.clone());
@@ -388,7 +427,11 @@ fn session_store_roundtrips_and_is_deterministic() {
         let mut b = PagedState::new(4);
         store.persist(&section, &mut a).expect("persist a");
         store.persist(&section, &mut b).expect("persist b");
-        assert_eq!(a.refresh_digest(), b.refresh_digest(), "deterministic bytes");
+        assert_eq!(
+            a.refresh_digest(),
+            b.refresh_digest(),
+            "deterministic bytes"
+        );
         let back = SessionStore::load(&section, &a).expect("load");
         assert_eq!(back, store);
     });
@@ -416,48 +459,64 @@ fn arb_crud(g: &mut Gen) -> CrudOp {
 
 #[test]
 fn crud_workload_matches_model_in_every_journal_mode() {
-    propcheck::check("crud_workload_matches_model_in_every_journal_mode", 64, |g| {
-        use minisql::{Database, DbOptions, JournalMode, MemVfs};
-        let ops = g.vec(0..60, arb_crud);
-        for mode in [JournalMode::Rollback, JournalMode::Wal, JournalMode::Off] {
-            let mut db = Database::open(
-                Box::new(MemVfs::new()),
-                Box::new(MemVfs::new()),
-                DbOptions { journal_mode: mode, wal_autocheckpoint: 9, ..Default::default() },
-            ).expect("open");
-            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)").expect("create");
-            let mut model: Vec<i64> = Vec::new();
-            for op in &ops {
-                match op {
-                    CrudOp::Insert(v) => {
-                        db.execute(&format!("INSERT INTO t (v) VALUES ({v})")).expect("insert");
-                        model.push(*v);
-                    }
-                    CrudOp::DeleteWhere(v) => {
-                        db.execute(&format!("DELETE FROM t WHERE v = {v}")).expect("delete");
-                        model.retain(|x| x != v);
-                    }
-                    CrudOp::UpdateWhere(from, to) => {
-                        db.execute(&format!("UPDATE t SET v = {to} WHERE v = {from}"))
-                            .expect("update");
-                        for x in &mut model {
-                            if *x == *from {
-                                *x = *to;
+    propcheck::check(
+        "crud_workload_matches_model_in_every_journal_mode",
+        64,
+        |g| {
+            use minisql::{Database, DbOptions, JournalMode, MemVfs};
+            let ops = g.vec(0..60, arb_crud);
+            for mode in [JournalMode::Rollback, JournalMode::Wal, JournalMode::Off] {
+                let mut db = Database::open(
+                    Box::new(MemVfs::new()),
+                    Box::new(MemVfs::new()),
+                    DbOptions {
+                        journal_mode: mode,
+                        wal_autocheckpoint: 9,
+                        ..Default::default()
+                    },
+                )
+                .expect("open");
+                db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+                    .expect("create");
+                let mut model: Vec<i64> = Vec::new();
+                for op in &ops {
+                    match op {
+                        CrudOp::Insert(v) => {
+                            db.execute(&format!("INSERT INTO t (v) VALUES ({v})"))
+                                .expect("insert");
+                            model.push(*v);
+                        }
+                        CrudOp::DeleteWhere(v) => {
+                            db.execute(&format!("DELETE FROM t WHERE v = {v}"))
+                                .expect("delete");
+                            model.retain(|x| x != v);
+                        }
+                        CrudOp::UpdateWhere(from, to) => {
+                            db.execute(&format!("UPDATE t SET v = {to} WHERE v = {from}"))
+                                .expect("update");
+                            for x in &mut model {
+                                if *x == *from {
+                                    *x = *to;
+                                }
                             }
                         }
                     }
                 }
+                let rows = db.query("SELECT v FROM t ORDER BY id").expect("select");
+                let got: Vec<i64> = rows
+                    .rows
+                    .iter()
+                    .map(|r| match r[0] {
+                        Value::Integer(i) => i,
+                        _ => -1,
+                    })
+                    .collect();
+                let mut sorted_got = got.clone();
+                let mut sorted_model = model.clone();
+                sorted_got.sort_unstable();
+                sorted_model.sort_unstable();
+                assert_eq!(sorted_got, sorted_model, "mode {mode:?}");
             }
-            let rows = db.query("SELECT v FROM t ORDER BY id").expect("select");
-            let got: Vec<i64> = rows.rows.iter().map(|r| match r[0] {
-                Value::Integer(i) => i,
-                _ => -1,
-            }).collect();
-            let mut sorted_got = got.clone();
-            let mut sorted_model = model.clone();
-            sorted_got.sort_unstable();
-            sorted_model.sort_unstable();
-            assert_eq!(sorted_got, sorted_model, "mode {mode:?}");
-        }
-    });
+        },
+    );
 }

@@ -16,7 +16,10 @@ fn every_reexported_crate_is_linked() {
     let row = umbrella::minisql::encode_row(&[umbrella::minisql::Value::Integer(7)]);
     assert!(!row.is_empty());
     // simnet
-    assert_eq!(umbrella::simnet::SimDuration::from_millis(1).as_nanos(), 1_000_000);
+    assert_eq!(
+        umbrella::simnet::SimDuration::from_millis(1).as_nanos(),
+        1_000_000
+    );
     // pbft_state
     let region = umbrella::pbft_state::PagedState::new(1);
     assert_eq!(region.len(), umbrella::pbft_state::PAGE_SIZE as u64);
@@ -28,7 +31,9 @@ fn every_reexported_crate_is_linked() {
     // bridge and the SQL/evoting apps).
     let spec = umbrella::harness::ClusterSpec::default();
     assert!(spec.num_clients > 0);
-    let op = umbrella::evoting::VoteOp::CreateElection { title: "smoke".into() };
+    let op = umbrella::evoting::VoteOp::CreateElection {
+        title: "smoke".into(),
+    };
     assert!(!op.encode().is_empty());
     let json = umbrella::webgate::json::parse("{\"ok\":true}").expect("parse");
     assert_eq!(json.to_string_compact(), "{\"ok\":true}");
@@ -43,7 +48,10 @@ fn quickstart_flow_runs_end_to_end() {
     use umbrella::harness::{Cluster, ClusterSpec};
     use umbrella::simnet::SimDuration;
 
-    let mut spec = ClusterSpec { trace: true, ..Default::default() };
+    let mut spec = ClusterSpec {
+        trace: true,
+        ..Default::default()
+    };
     spec.num_clients = 4;
     let mut cluster = Cluster::build(spec);
 
@@ -56,11 +64,16 @@ fn quickstart_flow_runs_end_to_end() {
     // The trace observed the normal-case message flow.
     let trace = cluster.sim.take_trace();
     assert!(
-        trace.iter().any(|t| t.event == umbrella::simnet::TraceEvent::Sent),
+        trace
+            .iter()
+            .any(|t| t.event == umbrella::simnet::TraceEvent::Sent),
         "trace captured sent packets"
     );
 
-    assert!(cluster.completed() > 0, "closed-loop workload made progress");
+    assert!(
+        cluster.completed() > 0,
+        "closed-loop workload made progress"
+    );
     assert!(cluster.mean_latency_ms() > 0.0);
     for i in 0..4 {
         let m = cluster.replica_metrics(i);
