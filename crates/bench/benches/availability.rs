@@ -1,0 +1,110 @@
+//! **Fault-window availability** — the paper's core claim quantified: what
+//! clients experience *during* the five conformance fault scenarios
+//! (`harness::scenario::paper`). For each scenario the bench reports
+//!
+//! * steady-state throughput before the first fault,
+//! * degraded-window throughput (first fault → last repair),
+//! * the availability fraction (timeline buckets with ≥ 1 completion), and
+//! * time-to-recover after the first fault event.
+//!
+//! Every scenario must report a *finite* recovery — an `n/a` in the last
+//! column is a liveness regression and the bench exits non-zero.
+//!
+//! Run: `cargo bench --bench availability` (single-trial, a few seconds of
+//! virtual time per scenario; seeds are fixed so rows are reproducible).
+
+use harness::scenario::{paper, run_scenario, Scenario, ScenarioReport};
+use harness::testkit::{fetching_spec, ms, scenario_cluster, sharded_spec, xshard_spec};
+use harness::workload::{cross_null_txs, keyed_null_ops, null_ops};
+use harness::{ShardedCluster, XShardCluster};
+use simnet::SimDuration;
+
+/// Offered load: one op per client per 4 ms, open loop (fixed while the
+/// deployment degrades — the same pacing the conformance suite pins).
+const PACE: SimDuration = ms(4);
+
+struct Row {
+    name: &'static str,
+    steady_tps: f64,
+    degraded_tps: f64,
+    availability: f64,
+    recovery: Option<SimDuration>,
+}
+
+fn measure(scenario: &Scenario, report: &ScenarioReport) -> Row {
+    let t = &report.timeline;
+    let first_fault = report.trace.first().map(|m| m.at).unwrap_or(t.start);
+    let last_repair = report.trace.last().map(|m| m.at).unwrap_or(t.start);
+    let fault_bucket = t.bucket_index(first_fault);
+    let repair_bucket = t.bucket_index(last_repair) + 1;
+    Row {
+        name: scenario.name,
+        steady_tps: t.window_tps(0, fault_bucket),
+        degraded_tps: t.window_tps(fault_bucket, repair_bucket),
+        availability: t.availability(),
+        recovery: t.recovery_after(first_fault),
+    }
+}
+
+fn single_group(scenario: &Scenario, seed: u64) -> Row {
+    let mut cluster = scenario_cluster(4, seed);
+    cluster.start_paced_workload(PACE, |_| null_ops(64));
+    let report = run_scenario(&mut cluster, scenario);
+    measure(scenario, &report)
+}
+
+fn sharded(scenario: &Scenario, seed: u64) -> Row {
+    let mut sc = ShardedCluster::build(sharded_spec(2, fetching_spec(3, seed)));
+    sc.start_paced_keyed_workload(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+    let report = run_scenario(&mut sc, scenario);
+    measure(scenario, &report)
+}
+
+fn xshard(scenario: &Scenario, seed: u64) -> Row {
+    let mut xc = XShardCluster::build(xshard_spec(2, 4, fetching_spec(1, seed)));
+    let map = xc.sharded().router().map();
+    xc.start_paced_background(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+    xc.start_transactions(|i| cross_null_txs(map, 64, 1 << 20, i as u64));
+    let report = run_scenario(&mut xc, scenario);
+    measure(scenario, &report)
+}
+
+fn main() {
+    let rows: Vec<Row> = vec![
+        single_group(&paper::primary_crash_under_load(), 71),
+        single_group(&paper::slow_primary(), 72),
+        single_group(&paper::rolling_crash(), 73),
+        xshard(&paper::coordinator_outage(), 74),
+        sharded(&paper::partition_then_heal(), 75),
+    ];
+    println!(
+        "{:<28} {:>12} {:>14} {:>8} {:>14}",
+        "scenario", "steady tps", "degraded tps", "avail", "recovery (ms)"
+    );
+    let mut all_finite = true;
+    for r in &rows {
+        let recovery = match r.recovery {
+            Some(d) => format!("{:.0}", d.as_nanos() as f64 / 1e6),
+            None => {
+                all_finite = false;
+                "n/a".to_string()
+            }
+        };
+        println!(
+            "{:<28} {:>12.0} {:>14.0} {:>7.0}% {:>14}",
+            r.name,
+            r.steady_tps,
+            r.degraded_tps,
+            r.availability * 100.0,
+            recovery
+        );
+    }
+    println!(
+        "expectation: every scenario recovers; the degraded window, not steady state, \
+         is where the paper says practicality is decided"
+    );
+    assert!(
+        all_finite,
+        "a scenario never recovered — liveness regression"
+    );
+}

@@ -517,7 +517,20 @@ impl Client {
         let mut res = HandleResult::default();
         match kind {
             TimerKind::Retransmit => {
-                if let Some(out) = &self.outstanding {
+                if let Some(out) = &mut self.outstanding {
+                    // Castro's read-only fallback: a read-only request that
+                    // missed its optimistic 2f+1 quorum (slow, restarted or
+                    // key-less replicas) is retransmitted as a *regular*
+                    // ordered request, which needs only f+1 stable replies.
+                    // Without this, an f = 1 group with two replicas missing
+                    // this client's session key can never serve it a
+                    // read-only result — and every queued request wedges
+                    // behind the one outstanding slot.
+                    if out.req.read_only {
+                        out.req.read_only = false;
+                        out.replies.clear();
+                        out.results.clear();
+                    }
                     let req = out.req.clone();
                     let big = out.big;
                     self.metrics.retransmissions += 1;

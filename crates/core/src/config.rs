@@ -91,6 +91,14 @@ pub struct PbftConfig {
     /// Backup timer before suspecting the primary and starting a view
     /// change, in nanoseconds.
     pub view_change_timeout_ns: u64,
+    /// Multiplier applied to [`PbftConfig::view_change_timeout_ns`] per
+    /// failed view-change round (exponential backoff base; Castro uses 2).
+    /// Fault scenarios sweep this: a smaller factor retries aggressively
+    /// under churn, a larger one rides out slow-but-alive primaries.
+    pub view_change_backoff_factor: u64,
+    /// Cap on the backoff exponent: rounds beyond this all use the maximum
+    /// delay, bounding the worst-case wait for a new-view round.
+    pub view_change_backoff_max_rounds: u32,
     /// Client retransmission timeout, in nanoseconds.
     pub client_retransmit_ns: u64,
     /// Interval of the client's blind NewKey (authenticator) retransmission
@@ -129,9 +137,11 @@ impl Default for PbftConfig {
             tentative_execution: true,
             read_only_optimization: true,
             view_change_timeout_ns: 500_000_000, // 500 ms
-            client_retransmit_ns: 150_000_000,   // 150 ms
-            newkey_interval_ns: 2_000_000_000,   // 2 s
-            status_interval_ns: 150_000_000,     // 150 ms
+            view_change_backoff_factor: 2,
+            view_change_backoff_max_rounds: 10,
+            client_retransmit_ns: 150_000_000, // 150 ms
+            newkey_interval_ns: 2_000_000_000, // 2 s
+            status_interval_ns: 150_000_000,   // 150 ms
             nondet: NonDetPolicy::default(),
             fetch_missing_bodies: false,
         }
@@ -176,6 +186,16 @@ impl PbftConfig {
         } else {
             1
         }
+    }
+
+    /// The new-view round timeout for a view change targeting a view
+    /// `rounds` ahead of the current one: the base timeout scaled by the
+    /// backoff factor per round, with the exponent capped (all saturating,
+    /// so extreme knob settings clamp instead of wrapping).
+    pub fn view_change_delay_ns(&self, rounds: u64) -> u64 {
+        let exp = rounds.min(self.view_change_backoff_max_rounds as u64) as u32;
+        self.view_change_timeout_ns
+            .saturating_mul(self.view_change_backoff_factor.saturating_pow(exp))
     }
 
     /// Is a request of `size` bytes handled as "big"?
@@ -251,6 +271,33 @@ mod tests {
         let on = PbftConfig::default();
         assert_eq!(on.effective_window(), 2);
         assert_eq!(on.effective_max_batch(), 64);
+    }
+
+    #[test]
+    fn view_change_backoff_scales_and_caps() {
+        let cfg = PbftConfig {
+            view_change_timeout_ns: 100,
+            ..Default::default()
+        };
+        assert_eq!(cfg.view_change_delay_ns(0), 100);
+        assert_eq!(cfg.view_change_delay_ns(1), 200);
+        assert_eq!(cfg.view_change_delay_ns(3), 800);
+        // The exponent caps at max_rounds: further rounds share the delay.
+        assert_eq!(cfg.view_change_delay_ns(10), cfg.view_change_delay_ns(50));
+        // A unity factor disables backoff entirely.
+        let flat = PbftConfig {
+            view_change_timeout_ns: 100,
+            view_change_backoff_factor: 1,
+            ..Default::default()
+        };
+        assert_eq!(flat.view_change_delay_ns(7), 100);
+        // Extreme settings saturate instead of wrapping.
+        let extreme = PbftConfig {
+            view_change_timeout_ns: u64::MAX / 2,
+            view_change_backoff_factor: u64::MAX,
+            ..Default::default()
+        };
+        assert_eq!(extreme.view_change_delay_ns(9), u64::MAX);
     }
 
     #[test]

@@ -138,6 +138,17 @@ impl KeyStore {
         self.group_seed
     }
 
+    /// The public key a *static* deployment's configuration assigns to
+    /// `client`, derived from the deployment seed. Static configuration —
+    /// unlike session MAC keys — survives a restart, so a restarted replica
+    /// uses this to verify a client's signed blind NewKey and re-learn its
+    /// session key (the §2.3 recovery path), and to verify signature-mode
+    /// requests. Meaningless for dynamic members, whose public keys arrive
+    /// with their Join.
+    pub fn static_client_pubkey(&self, client: ClientId) -> PublicKey {
+        node_keypair(self.group_seed, None, Some(client)).public()
+    }
+
     /// Install a client session key (from a verified NewKey message).
     pub fn install_client_key(&mut self, client: ClientId, key: [u8; 32]) {
         self.client_keys.insert(client, MacKey::new(key));

@@ -320,6 +320,23 @@ impl Replica {
         self.recovering
     }
 
+    /// Fault-injection surface: cast an unjustified view-change vote, the
+    /// way a Byzantine replica spamming view changes would. Each call votes
+    /// for one view past the highest view this replica has voted for, so a
+    /// repeated caller emits a stream of escalating, *correctly
+    /// authenticated* votes. Honest deployments never call this; the
+    /// harness's `ViewChangeStorm` fault is built on it. Safety is
+    /// unaffected (view changes preserve committed prefixes by
+    /// construction); the interesting question a storm probes is how much
+    /// liveness and throughput the spam costs — a lone stormer stays below
+    /// the `f + 1` join rule, so correct replicas must keep committing.
+    pub fn force_suspect(&mut self, now_ns: u64) -> HandleResult {
+        let mut res = HandleResult::default();
+        let target = self.vc.target.unwrap_or(self.view).max(self.view) + 1;
+        self.start_view_change(target, now_ns, &mut res);
+        res
+    }
+
     /// Diagnostic snapshot of agreement state (wedge debugging in the
     /// harness; not part of the protocol).
     pub fn debug_wedge_report(&self) -> String {
@@ -555,6 +572,13 @@ impl Replica {
                     self.metrics.auth_failures += 1;
                     return;
                 }
+            } else if self.keys.client_pubkey(req.client).is_none() {
+                // Static deployments: client public keys are configuration,
+                // not session state, so a restarted replica still has them —
+                // re-derive lazily. Without this, a signature-mode request
+                // could never verify again after a restart.
+                let pk = self.keys.static_client_pubkey(req.client);
+                self.keys.install_client_pubkey(req.client, pk);
             }
             if !self
                 .keys
@@ -698,12 +722,25 @@ impl Replica {
         };
         // Resolve the client's public key: static configuration or the
         // membership session established at Join time.
-        let pubkey = self.keys.client_pubkey(nk.client).or_else(|| {
-            self.membership
-                .as_ref()
-                .and_then(|m| m.session(nk.client))
-                .map(|s| s.pubkey)
-        });
+        let pubkey = self
+            .keys
+            .client_pubkey(nk.client)
+            .or_else(|| {
+                self.membership
+                    .as_ref()
+                    .and_then(|m| m.session(nk.client))
+                    .map(|s| s.pubkey)
+            })
+            .or_else(|| {
+                // Static deployments: the client's public key is part of the
+                // (restart-surviving) configuration — derive it so the blind
+                // NewKey can be verified and the session key re-learned, the
+                // §2.3 recovery this retransmission exists for. Before this
+                // fallback a replica restarted with empty tables could never
+                // re-admit any client: the NewKey needs the pubkey, and the
+                // pubkey only arrived at construction.
+                (self.membership.is_none()).then(|| self.keys.static_client_pubkey(nk.client))
+            });
         let Some(pubkey) = pubkey else {
             self.metrics.auth_failures += 1;
             return;

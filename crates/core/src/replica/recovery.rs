@@ -19,7 +19,7 @@ use pbft_crypto::Digest;
 use pbft_state::{serve_fetch, FetchRequest, FetchResponse, Fetcher};
 
 use crate::membership::Membership;
-use crate::messages::{FetchMsg, FetchRespMsg, Message, StatusMsg};
+use crate::messages::{CheckpointMsg, FetchMsg, FetchRespMsg, Message, StatusMsg};
 use crate::output::{HandleResult, NetTarget, Output, TimerKind};
 use crate::types::SeqNum;
 
@@ -55,10 +55,23 @@ impl Replica {
             Some(&t) => now_ns.saturating_sub(t) >= self.cfg.status_interval_ns / 2,
             None => true, // never helped this peer yet
         };
-        if they_are_behind && help_due {
+        // A peer whose *stable checkpoint* sits below a checkpoint this
+        // replica holds needs checkpoint votes, not agreement messages —
+        // even when its executed position matches ours exactly. (After
+        // view-change churn the original vote multicasts can all be lost
+        // while every member still holds its checkpoints; without a
+        // re-broadcast no boundary ever collects 2f+1 votes again and the
+        // primary wedges at the high watermark with the group idle.)
+        let ckpt_behind = self
+            .checkpoints
+            .keys()
+            .next_back()
+            .is_some_and(|&top| s.last_stable_seq < top);
+        if (they_are_behind || ckpt_behind) && help_due {
             self.last_peer_help.insert(s.replica, now_ns);
             self.send_plain(NetTarget::Replica(s.replica), Message::Status(mine), res);
             self.retransmit_for_lagging_peer(&s, res);
+            self.resend_checkpoint_votes(&s, res);
         }
         // f+1 matching stable-checkpoint reports ahead of us are a valid
         // proof (one of them is correct, and correct replicas only report
@@ -109,6 +122,32 @@ impl Replica {
         res.outputs.push(Output::CancelTimer {
             kind: TimerKind::NewViewTimeout,
         });
+    }
+
+    /// Re-send this replica's checkpoint votes for retained checkpoints
+    /// above the peer's reported stable sequence, newest first (bounded).
+    /// Votes below the peer's stable are ignored on arrival, so repeats are
+    /// harmless; the caller's help rate-limit bounds the traffic.
+    fn resend_checkpoint_votes(&mut self, s: &StatusMsg, res: &mut HandleResult) {
+        const MAX_VOTES: usize = 2;
+        let me = self.id();
+        let msgs: Vec<Message> = self
+            .checkpoints
+            .iter()
+            .rev()
+            .filter(|&(&seq, _)| seq > s.last_stable_seq)
+            .take(MAX_VOTES)
+            .map(|(&seq, snap)| {
+                Message::Checkpoint(CheckpointMsg {
+                    seq,
+                    root: snap.root,
+                    replica: me,
+                })
+            })
+            .collect();
+        for msg in msgs {
+            self.send_authenticated(NetTarget::Replica(s.replica), msg, res);
+        }
     }
 
     /// Re-send agreement messages a lagging peer is missing: our own

@@ -49,12 +49,10 @@ impl Replica {
             .or_default()
             .insert(me, vc.clone());
         self.multicast(Message::ViewChange(vc), res);
-        // Exponential backoff across failed rounds.
-        let rounds = (target - self.view).min(10);
-        let delay = self.cfg.view_change_timeout_ns.saturating_mul(1 << rounds);
+        // Exponential backoff across failed rounds (knobs in `PbftConfig`).
         res.outputs.push(Output::SetTimer {
             kind: TimerKind::NewViewTimeout,
-            delay_ns: delay,
+            delay_ns: self.cfg.view_change_delay_ns(target - self.view),
         });
         self.try_build_new_view(target, now_ns, res);
     }
@@ -153,9 +151,17 @@ impl Replica {
             }
         }
         for pp in o {
-            if pp.seq <= self.last_executed {
-                continue; // already executed in the previous view
-            }
+            // Process every re-issued pre-prepare — *including* sequences
+            // this replica already executed in a previous view. Peers that
+            // lag may need this replica's prepare/commit votes to
+            // re-assemble quorums in the new view: if the advanced replicas
+            // sat out, a group whose checkpoint never stabilized past the
+            // lag point could never commit the gap again (the lagging
+            // members cannot state-transfer to a checkpoint only a minority
+            // holds) — a permanent wedge. Re-executing is not a risk:
+            // execution is keyed off `last_executed`, which never moves
+            // backwards here (the tentative prefix was already rolled back
+            // above).
             self.on_preprepare(pp, now_ns, true, res);
         }
         self.vc_timer_armed = false;
@@ -234,6 +240,14 @@ impl Replica {
             e.executed = true;
             e.tentative = false;
             self.last_executed = seq;
+            // Take interval-boundary checkpoints exactly like the normal
+            // execution path: the state at this instant *is* the post-`seq`
+            // image, so the snapshot is correct. Skipping them here left a
+            // replica that rolled back through a boundary permanently
+            // unable to vote for it — and a group where every member did
+            // (view-change churn) could never stabilize the boundary, never
+            // advance the low watermark, and wedged at the high watermark.
+            self.maybe_checkpoint(seq, res);
         }
         // Anything beyond the committed prefix is no longer executed.
         let last = self.last_executed;

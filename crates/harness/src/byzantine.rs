@@ -17,14 +17,28 @@
 //!   so conflicting, *correctly authenticated* pre-prepares are sent for
 //!   the same sequence numbers. Safety must hold: no two correct replicas
 //!   execute different batches at the same sequence.
+//! * [`Fault::SlowPrimary`] — the paper's hardest liveness case: a primary
+//!   that is *slow but not dead*. Every message is eventually processed and
+//!   every send eventually leaves — nothing is dropped, authentication
+//!   never fails — so only the backups' view-change timeouts can evict it.
+//! * [`Fault::ViewChangeStorm`] — a replica that spams escalating,
+//!   correctly authenticated view-change votes. A lone stormer stays below
+//!   the `f + 1` join rule, so the group must keep committing; the storm
+//!   taxes bandwidth and vote bookkeeping instead.
 //!
 //! The split-brain construction is the strongest: it cannot be detected by
 //! authentication (every message is genuinely signed by the primary) and
 //! exercises the prepare-quorum intersection argument directly.
+//!
+//! Faults are *mountable at runtime*: a [`FaultyReplicaHost`] built with
+//! [`FaultyReplicaHost::honest`] behaves exactly like the plain host until a
+//! scenario mounts a fault mid-run ([`FaultyReplicaHost::mount`]) and later
+//! unmounts it ([`FaultyReplicaHost::unmount`]). The scenario engine
+//! (`crate::scenario`) schedules those calls on the virtual clock.
 
 use pbft_core::replica::Replica;
 use pbft_core::{NetTarget, Output};
-use simnet::{Node, NodeCtx, NodeId, TimerId};
+use simnet::{Node, NodeCtx, NodeId, SimDuration, TimerId};
 
 use crate::cluster::{make_engine, Cluster, ClusterSpec};
 use crate::cost::CostModel;
@@ -41,6 +55,20 @@ pub enum Fault {
     /// Run two engines with the same identity, each talking to a disjoint
     /// half of the backups (equivocation with valid authentication).
     SplitBrain,
+    /// Process every packet and timer `delay_ns` slower than honest peers:
+    /// the replica falls behind, its sends leave late, but nothing is ever
+    /// dropped — the slow-but-not-dead primary the paper singles out, which
+    /// timeouts alone must catch.
+    SlowPrimary {
+        /// Extra virtual CPU charged per handled packet/timer.
+        delay_ns: u64,
+    },
+    /// Spam escalating view-change votes every `period_ns`, regardless of
+    /// whether the primary misbehaves (see [`Replica::force_suspect`]).
+    ViewChangeStorm {
+        /// Interval between vote bursts.
+        period_ns: u64,
+    },
 }
 
 /// Message discriminants (first payload byte) this module inspects.
@@ -48,19 +76,31 @@ const TAG_PREPARE: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_REPLY: u8 = 5;
 
-/// A replica host that misbehaves.
+/// The host-private timer driving [`Fault::ViewChangeStorm`] bursts. Far
+/// outside the engine's `TimerKind` index range, so the two cannot collide.
+const STORM_TIMER: TimerId = TimerId(1_000);
+
+/// A replica host that can misbehave.
 pub struct FaultyReplicaHost {
     /// Engine(s): one, or two for [`Fault::SplitBrain`].
     pub engines: Vec<Replica>,
-    fault: Fault,
+    /// Cumulative work record of engine 0 (cost-model inputs), matching
+    /// [`crate::cluster::ReplicaHost::cum_counts`] so experiment accessors
+    /// work on fault-ready clusters too.
+    pub cum_counts: pbft_core::OpCounts,
+    fault: Option<Fault>,
     model: CostModel,
     /// Group size (to map `NetTarget` to node ids).
     n: usize,
+    /// Whether this host was mounted by a restart (passed to the engine's
+    /// `on_start` so it runs its recovery path).
+    restarted: bool,
 }
 
 impl FaultyReplicaHost {
-    /// Wrap `replica` with `fault`. For [`Fault::SplitBrain`] pass the twin
-    /// engine created with [`make_engine`] for the same id.
+    /// Wrap `replica` with `fault` mounted from the start. For
+    /// [`Fault::SplitBrain`] pass the twin engine created with
+    /// [`make_engine`] for the same id.
     pub fn new(
         replica: Replica,
         twin: Option<Replica>,
@@ -79,10 +119,71 @@ impl FaultyReplicaHost {
         }
         FaultyReplicaHost {
             engines,
-            fault,
+            cum_counts: Default::default(),
+            fault: Some(fault),
             model,
             n,
+            restarted: false,
         }
+    }
+
+    /// Wrap `replica` with *no* fault mounted: behaviour is identical to the
+    /// plain honest host, but a scenario can mount one later. This is how
+    /// fault-ready clusters are built (see
+    /// [`Cluster::build_fault_ready`](crate::cluster::Cluster::build_fault_ready)).
+    pub fn honest(replica: Replica, model: CostModel, n: usize) -> Self {
+        FaultyReplicaHost {
+            engines: vec![replica],
+            cum_counts: Default::default(),
+            fault: None,
+            model,
+            n,
+            restarted: false,
+        }
+    }
+
+    /// [`FaultyReplicaHost::honest`], flagged as a restart so the engine
+    /// runs its recovery path on mount.
+    pub fn honest_restarted(replica: Replica, model: CostModel, n: usize) -> Self {
+        FaultyReplicaHost {
+            restarted: true,
+            ..Self::honest(replica, model, n)
+        }
+    }
+
+    /// The currently mounted fault, if any.
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
+    }
+
+    /// Mount `fault` at runtime (replacing any current one). Needs the node
+    /// context so time-driven faults can arm their timers — reach it with
+    /// [`simnet::Simulator::with_node_ctx`], or use
+    /// [`Cluster::mount_fault`](crate::cluster::Cluster::mount_fault).
+    ///
+    /// # Panics
+    /// Panics on [`Fault::SplitBrain`] unless the host was built with a twin
+    /// engine: the second brain cannot be conjured mid-run (it must share
+    /// the whole protocol history).
+    pub fn mount(&mut self, fault: Fault, ctx: &mut NodeCtx<'_>) {
+        assert!(
+            fault != Fault::SplitBrain || self.engines.len() == 2,
+            "split-brain needs a twin engine from construction"
+        );
+        self.fault = Some(fault);
+        if let Fault::ViewChangeStorm { period_ns } = fault {
+            ctx.set_timer(STORM_TIMER, SimDuration::from_nanos(period_ns));
+        }
+    }
+
+    /// Unmount the current fault: the replica behaves honestly again (it
+    /// keeps whatever protocol state the fault got it into — recovery from
+    /// that is the protocol's job).
+    pub fn unmount(&mut self, ctx: &mut NodeCtx<'_>) {
+        if matches!(self.fault, Some(Fault::ViewChangeStorm { .. })) {
+            ctx.cancel_timer(STORM_TIMER);
+        }
+        self.fault = None;
     }
 
     /// Does `engine_idx` get to talk to `dst` under the current fault?
@@ -92,7 +193,7 @@ impl FaultyReplicaHost {
     /// {1} vs {2, 3} — neither audience alone can assemble a prepare quorum
     /// for a conflicting batch... unless the protocol is broken.)
     fn audience_allows(&self, engine_idx: usize, dst: NodeId) -> bool {
-        if self.fault != Fault::SplitBrain {
+        if self.fault != Some(Fault::SplitBrain) {
             return true;
         }
         let is_replica = (dst.0 as usize) < self.n;
@@ -114,12 +215,22 @@ impl FaultyReplicaHost {
     fn transform(&self, packet: Vec<u8>, to_client: bool) -> Option<Vec<u8>> {
         let tag = packet.first().copied().unwrap_or(0);
         match self.fault {
-            Fault::Mute => None,
-            Fault::TamperReplies if to_client && tag == TAG_REPLY => Some(corrupt(packet)),
-            Fault::TamperAgreement if !to_client && (tag == TAG_PREPARE || tag == TAG_COMMIT) => {
+            Some(Fault::Mute) => None,
+            Some(Fault::TamperReplies) if to_client && tag == TAG_REPLY => Some(corrupt(packet)),
+            Some(Fault::TamperAgreement)
+                if !to_client && (tag == TAG_PREPARE || tag == TAG_COMMIT) =>
+            {
                 Some(corrupt(packet))
             }
             _ => Some(packet),
+        }
+    }
+
+    /// Extra per-invocation CPU under [`Fault::SlowPrimary`].
+    fn slowdown(&self) -> SimDuration {
+        match self.fault {
+            Some(Fault::SlowPrimary { delay_ns }) => SimDuration::from_nanos(delay_ns),
+            _ => SimDuration::ZERO,
         }
     }
 
@@ -157,14 +268,22 @@ impl FaultyReplicaHost {
 impl Node for FaultyReplicaHost {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         for i in 0..self.engines.len() {
-            let res = self.engines[i].on_start(ctx.now().as_nanos() + i as u64, false);
+            let restarted = self.restarted;
+            let res = self.engines[i].on_start(ctx.now().as_nanos() + i as u64, restarted);
+            if i == 0 {
+                self.cum_counts.add(&res.counts);
+            }
             ctx.charge(self.model.charge_counts(&res.counts));
             self.route(i, res.outputs, ctx);
+        }
+        if let Some(Fault::ViewChangeStorm { period_ns }) = self.fault {
+            ctx.set_timer(STORM_TIMER, SimDuration::from_nanos(period_ns));
         }
     }
 
     fn on_packet(&mut self, _src: NodeId, payload: &[u8], ctx: &mut NodeCtx<'_>) {
         ctx.charge(self.model.packet_cost(payload.len()));
+        ctx.charge(self.slowdown());
         for i in 0..self.engines.len() {
             // The twin's clock is skewed by its index (nanoseconds): the
             // brains are otherwise deterministic twins and would issue
@@ -172,17 +291,35 @@ impl Node for FaultyReplicaHost {
             // non-determinism data, so their batches genuinely conflict
             // while every message stays correctly authenticated.
             let res = self.engines[i].handle_packet(payload, ctx.now().as_nanos() + i as u64);
+            if i == 0 {
+                self.cum_counts.add(&res.counts);
+            }
             ctx.charge(self.model.charge_counts(&res.counts));
             self.route(i, res.outputs, ctx);
         }
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
+        if timer == STORM_TIMER {
+            // One burst per period, while the storm stays mounted.
+            if let Some(Fault::ViewChangeStorm { period_ns }) = self.fault {
+                let res = self.engines[0].force_suspect(ctx.now().as_nanos());
+                self.cum_counts.add(&res.counts);
+                ctx.charge(self.model.charge_counts(&res.counts));
+                self.route(0, res.outputs, ctx);
+                ctx.set_timer(STORM_TIMER, SimDuration::from_nanos(period_ns));
+            }
+            return;
+        }
         let Some(kind) = pbft_core::TimerKind::from_index(timer.0) else {
             return;
         };
+        ctx.charge(self.slowdown());
         for i in 0..self.engines.len() {
             let res = self.engines[i].on_timer(kind, ctx.now().as_nanos() + i as u64);
+            if i == 0 {
+                self.cum_counts.add(&res.counts);
+            }
             ctx.charge(self.model.charge_counts(&res.counts));
             self.route(i, res.outputs, ctx);
         }
@@ -200,6 +337,7 @@ fn corrupt(mut packet: Vec<u8>) -> Vec<u8> {
 }
 
 /// Build a cluster where `faulty` misbehaves per `fault`; all other replicas
+/// are honest but fault-ready (scenarios can mount faults on them later),
 /// and all clients are honest.
 pub fn build_faulty_cluster(spec: ClusterSpec, faulty: u32, fault: Fault) -> Cluster {
     let n = spec.cfg.n();
@@ -210,7 +348,7 @@ pub fn build_faulty_cluster(spec: ClusterSpec, faulty: u32, fault: Fault) -> Clu
             let twin = (fault == Fault::SplitBrain).then(|| make_engine(&spec_for_twin, i));
             Box::new(FaultyReplicaHost::new(replica, twin, fault, cost, n))
         } else {
-            Box::new(crate::cluster::ReplicaHost::new(replica, cost))
+            Box::new(FaultyReplicaHost::honest(replica, cost, n))
         }
     })
 }
@@ -246,5 +384,32 @@ mod tests {
         // Clients (ids ≥ n) hear engine 0 only.
         assert!(host.audience_allows(0, NodeId(n as u32 + 3)));
         assert!(!host.audience_allows(1, NodeId(n as u32 + 3)));
+    }
+
+    #[test]
+    fn honest_host_passes_everything_through() {
+        let spec = ClusterSpec::default();
+        let host = FaultyReplicaHost::honest(make_engine(&spec, 1), CostModel::default(), 4);
+        assert_eq!(host.fault(), None);
+        assert_eq!(host.slowdown(), SimDuration::ZERO);
+        assert!(host.audience_allows(0, NodeId(2)));
+        let packet = vec![TAG_REPLY, 1, 2, 3];
+        assert_eq!(host.transform(packet.clone(), true), Some(packet));
+    }
+
+    #[test]
+    fn slow_primary_charges_but_never_drops() {
+        let spec = ClusterSpec::default();
+        let mut host = FaultyReplicaHost::honest(make_engine(&spec, 0), CostModel::default(), 4);
+        host.fault = Some(Fault::SlowPrimary { delay_ns: 750_000 });
+        assert_eq!(host.slowdown(), SimDuration::from_nanos(750_000));
+        for tag in [TAG_PREPARE, TAG_COMMIT, TAG_REPLY] {
+            let packet = vec![tag, 9, 9];
+            assert_eq!(
+                host.transform(packet.clone(), tag == TAG_REPLY),
+                Some(packet),
+                "slow ≠ lossy: every message passes through"
+            );
+        }
     }
 }

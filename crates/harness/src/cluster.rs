@@ -12,8 +12,13 @@ use pbft_sql::{CostProfile, SqlApp};
 use pbft_state::PagedState;
 use simnet::{LinkParams, Node, NodeCtx, NodeId, SimConfig, SimDuration, Simulator, TimerId};
 
+use crate::byzantine::{Fault, FaultyReplicaHost};
 use crate::cost::CostModel;
 use crate::workload::{OpGen, SQL_BENCH_SCHEMA};
+
+/// The host-private timer driving open-loop (paced) clients. Far outside
+/// the engine's `TimerKind` index range, so the two cannot collide.
+const PACE_TIMER: TimerId = TimerId(1_001);
 
 /// The deployment's key-material seed (identical across trials so that only
 /// network randomness varies between seeds).
@@ -194,6 +199,8 @@ impl ClientHost {
             gen: None,
             issued: 0,
             events: Vec::new(),
+            pace: None,
+            missed_slots: 0,
         }
     }
 }
@@ -222,8 +229,19 @@ impl Node for ReplicaHost {
     }
 }
 
-/// A client mounted as a simulator node, optionally running a closed-loop
-/// workload.
+/// A client mounted as a simulator node, optionally running a workload.
+///
+/// Two driving modes:
+///
+/// * **closed loop** (the default, the paper's §4 testbed): the next
+///   operation is issued the moment the previous reply arrives, so offered
+///   load adapts to service capacity;
+/// * **open loop** ([`Cluster::start_paced_workload`]): operations are
+///   issued on a fixed pacing interval regardless of replies — except that
+///   PBFT allows one outstanding request per client, so a slot whose
+///   previous request is still in flight is *skipped* and counted in
+///   [`ClientHost::missed_slots`]. Missed slots are the client-visible
+///   unavailability signal fault scenarios measure.
 pub struct ClientHost {
     /// The client engine.
     pub client: Client,
@@ -232,17 +250,41 @@ pub struct ClientHost {
     issued: u64,
     /// Join/reply events observed (drained by experiments).
     pub events: Vec<ClientEvent>,
+    /// Open-loop pacing interval; `None` = closed loop.
+    pace: Option<SimDuration>,
+    /// Pacing slots skipped because the previous request was still
+    /// outstanding (open-loop mode only).
+    pub missed_slots: u64,
 }
 
 impl ClientHost {
+    fn issue_next(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(gen) = &mut self.gen {
+            let (op, read_only) = gen(self.issued);
+            self.issued += 1;
+            let res = self.client.submit(op, read_only, ctx.now().as_nanos());
+            apply_outputs(res, &self.model.clone(), ctx);
+        }
+    }
+
     fn pump_workload(&mut self, ctx: &mut NodeCtx<'_>) {
-        if self.client.is_member() && !self.client.has_outstanding() {
-            if let Some(gen) = &mut self.gen {
-                let (op, read_only) = gen(self.issued);
-                self.issued += 1;
-                let res = self.client.submit(op, read_only, ctx.now().as_nanos());
-                apply_outputs(res, &self.model.clone(), ctx);
-            }
+        if self.pace.is_none() && self.client.is_member() && !self.client.has_outstanding() {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_pace_slot(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(pace) = self.pace else {
+            return; // pacing stopped: let the timer die
+        };
+        ctx.set_timer(PACE_TIMER, pace);
+        if !self.client.is_member() || self.gen.is_none() {
+            return;
+        }
+        if self.client.has_outstanding() {
+            self.missed_slots += 1;
+        } else {
+            self.issue_next(ctx);
         }
     }
 }
@@ -262,6 +304,10 @@ impl Node for ClientHost {
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut NodeCtx<'_>) {
+        if timer == PACE_TIMER {
+            self.on_pace_slot(ctx);
+            return;
+        }
         let Some(kind) = TimerKind::from_index(timer.0) else {
             return;
         };
@@ -343,6 +389,17 @@ impl Cluster {
         cluster
     }
 
+    /// [`Cluster::build`] with every replica wrapped in a fault-free
+    /// [`FaultyReplicaHost`]: behaviour is identical to [`Cluster::build`],
+    /// but scenarios can [`Cluster::mount_fault`] on any member at runtime.
+    pub fn build_fault_ready(spec: ClusterSpec) -> Cluster {
+        let cost = spec.cost;
+        let n = spec.cfg.n();
+        Self::build_with(spec, move |_, replica| {
+            Box::new(FaultyReplicaHost::honest(replica, cost, n))
+        })
+    }
+
     /// [`Cluster::build`] with custom replica hosts — the hook for mounting
     /// Byzantine behaviours on selected replicas.
     pub fn build_with(
@@ -378,13 +435,7 @@ impl Cluster {
             } else {
                 Client::new_static(spec.cfg.clone(), GROUP_SEED, ClientId(c as u64 + 1), addr)
             };
-            let id = sim.add_node(Box::new(ClientHost {
-                client,
-                model: spec.cost,
-                gen: None,
-                issued: 0,
-                events: Vec::new(),
-            }));
+            let id = sim.add_node(Box::new(ClientHost::new(client, spec.cost)));
             clients.push(id);
         }
         let mut cluster = Cluster {
@@ -436,7 +487,44 @@ impl Cluster {
             let gen = make_gen(i);
             self.sim.with_node_ctx::<ClientHost, _>(id, |host, ctx| {
                 host.gen = Some(gen);
+                host.pace = None;
                 host.pump_workload(ctx);
+            });
+        }
+    }
+
+    /// Install an **open-loop** workload on every client: each issues one
+    /// operation per `pace` interval (slots with the previous request still
+    /// in flight are skipped and counted — see [`ClientHost::missed_slots`]).
+    /// Fault scenarios use this so offered load stays constant while the
+    /// cluster degrades, making the availability timeline honest.
+    pub fn start_paced_workload(
+        &mut self,
+        pace: SimDuration,
+        mut make_gen: impl FnMut(usize) -> OpGen,
+    ) {
+        let all: Vec<usize> = (0..self.clients.len()).collect();
+        self.start_paced_workload_on(&all, pace, |i| make_gen(i));
+    }
+
+    /// [`Cluster::start_paced_workload`] on a subset of clients. First slots
+    /// are staggered across the pacing interval so the fleet doesn't thunder
+    /// in lockstep (deterministically, by position in `indices`).
+    pub fn start_paced_workload_on(
+        &mut self,
+        indices: &[usize],
+        pace: SimDuration,
+        mut make_gen: impl FnMut(usize) -> OpGen,
+    ) {
+        assert!(pace > SimDuration::ZERO, "a zero pace would spin the clock");
+        for (k, &i) in indices.iter().enumerate() {
+            let id = self.clients[i];
+            let gen = make_gen(i);
+            let phase = SimDuration::from_nanos(1 + pace.as_nanos() * (k as u64 % 8) / 8);
+            self.sim.with_node_ctx::<ClientHost, _>(id, |host, ctx| {
+                host.gen = Some(gen);
+                host.pace = Some(pace);
+                ctx.set_timer(PACE_TIMER, phase);
             });
         }
     }
@@ -473,6 +561,7 @@ impl Cluster {
         for &id in &self.clients.clone() {
             if let Some(host) = self.sim.node_mut::<ClientHost>(id) {
                 host.gen = None;
+                host.pace = None;
             }
         }
         self.sim.run_for(drain);
@@ -499,23 +588,74 @@ impl Cluster {
 
     /// A replica's metrics.
     pub fn replica_metrics(&self, i: usize) -> ReplicaMetrics {
-        self.sim
-            .node_ref::<ReplicaHost>(self.replicas[i])
-            .map(|h| h.replica.metrics().clone())
+        self.replica(i)
+            .map(|r| r.metrics().clone())
             .unwrap_or_default()
     }
 
-    /// Access a replica engine.
+    /// Access a replica engine, whichever host flavor it is mounted under
+    /// (the plain [`ReplicaHost`] or a fault-ready [`FaultyReplicaHost`] —
+    /// for the latter, engine 0: the identity a split-brain twin shares).
     pub fn replica(&self, i: usize) -> Option<&Replica> {
+        let id = self.replicas[i];
+        if let Some(h) = self.sim.node_ref::<ReplicaHost>(id) {
+            return Some(&h.replica);
+        }
         self.sim
-            .node_ref::<ReplicaHost>(self.replicas[i])
-            .map(|h| &h.replica)
+            .node_ref::<FaultyReplicaHost>(id)
+            .map(|h| &h.engines[0])
+    }
+
+    /// Mount a Byzantine `fault` on member `i` at runtime. The member must
+    /// be hosted fault-ready — build the cluster with
+    /// [`Cluster::build_fault_ready`] (or `build_faulty_cluster`); restarts
+    /// of fault-ready members stay fault-ready.
+    ///
+    /// # Panics
+    /// Panics if the member is crashed or not fault-ready, or (from the
+    /// host) when mounting [`Fault::SplitBrain`] without a construction-time
+    /// twin.
+    pub fn mount_fault(&mut self, i: usize, fault: Fault) {
+        let mounted = self
+            .sim
+            .with_node_ctx::<FaultyReplicaHost, _>(self.replicas[i], |host, ctx| {
+                host.mount(fault, ctx)
+            });
+        assert!(
+            mounted.is_some(),
+            "replica {i} is not fault-ready (crashed, or not built via build_fault_ready)"
+        );
+    }
+
+    /// Unmount member `i`'s fault: it behaves honestly from now on. No-op
+    /// if no fault is mounted; panics like [`Cluster::mount_fault`] if the
+    /// member is not fault-ready.
+    pub fn unmount_fault(&mut self, i: usize) {
+        let unmounted = self
+            .sim
+            .with_node_ctx::<FaultyReplicaHost, _>(self.replicas[i], |host, ctx| host.unmount(ctx));
+        assert!(
+            unmounted.is_some(),
+            "replica {i} is not fault-ready (crashed, or not built via build_fault_ready)"
+        );
+    }
+
+    /// The fault currently mounted on member `i` (`None` for honest members
+    /// and members not hosted fault-ready).
+    pub fn mounted_fault(&self, i: usize) -> Option<Fault> {
+        self.sim
+            .node_ref::<FaultyReplicaHost>(self.replicas[i])
+            .and_then(|h| h.fault())
     }
 
     /// A replica's cumulative work record (cost-model inputs).
     pub fn replica_counts(&self, i: usize) -> pbft_core::OpCounts {
+        let id = self.replicas[i];
+        if let Some(h) = self.sim.node_ref::<ReplicaHost>(id) {
+            return h.cum_counts;
+        }
         self.sim
-            .node_ref::<ReplicaHost>(self.replicas[i])
+            .node_ref::<FaultyReplicaHost>(id)
             .map(|h| h.cum_counts)
             .unwrap_or_default()
     }
@@ -550,17 +690,29 @@ impl Cluster {
 
     /// Restart a crashed replica. `preserve_disk` keeps the state region
     /// (the durable "disk"); otherwise it restarts blank. Client session
-    /// keys are always lost — the §2.3 scenario.
+    /// keys are always lost — the §2.3 scenario. The host flavor survives
+    /// the restart: a fault-ready member comes back fault-ready (with no
+    /// fault mounted — faults do not outlive a crash).
     pub fn restart_replica(&mut self, i: usize, preserve_disk: bool) {
         let node_id = self.replicas[i];
-        let old = self.sim.take_node(node_id);
-        let state: StateHandle = match (preserve_disk, old) {
-            (true, Some(node)) => {
-                let host = (node as Box<dyn std::any::Any>)
-                    .downcast::<ReplicaHost>()
-                    .expect("replica host");
-                host.replica.state_handle()
-            }
+        // Salvage the durable state (if preserving) and remember the host
+        // flavor so the restart re-wraps identically.
+        let (old_state, was_fault_ready): (Option<StateHandle>, bool) =
+            match self.sim.take_node(node_id) {
+                Some(node) => {
+                    let any = node as Box<dyn std::any::Any>;
+                    match any.downcast::<ReplicaHost>() {
+                        Ok(host) => (Some(host.replica.state_handle()), false),
+                        Err(any) => match any.downcast::<FaultyReplicaHost>() {
+                            Ok(host) => (Some(host.engines[0].state_handle()), true),
+                            Err(_) => (None, false),
+                        },
+                    }
+                }
+                None => (None, false),
+            };
+        let state: StateHandle = match (preserve_disk, old_state) {
+            (true, Some(state)) => state,
             _ => Rc::new(RefCell::new(PagedState::new(self.spec.app.state_pages()))),
         };
         let app = self.spec.make_app(state.clone());
@@ -572,15 +724,21 @@ impl Cluster {
             app,
             &[], // session keys are transient: all lost
         );
-        self.sim.restart(
-            node_id,
+        let host: Box<dyn Node> = if was_fault_ready {
+            Box::new(FaultyReplicaHost::honest_restarted(
+                replica,
+                self.spec.cost,
+                self.spec.cfg.n(),
+            ))
+        } else {
             Box::new(ReplicaHost {
                 replica,
                 cum_counts: Default::default(),
                 model: self.spec.cost,
                 restarted: true,
-            }),
-        );
+            })
+        };
+        self.sim.restart(node_id, host);
     }
 
     /// Set packet loss on the directed link `from → to` (indices into the
@@ -592,14 +750,63 @@ impl Cluster {
         self.sim.set_link(from, to, params);
     }
 
+    /// Degrade every link without a per-pair override: add `loss` and
+    /// `extra_latency` on top of the spec's parameters. Undo with
+    /// [`Cluster::restore_links`].
+    pub fn degrade_links(&mut self, loss: f64, extra_latency: SimDuration) {
+        let mut p = self.spec.link;
+        p.loss = (p.loss + loss).min(1.0);
+        p.latency += extra_latency;
+        self.sim.set_default_link(p);
+    }
+
+    /// Restore the spec's link parameters and clear every per-pair override
+    /// — heals partitions, isolations and degradations in one stroke.
+    pub fn restore_links(&mut self) {
+        self.sim.set_default_link(self.spec.link);
+        self.sim.heal_all();
+    }
+
+    /// Cut member `i` off from every other node — peers *and* clients, both
+    /// directions. Unlike [`Cluster::crash_replica`] the member keeps
+    /// running (timers fire, state advances); it just talks to no one.
+    pub fn isolate_replica(&mut self, i: usize) {
+        let me = self.replicas[i];
+        let others: Vec<NodeId> = self
+            .replicas
+            .iter()
+            .chain(self.clients.iter())
+            .copied()
+            .filter(|&id| id != me)
+            .collect();
+        self.sim.partition(&[me], &others);
+    }
+
+    /// Partition every replica from every client: the group stays healthy
+    /// internally but is unreachable — the "paused coordinator" fault of
+    /// the cross-shard scenarios. Heal with [`Cluster::restore_links`].
+    pub fn isolate_from_clients(&mut self) {
+        let (replicas, clients) = (self.replicas.clone(), self.clients.clone());
+        self.sim.partition(&replicas, &clients);
+    }
+
+    /// Pacing slots client `i` skipped because its previous request was
+    /// still outstanding (open-loop mode; see [`ClientHost::missed_slots`]).
+    pub fn client_missed_slots(&self, i: usize) -> u64 {
+        self.sim
+            .node_ref::<ClientHost>(self.clients[i])
+            .map(|c| c.missed_slots)
+            .unwrap_or_default()
+    }
+
     /// Are all live replicas' state digests identical? (Safety check.)
     pub fn states_converged(&mut self, among: &[usize]) -> bool {
         let mut roots = Vec::new();
         for &i in among {
-            let Some(host) = self.sim.node_ref::<ReplicaHost>(self.replicas[i]) else {
+            let Some(replica) = self.replica(i) else {
                 continue;
             };
-            let handle = host.replica.state_handle();
+            let handle = replica.state_handle();
             roots.push(handle.borrow_mut().refresh_digest());
         }
         roots.windows(2).all(|w| w[0] == w[1])

@@ -23,6 +23,12 @@
 //!   transaction initiators driving the two-phase commit of
 //!   [`pbft_core::xshard`] through every group's own PBFT agreement, with
 //!   timeout aborts and a ground-truth atomicity audit,
+//! * [`scenario`] — deterministic fault-schedule scenarios: timed
+//!   crash/restart, runtime fault mount/unmount, partition/degrade/heal
+//!   events scripted against any cluster flavor over the shared lockstep
+//!   clock, with a bucketed client-visible availability timeline,
+//! * [`testkit`] — the shared cluster-setup vocabulary of the test suites
+//!   (spec builders, fast-failover configs, safety assertions),
 //! * [`stats`] — mean/standard deviation over trials (the paper's TPS ±
 //!   StDev columns),
 //! * [`experiments`] — one entry point per table/figure.
@@ -50,13 +56,16 @@ pub mod cluster;
 pub mod cost;
 pub mod experiments;
 pub mod firewall;
+pub mod scenario;
 pub mod shard;
 pub mod stats;
+pub mod testkit;
 pub mod workload;
 pub mod xshard;
 
 pub use cluster::{AppKind, Cluster, ClusterSpec};
 pub use cost::CostModel;
+pub use scenario::{run_scenario, Scenario, ScenarioEvent, ScenarioReport, Timeline};
 pub use shard::{ShardRouter, ShardedCluster, ShardedClusterSpec};
 pub use stats::Stats;
 pub use xshard::{XShardCluster, XShardMetrics, XShardSpec};

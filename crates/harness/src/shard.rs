@@ -170,6 +170,14 @@ impl ShardedCluster {
         Self::build_with(spec, |_, gspec| Cluster::build(gspec))
     }
 
+    /// [`ShardedCluster::build`] with every member of every group wrapped
+    /// fault-ready (see [`Cluster::build_fault_ready`]), so scenarios can
+    /// mount and unmount Byzantine faults on any `(shard, member)` at
+    /// runtime.
+    pub fn build_fault_ready(spec: ShardedClusterSpec) -> ShardedCluster {
+        Self::build_with(spec, |_, gspec| Cluster::build_fault_ready(gspec))
+    }
+
     /// [`ShardedCluster::build`] with a per-group cluster factory — the hook
     /// for mounting faulty replicas in selected groups (the factory receives
     /// the shard index and the seed-decorrelated group spec, and typically
@@ -275,31 +283,43 @@ impl ShardedCluster {
         for (s, group) in self.groups.iter_mut().enumerate() {
             let metrics = &self.metrics;
             group.start_workload_on(&indices[s], |client| {
-                let mut gen = make_gen(s, client);
-                let metrics = Rc::clone(metrics);
-                let mut next = 0u64;
-                let adapted: OpGen = Box::new(move |_| {
-                    let mut misses = 0u32;
-                    loop {
-                        let keyed = gen(next);
-                        next += 1;
-                        match router.route(&keyed) {
-                            Ok(home) if home == s => {
-                                metrics.borrow_mut().routed += 1;
-                                return (keyed.op, keyed.read_only);
-                            }
-                            Ok(_) => metrics.borrow_mut().skipped_foreign += 1,
-                            Err(e) => metrics.borrow_mut().record(&Err(e)),
-                        }
-                        misses += 1;
-                        assert!(
-                            misses < STARVATION_LIMIT,
-                            "keyed workload starved shard {s}: no routable op in \
-                             {STARVATION_LIMIT} draws"
-                        );
-                    }
-                });
-                adapted
+                adapt_keyed(router, Rc::clone(metrics), s, make_gen(s, client))
+            });
+        }
+    }
+
+    /// The **open-loop** counterpart of
+    /// [`ShardedCluster::start_keyed_workload`]: every client of every group
+    /// issues one routable operation per `pace` interval (see
+    /// [`Cluster::start_paced_workload`] for the slot semantics). Fault
+    /// scenarios use this so offered load stays constant while groups
+    /// degrade.
+    pub fn start_paced_keyed_workload(
+        &mut self,
+        pace: SimDuration,
+        mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
+    ) {
+        let per_group: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| (0..g.clients.len()).collect())
+            .collect();
+        self.start_paced_keyed_workload_on(&per_group, pace, |s, c| make_gen(s, c));
+    }
+
+    /// [`ShardedCluster::start_paced_keyed_workload`] restricted to the
+    /// given client indices of each group (`indices[shard]`).
+    pub fn start_paced_keyed_workload_on(
+        &mut self,
+        indices: &[Vec<usize>],
+        pace: SimDuration,
+        mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
+    ) {
+        let router = self.router;
+        for (s, group) in self.groups.iter_mut().enumerate() {
+            let metrics = &self.metrics;
+            group.start_paced_workload_on(&indices[s], pace, |client| {
+                adapt_keyed(router, Rc::clone(metrics), s, make_gen(s, client))
             });
         }
     }
@@ -403,6 +423,40 @@ impl ShardedCluster {
     pub fn merged_trace(&mut self) -> Vec<(usize, TraceEntry)> {
         merge_traces(self.groups.iter_mut().map(|g| g.sim.take_trace()).collect())
     }
+}
+
+/// Rejection-sample a keyed stream into shard `s`'s raw [`OpGen`]: ops owned
+/// by another group are skipped (counted `skipped_foreign`), unroutable ops
+/// are counted by kind, and a stream that never feeds the shard panics after
+/// [`STARVATION_LIMIT`] consecutive misses.
+fn adapt_keyed(
+    router: ShardRouter,
+    metrics: Rc<RefCell<RouterMetrics>>,
+    s: usize,
+    mut gen: KeyedOpGen,
+) -> OpGen {
+    let mut next = 0u64;
+    Box::new(move |_| {
+        let mut misses = 0u32;
+        loop {
+            let keyed = gen(next);
+            next += 1;
+            match router.route(&keyed) {
+                Ok(home) if home == s => {
+                    metrics.borrow_mut().routed += 1;
+                    return (keyed.op, keyed.read_only);
+                }
+                Ok(_) => metrics.borrow_mut().skipped_foreign += 1,
+                Err(e) => metrics.borrow_mut().record(&Err(e)),
+            }
+            misses += 1;
+            assert!(
+                misses < STARVATION_LIMIT,
+                "keyed workload starved shard {s}: no routable op in \
+                 {STARVATION_LIMIT} draws"
+            );
+        }
+    })
 }
 
 /// A throughput measurement over a sharded deployment.

@@ -250,6 +250,14 @@ impl XShardCluster {
         Self::build_with(spec, |_, gspec| Cluster::build(gspec))
     }
 
+    /// [`XShardCluster::build`] with every member of every group wrapped
+    /// fault-ready (see [`Cluster::build_fault_ready`]), so scenarios can
+    /// mount and unmount Byzantine faults on any `(shard, member)` at
+    /// runtime.
+    pub fn build_fault_ready(spec: XShardSpec) -> XShardCluster {
+        Self::build_with(spec, |_, gspec| Cluster::build_fault_ready(gspec))
+    }
+
     /// Build with a per-group cluster factory (the hook for mounting faulty
     /// replicas in chosen groups; the factory receives the shard index and
     /// the group's spec and usually calls [`Cluster::build`] or
@@ -324,6 +332,21 @@ impl XShardCluster {
             .collect();
         self.sc
             .start_keyed_workload_on(&indices, |s, c| make_gen(s, c));
+    }
+
+    /// The open-loop counterpart of [`XShardCluster::start_background`]:
+    /// the ordinary clients issue one routable operation per `pace`
+    /// interval (see [`ShardedCluster::start_paced_keyed_workload_on`]).
+    pub fn start_paced_background(
+        &mut self,
+        pace: SimDuration,
+        mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
+    ) {
+        let indices: Vec<Vec<usize>> = (0..self.sc.shards())
+            .map(|_| (0..self.bg_clients).collect())
+            .collect();
+        self.sc
+            .start_paced_keyed_workload_on(&indices, pace, |s, c| make_gen(s, c));
     }
 
     /// Install a transaction stream on every initiator and issue the first

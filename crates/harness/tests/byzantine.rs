@@ -8,51 +8,16 @@
 //! change and progress resumes).
 
 use harness::byzantine::{build_faulty_cluster, Fault};
-use harness::cluster::{AppKind, Cluster, ClusterSpec};
+use harness::cluster::{AppKind, ClusterSpec};
+use harness::testkit::{assert_correct_replicas_agree, failover_spec};
 use harness::workload::null_ops;
-use pbft_core::PbftConfig;
 use simnet::SimDuration;
 
 fn spec(seed: u64) -> ClusterSpec {
     ClusterSpec {
-        cfg: PbftConfig {
-            view_change_timeout_ns: 200_000_000, // fail over quickly in tests
-            ..Default::default()
-        },
         app: AppKind::Null { reply_size: 64 },
-        num_clients: 4,
-        seed,
-        ..Default::default()
+        ..failover_spec(4, seed)
     }
-}
-
-/// Exec chains of the *correct* replicas must agree pairwise (safety), and
-/// their states must converge after quiescence.
-fn assert_correct_replicas_agree(cluster: &mut Cluster, correct: &[usize]) {
-    let chains: Vec<_> = correct
-        .iter()
-        .map(|&i| cluster.replica(i).expect("alive").exec_chain())
-        .collect();
-    // Replicas at the same height must have identical chains; different
-    // heights are a liveness matter, not a safety violation, so compare
-    // only replicas at equal last_executed.
-    for a in 0..correct.len() {
-        for b in a + 1..correct.len() {
-            let (ra, rb) = (correct[a], correct[b]);
-            let ea = cluster.replica(ra).expect("alive").last_executed();
-            let eb = cluster.replica(rb).expect("alive").last_executed();
-            if ea == eb {
-                assert_eq!(
-                    chains[a], chains[b],
-                    "replicas {ra} and {rb} executed different histories at height {ea}"
-                );
-            }
-        }
-    }
-    assert!(
-        cluster.states_converged(correct),
-        "correct replicas' states diverged"
-    );
 }
 
 #[test]
@@ -125,6 +90,65 @@ fn equivocating_primary_cannot_split_execution() {
     cluster.quiesce(SimDuration::from_secs(1));
     // Safety among the correct replicas, regardless of what the brains did.
     assert_correct_replicas_agree(&mut cluster, &[1, 2, 3]);
+}
+
+#[test]
+fn mute_fault_mounted_mid_run_is_survived_and_unmount_rejoins() {
+    // The runtime fault surface: an honest, fault-ready cluster runs
+    // cleanly, then the view-0 primary goes mute *mid-run* (no rebuild).
+    // The view change evicts it; unmounting lets it rejoin as a backup.
+    let mut cluster = harness::Cluster::build_fault_ready(spec(47));
+    cluster.start_workload(|i| null_ops(64 + i));
+    cluster.run_for(SimDuration::from_secs(1));
+    assert!(cluster.completed() > 100, "healthy before the fault");
+    let before = cluster.completed();
+    cluster.mount_fault(0, Fault::Mute);
+    cluster.run_for(SimDuration::from_secs(3));
+    assert!(
+        cluster.completed() > before,
+        "progress resumed after failover"
+    );
+    for r in 1..4 {
+        assert!(cluster.replica(r).expect("alive").view() >= 1);
+    }
+    cluster.unmount_fault(0);
+    cluster.run_for(SimDuration::from_secs(2));
+    cluster.quiesce(SimDuration::from_secs(1));
+    assert_correct_replicas_agree(&mut cluster, &[1, 2, 3]);
+}
+
+#[test]
+fn view_change_storm_taxes_but_does_not_stall() {
+    // A backup spams escalating, correctly authenticated view-change votes.
+    // A lone stormer stays below the f+1 join rule, so the group must keep
+    // committing in view 0; the spam costs bandwidth, not safety.
+    let mut cluster = harness::Cluster::build_fault_ready(spec(48));
+    cluster.start_workload(|i| null_ops(64 + i));
+    cluster.run_for(SimDuration::from_millis(500));
+    let before = cluster.completed();
+    cluster.mount_fault(
+        2,
+        Fault::ViewChangeStorm {
+            period_ns: 100_000_000, // a vote burst every 100 ms
+        },
+    );
+    cluster.run_for(SimDuration::from_secs(3));
+    let during = cluster.completed() - before;
+    assert!(
+        during > 100,
+        "correct replicas must keep committing through the storm: {during}"
+    );
+    assert!(
+        cluster.replica_metrics(2).view_changes_started >= 5,
+        "the storm genuinely voted: {:?}",
+        cluster.replica_metrics(2)
+    );
+    assert!(
+        cluster.replica(0).expect("alive").view() == 0,
+        "a lone stormer must not move the group's view"
+    );
+    cluster.quiesce(SimDuration::from_secs(1));
+    assert_correct_replicas_agree(&mut cluster, &[0, 1, 3]);
 }
 
 #[test]

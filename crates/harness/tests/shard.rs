@@ -4,7 +4,8 @@
 //! operations go through `harness::xshard` instead — see tests/xshard.rs),
 //! and an end-to-end sharded-cluster scenario.
 
-use harness::shard::{ShardRouter, ShardedCluster, ShardedClusterSpec};
+use harness::shard::{ShardRouter, ShardedCluster};
+use harness::testkit::{sharded_spec, small_spec};
 use harness::workload::{keyed_sql_insert_ops, KeyedOp};
 use harness::ClusterSpec;
 use minisql::JournalMode;
@@ -133,16 +134,15 @@ fn sharded_sql_cluster_partitions_and_converges() {
     // End to end: 2 groups × 3 clients of keyed SQL inserts. Each group
     // commits only rows it owns, groups stay internally convergent, and the
     // shared clock keeps the aggregate window honest.
-    let spec = ShardedClusterSpec {
-        shards: 2,
-        base: ClusterSpec {
+    let spec = sharded_spec(
+        2,
+        ClusterSpec {
             app: harness::AppKind::Sql {
                 journal: JournalMode::Rollback,
             },
-            num_clients: 3,
-            ..Default::default()
+            ..small_spec(3, 1)
         },
-    };
+    );
     let mut sc = ShardedCluster::build(spec);
     sc.start_keyed_workload(|shard, client| keyed_sql_insert_ops((shard * 10 + client) as u64));
     let t = sc.measure_throughput(SimDuration::from_millis(300), SimDuration::from_secs(1));

@@ -5,6 +5,7 @@
 
 use harness::byzantine::{build_faulty_cluster, Fault};
 use harness::shard::{ShardedCluster, ShardedClusterSpec};
+use harness::testkit::AUDIT_TIMEOUT;
 use harness::workload::{cross_null_txs, cross_precinct_ballot_txs, keyed_null_ops, transfer_txs};
 use harness::xshard::{TxOutcome, XShardCluster, XShardSpec};
 use harness::{AppKind, Cluster, ClusterSpec};
@@ -12,22 +13,14 @@ use minisql::JournalMode;
 use pbft_sql::transfer::{accounts_setup, decode_sum, SUM_BALANCES_SQL};
 use simnet::SimDuration;
 
-const AUDIT_TIMEOUT: SimDuration = SimDuration::from_millis(500);
-
+/// The §2.4 body-fetch fix is on ([`harness::testkit::fetching_spec`]).
+/// With the 2PC tables durable in the region, convergence checks are strict
+/// about the whole region image, so a replica wedged on a request body it
+/// lost to multicast drops (all requests are big under the default config)
+/// must be able to refetch it — the alternative recovery path, the next
+/// checkpoint transfer, never comes in a quiesced system.
 fn base_spec(num_clients: usize, seed: u64) -> ClusterSpec {
-    let mut spec = ClusterSpec {
-        num_clients,
-        seed,
-        ..Default::default()
-    };
-    // The §2.4 fix. With the 2PC tables durable in the region, convergence
-    // checks are strict about the whole region image, so a replica wedged on
-    // a request body it lost to multicast drops (all requests are big under
-    // the default config) must be able to refetch it — the alternative
-    // recovery path, the next checkpoint transfer, never comes in a
-    // quiesced system.
-    spec.cfg.fetch_missing_bodies = true;
-    spec
+    harness::testkit::fetching_spec(num_clients, seed)
 }
 
 /// Atomicity under lossy links: every message class (request, agreement,

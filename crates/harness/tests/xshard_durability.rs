@@ -8,27 +8,10 @@
 //! here ends by demanding `states_converged()` — which includes the xshard
 //! section digest — and a clean `audit_atomicity`.
 
+use harness::testkit::{recovery_spec as recovery_base, AUDIT_TIMEOUT};
 use harness::workload::{cross_null_txs, keyed_null_ops};
 use harness::xshard::{TxOutcome, XShardCluster, XShardSpec};
-use harness::ClusterSpec;
 use simnet::SimDuration;
-
-const AUDIT_TIMEOUT: SimDuration = SimDuration::from_millis(500);
-
-/// Base spec for recovery scenarios: frequent checkpoints (so restarted and
-/// lagging replicas have a recent transfer target) and the §2.4 body-fetch
-/// fix (a replica that lost a request body to the outage must refetch it —
-/// in a quiesced system no later checkpoint will save it).
-fn recovery_base(num_clients: usize, seed: u64) -> ClusterSpec {
-    let mut spec = ClusterSpec {
-        num_clients,
-        seed,
-        ..Default::default()
-    };
-    spec.cfg.checkpoint_interval = 32;
-    spec.cfg.fetch_missing_bodies = true;
-    spec
-}
 
 /// A replica crashed and restarted *mid-transaction* rejoins with its 2PC
 /// tables intact: reloaded from its preserved disk, or reinstalled by

@@ -212,13 +212,22 @@ impl Gen {
 /// The seed is derived from `name` (override with `PROPCHECK_SEED=<u64>`), so
 /// runs are reproducible and distinct properties explore distinct corners.
 pub fn check<F: Fn(&mut Gen)>(name: &str, cases: u32, f: F) {
+    check_budgeted(name, cases, 2000, f);
+}
+
+/// [`check`] with an explicit shrink budget (maximum candidate re-runs on
+/// failure). The default budget of 2000 assumes a property costs
+/// microseconds; heavyweight properties — whole-cluster fault-schedule
+/// simulations at seconds of wall clock per run — must cap it, or a single
+/// failure turns into an hour of shrinking.
+pub fn check_budgeted<F: Fn(&mut Gen)>(name: &str, cases: u32, shrink_budget: u32, f: F) {
     install_quiet_hook();
     let base = base_seed(name);
     for case in 0..cases {
         let seed = SplitMix64::new(base.wrapping_add(case as u64)).next_u64();
         let mut g = Gen::random(seed);
         if run_caught(&f, &mut g).is_err() {
-            let minimal = shrink(&f, g.recorded);
+            let minimal = shrink(&f, g.recorded, shrink_budget);
             eprintln!(
                 "propcheck: property `{name}` failed at case {case}/{cases} \
                  (base seed {base:#018x}); minimal counterexample uses {} draws. \
@@ -262,9 +271,9 @@ fn run_caught<F: Fn(&mut Gen)>(f: &F, g: &mut Gen) -> Result<(), ()> {
 /// Shrink a failing draw stream: repeatedly delete chunks, zero draws, and
 /// halve draws, keeping every mutation that still fails, until a fixpoint or
 /// the attempt budget is exhausted.
-fn shrink<F: Fn(&mut Gen)>(f: &F, start: Vec<u64>) -> Vec<u64> {
+fn shrink<F: Fn(&mut Gen)>(f: &F, start: Vec<u64>, budget: u32) -> Vec<u64> {
     let mut best = start;
-    let mut budget: u32 = 2000;
+    let mut budget: u32 = budget;
 
     // Returns true (and updates `best`) if `cand` still fails.
     let attempt = |cand: Vec<u64>, best: &mut Vec<u64>, budget: &mut u32| -> bool {
@@ -442,7 +451,7 @@ mod tests {
                 break;
             }
         }
-        let minimal = shrink(&prop, failing.expect("some seed fails"));
+        let minimal = shrink(&prop, failing.expect("some seed fails"), 2000);
         // One draw decides the length; everything after the length draw that
         // the shrinker could delete is gone.
         assert!(

@@ -22,7 +22,11 @@
 //!
 //! Several independent simulations can be composed under one shared virtual
 //! clock with [`run_lockstep`] / [`merge_traces`] — the substrate for the
-//! sharded multi-group deployments in the `harness` crate.
+//! sharded multi-group deployments in the `harness` crate. Timed fault
+//! scripts ("crash the primary at t = 500 ms") are expressed as a
+//! [`Schedule`] of fire-at-tick callbacks, driven by
+//! [`Simulator::run_scheduled`] for a lone simulation or by the harness's
+//! scenario engine across a whole deployment.
 //!
 //! # Example
 //!
@@ -64,6 +68,7 @@ mod group;
 mod link;
 mod node;
 mod rng;
+mod sched;
 mod sim;
 mod stats;
 mod time;
@@ -73,6 +78,7 @@ pub use group::{merge_traces, run_lockstep};
 pub use link::LinkParams;
 pub use node::{Node, NodeCtx, NodeId, TimerId};
 pub use rng::SimRng;
+pub use sched::{Hook, Schedule};
 pub use sim::{SimConfig, Simulator};
 pub use stats::NodeStats;
 pub use time::{SimDuration, SimTime};

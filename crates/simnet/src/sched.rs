@@ -1,0 +1,255 @@
+//! Scheduled events: fire-at-tick callbacks over a running simulation.
+//!
+//! Fault scenarios need to *script time*: "crash the primary at t=500 ms,
+//! heal the partition at t=1.4 s". Driving that from outside with
+//! `run_for(...)` slices works but couples every experiment to its own ad
+//! hoc loop, and the slicing granularity silently quantizes event times. A
+//! [`Schedule`] is the explicit alternative: an ordered list of
+//! `(virtual instant, callback)` entries that a driver fires *exactly* at
+//! their instants, with deterministic ordering for ties (insertion order).
+//!
+//! The schedule is generic over the context the callbacks mutate:
+//!
+//! * `Schedule<Simulator>` plus [`Simulator::run_scheduled`] is the
+//!   single-simulation form — callbacks get `&mut Simulator` and can crash
+//!   and restart nodes, rewrite links, or poke node state mid-run.
+//! * Higher layers (the `harness` crate's scenario engine) instantiate
+//!   `Schedule<T>` over whole multi-group deployments and drive it with the
+//!   same [`Schedule::next_due`] / [`Schedule::take_due`] loop, keeping one
+//!   scheduling semantics from a lone simulator up to a sharded cluster.
+//!
+//! ```
+//! use simnet::{Schedule, SimConfig, SimDuration, SimTime, Simulator};
+//!
+//! let mut sim = Simulator::new(SimConfig::default());
+//! let mut sched: Schedule<Simulator> = Schedule::new();
+//! sched.at(SimTime(2_000_000), |sim: &mut Simulator| {
+//!     sim.set_default_link(simnet::LinkParams { loss: 1.0, ..Default::default() });
+//! });
+//! sim.run_scheduled(SimDuration::from_millis(5), &mut sched);
+//! assert_eq!(sim.now().as_micros(), 5_000);
+//! assert!(sched.is_empty(), "the hook fired at t = 2 ms");
+//! ```
+
+use crate::sim::Simulator;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled callback: runs once, mutating the driver's context `T`.
+pub type Hook<T> = Box<dyn FnOnce(&mut T)>;
+
+struct Entry<T: ?Sized> {
+    at: SimTime,
+    seq: u64,
+    hook: Hook<T>,
+}
+
+/// An ordered set of one-shot callbacks keyed by virtual time.
+///
+/// Entries fire in `(at, insertion order)` order, so two hooks scheduled at
+/// the same instant run in the order they were added — runs are
+/// reproducible like everything else in this crate.
+pub struct Schedule<T: ?Sized> {
+    entries: Vec<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T: ?Sized> Default for Schedule<T> {
+    fn default() -> Self {
+        Schedule::new()
+    }
+}
+
+impl<T: ?Sized> Schedule<T> {
+    /// An empty schedule.
+    pub fn new() -> Schedule<T> {
+        Schedule {
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `hook` to fire at virtual instant `at`.
+    pub fn at(&mut self, at: SimTime, hook: impl FnOnce(&mut T) + 'static) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry {
+            at,
+            seq,
+            hook: Box::new(hook),
+        };
+        // Keep sorted by (at, seq): binary-search the insertion point.
+        let pos = self
+            .entries
+            .partition_point(|e| (e.at, e.seq) <= (entry.at, entry.seq));
+        self.entries.insert(pos, entry);
+    }
+
+    /// The instant of the earliest pending entry.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.entries.first().map(|e| e.at)
+    }
+
+    /// Remove and return every hook due at or before `now`, in firing order.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<Hook<T>> {
+        let split = self.entries.partition_point(|e| e.at <= now);
+        self.entries.drain(..split).map(|e| e.hook).collect()
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Simulator {
+    /// Advance virtual time by `d`, firing every hook of `sched` that falls
+    /// inside the window *exactly at its scheduled instant* (the simulation
+    /// runs up to the instant, the hook mutates the simulator, and the run
+    /// resumes). Hooks scheduled in the past fire immediately; hooks beyond
+    /// the window stay pending for a later call.
+    pub fn run_scheduled(&mut self, d: SimDuration, sched: &mut Schedule<Simulator>) {
+        let horizon = self.now() + d;
+        while let Some(at) = sched.next_due().filter(|&at| at <= horizon) {
+            self.run_until(at.max(self.now()));
+            for hook in sched.take_due(at) {
+                hook(self);
+            }
+        }
+        self.run_until(horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use crate::node::{Node, NodeCtx, NodeId, TimerId};
+    use crate::sim::SimConfig;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Beacon {
+        peer: NodeId,
+    }
+    impl Node for Beacon {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(TimerId(0), SimDuration::from_micros(100));
+        }
+        fn on_packet(&mut self, _s: NodeId, _p: &[u8], _c: &mut NodeCtx<'_>) {}
+        fn on_timer(&mut self, _t: TimerId, ctx: &mut NodeCtx<'_>) {
+            ctx.send(self.peer, vec![1; 8]);
+            ctx.set_timer(TimerId(0), SimDuration::from_micros(100));
+        }
+    }
+
+    struct Sink {
+        got: u64,
+    }
+    impl Node for Sink {
+        fn on_packet(&mut self, _s: NodeId, _p: &[u8], _c: &mut NodeCtx<'_>) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _t: TimerId, _c: &mut NodeCtx<'_>) {}
+    }
+
+    #[test]
+    fn hooks_fire_at_their_instants_in_order() {
+        let mut sched: Schedule<Vec<(u64, &'static str)>> = Schedule::new();
+        // Inserted out of order, plus a tie at t=2 to check insertion order.
+        sched.at(SimTime(2), |log| log.push((2, "b")));
+        sched.at(SimTime(5), |log| log.push((5, "d")));
+        sched.at(SimTime(1), |log| log.push((1, "a")));
+        sched.at(SimTime(2), |log| log.push((2, "c")));
+        assert_eq!(sched.len(), 4);
+        assert_eq!(sched.next_due(), Some(SimTime(1)));
+        let mut log = Vec::new();
+        for hook in sched.take_due(SimTime(2)) {
+            hook(&mut log);
+        }
+        assert_eq!(log, vec![(1, "a"), (2, "b"), (2, "c")]);
+        assert_eq!(sched.next_due(), Some(SimTime(5)));
+        for hook in sched.take_due(SimTime(10)) {
+            hook(&mut log);
+        }
+        assert!(sched.is_empty());
+        assert_eq!(log.last(), Some(&(5, "d")));
+    }
+
+    #[test]
+    fn run_scheduled_mutates_the_simulation_mid_run() {
+        // A beacon sends every 100 µs; at t = 1 ms a hook crashes the sink,
+        // at t = 3 ms another restarts it. Deliveries must stop exactly in
+        // between.
+        let mut sim = Simulator::new(SimConfig::default());
+        let sink = sim.add_node(Box::new(Sink { got: 0 }));
+        let _beacon = sim.add_node(Box::new(Beacon { peer: sink }));
+        let mut sched: Schedule<Simulator> = Schedule::new();
+        sched.at(SimTime(1_000_000), move |sim: &mut Simulator| {
+            sim.crash(sink);
+        });
+        sched.at(SimTime(3_000_000), move |sim: &mut Simulator| {
+            sim.take_node(sink);
+            sim.restart(sink, Box::new(Sink { got: 0 }));
+        });
+        sim.run_scheduled(SimDuration::from_millis(2), &mut sched);
+        assert_eq!(sim.now().as_micros(), 2_000);
+        assert_eq!(sched.len(), 1, "the restart hook is still pending");
+        // The crashed node value is retained: its count is frozen at
+        // whatever arrived during the first millisecond.
+        let before_crash = sim.node_ref::<Sink>(sink).expect("retained").got;
+        assert!(
+            (1..=12).contains(&before_crash),
+            "~10 deliveries in 1 ms, none after the crash: {before_crash}"
+        );
+        sim.run_scheduled(SimDuration::from_millis(2), &mut sched);
+        assert!(sched.is_empty());
+        let after_restart = sim.node_ref::<Sink>(sink).expect("restarted").got;
+        assert!(
+            after_restart >= 8,
+            "deliveries resumed for ~1 ms: {after_restart}"
+        );
+    }
+
+    #[test]
+    fn run_scheduled_is_deterministic() {
+        let run = || {
+            let fired = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::new(SimConfig {
+                seed: 9,
+                default_link: LinkParams {
+                    loss: 0.2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let sink = sim.add_node(Box::new(Sink { got: 0 }));
+            let _beacon = sim.add_node(Box::new(Beacon { peer: sink }));
+            let mut sched: Schedule<Simulator> = Schedule::new();
+            for i in 1..4u64 {
+                let fired = Rc::clone(&fired);
+                sched.at(SimTime(i * 700_000), move |sim: &mut Simulator| {
+                    fired.borrow_mut().push((sim.now(), i));
+                });
+            }
+            sim.run_scheduled(SimDuration::from_millis(3), &mut sched);
+            let trace = fired.borrow().clone();
+            (trace, sim.node_ref::<Sink>(sink).expect("sink").got)
+        };
+        assert_eq!(run(), run());
+        let (trace, _) = run();
+        assert_eq!(
+            trace,
+            vec![
+                (SimTime(700_000), 1),
+                (SimTime(1_400_000), 2),
+                (SimTime(2_100_000), 3)
+            ],
+            "hooks observe exactly their scheduled instants"
+        );
+    }
+}

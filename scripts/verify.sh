@@ -2,26 +2,47 @@
 # Tier-1 verification gate, fully offline:
 #   1. formatting is canonical (cargo fmt --check)
 #   2. release build of every workspace crate
-#   3. the whole test suite (unit + integration + property tests)
-#   4. examples and all 15 bench targets compile
-#   5. clippy is clean across every target (warnings are errors)
-#   6. rustdoc is complete and warning-free, and the doc-examples run
+#   3. scenario smoke pass: one short fault scenario per cluster flavor
+#   4. the whole test suite (unit + integration + property tests),
+#      per package with timing so slow suites are visible
+#   5. examples and all 16 bench targets compile
+#   6. clippy is clean across every target (warnings are errors)
+#   7. rustdoc is complete and warning-free, and the doc-examples run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+step() {
+    echo "==> $*"
+    local t0=$SECONDS
+    "$@"
+    echo "    [$1 $2: $((SECONDS - t0))s]"
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo build --release"
-cargo build --release
+step cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# Fast fault-scenario signal before the full suite: the three smoke_*
+# scenarios drive the scenario engine once per cluster flavor
+# (single-group, sharded, cross-shard).
+echo "==> scenario smoke pass (tests/scenario_conformance.rs smoke_*)"
+cargo test -q -p pbft-practicality --test scenario_conformance smoke_
 
-echo "==> cargo build --examples --benches"
-cargo build --examples --benches
+echo "==> cargo test (per package, timed)"
+packages=$(cargo metadata --no-deps --format-version 1 \
+    | python3 -c "import json,sys; print(' '.join(sorted(p['name'] for p in json.load(sys.stdin)['packages'])))")
+total0=$SECONDS
+for pkg in $packages; do
+    t0=$SECONDS
+    cargo test -q -p "$pkg"
+    echo "    [$pkg: $((SECONDS - t0))s]"
+done
+echo "    [all packages: $((SECONDS - total0))s]"
+
+step cargo build --examples --benches
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --quiet -- -D warnings

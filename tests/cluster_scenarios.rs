@@ -3,15 +3,12 @@
 //! minisql + pbft-sql + evoting + simnet + harness.
 
 use harness::cluster::ClientHost;
+use harness::testkit::{ms, small_spec};
 use harness::workload::{null_ops, sql_insert_ops};
 use harness::{AppKind, Cluster, ClusterSpec};
 use minisql::JournalMode;
 use pbft_core::{AuthMode, PbftConfig};
 use simnet::SimDuration;
-
-fn ms(n: u64) -> SimDuration {
-    SimDuration::from_millis(n)
-}
 
 #[test]
 fn throughput_ordering_matches_the_paper() {
@@ -20,9 +17,7 @@ fn throughput_ordering_matches_the_paper() {
     let tps = |cfg: PbftConfig| {
         let spec = ClusterSpec {
             cfg,
-            num_clients: 8,
-            seed: 5,
-            ..Default::default()
+            ..small_spec(8, 5)
         };
         let mut cluster = Cluster::build(spec);
         cluster.start_workload(|_| null_ops(1024));
@@ -55,11 +50,7 @@ fn throughput_ordering_matches_the_paper() {
 fn null_vs_sql_throughput_gap() {
     // The paper's headline: real (database) operations are far slower than
     // the null operations BFT papers advertise.
-    let spec = ClusterSpec {
-        num_clients: 8,
-        seed: 6,
-        ..Default::default()
-    };
+    let spec = small_spec(8, 6);
     let mut null_cluster = Cluster::build(spec);
     null_cluster.start_workload(|_| null_ops(1024));
     let null_tps = null_cluster.measure_throughput(ms(200), ms(800));
@@ -68,9 +59,7 @@ fn null_vs_sql_throughput_gap() {
         app: AppKind::Sql {
             journal: JournalMode::Rollback,
         },
-        num_clients: 8,
-        seed: 6,
-        ..Default::default()
+        ..small_spec(8, 6)
     };
     let mut sql_cluster = Cluster::build(spec);
     sql_cluster.start_workload(|i| sql_insert_ops(i as u64));
@@ -100,9 +89,7 @@ fn replica_crash_restart_rejoins_with_sql_state() {
         app: AppKind::Sql {
             journal: JournalMode::Rollback,
         },
-        num_clients: 4,
-        seed: 7,
-        ..Default::default()
+        ..small_spec(4, 7)
     };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|i| sql_insert_ops(i as u64));
@@ -132,9 +119,7 @@ fn view_change_preserves_sql_state() {
         app: AppKind::Sql {
             journal: JournalMode::Rollback,
         },
-        num_clients: 4,
-        seed: 8,
-        ..Default::default()
+        ..small_spec(4, 8)
     };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|i| sql_insert_ops(i as u64));
@@ -223,9 +208,7 @@ fn lossy_network_makes_progress_and_converges() {
     let spec = ClusterSpec {
         cfg,
         link,
-        num_clients: 6,
-        seed: 10,
-        ..Default::default()
+        ..small_spec(6, 10)
     };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|_| null_ops(512));
@@ -243,9 +226,7 @@ fn signature_mode_cluster_is_correct_just_slow() {
     };
     let spec = ClusterSpec {
         cfg,
-        num_clients: 4,
-        seed: 11,
-        ..Default::default()
+        ..small_spec(4, 11)
     };
     let mut cluster = Cluster::build(spec);
     cluster.start_workload(|_| null_ops(256));
@@ -258,11 +239,7 @@ fn signature_mode_cluster_is_correct_just_slow() {
 #[test]
 fn deterministic_runs_identical_results() {
     let run = |seed: u64| {
-        let spec = ClusterSpec {
-            num_clients: 4,
-            seed,
-            ..Default::default()
-        };
+        let spec = small_spec(4, seed);
         let mut cluster = Cluster::build(spec);
         cluster.start_workload(|_| null_ops(256));
         cluster.run_for(ms(500));
