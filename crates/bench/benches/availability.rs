@@ -1,22 +1,36 @@
 //! **Fault-window availability** — the paper's core claim quantified: what
 //! clients experience *during* the five conformance fault scenarios
-//! (`harness::scenario::paper`). For each scenario the bench reports
+//! (`harness::scenario::paper`), measured head-to-head for both consensus
+//! engines on the same fault scripts, workloads and lockstep clock. For
+//! each `(scenario, engine)` cell the bench reports
 //!
 //! * steady-state throughput before the first fault,
 //! * degraded-window throughput (first fault → last repair),
-//! * the availability fraction (timeline buckets with ≥ 1 completion), and
-//! * time-to-recover after the first fault event.
+//! * the availability fraction (timeline buckets with ≥ 1 completion),
+//! * time-to-recover after the first fault event, and
+//! * agreement/view-change protocol packets sent (summed over replicas).
 //!
-//! Every scenario must report a *finite* recovery — an `n/a` in the last
-//! column is a liveness regression and the bench exits non-zero.
+//! A second section sweeps the group size on the primary-crash script
+//! (f ∈ {1, 2, 3} → n ∈ {4, 7, 10}) and reports view-change packets per
+//! leader rotation: PBFT's all-to-all votes grow O(n²) per rotation while
+//! the linear engine's leader-directed votes stay O(n) — the committed
+//! `BENCH_availability.json` records both curves.
+//!
+//! Every scenario must report a *finite* recovery under *both* engines —
+//! an `n/a` in the recovery column is a liveness regression and the bench
+//! exits non-zero.
 //!
 //! Run: `cargo bench --bench availability` (single-trial, a few seconds of
 //! virtual time per scenario; seeds are fixed so rows are reproducible).
 
+use bench::artifact::{self, Json};
 use harness::scenario::{paper, run_scenario, Scenario, ScenarioReport};
-use harness::testkit::{fetching_spec, ms, scenario_cluster, sharded_spec, xshard_spec};
+use harness::testkit::{
+    failover_spec, fetching_spec, ms, scenario_cluster_engine, sharded_spec, xshard_spec,
+};
 use harness::workload::{cross_null_txs, keyed_null_ops, null_ops};
-use harness::{ShardedCluster, XShardCluster};
+use harness::{Cluster, ShardedCluster, XShardCluster};
+use pbft_core::{ConsensusEngine, LinearReplica, Replica};
 use simnet::SimDuration;
 
 /// Offered load: one op per client per 4 ms, open loop (fixed while the
@@ -24,87 +38,291 @@ use simnet::SimDuration;
 const PACE: SimDuration = ms(4);
 
 struct Row {
+    engine: &'static str,
     name: &'static str,
     steady_tps: f64,
     degraded_tps: f64,
     availability: f64,
     recovery: Option<SimDuration>,
+    /// Agreement-phase packets sent, summed over replicas.
+    agreement_msgs: u64,
+    /// View-change packets sent, summed over replicas.
+    viewchange_msgs: u64,
 }
 
-fn measure(scenario: &Scenario, report: &ScenarioReport) -> Row {
+/// Sum the protocol-message counters over one group's replicas. Restarted
+/// members count from their restart (their pre-crash counters die with
+/// them) — the loss is identical across engines, so the comparison stays
+/// fair.
+fn group_msgs<E: ConsensusEngine>(cluster: &Cluster<E>) -> (u64, u64) {
+    (0..cluster.replicas.len()).fold((0, 0), |(agg, vc), i| {
+        let m = cluster.replica_metrics(i);
+        (agg + m.agreement_msgs_sent, vc + m.viewchange_msgs_sent)
+    })
+}
+
+fn measure<E: ConsensusEngine>(
+    scenario: &Scenario,
+    report: &ScenarioReport,
+    (agreement_msgs, viewchange_msgs): (u64, u64),
+) -> Row {
     let t = &report.timeline;
     let first_fault = report.trace.first().map(|m| m.at).unwrap_or(t.start);
     let last_repair = report.trace.last().map(|m| m.at).unwrap_or(t.start);
     let fault_bucket = t.bucket_index(first_fault);
     let repair_bucket = t.bucket_index(last_repair) + 1;
     Row {
+        engine: E::engine_name(),
         name: scenario.name,
         steady_tps: t.window_tps(0, fault_bucket),
         degraded_tps: t.window_tps(fault_bucket, repair_bucket),
         availability: t.availability(),
         recovery: t.recovery_after(first_fault),
+        agreement_msgs,
+        viewchange_msgs,
     }
 }
 
-fn single_group(scenario: &Scenario, seed: u64) -> Row {
-    let mut cluster = scenario_cluster(4, seed);
+fn single_group<E: ConsensusEngine>(scenario: &Scenario, seed: u64) -> Row {
+    let mut cluster = scenario_cluster_engine::<E>(4, seed);
     cluster.start_paced_workload(PACE, |_| null_ops(64));
     let report = run_scenario(&mut cluster, scenario);
-    measure(scenario, &report)
+    measure::<E>(scenario, &report, group_msgs(&cluster))
 }
 
-fn sharded(scenario: &Scenario, seed: u64) -> Row {
-    let mut sc = ShardedCluster::build(sharded_spec(2, fetching_spec(3, seed)));
+fn sharded<E: ConsensusEngine>(scenario: &Scenario, seed: u64) -> Row {
+    let mut sc = ShardedCluster::<E>::build_engine(sharded_spec(2, fetching_spec(3, seed)));
     sc.start_paced_keyed_workload(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
     let report = run_scenario(&mut sc, scenario);
-    measure(scenario, &report)
+    let msgs = (0..sc.shards()).fold((0, 0), |(a, v), s| {
+        let (ga, gv) = group_msgs(sc.group(s));
+        (a + ga, v + gv)
+    });
+    measure::<E>(scenario, &report, msgs)
 }
 
-fn xshard(scenario: &Scenario, seed: u64) -> Row {
-    let mut xc = XShardCluster::build(xshard_spec(2, 4, fetching_spec(1, seed)));
+fn xshard<E: ConsensusEngine>(scenario: &Scenario, seed: u64) -> Row {
+    let mut xc = XShardCluster::<E>::build_engine(xshard_spec(2, 4, fetching_spec(1, seed)));
     let map = xc.sharded().router().map();
     xc.start_paced_background(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
     xc.start_transactions(|i| cross_null_txs(map, 64, 1 << 20, i as u64));
     let report = run_scenario(&mut xc, scenario);
-    measure(scenario, &report)
+    let msgs = (0..xc.sharded().shards()).fold((0, 0), |(a, v), s| {
+        let (ga, gv) = group_msgs(xc.sharded().group(s));
+        (a + ga, v + gv)
+    });
+    measure::<E>(scenario, &report, msgs)
+}
+
+/// The five conformance scenarios under one engine (fixed seeds, so the
+/// two engines see identical scripts and workload arrival processes).
+fn scenario_rows<E: ConsensusEngine>() -> Vec<Row> {
+    vec![
+        single_group::<E>(&paper::primary_crash_under_load(), 71),
+        single_group::<E>(&paper::slow_primary(), 72),
+        single_group::<E>(&paper::rolling_crash(), 73),
+        xshard::<E>(&paper::coordinator_outage(), 74),
+        sharded::<E>(&paper::partition_then_heal(), 75),
+    ]
+}
+
+/// One cell of the rotation-cost sweep: the primary-crash script on a
+/// group of `n = 3f + 1` replicas.
+struct SweepRow {
+    engine: &'static str,
+    f: usize,
+    n: usize,
+    /// Leader rotations observed (max `new_views_entered` over members).
+    rotations: u64,
+    viewchange_msgs: u64,
+    agreement_msgs: u64,
+    recovery: Option<SimDuration>,
+}
+
+impl SweepRow {
+    fn per_rotation(&self) -> f64 {
+        self.viewchange_msgs as f64 / self.rotations.max(1) as f64
+    }
+}
+
+/// Run the *same* primary-crash fault script on a `3f + 1`-member group and
+/// count what one leader rotation costs in view-change packets.
+fn rotation_sweep<E: ConsensusEngine>(f: usize, seed: u64) -> SweepRow {
+    let mut spec = failover_spec(4, seed);
+    spec.cfg.f = f;
+    spec.cfg.checkpoint_interval = 32;
+    spec.cfg.fetch_missing_bodies = true;
+    let mut cluster = Cluster::<E>::build_engine_fault_ready(spec);
+    cluster.start_paced_workload(PACE, |_| null_ops(64));
+    let scenario = paper::primary_crash_under_load();
+    let report = run_scenario(&mut cluster, &scenario);
+    let first_fault = report
+        .trace
+        .first()
+        .map(|m| m.at)
+        .unwrap_or(report.timeline.start);
+    let rotations = (0..cluster.replicas.len())
+        .map(|i| cluster.replica_metrics(i).new_views_entered)
+        .max()
+        .unwrap_or(0);
+    let (agreement_msgs, viewchange_msgs) = group_msgs(&cluster);
+    SweepRow {
+        engine: E::engine_name(),
+        f,
+        n: 3 * f + 1,
+        rotations,
+        viewchange_msgs,
+        agreement_msgs,
+        recovery: report.timeline.recovery_after(first_fault),
+    }
+}
+
+fn fmt_recovery(r: Option<SimDuration>, all_finite: &mut bool) -> String {
+    match r {
+        Some(d) => format!("{:.0}", d.as_nanos() as f64 / 1e6),
+        None => {
+            *all_finite = false;
+            "n/a".to_string()
+        }
+    }
+}
+
+fn recovery_ms(r: Option<SimDuration>) -> Json {
+    Json::from(r.map(|d| d.as_nanos() as f64 / 1e6))
 }
 
 fn main() {
-    let rows: Vec<Row> = vec![
-        single_group(&paper::primary_crash_under_load(), 71),
-        single_group(&paper::slow_primary(), 72),
-        single_group(&paper::rolling_crash(), 73),
-        xshard(&paper::coordinator_outage(), 74),
-        sharded(&paper::partition_then_heal(), 75),
-    ];
+    let rows: Vec<Row> = scenario_rows::<Replica>()
+        .into_iter()
+        .chain(scenario_rows::<LinearReplica>())
+        .collect();
+
     println!(
-        "{:<28} {:>12} {:>14} {:>8} {:>14}",
-        "scenario", "steady tps", "degraded tps", "avail", "recovery (ms)"
+        "{:<28} {:<8} {:>12} {:>14} {:>8} {:>14} {:>10} {:>9}",
+        "scenario",
+        "engine",
+        "steady tps",
+        "degraded tps",
+        "avail",
+        "recovery (ms)",
+        "agree msg",
+        "vc msg"
     );
     let mut all_finite = true;
-    for r in &rows {
-        let recovery = match r.recovery {
-            Some(d) => format!("{:.0}", d.as_nanos() as f64 / 1e6),
-            None => {
-                all_finite = false;
-                "n/a".to_string()
-            }
-        };
+    // Group the table by scenario so the two engine columns sit together.
+    let half = rows.len() / 2;
+    for i in 0..half {
+        for r in [&rows[i], &rows[half + i]] {
+            let recovery = fmt_recovery(r.recovery, &mut all_finite);
+            println!(
+                "{:<28} {:<8} {:>12.0} {:>14.0} {:>7.0}% {:>14} {:>10} {:>9}",
+                r.name,
+                r.engine,
+                r.steady_tps,
+                r.degraded_tps,
+                r.availability * 100.0,
+                recovery,
+                r.agreement_msgs,
+                r.viewchange_msgs,
+            );
+        }
+    }
+
+    println!(
+        "\nrotation cost — primary-crash script, view-change packets per leader \
+         rotation vs group size:"
+    );
+    println!(
+        "{:<8} {:>4} {:>4} {:>10} {:>9} {:>13} {:>14}",
+        "engine", "f", "n", "rotations", "vc msg", "vc/rotation", "recovery (ms)"
+    );
+    let sweep: Vec<SweepRow> = [1usize, 2, 3]
+        .iter()
+        .flat_map(|&f| {
+            [
+                rotation_sweep::<Replica>(f, 80 + f as u64),
+                rotation_sweep::<LinearReplica>(f, 80 + f as u64),
+            ]
+        })
+        .collect();
+    for s in &sweep {
+        let recovery = fmt_recovery(s.recovery, &mut all_finite);
         println!(
-            "{:<28} {:>12.0} {:>14.0} {:>7.0}% {:>14}",
-            r.name,
-            r.steady_tps,
-            r.degraded_tps,
-            r.availability * 100.0,
-            recovery
+            "{:<8} {:>4} {:>4} {:>10} {:>9} {:>13.1} {:>14}",
+            s.engine,
+            s.f,
+            s.n,
+            s.rotations,
+            s.viewchange_msgs,
+            s.per_rotation(),
+            recovery,
         );
     }
     println!(
-        "expectation: every scenario recovers; the degraded window, not steady state, \
-         is where the paper says practicality is decided"
+        "expectation: every scenario recovers under both engines; PBFT's all-to-all \
+         view change pays O(n²) packets per rotation, the linear engine's \
+         leader-directed votes O(n)"
     );
+
+    let json = Json::obj([
+        ("bench", "availability".into()),
+        (
+            "scenarios",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("scenario", r.name.into()),
+                            ("engine", r.engine.into()),
+                            ("steady_tps", r.steady_tps.into()),
+                            ("degraded_tps", r.degraded_tps.into()),
+                            ("availability", r.availability.into()),
+                            ("recovery_ms", recovery_ms(r.recovery)),
+                            ("agreement_msgs", r.agreement_msgs.into()),
+                            ("viewchange_msgs", r.viewchange_msgs.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rotation_sweep",
+            Json::Arr(
+                sweep
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("engine", s.engine.into()),
+                            ("f", s.f.into()),
+                            ("n", s.n.into()),
+                            ("rotations", s.rotations.into()),
+                            ("viewchange_msgs", s.viewchange_msgs.into()),
+                            ("viewchange_msgs_per_rotation", s.per_rotation().into()),
+                            ("agreement_msgs", s.agreement_msgs.into()),
+                            ("recovery_ms", recovery_ms(s.recovery)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    artifact::write("BENCH_availability.json", &json);
+
     assert!(
         all_finite,
         "a scenario never recovered — liveness regression"
     );
+    // The committed curves must actually show the complexity gap: at every
+    // group size the linear engine's rotation cost stays below PBFT's, and
+    // the gap widens with n.
+    for pair in sweep.chunks(2) {
+        let (pbft, linear) = (&pair[0], &pair[1]);
+        assert!(
+            linear.per_rotation() < pbft.per_rotation(),
+            "linear rotation at n={} cost {:.1} msgs vs PBFT {:.1} — O(n) claim broken",
+            linear.n,
+            linear.per_rotation(),
+            pbft.per_rotation()
+        );
+    }
 }

@@ -106,11 +106,40 @@ fn sql_benches(h: &mut Harness) {
     });
 }
 
+/// The engine axis: wall-clock cost of simulating one virtual millisecond
+/// of a loaded 4-replica group, per consensus engine — the whole-stack
+/// overhead comparison (protocol work + message volume) at micro scale.
+fn engine_benches(h: &mut Harness) {
+    use harness::testkit::small_spec;
+    use harness::workload::null_ops;
+    use harness::Cluster;
+    use pbft_core::{ConsensusEngine, LinearReplica, Replica};
+    use simnet::SimDuration;
+
+    fn bench_engine<E: ConsensusEngine>(g: &mut bench::Group<'_>, name: &str) {
+        let mut cluster = Cluster::<E>::build_engine(small_spec(4, 11));
+        cluster.start_workload(|_| null_ops(64));
+        // Past startup transients, so the loop measures steady agreement.
+        cluster.run_for(SimDuration::from_millis(50));
+        g.bench(name, |b| {
+            b.iter(|| {
+                cluster.run_for(SimDuration::from_millis(1));
+                cluster.completed()
+            })
+        });
+    }
+
+    let mut g = h.group("engine");
+    bench_engine::<Replica>(&mut g, "sim_virtual_ms_pbft");
+    bench_engine::<LinearReplica>(&mut g, "sim_virtual_ms_linear");
+}
+
 fn main() {
     let mut h = Harness::from_args();
     crypto_benches(&mut h);
     state_benches(&mut h);
     codec_benches(&mut h);
     sql_benches(&mut h);
+    engine_benches(&mut h);
     h.finish();
 }

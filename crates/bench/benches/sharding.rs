@@ -1,22 +1,26 @@
 //! **Sharding** — extends Table 1 with horizontal composition: N
-//! independent PBFT groups behind the deterministic shard router, measuring
-//! how aggregate committed throughput scales with the shard count
+//! independent consensus groups behind the deterministic shard router,
+//! measuring how aggregate committed throughput scales with the shard count
 //! (the Loruenser et al. queueing model predicts near-linear scaling for
-//! partitioned request streams).
+//! partitioned request streams). Runs head-to-head for both consensus
+//! engines on the same workload, seeds and lockstep clock.
 //!
-//! Sweeps shard count ∈ {1, 2, 4, 8} × batching {on, off} on the keyed
-//! null-op workload (1 KiB requests, 12 clients per group — the paper's
-//! client:group ratio). Reports per-configuration aggregate TPS, per-shard
-//! balance and scaling efficiency against the 1-shard baseline.
+//! Sweeps engine {pbft, linear} × shard count ∈ {1, 2, 4, 8} × batching
+//! {on, off} on the keyed null-op workload (1 KiB requests, 12 clients per
+//! group — the paper's client:group ratio). Reports per-configuration
+//! aggregate TPS, per-shard balance and scaling efficiency against that
+//! engine's own 1-shard baseline, and writes the grid to the committed
+//! `BENCH_sharding.json`.
 //!
 //! Knobs: `SHARDING_TRIALS` (default 2) trades runtime for tighter standard
 //! deviations.
 
+use bench::artifact::{self, Json};
 use harness::experiments::NUM_CLIENTS;
 use harness::shard::{ShardedCluster, ShardedClusterSpec, ShardedThroughput};
 use harness::workload::keyed_null_ops;
 use harness::{ClusterSpec, Stats};
-use pbft_core::PbftConfig;
+use pbft_core::{ConsensusEngine, LinearReplica, PbftConfig, Replica};
 use simnet::SimDuration;
 
 const WARMUP: SimDuration = SimDuration::from_millis(300);
@@ -25,6 +29,7 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REQUEST_SIZE: usize = 1024;
 
 struct Row {
+    engine: &'static str,
     shards: usize,
     batching: bool,
     /// One [`ShardedThroughput`] per trial.
@@ -62,7 +67,7 @@ impl Row {
     }
 }
 
-fn measure(shards: usize, batching: bool, trials: usize) -> Row {
+fn measure<E: ConsensusEngine>(shards: usize, batching: bool, trials: usize) -> Row {
     let trials = (0..trials)
         .map(|trial| {
             let spec = ShardedClusterSpec {
@@ -77,7 +82,7 @@ fn measure(shards: usize, batching: bool, trials: usize) -> Row {
                     ..Default::default()
                 },
             };
-            let mut sc = ShardedCluster::build(spec);
+            let mut sc = ShardedCluster::<E>::build_engine(spec);
             sc.start_keyed_workload(|shard, client| {
                 keyed_null_ops(REQUEST_SIZE, (shard * NUM_CLIENTS + client) as u64)
             });
@@ -85,37 +90,29 @@ fn measure(shards: usize, batching: bool, trials: usize) -> Row {
         })
         .collect();
     Row {
+        engine: E::engine_name(),
         shards,
         batching,
         trials,
     }
 }
 
-fn main() {
-    let trials: usize = std::env::var("SHARDING_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-
-    println!(
-        "Sharding — aggregate committed null-op TPS vs shard count \
-         (1 KiB ops, {NUM_CLIENTS} clients/group, {trials} trials)\n"
-    );
-    println!(
-        "{:<10} {:>7} {:>12} {:>8} {:>14} {:>10} {:>12}",
-        "batching", "shards", "agg TPS", "StDev", "per-shard", "±", "efficiency"
-    );
-
+/// The full shards × batching grid for one engine, with that engine's own
+/// 1-shard row as the scaling baseline. Prints the rows and enforces the
+/// 2.5x acceptance floor at 4 shards.
+fn engine_grid<E: ConsensusEngine>(trials: usize) -> Vec<Row> {
+    let mut all = Vec::new();
     for batching in [true, false] {
         let rows: Vec<Row> = SHARD_COUNTS
             .iter()
-            .map(|&s| measure(s, batching, trials))
+            .map(|&s| measure::<E>(s, batching, trials))
             .collect();
         let baseline = rows[0].aggregate().mean;
         for row in &rows {
             let (aggregate, balance) = (row.aggregate(), row.balance());
             println!(
-                "{:<10} {:>7} {:>12.0} {:>8.0} {:>14.0} {:>10.0} {:>11.2}x",
+                "{:<8} {:<10} {:>7} {:>12.0} {:>8.0} {:>14.0} {:>10.0} {:>11.2}x",
+                row.engine,
                 if row.batching { "on" } else { "off" },
                 row.shards,
                 aggregate.mean,
@@ -131,15 +128,74 @@ fn main() {
             .expect("the acceptance gate needs the 4-shard configuration in SHARD_COUNTS");
         let speedup = four.aggregate().mean / baseline;
         println!(
-            "  -> 4-shard speedup over 1 shard: {speedup:.2}x \
-             (scaling model expects ~4x; acceptance floor 2.5x)"
+            "  -> {} 4-shard speedup over 1 shard: {speedup:.2}x \
+             (scaling model expects ~4x; acceptance floor 2.5x)",
+            E::engine_name(),
         );
         assert!(
             speedup >= 2.5,
-            "4-shard aggregate ({:.0} TPS) fell below 2.5x the 1-shard baseline ({:.0} TPS)",
+            "{}: 4-shard aggregate ({:.0} TPS) fell below 2.5x the 1-shard baseline ({:.0} TPS)",
+            E::engine_name(),
             four.aggregate().mean,
             baseline
         );
         println!();
+        all.extend(rows);
     }
+    all
+}
+
+fn main() {
+    let trials: usize = std::env::var("SHARDING_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    println!(
+        "Sharding — aggregate committed null-op TPS vs shard count per engine \
+         (1 KiB ops, {NUM_CLIENTS} clients/group, {trials} trials)\n"
+    );
+    println!(
+        "{:<8} {:<10} {:>7} {:>12} {:>8} {:>14} {:>10} {:>12}",
+        "engine", "batching", "shards", "agg TPS", "StDev", "per-shard", "±", "efficiency"
+    );
+
+    let mut rows = engine_grid::<Replica>(trials);
+    rows.extend(engine_grid::<LinearReplica>(trials));
+
+    let baselines: Vec<(&'static str, bool, f64)> = rows
+        .iter()
+        .filter(|r| r.shards == 1)
+        .map(|r| (r.engine, r.batching, r.aggregate().mean))
+        .collect();
+    let json = Json::obj([
+        ("bench", "sharding".into()),
+        ("trials", trials.into()),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        let (aggregate, balance) = (r.aggregate(), r.balance());
+                        let baseline = baselines
+                            .iter()
+                            .find(|(e, b, _)| *e == r.engine && *b == r.batching)
+                            .map(|(_, _, tps)| *tps)
+                            .expect("every grid has its 1-shard row");
+                        Json::obj([
+                            ("engine", r.engine.into()),
+                            ("batching", r.batching.into()),
+                            ("shards", r.shards.into()),
+                            ("aggregate_tps", aggregate.mean.into()),
+                            ("aggregate_tps_stddev", aggregate.std_dev.into()),
+                            ("per_shard_tps", balance.mean.into()),
+                            ("per_shard_tps_stddev", balance.std_dev.into()),
+                            ("scaling_efficiency", r.efficiency(baseline).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    artifact::write("BENCH_sharding.json", &json);
 }

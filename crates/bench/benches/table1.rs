@@ -1,12 +1,38 @@
 //! **Table 1** — "PBFT library configurations we test. TPS is transactions
 //! per second, where a transaction is simply a null request. Null request
 //! and null response sizes are 1024 bytes."
+//!
+//! The ten configuration rows exercise the PBFT engine (they are the
+//! paper's library knobs); a second section re-measures two representative
+//! configurations under the linear-communication engine for the
+//! head-to-head column, and the whole run lands in the committed
+//! `BENCH_table1.json`.
 
-use harness::experiments::{render_table, table1};
+use bench::artifact::{self, Json};
+use harness::experiments::{null_throughput_engine, render_table, table1, table1_configs};
+use harness::Stats;
+use pbft_core::{ConsensusEngine, LinearReplica, Replica};
+
+const SIZE: usize = 1024;
+
+/// Head-to-head cell: one configuration, one engine.
+struct Cell {
+    config: String,
+    engine: &'static str,
+    tps: Stats,
+}
+
+fn cell<E: ConsensusEngine>(cfg: &pbft_core::PbftConfig, trials: usize) -> Cell {
+    Cell {
+        config: cfg.table1_name(),
+        engine: E::engine_name(),
+        tps: null_throughput_engine::<E>(cfg, SIZE, trials),
+    }
+}
 
 fn main() {
     let trials = 3;
-    let rows = table1(1024, trials);
+    let rows = table1(SIZE, trials);
     println!(
         "{}",
         render_table(
@@ -25,4 +51,68 @@ fn main() {
             r.name, p, r.tps.mean
         );
     }
+
+    // Engine head-to-head: the paper's fastest configuration and its most
+    // robust batching configuration, PBFT vs the linear engine on the same
+    // seeds and workload.
+    let configs = table1_configs();
+    let picks = [&configs[0], &configs[8]];
+    let mut cells = Vec::new();
+    println!("\nengine head-to-head (same configs, seeds and workload):");
+    println!(
+        "{:<32} {:<8} {:>10} {:>8}",
+        "configuration", "engine", "TPS", "StDev"
+    );
+    for cfg in picks {
+        for c in [
+            cell::<Replica>(cfg, trials),
+            cell::<LinearReplica>(cfg, trials),
+        ] {
+            println!(
+                "{:<32} {:<8} {:>10.0} {:>8.0}",
+                c.config, c.engine, c.tps.mean, c.tps.std_dev
+            );
+            cells.push(c);
+        }
+    }
+
+    let json = Json::obj([
+        ("bench", "table1".into()),
+        ("request_size", SIZE.into()),
+        ("trials", trials.into()),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .zip(paper)
+                    .map(|(r, p)| {
+                        Json::obj([
+                            ("config", r.name.as_str().into()),
+                            ("engine", "pbft".into()),
+                            ("tps_mean", r.tps.mean.into()),
+                            ("tps_stddev", r.tps.std_dev.into()),
+                            ("paper_tps", p.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "engine_head_to_head",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("config", c.config.as_str().into()),
+                            ("engine", c.engine.into()),
+                            ("tps_mean", c.tps.mean.into()),
+                            ("tps_stddev", c.tps.std_dev.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    artifact::write("BENCH_table1.json", &json);
 }

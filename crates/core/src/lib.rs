@@ -38,7 +38,9 @@
 pub mod app;
 pub mod client;
 pub mod config;
+pub mod engine;
 pub mod keys;
+pub mod linear;
 pub mod log;
 pub mod membership;
 pub mod messages;
@@ -53,7 +55,9 @@ pub mod xshard;
 pub use app::{App, ExecMetrics, NonDet, NullApp};
 pub use client::{Client, ClientEvent};
 pub use config::{AuthMode, PbftConfig};
+pub use engine::ConsensusEngine;
 pub use keys::KeyStore;
+pub use linear::LinearReplica;
 pub use messages::{Envelope, Message, Operation, RequestMsg};
 pub use output::{HandleResult, NetTarget, OpCounts, Output, TimerKind};
 pub use replica::Replica;

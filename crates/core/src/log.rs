@@ -140,6 +140,20 @@ impl MessageLog {
         self.entries.retain(|&s, _| s <= seq);
     }
 
+    /// Discard uncommitted entries above `max_s` left over from views
+    /// before `view` — pre-prepares a dead primary issued that no
+    /// view-change vote carried into the new view's re-issue set. Nothing
+    /// above `max_s` can have committed anywhere (a commit quorum forces a
+    /// prepared certificate into every view-change quorum), so dropping is
+    /// safe; keeping them would pin the congestion window on slots the new
+    /// view will never re-agree. Matters most for leader-aggregated
+    /// engines, where backups hold no prepare quorums of their own and a
+    /// leader failure routinely strands its in-flight tail.
+    pub fn drop_stale_above(&mut self, max_s: SeqNum, view: View) {
+        self.entries
+            .retain(|&s, e| s <= max_s || e.view >= view || e.committed);
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -300,6 +300,58 @@ pub struct CommitMsg {
     pub replica: ReplicaId,
 }
 
+/// Quorum certificate: the leader-aggregated vote set the linear engine
+/// ([`crate::linear`]) broadcasts in place of all-to-all prepare/commit
+/// exchanges. `PrepareQC` certifies 2f backup prepare votes for one
+/// `(view, seq, digest)` slot; `CommitQC` certifies a full 2f+1 commit
+/// quorum. The voter list is unattested — the same documented
+/// simplification as the prepared certificates inside view-change
+/// messages — which is sound for the crash/timing fault model the
+/// conformance scenarios exercise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumCertMsg {
+    /// View the votes were cast in.
+    pub view: View,
+    /// Sequence number the certificate covers.
+    pub seq: SeqNum,
+    /// The batch digest the voters agreed on.
+    pub digest: Digest,
+    /// The replicas whose votes the leader aggregated.
+    pub voters: Vec<ReplicaId>,
+}
+
+impl QuorumCertMsg {
+    fn encode(&self, e: &mut Enc) {
+        e.u64(self.view)
+            .u64(self.seq)
+            .digest(&self.digest)
+            .u32(self.voters.len() as u32);
+        for v in &self.voters {
+            e.u32(v.0);
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let view = d.u64()?;
+        let seq = d.u64()?;
+        let digest = d.digest()?;
+        let count = d.u32()? as usize;
+        if count > 10_000 {
+            return Err(WireError::BadLength(count as u64));
+        }
+        let mut voters = Vec::with_capacity(count);
+        for _ in 0..count {
+            voters.push(ReplicaId(d.u32()?));
+        }
+        Ok(QuorumCertMsg {
+            view,
+            seq,
+            digest,
+            voters,
+        })
+    }
+}
+
 /// Reply: sent directly from each replica to the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplyMsg {
@@ -470,6 +522,10 @@ pub enum Message {
     BodyFetch(BodyFetchMsg),
     /// Missing-body response.
     BodyResp(RequestMsg),
+    /// Linear-engine prepare certificate (leader-aggregated, [`crate::linear`]).
+    PrepareQC(QuorumCertMsg),
+    /// Linear-engine commit certificate (leader-aggregated, [`crate::linear`]).
+    CommitQC(QuorumCertMsg),
 }
 
 impl Message {
@@ -490,6 +546,8 @@ impl Message {
             Message::FetchResp(_) => 12,
             Message::BodyFetch(_) => 13,
             Message::BodyResp(_) => 14,
+            Message::PrepareQC(_) => 15,
+            Message::CommitQC(_) => 16,
         }
     }
 
@@ -510,6 +568,8 @@ impl Message {
             Message::FetchResp(_) => "fetch-resp",
             Message::BodyFetch(_) => "body-fetch",
             Message::BodyResp(_) => "body-resp",
+            Message::PrepareQC(_) => "prepare-qc",
+            Message::CommitQC(_) => "commit-qc",
         }
     }
 
@@ -619,6 +679,8 @@ impl Message {
                 e.digest(&m.digest).u32(m.replica.0);
             }
             Message::BodyResp(m) => m.encode(e),
+            Message::PrepareQC(m) => m.encode(e),
+            Message::CommitQC(m) => m.encode(e),
         }
     }
 
@@ -779,6 +841,8 @@ impl Message {
                 replica: ReplicaId(d.u32()?),
             }),
             14 => Message::BodyResp(RequestMsg::decode(d)?),
+            15 => Message::PrepareQC(QuorumCertMsg::decode(d)?),
+            16 => Message::CommitQC(QuorumCertMsg::decode(d)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1059,6 +1123,44 @@ mod tests {
                 (0, Mac64(1)),
                 (2, Mac64(5)),
             ])),
+        );
+    }
+
+    #[test]
+    fn quorum_cert_roundtrip() {
+        let d = Digest::of(b"batch");
+        for (msg, voters) in [
+            (15u8, vec![ReplicaId(1), ReplicaId(2)]),
+            (16u8, vec![ReplicaId(0), ReplicaId(1), ReplicaId(3)]),
+        ] {
+            let qc = QuorumCertMsg {
+                view: 4,
+                seq: 17,
+                digest: d,
+                voters,
+            };
+            let m = if msg == 15 {
+                Message::PrepareQC(qc)
+            } else {
+                Message::CommitQC(qc)
+            };
+            assert_eq!(m.discriminant(), msg);
+            roundtrip(
+                m,
+                Sender::Replica(ReplicaId(1)),
+                AuthTag::Authenticator(Authenticator::from_entries(vec![(0, Mac64(7))])),
+            );
+        }
+        // An empty voter list survives too (the f = 0 degenerate group).
+        roundtrip(
+            Message::PrepareQC(QuorumCertMsg {
+                view: 0,
+                seq: 1,
+                digest: d,
+                voters: vec![],
+            }),
+            Sender::Replica(ReplicaId(0)),
+            AuthTag::None,
         );
     }
 

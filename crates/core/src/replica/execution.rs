@@ -7,7 +7,7 @@ use crate::app::NonDet;
 use crate::membership::JoinOutcome;
 use crate::messages::{
     BatchEntry, BodyFetchMsg, CheckpointMsg, CommitMsg, Message, Operation, PrePrepareMsg,
-    PrepareMsg, ReplyMsg, RequestMsg,
+    PrepareMsg, QuorumCertMsg, ReplyMsg, RequestMsg,
 };
 use crate::output::{HandleResult, NetTarget, Output, TimerKind};
 use crate::types::{ClientId, ReplicaId, SeqNum};
@@ -181,7 +181,14 @@ impl Replica {
             if let Some(e) = self.log.get_mut(pp.seq) {
                 e.prepares.insert(me);
             }
-            self.multicast(Message::Prepare(prepare), res);
+            if self.linear {
+                // Linear mode: the prepare vote goes to the leader alone,
+                // which aggregates the quorum into a PrepareQC broadcast.
+                let leader = self.cfg.primary_of(pp.view);
+                self.send_authenticated(NetTarget::Replica(leader), Message::Prepare(prepare), res);
+            } else {
+                self.multicast(Message::Prepare(prepare), res);
+            }
         }
         self.update_prepared(pp.seq, now_ns, res);
         // A retransmitted pre-prepare can be the last missing piece of an
@@ -210,6 +217,8 @@ impl Replica {
     /// backups (the pre-prepare stands in for the primary's prepare).
     pub(crate) fn update_prepared(&mut self, seq: SeqNum, now_ns: u64, res: &mut HandleResult) {
         let needed = 2 * self.cfg.f;
+        let me = self.id();
+        let linear = self.linear;
         let Some(e) = self.log.get_mut(seq) else {
             return;
         };
@@ -220,6 +229,12 @@ impl Replica {
         // the primary's prepare (so the primary also waits for 2f backups,
         // while a backup's own prepare is already in the set).
         let primary = self.cfg.primary_of(e.view);
+        if linear && me != primary {
+            // Linear mode: prepare votes flow to the leader only, so backups
+            // never accumulate a quorum here — they mark the slot prepared
+            // when the leader's PrepareQC arrives (`on_prepare_qc`).
+            return;
+        }
         let backup_prepares = e.prepares.iter().filter(|&&r| r != primary).count();
         if backup_prepares < needed {
             return;
@@ -227,17 +242,29 @@ impl Replica {
         e.prepared = true;
         let digest = e.digest;
         let view = e.view;
-        let me = self.id();
-        let commit = CommitMsg {
-            view,
-            seq,
-            digest,
-            replica: me,
-        };
-        if let Some(e) = self.log.get_mut(seq) {
-            e.commits.insert(me);
+        let voters: Vec<ReplicaId> = e.prepares.iter().copied().collect();
+        e.commits.insert(me);
+        if linear {
+            // The leader certifies the prepare quorum in a single broadcast;
+            // backups answer with commit votes addressed to the leader.
+            self.multicast(
+                Message::PrepareQC(QuorumCertMsg {
+                    view,
+                    seq,
+                    digest,
+                    voters,
+                }),
+                res,
+            );
+        } else {
+            let commit = CommitMsg {
+                view,
+                seq,
+                digest,
+                replica: me,
+            };
+            self.multicast(Message::Commit(commit), res);
         }
-        self.multicast(Message::Commit(commit), res);
         if self.cfg.tentative_execution {
             self.try_execute(now_ns, res);
         }
@@ -258,6 +285,8 @@ impl Replica {
     /// committed-local: prepared + 2f+1 commits.
     pub(crate) fn update_committed(&mut self, seq: SeqNum, now_ns: u64, res: &mut HandleResult) {
         let quorum = self.cfg.quorum();
+        let me = self.id();
+        let linear = self.linear;
         let Some(e) = self.log.get_mut(seq) else {
             return;
         };
@@ -276,6 +305,18 @@ impl Replica {
             return;
         }
         e.committed = true;
+        // Linear mode: the leader collected the commit quorum; certify it in
+        // one broadcast so backups commit without the all-to-all exchange.
+        let commit_qc = if linear && me == self.cfg.primary_of(e.view) {
+            Some(QuorumCertMsg {
+                view: e.view,
+                seq,
+                digest: e.digest,
+                voters: e.commits.iter().copied().collect(),
+            })
+        } else {
+            None
+        };
         let was_tentative = e.executed && e.tentative;
         if was_tentative {
             // Tentative execution confirmed; upgrade the cached replies so a
@@ -293,6 +334,9 @@ impl Replica {
                     }
                 }
             }
+        }
+        if let Some(qc) = commit_qc {
+            self.multicast(Message::CommitQC(qc), res);
         }
         self.try_execute(now_ns, res);
         // A commit may clear the tentative hole that deferred an interval

@@ -76,6 +76,15 @@ pub struct ReplicaMetrics {
     pub decode_failures: u64,
     /// Requests re-replied from the last-reply cache.
     pub duplicate_requests: u64,
+    /// Agreement-phase packets sent (pre-prepare, prepare, commit, and the
+    /// linear engine's QC broadcasts), counted per destination. The benches
+    /// compare this across engines to expose per-slot communication cost.
+    pub agreement_msgs_sent: u64,
+    /// View-change protocol packets sent (view-change votes and new-view
+    /// installations), counted per destination. PBFT's all-to-all votes make
+    /// this O(n²) per rotation; the linear engine's leader-directed votes
+    /// keep it O(n).
+    pub viewchange_msgs_sent: u64,
 }
 
 /// An in-progress state transfer.
@@ -160,6 +169,11 @@ pub struct Replica {
     /// Execution-order commitment: running digest of executed batches, used
     /// by tests to prove all replicas executed the same sequence.
     pub(crate) exec_chain: Digest,
+
+    /// Linear-communication mode ([`crate::linear`]): votes flow to the
+    /// leader, which broadcasts quorum certificates; view-change votes go to
+    /// the incoming leader only.
+    pub(crate) linear: bool,
 
     /// Last pre-prepare issuance time (the no-batching pacing quantum).
     pub(crate) last_issue_ns: u64,
@@ -249,6 +263,7 @@ impl Replica {
             peer_status: BTreeMap::new(),
             last_peer_help: BTreeMap::new(),
             exec_chain: Digest::ZERO,
+            linear: false,
             last_issue_ns: 0,
             vc_timer_baseline: 0,
             vc_timer_armed: false,
@@ -318,6 +333,12 @@ impl Replica {
     /// Whether this replica is still recovering from a restart.
     pub fn is_recovering(&self) -> bool {
         self.recovering
+    }
+
+    /// True when running in linear-communication mode (constructed through
+    /// [`crate::linear::LinearReplica`]).
+    pub fn is_linear(&self) -> bool {
+        self.linear
     }
 
     /// Fault-injection surface: cast an unjustified view-change vote, the
@@ -493,6 +514,20 @@ impl Replica {
             Message::FetchResp(fr) => self.on_fetch_resp(fr, now_ns, res),
             Message::BodyFetch(bf) => self.on_body_fetch(bf, res),
             Message::BodyResp(req) => self.on_body_resp(req, now_ns, res),
+            // QCs are accepted from any authenticated group member, not just
+            // the leader: the recovery help path resends them on behalf of a
+            // crashed leader (the voter list itself is unattested — the same
+            // trust model as the prepared certificates in view changes).
+            Message::PrepareQC(qc) => {
+                if self.verify_replica(env.sender, prefix, &env.auth, res) {
+                    self.on_prepare_qc(qc, now_ns, res);
+                }
+            }
+            Message::CommitQC(qc) => {
+                if self.verify_replica(env.sender, prefix, &env.auth, res) {
+                    self.on_commit_qc(qc, now_ns, res);
+                }
+            }
             Message::Reply(_) => { /* replicas do not consume replies */ }
         }
     }
@@ -761,7 +796,25 @@ impl Replica {
     // Sealing / sending helpers
     // ------------------------------------------------------------------
 
-    pub(crate) fn multicast(&self, msg: Message, res: &mut HandleResult) {
+    /// Count agreement and view-change protocol traffic (one unit per
+    /// destination copy). The head-to-head engine benches read these
+    /// counters to expose per-slot and per-rotation communication cost.
+    fn note_protocol_msgs(&mut self, msg: &Message, copies: u64) {
+        match msg {
+            Message::PrePrepare(_)
+            | Message::Prepare(_)
+            | Message::Commit(_)
+            | Message::PrepareQC(_)
+            | Message::CommitQC(_) => self.metrics.agreement_msgs_sent += copies,
+            Message::ViewChange(_) | Message::NewView(_) => {
+                self.metrics.viewchange_msgs_sent += copies
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn multicast(&mut self, msg: Message, res: &mut HandleResult) {
+        self.note_protocol_msgs(&msg, self.cfg.n() as u64 - 1);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
         let auth = self
             .keys
@@ -787,7 +840,13 @@ impl Replica {
     /// Send an authenticated message to a single replica (retransmissions).
     /// Uses the multicast authenticator, of which the receiver verifies its
     /// own entry.
-    pub(crate) fn send_authenticated(&self, to: NetTarget, msg: Message, res: &mut HandleResult) {
+    pub(crate) fn send_authenticated(
+        &mut self,
+        to: NetTarget,
+        msg: Message,
+        res: &mut HandleResult,
+    ) {
+        self.note_protocol_msgs(&msg, 1);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
         let auth = self
             .keys
@@ -806,7 +865,8 @@ impl Replica {
     }
 
     /// Send an unauthenticated (digest-validated) message to one target.
-    pub(crate) fn send_plain(&self, to: NetTarget, msg: Message, res: &mut HandleResult) {
+    pub(crate) fn send_plain(&mut self, to: NetTarget, msg: Message, res: &mut HandleResult) {
+        self.note_protocol_msgs(&msg, 1);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
         let packet = Envelope::seal(prefix, &AuthTag::None);
         let env = Envelope {

@@ -169,7 +169,7 @@ impl Replica {
             let Some(pp) = &e.preprepare else { continue };
             if self.cfg.primary_of(e.view) == me {
                 msgs.push(Message::PrePrepare(pp.clone()));
-            } else if e.prepares.contains(&me) {
+            } else if !self.linear && e.prepares.contains(&me) {
                 msgs.push(Message::Prepare(crate::messages::PrepareMsg {
                     view: e.view,
                     seq,
@@ -177,7 +177,24 @@ impl Replica {
                     replica: me,
                 }));
             }
-            if e.commits.contains(&me) {
+            if self.linear {
+                // Linear mode: individual votes are useless to the lagging
+                // peer (only the leader aggregates them), but any replica
+                // that holds a certificate's voter set can replay it.
+                let qc = |voters: &std::collections::BTreeSet<crate::types::ReplicaId>| {
+                    crate::messages::QuorumCertMsg {
+                        view: e.view,
+                        seq,
+                        digest: e.digest,
+                        voters: voters.iter().copied().collect(),
+                    }
+                };
+                if e.committed {
+                    msgs.push(Message::CommitQC(qc(&e.commits)));
+                } else if e.prepared {
+                    msgs.push(Message::PrepareQC(qc(&e.prepares)));
+                }
+            } else if e.commits.contains(&me) {
                 msgs.push(Message::Commit(crate::messages::CommitMsg {
                     view: e.view,
                     seq,

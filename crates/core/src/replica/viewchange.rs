@@ -15,7 +15,7 @@ use pbft_crypto::Digest;
 
 use crate::app::NonDet;
 use crate::messages::{Message, NewViewMsg, PrePrepareMsg, PreparedProof, ViewChangeMsg};
-use crate::output::{HandleResult, Output, TimerKind};
+use crate::output::{HandleResult, NetTarget, Output, TimerKind};
 use crate::types::{SeqNum, View};
 
 use super::Replica;
@@ -48,7 +48,18 @@ impl Replica {
             .entry(target)
             .or_default()
             .insert(me, vc.clone());
-        self.multicast(Message::ViewChange(vc), res);
+        if self.linear {
+            // Linear rotation: the vote goes to the incoming leader alone —
+            // O(n) messages per rotation across the group instead of the
+            // O(n²) all-to-all exchange. The leader already counted its own
+            // vote above, so it sends nothing.
+            let leader = self.cfg.primary_of(target);
+            if leader != me {
+                self.send_authenticated(NetTarget::Replica(leader), Message::ViewChange(vc), res);
+            }
+        } else {
+            self.multicast(Message::ViewChange(vc), res);
+        }
         // Exponential backoff across failed rounds (knobs in `PbftConfig`).
         res.outputs.push(Output::SetTimer {
             kind: TimerKind::NewViewTimeout,
@@ -164,6 +175,10 @@ impl Replica {
             // above).
             self.on_preprepare(pp, now_ns, true, res);
         }
+        // Stale pre-prepares beyond the re-issued range would otherwise sit
+        // in the log counting against the congestion window forever — the
+        // new view never re-agrees them (see `drop_stale_above`).
+        self.log.drop_stale_above(max_s, w);
         self.vc_timer_armed = false;
         self.arm_vc_timer(res);
         res.outputs.push(Output::CancelTimer {

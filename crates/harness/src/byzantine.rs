@@ -37,7 +37,7 @@
 //! (`crate::scenario`) schedules those calls on the virtual clock.
 
 use pbft_core::replica::Replica;
-use pbft_core::{NetTarget, Output};
+use pbft_core::{ConsensusEngine, NetTarget, Output};
 use simnet::{Node, NodeCtx, NodeId, SimDuration, TimerId};
 
 use crate::cluster::{make_engine, Cluster, ClusterSpec};
@@ -72,6 +72,10 @@ pub enum Fault {
 }
 
 /// Message discriminants (first payload byte) this module inspects.
+/// [`Fault::TamperAgreement`] targets the PBFT vote tags only; the linear
+/// engine's QC broadcasts (tags 15/16) are left intact because the linear
+/// conformance scenarios exercise crash/timing faults, where certificate
+/// tampering plays no role.
 const TAG_PREPARE: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_REPLY: u8 = 5;
@@ -80,10 +84,11 @@ const TAG_REPLY: u8 = 5;
 /// outside the engine's `TimerKind` index range, so the two cannot collide.
 const STORM_TIMER: TimerId = TimerId(1_000);
 
-/// A replica host that can misbehave.
-pub struct FaultyReplicaHost {
+/// A replica host that can misbehave. Generic over the hosted
+/// [`ConsensusEngine`]; defaults to the PBFT [`Replica`].
+pub struct FaultyReplicaHost<E: ConsensusEngine = Replica> {
     /// Engine(s): one, or two for [`Fault::SplitBrain`].
-    pub engines: Vec<Replica>,
+    pub engines: Vec<E>,
     /// Cumulative work record of engine 0 (cost-model inputs), matching
     /// [`crate::cluster::ReplicaHost::cum_counts`] so experiment accessors
     /// work on fault-ready clusters too.
@@ -97,17 +102,11 @@ pub struct FaultyReplicaHost {
     restarted: bool,
 }
 
-impl FaultyReplicaHost {
+impl<E: ConsensusEngine> FaultyReplicaHost<E> {
     /// Wrap `replica` with `fault` mounted from the start. For
     /// [`Fault::SplitBrain`] pass the twin engine created with
     /// [`make_engine`] for the same id.
-    pub fn new(
-        replica: Replica,
-        twin: Option<Replica>,
-        fault: Fault,
-        model: CostModel,
-        n: usize,
-    ) -> Self {
+    pub fn new(replica: E, twin: Option<E>, fault: Fault, model: CostModel, n: usize) -> Self {
         let mut engines = vec![replica];
         if let Some(t) = twin {
             assert_eq!(
@@ -131,7 +130,7 @@ impl FaultyReplicaHost {
     /// plain honest host, but a scenario can mount one later. This is how
     /// fault-ready clusters are built (see
     /// [`Cluster::build_fault_ready`](crate::cluster::Cluster::build_fault_ready)).
-    pub fn honest(replica: Replica, model: CostModel, n: usize) -> Self {
+    pub fn honest(replica: E, model: CostModel, n: usize) -> Self {
         FaultyReplicaHost {
             engines: vec![replica],
             cum_counts: Default::default(),
@@ -144,7 +143,7 @@ impl FaultyReplicaHost {
 
     /// [`FaultyReplicaHost::honest`], flagged as a restart so the engine
     /// runs its recovery path on mount.
-    pub fn honest_restarted(replica: Replica, model: CostModel, n: usize) -> Self {
+    pub fn honest_restarted(replica: E, model: CostModel, n: usize) -> Self {
         FaultyReplicaHost {
             restarted: true,
             ..Self::honest(replica, model, n)
@@ -265,7 +264,7 @@ impl FaultyReplicaHost {
     }
 }
 
-impl Node for FaultyReplicaHost {
+impl<E: ConsensusEngine> Node for FaultyReplicaHost<E> {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         for i in 0..self.engines.len() {
             let restarted = self.restarted;
@@ -340,12 +339,21 @@ fn corrupt(mut packet: Vec<u8>) -> Vec<u8> {
 /// are honest but fault-ready (scenarios can mount faults on them later),
 /// and all clients are honest.
 pub fn build_faulty_cluster(spec: ClusterSpec, faulty: u32, fault: Fault) -> Cluster {
+    build_faulty_cluster_engine::<Replica>(spec, faulty, fault)
+}
+
+/// [`build_faulty_cluster`] for any [`ConsensusEngine`].
+pub fn build_faulty_cluster_engine<E: ConsensusEngine>(
+    spec: ClusterSpec,
+    faulty: u32,
+    fault: Fault,
+) -> Cluster<E> {
     let n = spec.cfg.n();
     let cost = spec.cost;
     let spec_for_twin = spec.clone();
-    Cluster::build_with(spec, move |i, replica| {
+    Cluster::build_engine_with(spec, move |i, replica| {
         if i == faulty {
-            let twin = (fault == Fault::SplitBrain).then(|| make_engine(&spec_for_twin, i));
+            let twin = (fault == Fault::SplitBrain).then(|| make_engine::<E>(&spec_for_twin, i));
             Box::new(FaultyReplicaHost::new(replica, twin, fault, cost, n))
         } else {
             Box::new(FaultyReplicaHost::honest(replica, cost, n))
@@ -369,7 +377,7 @@ mod tests {
     fn split_brain_audiences_are_disjoint_and_cover() {
         let spec = ClusterSpec::default();
         let n = spec.cfg.n();
-        let host = FaultyReplicaHost::new(
+        let host: FaultyReplicaHost = FaultyReplicaHost::new(
             make_engine(&spec, 0),
             Some(make_engine(&spec, 0)),
             Fault::SplitBrain,
@@ -389,7 +397,8 @@ mod tests {
     #[test]
     fn honest_host_passes_everything_through() {
         let spec = ClusterSpec::default();
-        let host = FaultyReplicaHost::honest(make_engine(&spec, 1), CostModel::default(), 4);
+        let host: FaultyReplicaHost =
+            FaultyReplicaHost::honest(make_engine(&spec, 1), CostModel::default(), 4);
         assert_eq!(host.fault(), None);
         assert_eq!(host.slowdown(), SimDuration::ZERO);
         assert!(host.audience_allows(0, NodeId(2)));
@@ -400,7 +409,8 @@ mod tests {
     #[test]
     fn slow_primary_charges_but_never_drops() {
         let spec = ClusterSpec::default();
-        let mut host = FaultyReplicaHost::honest(make_engine(&spec, 0), CostModel::default(), 4);
+        let mut host: FaultyReplicaHost =
+            FaultyReplicaHost::honest(make_engine(&spec, 0), CostModel::default(), 4);
         host.fault = Some(Fault::SlowPrimary { delay_ns: 750_000 });
         assert_eq!(host.slowdown(), SimDuration::from_nanos(750_000));
         for tag in [TAG_PREPARE, TAG_COMMIT, TAG_REPLY] {

@@ -7,7 +7,9 @@ use minisql::JournalMode;
 use pbft_core::app::{App, NullApp, StateHandle};
 use pbft_core::client::{Client, ClientEvent, ClientMetrics};
 use pbft_core::replica::{Replica, ReplicaMetrics, LIB_REGION_PAGES};
-use pbft_core::{ClientId, HandleResult, NetTarget, Output, PbftConfig, ReplicaId, TimerKind};
+use pbft_core::{
+    ClientId, ConsensusEngine, HandleResult, NetTarget, Output, PbftConfig, ReplicaId, TimerKind,
+};
 use pbft_sql::{CostProfile, SqlApp};
 use pbft_state::PagedState;
 use simnet::{LinkParams, Node, NodeCtx, NodeId, SimConfig, SimDuration, Simulator, TimerId};
@@ -148,10 +150,11 @@ impl Default for ClusterSpec {
     }
 }
 
-/// A replica mounted as a simulator node.
-pub struct ReplicaHost {
+/// A replica mounted as a simulator node. Generic over the
+/// [`ConsensusEngine`] it hosts; defaults to the PBFT [`Replica`].
+pub struct ReplicaHost<E: ConsensusEngine = Replica> {
     /// The protocol engine.
-    pub replica: Replica,
+    pub replica: E,
     /// Cumulative work record (cost-model inputs), for experiment reports.
     pub cum_counts: pbft_core::OpCounts,
     model: CostModel,
@@ -178,9 +181,9 @@ fn apply_outputs(res: HandleResult, model: &CostModel, ctx: &mut NodeCtx<'_>) {
     }
 }
 
-impl ReplicaHost {
+impl<E: ConsensusEngine> ReplicaHost<E> {
     /// Mount a replica engine with the standard honest behaviour.
-    pub fn new(replica: Replica, model: CostModel) -> ReplicaHost {
+    pub fn new(replica: E, model: CostModel) -> ReplicaHost<E> {
         ReplicaHost {
             replica,
             cum_counts: Default::default(),
@@ -205,7 +208,7 @@ impl ClientHost {
     }
 }
 
-impl Node for ReplicaHost {
+impl<E: ConsensusEngine> Node for ReplicaHost<E> {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         let res = self.replica.on_start(ctx.now().as_nanos(), self.restarted);
         self.cum_counts.add(&res.counts);
@@ -317,8 +320,12 @@ impl Node for ClientHost {
     }
 }
 
-/// A running simulated cluster.
-pub struct Cluster {
+/// A running simulated cluster, generic over the hosted
+/// [`ConsensusEngine`] (default: the PBFT [`Replica`]). Build the default
+/// flavor with [`Cluster::build`]; build any engine with
+/// [`Cluster::build_engine`] (e.g.
+/// `Cluster::<LinearReplica>::build_engine(spec)`).
+pub struct Cluster<E: ConsensusEngine = Replica> {
     /// The simulator.
     pub sim: Simulator,
     /// Node ids of the replicas (index = replica id).
@@ -326,12 +333,13 @@ pub struct Cluster {
     /// Node ids of the clients.
     pub clients: Vec<NodeId>,
     spec: ClusterSpec,
+    _engine: std::marker::PhantomData<fn() -> E>,
 }
 
-/// Build one replica engine per the spec (used by [`Cluster::build`] and by
-/// fault-injection harnesses that need extra engines, e.g. a split-brain
-/// equivocating primary).
-pub fn make_engine(spec: &ClusterSpec, i: u32) -> Replica {
+/// Build one replica engine per the spec (used by [`Cluster::build_engine`]
+/// and by fault-injection harnesses that need extra engines, e.g. a
+/// split-brain equivocating primary).
+pub fn make_engine<E: ConsensusEngine>(spec: &ClusterSpec, i: u32) -> E {
     let static_clients: Vec<ClientId> = if spec.cfg.dynamic_membership {
         Vec::new()
     } else {
@@ -339,7 +347,7 @@ pub fn make_engine(spec: &ClusterSpec, i: u32) -> Replica {
     };
     let state: StateHandle = Rc::new(RefCell::new(PagedState::new(spec.app.state_pages())));
     let app = spec.make_app(state.clone());
-    Replica::new(
+    E::build(
         spec.cfg.clone(),
         GROUP_SEED,
         ReplicaId(i),
@@ -349,20 +357,14 @@ pub fn make_engine(spec: &ClusterSpec, i: u32) -> Replica {
     )
 }
 
+/// The PBFT-engine constructors, kept non-generic so the many existing call
+/// sites (`Cluster::build(spec)`) resolve without type annotations.
 impl Cluster {
     /// Build the cluster: replicas first (node id == replica id), then
     /// clients. Dynamic deployments complete their joins before this
     /// returns.
     pub fn build(spec: ClusterSpec) -> Cluster {
-        let cost = spec.cost;
-        Self::build_with(spec, |_, replica| {
-            Box::new(ReplicaHost {
-                replica,
-                cum_counts: Default::default(),
-                model: cost,
-                restarted: false,
-            })
-        })
+        Cluster::build_engine(spec)
     }
 
     /// Fully custom node assembly: the closure adds every node to the
@@ -372,6 +374,45 @@ impl Cluster {
         spec: ClusterSpec,
         assemble: impl FnOnce(&mut Simulator, &ClusterSpec) -> (Vec<NodeId>, Vec<NodeId>),
     ) -> Cluster {
+        Cluster::build_engine_custom(spec, assemble)
+    }
+
+    /// [`Cluster::build`] with every replica wrapped in a fault-free
+    /// [`FaultyReplicaHost`]: behaviour is identical to [`Cluster::build`],
+    /// but scenarios can [`Cluster::mount_fault`] on any member at runtime.
+    pub fn build_fault_ready(spec: ClusterSpec) -> Cluster {
+        Cluster::build_engine_fault_ready(spec)
+    }
+
+    /// [`Cluster::build`] with custom replica hosts — the hook for mounting
+    /// Byzantine behaviours on selected replicas.
+    pub fn build_with(
+        spec: ClusterSpec,
+        make_host: impl FnMut(u32, Replica) -> Box<dyn Node>,
+    ) -> Cluster {
+        Cluster::build_engine_with(spec, make_host)
+    }
+}
+
+impl<E: ConsensusEngine> Cluster<E> {
+    /// [`Cluster::build`] for any engine type.
+    pub fn build_engine(spec: ClusterSpec) -> Cluster<E> {
+        let cost = spec.cost;
+        Self::build_engine_with(spec, |_, replica| {
+            Box::new(ReplicaHost {
+                replica,
+                cum_counts: Default::default(),
+                model: cost,
+                restarted: false,
+            })
+        })
+    }
+
+    /// [`Cluster::build_custom`] for any engine type.
+    pub fn build_engine_custom(
+        spec: ClusterSpec,
+        assemble: impl FnOnce(&mut Simulator, &ClusterSpec) -> (Vec<NodeId>, Vec<NodeId>),
+    ) -> Cluster<E> {
         let mut sim = Simulator::new(SimConfig {
             seed: spec.seed,
             default_link: spec.link,
@@ -384,28 +425,26 @@ impl Cluster {
             replicas,
             clients,
             spec,
+            _engine: std::marker::PhantomData,
         };
         cluster.settle();
         cluster
     }
 
-    /// [`Cluster::build`] with every replica wrapped in a fault-free
-    /// [`FaultyReplicaHost`]: behaviour is identical to [`Cluster::build`],
-    /// but scenarios can [`Cluster::mount_fault`] on any member at runtime.
-    pub fn build_fault_ready(spec: ClusterSpec) -> Cluster {
+    /// [`Cluster::build_fault_ready`] for any engine type.
+    pub fn build_engine_fault_ready(spec: ClusterSpec) -> Cluster<E> {
         let cost = spec.cost;
         let n = spec.cfg.n();
-        Self::build_with(spec, move |_, replica| {
+        Self::build_engine_with(spec, move |_, replica| {
             Box::new(FaultyReplicaHost::honest(replica, cost, n))
         })
     }
 
-    /// [`Cluster::build`] with custom replica hosts — the hook for mounting
-    /// Byzantine behaviours on selected replicas.
-    pub fn build_with(
+    /// [`Cluster::build_with`] for any engine type.
+    pub fn build_engine_with(
         spec: ClusterSpec,
-        mut make_host: impl FnMut(u32, Replica) -> Box<dyn Node>,
-    ) -> Cluster {
+        mut make_host: impl FnMut(u32, E) -> Box<dyn Node>,
+    ) -> Cluster<E> {
         let mut sim = Simulator::new(SimConfig {
             seed: spec.seed,
             default_link: spec.link,
@@ -415,7 +454,7 @@ impl Cluster {
         let n = spec.cfg.n();
         let mut replicas = Vec::with_capacity(n);
         for i in 0..n as u32 {
-            let replica = make_engine(&spec, i);
+            let replica = make_engine::<E>(&spec, i);
             let id = sim.add_node(make_host(i, replica));
             replicas.push(id);
         }
@@ -443,6 +482,7 @@ impl Cluster {
             replicas,
             clients,
             spec,
+            _engine: std::marker::PhantomData,
         };
         cluster.settle();
         cluster
@@ -596,13 +636,13 @@ impl Cluster {
     /// Access a replica engine, whichever host flavor it is mounted under
     /// (the plain [`ReplicaHost`] or a fault-ready [`FaultyReplicaHost`] —
     /// for the latter, engine 0: the identity a split-brain twin shares).
-    pub fn replica(&self, i: usize) -> Option<&Replica> {
+    pub fn replica(&self, i: usize) -> Option<&E> {
         let id = self.replicas[i];
-        if let Some(h) = self.sim.node_ref::<ReplicaHost>(id) {
+        if let Some(h) = self.sim.node_ref::<ReplicaHost<E>>(id) {
             return Some(&h.replica);
         }
         self.sim
-            .node_ref::<FaultyReplicaHost>(id)
+            .node_ref::<FaultyReplicaHost<E>>(id)
             .map(|h| &h.engines[0])
     }
 
@@ -618,7 +658,7 @@ impl Cluster {
     pub fn mount_fault(&mut self, i: usize, fault: Fault) {
         let mounted = self
             .sim
-            .with_node_ctx::<FaultyReplicaHost, _>(self.replicas[i], |host, ctx| {
+            .with_node_ctx::<FaultyReplicaHost<E>, _>(self.replicas[i], |host, ctx| {
                 host.mount(fault, ctx)
             });
         assert!(
@@ -633,7 +673,9 @@ impl Cluster {
     pub fn unmount_fault(&mut self, i: usize) {
         let unmounted = self
             .sim
-            .with_node_ctx::<FaultyReplicaHost, _>(self.replicas[i], |host, ctx| host.unmount(ctx));
+            .with_node_ctx::<FaultyReplicaHost<E>, _>(self.replicas[i], |host, ctx| {
+                host.unmount(ctx)
+            });
         assert!(
             unmounted.is_some(),
             "replica {i} is not fault-ready (crashed, or not built via build_fault_ready)"
@@ -644,18 +686,18 @@ impl Cluster {
     /// and members not hosted fault-ready).
     pub fn mounted_fault(&self, i: usize) -> Option<Fault> {
         self.sim
-            .node_ref::<FaultyReplicaHost>(self.replicas[i])
+            .node_ref::<FaultyReplicaHost<E>>(self.replicas[i])
             .and_then(|h| h.fault())
     }
 
     /// A replica's cumulative work record (cost-model inputs).
     pub fn replica_counts(&self, i: usize) -> pbft_core::OpCounts {
         let id = self.replicas[i];
-        if let Some(h) = self.sim.node_ref::<ReplicaHost>(id) {
+        if let Some(h) = self.sim.node_ref::<ReplicaHost<E>>(id) {
             return h.cum_counts;
         }
         self.sim
-            .node_ref::<FaultyReplicaHost>(id)
+            .node_ref::<FaultyReplicaHost<E>>(id)
             .map(|h| h.cum_counts)
             .unwrap_or_default()
     }
@@ -701,9 +743,9 @@ impl Cluster {
             match self.sim.take_node(node_id) {
                 Some(node) => {
                     let any = node as Box<dyn std::any::Any>;
-                    match any.downcast::<ReplicaHost>() {
+                    match any.downcast::<ReplicaHost<E>>() {
                         Ok(host) => (Some(host.replica.state_handle()), false),
-                        Err(any) => match any.downcast::<FaultyReplicaHost>() {
+                        Err(any) => match any.downcast::<FaultyReplicaHost<E>>() {
                             Ok(host) => (Some(host.engines[0].state_handle()), true),
                             Err(_) => (None, false),
                         },
@@ -716,7 +758,7 @@ impl Cluster {
             _ => Rc::new(RefCell::new(PagedState::new(self.spec.app.state_pages()))),
         };
         let app = self.spec.make_app(state.clone());
-        let replica = Replica::new(
+        let replica = E::build(
             self.spec.cfg.clone(),
             GROUP_SEED,
             ReplicaId(i as u32),

@@ -187,7 +187,7 @@ pub fn build_firewalled_cluster(spec: ClusterSpec, rows: usize) -> FirewalledClu
         // Replicas.
         let mut replicas = Vec::with_capacity(n);
         for i in 0..n as u32 {
-            let replica = make_engine(spec, i);
+            let replica = make_engine::<pbft_core::Replica>(spec, i);
             replicas.push(sim.add_node(Box::new(ReplicaHost::new(replica, cost))));
         }
         // Firewall rows, chained toward the clients.

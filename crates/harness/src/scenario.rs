@@ -56,6 +56,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use pbft_core::ConsensusEngine;
 use simnet::{Schedule, SimDuration, SimTime};
 
 use crate::byzantine::Fault;
@@ -167,7 +168,14 @@ impl ScenarioEvent {
 
 /// A deployment the scenario engine can drive: groups of replicas sharing
 /// one (lockstep) virtual clock, each group a [`Cluster`].
+///
+/// The trait is engine-polymorphic: the same fault scripts drive a
+/// deployment of any [`ConsensusEngine`] (the conformance suite runs them
+/// under both the PBFT and the linear engine).
 pub trait ScenarioTarget {
+    /// The consensus engine every group of the deployment runs.
+    type Engine: ConsensusEngine;
+
     /// Number of groups.
     fn shard_count(&self) -> usize;
     /// The shared virtual clock.
@@ -176,9 +184,9 @@ pub trait ScenarioTarget {
     /// runs, e.g. the cross-shard transaction initiators).
     fn advance(&mut self, d: SimDuration);
     /// One group, read-only.
-    fn group(&self, shard: usize) -> &Cluster;
+    fn group(&self, shard: usize) -> &Cluster<Self::Engine>;
     /// One group, for fault injection.
-    fn group_mut(&mut self, shard: usize) -> &mut Cluster;
+    fn group_mut(&mut self, shard: usize) -> &mut Cluster<Self::Engine>;
 
     /// Apply one event. The default maps the event vocabulary onto the
     /// group's fault surface; flavors only override if they must intercept.
@@ -214,7 +222,9 @@ pub trait ScenarioTarget {
     }
 }
 
-impl ScenarioTarget for Cluster {
+impl<E: ConsensusEngine> ScenarioTarget for Cluster<E> {
+    type Engine = E;
+
     fn shard_count(&self) -> usize {
         1
     }
@@ -224,17 +234,19 @@ impl ScenarioTarget for Cluster {
     fn advance(&mut self, d: SimDuration) {
         self.run_for(d);
     }
-    fn group(&self, shard: usize) -> &Cluster {
+    fn group(&self, shard: usize) -> &Cluster<E> {
         assert_eq!(shard, 0, "a single-group deployment has only shard 0");
         self
     }
-    fn group_mut(&mut self, shard: usize) -> &mut Cluster {
+    fn group_mut(&mut self, shard: usize) -> &mut Cluster<E> {
         assert_eq!(shard, 0, "a single-group deployment has only shard 0");
         self
     }
 }
 
-impl ScenarioTarget for ShardedCluster {
+impl<E: ConsensusEngine> ScenarioTarget for ShardedCluster<E> {
+    type Engine = E;
+
     fn shard_count(&self) -> usize {
         self.shards()
     }
@@ -244,15 +256,17 @@ impl ScenarioTarget for ShardedCluster {
     fn advance(&mut self, d: SimDuration) {
         self.run_for(d);
     }
-    fn group(&self, shard: usize) -> &Cluster {
+    fn group(&self, shard: usize) -> &Cluster<E> {
         ShardedCluster::group(self, shard)
     }
-    fn group_mut(&mut self, shard: usize) -> &mut Cluster {
+    fn group_mut(&mut self, shard: usize) -> &mut Cluster<E> {
         ShardedCluster::group_mut(self, shard)
     }
 }
 
-impl ScenarioTarget for XShardCluster {
+impl<E: ConsensusEngine> ScenarioTarget for XShardCluster<E> {
+    type Engine = E;
+
     fn shard_count(&self) -> usize {
         self.shards()
     }
@@ -263,10 +277,10 @@ impl ScenarioTarget for XShardCluster {
         // Pumps the transaction driver alongside the lockstep clock.
         self.run_for(d);
     }
-    fn group(&self, shard: usize) -> &Cluster {
+    fn group(&self, shard: usize) -> &Cluster<E> {
         self.sharded().group(shard)
     }
-    fn group_mut(&mut self, shard: usize) -> &mut Cluster {
+    fn group_mut(&mut self, shard: usize) -> &mut Cluster<E> {
         self.sharded_mut().group_mut(shard)
     }
 }

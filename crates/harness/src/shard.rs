@@ -39,6 +39,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use pbft_core::routing::{RouteError, ShardMap};
+use pbft_core::{ConsensusEngine, Replica};
 use simnet::{merge_traces, run_lockstep, SimDuration, TraceEntry};
 
 use crate::cluster::{Cluster, ClusterSpec};
@@ -158,16 +159,19 @@ impl Default for ShardedClusterSpec {
 /// ([`simnet::run_lockstep`]), so cross-group aggregates (completed
 /// requests, throughput windows, merged traces) compare like-for-like
 /// instants.
-pub struct ShardedCluster {
+///
+/// Generic over the [`ConsensusEngine`] running in every group (default:
+/// the PBFT [`Replica`]); all groups run the same engine.
+pub struct ShardedCluster<E: ConsensusEngine = Replica> {
     router: ShardRouter,
-    groups: Vec<Cluster>,
+    groups: Vec<Cluster<E>>,
     metrics: Rc<RefCell<RouterMetrics>>,
 }
 
 impl ShardedCluster {
-    /// Build `spec.shards` groups and align their clocks.
+    /// Build `spec.shards` PBFT groups and align their clocks.
     pub fn build(spec: ShardedClusterSpec) -> ShardedCluster {
-        Self::build_with(spec, |_, gspec| Cluster::build(gspec))
+        Self::build_engine(spec)
     }
 
     /// [`ShardedCluster::build`] with every member of every group wrapped
@@ -175,7 +179,7 @@ impl ShardedCluster {
     /// mount and unmount Byzantine faults on any `(shard, member)` at
     /// runtime.
     pub fn build_fault_ready(spec: ShardedClusterSpec) -> ShardedCluster {
-        Self::build_with(spec, |_, gspec| Cluster::build_fault_ready(gspec))
+        Self::build_engine_fault_ready(spec)
     }
 
     /// [`ShardedCluster::build`] with a per-group cluster factory — the hook
@@ -184,10 +188,31 @@ impl ShardedCluster {
     /// calls [`Cluster::build`] or [`crate::byzantine::build_faulty_cluster`]).
     pub fn build_with(
         spec: ShardedClusterSpec,
-        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
+        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
     ) -> ShardedCluster {
+        Self::build_engine_with(spec, make_cluster)
+    }
+}
+
+impl<E: ConsensusEngine> ShardedCluster<E> {
+    /// [`ShardedCluster::build`] for an arbitrary engine: build `spec.shards`
+    /// groups of `E` replicas and align their clocks.
+    pub fn build_engine(spec: ShardedClusterSpec) -> ShardedCluster<E> {
+        Self::build_engine_with(spec, |_, gspec| Cluster::build_engine(gspec))
+    }
+
+    /// [`ShardedCluster::build_fault_ready`] for an arbitrary engine.
+    pub fn build_engine_fault_ready(spec: ShardedClusterSpec) -> ShardedCluster<E> {
+        Self::build_engine_with(spec, |_, gspec| Cluster::build_engine_fault_ready(gspec))
+    }
+
+    /// [`ShardedCluster::build_with`] for an arbitrary engine.
+    pub fn build_engine_with(
+        spec: ShardedClusterSpec,
+        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster<E>,
+    ) -> ShardedCluster<E> {
         assert!(spec.shards > 0, "a deployment needs at least one shard");
-        let groups: Vec<Cluster> = (0..spec.shards)
+        let groups: Vec<Cluster<E>> = (0..spec.shards)
             .map(|s| {
                 let mut gspec = spec.base.clone();
                 gspec.seed = spec.base.seed.wrapping_add(s as u64 * SHARD_SEED_STRIDE);
@@ -225,12 +250,12 @@ impl ShardedCluster {
     }
 
     /// One group's cluster.
-    pub fn group(&self, shard: usize) -> &Cluster {
+    pub fn group(&self, shard: usize) -> &Cluster<E> {
         &self.groups[shard]
     }
 
     /// One group's cluster, mutably (fault injection per shard).
-    pub fn group_mut(&mut self, shard: usize) -> &mut Cluster {
+    pub fn group_mut(&mut self, shard: usize) -> &mut Cluster<E> {
         &mut self.groups[shard]
     }
 
@@ -339,12 +364,12 @@ impl ShardedCluster {
 
     /// Total completed requests across all groups.
     pub fn completed(&self) -> u64 {
-        self.groups.iter().map(Cluster::completed).sum()
+        self.groups.iter().map(|g| g.completed()).sum()
     }
 
     /// Completed requests per group.
     pub fn per_shard_completed(&self) -> Vec<u64> {
-        self.groups.iter().map(Cluster::completed).collect()
+        self.groups.iter().map(|g| g.completed()).collect()
     }
 
     /// Mean request latency (ms) across every completed request of every

@@ -12,12 +12,14 @@
 //! Everything here is plain test plumbing: no assertions beyond
 //! [`assert_correct_replicas_agree`], no hidden workload.
 
-use pbft_core::PbftConfig;
+use pbft_core::{ConsensusEngine, PbftConfig};
 use simnet::SimDuration;
 
 use crate::cluster::{Cluster, ClusterSpec};
 use crate::shard::ShardedClusterSpec;
 use crate::xshard::XShardSpec;
+
+pub mod conformance;
 
 /// Millisecond shorthand: `ms(250)` reads better than the constructor.
 pub const fn ms(n: u64) -> SimDuration {
@@ -110,10 +112,16 @@ pub fn xshard_spec(shards: usize, initiators: usize, base: ClusterSpec) -> XShar
 /// faults can be swapped at runtime (see
 /// [`Cluster::build_fault_ready`]).
 pub fn scenario_cluster(num_clients: usize, seed: u64) -> Cluster {
+    scenario_cluster_engine::<pbft_core::Replica>(num_clients, seed)
+}
+
+/// [`scenario_cluster`] for an arbitrary [`ConsensusEngine`] — the builder
+/// the engine-generic conformance suite uses.
+pub fn scenario_cluster_engine<E: ConsensusEngine>(num_clients: usize, seed: u64) -> Cluster<E> {
     let mut spec = failover_spec(num_clients, seed);
     spec.cfg.checkpoint_interval = 32;
     spec.cfg.fetch_missing_bodies = true;
-    Cluster::build_fault_ready(spec)
+    Cluster::build_engine_fault_ready(spec)
 }
 
 /// Exec chains of the *correct* replicas must agree pairwise (safety), and
@@ -129,10 +137,17 @@ pub fn scenario_cluster(num_clients: usize, seed: u64) -> Cluster {
 ///   transferred. Transferred replicas are still held to the state-digest
 ///   comparison, which is the stronger ground truth.
 ///
+/// The check is engine-generic: it reads exec chains, heights, transfer
+/// counts and state digests exclusively through the [`ConsensusEngine`]
+/// surface, so it holds any engine to the same safety contract.
+///
 /// # Panics
 /// Panics on a safety violation (divergent execution or divergent state),
 /// or if a listed replica is crashed.
-pub fn assert_correct_replicas_agree(cluster: &mut Cluster, correct: &[usize]) {
+pub fn assert_correct_replicas_agree<E: ConsensusEngine>(
+    cluster: &mut Cluster<E>,
+    correct: &[usize],
+) {
     let chains: Vec<_> = correct
         .iter()
         .map(|&i| cluster.replica(i).expect("alive").exec_chain())

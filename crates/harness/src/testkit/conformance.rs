@@ -1,0 +1,191 @@
+//! Engine-generic runs of the five paper-fault conformance scripts.
+//!
+//! The root `scenario_conformance` suite pins PBFT-specific availability
+//! bounds and recovery windows. This module factors out the part of that
+//! contract every [`ConsensusEngine`] must honor — run the identical fault
+//! script, then assert
+//!
+//! 1. **safety**: correct replicas never diverge (exec chains + state
+//!    digests via [`assert_correct_replicas_agree`]; the ground-truth
+//!    atomicity audit for the cross-shard script), and
+//! 2. **finite recovery**: commits resume after every fault clears, within
+//!    a generous engine-agnostic bound.
+//!
+//! Each function is generic over the engine and returns the
+//! [`ScenarioReport`], so suites can layer engine-specific pins on top.
+//! The root suite instantiates all five for both the PBFT [`Replica`] and
+//! the linear-communication [`LinearReplica`] engine.
+//!
+//! [`Replica`]: pbft_core::Replica
+//! [`LinearReplica`]: pbft_core::LinearReplica
+
+use pbft_core::ConsensusEngine;
+use simnet::SimDuration;
+
+use super::{
+    assert_correct_replicas_agree, fetching_spec, ms, scenario_cluster_engine, sharded_spec,
+    xshard_spec, AUDIT_TIMEOUT,
+};
+use crate::scenario::{paper, run_scenario, ScenarioReport};
+use crate::shard::ShardedCluster;
+use crate::workload::{cross_null_txs, keyed_null_ops, null_ops};
+use crate::xshard::XShardCluster;
+
+/// Offered load for the conformance scripts: one op per client per 4 ms,
+/// open loop, so the offered rate stays fixed while the group degrades.
+pub const PACE: SimDuration = ms(4);
+
+/// Engine-agnostic finite-recovery bound: every script's fault window must
+/// close within this much virtual time of the (last) fault clearing. Wide
+/// on purpose — the per-engine latency pins live in the root suite.
+pub const RECOVERY_BOUND: SimDuration = ms(1500);
+
+fn secs(n: u64) -> SimDuration {
+    SimDuration::from_secs(n)
+}
+
+/// Script 1: the primary crashes under load and later restarts from disk.
+/// The survivors must elect a replacement (finite recovery) and the
+/// restarted ex-primary must fold back into a converged group.
+pub fn primary_crash_under_load<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
+    let name = E::engine_name();
+    let mut cluster = scenario_cluster_engine::<E>(4, seed);
+    cluster.start_paced_workload(PACE, |_| null_ops(64));
+    let report = run_scenario(&mut cluster, &paper::primary_crash_under_load());
+    let recovery = report
+        .timeline
+        .recovery_after(report.trace[0].at)
+        .unwrap_or_else(|| panic!("{name}: commits never resumed after the primary crash"));
+    assert!(
+        recovery <= RECOVERY_BOUND,
+        "{name}: failover recovery {recovery:?} exceeds the conformance bound"
+    );
+    cluster.quiesce(secs(2));
+    // The restarted ex-primary fast-forwards by state transfer (its chain
+    // reseeds), so chains are compared among the never-crashed survivors
+    // and the full group is held to state-digest convergence.
+    assert_correct_replicas_agree(&mut cluster, &[1, 2, 3]);
+    assert!(
+        cluster.states_converged(&[0, 1, 2, 3]),
+        "{name}: the restarted primary must fold back into the group"
+    );
+    report
+}
+
+/// Script 2: the primary turns slow-but-not-dead; only timeouts can evict
+/// it. After the fault is unmounted the slow member (which never lied)
+/// must drain its backlog and agree bit for bit.
+pub fn slow_primary<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
+    let name = E::engine_name();
+    let mut cluster = scenario_cluster_engine::<E>(4, seed);
+    cluster.start_paced_workload(PACE, |_| null_ops(64));
+    let report = run_scenario(&mut cluster, &paper::slow_primary());
+    let recovery = report
+        .timeline
+        .recovery_after(report.trace[0].at)
+        .unwrap_or_else(|| panic!("{name}: commits never resumed after the slow-primary mount"));
+    assert!(
+        recovery <= RECOVERY_BOUND,
+        "{name}: slow-primary eviction {recovery:?} exceeds the conformance bound"
+    );
+    cluster.run_for(secs(2));
+    cluster.quiesce(secs(2));
+    assert_correct_replicas_agree(&mut cluster, &[0, 1, 2, 3]);
+    report
+}
+
+/// Script 3: every backup crashes and restarts blank in turn, never more
+/// than f = 1 down at once. Each crash window must close, each restarted
+/// member must rejoin by state transfer, and the whole group must converge.
+pub fn rolling_crash<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
+    let name = E::engine_name();
+    let mut cluster = scenario_cluster_engine::<E>(4, seed);
+    cluster.start_paced_workload(PACE, |_| null_ops(64));
+    let report = run_scenario(&mut cluster, &paper::rolling_crash());
+    for mark in report.trace.iter().filter(|m| m.label.starts_with("crash")) {
+        let recovery = report
+            .timeline
+            .recovery_after(mark.at)
+            .unwrap_or_else(|| panic!("{name}: no recovery after {}", mark.label));
+        assert!(
+            recovery <= RECOVERY_BOUND,
+            "{name}: recovery after {} took {recovery:?}",
+            mark.label
+        );
+    }
+    cluster.quiesce(secs(2));
+    for m in 1..4 {
+        let rm = cluster.replica_metrics(m);
+        assert!(
+            rm.state_transfers_completed >= 1,
+            "{name}: member {m} restarted blank and must have transferred: {rm:?}"
+        );
+    }
+    assert!(
+        cluster.states_converged(&[0, 1, 2, 3]),
+        "{name}: rolled members must all converge with the primary"
+    );
+    report
+}
+
+/// Script 4: a whole group becomes unreachable mid-2PC and later heals.
+/// Stranded transactions must settle through the recovery pass and the
+/// ground-truth atomicity audit must come back clean.
+pub fn coordinator_outage<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
+    let name = E::engine_name();
+    let mut xc = XShardCluster::<E>::build_engine(xshard_spec(2, 4, fetching_spec(1, seed)));
+    let map = xc.sharded().router().map();
+    xc.start_paced_background(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+    xc.start_transactions(|i| cross_null_txs(map, 64, 1 << 20, i as u64));
+    let report = run_scenario(&mut xc, &paper::coordinator_outage());
+    let heal = report.trace[1].clone();
+    let recovery = report
+        .timeline
+        .recovery_after(heal.at)
+        .unwrap_or_else(|| panic!("{name}: throughput never resumed after the heal"));
+    assert!(
+        recovery <= RECOVERY_BOUND,
+        "{name}: post-heal recovery {recovery:?} exceeds the conformance bound"
+    );
+    xc.quiesce(secs(2));
+    if xc.metrics().tx_unresolved > 0 {
+        xc.resolve_unresolved(AUDIT_TIMEOUT)
+            .unwrap_or_else(|e| panic!("{name}: recovery pass failed: {e}"));
+    }
+    xc.audit_atomicity(AUDIT_TIMEOUT)
+        .unwrap_or_else(|e| panic!("{name}: atomicity audit failed: {e}"));
+    assert!(xc.states_converged(), "{name}: groups must converge");
+    report
+}
+
+/// Script 5: one member is partitioned away and the partition later heals;
+/// the member must catch back up without ever having diverged.
+pub fn partition_then_heal<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
+    let name = E::engine_name();
+    let mut sc = ShardedCluster::<E>::build_engine(sharded_spec(2, fetching_spec(3, seed)));
+    sc.start_paced_keyed_workload(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+    let report = run_scenario(&mut sc, &paper::partition_then_heal());
+    let recovery = report
+        .timeline
+        .recovery_after(report.trace[1].at)
+        .unwrap_or_else(|| panic!("{name}: no progress after the heal"));
+    assert!(
+        recovery <= RECOVERY_BOUND,
+        "{name}: post-heal recovery {recovery:?} exceeds the conformance bound"
+    );
+    sc.quiesce(secs(2));
+    assert!(
+        sc.states_converged(),
+        "{name}: the rejoined member must match its group"
+    );
+    report
+}
+
+/// All five scripts back to back — the one-call engine conformance pass.
+pub fn full_suite<E: ConsensusEngine>(seed_base: u64) {
+    primary_crash_under_load::<E>(seed_base);
+    slow_primary::<E>(seed_base + 1);
+    rolling_crash::<E>(seed_base + 2);
+    coordinator_outage::<E>(seed_base + 3);
+    partition_then_heal::<E>(seed_base + 4);
+}

@@ -59,6 +59,7 @@ use std::collections::BTreeSet;
 use pbft_core::client::ClientEvent;
 use pbft_core::routing::RouteError;
 use pbft_core::xshard::{TxCoordinator, TxId, XMsg, XReply, XShardOp};
+use pbft_core::{ConsensusEngine, Replica};
 use simnet::{SimDuration, SimTime};
 
 use crate::cluster::{Cluster, ClusterSpec};
@@ -233,8 +234,12 @@ impl Initiator {
 
 /// A running cross-shard deployment: a [`ShardedCluster`] whose groups run
 /// the [`pbft_core::XShardApp`] wrapper, plus the transaction driver.
-pub struct XShardCluster {
-    sc: ShardedCluster,
+///
+/// Generic over the [`ConsensusEngine`] ordering each group's operations
+/// (default: the PBFT [`Replica`]); the 2PC driver above the groups is
+/// engine-agnostic.
+pub struct XShardCluster<E: ConsensusEngine = Replica> {
+    sc: ShardedCluster<E>,
     bg_clients: usize,
     initiators: Vec<Initiator>,
     metrics: XShardMetrics,
@@ -245,9 +250,10 @@ pub struct XShardCluster {
 }
 
 impl XShardCluster {
-    /// Build the deployment (see [`XShardCluster::build_with`]).
+    /// Build the deployment over PBFT groups (see
+    /// [`XShardCluster::build_with`]).
     pub fn build(spec: XShardSpec) -> XShardCluster {
-        Self::build_with(spec, |_, gspec| Cluster::build(gspec))
+        Self::build_engine(spec)
     }
 
     /// [`XShardCluster::build`] with every member of every group wrapped
@@ -255,7 +261,7 @@ impl XShardCluster {
     /// mount and unmount Byzantine faults on any `(shard, member)` at
     /// runtime.
     pub fn build_fault_ready(spec: XShardSpec) -> XShardCluster {
-        Self::build_with(spec, |_, gspec| Cluster::build_fault_ready(gspec))
+        Self::build_engine_fault_ready(spec)
     }
 
     /// Build with a per-group cluster factory (the hook for mounting faulty
@@ -264,13 +270,33 @@ impl XShardCluster {
     /// [`crate::byzantine::build_faulty_cluster`]).
     pub fn build_with(
         spec: XShardSpec,
-        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
+        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
     ) -> XShardCluster {
+        Self::build_engine_with(spec, make_cluster)
+    }
+}
+
+impl<E: ConsensusEngine> XShardCluster<E> {
+    /// [`XShardCluster::build`] for an arbitrary engine.
+    pub fn build_engine(spec: XShardSpec) -> XShardCluster<E> {
+        Self::build_engine_with(spec, |_, gspec| Cluster::build_engine(gspec))
+    }
+
+    /// [`XShardCluster::build_fault_ready`] for an arbitrary engine.
+    pub fn build_engine_fault_ready(spec: XShardSpec) -> XShardCluster<E> {
+        Self::build_engine_with(spec, |_, gspec| Cluster::build_engine_fault_ready(gspec))
+    }
+
+    /// [`XShardCluster::build_with`] for an arbitrary engine.
+    pub fn build_engine_with(
+        spec: XShardSpec,
+        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster<E>,
+    ) -> XShardCluster<E> {
         let bg_clients = spec.base.num_clients;
         let mut base = spec.base.clone();
         base.xshard = true;
         base.num_clients = bg_clients + spec.initiators;
-        let sc = ShardedCluster::build_with(
+        let sc = ShardedCluster::build_engine_with(
             ShardedClusterSpec {
                 shards: spec.shards,
                 base,
@@ -290,12 +316,12 @@ impl XShardCluster {
     }
 
     /// The underlying sharded cluster (groups, router, traces).
-    pub fn sharded(&self) -> &ShardedCluster {
+    pub fn sharded(&self) -> &ShardedCluster<E> {
         &self.sc
     }
 
     /// The underlying sharded cluster, mutably (fault injection).
-    pub fn sharded_mut(&mut self) -> &mut ShardedCluster {
+    pub fn sharded_mut(&mut self) -> &mut ShardedCluster<E> {
         &mut self.sc
     }
 

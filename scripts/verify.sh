@@ -44,6 +44,23 @@ echo "    [all packages: $((SECONDS - total0))s]"
 
 step cargo build --examples --benches
 
+# The committed perf-trajectory artifacts (written by `cargo bench --bench
+# table1|sharding|availability`) must stay parseable JSON with per-engine
+# rows.
+echo "==> committed bench artifacts parse (BENCH_*.json)"
+python3 - <<'EOF'
+import json
+for name in ("BENCH_table1.json", "BENCH_sharding.json", "BENCH_availability.json"):
+    with open(name) as f:
+        doc = json.load(f)
+    assert doc.get("bench"), f"{name}: missing 'bench' key"
+    rows = doc.get("rows") or doc.get("scenarios")
+    assert rows, f"{name}: no rows"
+    engines = {r["engine"] for r in rows}
+    assert len(engines) >= 1 and "pbft" in engines, f"{name}: no pbft column"
+    print(f"    {name}: ok ({len(rows)} rows, engines: {', '.join(sorted(engines))})")
+EOF
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --quiet -- -D warnings
 

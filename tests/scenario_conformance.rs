@@ -454,6 +454,60 @@ fn smoke_xshard_flavor() {
 }
 
 // ---------------------------------------------------------------------
+// Engine-generic conformance: the same five scripts, both engines
+// ---------------------------------------------------------------------
+
+/// The five fault scripts run generically over any [`pbft_core::ConsensusEngine`]
+/// through `harness::testkit::conformance`, asserting the engine-independent
+/// contract (safety + finite recovery). One test per (script, engine) pair
+/// so a regression names the exact combination that broke.
+mod engine_conformance {
+    use harness::testkit::conformance;
+    use pbft_core::{LinearReplica, Replica};
+
+    #[test]
+    fn primary_crash_pbft() {
+        conformance::primary_crash_under_load::<Replica>(61);
+    }
+    #[test]
+    fn primary_crash_linear() {
+        conformance::primary_crash_under_load::<LinearReplica>(61);
+    }
+    #[test]
+    fn slow_primary_pbft() {
+        conformance::slow_primary::<Replica>(62);
+    }
+    #[test]
+    fn slow_primary_linear() {
+        conformance::slow_primary::<LinearReplica>(62);
+    }
+    #[test]
+    fn rolling_crash_pbft() {
+        conformance::rolling_crash::<Replica>(63);
+    }
+    #[test]
+    fn rolling_crash_linear() {
+        conformance::rolling_crash::<LinearReplica>(63);
+    }
+    #[test]
+    fn coordinator_outage_pbft() {
+        conformance::coordinator_outage::<Replica>(64);
+    }
+    #[test]
+    fn coordinator_outage_linear() {
+        conformance::coordinator_outage::<LinearReplica>(64);
+    }
+    #[test]
+    fn partition_then_heal_pbft() {
+        conformance::partition_then_heal::<Replica>(65);
+    }
+    #[test]
+    fn partition_then_heal_linear() {
+        conformance::partition_then_heal::<LinearReplica>(65);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Engine-level conformance details
 // ---------------------------------------------------------------------
 
