@@ -16,17 +16,37 @@
 //! the linear engine's leader-directed votes stay O(n) — the committed
 //! `BENCH_availability.json` records both curves.
 //!
+//! A third section is the long-horizon reliability run: one virtual
+//! **hour** per `(strategy, engine)` cell with an adaptive adversary
+//! (`harness::adversary`) camped on a seat and rolling proactive recovery
+//! cycling the other members, reporting the per-bucket throughput
+//! *distribution* (p50/p99 over 1 s buckets), the availability fraction,
+//! and the total time spent below a `0.75 × p99` degradation threshold —
+//! the figures a single degraded window cannot carry. The two strategies
+//! are chosen for their hour-scale signatures: a targeted censor is
+//! *invisible* to aggregate availability (and to the progress-based
+//! suspicion heuristic — no rotation ever evicts it) yet halves p50,
+//! while an equivocating primary drags whole windows under the threshold
+//! until a rolling reboot happens to rotate it out. One cell is run
+//! twice from the same seed and the reports must be identical: the hour
+//! is a deterministic function of the seed.
+//!
 //! Every scenario must report a *finite* recovery under *both* engines —
 //! an `n/a` in the recovery column is a liveness regression and the bench
 //! exits non-zero.
 //!
-//! Run: `cargo bench --bench availability` (single-trial, a few seconds of
-//! virtual time per scenario; seeds are fixed so rows are reproducible).
+//! Run: `cargo bench --bench availability` (single-trial; the reliability
+//! rows simulate an hour each, so the bench takes a few wall-clock
+//! minutes; seeds are fixed so rows are reproducible).
 
 use bench::artifact::{self, Json};
-use harness::scenario::{paper, run_scenario, Scenario, ScenarioReport};
+use harness::adversary::{Adversary, EquivocatingPrimary, TargetedCensor};
+use harness::scenario::{
+    paper, run_scenario, run_scenario_adaptive, Scenario, ScenarioEvent, ScenarioReport,
+};
 use harness::testkit::{
-    failover_spec, fetching_spec, ms, scenario_cluster_engine, sharded_spec, xshard_spec,
+    adversary_cluster_engine, failover_spec, fetching_spec, ms, scenario_cluster_engine,
+    sharded_spec, xshard_spec,
 };
 use harness::workload::{cross_null_txs, keyed_null_ops, null_ops};
 use harness::{Cluster, ShardedCluster, XShardCluster};
@@ -177,6 +197,188 @@ fn rotation_sweep<E: ConsensusEngine>(f: usize, seed: u64) -> SweepRow {
     }
 }
 
+// ---------------------------------------------------------------------
+// Long-horizon reliability: adaptive adversary vs rolling recovery
+// ---------------------------------------------------------------------
+
+/// Virtual horizon of one reliability run.
+const HORIZON: SimDuration = SimDuration::from_secs(3_600);
+/// Distribution bucket: per-second throughput samples, 3600 per run.
+const RELIABILITY_BUCKET: SimDuration = SimDuration::from_secs(1);
+/// Offered load per client over the hour (2 clients → 40 req/s): light
+/// enough that an hour simulates in tens of wall-clock seconds, heavy
+/// enough that every healthy bucket completes dozens of requests.
+const RELIABILITY_PACE: SimDuration = ms(50);
+/// One proactive reboot every 2.5 virtual minutes, cycling seats.
+const RECOVERY_PERIOD_MS: u64 = 150_000;
+/// Adaptive adversaries observe and react at this cadence.
+const ADVERSARY_TICK: SimDuration = ms(250);
+
+struct ReliabilityRow {
+    engine: &'static str,
+    scenario: &'static str,
+    availability: f64,
+    tps_p50: f64,
+    tps_p99: f64,
+    threshold_tps: f64,
+    time_below_threshold: SimDuration,
+    recoveries: usize,
+    adversary_actions: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// The rolling proactive-recovery schedule: every [`RECOVERY_PERIOD_MS`] a
+/// reboot cycles through `seats`, and near the end of the hour the
+/// adversary's own `cured_seat` gets its turn — which disarms the
+/// adversary (the recovery flushed the compromise) and leaves a clean tail
+/// window in the trace.
+fn rolling_recovery(seats: &[usize], cured_seat: usize) -> Vec<(SimDuration, ScenarioEvent)> {
+    let mut events: Vec<(SimDuration, ScenarioEvent)> = (1..)
+        .map(|k| {
+            (
+                k * RECOVERY_PERIOD_MS,
+                seats[(k as usize - 1) % seats.len()],
+            )
+        })
+        .take_while(|(t, _)| *t + RECOVERY_PERIOD_MS < HORIZON.as_nanos() / 1_000_000)
+        .map(|(t, member)| (ms(t), ScenarioEvent::ProactiveRecover { shard: 0, member }))
+        .collect();
+    events.push((
+        ms(3_500_000),
+        ScenarioEvent::ProactiveRecover {
+            shard: 0,
+            member: cured_seat,
+        },
+    ));
+    events
+}
+
+/// One hour-long cell: a single group under paced load, one adaptive
+/// adversary, rolling recovery. Returns the distribution row and the raw
+/// report (the caller re-runs one cell for the determinism check).
+fn reliability_run<E: ConsensusEngine>(
+    scenario_name: &'static str,
+    seed: u64,
+    seats: &[usize],
+    mut adversary: Adversary,
+    twin: bool,
+) -> (ReliabilityRow, ScenarioReport) {
+    let cured_seat = adversary.seat().1;
+    // An equivocating adversary needs its seat provisioned with a silent
+    // split-brain twin; other strategies run on the plain fault-ready host.
+    let mut cluster = if twin {
+        adversary_cluster_engine::<E>(2, seed, cured_seat as u32)
+    } else {
+        scenario_cluster_engine::<E>(2, seed)
+    };
+    cluster.start_paced_workload(RELIABILITY_PACE, |_| null_ops(64));
+    let scenario = Scenario {
+        name: scenario_name,
+        duration: HORIZON,
+        bucket: RELIABILITY_BUCKET,
+        events: rolling_recovery(seats, cured_seat),
+    };
+    let report = run_scenario_adaptive(
+        &mut cluster,
+        &scenario,
+        std::slice::from_mut(&mut adversary),
+        ADVERSARY_TICK,
+    );
+    let mut per_bucket: Vec<u64> = report
+        .timeline
+        .buckets
+        .iter()
+        .map(|b| b.completed)
+        .collect();
+    per_bucket.sort_unstable();
+    let per_sec = RELIABILITY_BUCKET.as_secs_f64();
+    let tps_p50 = percentile(&per_bucket, 50.0) as f64 / per_sec;
+    let tps_p99 = percentile(&per_bucket, 99.0) as f64 / per_sec;
+    // Degraded = below three quarters of healthy (p99) throughput: catches
+    // a starved lane (half the offered load) and an equivocation window
+    // without tripping on bucket-quantization noise.
+    let threshold_tps = 0.75 * tps_p99;
+    let below = report
+        .timeline
+        .buckets
+        .iter()
+        .filter(|b| (b.completed as f64 / per_sec) < threshold_tps)
+        .count();
+    let row = ReliabilityRow {
+        engine: E::engine_name(),
+        scenario: scenario_name,
+        availability: report.timeline.availability(),
+        tps_p50,
+        tps_p99,
+        threshold_tps,
+        time_below_threshold: SimDuration::from_nanos(RELIABILITY_BUCKET.as_nanos() * below as u64),
+        recoveries: report
+            .trace
+            .iter()
+            .filter(|m| m.label.starts_with("proactive("))
+            .count(),
+        adversary_actions: report
+            .trace
+            .iter()
+            .filter(|m| m.label.starts_with("adv("))
+            .count(),
+    };
+    (row, report)
+}
+
+/// A targeted censor camped on seat 0: starves client 1 whenever seat 0
+/// holds the primacy. The backups' suspicion heuristic is progress-based
+/// and the censor keeps committing everyone else's work, so no rotation
+/// ever evicts it — the starvation runs until the rolling schedule's
+/// closing reboot of the seat flushes the compromise.
+fn censor_adversary() -> Adversary {
+    Adversary::new(0, 0, TargetedCensor { client_bits: 0b1 })
+}
+
+/// An equivocating primary on seat 0: runs two correctly-signed brains
+/// whenever it holds the primacy. The split is survivable (one audience
+/// plus the brain is a full quorum) so the group limps along on stable
+/// replies — until a rolling reboot of a quorum-side member stalls the
+/// split and the suspicion timers finally rotate the liar out; the next
+/// time the view cycles back to its seat, it equivocates again.
+fn equivocation_adversary() -> Adversary {
+    Adversary::new(0, 0, EquivocatingPrimary)
+}
+
+/// The reliability matrix: both strategies under both engines, plus the
+/// determinism re-run of the first cell.
+fn reliability_rows() -> Vec<ReliabilityRow> {
+    const CENSOR: &str = "adaptive-censor+rolling-recovery";
+    const EQUIV: &str = "adaptive-equivocation+rolling-recovery";
+    let mut rows = Vec::new();
+    let (row, first) =
+        reliability_run::<Replica>(CENSOR, 90, &[1, 2, 3], censor_adversary(), false);
+    rows.push(row);
+    // Determinism acceptance: the same seed must reproduce the hour
+    // byte-for-byte — trace, marks, and every bucket of the timeline.
+    let (_, again) = reliability_run::<Replica>(CENSOR, 90, &[1, 2, 3], censor_adversary(), false);
+    assert_eq!(
+        first, again,
+        "an hour-long adaptive run must be a pure function of its seed"
+    );
+    rows.push(
+        reliability_run::<LinearReplica>(CENSOR, 90, &[1, 2, 3], censor_adversary(), false).0,
+    );
+    rows.push(reliability_run::<Replica>(EQUIV, 91, &[1, 2, 3], equivocation_adversary(), true).0);
+    rows.push(
+        reliability_run::<LinearReplica>(EQUIV, 91, &[1, 2, 3], equivocation_adversary(), true).0,
+    );
+    rows
+}
+
 fn fmt_recovery(r: Option<SimDuration>, all_finite: &mut bool) -> String {
     match r {
         Some(d) => format!("{:.0}", d.as_nanos() as f64 / 1e6),
@@ -264,6 +466,38 @@ fn main() {
          leader-directed votes O(n)"
     );
 
+    println!(
+        "\nlong-horizon reliability — 1 virtual hour per cell, adaptive adversary \
+         vs rolling proactive recovery (1 s buckets):"
+    );
+    println!(
+        "{:<36} {:<8} {:>7} {:>9} {:>9} {:>12} {:>11} {:>6} {:>8}",
+        "scenario",
+        "engine",
+        "avail",
+        "tps p50",
+        "tps p99",
+        "below thr(s)",
+        "thr (tps)",
+        "reboot",
+        "adv acts"
+    );
+    let reliability = reliability_rows();
+    for r in &reliability {
+        println!(
+            "{:<36} {:<8} {:>6.2}% {:>9.1} {:>9.1} {:>12.0} {:>11.1} {:>6} {:>8}",
+            r.scenario,
+            r.engine,
+            r.availability * 100.0,
+            r.tps_p50,
+            r.tps_p99,
+            r.time_below_threshold.as_secs_f64(),
+            r.threshold_tps,
+            r.recoveries,
+            r.adversary_actions,
+        );
+    }
+
     let json = Json::obj([
         ("bench", "availability".into()),
         (
@@ -305,6 +539,35 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "reliability",
+            Json::Arr(
+                reliability
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("scenario", r.scenario.into()),
+                            ("engine", r.engine.into()),
+                            ("horizon_ms", (HORIZON.as_nanos() / 1_000_000).into()),
+                            (
+                                "bucket_ms",
+                                (RELIABILITY_BUCKET.as_nanos() / 1_000_000).into(),
+                            ),
+                            ("availability", r.availability.into()),
+                            ("tps_p50", r.tps_p50.into()),
+                            ("tps_p99", r.tps_p99.into()),
+                            ("threshold_tps", r.threshold_tps.into()),
+                            (
+                                "time_below_threshold_ms",
+                                (r.time_below_threshold.as_nanos() / 1_000_000).into(),
+                            ),
+                            ("recoveries", r.recoveries.into()),
+                            ("adversary_actions", r.adversary_actions.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     artifact::write("BENCH_availability.json", &json);
 
@@ -312,6 +575,35 @@ fn main() {
         all_finite,
         "a scenario never recovered — liveness regression"
     );
+    for r in &reliability {
+        assert!(
+            r.tps_p50 > 0.0 && r.availability > 0.5,
+            "{} under {} spent most of the hour dark: avail={:.3} p50={:.1}",
+            r.scenario,
+            r.engine,
+            r.availability,
+            r.tps_p50
+        );
+        assert!(
+            r.recoveries >= 20 && r.adversary_actions >= 1,
+            "{} under {}: the hour must contain a real rolling schedule and a live \
+             adversary (reboots={}, adversary marks={})",
+            r.scenario,
+            r.engine,
+            r.recoveries,
+            r.adversary_actions
+        );
+        assert!(
+            r.tps_p99 > r.tps_p50 || r.time_below_threshold.as_nanos() > 0,
+            "{} under {}: the adversary left no visible dent in the distribution \
+             (p50={:.1}, p99={:.1}, below-threshold={:?})",
+            r.scenario,
+            r.engine,
+            r.tps_p50,
+            r.tps_p99,
+            r.time_below_threshold
+        );
+    }
     // The committed curves must actually show the complexity gap: at every
     // group size the linear engine's rotation cost stays below PBFT's, and
     // the gap widens with n.

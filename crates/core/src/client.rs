@@ -387,6 +387,21 @@ impl Client {
         }
     }
 
+    /// Proactive-recovery hook: re-derive this client's session keys
+    /// ([`ClientKeys::rekey`]) and redistribute them with a fresh signed
+    /// NewKey broadcast. A replica that was just rebooted on the rolling
+    /// recovery schedule lost its transient session keys (§2.3); this
+    /// re-keys it immediately instead of waiting for the blind NewKey
+    /// retransmission timer. No-op for clients still mid-join.
+    pub fn redistribute_session_keys(&mut self) -> HandleResult {
+        let mut res = HandleResult::default();
+        if matches!(self.join, JoinState::Member) {
+            self.keys.rekey(self.group_seed, self.id);
+            self.send_new_key(&mut res);
+        }
+        res
+    }
+
     fn send_join_phase1(&mut self, now_ns: u64, res: &mut HandleResult) {
         let op = Operation::JoinPhase1 {
             pubkey: self.keys.keypair().public(),

@@ -96,6 +96,9 @@
 //!     fn is_recovering(&self) -> bool {
 //!         false
 //!     }
+//!     fn in_view_change(&self) -> bool {
+//!         false
+//!     }
 //! }
 //!
 //! # use std::{cell::RefCell, rc::Rc};
@@ -187,6 +190,12 @@ pub trait ConsensusEngine: 'static {
 
     /// True while a state transfer is in flight.
     fn is_recovering(&self) -> bool;
+
+    /// True while a leader rotation is in flight (the engine has voted to
+    /// change views/rounds and has not yet entered the new one). Adaptive
+    /// adversaries key on this window — it is when a misbehaving vote or a
+    /// withheld message hurts the most — so every engine must expose it.
+    fn in_view_change(&self) -> bool;
 }
 
 impl ConsensusEngine for Replica {
@@ -251,5 +260,9 @@ impl ConsensusEngine for Replica {
 
     fn is_recovering(&self) -> bool {
         Replica::is_recovering(self)
+    }
+
+    fn in_view_change(&self) -> bool {
+        Replica::in_view_change(self)
     }
 }

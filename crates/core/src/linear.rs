@@ -168,6 +168,10 @@ impl ConsensusEngine for LinearReplica {
     fn is_recovering(&self) -> bool {
         self.0.is_recovering()
     }
+
+    fn in_view_change(&self) -> bool {
+        self.0.in_view_change()
+    }
 }
 
 // The linear-mode certificate handlers live on `Replica` itself (gated on

@@ -335,6 +335,12 @@ impl Replica {
         self.recovering
     }
 
+    /// Whether a leader rotation is in flight: this replica has voted a
+    /// view change and has not yet entered the new view.
+    pub fn in_view_change(&self) -> bool {
+        self.in_view_change
+    }
+
     /// True when running in linear-communication mode (constructed through
     /// [`crate::linear::LinearReplica`]).
     pub fn is_linear(&self) -> bool {

@@ -25,6 +25,15 @@
 //!   correctly authenticated view-change votes. A lone stormer stays below
 //!   the `f + 1` join rule, so the group must keep committing; the storm
 //!   taxes bandwidth and vote bookkeeping instead.
+//! * [`Fault::Censor`] — targeted request censorship: incoming requests
+//!   from the chosen clients are silently swallowed and replies to them are
+//!   dropped. A censoring *primary* starves exactly those clients while
+//!   serving everyone else — and because the backups' suspicion heuristic
+//!   is progress-based (it fires only when *nothing* executes), the steady
+//!   progress on everyone else's work means the censor is never suspected.
+//!   The attack is invisible both to aggregate throughput and to the
+//!   view-change machinery; per-client timeline lanes expose it, and only
+//!   unmounting — or a proactive recovery of the seat — ends it.
 //!
 //! The split-brain construction is the strongest: it cannot be detected by
 //! authentication (every message is genuinely signed by the primary) and
@@ -34,10 +43,16 @@
 //! [`FaultyReplicaHost::honest`] behaves exactly like the plain host until a
 //! scenario mounts a fault mid-run ([`FaultyReplicaHost::mount`]) and later
 //! unmounts it ([`FaultyReplicaHost::unmount`]). The scenario engine
-//! (`crate::scenario`) schedules those calls on the virtual clock.
+//! (`crate::scenario`) schedules those calls on the virtual clock, and the
+//! adaptive strategies of [`crate::adversary`] mount and unmount them in
+//! reaction to observed protocol state. A host built with
+//! [`FaultyReplicaHost::honest_with_twin`] (see [`build_adversary_cluster`])
+//! additionally keeps a silent split-brain twin tracking the protocol, so
+//! [`Fault::SplitBrain`] itself becomes mountable mid-run.
 
+use pbft_core::messages::Sender;
 use pbft_core::replica::Replica;
-use pbft_core::{ConsensusEngine, NetTarget, Output};
+use pbft_core::{ClientId, ConsensusEngine, Envelope, NetTarget, Output};
 use simnet::{Node, NodeCtx, NodeId, SimDuration, TimerId};
 
 use crate::cluster::{make_engine, Cluster, ClusterSpec};
@@ -69,16 +84,40 @@ pub enum Fault {
         /// Interval between vote bursts.
         period_ns: u64,
     },
+    /// Targeted request censorship: swallow incoming requests from the
+    /// chosen clients and drop outgoing replies to them, while serving
+    /// everyone else honestly.
+    Censor {
+        /// Bitmask of censored clients: bit `k` censors `ClientId(k + 1)`
+        /// (so clients 1..=64 are addressable — the harness never builds
+        /// more).
+        client_bits: u64,
+    },
+}
+
+impl Fault {
+    /// Is `client` on this fault's censorship list?
+    fn censors(&self, client: ClientId) -> bool {
+        match *self {
+            Fault::Censor { client_bits } => {
+                (1..=64).contains(&client.0) && (client_bits >> (client.0 - 1)) & 1 == 1
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Message discriminants (first payload byte) this module inspects.
-/// [`Fault::TamperAgreement`] targets the PBFT vote tags only; the linear
-/// engine's QC broadcasts (tags 15/16) are left intact because the linear
-/// conformance scenarios exercise crash/timing faults, where certificate
-/// tampering plays no role.
+/// [`Fault::TamperAgreement`] is engine-aware: it corrupts the PBFT vote
+/// tags *and* the linear engine's leader-aggregated certificate broadcasts
+/// (tags 15/16), so a tampering linear leader actually attacks the path it
+/// owns — QC forgery must be caught by the receivers' authenticators.
+const TAG_REQUEST: u8 = 1;
 const TAG_PREPARE: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_REPLY: u8 = 5;
+const TAG_PREPARE_QC: u8 = 15;
+const TAG_COMMIT_QC: u8 = 16;
 
 /// The host-private timer driving [`Fault::ViewChangeStorm`] bursts. Far
 /// outside the engine's `TimerKind` index range, so the two cannot collide.
@@ -144,10 +183,30 @@ impl<E: ConsensusEngine> FaultyReplicaHost<E> {
     /// [`FaultyReplicaHost::honest`], flagged as a restart so the engine
     /// runs its recovery path on mount.
     pub fn honest_restarted(replica: E, model: CostModel, n: usize) -> Self {
+        Self::honest(replica, model, n).as_restarted()
+    }
+
+    /// [`FaultyReplicaHost::honest`] with a split-brain twin provisioned
+    /// from construction: the twin processes every input alongside the real
+    /// engine (so it shares the whole protocol history) but its outputs are
+    /// suppressed until [`Fault::SplitBrain`] is mounted. This is what lets
+    /// an adaptive adversary turn equivocation on and off mid-run.
+    pub fn honest_with_twin(replica: E, twin: E, model: CostModel, n: usize) -> Self {
         FaultyReplicaHost {
-            restarted: true,
-            ..Self::honest(replica, model, n)
+            engines: vec![replica, twin],
+            cum_counts: Default::default(),
+            fault: None,
+            model,
+            n,
+            restarted: false,
         }
+    }
+
+    /// Flag this host as mounted by a restart, so the engine(s) run their
+    /// recovery path on start.
+    pub fn as_restarted(mut self) -> Self {
+        self.restarted = true;
+        self
     }
 
     /// The currently mounted fault, if any.
@@ -191,9 +250,14 @@ impl<E: ConsensusEngine> FaultyReplicaHost<E> {
     /// owns the remaining backups. (For n = 4 and faulty replica 0 that is
     /// {1} vs {2, 3} — neither audience alone can assemble a prepare quorum
     /// for a conflicting batch... unless the protocol is broken.)
+    ///
+    /// Whenever split-brain is *not* mounted, only engine 0 speaks: a twin
+    /// provisioned for later equivocation keeps tracking the protocol
+    /// silently instead of duplicating (and, with its skewed clock,
+    /// accidentally equivocating) the member's honest traffic.
     fn audience_allows(&self, engine_idx: usize, dst: NodeId) -> bool {
         if self.fault != Some(Fault::SplitBrain) {
-            return true;
+            return engine_idx == 0;
         }
         let is_replica = (dst.0 as usize) < self.n;
         if !is_replica {
@@ -217,11 +281,45 @@ impl<E: ConsensusEngine> FaultyReplicaHost<E> {
             Some(Fault::Mute) => None,
             Some(Fault::TamperReplies) if to_client && tag == TAG_REPLY => Some(corrupt(packet)),
             Some(Fault::TamperAgreement)
-                if !to_client && (tag == TAG_PREPARE || tag == TAG_COMMIT) =>
+                if !to_client
+                    && matches!(
+                        tag,
+                        TAG_PREPARE | TAG_COMMIT | TAG_PREPARE_QC | TAG_COMMIT_QC
+                    ) =>
             {
                 Some(corrupt(packet))
             }
             _ => Some(packet),
+        }
+    }
+
+    /// Under [`Fault::Censor`]: is `dst` a censored client's node? Client
+    /// `ClientId(k)` sits at node id `n + k - 1`.
+    fn censored_node(&self, dst: NodeId) -> bool {
+        let Some(fault) = self.fault else {
+            return false;
+        };
+        let idx = dst.0 as usize;
+        idx >= self.n && fault.censors(ClientId((idx - self.n) as u64 + 1))
+    }
+
+    /// Under [`Fault::Censor`]: should this incoming packet be swallowed
+    /// before the engine sees it? Only client requests are censored —
+    /// agreement traffic (which may *carry* the censored requests inside
+    /// pre-prepares) passes, exactly like a real censoring front-end.
+    fn censors_incoming(&self, payload: &[u8]) -> bool {
+        let Some(fault @ Fault::Censor { .. }) = self.fault else {
+            return false;
+        };
+        if payload.first() != Some(&TAG_REQUEST) {
+            return false;
+        }
+        match Envelope::decode(payload) {
+            Ok((env, _)) => match env.sender {
+                Sender::Client(c) => fault.censors(c),
+                _ => false,
+            },
+            Err(_) => false,
         }
     }
 
@@ -242,6 +340,9 @@ impl<E: ConsensusEngine> FaultyReplicaHost<E> {
                         NetTarget::Client(addr) => (NodeId(addr), true),
                     };
                     if !self.audience_allows(engine_idx, dst) {
+                        continue;
+                    }
+                    if to_client && self.censored_node(dst) {
                         continue;
                     }
                     let Some(packet) = self.transform(packet, to_client) else {
@@ -283,6 +384,9 @@ impl<E: ConsensusEngine> Node for FaultyReplicaHost<E> {
     fn on_packet(&mut self, _src: NodeId, payload: &[u8], ctx: &mut NodeCtx<'_>) {
         ctx.charge(self.model.packet_cost(payload.len()));
         ctx.charge(self.slowdown());
+        if self.censors_incoming(payload) {
+            return; // the censored client's request is silently swallowed
+        }
         for i in 0..self.engines.len() {
             // The twin's clock is skewed by its index (nanoseconds): the
             // brains are otherwise deterministic twins and would issue
@@ -361,6 +465,32 @@ pub fn build_faulty_cluster_engine<E: ConsensusEngine>(
     })
 }
 
+/// Build a cluster where replica `compromised` carries a provisioned (but
+/// silent) split-brain twin, so an adaptive adversary can mount *any*
+/// fault on it mid-run — including [`Fault::SplitBrain`]. All members are
+/// fault-ready; behaviour is honest until something is mounted.
+pub fn build_adversary_cluster(spec: ClusterSpec, compromised: u32) -> Cluster {
+    build_adversary_cluster_engine::<Replica>(spec, compromised)
+}
+
+/// [`build_adversary_cluster`] for any [`ConsensusEngine`].
+pub fn build_adversary_cluster_engine<E: ConsensusEngine>(
+    spec: ClusterSpec,
+    compromised: u32,
+) -> Cluster<E> {
+    let n = spec.cfg.n();
+    let cost = spec.cost;
+    let spec_for_twin = spec.clone();
+    Cluster::build_engine_with(spec, move |i, replica| {
+        if i == compromised {
+            let twin = make_engine::<E>(&spec_for_twin, i);
+            Box::new(FaultyReplicaHost::honest_with_twin(replica, twin, cost, n))
+        } else {
+            Box::new(FaultyReplicaHost::honest(replica, cost, n))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +534,76 @@ mod tests {
         assert!(host.audience_allows(0, NodeId(2)));
         let packet = vec![TAG_REPLY, 1, 2, 3];
         assert_eq!(host.transform(packet.clone(), true), Some(packet));
+    }
+
+    #[test]
+    fn tamper_agreement_covers_linear_qc_tags() {
+        let spec = ClusterSpec::default();
+        let mut host: FaultyReplicaHost =
+            FaultyReplicaHost::honest(make_engine(&spec, 0), CostModel::default(), 4);
+        host.fault = Some(Fault::TamperAgreement);
+        for tag in [TAG_PREPARE, TAG_COMMIT, TAG_PREPARE_QC, TAG_COMMIT_QC] {
+            let packet = vec![tag, 7, 7, 7, 7];
+            assert_ne!(
+                host.transform(packet.clone(), false),
+                Some(packet),
+                "agreement tag {tag} must be corrupted"
+            );
+        }
+        // Non-agreement traffic (pre-prepare tag 2, replies) passes intact.
+        for (tag, to_client) in [(2u8, false), (TAG_REPLY, true)] {
+            let packet = vec![tag, 7, 7, 7, 7];
+            assert_eq!(host.transform(packet.clone(), to_client), Some(packet));
+        }
+    }
+
+    #[test]
+    fn censor_targets_exactly_the_masked_clients() {
+        let n = 4;
+        let fault = Fault::Censor { client_bits: 0b101 }; // clients 1 and 3
+        assert!(fault.censors(ClientId(1)));
+        assert!(!fault.censors(ClientId(2)));
+        assert!(fault.censors(ClientId(3)));
+        assert!(!fault.censors(ClientId(4)));
+        assert!(!Fault::Mute.censors(ClientId(1)));
+
+        let spec = ClusterSpec::default();
+        let mut host: FaultyReplicaHost =
+            FaultyReplicaHost::honest(make_engine(&spec, 0), CostModel::default(), n);
+        host.fault = Some(fault);
+        // Client k sits at node id n + k - 1.
+        assert!(host.censored_node(NodeId(n as u32))); // client 1
+        assert!(!host.censored_node(NodeId(n as u32 + 1))); // client 2
+        assert!(host.censored_node(NodeId(n as u32 + 2))); // client 3
+        assert!(!host.censored_node(NodeId(2))); // a replica, never censored
+                                                 // Non-request traffic is never swallowed, even if garbled.
+        assert!(!host.censors_incoming(&[TAG_PREPARE, 0, 0]));
+        assert!(!host.censors_incoming(&[TAG_REQUEST, 0xff, 0xff]));
+    }
+
+    #[test]
+    fn provisioned_twin_stays_silent_until_split_brain_mounts() {
+        let spec = ClusterSpec::default();
+        let n = spec.cfg.n();
+        let mut host: FaultyReplicaHost = FaultyReplicaHost::honest_with_twin(
+            make_engine(&spec, 0),
+            make_engine(&spec, 0),
+            CostModel::default(),
+            n,
+        );
+        // No fault: only engine 0 speaks, to everyone.
+        for dst in 1..(n as u32 + 2) {
+            assert!(host.audience_allows(0, NodeId(dst)));
+            assert!(!host.audience_allows(1, NodeId(dst)));
+        }
+        // Split-brain mounted: audiences partition the peers.
+        host.fault = Some(Fault::SplitBrain);
+        for peer in 1..n as u32 {
+            assert!(host.audience_allows(0, NodeId(peer)) ^ host.audience_allows(1, NodeId(peer)));
+        }
+        // Unmounted again: back to engine-0-only.
+        host.fault = None;
+        assert!(!host.audience_allows(1, NodeId(2)));
     }
 
     #[test]

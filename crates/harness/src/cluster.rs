@@ -738,20 +738,26 @@ impl<E: ConsensusEngine> Cluster<E> {
     pub fn restart_replica(&mut self, i: usize, preserve_disk: bool) {
         let node_id = self.replicas[i];
         // Salvage the durable state (if preserving) and remember the host
-        // flavor so the restart re-wraps identically.
-        let (old_state, was_fault_ready): (Option<StateHandle>, bool) =
+        // flavor so the restart re-wraps identically — including whether a
+        // split-brain twin was provisioned (adversary-ready members stay
+        // adversary-ready across proactive recovery).
+        let (old_state, was_fault_ready, had_twin): (Option<StateHandle>, bool, bool) =
             match self.sim.take_node(node_id) {
                 Some(node) => {
                     let any = node as Box<dyn std::any::Any>;
                     match any.downcast::<ReplicaHost<E>>() {
-                        Ok(host) => (Some(host.replica.state_handle()), false),
+                        Ok(host) => (Some(host.replica.state_handle()), false, false),
                         Err(any) => match any.downcast::<FaultyReplicaHost<E>>() {
-                            Ok(host) => (Some(host.engines[0].state_handle()), true),
-                            Err(_) => (None, false),
+                            Ok(host) => (
+                                Some(host.engines[0].state_handle()),
+                                true,
+                                host.engines.len() > 1,
+                            ),
+                            Err(_) => (None, false, false),
                         },
                     }
                 }
-                None => (None, false),
+                None => (None, false, false),
             };
         let state: StateHandle = match (preserve_disk, old_state) {
             (true, Some(state)) => state,
@@ -766,7 +772,20 @@ impl<E: ConsensusEngine> Cluster<E> {
             app,
             &[], // session keys are transient: all lost
         );
-        let host: Box<dyn Node> = if was_fault_ready {
+        let host: Box<dyn Node> = if had_twin {
+            // Re-provision a fresh silent twin: the rebooted member can be
+            // re-compromised later, but the reboot itself wiped whatever the
+            // old twin knew.
+            Box::new(
+                FaultyReplicaHost::honest_with_twin(
+                    replica,
+                    make_engine::<E>(&self.spec, i as u32),
+                    self.spec.cost,
+                    self.spec.cfg.n(),
+                )
+                .as_restarted(),
+            )
+        } else if was_fault_ready {
             Box::new(FaultyReplicaHost::honest_restarted(
                 replica,
                 self.spec.cost,
@@ -781,6 +800,43 @@ impl<E: ConsensusEngine> Cluster<E> {
             })
         };
         self.sim.restart(node_id, host);
+    }
+
+    /// Proactively recover a *healthy* member: reboot it through the normal
+    /// crash/restart path (durable disk preserved, transient session keys
+    /// and protocol state lost — so any undetected intrusion is flushed and
+    /// the engine re-keys and catches up by state transfer), then have every
+    /// client redistribute fresh session keys immediately instead of waiting
+    /// for the blind NewKey retransmission timer. This is the rolling
+    /// recovery schedule's unit step: done on a cadence, it refreshes the
+    /// fault budget `f` without the group ever having more than this one
+    /// member down.
+    ///
+    /// # Panics
+    /// Panics if member `i` is already crashed — recovering a dead replica
+    /// is [`Cluster::restart_replica`]'s job; the schedule targets healthy
+    /// ones.
+    pub fn proactive_recover(&mut self, i: usize) {
+        assert!(
+            self.replica(i).is_some(),
+            "proactive recovery targets healthy members; {i} is crashed"
+        );
+        self.crash_replica(i);
+        self.restart_replica(i, true);
+        self.redistribute_client_keys();
+    }
+
+    /// Have every live client re-derive its session keys and broadcast a
+    /// fresh signed NewKey — the distribution half of proactive recovery
+    /// (see [`pbft_core::client::Client::redistribute_session_keys`]).
+    pub fn redistribute_client_keys(&mut self) {
+        for &id in &self.clients.clone() {
+            self.sim.with_node_ctx::<ClientHost, _>(id, |host, ctx| {
+                let model = host.model;
+                let res = host.client.redistribute_session_keys();
+                apply_outputs(res, &model, ctx);
+            });
+        }
     }
 
     /// Set packet loss on the directed link `from → to` (indices into the

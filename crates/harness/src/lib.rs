@@ -9,8 +9,12 @@
 //!   ([`pbft_core::OpCounts`]) and packet sizes into virtual CPU time,
 //! * [`cluster`] — replica/client adapters mounting the sans-io engines on
 //!   `simnet`, a cluster builder, and fault injection,
-//! * [`byzantine`] — adversarial replica hosts (mute, tampering and
-//!   split-brain equivocating primaries) for safety/liveness experiments,
+//! * [`byzantine`] — adversarial replica hosts (mute, tampering,
+//!   split-brain equivocating primaries, targeted censorship) for
+//!   safety/liveness experiments,
+//! * [`adversary`] — adaptive Byzantine strategies that observe protocol
+//!   state (view, rotation windows, recovery) and mount/unmount those
+//!   faults in reaction, opposed by scheduled proactive recovery,
 //! * [`firewall`] — the Yin et al. privacy-firewall topology of §3.3.1,
 //!   for the deployment-cost ablation,
 //! * [`workload`] — closed-loop client workload generators (null ops of the
@@ -51,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod byzantine;
 pub mod cluster;
 pub mod cost;
@@ -63,9 +68,12 @@ pub mod testkit;
 pub mod workload;
 pub mod xshard;
 
+pub use adversary::{Adversary, Observation, Strategy};
 pub use cluster::{AppKind, Cluster, ClusterSpec};
 pub use cost::CostModel;
-pub use scenario::{run_scenario, Scenario, ScenarioEvent, ScenarioReport, Timeline};
+pub use scenario::{
+    run_scenario, run_scenario_adaptive, Scenario, ScenarioEvent, ScenarioReport, Timeline,
+};
 pub use shard::{ShardRouter, ShardedCluster, ShardedClusterSpec};
 pub use stats::Stats;
 pub use xshard::{XShardCluster, XShardMetrics, XShardSpec};

@@ -16,8 +16,10 @@
 //!   [`ShardedCluster`], or an [`XShardCluster`], addressed uniformly as
 //!   `(shard, member)` over the shared lockstep clock.
 //! * [`Scenario`] — a named, seeded script: events at virtual-time offsets
-//!   plus a measurement window, executed over a [`simnet::Schedule`] so
-//!   every event fires *exactly* at its instant (no slicing quantization).
+//!   plus a measurement window; the runner advances the clock to each
+//!   event's instant, so every event fires *exactly* on time (no slicing
+//!   quantization). [`run_scenario_adaptive`] additionally ticks adaptive
+//!   adversaries ([`crate::adversary`]) between the scripted events.
 //! * [`Timeline`] — the client-visible record: per-bucket completed
 //!   requests, latency, and per-client progress, from which availability,
 //!   degraded-window throughput and time-to-recover are derived.
@@ -53,12 +55,10 @@
 //! assert!(report.timeline.availability() > 0.9, "a backup crash barely dents a 4-group");
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use pbft_core::ConsensusEngine;
-use simnet::{Schedule, SimDuration, SimTime};
+use simnet::{SimDuration, SimTime};
 
+use crate::adversary::Adversary;
 use crate::byzantine::Fault;
 use crate::cluster::Cluster;
 use crate::shard::ShardedCluster;
@@ -83,6 +83,19 @@ pub enum ScenarioEvent {
         member: usize,
         /// Keep the durable state region across the restart.
         preserve_disk: bool,
+    },
+    /// Proactively recover a *healthy* member: reboot it through the
+    /// crash/restart path (durable disk kept, transient state and session
+    /// keys flushed) and have clients redistribute fresh session keys — the
+    /// rolling recovery schedule's unit step, refreshing the fault budget
+    /// without the group losing more than this one member. See
+    /// [`Cluster::proactive_recover`]. Disarms any adaptive adversary
+    /// occupying the seat (see [`crate::adversary`]).
+    ProactiveRecover {
+        /// Group index.
+        shard: usize,
+        /// Member index within the group.
+        member: usize,
     },
     /// Mount a Byzantine fault on a member at runtime. The deployment must
     /// be fault-ready (see [`Cluster::build_fault_ready`]).
@@ -146,6 +159,9 @@ impl ScenarioEvent {
                 "restart({shard}/{member},{})",
                 if preserve_disk { "disk" } else { "blank" }
             ),
+            ScenarioEvent::ProactiveRecover { shard, member } => {
+                format!("proactive({shard}/{member})")
+            }
             ScenarioEvent::MountFault {
                 shard,
                 member,
@@ -200,6 +216,9 @@ pub trait ScenarioTarget {
                 member,
                 preserve_disk,
             } => self.group_mut(shard).restart_replica(member, preserve_disk),
+            ScenarioEvent::ProactiveRecover { shard, member } => {
+                self.group_mut(shard).proactive_recover(member)
+            }
             ScenarioEvent::MountFault {
                 shard,
                 member,
@@ -442,6 +461,30 @@ pub fn run_scenario<T: ScenarioTarget + 'static>(
     target: &mut T,
     scenario: &Scenario,
 ) -> ScenarioReport {
+    run_scenario_adaptive(target, scenario, &mut [], scenario.bucket)
+}
+
+/// [`run_scenario`] with adaptive adversaries in the loop: scripted events
+/// still fire exactly at their offsets, and between them every
+/// [`Adversary`] gets a decision cycle each `tick` of virtual time —
+/// observing protocol state and mounting/unmounting faults in reaction.
+/// Adversary actions land in the trace alongside the scripted events, so
+/// the report records the *whole* attack as it actually unfolded.
+///
+/// At a shared instant, scripted events fire first (in listed order), then
+/// adversaries decide — an adversary whose seat was just proactively
+/// recovered observes the rebooted world, not the stale one (and is
+/// disarmed; see [`Adversary::note_event`]).
+///
+/// # Panics
+/// Panics on the same malformed scripts as [`run_scenario`], on a zero
+/// `tick`, and on an adversary seated in a group the deployment lacks.
+pub fn run_scenario_adaptive<T: ScenarioTarget + 'static>(
+    target: &mut T,
+    scenario: &Scenario,
+    adversaries: &mut [Adversary],
+    tick: SimDuration,
+) -> ScenarioReport {
     assert!(
         scenario.bucket > SimDuration::ZERO
             && scenario
@@ -449,6 +492,10 @@ pub fn run_scenario<T: ScenarioTarget + 'static>(
                 .as_nanos()
                 .is_multiple_of(scenario.bucket.as_nanos()),
         "scenario duration must be a whole number of buckets"
+    );
+    assert!(
+        tick > SimDuration::ZERO,
+        "a zero adversary tick would spin the clock"
     );
     for (off, ev) in &scenario.events {
         assert!(
@@ -460,6 +507,7 @@ pub fn run_scenario<T: ScenarioTarget + 'static>(
         let shard = match *ev {
             ScenarioEvent::CrashMember { shard, .. }
             | ScenarioEvent::RestartMember { shard, .. }
+            | ScenarioEvent::ProactiveRecover { shard, .. }
             | ScenarioEvent::MountFault { shard, .. }
             | ScenarioEvent::UnmountFault { shard, .. }
             | ScenarioEvent::IsolateMember { shard, .. }
@@ -474,20 +522,26 @@ pub fn run_scenario<T: ScenarioTarget + 'static>(
             target.shard_count()
         );
     }
+    for adv in adversaries.iter() {
+        assert!(
+            adv.seat().0 < target.shard_count(),
+            "adversary seated in shard {} of a {}-group deployment",
+            adv.seat().0,
+            target.shard_count()
+        );
+    }
 
     let start = target.now();
-    let marks: Rc<RefCell<Vec<EventMark>>> = Rc::new(RefCell::new(Vec::new()));
-    let mut sched: Schedule<T> = Schedule::new();
-    for (off, ev) in &scenario.events {
-        let (at, ev, marks) = (start + *off, *ev, Rc::clone(&marks));
-        sched.at(at, move |t: &mut T| {
-            t.apply(&ev);
-            marks.borrow_mut().push(EventMark {
-                at: t.now(),
-                label: ev.label(),
-            });
-        });
-    }
+    // Stable sort: events at equal offsets fire in listed order.
+    let mut events: Vec<(SimTime, ScenarioEvent)> = scenario
+        .events
+        .iter()
+        .map(|&(off, ev)| (start + off, ev))
+        .collect();
+    events.sort_by_key(|&(at, _)| at);
+    let mut next_event = 0usize;
+    let mut next_tick = start + tick;
+    let mut marks: Vec<EventMark> = Vec::new();
 
     let n_buckets = scenario.duration.as_nanos() / scenario.bucket.as_nanos();
     let mut timeline = Timeline {
@@ -498,14 +552,48 @@ pub fn run_scenario<T: ScenarioTarget + 'static>(
     let mut prev = snapshot(target);
     for b in 0..n_buckets {
         let end = start + SimDuration::from_nanos(scenario.bucket.as_nanos() * (b + 1));
-        // Advance to each in-bucket event instant, fire it, resume.
-        while let Some(at) = sched.next_due().filter(|&at| at <= end) {
-            target.advance(at.saturating_sub(target.now()));
-            for hook in sched.take_due(at) {
-                hook(target);
+        loop {
+            // Advance to the next due instant: a scripted event, an
+            // adversary tick, or the bucket edge — whichever is earliest.
+            let mut stop = end;
+            if let Some(&(at, _)) = events.get(next_event) {
+                if at < stop {
+                    stop = at;
+                }
+            }
+            if !adversaries.is_empty() && next_tick < stop {
+                stop = next_tick;
+            }
+            target.advance(stop.saturating_sub(target.now()));
+            let now = target.now();
+            while let Some(&(at, ev)) = events.get(next_event) {
+                if at > now {
+                    break;
+                }
+                target.apply(&ev);
+                marks.push(EventMark {
+                    at: now,
+                    label: ev.label(),
+                });
+                for adv in adversaries.iter_mut() {
+                    if let Some(label) = adv.note_event(&ev) {
+                        marks.push(EventMark { at: now, label });
+                    }
+                }
+                next_event += 1;
+            }
+            while !adversaries.is_empty() && next_tick <= now {
+                for adv in adversaries.iter_mut() {
+                    if let Some(label) = adv.tick(target) {
+                        marks.push(EventMark { at: now, label });
+                    }
+                }
+                next_tick += tick;
+            }
+            if now >= end {
+                break;
             }
         }
-        target.advance(end.saturating_sub(target.now()));
         let cur = snapshot(target);
         let mut bucket = TimelineBucket::default();
         for (i, &(completed, latency)) in cur.iter().enumerate() {
@@ -519,18 +607,16 @@ pub fn run_scenario<T: ScenarioTarget + 'static>(
         prev = cur;
     }
     ScenarioReport {
-        trace: Rc::try_unwrap(marks)
-            .expect("all schedule hooks fired")
-            .into_inner(),
+        trace: marks,
         timeline,
     }
 }
 
-/// The five paper-fault conformance scenarios. Used by the root
+/// The paper-fault conformance scenarios. Used by the root
 /// `scenario_conformance` suite and the `availability` bench, so the pinned
 /// bounds and the reported recovery windows describe the same scripts.
 ///
-/// All five assume the fast-failover protocol configuration of the
+/// All of them assume the fast-failover protocol configuration of the
 /// conformance suite (200 ms view-change timeout) and a paced background
 /// workload; single-group scenarios address `shard 0`.
 pub mod paper {
@@ -668,7 +754,66 @@ pub mod paper {
         }
     }
 
-    /// All five, for sweeping drivers (the availability bench).
+    /// An adaptively equivocating member holds seat 0: it mounts split-brain
+    /// whenever it is primary and stands down when a view change takes the
+    /// slot (driven by [`crate::adversary::EquivocatingPrimary`] — the
+    /// script carries only the proactive-recovery counterstroke, which
+    /// disarms the intruder; run it with
+    /// [`run_scenario_adaptive`](super::run_scenario_adaptive)). Safety
+    /// must hold throughout, and after the recovery the group runs clean.
+    pub fn equivocating_primary() -> Scenario {
+        Scenario {
+            name: "equivocating-primary",
+            duration: ms(3000),
+            bucket: ms(25),
+            events: vec![(
+                ms(2000),
+                ScenarioEvent::ProactiveRecover {
+                    shard: 0,
+                    member: 0,
+                },
+            )],
+        }
+    }
+
+    /// A censoring primary starves client 1 while serving everyone else,
+    /// and an unrelated healthy member is proactively recovered mid-attack:
+    /// the rolling recovery schedule must not amplify a concurrent
+    /// Byzantine fault into a group outage. The censor is unmounted near
+    /// the end so the starved lane's resumption is observable.
+    pub fn censorship_under_recovery() -> Scenario {
+        Scenario {
+            name: "censorship-under-recovery",
+            duration: ms(3200),
+            bucket: ms(25),
+            events: vec![
+                (
+                    ms(600),
+                    ScenarioEvent::MountFault {
+                        shard: 0,
+                        member: 0,
+                        fault: Fault::Censor { client_bits: 0b1 },
+                    },
+                ),
+                (
+                    ms(1200),
+                    ScenarioEvent::ProactiveRecover {
+                        shard: 0,
+                        member: 2,
+                    },
+                ),
+                (
+                    ms(2200),
+                    ScenarioEvent::UnmountFault {
+                        shard: 0,
+                        member: 0,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// All seven, for sweeping drivers (the availability bench).
     pub fn all() -> Vec<Scenario> {
         vec![
             primary_crash_under_load(),
@@ -676,6 +821,8 @@ pub mod paper {
             rolling_crash(),
             coordinator_outage(),
             partition_then_heal(),
+            equivocating_primary(),
+            censorship_under_recovery(),
         ]
     }
 }

@@ -124,6 +124,23 @@ pub fn scenario_cluster_engine<E: ConsensusEngine>(num_clients: usize, seed: u64
     Cluster::build_engine_fault_ready(spec)
 }
 
+/// [`scenario_cluster_engine`] with member `compromised` additionally
+/// carrying a silent split-brain twin (see
+/// [`build_adversary_cluster`](crate::byzantine::build_adversary_cluster)):
+/// the seat an adaptive adversary occupies, so every fault — including
+/// [`Fault::SplitBrain`](crate::byzantine::Fault::SplitBrain) — is
+/// mountable mid-run.
+pub fn adversary_cluster_engine<E: ConsensusEngine>(
+    num_clients: usize,
+    seed: u64,
+    compromised: u32,
+) -> Cluster<E> {
+    let mut spec = failover_spec(num_clients, seed);
+    spec.cfg.checkpoint_interval = 32;
+    spec.cfg.fetch_missing_bodies = true;
+    crate::byzantine::build_adversary_cluster_engine::<E>(spec, compromised)
+}
+
 /// Exec chains of the *correct* replicas must agree pairwise (safety), and
 /// their states must converge after quiescence.
 ///

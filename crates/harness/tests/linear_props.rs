@@ -124,6 +124,45 @@ fn random_schedules_preserve_linear_single_group_safety() {
     });
 }
 
+/// QC forgery is rejected, not absorbed. Under the linear engine the
+/// leader's aggregated `PrepareQC`/`CommitQC` broadcasts (wire tags 15/16)
+/// *are* the agreement traffic — there are no all-to-all prepares or
+/// commits to corrupt — so [`Fault::TamperAgreement`] must reach them.
+/// A tampering view-0 leader therefore feeds every backup forged QCs:
+/// authentication rejects each one (observable as `auth_failures`), view 0
+/// makes no progress, rotation installs leader 1, and the group commits
+/// again with the liar reduced to a backup whose corrupted votes cost only
+/// its own voice.
+#[test]
+fn tampered_linear_leader_qcs_are_rejected_and_rotation_recovers() {
+    let mut cluster = scenario_cluster_engine::<LinearReplica>(3, 91);
+    cluster.mount_fault(0, Fault::TamperAgreement);
+    cluster.start_paced_workload(ms(5), |_| null_ops(64));
+    cluster.run_for(SimDuration::from_secs(3));
+    // Every backup saw forged QCs and rejected them at the auth layer.
+    for r in 1..4 {
+        assert!(
+            cluster.replica_metrics(r).auth_failures > 0,
+            "backup {r} absorbed a forged QC instead of rejecting it: {:?}",
+            cluster.replica_metrics(r)
+        );
+    }
+    // Liveness: the tampering leader was rotated out and commits resumed.
+    for r in 1..4 {
+        assert!(
+            cluster.replica(r).expect("alive").view() >= 1,
+            "backup {r} still trusts the tampering leader's view"
+        );
+    }
+    assert!(
+        cluster.completed() > 50,
+        "progress after rotation, got {}",
+        cluster.completed()
+    );
+    cluster.quiesce(SimDuration::from_secs(2));
+    assert_correct_replicas_agree(&mut cluster, &[1, 2, 3]);
+}
+
 /// Partition churn aimed at the rotation path: random members (leaders
 /// included) get isolated and healed back-to-back. The leader-directed
 /// vote flow must survive losing its aggregation point repeatedly, and

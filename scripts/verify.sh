@@ -59,6 +59,26 @@ for name in ("BENCH_table1.json", "BENCH_sharding.json", "BENCH_availability.jso
     engines = {r["engine"] for r in rows}
     assert len(engines) >= 1 and "pbft" in engines, f"{name}: no pbft column"
     print(f"    {name}: ok ({len(rows)} rows, engines: {', '.join(sorted(engines))})")
+
+# The availability artifact must additionally carry the long-horizon
+# reliability *distributions* (not single degraded windows): >= 1 virtual
+# hour per cell, per-bucket p50/p99 and time-below-threshold, both engines.
+with open("BENCH_availability.json") as f:
+    doc = json.load(f)
+rel = doc.get("reliability")
+assert rel, "BENCH_availability.json: missing 'reliability' section"
+fields = (
+    "engine", "scenario", "horizon_ms", "bucket_ms", "availability",
+    "tps_p50", "tps_p99", "threshold_tps", "time_below_threshold_ms",
+)
+for row in rel:
+    for k in fields:
+        assert k in row, f"reliability row missing '{k}': {row}"
+    assert row["horizon_ms"] >= 3_600_000, f"sub-hour horizon: {row}"
+    assert row["tps_p99"] >= row["tps_p50"] > 0, f"degenerate distribution: {row}"
+assert {r["engine"] for r in rel} >= {"pbft", "linear"}, \
+    "reliability section must cover both engines"
+print(f"    BENCH_availability.json: reliability ok ({len(rel)} hour-long cells)")
 EOF
 
 echo "==> cargo clippy --all-targets -- -D warnings"

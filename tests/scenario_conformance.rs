@@ -1,4 +1,4 @@
-//! Paper-fault conformance suite: the five headline fault scenarios, run
+//! Paper-fault conformance suite: the seven headline fault scenarios, run
 //! through the deterministic scenario engine (`harness::scenario`) with
 //! pinned availability bounds and recovery windows.
 //!
@@ -15,14 +15,20 @@
 //!    timeline buckets, so a regression that widens an outage fails loudly.
 //!
 //! Determinism (same seed ⇒ identical event trace and timeline) is asserted
-//! for all five scenarios in `all_five_scenarios_are_deterministic`. The
-//! `smoke_*` tests are the short per-flavor passes `scripts/verify.sh` runs
-//! as its scenario gate.
+//! for all seven scenarios in `all_seven_scenarios_are_deterministic` (the
+//! per-`Fault` matrix lives in `crates/harness/tests/fault_determinism.rs`).
+//! The `smoke_*` tests are the short per-flavor passes `scripts/verify.sh`
+//! runs as its scenario gate — including one adaptive-adversary pass per
+//! cluster flavor (`smoke_adaptive_*`).
 
-use harness::scenario::{paper, run_scenario, Scenario, ScenarioEvent};
+use harness::adversary::{
+    Adversary, EquivocatingPrimary, TargetedCensor, ViewChangeWindowAttacker,
+};
+use harness::byzantine::Fault;
+use harness::scenario::{paper, run_scenario, run_scenario_adaptive, Scenario, ScenarioEvent};
 use harness::testkit::{
-    assert_correct_replicas_agree, failover_spec, fetching_spec, ms, scenario_cluster,
-    sharded_spec, xshard_spec, AUDIT_TIMEOUT,
+    adversary_cluster_engine, assert_correct_replicas_agree, failover_spec, fetching_spec, ms,
+    scenario_cluster, sharded_spec, xshard_spec, AUDIT_TIMEOUT,
 };
 use harness::workload::{cross_null_txs, keyed_null_ops, null_ops};
 use harness::{Cluster, ScenarioReport, ShardedCluster, XShardCluster};
@@ -37,7 +43,7 @@ fn secs(n: u64) -> SimDuration {
 }
 
 // ---------------------------------------------------------------------
-// The five conformance scenarios
+// The scripted conformance scenarios
 // ---------------------------------------------------------------------
 
 #[test]
@@ -230,9 +236,10 @@ fn partition_then_heal() {
 // ---------------------------------------------------------------------
 
 /// Same seed ⇒ identical event trace and identical timeline, bucket for
-/// bucket, for every one of the five conformance scenarios.
+/// bucket, for every one of the seven conformance scenarios — adaptive
+/// adversary ticks included.
 #[test]
-fn all_five_scenarios_are_deterministic() {
+fn all_seven_scenarios_are_deterministic() {
     fn single(scenario: &Scenario, seed: u64) -> ScenarioReport {
         let mut cluster = scenario_cluster(4, seed);
         cluster.start_paced_workload(PACE, |_| null_ops(64));
@@ -272,6 +279,24 @@ fn all_five_scenarios_are_deterministic() {
         (
             "partition-heal",
             Box::new(|| sharded(&paper::partition_then_heal(), 35)),
+        ),
+        (
+            "equivocating-primary",
+            Box::new(|| {
+                let mut cluster = adversary_cluster_engine::<pbft_core::Replica>(4, 36, 0);
+                cluster.start_paced_workload(PACE, |_| null_ops(64));
+                let mut adversaries = [Adversary::new(0, 0, EquivocatingPrimary)];
+                run_scenario_adaptive(
+                    &mut cluster,
+                    &paper::equivocating_primary(),
+                    &mut adversaries,
+                    ms(25),
+                )
+            }),
+        ),
+        (
+            "censorship-under-recovery",
+            Box::new(|| single(&paper::censorship_under_recovery(), 37)),
         ),
     ];
     for (name, run) in runs {
@@ -453,11 +478,144 @@ fn smoke_xshard_flavor() {
     xc.audit_atomicity(AUDIT_TIMEOUT).expect("atomic");
 }
 
+#[test]
+fn smoke_adaptive_single_group() {
+    let mut cluster = adversary_cluster_engine::<pbft_core::Replica>(2, 45, 0);
+    cluster.start_paced_workload(PACE, |_| null_ops(64));
+    let scenario = Scenario {
+        name: "smoke-adaptive-single",
+        duration: ms(800),
+        bucket: ms(25),
+        events: vec![(
+            ms(500),
+            ScenarioEvent::ProactiveRecover {
+                shard: 0,
+                member: 0,
+            },
+        )],
+    };
+    let mut adversaries = [Adversary::new(0, 0, EquivocatingPrimary)];
+    let report = run_scenario_adaptive(&mut cluster, &scenario, &mut adversaries, ms(25));
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|m| m.label.contains(":mount(SplitBrain)")),
+        "the adaptive equivocator must fire: {:?}",
+        report.trace
+    );
+    assert!(
+        report.trace.iter().any(|m| m.label.ends_with(":disarmed")),
+        "proactive recovery must disarm the adversary: {:?}",
+        report.trace
+    );
+    assert!(report.timeline.availability() >= 0.5, "{report:?}");
+}
+
+#[test]
+fn smoke_adaptive_sharded() {
+    let mut sc = ShardedCluster::build_fault_ready(sharded_spec(2, fetching_spec(2, 46)));
+    sc.start_paced_keyed_workload(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+    let scenario = Scenario {
+        name: "smoke-adaptive-sharded",
+        duration: ms(800),
+        bucket: ms(25),
+        events: vec![(
+            ms(500),
+            ScenarioEvent::ProactiveRecover {
+                shard: 1,
+                member: 0,
+            },
+        )],
+    };
+    let mut adversaries = [Adversary::new(1, 0, TargetedCensor { client_bits: 0b1 })];
+    let report = run_scenario_adaptive(&mut sc, &scenario, &mut adversaries, ms(25));
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|m| m.label.contains(":mount(Censor")),
+        "the adaptive censor must fire while its seat is primary: {:?}",
+        report.trace
+    );
+    assert!(!adversaries[0].is_armed(), "recovery disarms the censor");
+    // Shard 0 is untouched: its clients (lanes 0..2) keep completing.
+    assert!(
+        report
+            .timeline
+            .buckets
+            .iter()
+            .any(|b| b.per_client_completed[..2].iter().any(|&c| c > 0)),
+        "{report:?}"
+    );
+    sc.quiesce(secs(1));
+    assert!(sc.states_converged());
+}
+
+#[test]
+fn smoke_adaptive_xshard() {
+    let mut base = fetching_spec(1, 47);
+    base.cfg.view_change_timeout_ns = harness::testkit::TEST_VC_TIMEOUT_NS;
+    let mut xc = XShardCluster::build_fault_ready(xshard_spec(2, 2, base));
+    let map = xc.sharded().router().map();
+    xc.start_paced_background(PACE, |s, c| keyed_null_ops(64, (s * 10 + c) as u64));
+    xc.start_transactions(|i| cross_null_txs(map, 64, 1 << 20, i as u64));
+    let scenario = Scenario {
+        name: "smoke-adaptive-xshard",
+        duration: ms(1000),
+        bucket: ms(25),
+        events: vec![
+            (
+                ms(200),
+                ScenarioEvent::CrashMember {
+                    shard: 0,
+                    member: 0,
+                },
+            ),
+            (
+                ms(600),
+                ScenarioEvent::RestartMember {
+                    shard: 0,
+                    member: 0,
+                    preserve_disk: true,
+                },
+            ),
+        ],
+    };
+    // A storm-amplifying rotation attacker: misbehaves only while the
+    // crash-triggered rotation is in flight (opportunistic — the window may
+    // be too short to catch at this tick; the smoke asserts the deployment
+    // survives with the adversary in the loop, not that it fired).
+    let mut adversaries = [Adversary::new(
+        0,
+        3,
+        ViewChangeWindowAttacker {
+            fault: Fault::ViewChangeStorm {
+                period_ns: 25_000_000,
+            },
+        },
+    )];
+    let report = run_scenario_adaptive(&mut xc, &scenario, &mut adversaries, ms(5));
+    assert_eq!(
+        report
+            .trace
+            .iter()
+            .filter(|m| !m.label.starts_with("adv"))
+            .count(),
+        2
+    );
+    xc.quiesce(secs(2));
+    if xc.metrics().tx_unresolved > 0 {
+        xc.resolve_unresolved(AUDIT_TIMEOUT).expect("settles");
+    }
+    xc.audit_atomicity(AUDIT_TIMEOUT).expect("atomic");
+}
+
 // ---------------------------------------------------------------------
-// Engine-generic conformance: the same five scripts, both engines
+// Engine-generic conformance: the same seven scripts, both engines
 // ---------------------------------------------------------------------
 
-/// The five fault scripts run generically over any [`pbft_core::ConsensusEngine`]
+/// The seven fault scripts run generically over any [`pbft_core::ConsensusEngine`]
 /// through `harness::testkit::conformance`, asserting the engine-independent
 /// contract (safety + finite recovery). One test per (script, engine) pair
 /// so a regression names the exact combination that broke.
@@ -504,6 +662,22 @@ mod engine_conformance {
     #[test]
     fn partition_then_heal_linear() {
         conformance::partition_then_heal::<LinearReplica>(65);
+    }
+    #[test]
+    fn equivocating_primary_pbft() {
+        conformance::equivocating_primary::<Replica>(66);
+    }
+    #[test]
+    fn equivocating_primary_linear() {
+        conformance::equivocating_primary::<LinearReplica>(66);
+    }
+    #[test]
+    fn censorship_under_recovery_pbft() {
+        conformance::censorship_under_recovery::<Replica>(67);
+    }
+    #[test]
+    fn censorship_under_recovery_linear() {
+        conformance::censorship_under_recovery::<LinearReplica>(67);
     }
 }
 
