@@ -5,7 +5,9 @@
 //! converts that share of each group's clients into closed-loop transaction
 //! initiators (each transaction = two null sub-ops on two different groups,
 //! committed through prepare → replicated decide → commit), while the rest
-//! keep running the PR 2 single-shard fast path.
+//! keep running the PR 2 single-shard fast path. The whole sweep runs under
+//! **both engines** (PBFT and linear-communication) on identical seeds, so
+//! the 2PC overhead and the agreement-pattern overhead separate cleanly.
 //!
 //! Reported per sweep point: aggregate committed application TPS (background
 //! ops + committed transaction sub-ops), transaction commit/abort counts,
@@ -16,8 +18,15 @@
 //! (a pinned test in `crates/harness/tests/xshard.rs` holds exact equality
 //! per seed).
 //!
-//! Knobs: `XSHARD_TRIALS` (default 2) trades runtime for tighter standard
-//! deviations.
+//! A second table measures **elastic resharding**: an elastic KV deployment
+//! under closed-loop keyed load grows 2 → 4 groups through two live splits,
+//! and the bucketed timeline yields the steady-state TPS, the depth of the
+//! dip around each hand-off, and the client-visible time until throughput
+//! is back within 90% of steady. Both engines again.
+//!
+//! Results land in `BENCH_cross_shard.json` at the repo root (parse-gated
+//! by `scripts/verify.sh`). Knobs: `XSHARD_TRIALS` (default 2) trades
+//! runtime for tighter standard deviations.
 //!
 //! Since PR 4 the 2PC tables are durable in the replicated state region
 //! (write-through per protocol op); that cost lands only on the
@@ -25,11 +34,14 @@
 //! nothing to the xshard section, and must stay glued to the PR 2
 //! baseline.
 
+use bench::artifact::{self, Json};
 use harness::experiments::NUM_CLIENTS;
+use harness::scenario::{run_scenario, Scenario, ScenarioEvent};
 use harness::shard::{ShardedCluster, ShardedClusterSpec};
-use harness::workload::{cross_null_txs, keyed_null_ops};
+use harness::workload::{cross_null_txs, keyed_kv_ops, keyed_null_ops};
 use harness::xshard::{XShardCluster, XShardSpec};
-use harness::{ClusterSpec, Stats};
+use harness::{AppKind, ClusterSpec, Stats};
+use pbft_core::{ConsensusEngine, LinearReplica, Replica};
 use simnet::SimDuration;
 
 const WARMUP: SimDuration = SimDuration::from_millis(300);
@@ -43,6 +55,8 @@ const REQUEST_SIZE: usize = 1024;
 const KEY_SPACE: u64 = 512;
 
 struct Point {
+    engine: &'static str,
+    shards: usize,
     pct: usize,
     bg_per_group: usize,
     initiators: usize,
@@ -50,6 +64,8 @@ struct Point {
     abort_rate: Vec<f64>,
     committed_txs: u64,
     aborted_txs: u64,
+    /// `mean TPS / this deployment's 0% row` — filled once the row exists.
+    vs_local: f64,
 }
 
 fn base(seed: u64, num_clients: usize) -> ClusterSpec {
@@ -60,7 +76,7 @@ fn base(seed: u64, num_clients: usize) -> ClusterSpec {
     }
 }
 
-fn measure_point(shards: usize, pct: usize, trials: usize) -> Point {
+fn measure_point<E: ConsensusEngine>(shards: usize, pct: usize, trials: usize) -> Point {
     // Convert pct% of the 12-client budget into transaction initiators.
     let init_per_group = (NUM_CLIENTS * pct + 50) / 100;
     let bg_per_group = NUM_CLIENTS - init_per_group;
@@ -75,7 +91,7 @@ fn measure_point(shards: usize, pct: usize, trials: usize) -> Point {
             initiators,
             ..Default::default()
         };
-        let mut xc = XShardCluster::build(spec);
+        let mut xc = XShardCluster::<E>::build_engine(spec);
         let map = xc.sharded().router().map();
         if bg_per_group > 0 {
             xc.start_background(|s, c| keyed_null_ops(REQUEST_SIZE, (s * NUM_CLIENTS + c) as u64));
@@ -90,6 +106,8 @@ fn measure_point(shards: usize, pct: usize, trials: usize) -> Point {
         aborted_txs += t.tx_aborted;
     }
     Point {
+        engine: E::engine_name(),
+        shards,
         pct,
         bg_per_group,
         initiators,
@@ -97,17 +115,19 @@ fn measure_point(shards: usize, pct: usize, trials: usize) -> Point {
         abort_rate,
         committed_txs,
         aborted_txs,
+        vs_local: 0.0,
     }
 }
 
 /// The PR 2 all-local baseline: the same deployment without the xshard
 /// harness at all.
-fn measure_baseline(shards: usize, trials: usize) -> Stats {
+fn measure_baseline<E: ConsensusEngine>(shards: usize, trials: usize) -> Stats {
     let samples: Vec<f64> = (0..trials)
         .map(|trial| {
-            let mut sc = ShardedCluster::build(ShardedClusterSpec {
+            let mut sc = ShardedCluster::<E>::build_engine(ShardedClusterSpec {
                 shards,
                 base: base(9000 + trial as u64, NUM_CLIENTS),
+                elastic: false,
             });
             sc.start_keyed_workload(|s, c| {
                 keyed_null_ops(REQUEST_SIZE, (s * NUM_CLIENTS + c) as u64)
@@ -118,48 +138,32 @@ fn measure_baseline(shards: usize, trials: usize) -> Stats {
     Stats::from_samples(&samples)
 }
 
-fn main() {
-    let trials: usize = std::env::var("XSHARD_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-
-    println!(
-        "Cross-shard transactions — committed TPS and abort rate vs cross-shard \
-         fraction (1 KiB ops, {NUM_CLIENTS}-client budget per group, {trials} trials)\n"
-    );
-    println!(
-        "{:<7} {:>7} {:>10} {:>10} {:>12} {:>8} {:>9} {:>10} {:>10}",
-        "shards",
-        "cross%",
-        "bg/grp",
-        "initiators",
-        "agg TPS",
-        "StDev",
-        "vs local",
-        "tx c/a",
-        "abort%"
-    );
-
+/// One engine's full cross-shard sweep, with the 0%-vs-baseline guard.
+fn sweep_engine<E: ConsensusEngine>(trials: usize) -> Vec<Point> {
+    let mut all = Vec::new();
     for &shards in &SHARD_COUNTS {
-        let baseline = measure_baseline(shards, trials);
-        let points: Vec<Point> = CROSS_PCT
+        let baseline = measure_baseline::<E>(shards, trials);
+        let mut points: Vec<Point> = CROSS_PCT
             .iter()
-            .map(|&pct| measure_point(shards, pct, trials))
+            .map(|&pct| measure_point::<E>(shards, pct, trials))
             .collect();
         let local = Stats::from_samples(&points[0].tps).mean;
+        for p in &mut points {
+            p.vs_local = Stats::from_samples(&p.tps).mean / local;
+        }
         for p in &points {
             let agg = Stats::from_samples(&p.tps);
             let aborts = Stats::from_samples(&p.abort_rate);
             println!(
-                "{:<7} {:>7} {:>10} {:>10} {:>12.0} {:>8.0} {:>8.2}x {:>10} {:>9.1}%",
-                shards,
+                "{:<7} {:<7} {:>7} {:>10} {:>10} {:>12.0} {:>8.0} {:>8.2}x {:>10} {:>9.1}%",
+                p.engine,
+                p.shards,
                 p.pct,
                 p.bg_per_group,
                 p.initiators,
                 agg.mean,
                 agg.std_dev,
-                agg.mean / local,
+                p.vs_local,
                 format!("{}/{}", p.committed_txs, p.aborted_txs),
                 aborts.mean * 100.0,
             );
@@ -167,8 +171,9 @@ fn main() {
         let p0 = Stats::from_samples(&points[0].tps).mean;
         let ratio = p0 / baseline.mean;
         println!(
-            "  -> 0% row vs PR 2 sharding baseline ({:.0} TPS): {ratio:.3}x \
+            "  -> {} 0% row vs PR 2 sharding baseline ({:.0} TPS): {ratio:.3}x \
              (must be within noise)\n",
+            E::engine_name(),
             baseline.mean
         );
         assert!(
@@ -182,11 +187,218 @@ fn main() {
             full.committed_txs > 0,
             "the 100% cross-shard row must commit transactions"
         );
+        all.extend(points);
     }
+    all
+}
+
+// ---------------------------------------------------------------------------
+// Elastic resharding cell: throughput dip + time-to-recover across 2 → 4.
+// ---------------------------------------------------------------------------
+
+/// Key space of the resharding deployment (a real KV app, so the splits
+/// move live records, not just routing entries).
+const RESHARD_SLOTS: u64 = 1024;
+/// Timeline bucket width for the dip measurement.
+const RESHARD_BUCKET: SimDuration = SimDuration::from_millis(25);
+/// Throughput counts as "recovered" at this fraction of steady state.
+const RECOVERY_FRACTION: f64 = 0.9;
+
+struct ReshardRow {
+    engine: &'static str,
+    steady_tps: f64,
+    dip_tps: f64,
+    recovered_tps: f64,
+    /// Worst client-visible time (ms) from a split firing to the first
+    /// bucket back at `RECOVERY_FRACTION` of steady, over both splits.
+    recover_ms: f64,
+    availability: f64,
+}
+
+fn measure_reshard<E: ConsensusEngine>() -> ReshardRow {
+    let ms = SimDuration::from_millis;
+    let mut b = base(9100, NUM_CLIENTS);
+    b.app = AppKind::Kv {
+        slots: RESHARD_SLOTS,
+    };
+    b.cfg.checkpoint_interval = 32;
+    let mut sc = ShardedCluster::<E>::build_engine(ShardedClusterSpec {
+        shards: 2,
+        base: b,
+        elastic: true,
+    });
+    sc.start_keyed_workload(|s, c| keyed_kv_ops(RESHARD_SLOTS, (s * NUM_CLIENTS + c) as u64));
+    // Split both original groups in turn: 2 → 3 → 4, epochs 1 and 2.
+    let scenario = Scenario {
+        name: "reshard-2-to-4",
+        duration: ms(2_000),
+        bucket: RESHARD_BUCKET,
+        events: vec![
+            (ms(600), ScenarioEvent::Reshard { source: 0 }),
+            (ms(1_200), ScenarioEvent::Reshard { source: 1 }),
+        ],
+    };
+    let report = run_scenario(&mut sc, &scenario);
+    assert_eq!(sc.shards(), 4, "2 -> 4 growth path");
+    assert_eq!(sc.router().epoch(), 2);
+
+    let tl = &report.timeline;
+    // Steady state: the 400 ms before the first split (past client warmup).
+    let first_split = tl.bucket_index(report.trace[0].at);
+    let steady = tl.window_tps(first_split.saturating_sub(16), first_split);
+    // Around each split: deepest bucket in the 400 ms after the hand-off,
+    // and the time until a bucket is back at RECOVERY_FRACTION of steady.
+    let mut dip = f64::INFINITY;
+    let mut recover_ms: f64 = 0.0;
+    for mark in &report.trace {
+        let from = tl.bucket_index(mark.at) + 1;
+        let to = (from + 16).min(tl.buckets.len());
+        for i in from..to {
+            dip = dip.min(tl.tps(i));
+        }
+        let recovered_at = (from..tl.buckets.len())
+            .find(|&i| tl.tps(i) >= RECOVERY_FRACTION * steady)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}: throughput never recovered to {RECOVERY_FRACTION}x steady \
+                     ({steady:.0} TPS) after {}",
+                    E::engine_name(),
+                    mark.label
+                )
+            });
+        let end = tl.start
+            + SimDuration::from_nanos(RESHARD_BUCKET.as_nanos() * (recovered_at as u64 + 1));
+        recover_ms = recover_ms.max(end.saturating_sub(mark.at).as_nanos() as f64 / 1e6);
+    }
+    // Recovered plateau: the final 300 ms, all four groups serving.
+    let n = tl.buckets.len();
+    let recovered = tl.window_tps(n - 12, n);
+    ReshardRow {
+        engine: E::engine_name(),
+        steady_tps: steady,
+        dip_tps: dip,
+        recovered_tps: recovered,
+        recover_ms,
+        availability: tl.availability(),
+    }
+}
+
+fn main() {
+    let trials: usize = std::env::var("XSHARD_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    println!(
+        "Cross-shard transactions — committed TPS and abort rate vs cross-shard \
+         fraction (1 KiB ops, {NUM_CLIENTS}-client budget per group, {trials} trials, \
+         both engines)\n"
+    );
+    println!(
+        "{:<7} {:<7} {:>7} {:>10} {:>10} {:>12} {:>8} {:>9} {:>10} {:>10}",
+        "engine",
+        "shards",
+        "cross%",
+        "bg/grp",
+        "initiators",
+        "agg TPS",
+        "StDev",
+        "vs local",
+        "tx c/a",
+        "abort%"
+    );
+    let mut rows = sweep_engine::<Replica>(trials);
+    rows.extend(sweep_engine::<LinearReplica>(trials));
+
+    println!(
+        "Elastic resharding — 2 -> 4 live splits under closed-loop keyed load \
+         ({RESHARD_SLOTS}-key KV, {}ms buckets)\n",
+        RESHARD_BUCKET.as_nanos() / 1_000_000
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>13} {:>11} {:>7}",
+        "engine", "steady TPS", "dip TPS", "recovered TPS", "recover ms", "avail"
+    );
+    let reshard = [
+        measure_reshard::<Replica>(),
+        measure_reshard::<LinearReplica>(),
+    ];
+    for r in &reshard {
+        println!(
+            "{:<8} {:>12.0} {:>10.0} {:>13.0} {:>11.1} {:>6.1}%",
+            r.engine,
+            r.steady_tps,
+            r.dip_tps,
+            r.recovered_tps,
+            r.recover_ms,
+            r.availability * 100.0,
+        );
+        assert!(
+            r.recovered_tps >= RECOVERY_FRACTION * r.steady_tps,
+            "{}: the 4-group plateau ({:.0} TPS) must not sit below {RECOVERY_FRACTION}x \
+             the 2-group steady state ({:.0} TPS)",
+            r.engine,
+            r.recovered_tps,
+            r.steady_tps
+        );
+    }
+
+    let json = Json::obj([
+        ("bench", "cross_shard".into()),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|p| {
+                        let agg = Stats::from_samples(&p.tps);
+                        let aborts = Stats::from_samples(&p.abort_rate);
+                        Json::obj([
+                            ("engine", p.engine.into()),
+                            ("shards", p.shards.into()),
+                            ("cross_pct", p.pct.into()),
+                            ("bg_per_group", p.bg_per_group.into()),
+                            ("initiators", p.initiators.into()),
+                            ("tps_mean", agg.mean.into()),
+                            ("tps_stddev", agg.std_dev.into()),
+                            ("vs_local", p.vs_local.into()),
+                            ("committed_txs", p.committed_txs.into()),
+                            ("aborted_txs", p.aborted_txs.into()),
+                            ("abort_rate", aborts.mean.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "reshard",
+            Json::Arr(
+                reshard
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("engine", r.engine.into()),
+                            ("shards_before", 2usize.into()),
+                            ("shards_after", 4usize.into()),
+                            ("epochs", 2usize.into()),
+                            ("steady_tps", r.steady_tps.into()),
+                            ("dip_tps", r.dip_tps.into()),
+                            ("recovered_tps", r.recovered_tps.into()),
+                            ("recover_ms", r.recover_ms.into()),
+                            ("availability", r.availability.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    artifact::write("BENCH_cross_shard.json", &json);
+
     println!(
         "Degradation comes from two effects: each initiator replaces a pipelined \
          single-shard client with a 3-round (prepare/decide/commit) closed loop, \
          and committed transaction sub-ops count once per application, not per \
-         protocol round. Abort rates trace lock conflicts in the {KEY_SPACE}-key space."
+         protocol round. Abort rates trace lock conflicts in the {KEY_SPACE}-key space. \
+         The resharding dip is the drain-and-handoff window; recovery is bounded by \
+         the router cutover plus the clients' retry backoff."
     );
 }

@@ -81,6 +81,7 @@ fn measure<E: ConsensusEngine>(shards: usize, batching: bool, trials: usize) -> 
                     seed: 5000 + trial as u64,
                     ..Default::default()
                 },
+                elastic: false,
             };
             let mut sc = ShardedCluster::<E>::build_engine(spec);
             sc.start_keyed_workload(|shard, client| {

@@ -230,6 +230,25 @@ impl Client {
         self.shard.as_ref().map(|(_, s)| *s)
     }
 
+    /// Install a newer [`ShardMap`] epoch on an already-bound client (the
+    /// epoch-retry path: a `WrongEpoch` rejection carries the rejecting
+    /// group's map). The bound group index is kept — the client still talks
+    /// to the same replicas — but routing checks now run against the newer
+    /// partition, so keys that moved away are refused as `ForeignShard`
+    /// before they reach a group that would reject them anyway. Older or
+    /// equal epochs, or an unbound client, are no-ops.
+    ///
+    /// Returns `true` when the map was actually installed.
+    pub fn rebind_shard(&mut self, map: ShardMap) -> bool {
+        match &mut self.shard {
+            Some((cur, shard)) if map.epoch() > cur.epoch() && *shard < map.shards() => {
+                *cur = map;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Route-aware submission: verify that every shard key of the operation
     /// routes to this client's bound group, then [`Client::submit`].
     ///
@@ -764,6 +783,32 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RouteError::CrossShard { .. }));
         assert_eq!(c.queued(), 0, "rejected ops are never queued");
+    }
+
+    #[test]
+    fn rebind_installs_only_newer_epochs() {
+        use crate::routing::ShardMap;
+        let map = ShardMap::ranged(2);
+        let plan = map.split(0);
+        let mut c = client();
+        assert!(!c.rebind_shard(plan.new_map), "unbound client: no-op");
+        c.bind_shard(map, 1);
+        assert!(!c.rebind_shard(map), "equal epoch: no-op");
+        assert!(c.rebind_shard(plan.new_map), "newer epoch installs");
+        assert_eq!(c.bound_shard(), Some(1), "binding survives the rebind");
+        assert!(
+            !c.rebind_shard(map),
+            "an older map cannot rewind the routing epoch"
+        );
+        // Routing now runs against the new partition: a key that moved to
+        // the new group is refused before it reaches the old owner.
+        let moved = (0..4096u64)
+            .map(|i| i.to_be_bytes().to_vec())
+            .find(|k| plan.moves(k) && plan.new_map.shard_of(k) != 1)
+            .expect("some key moved away from shard 1's view");
+        assert!(c
+            .submit_routed(std::slice::from_ref(&moved), vec![1], false, 0)
+            .is_err());
     }
 
     #[test]

@@ -15,6 +15,22 @@
 //! `ShardMap` computes the same assignment, with no coordination and no
 //! routing tables to distribute.
 //!
+//! Two assignment representations share the one hash:
+//!
+//! * **Hash (epoch 0, static).** `hash(key) % shards` — the original
+//!   deployment-time partition. [`ShardMap::new`] builds it and every
+//!   pre-elastic call site keeps its exact assignment.
+//! * **Ranges (elastic).** An explicit, sorted key-*range* → group table
+//!   over the 64-bit hash ring, stamped with an **epoch** that increments on
+//!   every reconfiguration. [`ShardMap::ranged`] builds the epoch-0 table
+//!   (identical spread to `new` for uniform keys, but contiguous — so a
+//!   group's span can be *split*), and [`ShardMap::split`] produces the
+//!   next epoch: the source group's widest range halved, the upper half
+//!   handed to a brand-new group. Replicas compare epochs to order
+//!   reconfigurations; a client holding a stale map is told so with a
+//!   `WrongEpoch` rejection (see [`crate::xshard`]) and retries against the
+//!   newer map.
+//!
 //! Operations naming several keys are routable only when all keys land on
 //! the same group; otherwise routing fails with the typed
 //! [`RouteError::CrossShard`] so callers can surface the conflict instead of
@@ -40,9 +56,17 @@
 //!     Err(RouteError::CrossShard { .. }) => {}
 //!     other => panic!("expected a cross-shard rejection, got {other:?}"),
 //! }
+//!
+//! // Elastic deployments use the range table and grow by splitting.
+//! let map = ShardMap::ranged(2);
+//! let plan = map.split(0);
+//! assert_eq!(plan.new_map.shards(), 3);
+//! assert_eq!(plan.new_map.epoch(), 1);
 //! ```
 
 use std::fmt;
+
+use crate::wire::{Dec, Enc, WireError};
 
 /// The stable 64-bit key hash all routing derives from (FNV-1a).
 ///
@@ -110,32 +134,240 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Upper bound on the range-table size (and therefore on how many times a
+/// deployment can split). A fixed array keeps [`ShardMap`] `Copy`, which
+/// every client and router clones freely; 16 ranges cover a 2→4→8-way
+/// growth with headroom.
+pub const MAX_RANGES: usize = 16;
+
+/// One contiguous span of the 64-bit hash ring: keys hashing into
+/// `[start, next range's start)` belong to `group` (the last range runs to
+/// `u64::MAX` inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive start of the span on the hash ring.
+    pub start: u64,
+    /// The owning group.
+    pub group: u32,
+}
+
+/// The two assignment representations (see the [module docs](self)).
+// The inline range table is what keeps `ShardMap: Copy` — a hard
+// requirement (routers share it through a `Cell`), so the size skew vs the
+// `Hash` variant is accepted rather than boxed away.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assignment {
+    /// `hash % shards` — the static epoch-0 partition.
+    Hash {
+        /// Number of groups.
+        shards: u32,
+    },
+    /// Sorted range table over the hash ring.
+    Ranges {
+        /// The table; only `count` entries are live.
+        ranges: [KeyRange; MAX_RANGES],
+        /// Live entries of `ranges`.
+        count: u32,
+        /// Number of groups (1 + highest group index).
+        shards: u32,
+    },
+}
+
 /// The deterministic key-space partition: `shards` groups, key → group by
-/// stable hash. See the [module docs](self) for the contract.
+/// stable hash, versioned by an epoch for elastic deployments. See the
+/// [module docs](self) for the contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardMap {
-    shards: u32,
+    epoch: u64,
+    assign: Assignment,
+}
+
+/// The outcome of a [`ShardMap::split`]: the next-epoch map plus the exact
+/// hash span whose ownership moved, which is everything a migration needs —
+/// the source exports keys hashing into the span, the target installs them,
+/// and routers switch maps at cutover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// The next-epoch map (one more group, one more range).
+    pub new_map: ShardMap,
+    /// The group that gave up the span.
+    pub source: u32,
+    /// The newly created group that now owns it (always the old
+    /// `shards()` — groups are only ever appended).
+    pub target: u32,
+    /// Inclusive lower bound of the moved hash span.
+    pub moved_lo: u64,
+    /// Inclusive upper bound of the moved hash span.
+    pub moved_hi: u64,
+}
+
+impl SplitPlan {
+    /// Does `key` move from the source to the target under this plan?
+    pub fn moves(&self, key: &[u8]) -> bool {
+        self.moves_hash(stable_key_hash(key))
+    }
+
+    /// [`SplitPlan::moves`] for a precomputed [`stable_key_hash`].
+    pub fn moves_hash(&self, hash: u64) -> bool {
+        (self.moved_lo..=self.moved_hi).contains(&hash)
+    }
 }
 
 impl ShardMap {
-    /// A partition into `shards` groups.
+    /// A static partition into `shards` groups (`hash % shards`, epoch 0).
+    /// This is the pre-elastic constructor; its assignment is pinned
+    /// forever so existing deployments keep their exact key placement.
     ///
     /// # Panics
     /// Panics if `shards` is zero — an empty deployment routes nothing.
     pub fn new(shards: u32) -> ShardMap {
         assert!(shards > 0, "a deployment needs at least one shard");
-        ShardMap { shards }
+        ShardMap {
+            epoch: 0,
+            assign: Assignment::Hash { shards },
+        }
+    }
+
+    /// An *elastic* epoch-0 partition into `shards` equal hash ranges.
+    /// Uniform keys spread exactly like [`ShardMap::new`], but each group
+    /// owns a contiguous span of the ring, so the partition can later be
+    /// reconfigured by [`ShardMap::split`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or exceeds [`MAX_RANGES`].
+    pub fn ranged(shards: u32) -> ShardMap {
+        assert!(shards > 0, "a deployment needs at least one shard");
+        assert!(
+            shards as usize <= MAX_RANGES,
+            "at most {MAX_RANGES} initial ranges"
+        );
+        let mut ranges = [KeyRange { start: 0, group: 0 }; MAX_RANGES];
+        for (g, r) in ranges.iter_mut().enumerate().take(shards as usize) {
+            r.start = (((g as u128) << 64) / shards as u128) as u64;
+            r.group = g as u32;
+        }
+        ShardMap {
+            epoch: 0,
+            assign: Assignment::Ranges {
+                ranges,
+                count: shards,
+                shards,
+            },
+        }
+    }
+
+    /// The reconfiguration epoch: 0 at deployment, +1 per [`ShardMap::split`].
+    /// Replicas and routers install a map only if its epoch is newer than
+    /// what they hold.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this map can be reconfigured ([`ShardMap::ranged`] family).
+    /// Static hash maps route forever at epoch 0.
+    pub fn is_elastic(&self) -> bool {
+        matches!(self.assign, Assignment::Ranges { .. })
     }
 
     /// Number of groups in the partition.
     pub fn shards(&self) -> u32 {
-        self.shards
+        match self.assign {
+            Assignment::Hash { shards } | Assignment::Ranges { shards, .. } => shards,
+        }
     }
 
     /// The group owning `key`. Total (every key routes) and deterministic
-    /// (a pure function of the bytes and the shard count).
+    /// (a pure function of the bytes and the partition).
     pub fn shard_of(&self, key: &[u8]) -> u32 {
-        (stable_key_hash(key) % self.shards as u64) as u32
+        self.shard_of_hash(stable_key_hash(key))
+    }
+
+    /// [`ShardMap::shard_of`] for a precomputed [`stable_key_hash`] — the
+    /// hook for hold-span routers and replica-side ownership checks that
+    /// hash once and test twice.
+    pub fn shard_of_hash(&self, hash: u64) -> u32 {
+        match &self.assign {
+            Assignment::Hash { shards } => (hash % *shards as u64) as u32,
+            Assignment::Ranges { ranges, count, .. } => {
+                let live = &ranges[..*count as usize];
+                // Last range whose start is <= hash (table sorted by start,
+                // first start is always 0).
+                let idx = live.partition_point(|r| r.start <= hash) - 1;
+                live[idx].group
+            }
+        }
+    }
+
+    /// The live range table of an elastic map (`None` for static hash
+    /// maps). Sorted by `start`; entry *i* covers `[start_i, start_{i+1})`,
+    /// the last entry runs to `u64::MAX` inclusive.
+    pub fn ranges(&self) -> Option<&[KeyRange]> {
+        match &self.assign {
+            Assignment::Hash { .. } => None,
+            Assignment::Ranges { ranges, count, .. } => Some(&ranges[..*count as usize]),
+        }
+    }
+
+    /// Plan a live split: halve `source`'s widest range and hand the upper
+    /// half to a brand-new group (index = current [`ShardMap::shards`]),
+    /// bumping the epoch. Pure planning — nothing migrates until the
+    /// deployment executes the [`SplitPlan`].
+    ///
+    /// # Panics
+    /// Panics on a static hash map (build elastic deployments with
+    /// [`ShardMap::ranged`]), an out-of-range `source`, a full range table
+    /// ([`MAX_RANGES`]), or a source span too narrow to halve.
+    pub fn split(&self, source: u32) -> SplitPlan {
+        let Assignment::Ranges {
+            ranges,
+            count,
+            shards,
+        } = self.assign
+        else {
+            panic!("static hash maps cannot split; deploy with ShardMap::ranged");
+        };
+        assert!(source < shards, "source shard {source} out of range");
+        assert!(
+            (count as usize) < MAX_RANGES,
+            "range table full ({MAX_RANGES} entries)"
+        );
+        let live = &ranges[..count as usize];
+        // The widest range owned by the source (ties: lowest start).
+        let (idx, lo, hi) = live
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.group == source)
+            .map(|(i, r)| {
+                let end = live.get(i + 1).map_or(u64::MAX, |n| n.start - 1);
+                (i, r.start, end)
+            })
+            .max_by_key(|&(i, lo, hi)| (hi - lo, usize::MAX - i))
+            .unwrap_or_else(|| panic!("shard {source} owns no range"));
+        assert!(hi > lo, "source span too narrow to split");
+        let mid = lo + (hi - lo) / 2 + 1; // upper half [mid, hi] moves
+        let target = shards;
+        let mut next = ranges;
+        // Insert the new range right after the halved one, keeping order.
+        next.copy_within(idx + 1..count as usize, idx + 2);
+        next[idx + 1] = KeyRange {
+            start: mid,
+            group: target,
+        };
+        SplitPlan {
+            new_map: ShardMap {
+                epoch: self.epoch + 1,
+                assign: Assignment::Ranges {
+                    ranges: next,
+                    count: count + 1,
+                    shards: shards + 1,
+                },
+            },
+            source,
+            target,
+            moved_lo: mid,
+            moved_hi: hi,
+        }
     }
 
     /// Route an operation naming `keys`: the single group owning all of
@@ -155,6 +387,90 @@ impl ShardMap {
             }
         }
         Ok(shard)
+    }
+
+    /// Canonical wire encoding (replicas order [`crate::xshard`] `Reshard`
+    /// operations carrying a map, so the encoding must be deterministic).
+    pub fn encode_into(&self, e: &mut Enc) {
+        e.u64(self.epoch);
+        match &self.assign {
+            Assignment::Hash { shards } => {
+                e.u8(0).u32(*shards);
+            }
+            Assignment::Ranges {
+                ranges,
+                count,
+                shards,
+            } => {
+                e.u8(1).u32(*shards).u32(*count);
+                for r in &ranges[..*count as usize] {
+                    e.u64(r.start).u32(r.group);
+                }
+            }
+        }
+    }
+
+    /// Decode a [`ShardMap::encode_into`] image.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation, an unknown representation tag, or a
+    /// malformed range table (empty, oversized, unsorted, or not starting
+    /// at hash 0).
+    pub fn decode_from(d: &mut Dec<'_>) -> Result<ShardMap, WireError> {
+        let epoch = d.u64()?;
+        let assign = match d.u8()? {
+            0 => {
+                let shards = d.u32()?;
+                if shards == 0 {
+                    return Err(WireError::BadLength(0));
+                }
+                Assignment::Hash { shards }
+            }
+            1 => {
+                let shards = d.u32()?;
+                let count = d.u32()?;
+                if count == 0 || count as usize > MAX_RANGES || shards == 0 {
+                    return Err(WireError::BadLength(count as u64));
+                }
+                let mut ranges = [KeyRange { start: 0, group: 0 }; MAX_RANGES];
+                for r in ranges.iter_mut().take(count as usize) {
+                    r.start = d.u64()?;
+                    r.group = d.u32()?;
+                    if r.group >= shards {
+                        return Err(WireError::BadLength(r.group as u64));
+                    }
+                }
+                let live = &ranges[..count as usize];
+                if live[0].start != 0 || live.windows(2).any(|w| w[0].start >= w[1].start) {
+                    return Err(WireError::BadTag(1));
+                }
+                Assignment::Ranges {
+                    ranges,
+                    count,
+                    shards,
+                }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(ShardMap { epoch, assign })
+    }
+
+    /// Encode as a standalone byte string ([`ShardMap::decode`] inverts).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.encode_into(&mut e);
+        e.into_bytes()
+    }
+
+    /// Decode a standalone [`ShardMap::encode`] image.
+    ///
+    /// # Errors
+    /// See [`ShardMap::decode_from`]; also rejects trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ShardMap, WireError> {
+        let mut d = Dec::new(bytes);
+        let map = Self::decode_from(&mut d)?;
+        d.finish()?;
+        Ok(map)
     }
 }
 
@@ -245,5 +561,113 @@ mod tests {
             seen[map.shard_of(&[b"prefix-".as_slice(), &[b]].concat()) as usize] += 1;
         }
         assert!(seen.iter().all(|&c| c > 0), "all shards hit: {seen:?}");
+    }
+
+    #[test]
+    fn ranged_map_is_total_and_balanced() {
+        for shards in [1u32, 2, 3, 4, 8, 16] {
+            let map = ShardMap::ranged(shards);
+            assert!(map.is_elastic());
+            assert_eq!(map.epoch(), 0);
+            assert_eq!(map.shards(), shards);
+            let mut seen = vec![0u32; shards as usize];
+            for i in 0..4096u64 {
+                seen[map.shard_of(&i.to_be_bytes()) as usize] += 1;
+            }
+            assert!(
+                seen.iter().all(|&c| c > 0),
+                "{shards} ranges all hit: {seen:?}"
+            );
+            // Ring extremes route into the first and last range.
+            assert_eq!(map.shard_of_hash(0), 0);
+            assert_eq!(map.shard_of_hash(u64::MAX), shards - 1);
+        }
+    }
+
+    #[test]
+    fn split_moves_exactly_the_upper_half_span() {
+        let map = ShardMap::ranged(2);
+        let plan = map.split(0);
+        assert_eq!(plan.source, 0);
+        assert_eq!(plan.target, 2, "new group appended");
+        assert_eq!(plan.new_map.shards(), 3);
+        assert_eq!(plan.new_map.epoch(), 1);
+        for i in 0..4096u64 {
+            let key = i.to_be_bytes();
+            let (old, new) = (map.shard_of(&key), plan.new_map.shard_of(&key));
+            if plan.moves(&key) {
+                assert_eq!(old, 0, "only source keys move");
+                assert_eq!(new, 2, "moved keys land on the target");
+            } else {
+                assert_eq!(old, new, "unmoved keys keep their owner");
+            }
+        }
+        // The moved span sits inside the source's old range.
+        assert_eq!(map.shard_of_hash(plan.moved_lo), 0);
+        assert_eq!(map.shard_of_hash(plan.moved_hi), 0);
+        assert_eq!(plan.new_map.shard_of_hash(plan.moved_lo), 2);
+        assert_eq!(plan.new_map.shard_of_hash(plan.moved_hi), 2);
+        assert_eq!(plan.new_map.shard_of_hash(plan.moved_lo - 1), 0);
+    }
+
+    #[test]
+    fn repeated_splits_grow_to_the_table_bound() {
+        // 2 → 4 (the acceptance scenario) and on until the table fills.
+        let mut map = ShardMap::ranged(2);
+        for step in 0..(MAX_RANGES as u32 - 2) {
+            let source = step % map.shards();
+            let plan = map.split(source);
+            assert_eq!(plan.new_map.epoch(), map.epoch() + 1);
+            assert_eq!(plan.new_map.shards(), map.shards() + 1);
+            map = plan.new_map;
+        }
+        assert_eq!(map.ranges().unwrap().len(), MAX_RANGES);
+        // Still total and covering every group.
+        let mut seen = vec![0u32; map.shards() as usize];
+        for i in 0..65536u64 {
+            seen[map.shard_of(&i.to_be_bytes()) as usize] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 0),
+            "all groups reachable: {seen:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn static_hash_maps_cannot_split() {
+        ShardMap::new(4).split(0);
+    }
+
+    #[test]
+    fn maps_roundtrip_on_the_wire() {
+        let hash = ShardMap::new(7);
+        assert_eq!(ShardMap::decode(&hash.encode()), Ok(hash));
+        let mut elastic = ShardMap::ranged(2);
+        elastic = elastic.split(1).new_map;
+        elastic = elastic.split(0).new_map;
+        assert_eq!(ShardMap::decode(&elastic.encode()), Ok(elastic));
+    }
+
+    #[test]
+    fn malformed_map_images_are_rejected() {
+        // Unknown representation tag.
+        let mut e = Enc::new();
+        e.u64(0).u8(9);
+        assert!(ShardMap::decode(&e.into_bytes()).is_err());
+        // Zero shards.
+        let mut e = Enc::new();
+        e.u64(0).u8(0).u32(0);
+        assert!(ShardMap::decode(&e.into_bytes()).is_err());
+        // Unsorted range table.
+        let mut e = Enc::new();
+        e.u64(1).u8(1).u32(2).u32(2);
+        e.u64(10).u32(0); // first start must be 0
+        e.u64(5).u32(1);
+        assert!(ShardMap::decode(&e.into_bytes()).is_err());
+        // Trailing garbage.
+        let mut bytes = ShardMap::new(2).encode();
+        bytes.push(0);
+        assert!(ShardMap::decode(&bytes).is_err());
     }
 }

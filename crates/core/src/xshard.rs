@@ -210,6 +210,10 @@ impl XShardOp {
 
 /// A cross-shard protocol operation, carried as an ordered `Operation::App`
 /// body framed with [`XSHARD_MAGIC`].
+// `Reshard` carries a full `ShardMap` by value: the map is `Copy` by
+// contract (shared through `Cell`s) and short-lived on the wire, so the
+// variant-size skew is accepted rather than boxed away.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XMsg {
     /// Phase one: lock the sub-ops' keys and stage them (vote request).
@@ -255,6 +259,39 @@ pub enum XMsg {
         /// The sub-operations, executed back-to-back.
         ops: Vec<SubOp>,
     },
+    /// Reconfiguration: install a newer [`ShardMap`] epoch on this group
+    /// (ordered like every other op, so all replicas flip together; older
+    /// or equal epochs are idempotent no-ops). After installing, the group
+    /// answers [`XReply::WrongEpoch`] for keys it no longer owns.
+    Reshard {
+        /// Transaction id (admin ops ride the same reply-matching rails).
+        txid: TxId,
+        /// The next-epoch map.
+        map: ShardMap,
+    },
+    /// Key-range hand-off: write the exported byte chunks of a moved hash
+    /// span into this (target) group's region. Ordered, idempotent by
+    /// `txid` (a duplicate install acknowledges without rewriting).
+    RangeInstall {
+        /// Transaction id.
+        txid: TxId,
+        /// Raw region writes: `(offset, bytes)` pairs from the source
+        /// group's verified range export.
+        chunks: Vec<(u64, Vec<u8>)>,
+    },
+    /// Epoch-checked single-group operation: execute `op` on the inner
+    /// application iff every named key is owned by this group under its
+    /// installed map; otherwise answer [`XReply::WrongEpoch`]. The success
+    /// reply is the inner application's, unframed — this is the framed
+    /// variant of the pass-through fast path for elastic deployments.
+    KeyedOp {
+        /// Transaction id (echoed only in the `WrongEpoch` rejection).
+        txid: TxId,
+        /// The shard keys the operation claims to touch.
+        keys: Vec<Vec<u8>>,
+        /// The encoded inner application operation.
+        op: Vec<u8>,
+    },
 }
 
 const TAG_PREPARE: u8 = 1;
@@ -264,6 +301,9 @@ const TAG_ABORT: u8 = 4;
 const TAG_QUERY_DECISION: u8 = 5;
 const TAG_QUERY_APPLIED: u8 = 6;
 const TAG_ATOMIC_BATCH: u8 = 7;
+const TAG_RESHARD: u8 = 8;
+const TAG_RANGE_INSTALL: u8 = 9;
+const TAG_KEYED_OP: u8 = 10;
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_be_bytes());
@@ -313,6 +353,7 @@ fn decode_tables_image(
         BTreeMap<Vec<u8>, TxId>,
         BTreeMap<TxId, Vec<SubOp>>,
         BTreeMap<u64, TxId>,
+        Option<(u32, ShardMap)>,
     ),
     crate::wire::WireError,
 > {
@@ -336,7 +377,14 @@ fn decode_tables_image(
         let floor = d.u64()?;
         floors.insert(stripe, floor);
     }
-    Ok((locks, staged, floors))
+    let identity = if d.boolean()? {
+        let group = d.u32()?;
+        let map = ShardMap::decode(&d.bytes()?)?;
+        Some((group, map))
+    } else {
+        None
+    };
+    Ok((locks, staged, floors, identity))
 }
 
 fn get_sub_ops(buf: &[u8], at: &mut usize) -> Option<Vec<SubOp>> {
@@ -371,7 +419,10 @@ impl XMsg {
             | XMsg::Abort { txid }
             | XMsg::QueryDecision { txid }
             | XMsg::QueryApplied { txid }
-            | XMsg::AtomicBatch { txid, .. } => *txid,
+            | XMsg::AtomicBatch { txid, .. }
+            | XMsg::Reshard { txid, .. }
+            | XMsg::RangeInstall { txid, .. }
+            | XMsg::KeyedOp { txid, .. } => *txid,
         }
     }
 
@@ -390,12 +441,40 @@ impl XMsg {
             XMsg::QueryDecision { txid } => (TAG_QUERY_DECISION, txid),
             XMsg::QueryApplied { txid } => (TAG_QUERY_APPLIED, txid),
             XMsg::AtomicBatch { txid, .. } => (TAG_ATOMIC_BATCH, txid),
+            XMsg::Reshard { txid, .. } => (TAG_RESHARD, txid),
+            XMsg::RangeInstall { txid, .. } => (TAG_RANGE_INSTALL, txid),
+            XMsg::KeyedOp { txid, .. } => (TAG_KEYED_OP, txid),
         };
         out.push(tag);
         out.extend_from_slice(&txid.to_be_bytes());
         match self {
             XMsg::Prepare { ops, .. } | XMsg::AtomicBatch { ops, .. } => put_sub_ops(&mut out, ops),
             XMsg::Decide { commit, .. } => out.push(u8::from(*commit)),
+            XMsg::Reshard { map, .. } => put_bytes(&mut out, &map.encode()),
+            XMsg::RangeInstall { chunks, .. } => {
+                assert!(
+                    chunks.len() <= u16::MAX as usize,
+                    "range install exceeds {} chunks",
+                    u16::MAX
+                );
+                out.extend_from_slice(&(chunks.len() as u16).to_be_bytes());
+                for (off, bytes) in chunks {
+                    out.extend_from_slice(&off.to_be_bytes());
+                    put_bytes(&mut out, bytes);
+                }
+            }
+            XMsg::KeyedOp { keys, op, .. } => {
+                assert!(
+                    keys.len() <= u16::MAX as usize,
+                    "keyed op exceeds {} keys",
+                    u16::MAX
+                );
+                out.extend_from_slice(&(keys.len() as u16).to_be_bytes());
+                for k in keys {
+                    put_bytes(&mut out, k);
+                }
+                put_bytes(&mut out, op);
+            }
             _ => {}
         }
         out
@@ -426,6 +505,34 @@ impl XMsg {
                 txid,
                 ops: get_sub_ops(rest, &mut at)?,
             },
+            TAG_RESHARD => XMsg::Reshard {
+                txid,
+                map: ShardMap::decode(&get_bytes(rest, &mut at)?).ok()?,
+            },
+            TAG_RANGE_INSTALL => {
+                let n = u16::from_be_bytes(rest.get(at..at + 2)?.try_into().ok()?) as usize;
+                at += 2;
+                let mut chunks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let off = u64::from_be_bytes(rest.get(at..at + 8)?.try_into().ok()?);
+                    at += 8;
+                    chunks.push((off, get_bytes(rest, &mut at)?));
+                }
+                XMsg::RangeInstall { txid, chunks }
+            }
+            TAG_KEYED_OP => {
+                let n = u16::from_be_bytes(rest.get(at..at + 2)?.try_into().ok()?) as usize;
+                at += 2;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_bytes(rest, &mut at)?);
+                }
+                XMsg::KeyedOp {
+                    txid,
+                    keys,
+                    op: get_bytes(rest, &mut at)?,
+                }
+            }
             _ => return None,
         };
         Some(msg)
@@ -434,6 +541,10 @@ impl XMsg {
 
 /// A participant/coordinator reply, framed with [`XSHARD_MAGIC`] so the
 /// initiator can tell protocol replies from plain application replies.
+// `WrongEpoch` delivers the rejecting group's full (`Copy`) `ShardMap` —
+// that carried map IS the client-recovery channel, so the variant-size
+// skew is accepted rather than boxed away.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XReply {
     /// Vote yes: keys locked, sub-ops staged ("PrepareOk").
@@ -482,6 +593,24 @@ pub enum XReply {
         /// Whether this group's committed state reflects the transaction.
         applied: bool,
     },
+    /// The operation named a key this group does not own under its
+    /// installed [`ShardMap`]: the sender routed with a stale epoch. The
+    /// reply carries the group's (newer) map so the sender can re-route
+    /// and retry without any out-of-band discovery.
+    WrongEpoch {
+        /// Transaction id.
+        txid: TxId,
+        /// The rejecting group's installed map.
+        map: ShardMap,
+    },
+    /// Acknowledgement of an ordered [`XMsg::Reshard`]: the epoch actually
+    /// installed (unchanged if the carried map was not newer).
+    Resharded {
+        /// Transaction id.
+        txid: TxId,
+        /// The group's map epoch after the operation.
+        epoch: u64,
+    },
 }
 
 const RTAG_PREPARE_OK: u8 = 1;
@@ -491,6 +620,8 @@ const RTAG_ABORTED: u8 = 4;
 const RTAG_DECISION_LOGGED: u8 = 5;
 const RTAG_DECISION: u8 = 6;
 const RTAG_APPLIED: u8 = 7;
+const RTAG_WRONG_EPOCH: u8 = 8;
+const RTAG_RESHARDED: u8 = 9;
 
 impl XReply {
     /// The transaction this reply belongs to.
@@ -502,7 +633,9 @@ impl XReply {
             | XReply::Aborted { txid }
             | XReply::DecisionLogged { txid, .. }
             | XReply::Decision { txid, .. }
-            | XReply::Applied { txid, .. } => *txid,
+            | XReply::Applied { txid, .. }
+            | XReply::WrongEpoch { txid, .. }
+            | XReply::Resharded { txid, .. } => *txid,
         }
     }
 
@@ -521,6 +654,8 @@ impl XReply {
             XReply::DecisionLogged { txid, .. } => (RTAG_DECISION_LOGGED, txid),
             XReply::Decision { txid, .. } => (RTAG_DECISION, txid),
             XReply::Applied { txid, .. } => (RTAG_APPLIED, txid),
+            XReply::WrongEpoch { txid, .. } => (RTAG_WRONG_EPOCH, txid),
+            XReply::Resharded { txid, .. } => (RTAG_RESHARDED, txid),
         };
         out.push(tag);
         out.extend_from_slice(&txid.to_be_bytes());
@@ -544,6 +679,8 @@ impl XReply {
                 Some(true) => 1,
             }),
             XReply::Applied { applied, .. } => out.push(u8::from(*applied)),
+            XReply::WrongEpoch { map, .. } => put_bytes(&mut out, &map.encode()),
+            XReply::Resharded { epoch, .. } => out.extend_from_slice(&epoch.to_be_bytes()),
             _ => {}
         }
         out
@@ -586,6 +723,14 @@ impl XReply {
             RTAG_APPLIED => XReply::Applied {
                 txid,
                 applied: *rest.get(at)? != 0,
+            },
+            RTAG_WRONG_EPOCH => XReply::WrongEpoch {
+                txid,
+                map: ShardMap::decode(&get_bytes(rest, &mut at)?).ok()?,
+            },
+            RTAG_RESHARDED => XReply::Resharded {
+                txid,
+                epoch: u64::from_be_bytes(rest.get(at..at + 8)?.try_into().ok()?),
             },
             _ => return None,
         };
@@ -744,7 +889,7 @@ pub fn read_gc_floors(state: &pbft_state::PagedState) -> BTreeMap<u64, TxId> {
     let cell = BlobCell::new(cell, XSHARD_CELL_MAGIC);
     match cell.load(state) {
         Ok(Some(image)) => decode_tables_image(&image)
-            .map(|(_, _, floors)| floors)
+            .map(|(_, _, floors, _)| floors)
             .unwrap_or_default(),
         _ => BTreeMap::new(),
     }
@@ -790,6 +935,10 @@ pub struct XShardApp {
     decisions: BTreeMap<TxId, bool>,
     /// Per-stripe GC floors: highest evicted txid per initiator stripe.
     floors: BTreeMap<u64, TxId>,
+    /// Elastic deployments: which group this replica belongs to, and the
+    /// [`ShardMap`] epoch it currently enforces ownership under. `None`
+    /// (static deployments) disables every ownership check.
+    identity: Option<(u32, ShardMap)>,
     /// Plain operations passed through to the inner application.
     passthrough: u64,
 }
@@ -845,10 +994,45 @@ impl XShardApp {
             aborted: BTreeSet::new(),
             decisions: BTreeMap::new(),
             floors: BTreeMap::new(),
+            identity: None,
             passthrough: 0,
         };
         app.reload_tables();
         app
+    }
+
+    /// Declare this replica's group and map for an elastic deployment and
+    /// persist them with the tables (so identity survives crash-restart
+    /// and rides checkpoints into state transfer). A map already on record
+    /// with an equal or newer epoch wins — a restart over a preserved disk
+    /// must not rewind a [`XMsg::Reshard`] the group already ordered.
+    ///
+    /// Every replica of a group must call this identically at boot;
+    /// ownership checks are part of the replicated state machine.
+    pub fn set_identity(&mut self, group: u32, map: ShardMap) {
+        if let Some((_, cur)) = &self.identity {
+            if cur.epoch() >= map.epoch() {
+                return;
+            }
+        }
+        self.identity = Some((group, map));
+        self.persist_tables();
+    }
+
+    /// The installed identity, if this is an elastic deployment member.
+    pub fn identity(&self) -> Option<(u32, ShardMap)> {
+        self.identity
+    }
+
+    /// Ownership check: `Some(installed map)` if any of `keys` is *not*
+    /// owned by this group under its installed map — the sender routed
+    /// with a stale epoch. `None` when every key is owned, or when no
+    /// identity is installed (static deployments check nothing).
+    fn stale_route<'a>(&self, keys: impl IntoIterator<Item = &'a Vec<u8>>) -> Option<ShardMap> {
+        let (group, map) = self.identity.as_ref()?;
+        keys.into_iter()
+            .any(|k| map.shard_of(k) != *group)
+            .then_some(*map)
     }
 
     /// Has this group applied `txid` to its committed state?
@@ -950,6 +1134,14 @@ impl XShardApp {
         for (stripe, floor) in &self.floors {
             e.u64(*stripe).u64(*floor);
         }
+        match &self.identity {
+            Some((group, map)) => {
+                e.boolean(true).u32(*group).bytes(&map.encode());
+            }
+            None => {
+                e.boolean(false);
+            }
+        }
         e.into_bytes()
     }
 
@@ -988,13 +1180,15 @@ impl XShardApp {
         self.aborted.clear();
         self.decisions.clear();
         self.floors.clear();
+        self.identity = None;
         let st = self.state.borrow();
         if let Some(image) = self.cell.load(&st).expect("xshard cell readable") {
-            let (locks, staged, floors) =
+            let (locks, staged, floors, identity) =
                 decode_tables_image(&image).expect("xshard table image decodes");
             self.locks = locks;
             self.staged = staged;
             self.floors = floors;
+            self.identity = identity;
         }
         for rec in self.ring.records(&st).expect("xshard ring readable") {
             let txid = TxId::from_be_bytes(rec[..8].try_into().expect("8 bytes"));
@@ -1071,6 +1265,14 @@ impl XShardApp {
                 // and staging it would lock keys nobody will release).
                 if self.aborted.contains(&txid) || self.is_gc_evicted(txid) {
                     return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                // A key this group no longer owns (post-split) is a
+                // routing-epoch error, not a lock conflict: reject before
+                // staging anything and carry the newer map so the sender
+                // can re-route. Stale-epoch prepares whose keys are all
+                // still owned here proceed normally.
+                if let Some(map) = self.stale_route(ops.iter().flat_map(|s| &s.keys)) {
+                    return (XReply::WrongEpoch { txid, map }.encode(), bookkeeping);
                 }
                 // No-wait locking: any conflict is an immediate no-vote, so
                 // lock acquisition can never deadlock across shards.
@@ -1272,11 +1474,108 @@ impl XShardApp {
                         bookkeeping,
                     );
                 }
+                // Same ownership gate as Prepare: a batch naming a moved
+                // key must not execute on its former owner.
+                if let Some(map) = self.stale_route(ops.iter().flat_map(|s| &s.keys)) {
+                    return (XReply::WrongEpoch { txid, map }.encode(), bookkeeping);
+                }
                 let (replies, metrics) = self.apply_ops(client, &ops, nondet, session);
                 self.applied.insert(txid);
                 self.push_record(txid, REC_APPLIED);
                 self.persist_tables();
                 (XReply::Committed { txid, replies }.encode(), metrics)
+            }
+            XMsg::Reshard { txid, map } => {
+                let current = |app: &XShardApp| app.identity.map_or(0, |(_, m)| m.epoch());
+                if read_only {
+                    // Read-only execution must not mutate; answer the
+                    // installed epoch so the sender retries ordered.
+                    return (
+                        XReply::Resharded {
+                            txid,
+                            epoch: current(self),
+                        }
+                        .encode(),
+                        bookkeeping,
+                    );
+                }
+                // Install iff strictly newer; older or duplicate Reshard
+                // deliveries acknowledge the epoch already on record. A
+                // group with no identity (static deployment) ignores the
+                // op entirely rather than guessing its own index.
+                if let Some((group, cur)) = self.identity {
+                    if map.epoch() > cur.epoch() {
+                        self.identity = Some((group, map));
+                        self.persist_tables();
+                    }
+                }
+                (
+                    XReply::Resharded {
+                        txid,
+                        epoch: current(self),
+                    }
+                    .encode(),
+                    bookkeeping,
+                )
+            }
+            XMsg::RangeInstall { txid, chunks } => {
+                if read_only {
+                    return (XReply::Aborted { txid }.encode(), bookkeeping);
+                }
+                // Idempotent by txid, like a batch: a duplicate ordered
+                // install acknowledges without rewriting the region.
+                if self.applied.contains(&txid) || self.is_gc_evicted(txid) {
+                    return (
+                        XReply::Committed {
+                            txid,
+                            replies: Vec::new(),
+                        }
+                        .encode(),
+                        bookkeeping,
+                    );
+                }
+                {
+                    let mut st = self.state.borrow_mut();
+                    for (off, bytes) in &chunks {
+                        st.modify(*off, bytes.len())
+                            .expect("range-install chunk inside the region");
+                        st.write(*off, bytes)
+                            .expect("range-install chunk inside the region");
+                    }
+                }
+                // The region changed underneath the inner application —
+                // let it rebuild whatever it caches, exactly as after a
+                // state-transfer install.
+                self.inner.on_state_installed();
+                self.applied.insert(txid);
+                self.push_record(txid, REC_APPLIED);
+                self.persist_tables();
+                (
+                    XReply::Committed {
+                        txid,
+                        replies: Vec::new(),
+                    }
+                    .encode(),
+                    bookkeeping,
+                )
+            }
+            XMsg::KeyedOp { txid, keys, op } => {
+                // The elastic fast path: ownership-gate, then pass the
+                // inner operation through untouched. Exactly-once comes
+                // from the PBFT reply cache like any pass-through op; the
+                // wrapper records nothing.
+                if let Some(map) = self.stale_route(keys.iter()) {
+                    return (XReply::WrongEpoch { txid, map }.encode(), bookkeeping);
+                }
+                let mut metrics = Self::bookkeeping_metrics();
+                let (reply, m) = match session {
+                    Some(ctx) => self
+                        .inner
+                        .execute_with_session(client, &op, nondet, read_only, ctx),
+                    None => self.inner.execute(client, &op, nondet, read_only),
+                };
+                metrics.add(&m);
+                (reply, metrics)
             }
         }
     }
@@ -1344,6 +1643,7 @@ impl App for XShardApp {
 mod tests {
     use super::*;
     use crate::app::{KvApp, NullApp, StateHandle};
+    use crate::routing::SplitPlan;
     use pbft_state::PagedState;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -1435,6 +1735,19 @@ mod tests {
                 txid: 5,
                 ops: vec![sub(b"k", vec![7; 9])],
             },
+            XMsg::Reshard {
+                txid: 6,
+                map: ShardMap::ranged(2).split(0).new_map,
+            },
+            XMsg::RangeInstall {
+                txid: 7,
+                chunks: vec![(0, vec![1, 2, 3]), (4096, vec![])],
+            },
+            XMsg::KeyedOp {
+                txid: 8,
+                keys: vec![b"a".to_vec(), b"b".to_vec()],
+                op: vec![9, 9],
+            },
         ] {
             assert_eq!(XMsg::decode(&msg.encode()), Some(msg));
         }
@@ -1466,6 +1779,11 @@ mod tests {
                 txid: 7,
                 applied: true,
             },
+            XReply::WrongEpoch {
+                txid: 8,
+                map: ShardMap::ranged(4).split(2).new_map,
+            },
+            XReply::Resharded { txid: 9, epoch: 3 },
         ] {
             assert_eq!(XReply::decode(&reply.encode()), Some(reply));
         }
@@ -2091,6 +2409,177 @@ mod tests {
         assert_eq!(am, bm, "pass-through adds no cost");
         assert_eq!(wrapped16.passthrough_ops(), 1);
         assert_eq!(wrapped.passthrough_ops(), 0);
+    }
+
+    /// First small integer key (BE bytes) that `map` assigns to `shard`,
+    /// optionally also inside/outside a split plan's moved span.
+    fn key_where(map: &ShardMap, shard: u32, moved: Option<(&SplitPlan, bool)>) -> Vec<u8> {
+        (0..4096u64)
+            .map(|i| i.to_be_bytes().to_vec())
+            .find(|k| {
+                map.shard_of(k) == shard && moved.is_none_or(|(plan, want)| plan.moves(k) == want)
+            })
+            .expect("probe keys cover every shard and span")
+    }
+
+    #[test]
+    fn reshard_gates_ownership_and_carries_the_newer_map() {
+        let map = ShardMap::ranged(2);
+        let plan = map.split(0);
+        let moved = key_where(&map, 0, Some((&plan, true)));
+        let kept = key_where(&map, 0, Some((&plan, false)));
+
+        let state = test_state();
+        let mut app = xapp_over(&state, Box::new(NullApp::new(4)));
+        app.set_identity(0, map);
+        assert_eq!(app.identity(), Some((0, map)));
+
+        // Pre-split: both keys prepare fine; leave one staged across the
+        // epoch flip to prove in-flight transactions still complete.
+        let staged_tx = 1;
+        let prepare = XMsg::Prepare {
+            txid: staged_tx,
+            ops: vec![sub(&moved, vec![1])],
+        };
+        let (r, _) = app.execute(ClientId(1), &prepare.encode(), &nd(), false);
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::PrepareOk { txid: staged_tx })
+        );
+
+        // Ordered reshard: epoch flips once, duplicates acknowledge.
+        let reshard = XMsg::Reshard {
+            txid: 2,
+            map: plan.new_map,
+        };
+        for _ in 0..2 {
+            let (r, _) = app.execute(ClientId(1), &reshard.encode(), &nd(), false);
+            assert_eq!(
+                XReply::decode(&r),
+                Some(XReply::Resharded { txid: 2, epoch: 1 })
+            );
+        }
+
+        // A fresh prepare on the moved key is rejected with the new map…
+        let late = XMsg::Prepare {
+            txid: 3,
+            ops: vec![sub(&moved, vec![2])],
+        };
+        let (r, _) = app.execute(ClientId(1), &late.encode(), &nd(), false);
+        assert_eq!(
+            XReply::decode(&r),
+            Some(XReply::WrongEpoch {
+                txid: 3,
+                map: plan.new_map
+            })
+        );
+        assert!(!app.is_staged(3));
+        // …and so are batches and keyed ops naming it.
+        let batch = XMsg::AtomicBatch {
+            txid: 4,
+            ops: vec![sub(&moved, vec![3])],
+        };
+        let (r, _) = app.execute(ClientId(1), &batch.encode(), &nd(), false);
+        assert!(matches!(
+            XReply::decode(&r),
+            Some(XReply::WrongEpoch { txid: 4, .. })
+        ));
+        let keyed = XMsg::KeyedOp {
+            txid: 5,
+            keys: vec![moved.clone()],
+            op: vec![1],
+        };
+        let (r, _) = app.execute(ClientId(1), &keyed.encode(), &nd(), false);
+        assert!(matches!(
+            XReply::decode(&r),
+            Some(XReply::WrongEpoch { txid: 5, .. })
+        ));
+
+        // Still-owned keys keep working, framed or not.
+        let ok = XMsg::Prepare {
+            txid: 6,
+            ops: vec![sub(&kept, vec![4])],
+        };
+        let (r, _) = app.execute(ClientId(1), &ok.encode(), &nd(), false);
+        assert_eq!(XReply::decode(&r), Some(XReply::PrepareOk { txid: 6 }));
+        let keyed_ok = XMsg::KeyedOp {
+            txid: 7,
+            keys: vec![kept.clone()],
+            op: vec![2],
+        };
+        let (r, _) = app.execute(ClientId(1), &keyed_ok.encode(), &nd(), false);
+        assert_eq!(
+            XReply::decode(&r),
+            None,
+            "owned keyed op passes through to the inner app"
+        );
+
+        // The transaction staged before the split still commits: phase two
+        // proceeds regardless of epoch so 2PC never half-applies.
+        let (r, _) = app.execute(
+            ClientId(1),
+            &XMsg::Commit { txid: staged_tx }.encode(),
+            &nd(),
+            false,
+        );
+        assert!(matches!(
+            XReply::decode(&r),
+            Some(XReply::Committed { txid: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn identity_survives_remount_and_keeps_the_newer_epoch() {
+        let map = ShardMap::ranged(2);
+        let plan = map.split(1);
+        let state = test_state();
+        let mut app = xapp_over(&state, Box::new(NullApp::new(4)));
+        app.set_identity(0, map);
+        let reshard = XMsg::Reshard {
+            txid: 1,
+            map: plan.new_map,
+        };
+        let _ = app.execute(ClientId(1), &reshard.encode(), &nd(), false);
+        drop(app);
+
+        // Crash-restart: the boot-time set_identity carries the *birth*
+        // map; the persisted newer epoch must win.
+        let mut back = xapp_over(&state, Box::new(NullApp::new(4)));
+        assert_eq!(back.identity(), Some((0, plan.new_map)));
+        back.set_identity(0, map);
+        assert_eq!(
+            back.identity(),
+            Some((0, plan.new_map)),
+            "an older birth map cannot rewind an ordered reshard"
+        );
+    }
+
+    #[test]
+    fn range_install_writes_chunks_and_is_idempotent() {
+        let (mut app, state) = kv_xapp();
+        // Hand-build the chunk a source export would produce: key 3 = 99
+        // written straight into its KV slot.
+        let mut rec = [0u8; 16];
+        rec[..8].copy_from_slice(&3u64.to_be_bytes());
+        rec[8..].copy_from_slice(&99u64.to_be_bytes());
+        let install = XMsg::RangeInstall {
+            txid: 21,
+            chunks: vec![(6 * PAGE + 3 * 16, rec.to_vec())],
+        };
+        let (r, _) = app.execute(ClientId(1), &install.encode(), &nd(), false);
+        assert!(matches!(
+            XReply::decode(&r),
+            Some(XReply::Committed { txid: 21, .. })
+        ));
+        assert_eq!(kv_slot_value(&state, 3), 99);
+        // Idempotent duplicate: acknowledged, region untouched.
+        let before = state.borrow_mut().refresh_digest();
+        let (r, _) = app.execute(ClientId(1), &install.encode(), &nd(), false);
+        assert!(matches!(
+            XReply::decode(&r),
+            Some(XReply::Committed { txid: 21, .. })
+        ));
+        assert_eq!(state.borrow_mut().refresh_digest(), before);
     }
 
     #[test]

@@ -4,9 +4,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use minisql::JournalMode;
-use pbft_core::app::{App, NullApp, StateHandle};
+use pbft_core::app::{App, KvApp, NullApp, StateHandle};
 use pbft_core::client::{Client, ClientEvent, ClientMetrics};
 use pbft_core::replica::{Replica, ReplicaMetrics, LIB_REGION_PAGES};
+use pbft_core::routing::ShardMap;
 use pbft_core::{
     ClientId, ConsensusEngine, HandleResult, NetTarget, Output, PbftConfig, ReplicaId, TimerKind,
 };
@@ -54,12 +55,30 @@ pub enum AppKind {
         /// Registered voters (user, secret).
         voters: Vec<(String, String)>,
     },
+    /// The fixed-slot key-value app ([`pbft_core::app::KvApp`]): real,
+    /// byte-addressable per-key state, so elastic-resharding scenarios can
+    /// move key ranges between groups and audit them afterwards. Slots live
+    /// at [`APP_PARTITION_BASE`], 16 bytes each (`key % slots`).
+    Kv {
+        /// Number of key slots.
+        slots: u64,
+    },
 }
+
+/// Byte offset where the application partition of the standard region
+/// layout starts (everything below is library state: membership, sessions
+/// and the xshard section).
+pub const APP_PARTITION_BASE: u64 = LIB_REGION_PAGES * pbft_state::PAGE_SIZE as u64;
 
 impl AppKind {
     fn state_pages(&self) -> usize {
         match self {
             AppKind::Null { .. } => LIB_REGION_PAGES as usize + 12,
+            AppKind::Kv { slots } => {
+                LIB_REGION_PAGES as usize
+                    + (*slots as usize * 16).div_ceil(pbft_state::PAGE_SIZE)
+                    + 1
+            }
             _ => LIB_REGION_PAGES as usize + 1020, // ~4 MiB app partition
         }
     }
@@ -87,6 +106,7 @@ impl AppKind {
                     .collect();
                 Box::new(evoting::EvotingApp::open(state, *journal, &refs))
             }
+            AppKind::Kv { slots } => Box::new(KvApp::new(state, APP_PARTITION_BASE, *slots)),
         }
     }
 }
@@ -114,6 +134,13 @@ pub struct ClusterSpec {
     /// so enabling this on a deployment that never submits cross-shard
     /// frames changes nothing.
     pub xshard: bool,
+    /// Elastic deployments: which group of the partition these replicas
+    /// form, and the [`ShardMap`] epoch the group is born under. Implies
+    /// [`ClusterSpec::xshard`] (the wrapper hosts the ownership gate). The
+    /// identity is only a *birth* default — a replica restarted over a
+    /// preserved disk keeps whatever newer epoch its ordered history
+    /// installed (see [`pbft_core::XShardApp::set_identity`]).
+    pub shard_identity: Option<(u32, ShardMap)>,
 }
 
 impl ClusterSpec {
@@ -123,8 +150,12 @@ impl ClusterSpec {
     /// restarted over a preserved disk reconstructs its 2PC tables here.
     pub fn make_app(&self, state: StateHandle) -> Box<dyn App> {
         let inner = self.app.make(state.clone());
-        if self.xshard {
-            Box::new(pbft_core::XShardApp::mount(inner, state))
+        if self.xshard || self.shard_identity.is_some() {
+            let mut app = pbft_core::XShardApp::mount(inner, state);
+            if let Some((group, map)) = self.shard_identity {
+                app.set_identity(group, map);
+            }
+            Box::new(app)
         } else {
             inner
         }
@@ -146,6 +177,7 @@ impl Default for ClusterSpec {
             seed: 1,
             trace: false,
             xshard: false,
+            shard_identity: None,
         }
     }
 }

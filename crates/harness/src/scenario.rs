@@ -144,6 +144,16 @@ pub enum ScenarioEvent {
         /// Group index.
         shard: usize,
     },
+    /// Live-split an elastic group mid-run: the upper half of `source`'s
+    /// widest key range is handed to a freshly booted group under a
+    /// bumped-epoch map, with the workload still offered (see
+    /// [`ShardedCluster::split`]). Only elastic sharded/cross-shard
+    /// deployments support it — a single [`Cluster`] has no shard map, and
+    /// a static partition cannot change; both panic.
+    Reshard {
+        /// Group whose key range is split.
+        source: usize,
+    },
 }
 
 impl ScenarioEvent {
@@ -178,6 +188,7 @@ impl ScenarioEvent {
                 format!("degrade({shard},loss+{loss})")
             }
             ScenarioEvent::HealGroup { shard } => format!("heal({shard})"),
+            ScenarioEvent::Reshard { source } => format!("reshard({source})"),
         }
     }
 }
@@ -203,6 +214,14 @@ pub trait ScenarioTarget {
     fn group(&self, shard: usize) -> &Cluster<Self::Engine>;
     /// One group, for fault injection.
     fn group_mut(&mut self, shard: usize) -> &mut Cluster<Self::Engine>;
+
+    /// Live-split group `source` ([`ScenarioEvent::Reshard`]). The default
+    /// panics: a single-group deployment has no shard map to split.
+    /// Elastic sharded flavors override (with
+    /// [`ShardedCluster::split_auto`] / [`XShardCluster::split_auto`]).
+    fn reshard(&mut self, source: usize) {
+        panic!("this deployment flavor cannot reshard (split of group {source} requested)");
+    }
 
     /// Apply one event. The default maps the event vocabulary onto the
     /// group's fault surface; flavors only override if they must intercept.
@@ -237,6 +256,7 @@ pub trait ScenarioTarget {
                 extra_latency,
             } => self.group_mut(shard).degrade_links(loss, extra_latency),
             ScenarioEvent::HealGroup { shard } => self.group_mut(shard).restore_links(),
+            ScenarioEvent::Reshard { source } => self.reshard(source),
         }
     }
 }
@@ -281,6 +301,9 @@ impl<E: ConsensusEngine> ScenarioTarget for ShardedCluster<E> {
     fn group_mut(&mut self, shard: usize) -> &mut Cluster<E> {
         ShardedCluster::group_mut(self, shard)
     }
+    fn reshard(&mut self, source: usize) {
+        ShardedCluster::split_auto(self, source);
+    }
 }
 
 impl<E: ConsensusEngine> ScenarioTarget for XShardCluster<E> {
@@ -301,6 +324,9 @@ impl<E: ConsensusEngine> ScenarioTarget for XShardCluster<E> {
     }
     fn group_mut(&mut self, shard: usize) -> &mut Cluster<E> {
         self.sharded_mut().group_mut(shard)
+    }
+    fn reshard(&mut self, source: usize) {
+        XShardCluster::split_auto(self, source);
     }
 }
 
@@ -497,6 +523,14 @@ pub fn run_scenario_adaptive<T: ScenarioTarget + 'static>(
         tick > SimDuration::ZERO,
         "a zero adversary tick would spin the clock"
     );
+    // Every Reshard in the script appends one group mid-run, so later
+    // events may legitimately address indexes up to shard_count + splits
+    // (an event that fires too early still panics in `group_mut`).
+    let splits = scenario
+        .events
+        .iter()
+        .filter(|(_, ev)| matches!(ev, ScenarioEvent::Reshard { .. }))
+        .count();
     for (off, ev) in &scenario.events {
         assert!(
             *off < scenario.duration,
@@ -513,10 +547,11 @@ pub fn run_scenario_adaptive<T: ScenarioTarget + 'static>(
             | ScenarioEvent::IsolateMember { shard, .. }
             | ScenarioEvent::PauseGroup { shard }
             | ScenarioEvent::DegradeLinks { shard, .. }
-            | ScenarioEvent::HealGroup { shard } => shard,
+            | ScenarioEvent::HealGroup { shard }
+            | ScenarioEvent::Reshard { source: shard } => shard,
         };
         assert!(
-            shard < target.shard_count(),
+            shard < target.shard_count() + splits,
             "event {} addresses shard {shard} of a {}-group deployment",
             ev.label(),
             target.shard_count()
@@ -977,6 +1012,61 @@ mod tests {
             duration: ms(100),
             bucket: ms(50),
             events: vec![(ms(10), ScenarioEvent::PauseGroup { shard: 3 })],
+        };
+        run_scenario(&mut cluster, &scenario);
+    }
+
+    #[test]
+    fn reshard_event_splits_an_elastic_deployment_mid_run() {
+        use crate::cluster::AppKind;
+        use crate::shard::ShardedClusterSpec;
+        use crate::workload::keyed_kv_ops;
+
+        let mut sc = ShardedCluster::build(ShardedClusterSpec {
+            shards: 2,
+            elastic: true,
+            base: ClusterSpec {
+                num_clients: 2,
+                seed: 11,
+                app: AppKind::Kv { slots: 64 },
+                ..Default::default()
+            },
+        });
+        sc.start_paced_keyed_workload(ms(4), |s, c| keyed_kv_ops(64, (s * 10 + c) as u64));
+        let scenario = Scenario {
+            name: "reshard-smoke",
+            duration: ms(400),
+            bucket: ms(20),
+            events: vec![(ms(150), ScenarioEvent::Reshard { source: 0 })],
+        };
+        let report = run_scenario(&mut sc, &scenario);
+        assert_eq!(report.trace.len(), 1);
+        assert_eq!(report.trace[0].label, "reshard(0)");
+        assert_eq!(sc.shards(), 3, "the split appended a group");
+        assert_eq!(sc.router().epoch(), 1);
+        assert!(
+            report.timeline.availability() > 0.8,
+            "{:?}",
+            report.timeline
+        );
+        // The newborn group's clients joined the timeline mid-run and
+        // completed work after the hand-off.
+        let last = report.timeline.buckets.last().expect("buckets");
+        assert!(last.per_client_completed.len() > 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshard")]
+    fn reshard_of_a_single_group_deployment_is_rejected() {
+        let mut cluster = Cluster::build_fault_ready(ClusterSpec {
+            num_clients: 1,
+            ..Default::default()
+        });
+        let scenario = Scenario {
+            name: "bad-reshard",
+            duration: ms(100),
+            bucket: ms(50),
+            events: vec![(ms(10), ScenarioEvent::Reshard { source: 0 })],
         };
         run_scenario(&mut cluster, &scenario);
     }

@@ -1,5 +1,7 @@
 //! Sharded multi-group PBFT: N independent groups behind a deterministic
-//! client-side router.
+//! client-side router — now with **elastic resharding**: a live shard split
+//! that moves one key range to a freshly started group while paced load
+//! keeps flowing.
 //!
 //! The paper's evaluation (Table 1, Fig. 5) tops out at what one 4-replica
 //! group can commit: the agreement is quadratic in messages and every
@@ -13,16 +15,24 @@
 //!
 //! Pieces:
 //!
-//! * [`ShardRouter`] — the client-side router: a thin veneer over
-//!   [`pbft_core::routing::ShardMap`] that routes [`KeyedOp`]s and rejects
-//!   cross-shard operations with the typed
-//!   [`RouteError::CrossShard`](pbft_core::routing::RouteError) (cross-shard
-//!   *coordination* is explicitly out of scope — a later PR).
+//! * [`ShardRouter`] — the client-side router: a shared, **live** veneer
+//!   over [`pbft_core::routing::ShardMap`]. Clones see map installs
+//!   immediately (every workload adapter holds one), so an epoch flip
+//!   re-routes the whole client population at once. Cross-shard operations
+//!   are rejected with the typed
+//!   [`RouteError::CrossShard`](pbft_core::routing::RouteError) —
+//!   cross-shard *coordination* lives in [`crate::xshard`].
 //! * [`ShardedClusterSpec`] / [`ShardedCluster`] — the harness layer:
 //!   composes N [`Cluster`]s (one [`simnet`] simulation each, advanced in
 //!   lockstep via [`simnet::run_lockstep`] so they share one virtual clock),
 //!   installs router-filtered keyed workloads, and aggregates completed
 //!   requests, throughput and traces across groups.
+//! * [`ShardedCluster::split`] — the live resharding orchestration: hold
+//!   back traffic to the moving span, commit an ordered
+//!   [`XMsg::Reshard`] on the source, export the moved key range from the
+//!   source's attested snapshot ([`pbft_state::RangeExport`]), boot the
+//!   target group born under the new epoch, install the range there, flip
+//!   the remaining groups and finally the router.
 //!
 //! ```
 //! use harness::shard::ShardRouter;
@@ -33,16 +43,26 @@
 //! let shard = router.route(&op).expect("single-key ops always route");
 //! assert!(shard < 4);
 //! assert_eq!(router.route_key(b"voter-1"), shard);
+//!
+//! // Elastic routers share one live map: installing a newer epoch on any
+//! // clone re-routes every other clone instantly.
+//! let elastic = ShardRouter::elastic(2);
+//! let clone = elastic.clone();
+//! let plan = elastic.map().split(0);
+//! assert!(clone.install(plan.new_map));
+//! assert_eq!(elastic.map().epoch(), 1);
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use pbft_core::routing::{RouteError, ShardMap};
-use pbft_core::{ConsensusEngine, Replica};
+use pbft_core::routing::{stable_key_hash, RouteError, ShardMap, SplitPlan};
+use pbft_core::xshard::{XMsg, XReply};
+use pbft_core::{ClientEvent, ConsensusEngine, Replica, TxId};
+use pbft_state::{PagedState, RangeExport};
 use simnet::{merge_traces, run_lockstep, SimDuration, TraceEntry};
 
-use crate::cluster::{Cluster, ClusterSpec};
+use crate::cluster::{AppKind, Cluster, ClusterSpec, APP_PARTITION_BASE};
 use crate::stats::Stats;
 use crate::workload::{KeyedOp, KeyedOpGen, OpGen};
 
@@ -55,72 +75,185 @@ pub const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9;
 /// will skip before concluding the generator can never feed its shard.
 const STARVATION_LIMIT: u32 = 100_000;
 
+/// The client every group keeps free of background workload in *elastic*
+/// deployments, so reshard admin traffic and epoch-checked probes get
+/// unambiguous reply streams.
+const ADMIN_CLIENT: usize = 0;
+
+/// Virtual time the split orchestration lets in-flight operations on the
+/// moving span drain after the hold is set, before snapshotting the source.
+const SPLIT_DRAIN: SimDuration = SimDuration::from_millis(10);
+
+/// Lockstep slice while waiting for an admin reply.
+const REPLY_SLICE: SimDuration = SimDuration::from_millis(1);
+
+/// Reply-wait bound, in [`REPLY_SLICE`]s (5 s of virtual time — far beyond
+/// any view change an f-bounded group needs).
+const REPLY_TIMEOUT_SLICES: u32 = 5_000;
+
+/// The admin txid stripe: far above every initiator stripe the cross-shard
+/// harness allocates (`(i + 1) << 40`).
+const ADMIN_TX_STRIPE: u64 = 0xAD << 40;
+
+/// The txid stamped on epoch-checked probes (echoed only in `WrongEpoch`).
+const PROBE_TX: TxId = u64::MAX;
+
 /// The client-side deterministic shard router.
 ///
-/// Routing is a pure function of the operation's shard keys and the shard
-/// count — every client computes the same assignment with no coordination.
-/// See [`pbft_core::routing`] for the hash contract.
-#[derive(Debug, Clone, Copy)]
+/// Routing is a pure function of the operation's shard keys and the
+/// installed [`ShardMap`] — every client computes the same assignment with
+/// no coordination. See [`pbft_core::routing`] for the hash contract.
+///
+/// The map cell is **shared among clones** (the live view every workload
+/// adapter samples), so [`ShardRouter::install`] re-routes the whole client
+/// population at once. During a hand-off, [`ShardRouter::hold`] marks the
+/// moving hash span; adapters reject-sample held keys exactly like foreign
+/// ones until the hold clears.
+#[derive(Debug, Clone)]
 pub struct ShardRouter {
-    map: ShardMap,
+    map: Rc<Cell<ShardMap>>,
+    hold: Rc<Cell<Option<(u64, u64)>>>,
 }
 
 impl ShardRouter {
-    /// A router over `shards` groups.
+    /// A router over `shards` groups with the static (epoch-0) hash
+    /// partition — cannot be split.
     ///
     /// # Panics
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> ShardRouter {
+        Self::from_map(ShardMap::new(shards as u32))
+    }
+
+    /// A router over `shards` groups with the explicit range partition —
+    /// the flavor [`ShardMap::split`] can grow.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or exceeds
+    /// [`pbft_core::routing::MAX_RANGES`].
+    pub fn elastic(shards: usize) -> ShardRouter {
+        Self::from_map(ShardMap::ranged(shards as u32))
+    }
+
+    /// A router over an explicit map (e.g. a mid-epoch map carried by a
+    /// `WrongEpoch` rejection).
+    pub fn from_map(map: ShardMap) -> ShardRouter {
         ShardRouter {
-            map: ShardMap::new(shards as u32),
+            map: Rc::new(Cell::new(map)),
+            hold: Rc::new(Cell::new(None)),
         }
     }
 
-    /// Number of groups routed over.
+    /// Number of groups routed over (under the currently installed map).
     pub fn shards(&self) -> usize {
-        self.map.shards() as usize
+        self.map.get().shards() as usize
     }
 
-    /// The underlying partition (shareable with [`pbft_core::Client::bind_shard`]).
+    /// The installed partition (shareable with
+    /// [`pbft_core::Client::bind_shard`]).
     pub fn map(&self) -> ShardMap {
-        self.map
+        self.map.get()
+    }
+
+    /// The installed map's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.map.get().epoch()
+    }
+
+    /// Install `map` if it is newer than the current epoch; every clone of
+    /// this router re-routes immediately. Returns whether it was installed.
+    pub fn install(&self, map: ShardMap) -> bool {
+        if map.epoch() > self.map.get().epoch() {
+            self.map.set(map);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fault injection: overwrite the installed map unconditionally, even
+    /// with an *older* epoch. This is how the suites model a client
+    /// population that has not yet heard of a reshard — every clone
+    /// re-routes with the stale map and must recover purely through the
+    /// `WrongEpoch` rejections the replicas answer. Production code paths
+    /// only ever move forward via [`ShardRouter::install`].
+    pub fn force(&self, map: ShardMap) {
+        self.map.set(map);
+    }
+
+    /// Mark (or clear, with `None`) the inclusive hash span currently being
+    /// handed off. Workload adapters skip held keys like foreign ones.
+    pub fn hold(&self, span: Option<(u64, u64)>) {
+        self.hold.set(span);
+    }
+
+    /// Is `key` inside the held (mid-hand-off) span?
+    pub fn is_held(&self, key: &[u8]) -> bool {
+        match self.hold.get() {
+            Some((lo, hi)) => {
+                let h = stable_key_hash(key);
+                lo <= h && h <= hi
+            }
+            None => false,
+        }
     }
 
     /// The group owning a single key.
     pub fn route_key(&self, key: &[u8]) -> usize {
-        self.map.shard_of(key) as usize
+        self.map.get().shard_of(key) as usize
     }
 
     /// Route an operation: the single group owning all of its keys, or a
     /// typed error — [`RouteError::CrossShard`] when the keys span groups,
     /// [`RouteError::NoKeys`] when the op names none.
     pub fn route(&self, op: &KeyedOp) -> Result<usize, RouteError> {
-        self.map.route(&op.keys).map(|s| s as usize)
+        self.map.get().route(&op.keys).map(|s| s as usize)
     }
 }
 
-/// Counters kept by the router while it drives workloads.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters kept by the router while it drives workloads. **Epoch-aware**:
+/// the per-shard routed counts reset whenever the router installs a newer
+/// map, so [`RouterMetrics::balance`] reflects only the current partition —
+/// a post-split imbalance is visible instead of being averaged away under
+/// pre-split history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouterMetrics {
+    /// The map epoch the per-shard counters below were collected under.
+    pub epoch: u64,
     /// Operations the router assigned to a single owning group — via a
     /// [`ShardedCluster::route`] probe or a workload adapter (the adapters
-    /// then submit them on the owning group).
+    /// then submit them on the owning group). Cumulative across epochs.
     pub routed: u64,
+    /// Routed operations per owning group, **this epoch only** (reset on
+    /// every epoch bump).
+    pub routed_this_epoch: Vec<u64>,
     /// Operations skipped by a client because their key belongs to another
     /// group (the stream is rejection-sampled per shard).
     pub skipped_foreign: u64,
+    /// Operations skipped because their key is inside a span currently
+    /// being handed off to another group ([`ShardRouter::hold`]).
+    pub held_back: u64,
     /// Operations rejected because their keys span groups
     /// ([`RouteError::CrossShard`]).
     pub rejected_cross_shard: u64,
     /// Operations rejected because they named no shard key at all
     /// ([`RouteError::NoKeys`]).
     pub rejected_keyless: u64,
+    /// `WrongEpoch` rejections that were resolved by installing the newer
+    /// map carried in the rejection and retrying.
+    pub epoch_retries: u64,
 }
 
 impl RouterMetrics {
     fn record(&mut self, verdict: &Result<usize, RouteError>) {
         match verdict {
-            Ok(_) => self.routed += 1,
+            Ok(s) => {
+                self.routed += 1;
+                if self.routed_this_epoch.len() <= *s {
+                    self.routed_this_epoch.resize(s + 1, 0);
+                }
+                self.routed_this_epoch[*s] += 1;
+            }
             Err(RouteError::CrossShard { .. }) => self.rejected_cross_shard += 1,
             Err(RouteError::NoKeys) => self.rejected_keyless += 1,
             // ForeignShard never escapes ShardMap::route (it is produced
@@ -128,6 +261,26 @@ impl RouterMetrics {
             // rather than a partition conflict if it ever appears.
             Err(RouteError::ForeignShard { .. }) => self.rejected_keyless += 1,
         }
+    }
+
+    /// Reset the per-shard view when a newer epoch is observed.
+    fn observe_epoch(&mut self, epoch: u64, shards: usize) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.routed_this_epoch.clear();
+        }
+        if self.routed_this_epoch.len() < shards {
+            self.routed_this_epoch.resize(shards, 0);
+        }
+    }
+
+    /// Mean ± std-dev of the per-shard routed counts of the **current
+    /// epoch** — the router-side balance view. A fresh post-split epoch
+    /// starts from zero, so skew between the split halves shows up
+    /// immediately.
+    pub fn balance(&self) -> Stats {
+        let samples: Vec<f64> = self.routed_this_epoch.iter().map(|&c| c as f64).collect();
+        Stats::from_samples(&samples)
     }
 }
 
@@ -142,6 +295,13 @@ pub struct ShardedClusterSpec {
     /// group* — a sharded deployment scales clients with groups, like the
     /// paper's fixed 12-clients-per-group population.
     pub base: ClusterSpec,
+    /// Elastic mode: partition by explicit key ranges
+    /// ([`ShardMap::ranged`]) instead of the static hash, mount every group
+    /// xshard-wrapped with its shard identity installed (the replica-side
+    /// ownership gate), and reserve client 0 (`ADMIN_CLIENT`) of every
+    /// group for reshard admin traffic. Required by
+    /// [`ShardedCluster::split`].
+    pub elastic: bool,
 }
 
 impl Default for ShardedClusterSpec {
@@ -149,8 +309,28 @@ impl Default for ShardedClusterSpec {
         ShardedClusterSpec {
             shards: 4,
             base: ClusterSpec::default(),
+            elastic: false,
         }
     }
+}
+
+/// What a completed [`ShardedCluster::split`] did.
+#[derive(Debug, Clone)]
+pub struct SplitReport {
+    /// The routing-level plan (source, target, moved span, next map).
+    pub plan: SplitPlan,
+    /// Payload bytes handed from source to target.
+    pub moved_bytes: usize,
+    /// Virtual time from hold to router cutover.
+    pub handoff: SimDuration,
+}
+
+/// The stored full-coverage workload template, replayed onto groups born by
+/// later splits so new shards receive offered load too.
+struct WorkloadTemplate {
+    /// Open-loop pace; `None` = closed loop.
+    pace: Option<SimDuration>,
+    make_gen: Rc<RefCell<dyn FnMut(usize, usize) -> KeyedOpGen>>,
 }
 
 /// A running sharded deployment: N [`Cluster`]s sharing one virtual clock.
@@ -166,6 +346,11 @@ pub struct ShardedCluster<E: ConsensusEngine = Replica> {
     router: ShardRouter,
     groups: Vec<Cluster<E>>,
     metrics: Rc<RefCell<RouterMetrics>>,
+    base: ClusterSpec,
+    elastic: bool,
+    make_cluster: Box<dyn FnMut(usize, ClusterSpec) -> Cluster<E>>,
+    workload: Option<WorkloadTemplate>,
+    admin_seq: u64,
 }
 
 impl ShardedCluster {
@@ -188,7 +373,7 @@ impl ShardedCluster {
     /// calls [`Cluster::build`] or [`crate::byzantine::build_faulty_cluster`]).
     pub fn build_with(
         spec: ShardedClusterSpec,
-        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
+        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster + 'static,
     ) -> ShardedCluster {
         Self::build_engine_with(spec, make_cluster)
     }
@@ -206,24 +391,41 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
         Self::build_engine_with(spec, |_, gspec| Cluster::build_engine_fault_ready(gspec))
     }
 
-    /// [`ShardedCluster::build_with`] for an arbitrary engine.
+    /// [`ShardedCluster::build_with`] for an arbitrary engine. The factory
+    /// is retained: splits use it to boot the target group, so it must own
+    /// its captures (`'static`).
     pub fn build_engine_with(
         spec: ShardedClusterSpec,
-        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster<E>,
+        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster<E> + 'static,
     ) -> ShardedCluster<E> {
         assert!(spec.shards > 0, "a deployment needs at least one shard");
+        let map = if spec.elastic {
+            ShardMap::ranged(spec.shards as u32)
+        } else {
+            ShardMap::new(spec.shards as u32)
+        };
+        let mut make_cluster: Box<dyn FnMut(usize, ClusterSpec) -> Cluster<E>> =
+            Box::new(make_cluster);
         let groups: Vec<Cluster<E>> = (0..spec.shards)
             .map(|s| {
-                let mut gspec = spec.base.clone();
-                gspec.seed = spec.base.seed.wrapping_add(s as u64 * SHARD_SEED_STRIDE);
+                let gspec = group_spec(&spec.base, spec.elastic.then_some(map), s);
                 make_cluster(s, gspec)
             })
             .collect();
         let mut cluster = ShardedCluster {
-            router: ShardRouter::new(spec.shards),
+            router: ShardRouter::from_map(map),
             groups,
             metrics: Rc::new(RefCell::new(RouterMetrics::default())),
+            base: spec.base,
+            elastic: spec.elastic,
+            make_cluster,
+            workload: None,
+            admin_seq: 0,
         };
+        cluster
+            .metrics
+            .borrow_mut()
+            .observe_epoch(map.epoch(), map.shards() as usize);
         // Group builds settle independently (joins may take a different
         // number of rounds per seed); advance stragglers to the latest
         // clock so the lockstep invariant holds from here on.
@@ -242,6 +444,11 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
     /// The router of this deployment.
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// Is this an elastic (range-partitioned, splittable) deployment?
+    pub fn is_elastic(&self) -> bool {
+        self.elastic
     }
 
     /// Number of groups.
@@ -263,17 +470,33 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
     /// outcome in [`RouterMetrics`].
     pub fn route(&self, op: &KeyedOp) -> Result<usize, RouteError> {
         let verdict = self.router.route(op);
-        self.metrics.borrow_mut().record(&verdict);
+        let mut m = self.metrics.borrow_mut();
+        m.observe_epoch(self.router.epoch(), self.router.shards());
+        m.record(&verdict);
         verdict
     }
 
     /// Counters accumulated by [`ShardedCluster::route`] and the workload
     /// adapters installed by [`ShardedCluster::start_keyed_workload`].
     pub fn router_metrics(&self) -> RouterMetrics {
-        *self.metrics.borrow()
+        self.metrics.borrow().clone()
     }
 
-    /// Install a keyed workload on every client of every group.
+    /// Count one resolved `WrongEpoch` retry (drivers that re-route with
+    /// the map carried in the rejection call this — see [`crate::xshard`]).
+    pub fn note_epoch_retry(&self) {
+        self.metrics.borrow_mut().epoch_retries += 1;
+    }
+
+    /// The client indices of group `shard` available for background
+    /// workload (elastic deployments keep [`ADMIN_CLIENT`] free).
+    fn workload_clients(&self, shard: usize) -> Vec<usize> {
+        let lo = if self.elastic { ADMIN_CLIENT + 1 } else { 0 };
+        (lo..self.groups[shard].clients.len()).collect()
+    }
+
+    /// Install a keyed workload on every client of every group (in elastic
+    /// deployments: every client except the reserved admin client).
     ///
     /// `make_gen(shard, client)` produces the client's keyed stream. Each
     /// client rejection-samples its stream through the router: operations
@@ -283,69 +506,122 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
     /// group), and cross-shard operations are rejected and counted in
     /// [`RouterMetrics::rejected_cross_shard`].
     ///
+    /// The generator factory is retained: a later [`ShardedCluster::split`]
+    /// replays it onto the newborn group's clients so the new shard
+    /// receives offered load too.
+    ///
     /// # Panics
     /// Panics (at pump time) if a generator yields 100 000 consecutive
     /// operations that don't route to its shard — a mis-partitioned
     /// workload would otherwise spin the closed loop forever.
-    pub fn start_keyed_workload(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
-        let per_group: Vec<Vec<usize>> = self
-            .groups
-            .iter()
-            .map(|g| (0..g.clients.len()).collect())
-            .collect();
-        self.start_keyed_workload_on(&per_group, |s, c| make_gen(s, c));
+    pub fn start_keyed_workload(
+        &mut self,
+        make_gen: impl FnMut(usize, usize) -> KeyedOpGen + 'static,
+    ) {
+        self.install_template(None, make_gen);
     }
 
     /// [`ShardedCluster::start_keyed_workload`] restricted to the given
     /// client indices of each group (`indices[shard]`); the other clients
     /// stay idle for manual driving (the cross-shard transaction agents).
+    /// Not retained for split replay — partial-coverage layouts re-cover
+    /// new groups themselves.
     pub fn start_keyed_workload_on(
         &mut self,
         indices: &[Vec<usize>],
         mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
     ) {
-        let router = self.router;
+        let router = self.router.clone();
+        let elastic = self.elastic;
         for (s, group) in self.groups.iter_mut().enumerate() {
             let metrics = &self.metrics;
             group.start_workload_on(&indices[s], |client| {
-                adapt_keyed(router, Rc::clone(metrics), s, make_gen(s, client))
+                adapt_keyed(
+                    router.clone(),
+                    Rc::clone(metrics),
+                    elastic,
+                    s,
+                    make_gen(s, client),
+                )
             });
         }
     }
 
     /// The **open-loop** counterpart of
-    /// [`ShardedCluster::start_keyed_workload`]: every client of every group
-    /// issues one routable operation per `pace` interval (see
+    /// [`ShardedCluster::start_keyed_workload`]: every workload client of
+    /// every group issues one routable operation per `pace` interval (see
     /// [`Cluster::start_paced_workload`] for the slot semantics). Fault
     /// scenarios use this so offered load stays constant while groups
-    /// degrade.
+    /// degrade. Retained for split replay like the closed-loop variant.
     pub fn start_paced_keyed_workload(
         &mut self,
         pace: SimDuration,
-        mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
+        make_gen: impl FnMut(usize, usize) -> KeyedOpGen + 'static,
     ) {
-        let per_group: Vec<Vec<usize>> = self
-            .groups
-            .iter()
-            .map(|g| (0..g.clients.len()).collect())
-            .collect();
-        self.start_paced_keyed_workload_on(&per_group, pace, |s, c| make_gen(s, c));
+        self.install_template(Some(pace), make_gen);
     }
 
     /// [`ShardedCluster::start_paced_keyed_workload`] restricted to the
-    /// given client indices of each group (`indices[shard]`).
+    /// given client indices of each group (`indices[shard]`). Not retained
+    /// for split replay.
     pub fn start_paced_keyed_workload_on(
         &mut self,
         indices: &[Vec<usize>],
         pace: SimDuration,
         mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
     ) {
-        let router = self.router;
+        let router = self.router.clone();
+        let elastic = self.elastic;
         for (s, group) in self.groups.iter_mut().enumerate() {
             let metrics = &self.metrics;
             group.start_paced_workload_on(&indices[s], pace, |client| {
-                adapt_keyed(router, Rc::clone(metrics), s, make_gen(s, client))
+                adapt_keyed(
+                    router.clone(),
+                    Rc::clone(metrics),
+                    elastic,
+                    s,
+                    make_gen(s, client),
+                )
             });
+        }
+    }
+
+    /// Store the full-coverage template and install it on every existing
+    /// group.
+    fn install_template(
+        &mut self,
+        pace: Option<SimDuration>,
+        make_gen: impl FnMut(usize, usize) -> KeyedOpGen + 'static,
+    ) {
+        let template = WorkloadTemplate {
+            pace,
+            make_gen: Rc::new(RefCell::new(make_gen)),
+        };
+        for s in 0..self.groups.len() {
+            self.install_template_on_group(&template, s);
+        }
+        self.workload = Some(template);
+    }
+
+    /// Install the template's generators on one group's workload clients.
+    fn install_template_on_group(&mut self, template: &WorkloadTemplate, shard: usize) {
+        let indices = self.workload_clients(shard);
+        let router = self.router.clone();
+        let elastic = self.elastic;
+        let metrics = Rc::clone(&self.metrics);
+        let make_gen = Rc::clone(&template.make_gen);
+        let install = |client: usize| {
+            adapt_keyed(
+                router.clone(),
+                Rc::clone(&metrics),
+                elastic,
+                shard,
+                (make_gen.borrow_mut())(shard, client),
+            )
+        };
+        match template.pace {
+            Some(pace) => self.groups[shard].start_paced_workload_on(&indices, pace, install),
+            None => self.groups[shard].start_workload_on(&indices, install),
         }
     }
 
@@ -359,6 +635,7 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
         for g in &mut self.groups {
             g.quiesce(SimDuration::ZERO);
         }
+        self.workload = None;
         self.run_for(drain);
     }
 
@@ -448,15 +725,290 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
     pub fn merged_trace(&mut self) -> Vec<(usize, TraceEntry)> {
         merge_traces(self.groups.iter_mut().map(|g| g.sim.take_trace()).collect())
     }
+
+    // ----- elastic resharding -------------------------------------------
+
+    /// **Live shard split.** Splits `source`'s widest hash range and moves
+    /// its upper half to a freshly booted group, while the installed
+    /// workload keeps running everywhere else:
+    ///
+    /// 1. hold the moving span on the router (paced load steers around it;
+    ///    in-flight operations drain for `SPLIT_DRAIN` (10 ms));
+    /// 2. commit an ordered [`XMsg::Reshard`] on the source — from that
+    ///    operation on, every source replica rejects the moved keys with
+    ///    `WrongEpoch`;
+    /// 3. export the moved records from the source's attested snapshot
+    ///    (`moved_spans` maps the plan to byte spans — an application-layout
+    ///    concern; see [`kv_moved_spans`]) via [`RangeExport`], verifying
+    ///    every touched page against the snapshot tree;
+    /// 4. boot the target group, born under the post-split map (its
+    ///    identity rides [`ClusterSpec::shard_identity`]), and clock-align
+    ///    it with the running groups;
+    /// 5. commit an ordered [`XMsg::RangeInstall`] carrying the export on
+    ///    the target;
+    /// 6. commit the [`XMsg::Reshard`] on every remaining group;
+    /// 7. install the new map on the router, clear the hold, and replay the
+    ///    stored workload template onto the newborn group.
+    ///
+    /// # Panics
+    /// Panics if the deployment is not elastic, if the routing-level split
+    /// itself is impossible (see [`ShardMap::split`]), or if any admin
+    /// operation fails to commit within the reply bound.
+    pub fn split(
+        &mut self,
+        source: usize,
+        moved_spans: impl Fn(&PagedState, &SplitPlan) -> Vec<(u64, usize)>,
+    ) -> SplitReport {
+        assert!(
+            self.elastic,
+            "split needs an elastic deployment (ShardedClusterSpec::elastic)"
+        );
+        let started = self.groups[0].sim.now();
+        let plan = self.router.map().split(source as u32);
+
+        // 1. Steer new load around the moving span, drain what's in flight.
+        self.router.hold(Some((plan.moved_lo, plan.moved_hi)));
+        self.run_for(SPLIT_DRAIN);
+
+        // 2. The source flips first: after this ordered operation commits,
+        //    no write to the moved span can ever commit on the source again,
+        //    so the snapshot taken below is the range's final word.
+        let reply = self.admin_commit(source, |txid| XMsg::Reshard {
+            txid,
+            map: plan.new_map,
+        });
+        assert_eq!(
+            reply,
+            XReply::Resharded {
+                txid: reply_txid(&reply),
+                epoch: plan.new_map.epoch()
+            },
+            "source group must install the new epoch"
+        );
+
+        // 3. Export the moved records under the snapshot's own tree.
+        let export = {
+            let replica = self.groups[source]
+                .replica(0)
+                .expect("source replica 0 alive for export");
+            let handle = replica.state_handle();
+            let mut st = handle.borrow_mut();
+            st.refresh_digest();
+            let spans = moved_spans(&st, &plan);
+            let snap = st.snapshot(0);
+            RangeExport::extract(&snap, spans).expect("attested snapshot exports cleanly")
+        };
+        let moved_bytes = export.len();
+
+        // 4. Boot the target group under the new epoch and align clocks.
+        let target = plan.target as usize;
+        assert_eq!(target, self.groups.len(), "groups are appended in order");
+        let gspec = group_spec(&self.base, Some(plan.new_map), target);
+        let mut newborn = (self.make_cluster)(target, gspec);
+        let horizon = self.groups[0].sim.now();
+        newborn.sim.run_until(horizon);
+        self.groups.push(newborn);
+
+        // 5. Hand the range over (ordered + idempotent on the target).
+        let reply = self.admin_commit(target, |txid| XMsg::RangeInstall {
+            txid,
+            chunks: export.chunks.clone(),
+        });
+        assert!(
+            matches!(reply, XReply::Committed { .. }),
+            "range install must commit, got {reply:?}"
+        );
+
+        // 6. Flip the bystander groups (idempotent, any order).
+        for shard in 0..self.groups.len() - 1 {
+            if shard == source {
+                continue;
+            }
+            let reply = self.admin_commit(shard, |txid| XMsg::Reshard {
+                txid,
+                map: plan.new_map,
+            });
+            assert!(
+                matches!(reply, XReply::Resharded { epoch, .. } if epoch >= plan.new_map.epoch()),
+                "group {shard} must acknowledge the new epoch, got {reply:?}"
+            );
+        }
+
+        // 7. Cut the routers over and release the held span.
+        self.router.install(plan.new_map);
+        self.router.hold(None);
+        self.metrics
+            .borrow_mut()
+            .observe_epoch(plan.new_map.epoch(), self.groups.len());
+        if let Some(template) = self.workload.take() {
+            self.install_template_on_group(&template, target);
+            self.workload = Some(template);
+        }
+
+        SplitReport {
+            plan,
+            moved_bytes,
+            handoff: self.groups[0].sim.now() - started,
+        }
+    }
+
+    /// [`ShardedCluster::split`] with the moved-span mapping derived from
+    /// the deployment's application kind: KV slots move with their keys
+    /// (see [`kv_moved_spans`]); app kinds without per-key state move no
+    /// application bytes — ownership still flips, which is all their
+    /// workloads observe. This is the hook the scenario engine's
+    /// [`Reshard`](crate::scenario::ScenarioEvent::Reshard) event fires.
+    pub fn split_auto(&mut self, source: usize) -> SplitReport {
+        match self.base.app {
+            AppKind::Kv { slots } => self.split(source, kv_moved_spans(slots)),
+            _ => self.split(source, |_, _| Vec::new()),
+        }
+    }
+
+    /// Submit an epoch-checked operation ([`XMsg::KeyedOp`]) for `keys` and
+    /// return the inner application's reply. A `WrongEpoch` rejection is
+    /// resolved the way a real client library would: install the newer map
+    /// the rejection carries, re-route, retry — counted in
+    /// [`RouterMetrics::epoch_retries`]. The ground-truth key sweeps of the
+    /// resharding suites are built on this.
+    ///
+    /// # Panics
+    /// Panics if the keys span groups, if no reply arrives within the
+    /// bound, or if the epoch chase fails to converge.
+    pub fn keyed_request(&mut self, keys: Vec<Vec<u8>>, op: Vec<u8>, read_only: bool) -> Vec<u8> {
+        for _ in 0..8 {
+            let shard = self
+                .router
+                .map()
+                .route(&keys)
+                .expect("keyed requests are single-group") as usize;
+            let framed = XMsg::KeyedOp {
+                txid: PROBE_TX,
+                keys: keys.clone(),
+                op: op.clone(),
+            }
+            .encode();
+            self.groups[shard].client_submit(ADMIN_CLIENT, framed, read_only);
+            let reply = self.await_reply(shard, |_| true);
+            match XReply::decode(&reply) {
+                Some(XReply::WrongEpoch { map, .. }) => {
+                    self.note_epoch_retry();
+                    self.router.install(map);
+                }
+                _ => return reply,
+            }
+        }
+        panic!("epoch retry did not converge in 8 rounds");
+    }
+
+    /// Ask group `shard` directly whether it owns `keys` under its
+    /// installed epoch: `Ok(reply)` when it executed the probe, `Err(map)`
+    /// with the group's map when it answered `WrongEpoch`. The
+    /// double-ownership audit sweeps every group with this.
+    // The Err carries the rejecting group's (`Copy`) map by value, like the
+    // wire reply it unwraps — a test-audit path, not a hot one.
+    #[allow(clippy::result_large_err)]
+    pub fn probe_ownership(
+        &mut self,
+        shard: usize,
+        keys: Vec<Vec<u8>>,
+        op: Vec<u8>,
+    ) -> Result<Vec<u8>, ShardMap> {
+        let framed = XMsg::KeyedOp {
+            txid: PROBE_TX,
+            keys,
+            op,
+        }
+        .encode();
+        self.groups[shard].client_submit(ADMIN_CLIENT, framed, false);
+        let reply = self.await_reply(shard, |_| true);
+        match XReply::decode(&reply) {
+            Some(XReply::WrongEpoch { map, .. }) => Err(map),
+            _ => Ok(reply),
+        }
+    }
+
+    /// Commit one admin operation (built from a fresh admin txid) on group
+    /// `shard` via the reserved admin client, advancing every group in
+    /// lockstep until the matching [`XReply`] arrives.
+    fn admin_commit(&mut self, shard: usize, build: impl FnOnce(TxId) -> XMsg) -> XReply {
+        self.admin_seq += 1;
+        let txid = ADMIN_TX_STRIPE | self.admin_seq;
+        let msg = build(txid);
+        self.groups[shard].client_submit(ADMIN_CLIENT, msg.encode(), false);
+        let bytes = self.await_reply(shard, |r| {
+            XReply::decode(r).is_some_and(|reply| reply.txid() == txid)
+        });
+        XReply::decode(&bytes).expect("matched replies decode")
+    }
+
+    /// Advance lockstep until the admin client of `shard` delivers a reply
+    /// `accept`s; returns its bytes.
+    fn await_reply(&mut self, shard: usize, accept: impl Fn(&[u8]) -> bool) -> Vec<u8> {
+        for _ in 0..REPLY_TIMEOUT_SLICES {
+            self.run_for(REPLY_SLICE);
+            for ev in self.groups[shard].take_client_events(ADMIN_CLIENT) {
+                if let ClientEvent::ReplyDelivered { result, .. } = ev {
+                    if accept(&result) {
+                        return result;
+                    }
+                }
+            }
+        }
+        panic!("no admin reply from group {shard} within the bound");
+    }
+}
+
+/// Derive one group's [`ClusterSpec`] from the deployment template:
+/// seed-decorrelated, and (for elastic deployments) xshard-wrapped with the
+/// group's shard identity installed.
+fn group_spec(base: &ClusterSpec, identity_map: Option<ShardMap>, s: usize) -> ClusterSpec {
+    let mut gspec = base.clone();
+    gspec.seed = base.seed.wrapping_add(s as u64 * SHARD_SEED_STRIDE);
+    if let Some(map) = identity_map {
+        gspec.xshard = true;
+        gspec.shard_identity = Some((s as u32, map));
+    }
+    gspec
+}
+
+/// Map a [`SplitPlan`] to the byte spans of the moved records under the
+/// standard [`KvApp`](pbft_core::app::KvApp) slot layout (16-byte records
+/// at [`APP_PARTITION_BASE`], each storing its big-endian key): every
+/// occupied slot whose stored key hashes into the moved span. The shard key
+/// convention is the record's own 8 key bytes — the same bytes
+/// [`crate::workload::keyed_kv_ops`] routes by.
+pub fn kv_moved_spans(slots: u64) -> impl Fn(&PagedState, &SplitPlan) -> Vec<(u64, usize)> {
+    move |st, plan| {
+        let mut spans = Vec::new();
+        for slot in 0..slots {
+            let off = APP_PARTITION_BASE + slot * 16;
+            let rec = st.read_vec(off, 16).expect("slot inside the region");
+            if rec.iter().all(|&b| b == 0) {
+                continue; // never written
+            }
+            if plan.moves(&rec[..8]) {
+                spans.push((off, 16usize));
+            }
+        }
+        spans
+    }
 }
 
 /// Rejection-sample a keyed stream into shard `s`'s raw [`OpGen`]: ops owned
-/// by another group are skipped (counted `skipped_foreign`), unroutable ops
-/// are counted by kind, and a stream that never feeds the shard panics after
-/// [`STARVATION_LIMIT`] consecutive misses.
+/// by another group are skipped (counted `skipped_foreign`), ops whose key
+/// is mid-hand-off are skipped (counted `held_back`), unroutable ops are
+/// counted by kind, and a stream that never feeds the shard panics after
+/// [`STARVATION_LIMIT`] consecutive misses. The router is sampled fresh on
+/// every draw, so an epoch flip re-routes the stream immediately. In
+/// elastic deployments the op is framed as an epoch-checked
+/// [`XMsg::KeyedOp`], so a stale submission is *rejected by the replicas*
+/// (`WrongEpoch`) rather than silently executed by a group that no longer
+/// owns the key.
 fn adapt_keyed(
     router: ShardRouter,
     metrics: Rc<RefCell<RouterMetrics>>,
+    elastic: bool,
     s: usize,
     mut gen: KeyedOpGen,
 ) -> OpGen {
@@ -466,13 +1018,31 @@ fn adapt_keyed(
         loop {
             let keyed = gen(next);
             next += 1;
-            match router.route(&keyed) {
-                Ok(home) if home == s => {
-                    metrics.borrow_mut().routed += 1;
-                    return (keyed.op, keyed.read_only);
+            let held = keyed.keys.iter().any(|k| router.is_held(k));
+            let verdict = router.route(&keyed);
+            {
+                let mut m = metrics.borrow_mut();
+                m.observe_epoch(router.epoch(), router.shards());
+                match (&verdict, held) {
+                    (Ok(_), true) => m.held_back += 1,
+                    (Ok(home), false) if *home == s => {
+                        m.record(&verdict);
+                        drop(m);
+                        let op = if elastic {
+                            XMsg::KeyedOp {
+                                txid: PROBE_TX,
+                                keys: keyed.keys,
+                                op: keyed.op,
+                            }
+                            .encode()
+                        } else {
+                            keyed.op
+                        };
+                        return (op, keyed.read_only);
+                    }
+                    (Ok(_), false) => m.skipped_foreign += 1,
+                    (Err(e), _) => m.record(&Err(e.clone())),
                 }
-                Ok(_) => metrics.borrow_mut().skipped_foreign += 1,
-                Err(e) => metrics.borrow_mut().record(&Err(e)),
             }
             misses += 1;
             assert!(
@@ -482,6 +1052,11 @@ fn adapt_keyed(
             );
         }
     })
+}
+
+/// The txid carried by a reply (helper for assertion messages).
+fn reply_txid(reply: &XReply) -> TxId {
+    reply.txid()
 }
 
 /// A throughput measurement over a sharded deployment.
@@ -519,7 +1094,9 @@ impl ShardedThroughput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::keyed_null_ops;
+    use crate::cluster::AppKind;
+    use crate::workload::{keyed_kv_ops, keyed_null_ops};
+    use pbft_core::app::KvApp;
 
     #[test]
     fn sharded_build_aligns_clocks() {
@@ -529,6 +1106,7 @@ mod tests {
                 num_clients: 2,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let sc = ShardedCluster::build(spec);
         let now = sc.group(0).sim.now();
@@ -543,6 +1121,7 @@ mod tests {
                 num_clients: 3,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let mut sc = ShardedCluster::build(spec);
         sc.start_keyed_workload(|shard, client| keyed_null_ops(128, (shard * 100 + client) as u64));
@@ -559,6 +1138,11 @@ mod tests {
             "uniform keys must sometimes route away"
         );
         assert_eq!(m.rejected_cross_shard, 0);
+        assert_eq!(
+            m.routed_this_epoch.iter().sum::<u64>(),
+            m.routed,
+            "epoch 0 counters cover the whole run"
+        );
         sc.quiesce(SimDuration::from_millis(500));
         assert!(sc.states_converged());
     }
@@ -571,9 +1155,10 @@ mod tests {
                 num_clients: 1,
                 ..Default::default()
             },
+            ..Default::default()
         });
         // Find two keys owned by different groups.
-        let router = *sc.router();
+        let router = sc.router().clone();
         let k0 = b"alpha".to_vec();
         let foreign = (0..64u64)
             .map(|i| i.to_be_bytes().to_vec())
@@ -617,5 +1202,92 @@ mod tests {
         );
         assert!((t.scaling_efficiency(2000.0) - 0.5).abs() < 1e-9);
         assert_eq!(t.scaling_efficiency(0.0), 0.0, "zero baseline guarded");
+    }
+
+    #[test]
+    fn live_split_moves_keys_without_loss_or_double_ownership() {
+        const SLOTS: u64 = 64;
+        let mut sc = ShardedCluster::build(ShardedClusterSpec {
+            shards: 2,
+            base: ClusterSpec {
+                app: AppKind::Kv { slots: SLOTS },
+                num_clients: 3,
+                ..Default::default()
+            },
+            elastic: true,
+        });
+        // Seed ground-truth keys through the epoch-checked request path.
+        for key in 0..SLOTS {
+            let reply = sc.keyed_request(
+                vec![key.to_be_bytes().to_vec()],
+                KvApp::op_put(key, 1000 + key),
+                false,
+            );
+            assert_eq!(reply, b"ok");
+        }
+        // Paced background load keeps flowing across the split.
+        sc.start_paced_keyed_workload(SimDuration::from_millis(4), |shard, client| {
+            keyed_kv_ops(SLOTS, (shard * 100 + client) as u64 + 1)
+        });
+        sc.run_for(SimDuration::from_millis(50));
+
+        let report = sc.split(0, kv_moved_spans(SLOTS));
+        assert_eq!(sc.shards(), 3);
+        assert_eq!(sc.router().epoch(), 1);
+        assert!(report.moved_bytes > 0, "a populated span moved records");
+
+        sc.run_for(SimDuration::from_millis(100));
+        sc.quiesce(SimDuration::from_millis(300));
+
+        // Ground truth: every seeded key is owned exactly once, and its
+        // owner (under the post-split map) still serves a value for it —
+        // the background load may have overwritten values, but a lost or
+        // unmoved record would read back all-zero on the new owner.
+        for key in 0..SLOTS {
+            let kb = key.to_be_bytes().to_vec();
+            let owner = sc.router().route_key(&kb);
+            let mut owners = 0;
+            for shard in 0..sc.shards() {
+                match sc.probe_ownership(shard, vec![kb.clone()], KvApp::op_get(key)) {
+                    Ok(rec) => {
+                        owners += 1;
+                        assert_eq!(shard, owner, "only the router's owner serves key {key}");
+                        assert_eq!(
+                            u64::from_be_bytes(rec[..8].try_into().expect("record")),
+                            key,
+                            "owner holds the record for key {key}"
+                        );
+                    }
+                    Err(map) => assert_eq!(map.epoch(), 1, "rejections carry the new map"),
+                }
+            }
+            assert_eq!(owners, 1, "key {key} must be owned exactly once");
+        }
+        assert!(sc.states_converged());
+        let m = sc.router_metrics();
+        assert_eq!(m.epoch, 1, "metrics follow the router's epoch");
+        assert_eq!(m.routed_this_epoch.len(), 3);
+    }
+
+    #[test]
+    fn split_panics_on_static_deployments() {
+        let mut sc = ShardedCluster::build(ShardedClusterSpec {
+            shards: 2,
+            base: ClusterSpec {
+                num_clients: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sc.split(0, |_, _| Vec::new());
+        }))
+        .expect_err("static deployments cannot split");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("elastic"), "got: {msg}");
     }
 }

@@ -93,7 +93,11 @@ pub fn fetching_spec(num_clients: usize, seed: u64) -> ClusterSpec {
 
 /// A sharded deployment of `shards` groups built from `base`.
 pub fn sharded_spec(shards: usize, base: ClusterSpec) -> ShardedClusterSpec {
-    ShardedClusterSpec { shards, base }
+    ShardedClusterSpec {
+        shards,
+        base,
+        elastic: false,
+    }
 }
 
 /// A cross-shard deployment: `shards` groups from `base`, driven by

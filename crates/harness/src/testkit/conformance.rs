@@ -14,11 +14,13 @@
 //! Scripts 1–5 are the statically scheduled paper faults; scripts 6–7 add
 //! the adaptive-adversary/proactive-recovery pair (an equivocating primary
 //! evicted by a scheduled reboot, and targeted censorship riding alongside
-//! the rolling recovery schedule).
+//! the rolling recovery schedule); script 8 fires a live shard split
+//! inside a crash window (elastic resharding) and sweeps key ownership as
+//! ground truth.
 //!
 //! Each function is generic over the engine and returns the
 //! [`ScenarioReport`], so suites can layer engine-specific pins on top.
-//! The root suite instantiates all seven for both the PBFT [`Replica`] and
+//! The root suite instantiates all eight for both the PBFT [`Replica`] and
 //! the linear-communication [`LinearReplica`] engine.
 //!
 //! [`Replica`]: pbft_core::Replica
@@ -31,10 +33,13 @@ use super::{
     adversary_cluster_engine, assert_correct_replicas_agree, fetching_spec, ms,
     scenario_cluster_engine, sharded_spec, xshard_spec, AUDIT_TIMEOUT,
 };
+use pbft_core::app::KvApp;
+
 use crate::adversary::{Adversary, EquivocatingPrimary};
+use crate::cluster::AppKind;
 use crate::scenario::{paper, run_scenario, run_scenario_adaptive, ScenarioReport};
-use crate::shard::ShardedCluster;
-use crate::workload::{cross_null_txs, keyed_null_ops, null_ops};
+use crate::shard::{ShardedCluster, ShardedClusterSpec};
+use crate::workload::{cross_null_txs, keyed_kv_ops, keyed_null_ops, null_ops};
 use crate::xshard::XShardCluster;
 
 /// Offered load for the conformance scripts: one op per client per 4 ms,
@@ -311,7 +316,105 @@ pub fn censorship_under_recovery<E: ConsensusEngine>(seed: u64) -> ScenarioRepor
     report
 }
 
-/// All seven scripts back to back — the one-call engine conformance pass.
+/// Script 8: a live 2 → 3 shard split fired *inside* a crash window — the
+/// elastic-resharding scenario. A backup of the source group is down when
+/// the [`Reshard`](crate::scenario::ScenarioEvent::Reshard) event fires,
+/// and restarts from disk only after the hand-off; paced keyed KV load is
+/// offered throughout. Pins: the crash and the split must both clear
+/// within [`RECOVERY_BOUND`], overall availability stays high, and the
+/// post-quiescence ground-truth sweep finds every key owned by exactly
+/// one group — the group the epoch-1 router names — with the crashed
+/// member folded back in.
+pub fn split_under_load<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
+    use crate::scenario::{Scenario, ScenarioEvent};
+
+    let name = E::engine_name();
+    const SLOTS: u64 = 64;
+    let mut base = fetching_spec(3, seed);
+    base.cfg.checkpoint_interval = 32;
+    base.app = AppKind::Kv { slots: SLOTS };
+    let mut sc = ShardedCluster::<E>::build_engine(ShardedClusterSpec {
+        shards: 2,
+        base,
+        elastic: true,
+    });
+    sc.start_paced_keyed_workload(PACE, |s, c| keyed_kv_ops(SLOTS, (s * 10 + c) as u64));
+    let script = Scenario {
+        name: "split-under-load",
+        duration: ms(2000),
+        bucket: ms(25),
+        events: vec![
+            (
+                ms(300),
+                ScenarioEvent::CrashMember {
+                    shard: 0,
+                    member: 2,
+                },
+            ),
+            (ms(600), ScenarioEvent::Reshard { source: 0 }),
+            (
+                ms(1200),
+                ScenarioEvent::RestartMember {
+                    shard: 0,
+                    member: 2,
+                    preserve_disk: true,
+                },
+            ),
+        ],
+    };
+    let report = run_scenario(&mut sc, &script);
+    assert_eq!(sc.shards(), 3, "{name}: the split must append a group");
+    assert_eq!(sc.router().epoch(), 1, "{name}: the router must cut over");
+    for mark in &report.trace[..2] {
+        let recovery = report
+            .timeline
+            .recovery_after(mark.at)
+            .unwrap_or_else(|| panic!("{name}: commits never resumed after {}", mark.label));
+        assert!(
+            recovery <= RECOVERY_BOUND,
+            "{name}: recovery after {} took {recovery:?}",
+            mark.label
+        );
+    }
+    assert!(
+        report.timeline.availability() >= 0.8,
+        "{name}: a split must not collapse availability: {}",
+        report.timeline.availability()
+    );
+    sc.quiesce(secs(2));
+    // Ground truth: every key has exactly one owning group, and it is the
+    // group the post-split router names — nothing lost, nothing
+    // double-owned.
+    for key in 0..SLOTS {
+        let shard_key = key.to_be_bytes().to_vec();
+        let mut owners = Vec::new();
+        for shard in 0..sc.shards() {
+            if sc
+                .probe_ownership(shard, vec![shard_key.clone()], KvApp::op_get(key))
+                .is_ok()
+            {
+                owners.push(shard);
+            }
+        }
+        assert_eq!(
+            owners.len(),
+            1,
+            "{name}: key {key} owned by {owners:?} after the split"
+        );
+        assert_eq!(
+            owners[0],
+            sc.router().route_key(&shard_key),
+            "{name}: replica-side owner of key {key} disagrees with the router"
+        );
+    }
+    assert!(
+        sc.states_converged(),
+        "{name}: every group (including the newborn and the restarted member) must converge"
+    );
+    report
+}
+
+/// All eight scripts back to back — the one-call engine conformance pass.
 pub fn full_suite<E: ConsensusEngine>(seed_base: u64) {
     primary_crash_under_load::<E>(seed_base);
     slow_primary::<E>(seed_base + 1);
@@ -320,4 +423,5 @@ pub fn full_suite<E: ConsensusEngine>(seed_base: u64) {
     partition_then_heal::<E>(seed_base + 4);
     equivocating_primary::<E>(seed_base + 5);
     censorship_under_recovery::<E>(seed_base + 6);
+    split_under_load::<E>(seed_base + 7);
 }

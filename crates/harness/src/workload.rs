@@ -166,6 +166,24 @@ pub fn cross_precinct_ballot_txs(
     })
 }
 
+/// Keyed KV writes over a bounded key space: each draw puts a fresh value
+/// under `key = mix(..) % key_space`, with the 8 big-endian key bytes as
+/// the shard key — the same bytes the record itself stores, so the
+/// resharding suites can audit slot ownership against the router (see
+/// [`crate::shard::kv_moved_spans`]). Deployments pick `key_space` no
+/// larger than the [`KvApp`](pbft_core::app::KvApp) slot count so distinct
+/// keys never evict each other.
+pub fn keyed_kv_ops(key_space: u64, tag: u64) -> KeyedOpGen {
+    Box::new(move |seq| {
+        let key = mix(tag, seq, 0) % key_space;
+        KeyedOp {
+            keys: vec![key.to_be_bytes().to_vec()],
+            op: pbft_core::app::KvApp::op_put(key, mix(tag, seq, 1)),
+            read_only: false,
+        }
+    })
+}
+
 /// Keyed null operations: the Table 1 null-op workload over a logical key
 /// space, for sharding experiments. The key — `tag` (a per-client
 /// disambiguator) and the sequence number, 16 big-endian bytes — is stamped

@@ -62,8 +62,11 @@ use pbft_core::xshard::{TxCoordinator, TxId, XMsg, XReply, XShardOp};
 use pbft_core::{ConsensusEngine, Replica};
 use simnet::{SimDuration, SimTime};
 
+use pbft_core::routing::SplitPlan;
+use pbft_state::PagedState;
+
 use crate::cluster::{Cluster, ClusterSpec};
-use crate::shard::{ShardedCluster, ShardedClusterSpec};
+use crate::shard::{ShardedCluster, ShardedClusterSpec, SplitReport};
 use crate::workload::{KeyedOpGen, TxGen};
 
 /// Configuration of a cross-shard deployment.
@@ -88,6 +91,11 @@ pub struct XShardSpec {
     /// Driver polling quantum: the lockstep slice between initiator pumps.
     /// Smaller = tighter closed loop, more wall-clock overhead.
     pub poll_interval: SimDuration,
+    /// Elastic mode: range-partitioned groups with replica-side ownership
+    /// gates, splittable at runtime via
+    /// [`XShardCluster::split`] (see
+    /// [`crate::shard::ShardedClusterSpec::elastic`]).
+    pub elastic: bool,
 }
 
 impl Default for XShardSpec {
@@ -99,6 +107,7 @@ impl Default for XShardSpec {
             prepare_timeout: SimDuration::from_millis(100),
             finish_timeout: SimDuration::from_millis(200),
             poll_interval: SimDuration::from_micros(100),
+            elastic: false,
         }
     }
 }
@@ -270,7 +279,7 @@ impl XShardCluster {
     /// [`crate::byzantine::build_faulty_cluster`]).
     pub fn build_with(
         spec: XShardSpec,
-        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster,
+        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster + 'static,
     ) -> XShardCluster {
         Self::build_engine_with(spec, make_cluster)
     }
@@ -290,18 +299,21 @@ impl<E: ConsensusEngine> XShardCluster<E> {
     /// [`XShardCluster::build_with`] for an arbitrary engine.
     pub fn build_engine_with(
         spec: XShardSpec,
-        mut make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster<E>,
+        make_cluster: impl FnMut(usize, ClusterSpec) -> Cluster<E> + 'static,
     ) -> XShardCluster<E> {
         let bg_clients = spec.base.num_clients;
         let mut base = spec.base.clone();
         base.xshard = true;
-        base.num_clients = bg_clients + spec.initiators;
+        // Elastic deployments reserve one extra client per group (index 0)
+        // for the reshard admin traffic — see `crate::shard::ADMIN_CLIENT`.
+        base.num_clients = bg_clients + spec.initiators + spec.elastic as usize;
         let sc = ShardedCluster::build_engine_with(
             ShardedClusterSpec {
                 shards: spec.shards,
                 base,
+                elastic: spec.elastic,
             },
-            &mut make_cluster,
+            make_cluster,
         );
         XShardCluster {
             sc,
@@ -325,6 +337,33 @@ impl<E: ConsensusEngine> XShardCluster<E> {
         &mut self.sc
     }
 
+    /// Live-split group `source` under whatever transaction traffic is in
+    /// flight (see [`ShardedCluster::split`] for the hand-off protocol).
+    /// A prepare that raced the split and landed on a shard that no longer
+    /// owns its keys comes back [`XReply::WrongEpoch`]; the driver records
+    /// it as a no-vote, installs the carried map, and the aborted
+    /// transaction's successor draws re-route under the new epoch — so
+    /// atomicity holds across the epoch boundary without manual repair.
+    pub fn split(
+        &mut self,
+        source: usize,
+        moved_spans: impl Fn(&PagedState, &SplitPlan) -> Vec<(u64, usize)>,
+    ) -> SplitReport {
+        let report = self.sc.split(source, moved_spans);
+        // Drain any WrongEpoch rejections the hand-off produced before the
+        // caller resumes the run loop.
+        self.pump();
+        report
+    }
+
+    /// [`XShardCluster::split`] with the moved-span mapping derived from
+    /// the application kind (see [`ShardedCluster::split_auto`]).
+    pub fn split_auto(&mut self, source: usize) -> SplitReport {
+        let report = self.sc.split_auto(source);
+        self.pump();
+        report
+    }
+
     /// Number of groups.
     pub fn shards(&self) -> usize {
         self.sc.shards()
@@ -342,7 +381,13 @@ impl<E: ConsensusEngine> XShardCluster<E> {
 
     /// The client index of initiator `i`'s agent on every group.
     fn agent(&self, initiator: usize) -> usize {
-        self.bg_clients + initiator
+        self.client_offset() + self.bg_clients + initiator
+    }
+
+    /// Elastic deployments shift every workload/agent client up by one:
+    /// client 0 is reserved for reshard admin traffic.
+    fn client_offset(&self) -> usize {
+        self.sc.is_elastic() as usize
     }
 
     /// Current shared virtual time.
@@ -353,8 +398,9 @@ impl<E: ConsensusEngine> XShardCluster<E> {
     /// Install the background (single-shard, PR 2 fast path) workload on
     /// the `base.num_clients` ordinary clients of every group.
     pub fn start_background(&mut self, mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen) {
+        let off = self.client_offset();
         let indices: Vec<Vec<usize>> = (0..self.sc.shards())
-            .map(|_| (0..self.bg_clients).collect())
+            .map(|_| (off..off + self.bg_clients).collect())
             .collect();
         self.sc
             .start_keyed_workload_on(&indices, |s, c| make_gen(s, c));
@@ -368,8 +414,9 @@ impl<E: ConsensusEngine> XShardCluster<E> {
         pace: SimDuration,
         mut make_gen: impl FnMut(usize, usize) -> KeyedOpGen,
     ) {
+        let off = self.client_offset();
         let indices: Vec<Vec<usize>> = (0..self.sc.shards())
-            .map(|_| (0..self.bg_clients).collect())
+            .map(|_| (off..off + self.bg_clients).collect())
             .collect();
         self.sc
             .start_paced_keyed_workload_on(&indices, pace, |s, c| make_gen(s, c));
@@ -431,10 +478,11 @@ impl<E: ConsensusEngine> XShardCluster<E> {
 
     /// Completed requests of the background clients only.
     pub fn background_completed(&self) -> u64 {
+        let off = self.client_offset();
         (0..self.sc.shards())
             .map(|s| {
                 let g = self.sc.group(s);
-                (0..self.bg_clients.min(g.clients.len()))
+                (off..(off + self.bg_clients).min(g.clients.len()))
                     .map(|c| g.client_metrics(c).completed)
                     .sum::<u64>()
             })
@@ -842,6 +890,17 @@ impl<E: ConsensusEngine> XShardCluster<E> {
                     // A participant that already timed-out-aborted this txid
                     // answers Aborted; treat as a no-vote.
                     XReply::Aborted { .. } => (false, true),
+                    // A shard that no longer owns the prepared keys after a
+                    // reshard rejects with the map it now holds. Install it
+                    // into the shared router (a no-op unless newer) so the
+                    // retry re-routes under the new epoch, and count the
+                    // rejection as a no-vote: the transaction aborts
+                    // deterministically in the old epoch.
+                    XReply::WrongEpoch { map, .. } => {
+                        self.sc.router().install(map);
+                        self.sc.note_epoch_retry();
+                        (false, true)
+                    }
                     _ => (false, false),
                 };
                 if !is_vote {
@@ -1276,6 +1335,47 @@ mod tests {
         xc.quiesce(SimDuration::from_secs(2));
         xc.audit_atomicity(SimDuration::from_millis(500))
             .expect("atomic after heal");
+    }
+
+    #[test]
+    fn split_under_live_2pc_stays_atomic_and_stale_routes_recover() {
+        let mut xc = XShardCluster::build(XShardSpec {
+            elastic: true,
+            ..small_spec(2, 2)
+        });
+        let old_map = xc.sharded().router().map();
+        xc.start_transactions(|i| cross_null_txs(old_map, 64, 1 << 20, i as u64));
+        // Transactions mid-flight, then split group 0 underneath them: a
+        // prepare staged before the flip completes in the old epoch (the
+        // logged decision is sacred), everything else re-routes.
+        xc.run_for(SimDuration::from_millis(120));
+        let report = xc.split(0, |_, _| Vec::new());
+        assert_eq!(report.plan.new_map.epoch(), 1);
+        assert_eq!(xc.shards(), 3);
+        xc.run_for(SimDuration::from_millis(200));
+        // A population that never heard of the split: rewind the shared
+        // router to the epoch-0 map and keep drawing. Prepares for moved
+        // keys now land on a group that no longer owns them; the driver
+        // must turn each WrongEpoch into a no-vote abort, install the
+        // carried map, and commit the successor draws under epoch 1.
+        xc.sharded().router().force(old_map);
+        xc.run_for(SimDuration::from_millis(300));
+        xc.quiesce(SimDuration::from_millis(500));
+        let m = xc.metrics();
+        assert!(m.tx_committed > 0, "{m:?}");
+        assert!(
+            xc.sharded().router_metrics().epoch_retries > 0,
+            "stale-routed prepares must be rejected and retried: {m:?}"
+        );
+        assert_eq!(
+            xc.sharded().router().epoch(),
+            1,
+            "the rejection's carried map re-installs itself"
+        );
+        assert!(xc.drained(), "all initiators idle after quiesce");
+        xc.audit_atomicity(SimDuration::from_millis(500))
+            .expect("atomic across the split");
+        assert!(xc.states_converged());
     }
 
     #[test]

@@ -113,7 +113,7 @@ fn atomicity_with_one_byzantine_participant() {
         };
         // Mount the fault on a backup (replica 3) of the chosen group so the
         // group stays in view 0 and masks the liar with its honest quorum.
-        let mut xc = XShardCluster::build_with(spec, |s, gspec| {
+        let mut xc = XShardCluster::build_with(spec, move |s, gspec| {
             if s == faulty_shard {
                 build_faulty_cluster(gspec, 3, fault)
             } else {
@@ -221,10 +221,10 @@ fn cross_precinct_ballots_keep_precinct_tallies_in_step() {
     // Pick one fixed pair of precinct elections owned by different groups,
     // so every ballot is genuinely cross-shard and every voter's final
     // state is one vote in each.
-    let router = *xc.sharded().router();
+    let map = xc.sharded().router().map();
     let e1 = 1i64;
     let e2 = (2..100i64)
-        .find(|e| router.route_key(&e.to_be_bytes()) != router.route_key(&e1.to_be_bytes()))
+        .find(|e| map.shard_of(&e.to_be_bytes()) != map.shard_of(&e1.to_be_bytes()))
         .expect("election ids spread across groups");
     let pair: &'static [i64] = Box::leak(vec![e1, e2].into_boxed_slice());
     xc.start_transactions(|i| cross_precinct_ballot_txs(pair, &["alice", "bob"], i as u64));
@@ -243,7 +243,7 @@ fn cross_precinct_ballots_keep_precinct_tallies_in_step() {
     // Tally each precinct on its owning group.
     let mut totals = Vec::new();
     for e in [e1, e2] {
-        let shard = router.route_key(&e.to_be_bytes());
+        let shard = map.shard_of(&e.to_be_bytes()) as usize;
         let op = evoting::VoteOp::Tally { election: e }.encode();
         let reply = xc
             .submit_and_wait(shard, 0, op, true, None, AUDIT_TIMEOUT)
@@ -272,6 +272,7 @@ fn single_shard_ops_keep_the_pr2_fast_path() {
         let mut sc = ShardedCluster::build(ShardedClusterSpec {
             shards: 2,
             base: base_spec(clients, seed),
+            elastic: false,
         });
         sc.start_keyed_workload(|s, c| keyed_null_ops(128, (s * 100 + c) as u64));
         sc.run_for(SimDuration::from_millis(600));

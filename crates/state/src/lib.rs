@@ -60,12 +60,14 @@
 
 mod codec;
 mod merkle;
+mod range;
 mod region;
 mod snapshot;
 mod transfer;
 
 pub use codec::{BlobCell, CodecError, SlotRing};
 pub use merkle::MerkleTree;
+pub use range::{RangeError, RangeExport};
 pub use region::{PagedState, Section, StateError, PAGE_SIZE};
 pub use snapshot::Snapshot;
 pub use transfer::{serve_fetch, FetchRequest, FetchResponse, Fetcher, TransferError};

@@ -37,6 +37,7 @@ fn main() {
             num_clients: 6,
             ..Default::default()
         },
+        elastic: false,
     };
     let mut kv = ShardedCluster::build(spec);
     kv.start_keyed_workload(|shard, client| keyed_sql_insert_ops((shard * 6 + client) as u64));

@@ -25,11 +25,19 @@ cargo fmt --all --check
 
 step cargo build --release
 
-# Fast fault-scenario signal before the full suite: the three smoke_*
-# scenarios drive the scenario engine once per cluster flavor
-# (single-group, sharded, cross-shard).
+# Fast fault-scenario signal before the full suite: the smoke_* scenarios
+# drive the scenario engine once per cluster flavor (single-group, sharded,
+# cross-shard) plus one live split per elastic flavor (smoke_reshard_*).
 echo "==> scenario smoke pass (tests/scenario_conformance.rs smoke_*)"
 cargo test -q -p pbft-practicality --test scenario_conformance smoke_
+
+# The resharding property suite is the safety argument for elastic splits
+# (no key lost or double-owned, 2PC atomicity across the epoch boundary);
+# run it with its own timing line so regressions in split cost are visible.
+echo "==> resharding property suite (crates/harness/tests/reshard_props.rs)"
+t0=$SECONDS
+cargo test -q -p harness --test reshard_props
+echo "    [reshard_props: $((SECONDS - t0))s]"
 
 echo "==> cargo test (per package, timed)"
 packages=$(cargo metadata --no-deps --format-version 1 \
@@ -45,12 +53,17 @@ echo "    [all packages: $((SECONDS - total0))s]"
 step cargo build --examples --benches
 
 # The committed perf-trajectory artifacts (written by `cargo bench --bench
-# table1|sharding|availability`) must stay parseable JSON with per-engine
-# rows.
+# table1|sharding|availability|cross_shard`) must stay parseable JSON with
+# per-engine rows.
 echo "==> committed bench artifacts parse (BENCH_*.json)"
 python3 - <<'EOF'
 import json
-for name in ("BENCH_table1.json", "BENCH_sharding.json", "BENCH_availability.json"):
+for name in (
+    "BENCH_table1.json",
+    "BENCH_sharding.json",
+    "BENCH_availability.json",
+    "BENCH_cross_shard.json",
+):
     with open(name) as f:
         doc = json.load(f)
     assert doc.get("bench"), f"{name}: missing 'bench' key"
@@ -79,6 +92,27 @@ for row in rel:
 assert {r["engine"] for r in rel} >= {"pbft", "linear"}, \
     "reliability section must cover both engines"
 print(f"    BENCH_availability.json: reliability ok ({len(rel)} hour-long cells)")
+
+# The cross-shard artifact must additionally carry the elastic-resharding
+# cells: a 2 -> 4 live split per engine with the throughput dip and the
+# client-visible time-to-recover.
+with open("BENCH_cross_shard.json") as f:
+    doc = json.load(f)
+cells = doc.get("reshard")
+assert cells, "BENCH_cross_shard.json: missing 'reshard' section"
+fields = (
+    "engine", "shards_before", "shards_after", "epochs", "steady_tps",
+    "dip_tps", "recovered_tps", "recover_ms", "availability",
+)
+for row in cells:
+    for k in fields:
+        assert k in row, f"reshard cell missing '{k}': {row}"
+    assert row["shards_before"] == 2 and row["shards_after"] == 4, f"not a 2->4 split: {row}"
+    assert row["steady_tps"] > 0 and row["recovered_tps"] > 0, f"degenerate cell: {row}"
+    assert row["recover_ms"] > 0, f"missing time-to-recover: {row}"
+assert {r["engine"] for r in cells} >= {"pbft", "linear"}, \
+    "reshard section must cover both engines"
+print(f"    BENCH_cross_shard.json: reshard ok ({len(cells)} split cells)")
 EOF
 
 echo "==> cargo clippy --all-targets -- -D warnings"

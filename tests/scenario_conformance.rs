@@ -1,6 +1,7 @@
-//! Paper-fault conformance suite: the seven headline fault scenarios, run
-//! through the deterministic scenario engine (`harness::scenario`) with
-//! pinned availability bounds and recovery windows.
+//! Paper-fault conformance suite: the headline fault scenarios (plus the
+//! elastic-resharding split), run through the deterministic scenario
+//! engine (`harness::scenario`) with pinned availability bounds and
+//! recovery windows.
 //!
 //! The source paper's argument is that PBFT's practicality is decided
 //! *during* faults — primary failure under load, slow-but-not-dead
@@ -15,7 +16,7 @@
 //!    timeline buckets, so a regression that widens an outage fails loudly.
 //!
 //! Determinism (same seed ⇒ identical event trace and timeline) is asserted
-//! for all seven scenarios in `all_seven_scenarios_are_deterministic` (the
+//! for every scenario in `all_scenarios_are_deterministic` (the
 //! per-`Fault` matrix lives in `crates/harness/tests/fault_determinism.rs`).
 //! The `smoke_*` tests are the short per-flavor passes `scripts/verify.sh`
 //! runs as its scenario gate — including one adaptive-adversary pass per
@@ -30,8 +31,10 @@ use harness::testkit::{
     adversary_cluster_engine, assert_correct_replicas_agree, failover_spec, fetching_spec, ms,
     scenario_cluster, sharded_spec, xshard_spec, AUDIT_TIMEOUT,
 };
-use harness::workload::{cross_null_txs, keyed_null_ops, null_ops};
-use harness::{Cluster, ScenarioReport, ShardedCluster, XShardCluster};
+use harness::workload::{cross_null_txs, keyed_kv_ops, keyed_null_ops, null_ops};
+use harness::{
+    AppKind, Cluster, ScenarioReport, ShardedCluster, ShardedClusterSpec, XShardCluster, XShardSpec,
+};
 use simnet::SimDuration;
 
 /// Offered load for single-group scenarios: one op per client per 4 ms —
@@ -40,6 +43,19 @@ const PACE: SimDuration = ms(4);
 
 fn secs(n: u64) -> SimDuration {
     SimDuration::from_secs(n)
+}
+
+/// An elastic two-group KV deployment — the splittable flavor the reshard
+/// scenarios run against.
+fn elastic_kv_sharded(seed: u64) -> ShardedCluster {
+    let mut base = fetching_spec(3, seed);
+    base.cfg.checkpoint_interval = 32;
+    base.app = AppKind::Kv { slots: 64 };
+    ShardedCluster::build(ShardedClusterSpec {
+        shards: 2,
+        base,
+        elastic: true,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -236,10 +252,10 @@ fn partition_then_heal() {
 // ---------------------------------------------------------------------
 
 /// Same seed ⇒ identical event trace and identical timeline, bucket for
-/// bucket, for every one of the seven conformance scenarios — adaptive
-/// adversary ticks included.
+/// bucket, for every conformance scenario — adaptive adversary ticks and
+/// the live shard split included.
 #[test]
-fn all_seven_scenarios_are_deterministic() {
+fn all_scenarios_are_deterministic() {
     fn single(scenario: &Scenario, seed: u64) -> ScenarioReport {
         let mut cluster = scenario_cluster(4, seed);
         cluster.start_paced_workload(PACE, |_| null_ops(64));
@@ -297,6 +313,20 @@ fn all_seven_scenarios_are_deterministic() {
         (
             "censorship-under-recovery",
             Box::new(|| single(&paper::censorship_under_recovery(), 37)),
+        ),
+        (
+            "split-under-load",
+            Box::new(|| {
+                let mut sc = elastic_kv_sharded(38);
+                sc.start_paced_keyed_workload(PACE, |s, c| keyed_kv_ops(64, (s * 10 + c) as u64));
+                let scenario = Scenario {
+                    name: "split-determinism",
+                    duration: ms(600),
+                    bucket: ms(25),
+                    events: vec![(ms(200), ScenarioEvent::Reshard { source: 0 })],
+                };
+                run_scenario(&mut sc, &scenario)
+            }),
         ),
     ];
     for (name, run) in runs {
@@ -479,6 +509,51 @@ fn smoke_xshard_flavor() {
 }
 
 #[test]
+fn smoke_reshard_sharded() {
+    let mut sc = elastic_kv_sharded(49);
+    sc.start_paced_keyed_workload(PACE, |s, c| keyed_kv_ops(64, (s * 10 + c) as u64));
+    let scenario = Scenario {
+        name: "smoke-reshard-sharded",
+        duration: ms(600),
+        bucket: ms(25),
+        events: vec![(ms(200), ScenarioEvent::Reshard { source: 0 })],
+    };
+    let report = run_scenario(&mut sc, &scenario);
+    assert_eq!(report.trace[0].label, "reshard(0)");
+    assert_eq!(sc.shards(), 3, "the split appended a group");
+    assert_eq!(sc.router().epoch(), 1);
+    assert!(report.timeline.availability() >= 0.8, "{report:?}");
+    sc.quiesce(secs(1));
+    assert!(sc.states_converged());
+}
+
+#[test]
+fn smoke_reshard_xshard() {
+    let mut xc = XShardCluster::build(XShardSpec {
+        elastic: true,
+        ..xshard_spec(2, 2, fetching_spec(1, 48))
+    });
+    let map = xc.sharded().router().map();
+    xc.start_transactions(|i| cross_null_txs(map, 64, 1 << 20, i as u64));
+    let scenario = Scenario {
+        name: "smoke-reshard-xshard",
+        duration: ms(600),
+        bucket: ms(25),
+        events: vec![(ms(200), ScenarioEvent::Reshard { source: 0 })],
+    };
+    let report = run_scenario(&mut xc, &scenario);
+    assert_eq!(report.trace[0].label, "reshard(0)");
+    assert_eq!(xc.shards(), 3, "the split appended a group");
+    xc.quiesce(secs(2));
+    if xc.metrics().tx_unresolved > 0 {
+        xc.resolve_unresolved(AUDIT_TIMEOUT).expect("settles");
+    }
+    xc.audit_atomicity(AUDIT_TIMEOUT)
+        .expect("atomic across the split");
+    assert!(xc.states_converged());
+}
+
+#[test]
 fn smoke_adaptive_single_group() {
     let mut cluster = adversary_cluster_engine::<pbft_core::Replica>(2, 45, 0);
     cluster.start_paced_workload(PACE, |_| null_ops(64));
@@ -612,10 +687,10 @@ fn smoke_adaptive_xshard() {
 }
 
 // ---------------------------------------------------------------------
-// Engine-generic conformance: the same seven scripts, both engines
+// Engine-generic conformance: the same eight scripts, both engines
 // ---------------------------------------------------------------------
 
-/// The seven fault scripts run generically over any [`pbft_core::ConsensusEngine`]
+/// The eight fault scripts run generically over any [`pbft_core::ConsensusEngine`]
 /// through `harness::testkit::conformance`, asserting the engine-independent
 /// contract (safety + finite recovery). One test per (script, engine) pair
 /// so a regression names the exact combination that broke.
@@ -678,6 +753,14 @@ mod engine_conformance {
     #[test]
     fn censorship_under_recovery_linear() {
         conformance::censorship_under_recovery::<LinearReplica>(67);
+    }
+    #[test]
+    fn split_under_load_pbft() {
+        conformance::split_under_load::<Replica>(68);
+    }
+    #[test]
+    fn split_under_load_linear() {
+        conformance::split_under_load::<LinearReplica>(68);
     }
 }
 
