@@ -1,0 +1,200 @@
+//! **Hot-path cost model** — per-committed-op counts of the real work the
+//! agreement path performs: MAC operations, envelope encodings, bytes
+//! deep-copied on the send path, and agreement messages. Both engines run
+//! the Table 1 batch configuration (`sta_mac_allbig_batch`, 1 KiB null
+//! ops, 12 clients / 4 replicas) and the measured ratios are checked
+//! against the amortized cost model of the encode-once hot path (cf. the
+//! BFT performance model of Loruenser et al., arXiv:2101.04489):
+//!
+//!   * **Encodings are O(1) per broadcast.** A broadcast encodes its body
+//!     once and shares the buffer across destinations, so send-path
+//!     encodings track *logical* sends (one reply per request plus a few
+//!     per batch), not per-destination packet counts.
+//!   * **Authenticators amortize over the batch.** One authenticator
+//!     vector (≤ n−1 MACs) covers a whole batch pre-prepare, so per-op MAC
+//!     work is a small constant (request verify + reply MAC) plus an
+//!     O(n)/batch-width agreement share — not O(n) per request.
+//!   * **The per-destination clone budget is zero.** Broadcast buffers are
+//!     reference-counted; a refactor that reintroduces per-peer deep
+//!     copies trips the budget assertion here and in the unit tests.
+//!
+//! The run lands in the committed `BENCH_hotpath.json`, which
+//! `scripts/verify.sh` parse-gates so later PRs cannot silently regress
+//! the per-op cost trajectory.
+
+use bench::artifact::{self, Json};
+use harness::cluster::{AppKind, Cluster, ClusterSpec};
+use harness::workload::null_ops;
+use pbft_core::{AuthMode, ConsensusEngine, PbftConfig};
+use pbft_core::{LinearReplica, Replica};
+use simnet::SimDuration;
+
+const SIZE: usize = 1024;
+const NUM_REPLICAS: usize = 4;
+
+/// Per-engine hot-path cost sample: totals over the run, normalised per
+/// committed op *per replica* (so the numbers are fan-out-comparable).
+struct HotpathRow {
+    engine: &'static str,
+    tps: f64,
+    ops: u64,
+    avg_batch: f64,
+    macs_per_op: f64,
+    encodings_per_op: f64,
+    bytes_copied_per_op: f64,
+    agreement_msgs_per_op: f64,
+    packet_clones: u64,
+}
+
+fn run<E: ConsensusEngine>() -> HotpathRow {
+    let cfg = PbftConfig {
+        auth: AuthMode::Macs,
+        all_requests_big: true,
+        batching: true,
+        ..Default::default()
+    };
+    let spec = ClusterSpec {
+        cfg,
+        app: AppKind::Null { reply_size: SIZE },
+        num_clients: 12,
+        seed: 1000,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::<E>::build_engine(spec);
+    cluster.start_workload(|_| null_ops(SIZE));
+    let tps = cluster.measure_throughput(SimDuration::from_millis(500), SimDuration::from_secs(2));
+
+    // Totals across all four replicas over the whole run (warmup included;
+    // the workload is uniform, so the per-op ratios are unaffected).
+    let mut macs = 0u64;
+    let mut encodings = 0u64;
+    let mut bytes_copied = 0u64;
+    let mut clones = 0u64;
+    let mut agreement_msgs = 0u64;
+    let mut ops = 0u64;
+    let mut batches = 0u64;
+    for i in 0..NUM_REPLICAS {
+        let c = cluster.replica_counts(i);
+        let m = cluster.replica_metrics(i);
+        macs += c.mac_gen + c.mac_verify;
+        encodings += m.hot_encodings;
+        bytes_copied += m.hot_bytes_copied;
+        clones += m.hot_packet_clones;
+        agreement_msgs += m.agreement_msgs_sent;
+        // Every replica executes every committed request exactly once.
+        ops = ops.max(m.executed_requests);
+        batches = batches.max(m.batches_executed);
+    }
+    let per_op = |total: u64| total as f64 / (NUM_REPLICAS as f64 * ops as f64);
+    HotpathRow {
+        engine: E::engine_name(),
+        tps,
+        ops,
+        avg_batch: ops as f64 / batches.max(1) as f64,
+        macs_per_op: per_op(macs),
+        encodings_per_op: per_op(encodings),
+        bytes_copied_per_op: per_op(bytes_copied),
+        agreement_msgs_per_op: per_op(agreement_msgs),
+        packet_clones: clones,
+    }
+}
+
+fn check(r: &HotpathRow) {
+    let n = NUM_REPLICAS as f64;
+    // Clone budget: structurally zero on the send path.
+    assert_eq!(
+        r.packet_clones, 0,
+        "{}: send-path clone budget exceeded",
+        r.engine
+    );
+    // Encode-once: encodings track *logical* sends — one reply per op
+    // plus a batch-amortized agreement share (broadcasts encode once
+    // regardless of fan-out; the linear engine's backup votes are unicast,
+    // so for them one encoding genuinely is one message). Measured: ~1.35
+    // (pbft), ~1.38 (linear). A per-destination encoder re-encodes each
+    // broadcast per peer: ~2.0 (pbft, all-to-all) and ~1.6 (linear, QC
+    // broadcasts), so 1.5 cleanly separates the two regimes.
+    assert!(
+        r.encodings_per_op <= 1.5,
+        "{}: encodings/op {:.2} not amortized over fan-out (agreement msgs/op {:.2})",
+        r.engine,
+        r.encodings_per_op,
+        r.agreement_msgs_per_op
+    );
+    // Amortized authenticators: fixed per-request MAC work (verify the
+    // request authenticator, MAC the reply) plus O(n) per *batch*, not per
+    // request. The bound below fails if MAC count returns to O(n)/request.
+    let model = 3.0 + 3.0 * n / r.avg_batch;
+    assert!(
+        r.macs_per_op <= model,
+        "{}: MACs/op {:.2} exceeds amortized model bound {:.2} (batch {:.1})",
+        r.engine,
+        r.macs_per_op,
+        model,
+        r.avg_batch
+    );
+    // Zero-copy broadcast: the bytes deep-copied per op must stay far
+    // below one packet's worth (~1 KiB request bodies would dominate
+    // instantly if per-destination copying returned).
+    assert!(
+        r.bytes_copied_per_op < 256.0,
+        "{}: {:.0} bytes copied per op on the send path",
+        r.engine,
+        r.bytes_copied_per_op
+    );
+}
+
+fn main() {
+    let rows = [run::<Replica>(), run::<LinearReplica>()];
+    println!(
+        "hot-path cost per committed op (per replica), batch config, 12 clients / 4 replicas:"
+    );
+    println!(
+        "{:<8} {:>9} {:>7} {:>6} {:>9} {:>13} {:>10} {:>9} {:>7}",
+        "engine", "TPS", "ops", "batch", "MACs/op", "encodings/op", "bytes/op", "msgs/op", "clones"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>9.0} {:>7} {:>6.1} {:>9.2} {:>13.2} {:>10.1} {:>9.2} {:>7}",
+            r.engine,
+            r.tps,
+            r.ops,
+            r.avg_batch,
+            r.macs_per_op,
+            r.encodings_per_op,
+            r.bytes_copied_per_op,
+            r.agreement_msgs_per_op,
+            r.packet_clones
+        );
+        check(r);
+    }
+    println!("amortized cost model: OK (encode-once, batched authenticators, zero clone budget)");
+
+    let json = Json::obj([
+        ("bench", "hotpath".into()),
+        ("request_size", SIZE.into()),
+        ("num_clients", 12usize.into()),
+        ("num_replicas", NUM_REPLICAS.into()),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("engine", r.engine.into()),
+                            ("tps", r.tps.into()),
+                            ("ops", (r.ops as f64).into()),
+                            ("avg_batch", r.avg_batch.into()),
+                            ("macs_per_op", r.macs_per_op.into()),
+                            ("encodings_per_op", r.encodings_per_op.into()),
+                            ("bytes_copied_per_op", r.bytes_copied_per_op.into()),
+                            ("agreement_msgs_per_op", r.agreement_msgs_per_op.into()),
+                            ("packet_clones", (r.packet_clones as f64).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    artifact::write("BENCH_hotpath.json", &json);
+}

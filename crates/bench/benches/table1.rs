@@ -15,6 +15,22 @@ use pbft_core::{ConsensusEngine, LinearReplica, Replica};
 
 const SIZE: usize = 1024;
 
+/// The committed PR 8 numbers (the seed of the recorded perf trajectory):
+/// `tps_mean` per Table 1 row from `BENCH_table1.json` as of the elastic-
+/// resharding PR, before the encode-once/pipelined hot path landed. Each
+/// regenerated artifact records its speedup against these, and the batch
+/// row is floored at 1.3× so the trajectory cannot silently regress.
+const SEED_ROWS: [f64; 10] = [
+    8005.83, 1000.0, 5367.33, 1000.0, 511.5, 433.0, 600.83, 430.17, 600.17, 430.5,
+];
+
+/// PR 8 head-to-head cells, same order as the `cells` vector below:
+/// (`sta_mac_allbig_batch`, `nosta_nomac_noallbig_batch`) × (pbft, linear).
+const SEED_CELLS: [f64; 4] = [8005.83, 5860.33, 600.17, 377.0];
+
+/// The trajectory floor for the batch row (both engines).
+const BATCH_ROW_FLOOR: f64 = 1.3;
+
 /// Head-to-head cell: one configuration, one engine.
 struct Cell {
     config: String,
@@ -44,11 +60,14 @@ fn main() {
     let paper = [
         17014.0, 1051.0, 3030.0, 1109.0, 1291.0, 1199.0, 992.0, 1186.0, 988.0, 1205.0,
     ];
-    println!("paper-vs-measured:");
-    for (r, p) in rows.iter().zip(paper) {
+    println!("paper-vs-measured (speedup is vs the committed PR 8 seed):");
+    for ((r, p), s) in rows.iter().zip(paper).zip(SEED_ROWS) {
         println!(
-            "  {:<32} paper {:>7.0}   measured {:>7.0}",
-            r.name, p, r.tps.mean
+            "  {:<32} paper {:>7.0}   measured {:>7.0}   speedup {:>5.2}x",
+            r.name,
+            p,
+            r.tps.mean,
+            r.tps.mean / s
         );
     }
 
@@ -76,6 +95,25 @@ fn main() {
         }
     }
 
+    // Trajectory floor: the batch row must stay ≥ 1.3× the PR 8 seed on
+    // both engines. Failing here (and in scripts/verify.sh, which gates
+    // the committed artifact) keeps the hot-path speedup from silently
+    // eroding in later PRs.
+    for (c, seed) in cells.iter().zip(SEED_CELLS).take(2) {
+        let speedup = c.tps.mean / seed;
+        assert!(
+            speedup >= BATCH_ROW_FLOOR,
+            "{} [{}]: {:.0} TPS is only {speedup:.2}x the PR 8 seed ({seed:.0}); floor is {BATCH_ROW_FLOOR}x",
+            c.config,
+            c.engine,
+            c.tps.mean,
+        );
+        println!(
+            "trajectory: {} [{}] {speedup:.2}x over seed (floor {BATCH_ROW_FLOOR}x)",
+            c.config, c.engine
+        );
+    }
+
     let json = Json::obj([
         ("bench", "table1".into()),
         ("request_size", SIZE.into()),
@@ -85,13 +123,16 @@ fn main() {
             Json::Arr(
                 rows.iter()
                     .zip(paper)
-                    .map(|(r, p)| {
+                    .zip(SEED_ROWS)
+                    .map(|((r, p), s)| {
                         Json::obj([
                             ("config", r.name.as_str().into()),
                             ("engine", "pbft".into()),
                             ("tps_mean", r.tps.mean.into()),
                             ("tps_stddev", r.tps.std_dev.into()),
                             ("paper_tps", p.into()),
+                            ("seed_tps", s.into()),
+                            ("speedup_vs_seed", (r.tps.mean / s).into()),
                         ])
                     })
                     .collect(),
@@ -102,12 +143,15 @@ fn main() {
             Json::Arr(
                 cells
                     .iter()
-                    .map(|c| {
+                    .zip(SEED_CELLS)
+                    .map(|(c, s)| {
                         Json::obj([
                             ("config", c.config.as_str().into()),
                             ("engine", c.engine.into()),
                             ("tps_mean", c.tps.mean.into()),
                             ("tps_stddev", c.tps.std_dev.into()),
+                            ("seed_tps", s.into()),
+                            ("speedup_vs_seed", (c.tps.mean / s).into()),
                         ])
                     })
                     .collect(),

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use pbft_crypto::challenge::{make_response, Challenge};
 use pbft_crypto::Digest;
@@ -351,18 +352,19 @@ impl Client {
             self.keys
                 .seal_request(self.cfg.auth, &prefix, &mut res.counts)
         };
-        let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope {
+        // Encode-once: every destination shares the same sealed bytes.
+        let packet = Arc::new(Envelope::seal(prefix, &auth));
+        let env = Arc::new(Envelope {
             sender: self.sender(),
             msg,
             auth,
-        };
+        });
         if big || retransmit || is_join {
             for i in 0..self.cfg.n() as u32 {
                 res.outputs.push(Output::Send {
                     to: NetTarget::Replica(ReplicaId(i)),
-                    packet: packet.clone(),
-                    envelope: env.clone(),
+                    packet: Arc::clone(&packet),
+                    envelope: Arc::clone(&env),
                 });
             }
         } else {
@@ -391,17 +393,17 @@ impl Client {
         let prefix = Envelope::encode_prefix(Sender::Client(self.id), &msg);
         res.counts.sign += 1;
         let auth = AuthTag::Sig(self.keys.keypair().sign(&prefix));
-        let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope {
+        let packet = Arc::new(Envelope::seal(prefix, &auth));
+        let env = Arc::new(Envelope {
             sender: Sender::Client(self.id),
             msg,
             auth,
-        };
+        });
         for i in 0..self.cfg.n() as u32 {
             res.outputs.push(Output::Send {
                 to: NetTarget::Replica(ReplicaId(i)),
-                packet: packet.clone(),
-                envelope: env.clone(),
+                packet: Arc::clone(&packet),
+                envelope: Arc::clone(&env),
             });
         }
     }
@@ -479,11 +481,18 @@ impl Client {
         if reply.client != self.id || reply.timestamp != out.req.timestamp {
             return;
         }
-        let digest = reply.result_digest();
-        res.counts.digest_bytes += reply.result.len() as u64;
-        out.results
-            .entry(digest)
-            .or_insert_with(|| reply.result.clone());
+        // Digest-only replies (§2.1 designated-replier optimization) vote
+        // with the carried digest; full replies are digested here and also
+        // supply the body the quorum certifies.
+        let Some(digest) = reply.matching_digest() else {
+            return; // malformed digest-only reply
+        };
+        if !reply.digest_only {
+            res.counts.digest_bytes += reply.result.len() as u64;
+            out.results
+                .entry(digest)
+                .or_insert_with(|| reply.result.clone());
+        }
         out.replies.insert(reply.replica, (digest, reply.tentative));
         // Quorum rules (§2.1): f+1 matching stable replies, or 2f+1 matching
         // when any of them are tentative (incl. the read-only path).
@@ -497,7 +506,13 @@ impl Client {
         if !done {
             return;
         }
-        let result = out.results.get(&digest).cloned().unwrap_or_default();
+        let Some(result) = out.results.get(&digest).cloned() else {
+            // A digest quorum with no body yet: a designated full reply is
+            // still in flight (or lost — retransmission recovers it, since
+            // replicas answer retransmits with the full body). Keep
+            // collecting.
+            return;
+        };
         let latency_ns = now_ns.saturating_sub(out.sent_ns);
         self.view_guess = self.view_guess.max(reply.view);
         self.outstanding = None;
@@ -616,6 +631,7 @@ mod tests {
             timestamp,
             replica: ReplicaId(r),
             tentative,
+            digest_only: false,
             result: result.to_vec(),
         });
         let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(r)), &msg);
@@ -740,6 +756,7 @@ mod tests {
             timestamp: 1,
             replica: ReplicaId(0),
             tentative: false,
+            digest_only: false,
             result: b"forged".to_vec(),
         });
         let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(0)), &msg);

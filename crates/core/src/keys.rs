@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use pbft_crypto::auth::{Authenticator, MacKey};
 use pbft_crypto::hmac::derive_key;
-use pbft_crypto::{KeyPair, Mac64, PublicKey};
+use pbft_crypto::{Digest, KeyPair, Mac64, PublicKey};
 
 use crate::config::AuthMode;
 use crate::messages::AuthTag;
@@ -54,6 +54,17 @@ pub fn client_session_key(group_seed: u64, client: ClientId, replica: ReplicaId)
         "client-session",
         &ctx,
     ))
+}
+
+/// The MAC input for a replica-multicast authenticator: the 32-byte digest
+/// of the authenticated prefix. One digest covers the whole (possibly
+/// batch-sized) prefix, after which each of the n−1 per-peer MACs runs over
+/// a fixed 32 bytes — the paper's batching amortization applied to
+/// authentication: authenticator cost is `1 digest + (n−1) short MACs` per
+/// broadcast, independent of how many requests the batch carries.
+fn multicast_mac_input(prefix: &[u8], counts: &mut OpCounts) -> Digest {
+    counts.digest_bytes += prefix.len() as u64;
+    Digest::of(prefix)
 }
 
 /// A replica-side key store.
@@ -175,13 +186,16 @@ impl KeyStore {
         self.client_pubkeys.get(&client).copied()
     }
 
-    /// Authenticate an outgoing replica-multicast message prefix.
+    /// Authenticate an outgoing replica-multicast message prefix: one
+    /// prefix digest, then one short MAC per peer over it (see
+    /// `multicast_mac_input`).
     pub fn seal_multicast(&self, mode: AuthMode, prefix: &[u8], counts: &mut OpCounts) -> AuthTag {
         match mode {
             AuthMode::Macs => {
+                let input = multicast_mac_input(prefix, counts);
                 let entries: Vec<(u32, Mac64)> = (0..self.n as u32)
                     .filter(|&i| i != self.me.0)
-                    .map(|i| (i, self.replica_keys[i as usize].mac(prefix, 0)))
+                    .map(|i| (i, self.replica_keys[i as usize].mac(input.as_bytes(), 0)))
                     .collect();
                 counts.mac_gen += entries.len() as u64;
                 AuthTag::Authenticator(Authenticator::from_entries(entries))
@@ -232,7 +246,13 @@ impl KeyStore {
         match auth {
             AuthTag::Authenticator(a) => {
                 counts.mac_verify += 1;
-                a.verify_for(self.me.0, &self.replica_keys[from.0 as usize], prefix, 0)
+                let input = multicast_mac_input(prefix, counts);
+                a.verify_for(
+                    self.me.0,
+                    &self.replica_keys[from.0 as usize],
+                    input.as_bytes(),
+                    0,
+                )
             }
             AuthTag::Sig(sig) => {
                 counts.sig_verify += 1;
@@ -241,6 +261,45 @@ impl KeyStore {
                     .is_ok()
             }
             _ => false,
+        }
+    }
+
+    /// Verify a single *borrowed* authenticator entry from peer `from` —
+    /// the zero-copy receive path, where the caller extracted its own MAC
+    /// from the wire-form authenticator without materializing the vector.
+    /// Accepts exactly when [`KeyStore::verify_from_replica`] would accept
+    /// an authenticator whose entry for this replica is `mac`.
+    pub fn verify_replica_entry(
+        &self,
+        from: ReplicaId,
+        prefix: &[u8],
+        mac: Mac64,
+        counts: &mut OpCounts,
+    ) -> bool {
+        if from.0 as usize >= self.n || from == self.me {
+            return false;
+        }
+        counts.mac_verify += 1;
+        let input = multicast_mac_input(prefix, counts);
+        self.replica_keys[from.0 as usize].verify(input.as_bytes(), 0, mac)
+    }
+
+    /// Verify a single borrowed authenticator entry from client `from`
+    /// (client request authenticators MAC the full prefix, domain 0).
+    /// Accepts exactly when [`KeyStore::verify_from_client`] would.
+    pub fn verify_client_entry(
+        &self,
+        from: ClientId,
+        prefix: &[u8],
+        mac: Mac64,
+        counts: &mut OpCounts,
+    ) -> bool {
+        match self.client_keys.get(&from) {
+            Some(k) => {
+                counts.mac_verify += 1;
+                k.verify(prefix, 0, mac)
+            }
+            None => false,
         }
     }
 
@@ -417,6 +476,52 @@ mod tests {
         // Self-verification and out-of-range ids rejected.
         assert!(!a.verify_from_replica(ReplicaId(0), b"prefix", &auth, &mut counts));
         assert!(!b.verify_from_replica(ReplicaId(9), b"prefix", &auth, &mut counts));
+    }
+
+    #[test]
+    fn authenticator_amortizes_over_the_prefix_digest() {
+        // One digest of the (arbitrarily long) prefix, then short MACs:
+        // digest_bytes grows with the prefix, mac_gen stays n−1.
+        let a = KeyStore::new_replica(SEED, ReplicaId(0), 4, &[]);
+        let big = vec![7u8; 4096];
+        let mut counts = OpCounts::default();
+        a.seal_multicast(AuthMode::Macs, &big, &mut counts);
+        assert_eq!(counts.mac_gen, 3);
+        assert_eq!(counts.digest_bytes, 4096);
+    }
+
+    #[test]
+    fn borrowed_entry_verify_matches_authenticator_verify() {
+        let a = KeyStore::new_replica(SEED, ReplicaId(0), 4, &[]);
+        let b = KeyStore::new_replica(SEED, ReplicaId(1), 4, &[]);
+        let mut counts = OpCounts::default();
+        let auth = a.seal_multicast(AuthMode::Macs, b"prefix", &mut counts);
+        let AuthTag::Authenticator(v) = &auth else {
+            panic!("expected authenticator");
+        };
+        let mine = v.iter().find(|(i, _)| *i == 1).map(|(_, m)| m).unwrap();
+        assert!(b.verify_replica_entry(ReplicaId(0), b"prefix", mine, &mut counts));
+        assert!(!b.verify_replica_entry(ReplicaId(0), b"tampered", mine, &mut counts));
+        assert!(!b.verify_replica_entry(ReplicaId(1), b"prefix", mine, &mut counts));
+        assert!(!b.verify_replica_entry(ReplicaId(9), b"prefix", mine, &mut counts));
+        // The entry addressed to replica 2 must not verify at replica 1.
+        let other = v.iter().find(|(i, _)| *i == 2).map(|(_, m)| m).unwrap();
+        assert!(!b.verify_replica_entry(ReplicaId(0), b"prefix", other, &mut counts));
+    }
+
+    #[test]
+    fn borrowed_client_entry_matches_full_verify() {
+        let c = ClientKeys::new(SEED, ClientId(5), 4);
+        let r = KeyStore::new_replica(SEED, ReplicaId(2), 4, &[ClientId(5)]);
+        let mut counts = OpCounts::default();
+        let auth = c.seal_request(AuthMode::Macs, b"req", &mut counts);
+        let AuthTag::Authenticator(v) = &auth else {
+            panic!("expected authenticator");
+        };
+        let mine = v.iter().find(|(i, _)| *i == 2).map(|(_, m)| m).unwrap();
+        assert!(r.verify_client_entry(ClientId(5), b"req", mine, &mut counts));
+        assert!(!r.verify_client_entry(ClientId(5), b"other", mine, &mut counts));
+        assert!(!r.verify_client_entry(ClientId(6), b"req", mine, &mut counts));
     }
 
     #[test]

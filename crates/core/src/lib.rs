@@ -59,7 +59,7 @@ pub use engine::ConsensusEngine;
 pub use keys::KeyStore;
 pub use linear::LinearReplica;
 pub use messages::{Envelope, Message, Operation, RequestMsg};
-pub use output::{HandleResult, NetTarget, OpCounts, Output, TimerKind};
+pub use output::{HandleResult, NetTarget, OpCounts, Output, PacketBuf, TimerKind};
 pub use replica::Replica;
 pub use routing::{RouteError, ShardMap};
 pub use session::{SessionCtx, SessionError, SessionStore};

@@ -366,14 +366,42 @@ pub struct ReplyMsg {
     /// True for tentative-execution replies: the client must collect 2f+1
     /// of these instead of f+1 stable ones (§2.1).
     pub tentative: bool,
-    /// The execution result.
+    /// Designated-replier optimization (§2.1): `false` means `result` is
+    /// the execution result itself; `true` means the body was omitted and
+    /// `result` holds its 32-byte digest instead. Only f+1 rotating
+    /// replicas send the full body per request — enough that a correct one
+    /// always reaches the client — and the rest vote with the digest.
+    pub digest_only: bool,
+    /// The execution result (or its digest, see
+    /// [`ReplyMsg::digest_only`]).
     pub result: Vec<u8>,
 }
 
 impl ReplyMsg {
-    /// Digest of the result payload (clients match replies on this).
-    pub fn result_digest(&self) -> Digest {
-        Digest::of(&self.result)
+    /// The digest clients match replies on: carried directly by a
+    /// digest-only reply, computed from the body otherwise. `None` for a
+    /// malformed digest-only reply (payload not exactly 32 bytes).
+    pub fn matching_digest(&self) -> Option<Digest> {
+        if self.digest_only {
+            let b: [u8; 32] = self.result.as_slice().try_into().ok()?;
+            Some(Digest(b))
+        } else {
+            Some(Digest::of(&self.result))
+        }
+    }
+
+    /// The digest-only form of this reply: body replaced by its digest —
+    /// what a non-designated replica sends. Results no longer than a
+    /// digest are kept inline (stripping would grow the packet).
+    pub fn to_digest_only(&self) -> ReplyMsg {
+        if self.result.len() <= 32 {
+            return self.clone();
+        }
+        ReplyMsg {
+            digest_only: true,
+            result: Digest::of(&self.result).as_bytes().to_vec(),
+            ..self.clone()
+        }
     }
 }
 
@@ -589,6 +617,7 @@ impl Message {
                     .u64(m.timestamp)
                     .u32(m.replica.0)
                     .boolean(m.tentative)
+                    .boolean(m.digest_only)
                     .bytes(&m.result);
             }
             Message::Checkpoint(m) => {
@@ -706,6 +735,7 @@ impl Message {
                 timestamp: d.u64()?,
                 replica: ReplicaId(d.u32()?),
                 tentative: d.boolean()?,
+                digest_only: d.boolean()?,
                 result: d.bytes()?,
             }),
             6 => Message::Checkpoint(CheckpointMsg {
@@ -970,10 +1000,10 @@ impl Envelope {
         e.into_bytes()
     }
 
-    /// Assemble a packet from a prefix and an auth tag.
+    /// Assemble a packet from a prefix and an auth tag. Appends the trailer
+    /// onto the prefix buffer in place — sealing never copies the body.
     pub fn seal(prefix: Vec<u8>, auth: &AuthTag) -> Vec<u8> {
-        let mut e = Enc::new();
-        e.raw(&prefix);
+        let mut e = Enc::from_vec(prefix);
         auth.encode(&mut e);
         e.into_bytes()
     }
@@ -993,6 +1023,389 @@ impl Envelope {
         let auth = AuthTag::decode(&mut d)?;
         d.finish()?;
         Ok((Envelope { sender, msg, auth }, prefix_len))
+    }
+}
+
+/// Borrowed, allocation-free packet parsing for the hot receive path.
+///
+/// [`view::PacketView::parse`] walks a packet exactly once without
+/// materializing any owned field: variable-length fields are skipped via
+/// [`Dec::bytes_ref`], the auth trailer stays a borrowed byte span, and the
+/// two highest-volume message kinds (prepare/commit votes, which are `Copy`)
+/// come out fully typed. This lets a replica *verify before materializing*:
+/// a packet with a bad MAC is rejected without a single heap allocation, and
+/// a good packet decodes its body exactly once afterwards
+/// ([`view::PacketView::materialize`]).
+pub mod view {
+    use super::*;
+
+    /// Typed bodies parsed inline for the hottest (allocation-free) kinds.
+    #[derive(Debug, Clone, Copy)]
+    pub enum FastBody {
+        /// A prepare vote, fully decoded (it is `Copy`).
+        Prepare(PrepareMsg),
+        /// A commit vote, fully decoded.
+        Commit(CommitMsg),
+        /// Any other kind: span recorded, body materialized on demand.
+        Other,
+    }
+
+    /// The authentication trailer, borrowed from the packet.
+    #[derive(Debug, Clone, Copy)]
+    pub enum AuthView<'a> {
+        /// Unauthenticated.
+        None,
+        /// A single addressed MAC.
+        Mac(Mac64),
+        /// An authenticator vector: `count` entries of 12 bytes each
+        /// (u32 receiver index + 8-byte MAC), still in wire form.
+        Authenticator {
+            /// Raw entry bytes (`12 * count` of them).
+            entries: &'a [u8],
+            /// Number of entries.
+            count: usize,
+        },
+        /// A public-key signature.
+        Sig(Signature),
+    }
+
+    impl AuthView<'_> {
+        /// The MAC addressed to receiver `idx`, if present — a linear scan
+        /// over the borrowed entry span, no `Vec` of entries is ever built.
+        pub fn mac_for(&self, idx: u32) -> Option<Mac64> {
+            match self {
+                AuthView::Authenticator { entries, .. } => {
+                    for chunk in entries.chunks_exact(12) {
+                        let i = u32::from_be_bytes(chunk[..4].try_into().expect("4 bytes"));
+                        if i == idx {
+                            let b: [u8; 8] = chunk[4..].try_into().expect("8 bytes");
+                            return Some(Mac64::from_bytes(b));
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+
+        /// Materialize the owned [`AuthTag`] (cold paths that store it).
+        pub fn to_tag(&self) -> AuthTag {
+            match self {
+                AuthView::None => AuthTag::None,
+                AuthView::Mac(m) => AuthTag::Mac(*m),
+                AuthView::Authenticator { entries, .. } => {
+                    let mut out = Vec::with_capacity(entries.len() / 12);
+                    for chunk in entries.chunks_exact(12) {
+                        let idx = u32::from_be_bytes(chunk[..4].try_into().expect("4 bytes"));
+                        let b: [u8; 8] = chunk[4..].try_into().expect("8 bytes");
+                        out.push((idx, Mac64::from_bytes(b)));
+                    }
+                    AuthTag::Authenticator(Authenticator::from_entries(out))
+                }
+                AuthView::Sig(s) => AuthTag::Sig(*s),
+            }
+        }
+
+        fn parse<'a>(d: &mut Dec<'a>) -> Result<AuthView<'a>, WireError> {
+            match d.u8()? {
+                0 => Ok(AuthView::None),
+                1 => {
+                    let b: [u8; 8] = d.raw(8)?.try_into().expect("8 bytes");
+                    Ok(AuthView::Mac(Mac64::from_bytes(b)))
+                }
+                2 => {
+                    let count = d.u32()? as usize;
+                    if count > 10_000 {
+                        return Err(WireError::BadLength(count as u64));
+                    }
+                    Ok(AuthView::Authenticator {
+                        entries: d.raw(12 * count)?,
+                        count,
+                    })
+                }
+                3 => {
+                    let b: [u8; 40] = d.raw(40)?.try_into().expect("40 bytes");
+                    Ok(AuthView::Sig(Signature::from_bytes(&b)))
+                }
+                t => Err(WireError::BadTag(t)),
+            }
+        }
+    }
+
+    /// A parsed-but-borrowed packet.
+    #[derive(Debug, Clone, Copy)]
+    pub struct PacketView<'a> {
+        packet: &'a [u8],
+        /// Message discriminant (first packet byte).
+        pub disc: u8,
+        /// Claimed sender.
+        pub sender: Sender,
+        body_start: usize,
+        prefix_len: usize,
+        /// The borrowed auth trailer.
+        pub auth: AuthView<'a>,
+        /// Typed body for the allocation-free kinds.
+        pub fast: FastBody,
+    }
+
+    impl<'a> PacketView<'a> {
+        /// Parse a packet without allocating.
+        ///
+        /// # Errors
+        /// Any [`WireError`] on malformed input. Structure *nested inside*
+        /// length-prefixed fields (new-view's embedded view-changes) is
+        /// validated later by [`PacketView::materialize`], not here — a
+        /// packet malformed only there parses as a view but fails to
+        /// materialize.
+        pub fn parse(packet: &'a [u8]) -> Result<PacketView<'a>, WireError> {
+            let mut d = Dec::new(packet);
+            let disc = d.u8()?;
+            let sender = Sender::decode(&mut d)?;
+            let body_start = d.position();
+            let fast = match disc {
+                3 => FastBody::Prepare(PrepareMsg {
+                    view: d.u64()?,
+                    seq: d.u64()?,
+                    digest: d.digest()?,
+                    replica: ReplicaId(d.u32()?),
+                }),
+                4 => FastBody::Commit(CommitMsg {
+                    view: d.u64()?,
+                    seq: d.u64()?,
+                    digest: d.digest()?,
+                    replica: ReplicaId(d.u32()?),
+                }),
+                _ => {
+                    skip_body(disc, &mut d)?;
+                    FastBody::Other
+                }
+            };
+            let prefix_len = d.position();
+            let auth = AuthView::parse(&mut d)?;
+            d.finish()?;
+            Ok(PacketView {
+                packet,
+                disc,
+                sender,
+                body_start,
+                prefix_len,
+                auth,
+                fast,
+            })
+        }
+
+        /// The authenticated prefix (what MACs/signatures cover).
+        pub fn prefix(&self) -> &'a [u8] {
+            &self.packet[..self.prefix_len]
+        }
+
+        /// Length of the authenticated prefix.
+        pub fn prefix_len(&self) -> usize {
+            self.prefix_len
+        }
+
+        /// The encoded message body (canonical encoding of the message
+        /// struct — for a request, exactly the bytes its digest covers).
+        pub fn body(&self) -> &'a [u8] {
+            &self.packet[self.body_start..self.prefix_len]
+        }
+
+        /// Decode the owned message — called once, after authentication
+        /// passed. Walks only the body; the trailer was parsed borrowed.
+        ///
+        /// # Errors
+        /// Any [`WireError`] for structure hidden inside nested fields
+        /// (see [`PacketView::parse`]).
+        pub fn materialize(&self) -> Result<Message, WireError> {
+            let mut d = Dec::new(self.body());
+            let msg = Message::decode_body(self.disc, &mut d)?;
+            d.finish()?;
+            Ok(msg)
+        }
+
+        /// Materialize the full envelope (owned message + owned auth tag).
+        ///
+        /// # Errors
+        /// As [`PacketView::materialize`].
+        pub fn to_envelope(&self) -> Result<Envelope, WireError> {
+            Ok(Envelope {
+                sender: self.sender,
+                msg: self.materialize()?,
+                auth: self.auth.to_tag(),
+            })
+        }
+    }
+
+    /// Walk (and bounds/tag-check) one encoded body without materializing
+    /// it. Mirrors [`Message::decode_body`] field for field; the view tests
+    /// hold the two in lockstep over every message kind.
+    fn skip_body(disc: u8, d: &mut Dec<'_>) -> Result<(), WireError> {
+        match disc {
+            1 | 14 => skip_request(d)?,
+            2 => skip_preprepare(d)?,
+            // 3 | 4 handled typed by the caller.
+            5 => {
+                d.u64()?;
+                d.u64()?;
+                d.u64()?;
+                d.u32()?;
+                d.boolean()?;
+                d.boolean()?;
+                d.bytes_ref()?;
+            }
+            6 => {
+                d.u64()?;
+                d.raw(32)?;
+                d.u32()?;
+            }
+            7 => {
+                d.u64()?;
+                d.u64()?;
+                d.raw(32)?;
+                let n = d.u32()? as usize;
+                if n > 100_000 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                for _ in 0..n {
+                    skip_preprepare(d)?;
+                }
+                d.u32()?;
+            }
+            8 => {
+                d.u64()?;
+                let nvc = d.u32()? as usize;
+                if nvc > 10_000 {
+                    return Err(WireError::BadLength(nvc as u64));
+                }
+                for _ in 0..nvc {
+                    d.bytes_ref()?;
+                }
+                let npp = d.u32()? as usize;
+                if npp > 100_000 {
+                    return Err(WireError::BadLength(npp as u64));
+                }
+                for _ in 0..npp {
+                    skip_preprepare(d)?;
+                }
+            }
+            9 => {
+                d.u64()?;
+                d.u32()?;
+                let n = d.u32()? as usize;
+                if n > 10_000 {
+                    return Err(WireError::BadLength(n as u64));
+                }
+                d.raw(32 * n)?;
+            }
+            10 => {
+                d.u32()?;
+                d.u64()?;
+                d.u64()?;
+                d.raw(32)?;
+                d.u64()?;
+                d.u8()?;
+            }
+            11 => {
+                d.u64()?;
+                match d.u8()? {
+                    0 => {
+                        d.u32()?;
+                        d.u64()?;
+                    }
+                    1 => {
+                        d.u64()?;
+                    }
+                    t => return Err(WireError::BadTag(t)),
+                }
+                d.u32()?;
+            }
+            12 => {
+                d.u64()?;
+                match d.u8()? {
+                    0 => {
+                        d.u32()?;
+                        d.u64()?;
+                        d.raw(64)?;
+                    }
+                    1 => {
+                        d.u64()?;
+                        match d.u8()? {
+                            0 => {}
+                            1 => {
+                                d.bytes_ref()?;
+                            }
+                            t => return Err(WireError::BadTag(t)),
+                        }
+                    }
+                    2 => {}
+                    t => return Err(WireError::BadTag(t)),
+                }
+                d.u32()?;
+            }
+            13 => {
+                d.raw(32)?;
+                d.u32()?;
+            }
+            15 | 16 => {
+                d.u64()?;
+                d.u64()?;
+                d.raw(32)?;
+                let count = d.u32()? as usize;
+                if count > 10_000 {
+                    return Err(WireError::BadLength(count as u64));
+                }
+                d.raw(4 * count)?;
+            }
+            t => return Err(WireError::BadTag(t)),
+        }
+        Ok(())
+    }
+
+    fn skip_request(d: &mut Dec<'_>) -> Result<(), WireError> {
+        d.u64()?;
+        d.u64()?;
+        d.boolean()?;
+        d.u32()?;
+        match d.u8()? {
+            0 => {
+                d.bytes_ref()?;
+            }
+            1 => {}
+            2 => {
+                d.raw(16)?;
+                d.u64()?;
+                d.u32()?;
+                d.bytes_ref()?;
+            }
+            3 => {
+                d.raw(64)?;
+            }
+            4 => {}
+            t => return Err(WireError::BadTag(t)),
+        }
+        Ok(())
+    }
+
+    fn skip_preprepare(d: &mut Dec<'_>) -> Result<(), WireError> {
+        d.u64()?;
+        d.u64()?;
+        d.u64()?;
+        d.u64()?;
+        let n = d.u32()? as usize;
+        if n > 100_000 {
+            return Err(WireError::BadLength(n as u64));
+        }
+        for _ in 0..n {
+            d.raw(32)?;
+            d.u64()?;
+            d.u64()?;
+            match d.u8()? {
+                0 => {}
+                1 => skip_request(d)?,
+                t => return Err(WireError::BadTag(t)),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1024,6 +1437,25 @@ mod tests {
         assert_eq!(env.sender, sender);
         assert_eq!(env.auth, auth);
         assert_eq!(&packet[..prefix_len], &prefix[..]);
+
+        // The borrowed view must stay in lockstep with the owned decoder
+        // for every message kind: same sender, same prefix span, same
+        // materialized envelope.
+        let v = view::PacketView::parse(&packet).expect("view parse");
+        assert_eq!(v.disc, msg.discriminant());
+        assert_eq!(v.sender, sender);
+        assert_eq!(v.prefix_len(), prefix_len);
+        assert_eq!(v.prefix(), &prefix[..]);
+        assert_eq!(v.to_envelope().expect("materialize"), env);
+        match (&v.fast, &msg) {
+            (view::FastBody::Prepare(p), Message::Prepare(m)) => assert_eq!(p, m),
+            (view::FastBody::Commit(c), Message::Commit(m)) => assert_eq!(c, m),
+            (view::FastBody::Other, Message::Prepare(_) | Message::Commit(_)) => {
+                panic!("votes must parse typed")
+            }
+            (view::FastBody::Other, _) => {}
+            (fast, _) => panic!("typed body {fast:?} for {}", msg.name()),
+        }
     }
 
     #[test]
@@ -1173,10 +1605,38 @@ mod tests {
                 timestamp: 42,
                 replica: ReplicaId(1),
                 tentative: true,
+                digest_only: false,
                 result: b"ok".to_vec(),
             }),
             Sender::Replica(ReplicaId(1)),
             AuthTag::Mac(Mac64(5)),
+        );
+        // The digest-only form strips big bodies and keeps small ones.
+        let full = ReplyMsg {
+            view: 0,
+            client: ClientId(7),
+            timestamp: 42,
+            replica: ReplicaId(1),
+            tentative: false,
+            digest_only: false,
+            result: vec![9u8; 1024],
+        };
+        let stripped = full.to_digest_only();
+        assert!(stripped.digest_only);
+        assert_eq!(stripped.result, Digest::of(&full.result).as_bytes());
+        assert_eq!(stripped.matching_digest(), full.matching_digest());
+        roundtrip(
+            Message::Reply(stripped),
+            Sender::Replica(ReplicaId(1)),
+            AuthTag::Mac(Mac64(5)),
+        );
+        let small = ReplyMsg {
+            result: b"ok".to_vec(),
+            ..full
+        };
+        assert!(
+            !small.to_digest_only().digest_only,
+            "small bodies stay inline"
         );
     }
 
@@ -1338,6 +1798,59 @@ mod tests {
         let mut packet = Envelope::seal(prefix, &AuthTag::None);
         packet.push(0xff);
         assert!(Envelope::decode(&packet).is_err());
+    }
+
+    #[test]
+    fn view_body_is_the_digested_span() {
+        // The request digest is defined over the canonical request encoding,
+        // which is exactly the view's body span — the receive path computes
+        // it straight from the packet without re-encoding.
+        let req = sample_request();
+        let prefix =
+            Envelope::encode_prefix(Sender::Client(req.client), &Message::Request(req.clone()));
+        let packet = Envelope::seal(prefix, &AuthTag::None);
+        let v = view::PacketView::parse(&packet).unwrap();
+        assert_eq!(Digest::of(v.body()), req.digest());
+        assert_eq!(v.body().len(), req.encoded_len());
+    }
+
+    #[test]
+    fn auth_view_finds_exactly_the_addressed_mac() {
+        let auth = AuthTag::Authenticator(Authenticator::from_entries(vec![
+            (0, Mac64(10)),
+            (2, Mac64(12)),
+            (3, Mac64(13)),
+        ]));
+        let prefix = Envelope::encode_prefix(
+            Sender::Replica(ReplicaId(1)),
+            &Message::Request(sample_request()),
+        );
+        let packet = Envelope::seal(prefix, &auth);
+        let v = view::PacketView::parse(&packet).unwrap();
+        assert_eq!(v.auth.mac_for(0), Some(Mac64(10)));
+        assert_eq!(v.auth.mac_for(1), None);
+        assert_eq!(v.auth.mac_for(2), Some(Mac64(12)));
+        assert_eq!(v.auth.mac_for(3), Some(Mac64(13)));
+        assert_eq!(v.auth.to_tag(), auth);
+    }
+
+    #[test]
+    fn view_rejects_garbage_like_the_decoder() {
+        assert!(view::PacketView::parse(&[]).is_err());
+        assert!(view::PacketView::parse(&[99, 0, 0, 0, 0]).is_err());
+        let prefix = Envelope::encode_prefix(
+            Sender::Client(ClientId(1)),
+            &Message::Request(sample_request()),
+        );
+        let mut packet = Envelope::seal(prefix, &AuthTag::None);
+        packet.push(0xff);
+        assert!(view::PacketView::parse(&packet).is_err());
+        packet.pop();
+        assert!(view::PacketView::parse(&packet).is_ok());
+        // Truncation anywhere inside the prefix is caught too.
+        for cut in 1..packet.len() {
+            assert!(view::PacketView::parse(&packet[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -1,7 +1,18 @@
 //! Engine outputs and work accounting.
 
+use std::sync::Arc;
+
 use crate::messages::Envelope;
 use crate::types::{NetAddr, ReplicaId};
+
+/// Reference-counted immutable packet bytes.
+///
+/// The hot-path encode-once rule: a broadcast encodes and seals its packet
+/// exactly once, then shares the same buffer across every destination (and
+/// down through simnet delivery) by bumping a refcount instead of copying.
+/// `Arc<Vec<u8>>` rather than `Arc<[u8]>` so wrapping an just-encoded
+/// `Vec<u8>` is itself copy-free.
+pub type PacketBuf = Arc<Vec<u8>>;
 
 /// Where a packet should go. The driving harness resolves these to transport
 /// endpoints (replica indices are static configuration; client addresses are
@@ -71,10 +82,12 @@ pub enum Output {
     Send {
         /// Destination.
         to: NetTarget,
-        /// Fully encoded packet bytes.
-        packet: Vec<u8>,
-        /// Decoded form, for tests and tracing (the harness sends `packet`).
-        envelope: Envelope,
+        /// Fully encoded packet bytes, shared (not copied) across the
+        /// destinations of a broadcast.
+        packet: PacketBuf,
+        /// Decoded form, for tests and tracing (the harness sends `packet`);
+        /// shared across destinations like the packet bytes.
+        envelope: Arc<Envelope>,
     },
     /// Arm (or re-arm) a timer after `delay_ns`.
     SetTimer {
@@ -146,7 +159,7 @@ impl HandleResult {
     /// Iterate over just the sends.
     pub fn sends(&self) -> impl Iterator<Item = (&NetTarget, &Envelope)> {
         self.outputs.iter().filter_map(|o| match o {
-            Output::Send { to, envelope, .. } => Some((to, envelope)),
+            Output::Send { to, envelope, .. } => Some((to, envelope.as_ref())),
             _ => None,
         })
     }

@@ -70,7 +70,46 @@ impl Replica {
                     return;
                 }
             }
+            // Pipelined batch formation: while the pipeline is busy a thin
+            // batch gains nothing from issuing now (its agreement latency
+            // hides behind the in-flight batches), so hold it back and keep
+            // gathering — bounded by a deadline so a trickle of requests is
+            // never starved. "Busy" means a batch is in flight — or, when
+            // the last batch filled to the gate (the saturation signal),
+            // one was issued within the gather period: tentative execution
+            // retires batches before their replies reach the clients, and
+            // without that refractory term the instant of empty pipeline
+            // leaks a thin batch and breaks the cadence under saturation.
+            // Under light traffic (narrow last batch) the refractory term
+            // is off and an empty pipeline issues immediately, so an
+            // isolated request never waits. The gate only pays when the
+            // pre-prepare carries request *digests* (big-request mode, the
+            // paper's fast configuration): with bodies inline, every
+            // gathered request grows the pre-prepare toward MTU
+            // fragmentation and the gather economics invert, so the gate
+            // stays off there.
+            let refractory = self.last_issue_width >= self.cfg.pipeline_min_batch
+                && now_ns.saturating_sub(self.last_issue_ns) < self.cfg.batch_gather_ns;
+            if self.cfg.batching
+                && self.cfg.all_requests_big
+                && (in_flight >= 1 || refractory)
+                && self.last_issue_ns > 0
+                && self.pending.len() < self.cfg.pipeline_min_batch
+            {
+                let deadline = *self
+                    .gather_deadline_ns
+                    .get_or_insert(now_ns + self.cfg.batch_gather_ns);
+                if now_ns < deadline {
+                    res.outputs.push(Output::SetTimer {
+                        kind: TimerKind::BatchKick,
+                        delay_ns: deadline - now_ns,
+                    });
+                    return;
+                }
+            }
+            self.gather_deadline_ns = None;
             let take = self.pending.len().min(max_batch);
+            self.last_issue_width = take;
             let mut entries = Vec::with_capacity(take);
             for _ in 0..take {
                 let req = self.pending.pop_front().expect("non-empty");
@@ -450,6 +489,7 @@ impl Replica {
                     timestamp: req.timestamp,
                     replica: self.id(),
                     tentative: !committed,
+                    digest_only: false,
                     result,
                 };
                 let addr = self
@@ -457,7 +497,8 @@ impl Replica {
                     .get(&req.client)
                     .copied()
                     .unwrap_or(req.reply_addr);
-                self.send_reply(reply, addr, res);
+                let digest_only = !self.sends_full_reply(req.client, req.timestamp);
+                self.send_reply(reply, addr, digest_only, res);
             }
             res.counts.requests_executed += 1;
             self.metrics.executed_requests += 1;

@@ -85,6 +85,22 @@ pub struct ReplicaMetrics {
     /// this O(n²) per rotation; the linear engine's leader-directed votes
     /// keep it O(n).
     pub viewchange_msgs_sent: u64,
+    /// Hot-path cost counter: envelope prefix encodings performed on the
+    /// send path. The encode-once rule makes this one per logical send or
+    /// broadcast, independent of fan-out — the hotpath bench divides it by
+    /// executed requests to check the amortized cost model.
+    pub hot_encodings: u64,
+    /// Hot-path cost counter: per-destination deep copies of a sealed
+    /// packet or its envelope on the send path. Broadcast buffers are
+    /// reference-counted, so this is structurally zero; the counter exists
+    /// as the clone *budget* a unit test and the hotpath bench pin, so a
+    /// later refactor that quietly reintroduces per-destination cloning
+    /// fails loudly.
+    pub hot_packet_clones: u64,
+    /// Hot-path cost counter: bytes deep-copied on the send path beyond the
+    /// single canonical encoding of each message (i.e. the bytes the clones
+    /// counted by `hot_packet_clones` moved).
+    pub hot_bytes_copied: u64,
 }
 
 /// An in-progress state transfer.
@@ -177,6 +193,15 @@ pub struct Replica {
 
     /// Last pre-prepare issuance time (the no-batching pacing quantum).
     pub(crate) last_issue_ns: u64,
+    /// Deadline of the current pipelined batch-formation gather, if one is
+    /// open (see [`PbftConfig::pipeline_min_batch`]): the primary is
+    /// holding a thin batch back while older batches fill the pipeline,
+    /// and will issue whatever is pending by this instant at the latest.
+    pub(crate) gather_deadline_ns: Option<u64>,
+    /// Width of the most recently issued batch — the saturation signal the
+    /// batch-formation gate's refractory term keys on (a wide batch means
+    /// arrivals are plentiful and a short gather will fill the next one).
+    pub(crate) last_issue_width: usize,
     /// Progress marker for the view-change timer heuristic.
     pub(crate) vc_timer_baseline: SeqNum,
     pub(crate) vc_timer_armed: bool,
@@ -265,6 +290,8 @@ impl Replica {
             exec_chain: Digest::ZERO,
             linear: false,
             last_issue_ns: 0,
+            gather_deadline_ns: None,
+            last_issue_width: 0,
             vc_timer_baseline: 0,
             vc_timer_armed: false,
             metrics: ReplicaMetrics::default(),
@@ -449,64 +476,128 @@ impl Replica {
         }
     }
 
+    /// Message discriminants that must carry a replica multicast
+    /// authenticator (or signature): these verify *before* the body is
+    /// materialized, so a tampered packet is rejected straight off the
+    /// borrowed view, without a single allocation.
+    fn replica_authenticated(disc: u8) -> bool {
+        // PrePrepare, Checkpoint, ViewChange, NewView, PrepareQC, CommitQC
+        // (Prepare/Commit take the typed fast path and never get here).
+        matches!(disc, 2 | 6 | 7 | 8 | 15 | 16)
+    }
+
     /// Handle an incoming packet.
+    ///
+    /// The receive path is zero-copy up to authentication: the packet is
+    /// parsed as a borrowed [`crate::messages::view::PacketView`] (one walk,
+    /// no allocation), replica-authenticated kinds verify their MAC entry or
+    /// signature against the borrowed prefix, and only then is the owned
+    /// message materialized — once. Prepare/commit votes, the
+    /// highest-volume kinds, are `Copy` and dispatch entirely from the view.
     pub fn handle_packet(&mut self, packet: &[u8], now_ns: u64) -> HandleResult {
+        use crate::messages::view::{FastBody, PacketView};
         let mut res = HandleResult::default();
-        let (env, prefix_len) = match Envelope::decode(packet) {
+        let view = match PacketView::parse(packet) {
             Ok(v) => v,
             Err(_) => {
                 self.metrics.decode_failures += 1;
                 return res;
             }
         };
-        let prefix = &packet[..prefix_len];
-        self.dispatch(env, prefix, now_ns, &mut res);
+        match view.fast {
+            FastBody::Prepare(p) => {
+                if view.sender == Sender::Replica(p.replica) && self.verify_view(&view, &mut res) {
+                    self.on_prepare(p, now_ns, &mut res);
+                }
+            }
+            FastBody::Commit(c) => {
+                if view.sender == Sender::Replica(c.replica) && self.verify_view(&view, &mut res) {
+                    self.on_commit(c, now_ns, &mut res);
+                }
+            }
+            FastBody::Other => {
+                if Self::replica_authenticated(view.disc) && !self.verify_view(&view, &mut res) {
+                    return res;
+                }
+                let env = match view.to_envelope() {
+                    Ok(env) => env,
+                    Err(_) => {
+                        self.metrics.decode_failures += 1;
+                        return res;
+                    }
+                };
+                self.dispatch(env, view.prefix(), view.body(), now_ns, &mut res);
+            }
+        }
         res
     }
 
-    /// Handle a decoded envelope (test convenience; `prefix` must be the
-    /// authenticated prefix bytes).
-    fn dispatch(&mut self, env: Envelope, prefix: &[u8], now_ns: u64, res: &mut HandleResult) {
+    /// Verify a borrowed packet view claiming to come from a fellow replica:
+    /// its own authenticator entry (extracted without materializing the
+    /// vector) or the signature, over the borrowed prefix.
+    fn verify_view(
+        &mut self,
+        view: &crate::messages::view::PacketView<'_>,
+        res: &mut HandleResult,
+    ) -> bool {
+        use crate::messages::view::AuthView;
+        let Sender::Replica(from) = view.sender else {
+            self.metrics.auth_failures += 1;
+            return false;
+        };
+        let ok = match view.auth {
+            AuthView::Authenticator { .. } => match view.auth.mac_for(self.id().0) {
+                Some(mac) => {
+                    self.keys
+                        .verify_replica_entry(from, view.prefix(), mac, &mut res.counts)
+                }
+                None => false,
+            },
+            AuthView::Sig(sig) => self.keys.verify_from_replica(
+                from,
+                view.prefix(),
+                &AuthTag::Sig(sig),
+                &mut res.counts,
+            ),
+            _ => false,
+        };
+        if !ok {
+            self.metrics.auth_failures += 1;
+        }
+        ok
+    }
+
+    /// Handle a materialized envelope whose replica authentication (where
+    /// required) already passed. `prefix` is the authenticated prefix,
+    /// `body` the canonical message encoding inside it.
+    fn dispatch(
+        &mut self,
+        env: Envelope,
+        prefix: &[u8],
+        body: &[u8],
+        now_ns: u64,
+        res: &mut HandleResult,
+    ) {
         match env.msg {
             Message::Request(req) => {
-                self.on_request(env.sender, req, &env.auth, prefix, now_ns, res)
+                self.on_request(env.sender, req, &env.auth, prefix, body, now_ns, res)
             }
-            Message::PrePrepare(pp) => {
-                if self.verify_replica(env.sender, prefix, &env.auth, res) {
-                    self.on_preprepare(pp, now_ns, false, res);
-                }
-            }
-            Message::Prepare(p) => {
-                if env.sender == Sender::Replica(p.replica)
-                    && self.verify_replica(env.sender, prefix, &env.auth, res)
-                {
-                    self.on_prepare(p, now_ns, res);
-                }
-            }
-            Message::Commit(c) => {
-                if env.sender == Sender::Replica(c.replica)
-                    && self.verify_replica(env.sender, prefix, &env.auth, res)
-                {
-                    self.on_commit(c, now_ns, res);
-                }
-            }
+            Message::PrePrepare(pp) => self.on_preprepare(pp, now_ns, false, res),
+            // Prepare/Commit votes dispatch from the typed view in
+            // `handle_packet` and never reach here.
+            Message::Prepare(_) | Message::Commit(_) => {}
             Message::Checkpoint(c) => {
-                if env.sender == Sender::Replica(c.replica)
-                    && self.verify_replica(env.sender, prefix, &env.auth, res)
-                {
+                if env.sender == Sender::Replica(c.replica) {
                     self.on_checkpoint(c, now_ns, res);
                 }
             }
             Message::ViewChange(vc) => {
-                if env.sender == Sender::Replica(vc.replica)
-                    && self.verify_replica(env.sender, prefix, &env.auth, res)
-                {
+                if env.sender == Sender::Replica(vc.replica) {
                     self.on_view_change(vc, now_ns, res);
                 }
             }
             Message::NewView(nv) => {
-                let from_primary = env.sender == Sender::Replica(self.cfg.primary_of(nv.view));
-                if from_primary && self.verify_replica(env.sender, prefix, &env.auth, res) {
+                if env.sender == Sender::Replica(self.cfg.primary_of(nv.view)) {
                     self.on_new_view(nv, now_ns, res);
                 }
             }
@@ -524,16 +615,8 @@ impl Replica {
             // the leader: the recovery help path resends them on behalf of a
             // crashed leader (the voter list itself is unattested — the same
             // trust model as the prepared certificates in view changes).
-            Message::PrepareQC(qc) => {
-                if self.verify_replica(env.sender, prefix, &env.auth, res) {
-                    self.on_prepare_qc(qc, now_ns, res);
-                }
-            }
-            Message::CommitQC(qc) => {
-                if self.verify_replica(env.sender, prefix, &env.auth, res) {
-                    self.on_commit_qc(qc, now_ns, res);
-                }
-            }
+            Message::PrepareQC(qc) => self.on_prepare_qc(qc, now_ns, res),
+            Message::CommitQC(qc) => self.on_commit_qc(qc, now_ns, res),
             Message::Reply(_) => { /* replicas do not consume replies */ }
         }
     }
@@ -567,17 +650,18 @@ impl Replica {
     // Request intake (normal case §2.1 + dynamic membership §3.1)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn on_request(
         &mut self,
         sender: Sender,
         req: RequestMsg,
         auth: &AuthTag,
         prefix: &[u8],
+        body: &[u8],
         now_ns: u64,
         res: &mut HandleResult,
     ) {
         use crate::messages::Operation;
-        res.counts.digest_bytes += prefix.len() as u64;
 
         let is_join = matches!(
             req.op,
@@ -640,7 +724,9 @@ impl Replica {
             if req.timestamp == ts {
                 self.metrics.duplicate_requests += 1;
                 if let Some(reply) = self.last_reply.get(&req.client).cloned() {
-                    self.send_reply(reply, req.reply_addr, res);
+                    // Retransmissions always get the full body: the client
+                    // may be stuck holding a digest quorum without it.
+                    self.send_reply(reply, req.reply_addr, false, res);
                 }
                 return;
             }
@@ -652,9 +738,13 @@ impl Replica {
             return;
         }
 
-        let digest = req.digest();
-        res.counts.digest_bytes += req.encoded_len() as u64;
-        let big = self.cfg.is_big(req.encoded_len());
+        // The request digest is defined over the canonical request encoding,
+        // which is exactly the body span of the packet we just parsed —
+        // digest it in place instead of re-encoding the struct (the view
+        // tests pin `Digest::of(body) == req.digest()`).
+        let digest = Digest::of(body);
+        res.counts.digest_bytes += body.len() as u64;
+        let big = self.cfg.is_big(body.len());
         if big {
             // Body delivered by client multicast; remember it for execution.
             self.bodies.insert(digest, req.clone());
@@ -677,17 +767,19 @@ impl Replica {
             self.observed.insert(digest, req.clone());
             // Backups relay non-big requests to the primary verbatim — the
             // client's own envelope, so its authenticator stays valid — and
-            // arm the suspicion timer.
+            // arm the suspicion timer. Encoded once, to the one destination;
+            // no deep envelope clone.
             if !big {
                 let primary = self.cfg.primary_of(self.view);
                 let msg = Message::Request(req.clone());
                 let relay_prefix = Envelope::encode_prefix(sender, &msg);
-                let packet = Envelope::seal(relay_prefix, auth);
-                let env = Envelope {
+                self.metrics.hot_encodings += 1;
+                let packet = std::sync::Arc::new(Envelope::seal(relay_prefix, auth));
+                let env = std::sync::Arc::new(Envelope {
                     sender,
                     msg,
                     auth: auth.clone(),
-                };
+                });
                 res.outputs.push(Output::Send {
                     to: NetTarget::Replica(primary),
                     packet,
@@ -747,9 +839,11 @@ impl Replica {
             timestamp: req.timestamp,
             replica: self.id(),
             tentative: true, // read-only replies need a 2f+1 quorum
+            digest_only: false,
             result,
         };
-        self.send_reply(reply, req.reply_addr, res);
+        let digest_only = !self.sends_full_reply(req.client, req.timestamp);
+        self.send_reply(reply, req.reply_addr, digest_only, res);
     }
 
     // ------------------------------------------------------------------
@@ -819,26 +913,32 @@ impl Replica {
         }
     }
 
+    /// Broadcast to every other replica. The encode-once rule: one prefix
+    /// encoding, one authenticator vector (one short MAC per peer over the
+    /// shared prefix digest), one seal — then every destination shares the
+    /// same reference-counted packet and envelope. Nothing is cloned per
+    /// destination.
     pub(crate) fn multicast(&mut self, msg: Message, res: &mut HandleResult) {
         self.note_protocol_msgs(&msg, self.cfg.n() as u64 - 1);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        self.metrics.hot_encodings += 1;
         let auth = self
             .keys
             .seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
-        let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope {
+        let packet = std::sync::Arc::new(Envelope::seal(prefix, &auth));
+        let env = std::sync::Arc::new(Envelope {
             sender: Sender::Replica(self.id()),
             msg,
             auth,
-        };
+        });
         for i in 0..self.cfg.n() as u32 {
             if i == self.id().0 {
                 continue;
             }
             res.outputs.push(Output::Send {
                 to: NetTarget::Replica(ReplicaId(i)),
-                packet: packet.clone(),
-                envelope: env.clone(),
+                packet: std::sync::Arc::clone(&packet),
+                envelope: std::sync::Arc::clone(&env),
             });
         }
     }
@@ -854,15 +954,16 @@ impl Replica {
     ) {
         self.note_protocol_msgs(&msg, 1);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        self.metrics.hot_encodings += 1;
         let auth = self
             .keys
             .seal_multicast(self.cfg.auth, &prefix, &mut res.counts);
-        let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope {
+        let packet = std::sync::Arc::new(Envelope::seal(prefix, &auth));
+        let env = std::sync::Arc::new(Envelope {
             sender: Sender::Replica(self.id()),
             msg,
             auth,
-        };
+        });
         res.outputs.push(Output::Send {
             to,
             packet,
@@ -874,12 +975,13 @@ impl Replica {
     pub(crate) fn send_plain(&mut self, to: NetTarget, msg: Message, res: &mut HandleResult) {
         self.note_protocol_msgs(&msg, 1);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
-        let packet = Envelope::seal(prefix, &AuthTag::None);
-        let env = Envelope {
+        self.metrics.hot_encodings += 1;
+        let packet = std::sync::Arc::new(Envelope::seal(prefix, &AuthTag::None));
+        let env = std::sync::Arc::new(Envelope {
             sender: Sender::Replica(self.id()),
             msg,
             auth: AuthTag::None,
-        };
+        });
         res.outputs.push(Output::Send {
             to,
             packet,
@@ -887,48 +989,55 @@ impl Replica {
         });
     }
 
-    pub(crate) fn send_reply(&mut self, reply: ReplyMsg, addr: NetAddr, res: &mut HandleResult) {
+    /// §2.1 designated-replier rule: per request, f+1 rotating replicas
+    /// return the full result and the remaining 2f send only its digest.
+    /// With at most f faults a correct designated replica always reaches
+    /// the client, so the fast path never waits on a retransmission; the
+    /// rotation (keyed on client and timestamp) spreads the full-reply
+    /// bytes evenly across the group.
+    pub(crate) fn sends_full_reply(&self, client: ClientId, timestamp: u64) -> bool {
+        let n = self.cfg.n() as u64;
+        let base = (client.0 ^ timestamp) % n;
+        let offset = (u64::from(self.id().0) + n - base) % n;
+        offset < self.cfg.weak_quorum() as u64
+    }
+
+    /// Send (and cache) a reply. The cache always keeps the full body —
+    /// retransmitted requests are answered with it unconditionally, the
+    /// fallback that keeps digest-only replies (§2.1 designated-replier
+    /// optimization) live under more than f reply losses.
+    pub(crate) fn send_reply(
+        &mut self,
+        reply: ReplyMsg,
+        addr: NetAddr,
+        digest_only: bool,
+        res: &mut HandleResult,
+    ) {
         let client = reply.client;
         self.last_reply.insert(client, reply.clone());
+        let reply = if digest_only && reply.result.len() > 32 {
+            res.counts.digest_bytes += reply.result.len() as u64;
+            reply.to_digest_only()
+        } else {
+            reply
+        };
         let msg = Message::Reply(reply);
         let prefix = Envelope::encode_prefix(Sender::Replica(self.id()), &msg);
+        self.metrics.hot_encodings += 1;
         let auth = self
             .keys
             .seal_to_client(self.cfg.auth, client, &prefix, &mut res.counts);
-        let packet = Envelope::seal(prefix, &auth);
-        let env = Envelope {
+        let packet = std::sync::Arc::new(Envelope::seal(prefix, &auth));
+        let env = std::sync::Arc::new(Envelope {
             sender: Sender::Replica(self.id()),
             msg,
             auth,
-        };
+        });
         res.outputs.push(Output::Send {
             to: NetTarget::Client(addr),
             packet,
             envelope: env,
         });
-    }
-
-    pub(crate) fn verify_replica(
-        &mut self,
-        sender: Sender,
-        prefix: &[u8],
-        auth: &AuthTag,
-        res: &mut HandleResult,
-    ) -> bool {
-        let Sender::Replica(from) = sender else {
-            self.metrics.auth_failures += 1;
-            return false;
-        };
-        res.counts.digest_bytes += prefix.len() as u64;
-        if self
-            .keys
-            .verify_from_replica(from, prefix, auth, &mut res.counts)
-        {
-            true
-        } else {
-            self.metrics.auth_failures += 1;
-            false
-        }
     }
 
     // ------------------------------------------------------------------

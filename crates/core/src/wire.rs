@@ -52,6 +52,13 @@ impl Enc {
         }
     }
 
+    /// Continue encoding onto an existing buffer. Appending (say, an auth
+    /// trailer) reuses the allocation instead of copying the prefix into a
+    /// fresh encoder.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Enc { buf }
+    }
+
     /// Finish and take the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -199,16 +206,27 @@ impl<'a> Dec<'a> {
         }
     }
 
-    /// Read length-prefixed bytes.
+    /// Read length-prefixed bytes, borrowed from the input (zero-copy).
+    ///
+    /// The hot decode paths parse through this and only materialize owned
+    /// buffers after authentication passes.
     ///
     /// # Errors
     /// [`WireError::Truncated`] or [`WireError::BadLength`].
-    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
         if len > MAX_FIELD {
             return Err(WireError::BadLength(len as u64));
         }
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
+    }
+
+    /// Read length-prefixed bytes into an owned buffer.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] or [`WireError::BadLength`].
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        self.bytes_ref().map(<[u8]>::to_vec)
     }
 
     /// Read `n` raw bytes.
@@ -263,6 +281,33 @@ mod tests {
         assert_eq!(d.bytes().unwrap(), b"");
         assert_eq!(d.raw(3).unwrap(), &[1, 2, 3]);
         d.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_ref_borrows_from_input() {
+        let mut e = Enc::new();
+        e.bytes(b"shared");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let field = d.bytes_ref().unwrap();
+        assert_eq!(field, b"shared");
+        // Zero-copy: the returned slice aliases the input buffer.
+        assert_eq!(field.as_ptr(), bytes[4..].as_ptr());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn from_vec_appends_in_place() {
+        let mut e = Enc::new();
+        e.u8(1).u32(7);
+        let prefix = e.into_bytes();
+        let ptr = prefix.as_ptr();
+        let mut e = Enc::from_vec(prefix);
+        e.u8(2);
+        let all = e.into_bytes();
+        assert_eq!(all, [1, 0, 0, 0, 7, 2]);
+        // Small appends reuse the prefix allocation rather than copying.
+        assert_eq!(all.as_ptr(), ptr);
     }
 
     #[test]

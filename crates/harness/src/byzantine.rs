@@ -52,7 +52,7 @@
 
 use pbft_core::messages::Sender;
 use pbft_core::replica::Replica;
-use pbft_core::{ClientId, ConsensusEngine, Envelope, NetTarget, Output};
+use pbft_core::{ClientId, ConsensusEngine, Envelope, NetTarget, Output, PacketBuf};
 use simnet::{Node, NodeCtx, NodeId, SimDuration, TimerId};
 
 use crate::cluster::{make_engine, Cluster, ClusterSpec};
@@ -275,11 +275,15 @@ impl<E: ConsensusEngine> FaultyReplicaHost<E> {
         }
     }
 
-    fn transform(&self, packet: Vec<u8>, to_client: bool) -> Option<Vec<u8>> {
+    /// Pass-through shares the broadcast's `Arc`; only the (cold) corrupt
+    /// paths copy the bytes out to flip one.
+    fn transform(&self, packet: PacketBuf, to_client: bool) -> Option<PacketBuf> {
         let tag = packet.first().copied().unwrap_or(0);
         match self.fault {
             Some(Fault::Mute) => None,
-            Some(Fault::TamperReplies) if to_client && tag == TAG_REPLY => Some(corrupt(packet)),
+            Some(Fault::TamperReplies) if to_client && tag == TAG_REPLY => {
+                Some(PacketBuf::new(corrupt(packet.as_ref().clone())))
+            }
             Some(Fault::TamperAgreement)
                 if !to_client
                     && matches!(
@@ -287,7 +291,7 @@ impl<E: ConsensusEngine> FaultyReplicaHost<E> {
                         TAG_PREPARE | TAG_COMMIT | TAG_PREPARE_QC | TAG_COMMIT_QC
                     ) =>
             {
-                Some(corrupt(packet))
+                Some(PacketBuf::new(corrupt(packet.as_ref().clone())))
             }
             _ => Some(packet),
         }
@@ -532,8 +536,14 @@ mod tests {
         assert_eq!(host.fault(), None);
         assert_eq!(host.slowdown(), SimDuration::ZERO);
         assert!(host.audience_allows(0, NodeId(2)));
-        let packet = vec![TAG_REPLY, 1, 2, 3];
-        assert_eq!(host.transform(packet.clone(), true), Some(packet));
+        let packet = PacketBuf::new(vec![TAG_REPLY, 1, 2, 3]);
+        let out = host
+            .transform(PacketBuf::clone(&packet), true)
+            .expect("passes");
+        assert!(
+            PacketBuf::ptr_eq(&out, &packet),
+            "honest pass-through shares the buffer, no copy"
+        );
     }
 
     #[test]
@@ -543,17 +553,20 @@ mod tests {
             FaultyReplicaHost::honest(make_engine(&spec, 0), CostModel::default(), 4);
         host.fault = Some(Fault::TamperAgreement);
         for tag in [TAG_PREPARE, TAG_COMMIT, TAG_PREPARE_QC, TAG_COMMIT_QC] {
-            let packet = vec![tag, 7, 7, 7, 7];
+            let packet = PacketBuf::new(vec![tag, 7, 7, 7, 7]);
             assert_ne!(
-                host.transform(packet.clone(), false),
+                host.transform(PacketBuf::clone(&packet), false),
                 Some(packet),
                 "agreement tag {tag} must be corrupted"
             );
         }
         // Non-agreement traffic (pre-prepare tag 2, replies) passes intact.
         for (tag, to_client) in [(2u8, false), (TAG_REPLY, true)] {
-            let packet = vec![tag, 7, 7, 7, 7];
-            assert_eq!(host.transform(packet.clone(), to_client), Some(packet));
+            let packet = PacketBuf::new(vec![tag, 7, 7, 7, 7]);
+            assert_eq!(
+                host.transform(PacketBuf::clone(&packet), to_client),
+                Some(packet)
+            );
         }
     }
 
@@ -614,9 +627,9 @@ mod tests {
         host.fault = Some(Fault::SlowPrimary { delay_ns: 750_000 });
         assert_eq!(host.slowdown(), SimDuration::from_nanos(750_000));
         for tag in [TAG_PREPARE, TAG_COMMIT, TAG_REPLY] {
-            let packet = vec![tag, 9, 9];
+            let packet = PacketBuf::new(vec![tag, 9, 9]);
             assert_eq!(
-                host.transform(packet.clone(), tag == TAG_REPLY),
+                host.transform(PacketBuf::clone(&packet), tag == TAG_REPLY),
                 Some(packet),
                 "slow ≠ lossy: every message passes through"
             );

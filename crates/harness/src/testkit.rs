@@ -34,6 +34,15 @@ pub const AUDIT_TIMEOUT: SimDuration = ms(500);
 /// seconds of virtual time.
 pub const TEST_VC_TIMEOUT_NS: u64 = 200_000_000;
 
+/// Pipelining depth the conformance scripts run at: k pre-prepares in
+/// flight. Pinned explicitly (rather than inherited from the library
+/// default) so every fault script exercises windowed pipelining — view
+/// changes re-issuing a whole window, checkpoints trimming mid-window,
+/// recovery replaying overlapping slots — by construction; a future
+/// default change cannot silently reduce the scripts to lock-step
+/// agreement.
+pub const CONFORMANCE_PIPELINE_DEPTH: u64 = 8;
+
 /// Protocol config that fails over quickly (see [`TEST_VC_TIMEOUT_NS`]).
 pub fn fast_failover_cfg() -> PbftConfig {
     PbftConfig {
@@ -125,6 +134,7 @@ pub fn scenario_cluster_engine<E: ConsensusEngine>(num_clients: usize, seed: u64
     let mut spec = failover_spec(num_clients, seed);
     spec.cfg.checkpoint_interval = 32;
     spec.cfg.fetch_missing_bodies = true;
+    spec.cfg.congestion_window = CONFORMANCE_PIPELINE_DEPTH;
     Cluster::build_engine_fault_ready(spec)
 }
 
@@ -142,6 +152,7 @@ pub fn adversary_cluster_engine<E: ConsensusEngine>(
     let mut spec = failover_spec(num_clients, seed);
     spec.cfg.checkpoint_interval = 32;
     spec.cfg.fetch_missing_bodies = true;
+    spec.cfg.congestion_window = CONFORMANCE_PIPELINE_DEPTH;
     crate::byzantine::build_adversary_cluster_engine::<E>(spec, compromised)
 }
 
@@ -220,6 +231,19 @@ mod tests {
         let x = xshard_spec(2, 3, small_spec(1, 9));
         assert_eq!((x.shards, x.initiators, x.base.num_clients), (2, 3, 1));
         assert_eq!(sharded_spec(8, small_spec(2, 4)).shards, 8);
+    }
+
+    #[test]
+    fn conformance_runs_pipelined() {
+        const {
+            assert!(
+                CONFORMANCE_PIPELINE_DEPTH > 1,
+                "the fault scripts must run with a multi-slot window"
+            )
+        };
+        let mut spec = failover_spec(1, 5);
+        spec.cfg.congestion_window = CONFORMANCE_PIPELINE_DEPTH;
+        assert_eq!(spec.cfg.effective_window(), CONFORMANCE_PIPELINE_DEPTH);
     }
 
     #[test]

@@ -332,6 +332,7 @@ pub fn split_under_load<E: ConsensusEngine>(seed: u64) -> ScenarioReport {
     const SLOTS: u64 = 64;
     let mut base = fetching_spec(3, seed);
     base.cfg.checkpoint_interval = 32;
+    base.cfg.congestion_window = super::CONFORMANCE_PIPELINE_DEPTH;
     base.app = AppKind::Kv { slots: SLOTS };
     let mut sc = ShardedCluster::<E>::build_engine(ShardedClusterSpec {
         shards: 2,

@@ -1,0 +1,589 @@
+//! Property tests for the hot-path wire layer and batch authenticators.
+//!
+//! Three families of properties back the encode-once/verify-borrowed
+//! optimizations:
+//!
+//! 1. **Roundtrip**: every message kind survives
+//!    `encode_prefix → seal → decode`, and the borrowed [`PacketView`]
+//!    parser stays in lockstep with the owned [`Envelope`] decoder —
+//!    same prefix span, same materialized envelope, same fast bodies.
+//! 2. **Equivalence**: the digest-amortized multicast authenticator (one
+//!    MAC per peer over the batch digest) verifies exactly like a
+//!    per-message MAC computed directly under the pairwise key, whether
+//!    verified through the owned vector or the borrowed wire-form entry.
+//! 3. **Tamper rejection**: flipping any prefix byte (including any batch
+//!    element of a pre-prepare) is rejected by *every* peer; corrupting an
+//!    authenticator entry is rejected by *exactly* the addressed peer and
+//!    no one else — driven both at the key-store layer and end-to-end
+//!    through both consensus engines' `handle_packet`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pbft_core::app::{NonDet, NullApp};
+use pbft_core::keys::{replica_pair_key, KeyStore};
+use pbft_core::messages::view::{AuthView, FastBody, PacketView};
+use pbft_core::messages::{
+    AuthTag, BatchEntry, BodyFetchMsg, CheckpointMsg, CommitMsg, FetchMsg, FetchRespMsg, NewKeyMsg,
+    NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedProof, QuorumCertMsg, ReplyMsg, Sender,
+    StatusMsg, ViewChangeMsg,
+};
+use pbft_core::replica::LIB_REGION_PAGES;
+use pbft_core::{
+    AuthMode, ClientId, ConsensusEngine, Envelope, LinearReplica, Message, OpCounts, Operation,
+    PbftConfig, Replica, ReplicaId, RequestMsg,
+};
+use pbft_crypto::challenge::ChallengeResponse;
+use pbft_crypto::{Digest, KeyPair, Mac64, PublicKey};
+use pbft_state::{FetchRequest, FetchResponse, PagedState};
+use propcheck::{check, Gen};
+
+const SEED: u64 = 0x11EE;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn gen_digest(g: &mut Gen) -> Digest {
+    Digest::of(&g.bytes(1..33))
+}
+
+fn gen_mac(g: &mut Gen) -> Mac64 {
+    Mac64::from_bytes(g.byte_array::<8>())
+}
+
+fn gen_operation(g: &mut Gen) -> Operation {
+    match g.choice(5) {
+        0 => Operation::App(g.bytes(0..64)),
+        1 => Operation::Noop,
+        2 => Operation::JoinPhase1 {
+            pubkey: PublicKey::from_bytes(&g.byte_array::<16>()),
+            nonce: g.u64(),
+            reply_addr: g.u32(),
+            idbuf: g.bytes(0..32),
+        },
+        3 => Operation::JoinPhase2 {
+            fingerprint: gen_digest(g),
+            response: ChallengeResponse(gen_digest(g)),
+        },
+        _ => Operation::Leave,
+    }
+}
+
+fn gen_request(g: &mut Gen) -> RequestMsg {
+    RequestMsg {
+        client: ClientId(g.u64_in(0..1000)),
+        timestamp: g.u64(),
+        read_only: g.bool(),
+        reply_addr: g.u32(),
+        op: gen_operation(g),
+    }
+}
+
+fn gen_preprepare(g: &mut Gen) -> PrePrepareMsg {
+    PrePrepareMsg {
+        view: g.u64_in(0..100),
+        seq: g.u64_in(0..10_000),
+        nondet: NonDet {
+            timestamp_ns: g.u64(),
+            random: g.u64(),
+        },
+        entries: g.vec(0..4, |g| BatchEntry {
+            digest: gen_digest(g),
+            client: ClientId(g.u64_in(0..1000)),
+            timestamp: g.u64(),
+            full: if g.bool() { Some(gen_request(g)) } else { None },
+        }),
+    }
+}
+
+fn gen_viewchange(g: &mut Gen) -> ViewChangeMsg {
+    ViewChangeMsg {
+        new_view: g.u64_in(1..100),
+        last_stable_seq: g.u64_in(0..10_000),
+        stable_root: gen_digest(g),
+        prepared: g.vec(0..3, |g| PreparedProof {
+            preprepare: gen_preprepare(g),
+        }),
+        replica: ReplicaId(g.u32() % 7),
+    }
+}
+
+fn gen_qc(g: &mut Gen) -> QuorumCertMsg {
+    QuorumCertMsg {
+        view: g.u64_in(0..100),
+        seq: g.u64_in(0..10_000),
+        digest: gen_digest(g),
+        voters: g.vec(0..5, |g| ReplicaId(g.u32() % 7)),
+    }
+}
+
+/// A random message of the given wire discriminant (1..=16).
+fn gen_message(g: &mut Gen, disc: u8) -> Message {
+    match disc {
+        1 => Message::Request(gen_request(g)),
+        2 => Message::PrePrepare(gen_preprepare(g)),
+        3 => Message::Prepare(PrepareMsg {
+            view: g.u64_in(0..100),
+            seq: g.u64_in(0..10_000),
+            digest: gen_digest(g),
+            replica: ReplicaId(g.u32() % 7),
+        }),
+        4 => Message::Commit(CommitMsg {
+            view: g.u64_in(0..100),
+            seq: g.u64_in(0..10_000),
+            digest: gen_digest(g),
+            replica: ReplicaId(g.u32() % 7),
+        }),
+        5 => Message::Reply(ReplyMsg {
+            view: g.u64_in(0..100),
+            client: ClientId(g.u64_in(0..1000)),
+            timestamp: g.u64(),
+            replica: ReplicaId(g.u32() % 7),
+            tentative: g.bool(),
+            digest_only: g.bool(),
+            result: g.bytes(0..128),
+        }),
+        6 => Message::Checkpoint(CheckpointMsg {
+            seq: g.u64_in(0..10_000),
+            root: gen_digest(g),
+            replica: ReplicaId(g.u32() % 7),
+        }),
+        7 => Message::ViewChange(gen_viewchange(g)),
+        8 => Message::NewView(NewViewMsg {
+            view: g.u64_in(1..100),
+            view_changes: g.vec(0..3, gen_viewchange),
+            pre_prepares: g.vec(0..3, gen_preprepare),
+        }),
+        9 => Message::NewKey(NewKeyMsg {
+            client: ClientId(g.u64_in(0..1000)),
+            reply_addr: g.u32(),
+            keys: g.vec(0..7, |g| g.byte_array::<32>()),
+        }),
+        10 => Message::Status(StatusMsg {
+            replica: ReplicaId(g.u32() % 7),
+            view: g.u64_in(0..100),
+            last_stable_seq: g.u64_in(0..10_000),
+            stable_root: gen_digest(g),
+            last_executed: g.u64_in(0..10_000),
+            in_view_change: g.bool(),
+        }),
+        11 => Message::Fetch(FetchMsg {
+            target_seq: g.u64_in(0..10_000),
+            req: if g.bool() {
+                FetchRequest::Meta {
+                    level: g.u32() % 20,
+                    index: g.u64_in(0..1 << 20),
+                }
+            } else {
+                FetchRequest::Page {
+                    index: g.u64_in(0..1 << 20),
+                }
+            },
+            replica: ReplicaId(g.u32() % 7),
+        }),
+        12 => Message::FetchResp(FetchRespMsg {
+            target_seq: g.u64_in(0..10_000),
+            resp: match g.choice(3) {
+                0 => FetchResponse::Meta {
+                    level: g.u32() % 20,
+                    index: g.u64_in(0..1 << 20),
+                    children: (gen_digest(g), gen_digest(g)),
+                },
+                1 => FetchResponse::Page {
+                    index: g.u64_in(0..1 << 20),
+                    data: if g.bool() {
+                        Some(g.bytes(0..256))
+                    } else {
+                        None
+                    },
+                },
+                _ => FetchResponse::Unavailable,
+            },
+            replica: ReplicaId(g.u32() % 7),
+        }),
+        13 => Message::BodyFetch(BodyFetchMsg {
+            digest: gen_digest(g),
+            replica: ReplicaId(g.u32() % 7),
+        }),
+        14 => Message::BodyResp(gen_request(g)),
+        15 => Message::PrepareQC(gen_qc(g)),
+        _ => Message::CommitQC(gen_qc(g)),
+    }
+}
+
+fn gen_sender(g: &mut Gen) -> Sender {
+    match g.choice(3) {
+        0 => Sender::Replica(ReplicaId(g.u32() % 7)),
+        1 => Sender::Client(ClientId(g.u64_in(0..1000))),
+        _ => Sender::Anonymous,
+    }
+}
+
+/// A random auth trailer. Signatures come from a real key pair so the
+/// trailer is canonical wire form; MACs/authenticators can be arbitrary
+/// bytes (roundtrip does not verify them).
+fn gen_auth(g: &mut Gen, prefix: &[u8]) -> AuthTag {
+    match g.choice(4) {
+        0 => AuthTag::None,
+        1 => AuthTag::Mac(gen_mac(g)),
+        2 => {
+            let n = g.usize_in(0..8);
+            let entries = (0..n).map(|i| (i as u32, gen_mac(g))).collect();
+            AuthTag::Authenticator(pbft_crypto::Authenticator::from_entries(entries))
+        }
+        _ => AuthTag::Sig(KeyPair::generate(g.u64()).sign(prefix)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Roundtrip: every message kind, owned decoder and borrowed view in
+//    lockstep
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prop_every_message_kind_roundtrips_owned_and_borrowed() {
+    check("wire_roundtrip_all_kinds", 64, |g| {
+        for disc in 1u8..=16 {
+            let msg = gen_message(g, disc);
+            assert_eq!(msg.discriminant(), disc);
+            let sender = gen_sender(g);
+            let prefix = Envelope::encode_prefix(sender, &msg);
+            assert_eq!(prefix[0], disc, "discriminant is the first wire byte");
+            let auth = gen_auth(g, &prefix);
+            let packet = Envelope::seal(prefix.clone(), &auth);
+            assert!(packet.starts_with(&prefix), "sealing appends in place");
+
+            // Owned decode.
+            let (env, prefix_len) = Envelope::decode(&packet).expect("roundtrip decodes");
+            assert_eq!(prefix_len, prefix.len());
+            assert_eq!(env.sender, sender);
+            assert_eq!(env.msg, msg, "kind {} roundtrips", msg.name());
+            assert_eq!(env.auth, auth);
+
+            // Borrowed view, in lockstep with the owned decoder.
+            let view = PacketView::parse(&packet).expect("view parses what decode accepts");
+            assert_eq!(view.disc, disc);
+            assert_eq!(view.prefix(), &prefix[..]);
+            assert_eq!(view.prefix_len(), prefix_len);
+            let renv = view.to_envelope().expect("view materializes");
+            assert_eq!(renv, env);
+            match (disc, view.fast) {
+                (3, FastBody::Prepare(p)) => assert_eq!(Message::Prepare(p), msg),
+                (4, FastBody::Commit(c)) => assert_eq!(Message::Commit(c), msg),
+                (3 | 4, _) => panic!("hot kinds must parse typed"),
+                (_, FastBody::Other) => {}
+                (_, other) => panic!("unexpected fast body {other:?} for disc {disc}"),
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 2. Batched authenticator ≡ per-message MACs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prop_batch_authenticator_equivalent_to_per_message_macs() {
+    check("authenticator_equivalence", 128, |g| {
+        let n = g.usize_in(4..8);
+        let s = ReplicaId(g.u32() % n as u32);
+        let seed = g.u64();
+        // An arbitrarily long prefix stands in for a batch of any size: the
+        // authenticator never MACs it directly, only its digest.
+        let prefix = g.bytes(1..2048);
+        let sender = KeyStore::new_replica(seed, s, n, &[]);
+
+        let mut counts = OpCounts::default();
+        let auth = sender.seal_multicast(AuthMode::Macs, &prefix, &mut counts);
+        assert_eq!(counts.mac_gen, n as u64 - 1, "one short MAC per peer");
+        assert_eq!(
+            counts.digest_bytes,
+            prefix.len() as u64,
+            "exactly one digest pass over the prefix, regardless of batch size"
+        );
+        let AuthTag::Authenticator(vector) = &auth else {
+            panic!("MAC mode seals an authenticator");
+        };
+
+        let batch_digest = Digest::of(&prefix);
+        for j in 0..n as u32 {
+            if j == s.0 {
+                continue;
+            }
+            let peer = ReplicaId(j);
+            // The vectored entry IS the per-message MAC: the same pairwise
+            // key over the same 32-byte digest input.
+            let per_message = replica_pair_key(seed, s, peer).mac(batch_digest.as_bytes(), 0);
+            assert_eq!(
+                vector.tag_for(j),
+                Some(per_message),
+                "vector entry for peer {j} equals a directly-computed MAC"
+            );
+
+            // Owned-vector verify and borrowed-entry verify agree.
+            let store = KeyStore::new_replica(seed, peer, n, &[]);
+            assert!(store.verify_from_replica(s, &prefix, &auth, &mut counts));
+            assert!(store.verify_replica_entry(s, &prefix, per_message, &mut counts));
+        }
+
+        // The wire form agrees too: seal a real protocol message, parse it
+        // borrowed, and extract each peer's MAC without materializing the
+        // vector.
+        let msg = Message::Checkpoint(CheckpointMsg {
+            seq: g.u64_in(0..10_000),
+            root: gen_digest(g),
+            replica: s,
+        });
+        let msg_prefix = Envelope::encode_prefix(Sender::Replica(s), &msg);
+        let msg_auth = sender.seal_multicast(AuthMode::Macs, &msg_prefix, &mut counts);
+        let AuthTag::Authenticator(msg_vector) = &msg_auth else {
+            panic!("MAC mode seals an authenticator");
+        };
+        let packet = Envelope::seal(msg_prefix, &msg_auth);
+        let view = PacketView::parse(&packet).expect("sealed packet parses");
+        let AuthView::Authenticator { count, .. } = view.auth else {
+            panic!("authenticator survives the wire");
+        };
+        assert_eq!(count, n - 1);
+        for j in 0..n as u32 {
+            if j == s.0 {
+                continue;
+            }
+            assert_eq!(view.auth.mac_for(j), msg_vector.tag_for(j));
+        }
+        assert_eq!(view.auth.to_tag(), msg_auth);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 3. Tampering: any prefix byte → everyone rejects; any authenticator
+//    entry → exactly the addressed peer rejects
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prop_tampered_prefix_rejected_by_every_peer() {
+    check("tamper_prefix_all_reject", 96, |g| {
+        let n = g.usize_in(4..8);
+        let s = ReplicaId(g.u32() % n as u32);
+        let seed = g.u64();
+        // Half the cases tamper a batch element of a real pre-prepare —
+        // the agreement-critical payload — the rest arbitrary bytes.
+        let prefix = if g.bool() {
+            let mut pp = gen_preprepare(g);
+            if pp.entries.is_empty() {
+                pp.entries.push(BatchEntry {
+                    digest: gen_digest(g),
+                    client: ClientId(1),
+                    timestamp: 1,
+                    full: None,
+                });
+            }
+            Envelope::encode_prefix(Sender::Replica(s), &Message::PrePrepare(pp))
+        } else {
+            g.bytes(8..512)
+        };
+        let sender = KeyStore::new_replica(seed, s, n, &[]);
+        let mut counts = OpCounts::default();
+        let auth = sender.seal_multicast(AuthMode::Macs, &prefix, &mut counts);
+
+        let mut tampered = prefix.clone();
+        let pos = g.index(tampered.len());
+        tampered[pos] ^= 1 << g.choice(8);
+
+        let digest = Digest::of(&tampered);
+        for j in 0..n as u32 {
+            if j == s.0 {
+                continue;
+            }
+            let store = KeyStore::new_replica(seed, ReplicaId(j), n, &[]);
+            assert!(
+                !store.verify_from_replica(s, &tampered, &auth, &mut counts),
+                "peer {j} must reject a prefix with byte {pos} flipped"
+            );
+            let entry = match &auth {
+                AuthTag::Authenticator(v) => v.tag_for(j).expect("entry exists"),
+                _ => unreachable!(),
+            };
+            assert!(!store.verify_replica_entry(s, &tampered, entry, &mut counts));
+            let _ = digest; // digest recomputation happens inside verify
+        }
+    });
+}
+
+#[test]
+fn prop_tampered_entry_rejected_by_exactly_the_addressed_peer() {
+    check("tamper_entry_exact_peer", 96, |g| {
+        let n = g.usize_in(4..8);
+        let s = ReplicaId(g.u32() % n as u32);
+        let seed = g.u64();
+        let prefix = g.bytes(8..512);
+        let sender = KeyStore::new_replica(seed, s, n, &[]);
+        let mut counts = OpCounts::default();
+        let auth = sender.seal_multicast(AuthMode::Macs, &prefix, &mut counts);
+        let AuthTag::Authenticator(vector) = &auth else {
+            panic!("MAC mode seals an authenticator");
+        };
+
+        // Corrupt one randomly chosen entry of the vector.
+        let mut entries: Vec<(u32, Mac64)> = vector.iter().collect();
+        let victim_pos = g.index(entries.len());
+        let victim = entries[victim_pos].0;
+        let mut mac_bytes = entries[victim_pos].1.to_bytes();
+        mac_bytes[g.index(8)] ^= 1 << g.choice(8);
+        entries[victim_pos].1 = Mac64::from_bytes(mac_bytes);
+        let tampered = AuthTag::Authenticator(pbft_crypto::Authenticator::from_entries(entries));
+
+        for j in 0..n as u32 {
+            if j == s.0 {
+                continue;
+            }
+            let store = KeyStore::new_replica(seed, ReplicaId(j), n, &[]);
+            let ok = store.verify_from_replica(s, &prefix, &tampered, &mut counts);
+            if j == victim {
+                assert!(!ok, "the addressed peer {j} must reject its corrupted MAC");
+            } else {
+                assert!(
+                    ok,
+                    "peer {j} must still accept: only entry {victim} was corrupted"
+                );
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 4. End-to-end through both engines: handle_packet rejects tampering with
+//    an auth_failures tick at exactly the right replica
+// ---------------------------------------------------------------------------
+
+fn build_engines(linear: bool) -> Vec<Box<dyn ConsensusEngine>> {
+    let cfg = PbftConfig::default();
+    (0..cfg.n() as u32)
+        .map(|i| {
+            let state: pbft_core::app::StateHandle = Rc::new(RefCell::new(PagedState::new(
+                LIB_REGION_PAGES as usize + 16,
+            )));
+            let app = Box::new(NullApp::new(8));
+            if linear {
+                Box::new(LinearReplica::new(
+                    cfg.clone(),
+                    SEED,
+                    ReplicaId(i),
+                    state,
+                    app,
+                    &[],
+                )) as Box<dyn ConsensusEngine>
+            } else {
+                Box::new(Replica::new(
+                    cfg.clone(),
+                    SEED,
+                    ReplicaId(i),
+                    state,
+                    app,
+                    &[],
+                )) as Box<dyn ConsensusEngine>
+            }
+        })
+        .collect()
+}
+
+/// A sealed checkpoint multicast from replica 0, as its own KeyStore (same
+/// deterministic derivation the engines use) would emit it.
+fn sealed_checkpoint(g: &mut Gen, n: usize) -> (Vec<u8>, Vec<u8>, AuthTag) {
+    let cfg = PbftConfig::default();
+    let msg = Message::Checkpoint(CheckpointMsg {
+        seq: cfg.checkpoint_interval,
+        root: gen_digest(g),
+        replica: ReplicaId(0),
+    });
+    let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(0)), &msg);
+    let keys = KeyStore::new_replica(SEED, ReplicaId(0), n, &[]);
+    let mut counts = OpCounts::default();
+    let auth = keys.seal_multicast(AuthMode::Macs, &prefix, &mut counts);
+    let packet = Envelope::seal(prefix.clone(), &auth);
+    (packet, prefix, auth)
+}
+
+fn engine_tamper_property(linear: bool) {
+    let label = if linear { "linear" } else { "pbft" };
+    check(&format!("engine_tamper_{label}"), 24, |g| {
+        let mut engines = build_engines(linear);
+        let n = engines.len();
+        let (packet, prefix, auth) = sealed_checkpoint(g, n);
+
+        // Pristine packet: every backup accepts (no auth failure).
+        for (i, e) in engines.iter_mut().enumerate().skip(1) {
+            let _ = e.handle_packet(&packet, 1_000);
+            assert_eq!(
+                e.metrics().auth_failures,
+                0,
+                "{label} replica {i} accepts the untampered checkpoint"
+            );
+        }
+
+        // Body tamper: flip one random prefix byte — every peer rejects.
+        let mut body_bad = packet.clone();
+        let pos = g.index(prefix.len());
+        body_bad[pos] ^= 1 << g.choice(8);
+        // Skip flips that corrupt framing instead of content: those die in
+        // the decoder (decode_failures), which is an equally hard rejection
+        // but not the authentication property under test.
+        if PacketView::parse(&body_bad).is_ok() {
+            for (i, e) in engines.iter_mut().enumerate().skip(1) {
+                let before = e.metrics().auth_failures;
+                let res = e.handle_packet(&body_bad, 2_000);
+                assert!(
+                    res.outputs.is_empty(),
+                    "tampered packet produces no outputs"
+                );
+                assert_eq!(
+                    e.metrics().auth_failures,
+                    before + 1,
+                    "{label} replica {i} rejects a checkpoint with prefix byte {pos} flipped"
+                );
+            }
+        }
+
+        // Entry tamper: corrupt the MAC addressed to one backup — that
+        // backup alone counts an auth failure; the others accept.
+        let AuthTag::Authenticator(vector) = &auth else {
+            panic!("MAC mode seals an authenticator");
+        };
+        let mut entries: Vec<(u32, Mac64)> = vector.iter().collect();
+        let victim_pos = g.index(entries.len());
+        let victim = entries[victim_pos].0;
+        let mut mac_bytes = entries[victim_pos].1.to_bytes();
+        mac_bytes[g.index(8)] ^= 1 << g.choice(8);
+        entries[victim_pos].1 = Mac64::from_bytes(mac_bytes);
+        let tampered_auth =
+            AuthTag::Authenticator(pbft_crypto::Authenticator::from_entries(entries));
+        let entry_bad = Envelope::seal(prefix.clone(), &tampered_auth);
+
+        for (i, e) in engines.iter_mut().enumerate().skip(1) {
+            let before = e.metrics().auth_failures;
+            let _ = e.handle_packet(&entry_bad, 3_000);
+            let expected = if i as u32 == victim {
+                before + 1
+            } else {
+                before
+            };
+            assert_eq!(
+                e.metrics().auth_failures,
+                expected,
+                "{label} replica {i}: only the peer addressed by the corrupted \
+                 entry ({victim}) may reject"
+            );
+        }
+    });
+}
+
+#[test]
+fn prop_engine_rejects_tampering_pbft() {
+    engine_tamper_property(false);
+}
+
+#[test]
+fn prop_engine_rejects_tampering_linear() {
+    engine_tamper_property(true);
+}

@@ -76,7 +76,7 @@ mod trace;
 
 pub use group::{merge_traces, run_lockstep};
 pub use link::LinkParams;
-pub use node::{Node, NodeCtx, NodeId, TimerId};
+pub use node::{Node, NodeCtx, NodeId, PacketBuf, TimerId};
 pub use rng::SimRng;
 pub use sched::{Hook, Schedule};
 pub use sim::{SimConfig, Simulator};

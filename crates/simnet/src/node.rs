@@ -1,8 +1,14 @@
 //! The `Node` trait and the per-invocation context handed to handlers.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use crate::time::{SimDuration, SimTime};
+
+/// Reference-counted immutable packet bytes. A broadcast queues one
+/// allocation shared by every destination; the simulator clones the `Arc`,
+/// never the bytes.
+pub type PacketBuf = Arc<Vec<u8>>;
 
 /// A node's address in the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,7 +49,7 @@ pub trait Node: Any {
 /// Actions a handler can request; drained by the simulator afterwards.
 #[derive(Debug)]
 pub(crate) enum Action {
-    Send { dst: NodeId, payload: Vec<u8> },
+    Send { dst: NodeId, payload: PacketBuf },
     SetTimer { id: TimerId, delay: SimDuration },
     CancelTimer { id: TimerId },
 }
@@ -72,8 +78,14 @@ impl<'a> NodeCtx<'a> {
 
     /// Queue a packet to `dst`. Packets depart after the handler's charged
     /// CPU time, serialized on the sender's NIC in submission order.
-    pub fn send(&mut self, dst: NodeId, payload: Vec<u8>) {
-        self.actions.push(Action::Send { dst, payload });
+    ///
+    /// Accepts owned bytes or an already-shared [`PacketBuf`]; multicasts
+    /// should build the buffer once and pass `Arc` clones per destination.
+    pub fn send(&mut self, dst: NodeId, payload: impl Into<PacketBuf>) {
+        self.actions.push(Action::Send {
+            dst,
+            payload: payload.into(),
+        });
     }
 
     /// Arm (or re-arm) timer `id` to fire after `delay`.

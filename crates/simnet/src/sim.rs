@@ -5,7 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::link::LinkParams;
-use crate::node::{Action, Node, NodeCtx, NodeId, TimerId};
+use crate::node::{Action, Node, NodeCtx, NodeId, PacketBuf, TimerId};
 use crate::rng::SimRng;
 use crate::stats::NodeStats;
 use crate::time::{SimDuration, SimTime};
@@ -40,7 +40,7 @@ enum EventKind {
     Deliver {
         src: NodeId,
         dst: NodeId,
-        payload: Vec<u8>,
+        payload: PacketBuf,
     },
     Timer {
         node: NodeId,

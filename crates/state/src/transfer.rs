@@ -183,9 +183,14 @@ impl Fetcher {
                 index,
                 children,
             } => {
-                let Some(expect) = self.expected_digest(level, index) else {
+                let Some(pos) = self
+                    .expected
+                    .iter()
+                    .position(|(l, i, _)| *l == level && *i == index)
+                else {
                     return Ok(Vec::new()); // unsolicited; ignore
                 };
+                let expect = self.expected[pos].2;
                 // Validate: H(level, index, l, r) must equal the expected
                 // digest. Recompute with the same combine as MerkleTree by
                 // checking against a 2-leaf reconstruction.
@@ -193,6 +198,9 @@ impl Fetcher {
                 if recomputed != expect {
                     return Err(TransferError::MetaDigestMismatch { level, index });
                 }
+                // Consume the expectation: a duplicate response (a retry
+                // racing the original) must not decrement the counter twice.
+                self.expected.swap_remove(pos);
                 self.outstanding_meta -= 1;
                 let mut out = Vec::new();
                 let child_level = level - 1;

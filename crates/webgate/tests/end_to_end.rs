@@ -23,7 +23,7 @@ struct WebCluster {
     client: Client,
     client_buf: ChannelEndpoint,
     /// (to_replica, packet) — replica-to-replica binary traffic.
-    inter: VecDeque<(usize, Vec<u8>)>,
+    inter: VecDeque<(usize, pbft_core::PacketBuf)>,
     /// (replica, stream bytes) — channel traffic toward the client.
     to_client: VecDeque<Vec<u8>>,
     now: u64,
@@ -159,6 +159,7 @@ fn tampered_channel_traffic_cannot_forge_replies() {
             timestamp: 999,
             replica: ReplicaId(0),
             tentative: false,
+            digest_only: false,
             result: b"forged".to_vec(),
         });
         let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(0)), &msg);

@@ -35,7 +35,7 @@ struct WebDeployment {
     endpoints: Vec<ChannelEndpoint>,
     browser: Client,
     browser_buf: ChannelEndpoint,
-    inter: VecDeque<(usize, Vec<u8>)>,
+    inter: VecDeque<(usize, pbft_core::PacketBuf)>,
     to_browser: VecDeque<Vec<u8>>,
     now: u64,
     shown: usize,
@@ -183,6 +183,7 @@ fn main() {
             timestamp: 3,
             replica: ReplicaId(2),
             tentative: false,
+            digest_only: false,
             result: reply.clone(),
         });
         let prefix = Envelope::encode_prefix(Sender::Replica(ReplicaId(2)), &msg);

@@ -63,6 +63,7 @@ for name in (
     "BENCH_sharding.json",
     "BENCH_availability.json",
     "BENCH_cross_shard.json",
+    "BENCH_hotpath.json",
 ):
     with open(name) as f:
         doc = json.load(f)
@@ -113,6 +114,54 @@ for row in cells:
 assert {r["engine"] for r in cells} >= {"pbft", "linear"}, \
     "reshard section must cover both engines"
 print(f"    BENCH_cross_shard.json: reshard ok ({len(cells)} split cells)")
+
+# The hot-path artifact must record the per-op cost-model fields for both
+# engines and stay inside the amortized model: zero send-path clones,
+# encode-once broadcasts (encodings track logical sends, not fan-out),
+# and batch-amortized authenticators (MACs/op = small constant + O(n) per
+# batch, not O(n) per request).
+with open("BENCH_hotpath.json") as f:
+    doc = json.load(f)
+rows = doc["rows"]
+fields = (
+    "engine", "tps", "avg_batch", "macs_per_op", "encodings_per_op",
+    "bytes_copied_per_op", "agreement_msgs_per_op", "packet_clones",
+)
+for row in rows:
+    for k in fields:
+        assert k in row, f"hotpath row missing '{k}': {row}"
+assert {r["engine"] for r in rows} >= {"pbft", "linear"}, \
+    "hotpath artifact must cover both engines"
+n = doc["num_replicas"]
+for row in rows:
+    e = row["engine"]
+    assert row["packet_clones"] == 0, f"{e}: send-path clone budget exceeded"
+    assert row["encodings_per_op"] <= 1.5, \
+        f"{e}: encodings/op {row['encodings_per_op']:.2f} not amortized over fan-out"
+    assert row["macs_per_op"] <= 3.0 + 3.0 * n / row["avg_batch"], \
+        f"{e}: MACs/op {row['macs_per_op']:.2f} outside the batched-authenticator model"
+print(f"    BENCH_hotpath.json: cost model ok ({len(rows)} engine rows)")
+
+# Perf-trajectory floor: the Table 1 batch row must stay >= 1.3x the PR 8
+# seed on both engines (seed tps_mean: pbft 8005.83, linear 5860.33).
+with open("BENCH_table1.json") as f:
+    doc = json.load(f)
+floors = {
+    ("sta_mac_allbig_batch", "pbft"): 1.3 * 8005.83,
+    ("sta_mac_allbig_batch", "linear"): 1.3 * 5860.33,
+}
+seen = {}
+for row in doc["rows"] + doc["engine_head_to_head"]:
+    key = (row["config"], row["engine"])
+    if key in floors:
+        assert row["tps_mean"] >= floors[key], (
+            f"trajectory regression: {key} at {row['tps_mean']:.0f} TPS, "
+            f"floor {floors[key]:.0f}"
+        )
+        seen[key] = row["tps_mean"]
+assert set(seen) == set(floors), f"batch row missing an engine: {sorted(seen)}"
+for (config, engine), tps in sorted(seen.items()):
+    print(f"    {config} [{engine}]: {tps:.0f} TPS >= floor {floors[(config, engine)]:.0f}")
 EOF
 
 echo "==> cargo clippy --all-targets -- -D warnings"
