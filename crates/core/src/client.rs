@@ -577,6 +577,16 @@ impl Client {
                     // behind the one outstanding slot.
                     if out.req.read_only {
                         out.req.read_only = false;
+                        // Escalation opens a NEW round: bump the timestamp so
+                        // in-flight replies from the abandoned optimistic round
+                        // can no longer match `(client, timestamp)` and be
+                        // counted toward the ordered quorum — they may carry a
+                        // value that was never stable. The higher timestamp
+                        // also defeats replica-side duplicate suppression,
+                        // which would otherwise resend the cached optimistic
+                        // answer instead of ordering the request.
+                        self.timestamp += 1;
+                        out.req.timestamp = self.timestamp;
                         out.replies.clear();
                         out.results.clear();
                     }
@@ -728,6 +738,34 @@ mod tests {
         }
         assert!(c.has_outstanding(), "queued op dispatched after completion");
         assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn escalated_read_ignores_stale_optimistic_replies() {
+        let mut c = client();
+        let _ = c.submit(b"read".to_vec(), true, 0);
+        // The retransmit timer escalates the read-only request to an
+        // ordered one (§2.1 fallback). That must open a fresh round.
+        let _ = c.on_timer(TimerKind::Retransmit, 1_000_000);
+        // 2f+1 late replies from the abandoned optimistic round (old
+        // timestamp) arrive afterwards: they must not complete the
+        // escalated request — their value was never ordered.
+        for r in 0..3u32 {
+            let _ = c.handle_packet(&sealed_reply(r, 1, b"stale", true), 2_000_000);
+        }
+        assert!(
+            c.has_outstanding(),
+            "stale optimistic replies certified the escalated round"
+        );
+        // Replies for the escalated round's timestamp complete it.
+        for r in 0..3u32 {
+            let _ = c.handle_packet(&sealed_reply(r, 2, b"fresh", true), 3_000_000);
+        }
+        assert!(!c.has_outstanding());
+        let evs = c.take_events();
+        assert!(
+            matches!(&evs[0], ClientEvent::ReplyDelivered { result, .. } if result == b"fresh")
+        );
     }
 
     #[test]

@@ -114,6 +114,15 @@ pub struct PbftConfig {
     pub tentative_execution: bool,
     /// Execute read-only requests immediately on arrival (§2.1).
     pub read_only_optimization: bool,
+    /// Capacity of the contention gate's deferred-read queue: a read-only
+    /// request whose declared keys are dirty in a tentatively executed
+    /// (prepared but uncommitted) batch is parked until local commit
+    /// instead of being answered from uncommitted state — the answer would
+    /// force the client through retransmit-and-escalate. Once the queue is
+    /// full, further contended reads fall back to immediate optimistic
+    /// service (safe: the client's 2f+1 matching rule still protects it,
+    /// at the cost of possible escalation).
+    pub read_defer_max: usize,
     /// Backup timer before suspecting the primary and starting a view
     /// change, in nanoseconds.
     pub view_change_timeout_ns: u64,
@@ -164,6 +173,7 @@ impl Default for PbftConfig {
             session_stale_ns: 60_000_000_000, // 60 s
             tentative_execution: true,
             read_only_optimization: true,
+            read_defer_max: 64,
             view_change_timeout_ns: 500_000_000, // 500 ms
             view_change_backoff_factor: 2,
             view_change_backoff_max_rounds: 10,

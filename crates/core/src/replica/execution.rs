@@ -12,7 +12,7 @@ use crate::messages::{
 use crate::output::{HandleResult, NetTarget, Output, TimerKind};
 use crate::types::{ClientId, ReplicaId, SeqNum};
 
-use super::Replica;
+use super::{Replica, TentativeEffects};
 
 impl Replica {
     /// Agreements assigned but not yet executed (the congestion-window
@@ -361,6 +361,7 @@ impl Replica {
             // Tentative execution confirmed; upgrade the cached replies so a
             // client retransmission collects *stable* replies (f+1 suffice).
             e.tentative = false;
+            self.tentative_effects.remove(&seq);
             let entries: Vec<(ClientId, u64)> = e
                 .preprepare
                 .iter()
@@ -381,6 +382,8 @@ impl Replica {
         // A commit may clear the tentative hole that deferred an interval
         // boundary's checkpoint; retry every pending boundary.
         self.try_pending_checkpoints(res);
+        // The resolved tentative marks may release contention-gated reads.
+        self.flush_deferred_reads(now_ns, res);
     }
 
     /// Take any interval-boundary checkpoints that became eligible (all
@@ -470,6 +473,10 @@ impl Replica {
         res: &mut HandleResult,
     ) {
         let mut membership_dirty = false;
+        // Tentative batches record their declared write-effects so the
+        // read-only contention gate can defer conflicting reads until the
+        // batch commits (or rolls back).
+        let mut effects = TentativeEffects::default();
         for entry in &pp.entries {
             let req = match &entry.full {
                 Some(r) => r.clone(),
@@ -480,6 +487,11 @@ impl Replica {
                     .clone(),
             };
             self.observed.remove(&entry.digest);
+            if !committed {
+                if let Operation::App(op) = &req.op {
+                    effects.note_op(op);
+                }
+            }
             let reply_body = self.execute_one(&req, &pp.nondet, &mut membership_dirty, res);
             self.last_req_ts.insert(req.client, req.timestamp);
             if let Some(result) = reply_body {
@@ -505,6 +517,9 @@ impl Replica {
         }
         if membership_dirty {
             self.persist_membership();
+        }
+        if !committed && !effects.is_empty() {
+            self.tentative_effects.insert(pp.seq, effects);
         }
         // Extend the execution-order commitment.
         let mut h = Sha256::new();

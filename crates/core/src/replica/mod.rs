@@ -72,6 +72,15 @@ pub struct ReplicaMetrics {
     pub checkpoints_taken: u64,
     /// Read-only requests served via the fast path.
     pub read_only_served: u64,
+    /// Read-only requests parked by the contention gate: their declared
+    /// keys (or an admin operation such as a `Reshard`) were dirty in a
+    /// tentatively executed, not-yet-committed batch, so the read was held
+    /// until local commit instead of being answered from uncommitted state.
+    pub read_only_deferred: u64,
+    /// Contended reads served immediately because the deferred-read queue
+    /// was at capacity ([`crate::PbftConfig::read_defer_max`]) — the
+    /// pre-gate optimistic behavior, kept as the overload fallback.
+    pub read_defer_overflow: u64,
     /// Malformed packets dropped.
     pub decode_failures: u64,
     /// Requests re-replied from the last-reply cache.
@@ -101,6 +110,37 @@ pub struct ReplicaMetrics {
     /// single canonical encoding of each message (i.e. the bytes the clones
     /// counted by `hot_packet_clones` moved).
     pub hot_bytes_copied: u64,
+}
+
+/// Declared write-effects of one tentatively executed (prepared but not
+/// yet committed) batch — what the read-only contention gate checks reads
+/// against. Keys come from [`crate::xshard::XMsg::KeyedOp`] frames; any
+/// other xshard frame (a `Reshard` epoch flip, a `RangeInstall`, 2PC
+/// traffic) is an *admin* effect that conflicts with every keyed read.
+/// Plain unframed operations declare no keys and are not tracked: reads
+/// of such apps keep the pure optimistic path (the client-side 2f+1
+/// matching rule is what protects them).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct TentativeEffects {
+    /// Shard keys written by the batch's `KeyedOp` requests.
+    pub keys: Vec<Vec<u8>>,
+    /// The batch contains an admin frame (epoch flip, range install, 2PC).
+    pub admin: bool,
+}
+
+impl TentativeEffects {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.keys.is_empty() && !self.admin
+    }
+
+    /// Record one request body's effects (no-op for unframed operations).
+    pub(crate) fn note_op(&mut self, op: &[u8]) {
+        match crate::xshard::XMsg::decode(op) {
+            Some(crate::xshard::XMsg::KeyedOp { keys, .. }) => self.keys.extend(keys),
+            Some(_) => self.admin = true,
+            None => {}
+        }
+    }
 }
 
 /// An in-progress state transfer.
@@ -181,6 +221,17 @@ pub struct Replica {
     /// (rate limiter: replying to every status would ping-pong into a storm
     /// of signed retransmissions under healthy pipeline skew).
     pub(crate) last_peer_help: BTreeMap<ReplicaId, u64>,
+
+    /// Declared write-effects of every tentatively executed batch still
+    /// awaiting commit, keyed by sequence number (the read-only contention
+    /// gate's dirty set). Entries leave at commit, rollback, or state
+    /// transfer — the three places tentative marks are resolved.
+    pub(crate) tentative_effects: BTreeMap<SeqNum, TentativeEffects>,
+    /// Read-only requests parked by the contention gate until the dirty
+    /// batches covering their keys commit locally. Bounded by
+    /// [`PbftConfig::read_defer_max`]; flushed wherever
+    /// `tentative_effects` entries are resolved.
+    pub(crate) deferred_reads: VecDeque<RequestMsg>,
 
     /// Execution-order commitment: running digest of executed batches, used
     /// by tests to prove all replicas executed the same sequence.
@@ -287,6 +338,8 @@ impl Replica {
             recovering: false,
             peer_status: BTreeMap::new(),
             last_peer_help: BTreeMap::new(),
+            tentative_effects: BTreeMap::new(),
+            deferred_reads: VecDeque::new(),
             exec_chain: Digest::ZERO,
             linear: false,
             last_issue_ns: 0,
@@ -819,7 +872,89 @@ impl Replica {
         pubkey.verify(prefix, sig).is_ok()
     }
 
+    /// §2.1 read-only fast path, behind the contention gate: a read whose
+    /// declared keys are dirty in a tentatively executed (prepared but
+    /// uncommitted) batch is parked until local commit — answering it now
+    /// would expose uncommitted state, never match the committed quorum,
+    /// and push the client into retransmit-and-escalate. Reads with no
+    /// conflict are answered immediately against committed-or-tentative
+    /// state exactly as before.
     fn serve_read_only(&mut self, req: &RequestMsg, now_ns: u64, res: &mut HandleResult) {
+        use crate::messages::Operation;
+        let Operation::App(op) = &req.op else { return };
+        if self.read_defers(op) {
+            if self.deferred_reads.len() >= self.cfg.read_defer_max {
+                self.metrics.read_defer_overflow += 1;
+                // Queue full: fall back to immediate optimistic service.
+            } else {
+                if !self
+                    .deferred_reads
+                    .iter()
+                    .any(|r| r.client == req.client && r.timestamp == req.timestamp)
+                {
+                    self.metrics.read_only_deferred += 1;
+                    self.deferred_reads.push_back(req.clone());
+                }
+                return;
+            }
+        }
+        self.serve_read_now(req, now_ns, res);
+    }
+
+    /// Would serving `op` now observe a tentatively executed effect?
+    fn read_defers(&self, op: &[u8]) -> bool {
+        if self.tentative_effects.is_empty() {
+            return false;
+        }
+        match crate::xshard::XMsg::decode(op) {
+            // A keyed read conflicts with a dirty declared key or with any
+            // admin effect (an uncommitted `Reshard` would leak a
+            // `WrongEpoch{map}` for an epoch that may yet be rolled back).
+            Some(crate::xshard::XMsg::KeyedOp { keys, .. }) => self
+                .tentative_effects
+                .values()
+                .any(|e| e.admin || keys.iter().any(|k| e.keys.contains(k))),
+            // Admin reads (decision/apply queries) scan protocol tables any
+            // tracked tentative effect may be mutating.
+            Some(_) => true,
+            // Unframed operations declare no keys: optimistic path.
+            None => false,
+        }
+    }
+
+    /// Re-examine parked reads after tentative marks were resolved
+    /// (commit, rollback, or state transfer): serve everything no longer
+    /// contended, drop reads already answered through the ordered path.
+    pub(crate) fn flush_deferred_reads(&mut self, now_ns: u64, res: &mut HandleResult) {
+        use crate::messages::Operation;
+        if self.deferred_reads.is_empty() {
+            return;
+        }
+        let mut parked = VecDeque::new();
+        while let Some(req) = self.deferred_reads.pop_front() {
+            // A newer (or equal) executed timestamp means the client gave
+            // up on the optimistic round and escalated: the ordered
+            // execution already replied.
+            if self
+                .last_req_ts
+                .get(&req.client)
+                .is_some_and(|&ts| ts >= req.timestamp)
+            {
+                continue;
+            }
+            let Operation::App(op) = &req.op else {
+                continue;
+            };
+            if self.read_defers(op) {
+                parked.push_back(req);
+            } else {
+                self.serve_read_now(&req, now_ns, res);
+            }
+        }
+        self.deferred_reads = parked;
+    }
+
+    fn serve_read_now(&mut self, req: &RequestMsg, now_ns: u64, res: &mut HandleResult) {
         use crate::messages::Operation;
         let Operation::App(op) = &req.op else { return };
         let nondet = NonDet {

@@ -398,6 +398,10 @@ impl Replica {
         self.checkpoint_chain.insert(seq, root);
         self.metrics.state_transfers_completed += 1;
         self.recovering = false;
+        // The installed checkpoint replaced every tentative effect; parked
+        // reads are re-examined against the clean committed image.
+        self.tentative_effects.clear();
+        self.flush_deferred_reads(0, res);
         res.outputs.push(Output::CancelTimer {
             kind: TimerKind::FetchRetry,
         });

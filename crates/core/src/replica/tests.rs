@@ -22,9 +22,14 @@ const CLIENT_ADDR_BASE: NetAddr = 100;
 
 /// Which app backs the replicas.
 #[derive(Clone, Copy, PartialEq)]
+#[allow(clippy::large_enum_variant)] // test-only config, Copy matters more
 enum AppKind {
     Null(usize),
     Kv,
+    /// Kv wrapped in [`crate::xshard::XShardApp`] (optionally with an
+    /// elastic identity) — the deployments whose operations declare shard
+    /// keys, which is what the read-only contention gate keys on.
+    XKv(Option<(u32, crate::routing::ShardMap)>),
     SessionCounter,
 }
 
@@ -42,6 +47,10 @@ struct Net {
     /// Packets this filter returns `true` for are dropped.
     drop: Option<DropFilter>,
     dropped: usize,
+    /// Packets this filter returns `true` for are parked instead of
+    /// delivered; [`Net::release_held`] re-queues them (delayed delivery).
+    hold: Option<DropFilter>,
+    held: VecDeque<(Source, NetTarget, crate::output::PacketBuf, u8)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +72,18 @@ fn make_replica(cfg: &PbftConfig, i: u32, app: AppKind, clients: &[ClientId]) ->
             LIB_REGION_PAGES * pbft_state::PAGE_SIZE as u64,
             128,
         )),
+        AppKind::XKv(identity) => {
+            let inner = Box::new(KvApp::new(
+                state.clone(),
+                LIB_REGION_PAGES * pbft_state::PAGE_SIZE as u64,
+                128,
+            ));
+            let mut app = crate::xshard::XShardApp::mount(inner, state.clone());
+            if let Some((group, map)) = identity {
+                app.set_identity(group, map);
+            }
+            Box::new(app)
+        }
         AppKind::SessionCounter => Box::new(crate::app::SessionCounterApp),
     };
     Replica::new(cfg.clone(), SEED, ReplicaId(i), state, app, clients)
@@ -96,6 +117,8 @@ impl Net {
             now: 1_000_000,
             drop: None,
             dropped: 0,
+            hold: None,
+            held: VecDeque::new(),
         };
         for i in 0..net.replicas.len() {
             let res = net.replicas[i].on_start(net.now, false);
@@ -135,6 +158,12 @@ impl Net {
                     continue;
                 }
             }
+            if let Some(f) = &self.hold {
+                if f(src, &to, disc) {
+                    self.held.push_back((src, to, packet, disc));
+                    continue;
+                }
+            }
             self.now += 10_000; // 10µs per hop
             match to {
                 NetTarget::Replica(r) => {
@@ -154,6 +183,14 @@ impl Net {
             }
         }
         panic!("pump did not quiesce within the step budget");
+    }
+
+    /// Stop holding and deliver every parked packet.
+    fn release_held(&mut self) {
+        self.hold = None;
+        while let Some(p) = self.held.pop_front() {
+            self.queue.push_back(p);
+        }
     }
 
     fn submit(&mut self, client: usize, op: Vec<u8>, read_only: bool) {
@@ -402,6 +439,128 @@ fn read_only_fast_path() {
         assert_eq!(r.last_executed(), 1);
         assert!(r.metrics().read_only_served >= 1);
     }
+}
+
+/// Frame a Kv put as a key-declaring `XMsg::KeyedOp`.
+fn keyed_put(key: u64, val: u64) -> Vec<u8> {
+    crate::xshard::XMsg::KeyedOp {
+        txid: 0x9000 + key,
+        keys: vec![key.to_be_bytes().to_vec()],
+        op: KvApp::op_put(key, val),
+    }
+    .encode()
+}
+
+/// Frame a Kv get as a key-declaring `XMsg::KeyedOp`.
+fn keyed_get(key: u64) -> Vec<u8> {
+    crate::xshard::XMsg::KeyedOp {
+        txid: 0xA000 + key,
+        keys: vec![key.to_be_bytes().to_vec()],
+        op: KvApp::op_get(key),
+    }
+    .encode()
+}
+
+#[test]
+fn contended_read_defers_until_tentative_state_resolves() {
+    let mut net = Net::new(default_cfg(), 3, AppKind::XKv(None));
+    // Park every commit in flight: batches prepare and execute tentatively
+    // on all replicas but cannot commit yet.
+    net.hold = Some(Box::new(|_, _, disc| disc == 4));
+    net.submit(0, keyed_put(5, 55), false);
+    net.pump(50_000);
+    // The client completes on 2f+1 matching *tentative* replies, but the
+    // write is uncommitted on every replica.
+    assert_eq!(net.completed(0), 1);
+    for r in &net.replicas {
+        assert_eq!(r.metrics().tentative_executions, 1);
+    }
+    // A read of the dirty key parks on every replica: answering it from
+    // tentative state would expose an uncommitted value.
+    net.submit(1, keyed_get(5), true);
+    net.pump(50_000);
+    assert_eq!(
+        net.completed(1),
+        0,
+        "read of a dirty key must not be answered from tentative state"
+    );
+    for r in &net.replicas {
+        assert_eq!(r.metrics().read_only_deferred, 1);
+        assert_eq!(r.metrics().read_only_served, 0);
+    }
+    // The gate is per-key: a read of an unrelated key passes immediately.
+    net.submit(2, keyed_get(6), true);
+    net.pump(50_000);
+    assert_eq!(net.completed(2), 1, "uncontended read must not be delayed");
+    // Deliver the parked commits: the batch commits locally and the
+    // deferred read is flushed with the now-committed value.
+    net.release_held();
+    net.pump(100_000);
+    assert_eq!(net.completed(1), 1, "parked read served after local commit");
+    let result = net.last_reply(1).expect("read completed");
+    let mut expect = 5u64.to_be_bytes().to_vec();
+    expect.extend_from_slice(&55u64.to_be_bytes());
+    assert_eq!(result, expect, "deferred read returns the committed record");
+    for r in &net.replicas {
+        assert_eq!(r.metrics().read_only_served, 2);
+    }
+    net.assert_states_equal(&[0, 1, 2, 3]);
+}
+
+#[test]
+fn read_defers_while_reshard_uncommitted() {
+    use crate::routing::ShardMap;
+    let map = ShardMap::ranged(1);
+    let plan = map.split(0);
+    let moved = (0..4096u64)
+        .find(|k| plan.moves(&k.to_be_bytes()))
+        .expect("some key moves under the split");
+    let mut net = Net::new(default_cfg(), 2, AppKind::XKv(Some((0, map))));
+    net.hold = Some(Box::new(|_, _, disc| disc == 4));
+    // Order the epoch flip with commits parked: every replica executes it
+    // tentatively and holds the new map uncommitted.
+    net.submit(
+        0,
+        crate::xshard::XMsg::Reshard {
+            txid: 7,
+            map: plan.new_map,
+        }
+        .encode(),
+        false,
+    );
+    net.pump(50_000);
+    assert_eq!(net.completed(0), 1);
+    // A keyed read for a moved key must NOT be bounced `WrongEpoch` off
+    // the uncommitted flip — the carried map could still be rolled back
+    // by a view change, stranding the client on a target group that never
+    // installs its data. The read parks until the epoch's fate is known.
+    net.submit(1, keyed_get(moved), true);
+    net.pump(50_000);
+    assert_eq!(
+        net.completed(1),
+        0,
+        "uncommitted epoch flip leaked to a read-only client"
+    );
+    for r in &net.replicas {
+        assert!(r.metrics().read_only_deferred >= 1);
+    }
+    // Commit the flip: the parked read is answered, and the WrongEpoch it
+    // now gets carries the *committed* next-epoch map — safe to act on.
+    net.release_held();
+    net.pump(100_000);
+    assert_eq!(net.completed(1), 1, "parked read served after local commit");
+    let result = net.last_reply(1).expect("read completed");
+    match crate::xshard::XReply::decode(&result) {
+        Some(crate::xshard::XReply::WrongEpoch { map: carried, .. }) => {
+            assert_eq!(
+                carried.epoch(),
+                plan.new_map.epoch(),
+                "rejection carries the committed map"
+            );
+        }
+        other => panic!("expected a committed-epoch WrongEpoch, got {other:?}"),
+    }
+    net.assert_states_equal(&[0, 1, 2, 3]);
 }
 
 #[test]

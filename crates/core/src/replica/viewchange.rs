@@ -272,6 +272,10 @@ impl Replica {
                 e.tentative = false;
             }
         }
+        // The state is back on the committed prefix: no tentative effect
+        // survives, so every contention-gated read can be answered.
+        self.tentative_effects.clear();
+        self.flush_deferred_reads(0, res);
     }
 
     pub(crate) fn on_new_view_timeout(&mut self, now_ns: u64, res: &mut HandleResult) {

@@ -928,6 +928,31 @@ impl<E: ConsensusEngine> ShardedCluster<E> {
         }
     }
 
+    /// [`ShardedCluster::probe_ownership`] over the §2.1 optimistic read
+    /// path: the probe rides the read-only fast path (no agreement), so
+    /// `Err(map)` here means the group's *read* gate rejected the key —
+    /// the read-side epoch audit of the resharding suites.
+    #[allow(clippy::result_large_err)]
+    pub fn probe_read(
+        &mut self,
+        shard: usize,
+        keys: Vec<Vec<u8>>,
+        op: Vec<u8>,
+    ) -> Result<Vec<u8>, ShardMap> {
+        let framed = XMsg::KeyedOp {
+            txid: PROBE_TX,
+            keys,
+            op,
+        }
+        .encode();
+        self.groups[shard].client_submit(ADMIN_CLIENT, framed, true);
+        let reply = self.await_reply(shard, |_| true);
+        match XReply::decode(&reply) {
+            Some(XReply::WrongEpoch { map, .. }) => Err(map),
+            _ => Ok(reply),
+        }
+    }
+
     /// Commit one admin operation (built from a fresh admin txid) on group
     /// `shard` via the reserved admin client, advancing every group in
     /// lockstep until the matching [`XReply`] arrives.

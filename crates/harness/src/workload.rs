@@ -253,6 +253,58 @@ pub fn null_ops(size: usize) -> OpGen {
     })
 }
 
+/// Read-only null operations: the Table 1 null-op body with the read-only
+/// flag set, so every request rides the §2.1 optimistic fast path (one
+/// round trip, 2f+1 matching replies, no agreement). The pure-read
+/// counterpart of [`null_ops`], used by the hot-path bench's read rows.
+pub fn null_reads(size: usize) -> OpGen {
+    Box::new(move |seq| {
+        let mut op = vec![0u8; size];
+        op[..8.min(size)].copy_from_slice(&seq.to_be_bytes()[..8.min(size)]);
+        (op, true)
+    })
+}
+
+/// A deterministic read/write mix of null operations: each draw is
+/// read-only with probability `read_pct`/100 (decided by the same stable
+/// hash as every other workload, so a `(tag, seq)` pair always lands on
+/// the same side). `read_pct = 0` degenerates to [`null_ops`], `100` to
+/// [`null_reads`]; anything between exercises the optimistic read path
+/// *interleaved* with agreement traffic — the contention regime the
+/// deferred-read gate and the escalation fallback exist for.
+pub fn null_mix(size: usize, read_pct: u64, tag: u64) -> OpGen {
+    assert!(read_pct <= 100, "read_pct is a percentage");
+    Box::new(move |seq| {
+        let mut op = vec![0u8; size];
+        let stamp = [tag.to_be_bytes(), seq.to_be_bytes()].concat();
+        let n = stamp.len().min(size);
+        op[..n].copy_from_slice(&stamp[..n]);
+        (op, mix(tag, seq, 9) % 100 < read_pct)
+    })
+}
+
+/// Keyed KV traffic with a read fraction: like [`keyed_kv_ops`], but each
+/// draw is a `get` of the drawn key with probability `read_pct`/100 and a
+/// `put` of a fresh value otherwise. Reads and writes contend for the same
+/// bounded key space, so replicas genuinely hit the dirty-key deferral
+/// path when the mix runs against an uncommitted tentative batch.
+pub fn keyed_kv_mix(key_space: u64, read_pct: u64, tag: u64) -> KeyedOpGen {
+    assert!(read_pct <= 100, "read_pct is a percentage");
+    Box::new(move |seq| {
+        let key = mix(tag, seq, 0) % key_space;
+        let read_only = mix(tag, seq, 9) % 100 < read_pct;
+        KeyedOp {
+            keys: vec![key.to_be_bytes().to_vec()],
+            op: if read_only {
+                pbft_core::app::KvApp::op_get(key)
+            } else {
+                pbft_core::app::KvApp::op_put(key, mix(tag, seq, 1))
+            },
+            read_only,
+        }
+    })
+}
+
 /// The §4.2 workload: "the insertion of a single row into a database table
 /// ... a simple key and value text (representing voter identity and
 /// accompanying vote), in addition to a timestamp and a random value".
@@ -293,6 +345,62 @@ mod tests {
         assert_eq!(a.len(), 256);
         assert!(!ro);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn null_reads_are_read_only() {
+        let mut gen = null_reads(128);
+        let (a, ro) = gen(1);
+        let (b, _) = gen(2);
+        assert_eq!(a.len(), 128);
+        assert!(ro);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn null_mix_respects_the_read_fraction() {
+        let mut pure_writes = null_mix(64, 0, 3);
+        let mut pure_reads = null_mix(64, 100, 3);
+        let mut mixed = null_mix(64, 40, 3);
+        let mut reads = 0u64;
+        for seq in 0..200 {
+            assert!(!pure_writes(seq).1);
+            assert!(pure_reads(seq).1);
+            if mixed(seq).1 {
+                reads += 1;
+            }
+        }
+        // Deterministic hash, so the realized fraction is stable and near
+        // the requested one.
+        assert!((60..=100).contains(&reads), "40% of 200 draws, got {reads}");
+        assert_eq!(
+            mixed(7),
+            null_mix(64, 40, 3)(7),
+            "same (tag, seq), same draw"
+        );
+    }
+
+    #[test]
+    fn keyed_kv_mix_reads_and_writes_share_keys() {
+        let mut gen = keyed_kv_mix(8, 50, 5);
+        let (mut saw_read, mut saw_write) = (false, false);
+        for seq in 0..100 {
+            let keyed = gen(seq);
+            assert_eq!(keyed.keys[0].len(), 8);
+            if keyed.read_only {
+                saw_read = true;
+                assert_eq!(keyed.op[0], b'g');
+            } else {
+                saw_write = true;
+                assert_eq!(keyed.op[0], b'p');
+            }
+            assert_eq!(
+                &keyed.op[1..9],
+                &keyed.keys[0][..],
+                "op key matches shard key"
+            );
+        }
+        assert!(saw_read && saw_write, "a 50% mix draws both sides");
     }
 
     #[test]

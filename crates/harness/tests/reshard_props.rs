@@ -241,3 +241,80 @@ fn splits_racing_2pc_stay_atomic_pbft() {
 fn splits_racing_2pc_stay_atomic_linear() {
     splits_racing_2pc_stay_atomic::<LinearReplica>("reshard_2pc_atomic_linear");
 }
+
+/// Property 4 (read-under-split): a keyed read/write *mix* runs straight
+/// through a live split, so optimistic reads race the epoch flip itself —
+/// some land on the source while the `Reshard` is uncommitted (the
+/// dirty-epoch deferral window), some right after it commits. Afterwards
+/// the read path must honor the installed epoch exactly like the ordered
+/// path: the source group answers reads for moved keys with `WrongEpoch`
+/// carrying the post-split map — never frozen pre-migration state — and
+/// the owner's read agrees with its ordered execution byte for byte.
+fn reads_under_split_respect_the_epoch<E: ConsensusEngine>(prop_name: &'static str) {
+    propcheck::check_budgeted(prop_name, 3, 10, |g| {
+        let seed = g.u64_in(1..1_000);
+        let read_pct = 20 + g.u64_in(0..60);
+        let mut sc = elastic_kv::<E>(seed);
+        sc.start_paced_keyed_workload(ms(5), move |s, c| {
+            harness::workload::keyed_kv_mix(SLOTS, read_pct, (s * 10 + c) as u64)
+        });
+        // Whole buckets: the runner requires duration % bucket == 0.
+        let at = 300 + 50 * g.u64_in(0..10);
+        let source = g.choice(2);
+        let scenario = Scenario {
+            name: "read-under-split",
+            duration: ms(at + 600),
+            bucket: ms(50),
+            events: vec![(ms(at), ScenarioEvent::Reshard { source })],
+        };
+        let report = run_scenario(&mut sc, &scenario);
+        assert_eq!(report.trace.len(), 1, "the split fired (seed={seed})");
+        sc.run_for(secs(1));
+        sc.quiesce(secs(2));
+        assert_eq!(sc.shards(), 3, "seed={seed}");
+
+        for key in 0..SLOTS {
+            let shard_key = key.to_be_bytes().to_vec();
+            let owner = sc.router().route_key(&shard_key);
+            for shard in 0..sc.shards() {
+                match sc.probe_read(shard, vec![shard_key.clone()], KvApp::op_get(key)) {
+                    Ok(record) => {
+                        assert_eq!(
+                            shard, owner,
+                            "seed={seed}: group {shard} served a read for key {key} it no longer owns"
+                        );
+                        let ordered = sc
+                            .probe_ownership(shard, vec![shard_key], KvApp::op_get(key))
+                            .expect("owner serves the ordered probe too");
+                        assert_eq!(
+                            record, ordered,
+                            "seed={seed}: read path diverged from ordered on key {key}"
+                        );
+                        break;
+                    }
+                    Err(map) => {
+                        assert_ne!(shard, owner, "seed={seed}: owner bounced its own key {key}");
+                        assert_eq!(
+                            map.epoch(),
+                            sc.router().epoch(),
+                            "seed={seed}: read rejection must carry the installed map"
+                        );
+                    }
+                }
+            }
+        }
+        for s in 0..sc.shards() {
+            assert_correct_replicas_agree(sc.group_mut(s), &[0, 1, 2, 3]);
+        }
+    });
+}
+
+#[test]
+fn reads_under_split_respect_the_epoch_pbft() {
+    reads_under_split_respect_the_epoch::<Replica>("reshard_read_epoch_pbft");
+}
+
+#[test]
+fn reads_under_split_respect_the_epoch_linear() {
+    reads_under_split_respect_the_epoch::<LinearReplica>("reshard_read_epoch_linear");
+}

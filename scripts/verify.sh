@@ -39,6 +39,14 @@ t0=$SECONDS
 cargo test -q -p harness --test reshard_props
 echo "    [reshard_props: $((SECONDS - t0))s]"
 
+# The read-semantics property suite is the safety argument for the §2.1
+# optimistic read path (reads return committed values under crashes, view
+# changes and a live split; the read path agrees with the ordered path).
+echo "==> read property suite (crates/harness/tests/read_props.rs)"
+t0=$SECONDS
+cargo test -q -p harness --test read_props
+echo "    [read_props: $((SECONDS - t0))s]"
+
 echo "==> cargo test (per package, timed)"
 packages=$(cargo metadata --no-deps --format-version 1 \
     | python3 -c "import json,sys; print(' '.join(sorted(p['name'] for p in json.load(sys.stdin)['packages'])))")
@@ -115,32 +123,48 @@ assert {r["engine"] for r in cells} >= {"pbft", "linear"}, \
     "reshard section must cover both engines"
 print(f"    BENCH_cross_shard.json: reshard ok ({len(cells)} split cells)")
 
-# The hot-path artifact must record the per-op cost-model fields for both
-# engines and stay inside the amortized model: zero send-path clones,
-# encode-once broadcasts (encodings track logical sends, not fan-out),
-# and batch-amortized authenticators (MACs/op = small constant + O(n) per
-# batch, not O(n) per request).
+# The hot-path artifact must carry the full n-axis sweep — n in {4, 7, 10}
+# x both engines x both paths (ordered writes and the §2.1 optimistic
+# reads) — and every cell must stay inside the amortized model: zero
+# send-path clones, encode-once broadcasts (encodings track logical sends,
+# not fan-out), batch-amortized authenticators (MACs/op = small constant +
+# O(n) per batch, not O(n) per request), and n-independent O(1) reads that
+# never touch agreement.
 with open("BENCH_hotpath.json") as f:
     doc = json.load(f)
 rows = doc["rows"]
 fields = (
-    "engine", "tps", "avg_batch", "macs_per_op", "encodings_per_op",
-    "bytes_copied_per_op", "agreement_msgs_per_op", "packet_clones",
+    "engine", "n", "path", "tps", "avg_batch", "macs_per_op",
+    "encodings_per_op", "bytes_copied_per_op", "agreement_msgs_per_op",
+    "packet_clones",
 )
 for row in rows:
     for k in fields:
         assert k in row, f"hotpath row missing '{k}': {row}"
-assert {r["engine"] for r in rows} >= {"pbft", "linear"}, \
-    "hotpath artifact must cover both engines"
-n = doc["num_replicas"]
+cells = {(r["engine"], r["n"], r["path"]) for r in rows}
+want = {
+    (e, n, p)
+    for e in ("pbft", "linear")
+    for n in (4, 7, 10)
+    for p in ("write", "read")
+}
+assert cells >= want, f"hotpath sweep incomplete, missing: {sorted(want - cells)}"
 for row in rows:
-    e = row["engine"]
-    assert row["packet_clones"] == 0, f"{e}: send-path clone budget exceeded"
-    assert row["encodings_per_op"] <= 1.5, \
-        f"{e}: encodings/op {row['encodings_per_op']:.2f} not amortized over fan-out"
-    assert row["macs_per_op"] <= 3.0 + 3.0 * n / row["avg_batch"], \
-        f"{e}: MACs/op {row['macs_per_op']:.2f} outside the batched-authenticator model"
-print(f"    BENCH_hotpath.json: cost model ok ({len(rows)} engine rows)")
+    tag = f"{row['engine']} n={row['n']} {row['path']}"
+    assert row["packet_clones"] == 0, f"{tag}: send-path clone budget exceeded"
+    if row["path"] == "read":
+        assert row["agreement_msgs_per_op"] < 0.1, \
+            f"{tag}: reads leaked into agreement ({row['agreement_msgs_per_op']:.2f} msgs/op)"
+        assert row["macs_per_op"] <= 3.0, \
+            f"{tag}: read MACs/op {row['macs_per_op']:.2f} not O(1)"
+        assert row["encodings_per_op"] <= 1.5, \
+            f"{tag}: read encodings/op {row['encodings_per_op']:.2f} — a read is one reply"
+    else:
+        assert row["encodings_per_op"] <= 1.0 + 3.0 / row["avg_batch"], \
+            f"{tag}: encodings/op {row['encodings_per_op']:.2f} not amortized over fan-out"
+        assert row["macs_per_op"] <= 3.0 + 3.5 * row["n"] / row["avg_batch"], \
+            f"{tag}: MACs/op {row['macs_per_op']:.2f} outside the batched-authenticator model"
+print(f"    BENCH_hotpath.json: cost model ok ({len(rows)} cells, n x engine x path sweep)")
 
 # Perf-trajectory floor: the Table 1 batch row must stay >= 1.3x the PR 8
 # seed on both engines (seed tps_mean: pbft 8005.83, linear 5860.33).
